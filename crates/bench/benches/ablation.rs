@@ -1,0 +1,50 @@
+//! Criterion bench for the tile-size ablation: the prepush variant at
+//! several K values. The simulated makespans (the U-curve) print at
+//! startup; criterion tracks the simulation's wall cost per K.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interp::run_program;
+use overlap_bench::{transform_workload, NetworkModel};
+use std::hint::black_box;
+
+fn bench_ablation_k(c: &mut Criterion) {
+    let np = 4;
+    let w = workloads::direct2d::Direct2d {
+        np,
+        nloc: 1024,
+        outer: 2,
+        work: 3,
+    };
+    let model = NetworkModel::mpich_gm();
+
+    println!("\nTile-size ablation (simulated makespans, np = {np}):");
+    let mut programs = Vec::new();
+    for k in [1i64, 16, 128, 512, 1024] {
+        let out = transform_workload(&w, &model, Some(k));
+        let t = run_program(&out.program, np, &model)
+            .unwrap()
+            .report
+            .makespan();
+        println!("  K = {k:>5}: {t}");
+        programs.push((k, out.program));
+    }
+
+    let mut g = c.benchmark_group("ablation-k");
+    g.sample_size(10);
+    for (k, program) in &programs {
+        g.bench_with_input(BenchmarkId::from_parameter(k), program, |b, program| {
+            b.iter(|| {
+                black_box(
+                    run_program(black_box(program), np, &model)
+                        .unwrap()
+                        .report
+                        .makespan(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation_k);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench for the Figure-1 experiment: each configuration
+//! {MPICH, MPICH-GM} × {Original, Prepush} is one benchmark; criterion
+//! measures the wall-clock cost of the full simulated run, and the
+//! simulated makespans (the paper's actual metric) are printed once at
+//! startup so `cargo bench` output contains the Figure-1 series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interp::run_program;
+use overlap_bench::{transform_workload, NetworkModel};
+use std::hint::black_box;
+use workloads::Workload;
+
+fn bench_fig1(c: &mut Criterion) {
+    let np = 4;
+    // A reduced-size direct-2d workload keeps criterion iterations cheap
+    // while preserving the comm/compute balance of the standard size.
+    let w = workloads::direct2d::Direct2d {
+        np,
+        nloc: 1024,
+        outer: 2,
+        work: 3,
+    };
+    let original = w.program();
+    let gm = NetworkModel::mpich_gm();
+    let tcp = NetworkModel::mpich();
+    // Tile size is model-informed, so each model gets its own transform.
+    let prepush_gm = transform_workload(&w, &gm, None).program;
+    let prepush_tcp = transform_workload(&w, &tcp, None).program;
+
+    // Print the Figure-1 series (simulated time is the paper's metric).
+    println!("\nFigure 1 series (simulated makespans, np = {np}):");
+    for (model, prepush, label) in
+        [(&tcp, &prepush_tcp, "MPICH"), (&gm, &prepush_gm, "MPICH-GM")]
+    {
+        let o = run_program(&original, np, model).unwrap().report.makespan();
+        let p = run_program(prepush, np, model).unwrap().report.makespan();
+        println!("  {label:<9} Original {o:>12}  Prepush {p:>12}");
+    }
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    let cases = [
+        ("original", "mpich", &original, &tcp),
+        ("original", "mpich-gm", &original, &gm),
+        ("prepush", "mpich", &prepush_tcp, &tcp),
+        ("prepush", "mpich-gm", &prepush_gm, &gm),
+    ];
+    for (label, mlabel, program, model) in cases {
+        g.bench_with_input(
+            BenchmarkId::new(label, mlabel),
+            &(program, model),
+            |b, (program, model)| {
+                b.iter(|| {
+                    black_box(
+                        run_program(black_box(program), np, model)
+                            .unwrap()
+                            .report
+                            .makespan(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

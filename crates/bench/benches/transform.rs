@@ -1,0 +1,81 @@
+//! Criterion bench: Compuniformer throughput — how fast the whole
+//! pipeline (parse → analyze → transform → unparse) runs as the input
+//! program grows. The paper's pitch is an *automated* system; the compiler
+//! itself must stay cheap.
+
+use compuniformer::{transform, Options};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use depan::Context;
+use std::hint::black_box;
+
+/// A direct-2d kernel with `extra` additional statements in the loop body
+/// (more analysis work per opportunity).
+fn source(extra: usize) -> String {
+    let mut body = String::new();
+    for i in 0..extra {
+        body.push_str(&format!("        t{i} = ix * {} + iz\n", i + 1));
+    }
+    format!(
+        "\
+program main
+  real :: as(256, 4), ar(256, 4)
+  do iy = 1, 4
+    do ix = 1, 256
+      do iz = 1, 4
+{body}        as(ix, iz) = ix * iz + iy
+      end do
+    end do
+    call mpi_alltoall(as, 256, ar)
+  end do
+end program"
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compuniformer");
+    g.sample_size(20);
+    for extra in [0usize, 8, 32] {
+        let src = source(extra);
+        g.bench_with_input(
+            BenchmarkId::new("parse+transform+unparse", extra),
+            &src,
+            |b, src| {
+                b.iter(|| {
+                    let program = fir::parse(black_box(src)).unwrap();
+                    let out = transform(
+                        &program,
+                        &Options {
+                            tile_size: Some(32),
+                            context: Context::new().with("np", 4),
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    black_box(fir::unparse(&out.program))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_analysis_only(c: &mut Criterion) {
+    let src = source(8);
+    let program = fir::parse(&src).unwrap();
+    let ctx = Context::new().with("np", 4);
+    c.bench_function("depan/tile-safety", |b| {
+        b.iter(|| {
+            let refs = depan::collect_accesses(black_box(&program.main.body), "as");
+            black_box(depan::check_tile_safety(
+                &program.main.body,
+                "as",
+                "ix",
+                &ctx,
+            ));
+            black_box(refs)
+        });
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_analysis_only);
+criterion_main!(benches);

@@ -1,0 +1,357 @@
+//! The reproduction harness: regenerates every figure of the paper plus
+//! the DESIGN.md ablations, printing the same rows/series the paper
+//! reports.
+//!
+//! ```text
+//! cargo run --release -p overlap-bench --bin harness -- <experiment>
+//!
+//! experiments:
+//!   fig1          performance improvement achieved by pre-pushing
+//!   fig2          direct-pattern code before/after (listing)
+//!   fig3          indirect-pattern code before/after (listing)
+//!   fig4          the generated communication loop (listing)
+//!   correctness   §4: transformed output identical to original
+//!   ablation-k    execution time vs tile size K (U-curve)
+//!   scaling       speedup vs rank count
+//!   model-sweep   speedup vs per-byte CPU involvement β
+//!   interchange   node-loop-outermost: interchange vs fallback
+//!   all           everything above, in order
+//! ```
+
+use compuniformer::{transform, Options, UserOracle};
+use depan::Context;
+use interp::run_program;
+use overlap_bench::{figure1, measure, render_fig1, NetworkModel};
+use workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "correctness" => correctness(),
+        "ablation-k" => ablation_k(),
+        "scaling" => scaling(),
+        "model-sweep" => model_sweep(),
+        "interchange" => interchange(),
+        "all" => {
+            fig1();
+            fig2();
+            fig3();
+            fig4();
+            correctness();
+            ablation_k();
+            scaling();
+            model_sweep();
+            interchange();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; see the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn hr(title: &str) {
+    println!("\n==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+/// Figure 1: normalized execution time of {MPICH, MPICH-GM} × {Original,
+/// Prepush}. The paper's figure comes from Danalis et al. [3]; we
+/// regenerate the series on the simulated cluster for the paper's own §4
+/// test-program shape (indirect) and for the canonical all-peers kernel.
+fn fig1() {
+    hr("Figure 1 — performance improvement achieved by \"pre-pushing\"");
+    let np = 8;
+    println!("(np = {np}; bars normalized to the fastest variant; paper shape:");
+    println!(" prepush beats original on both stacks, decisively on MPICH-GM)\n");
+    let w2 = workloads::direct2d::Direct2d::standard(np);
+    println!(
+        "{}",
+        render_fig1(
+            &format!("communication scheme: {} —", w2.name()),
+            &figure1(&w2, np)
+        )
+    );
+    let wi = workloads::indirect::Indirect2d::standard(np);
+    println!(
+        "{}",
+        render_fig1(
+            &format!("communication scheme: {} (the paper's §4 test shape) —", wi.name()),
+            &figure1(&wi, np)
+        )
+    );
+}
+
+/// Figure 2: the abstract direct-pattern code before and after.
+fn fig2() {
+    hr("Figure 2 — direct pattern before/after transformation");
+    let src = "\
+program main
+  real :: as(64), ar(64)
+  do iy = 1, 64
+    do ix = 1, 64
+      as(ix) = ix * iy
+    end do
+    call mpi_alltoall(as, 16, ar)
+  end do
+end program";
+    let program = fir::parse(src).unwrap();
+    let out = transform(
+        &program,
+        &Options {
+            tile_size: Some(8),
+            context: Context::new().with("np", 4),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    println!("--- (a) before ---\n{src}\n");
+    println!("--- (b) after (K = 8) ---\n{}", fir::unparse(&out.program));
+    println!("--- report ---\n{}", out.report.summary());
+}
+
+/// Figure 3: the indirect pattern before/after (copy loop removed).
+fn fig3() {
+    hr("Figure 3 — indirect pattern: removing the redundant copy");
+    let w = workloads::indirect3d::Indirect3d::small(4);
+    let src = w.source();
+    let out = transform(
+        &w.program(),
+        &Options {
+            context: w.context(),
+            oracle: UserOracle::AssumeSafe,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    println!("--- (a) before ---\n{src}");
+    println!("--- (b) after ---\n{}", fir::unparse(&out.program));
+    println!("--- report ---\n{}", out.report.summary());
+}
+
+/// Figure 4: the generated communication loop, isolated.
+fn fig4() {
+    hr("Figure 4 — the generated skewed exchange");
+    let src = "\
+program main
+  real :: as(32, 4), ar(32, 4)
+  do iy = 1, 2
+    do ix = 1, 32
+      do iz = 1, 4
+        as(ix, iz) = ix * iz + iy
+      end do
+    end do
+    call mpi_alltoall(as, 32, ar)
+  end do
+end program";
+    let program = fir::parse(src).unwrap();
+    let out = transform(
+        &program,
+        &Options {
+            tile_size: Some(8),
+            context: Context::new().with("np", 4),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let text = fir::unparse(&out.program);
+    println!("paper's Figure 4:");
+    println!("  do j = 1,NP-1");
+    println!("    to = mod(mynum+j,NP)");
+    println!("    call mpi_isend(As(...,(to-1)*(NP/SZ)),...)");
+    println!("    from = mod(NP+mynum-j,NP)");
+    println!("    call mpi_irecv(Ar(...,(from-1)*(NP/SZ)),...)");
+    println!("  enddo\n");
+    println!("generated (excerpt):");
+    for line in text.lines() {
+        let t = line.trim_start();
+        if t.starts_with("do cc_j")
+            || t.starts_with("cc_to =")
+            || t.starts_with("cc_from =")
+            || t.starts_with("call mpi_isend")
+            || t.starts_with("call mpi_irecv")
+        {
+            println!("  {t}");
+        }
+    }
+}
+
+/// §4: correctness — transformed output identical to original, across
+/// every workload, both models, several rank counts.
+fn correctness() {
+    hr("§4 correctness — transformed output identical to the original");
+    println!(
+        "{:<42} {:>3} {:>10} {:>12} {:>12} {:>8}",
+        "workload", "np", "model", "orig", "prepush", "gain"
+    );
+    for np in [4usize, 8] {
+        let ws: Vec<Box<dyn Workload>> = vec![
+            Box::new(workloads::direct::Direct1d::standard(np)),
+            Box::new(workloads::direct2d::Direct2d::standard(np)),
+            Box::new(workloads::indirect::Indirect2d::standard(np)),
+            Box::new(workloads::indirect3d::Indirect3d::standard(np)),
+            Box::new(workloads::fft::FftTranspose::standard(np)),
+            Box::new(workloads::adi::AdiStencil::standard(np)),
+        ];
+        for w in &ws {
+            for model in [NetworkModel::mpich(), NetworkModel::mpich_gm()] {
+                // `measure` asserts equivalence internally.
+                let m = measure(w.as_ref(), np, &model, None);
+                println!(
+                    "{:<42} {:>3} {:>10} {:>12} {:>12} {:>7.2}x",
+                    m.workload,
+                    np,
+                    m.model,
+                    m.orig.to_string(),
+                    m.prepush.to_string(),
+                    m.speedup()
+                );
+            }
+        }
+    }
+    println!("\nall outputs identical (checked element-for-element per rank) ✓");
+}
+
+/// Ablation: execution time vs tile size K (the U-curve the paper's §2
+/// attributes to the performance-critical parameters of [3]).
+fn ablation_k() {
+    hr("Ablation — execution time vs tile size K (direct-2d, MPICH-GM, np=8)");
+    let np = 8;
+    let w = workloads::direct2d::Direct2d::standard(np);
+    let model = NetworkModel::mpich_gm();
+    let heur = overlap_bench::transform_workload(&w, &model, None)
+        .report
+        .opportunities[0]
+        .tile_size
+        .unwrap();
+    println!("{:>6} {:>12} {:>8}", "K", "prepush", "gain");
+    let base = measure(&w, np, &model, Some(heur)).orig;
+    let mut ks = vec![1i64, 8, 64, 256, 1024, heur, 2048, 4096];
+    ks.sort_unstable();
+    ks.dedup();
+    for k in ks {
+        let m = measure(&w, np, &model, Some(k));
+        println!(
+            "{:>6} {:>12} {:>7.2}x{}",
+            k,
+            m.prepush.to_string(),
+            base.as_ns() as f64 / m.prepush.as_ns() as f64,
+            if k == heur { "   <- heuristic" } else { "" }
+        );
+    }
+}
+
+/// Ablation: speedup vs rank count.
+fn scaling() {
+    hr("Ablation — pre-push speedup vs rank count (direct-2d)");
+    println!(
+        "{:>4} {:>10} {:>10}",
+        "np", "MPICH", "MPICH-GM"
+    );
+    for np in [2usize, 4, 8, 16, 32] {
+        let w = workloads::direct2d::Direct2d::standard(np);
+        let tcp = measure(&w, np, &NetworkModel::mpich(), None);
+        let gm = measure(&w, np, &NetworkModel::mpich_gm(), None);
+        println!(
+            "{:>4} {:>9.2}x {:>9.2}x",
+            np,
+            tcp.speedup(),
+            gm.speedup()
+        );
+    }
+}
+
+/// Ablation: sweep the per-byte CPU involvement β from RDMA-like (0) to
+/// TCP-like (1×) and beyond — the overlap benefit collapses as the host
+/// CPU touches more bytes, which is the paper's whole argument for RDMA
+/// interconnects.
+fn model_sweep() {
+    hr("Ablation — speedup vs per-byte CPU involvement β (direct-2d, np=8)");
+    let np = 8;
+    let w = workloads::direct2d::Direct2d::standard(np);
+    println!(
+        "{:>8} {:>12} {:>12} {:>8} {:>16}",
+        "β-scale", "orig", "prepush", "gain", "exposed-comm cut"
+    );
+    for scale in [0.0, 0.125, 0.25, 0.5, 1.0, 2.0] {
+        let model = NetworkModel::mpich_with_beta_scaled(scale);
+        let m = measure(&w, np, &model, None);
+        println!(
+            "{:>8.3} {:>12} {:>12} {:>7.2}x {:>15.1}x",
+            scale,
+            m.orig.to_string(),
+            m.prepush.to_string(),
+            m.speedup(),
+            m.orig_exposed.as_ns() as f64 / m.prepush_exposed.as_ns().max(1) as f64,
+        );
+    }
+}
+
+/// Ablation: node loop outermost — legal interchange vs the congested
+/// fallback (§3.5).
+fn interchange() {
+    hr("Ablation — node loop outermost: interchange vs per-column fallback");
+    let np = 4;
+    let interchangeable = "\
+program main
+  real :: as(4096, 4), ar(4096, 4)
+  do it = 1, 4
+    do iz = 1, 4
+      do ix = 1, 4096
+        as(ix, iz) = ix * iz + it
+      end do
+    end do
+    call mpi_alltoall(as, 4096, ar)
+  end do
+end program";
+    let blocked = "\
+program main
+  real :: as(4096, 4), ar(4096, 4), c(4100, 8)
+  do it = 1, 4
+    do iz = 1, 4
+      do ix = 1, 4096
+        c(ix, iz + 1) = c(ix + 1, iz) + 1
+        as(ix, iz) = ix * iz + it
+      end do
+    end do
+    call mpi_alltoall(as, 4096, ar)
+  end do
+end program";
+    for (label, src) in [("interchange legal", interchangeable), ("interchange blocked", blocked)] {
+        let program = fir::parse(src).unwrap();
+        let out = transform(
+            &program,
+            &Options {
+                context: Context::new().with("np", np as i64),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let model = NetworkModel::mpich_gm();
+        let base = run_program(&program, np, &model).unwrap();
+        let pre = run_program(&out.program, np, &model).unwrap();
+        for rank in 0..np {
+            assert_eq!(base.outputs[rank], pre.outputs[rank]);
+        }
+        let strategy = out.report.opportunities[0]
+            .strategy
+            .map(|s| s.to_string())
+            .unwrap_or_default();
+        println!(
+            "{label:<22} strategy: {strategy:<34} orig {} -> prepush {} ({:.2}x)",
+            base.report.makespan(),
+            pre.report.makespan(),
+            base.report.makespan().as_ns() as f64 / pre.report.makespan().as_ns() as f64
+        );
+    }
+    println!(
+        "\nthe legal interchange recovers the efficient Fig. 4 exchange; the \
+         blocked case pays §3.5's congestion penalty but stays correct."
+    );
+}

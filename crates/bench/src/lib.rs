@@ -1,0 +1,167 @@
+//! # overlap-bench — experiment harness shared by the `harness` binary and
+//! the criterion benches.
+//!
+//! One experiment = (workload, rank count, network model, variant). The
+//! runner transforms once, executes both variants, checks output
+//! equivalence as a side effect (a benchmark that computes the wrong
+//! answer is worthless), and returns the virtual-time figures the paper's
+//! tables/figures are built from.
+
+use compuniformer::{transform, Options, TransformOutput, UserOracle};
+use interp::run_program;
+use workloads::Workload;
+
+pub use clustersim::NetworkModel;
+pub use clustersim::SimTime;
+
+/// Measured figures for one (workload, model) pair.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub workload: &'static str,
+    pub model: &'static str,
+    pub np: usize,
+    pub tile_size: Option<i64>,
+    pub orig: SimTime,
+    pub prepush: SimTime,
+    pub orig_exposed: SimTime,
+    pub prepush_exposed: SimTime,
+}
+
+impl Measurement {
+    pub fn speedup(&self) -> f64 {
+        self.orig.as_ns() as f64 / self.prepush.as_ns().max(1) as f64
+    }
+}
+
+/// Transform a workload with the model-informed K heuristic.
+pub fn transform_workload(
+    w: &dyn Workload,
+    model: &NetworkModel,
+    tile_size: Option<i64>,
+) -> TransformOutput {
+    let opts = Options {
+        tile_size,
+        context: w.context(),
+        oracle: UserOracle::AssumeSafe,
+        kselect_overhead_ns: Some(model.overhead.as_ns() as f64),
+        kselect_cpu_ns_per_byte: Some(model.cpu_send_ns_per_byte),
+        kselect_wire_ns_per_byte: Some(model.gap_ns_per_byte),
+        ..Default::default()
+    };
+    transform(&w.program(), &opts)
+        .unwrap_or_else(|e| panic!("workload `{}` must transform: {e}", w.name()))
+}
+
+/// Run original + transformed under `model`, verify equivalence, measure.
+pub fn measure(
+    w: &dyn Workload,
+    np: usize,
+    model: &NetworkModel,
+    tile_size: Option<i64>,
+) -> Measurement {
+    let program = w.program();
+    let out = transform_workload(w, model, tile_size);
+
+    let base = run_program(&program, np, model)
+        .unwrap_or_else(|e| panic!("`{}` original failed: {e}", w.name()));
+    let pre = run_program(&out.program, np, model)
+        .unwrap_or_else(|e| panic!("`{}` transformed failed: {e}", w.name()));
+
+    // Equivalence gate (§4): benchmarks must compute identical answers.
+    let excluded = out.report.incomparable_arrays();
+    for rank in 0..np {
+        for name in w.output_arrays() {
+            if excluded.contains(&name.as_str()) {
+                continue;
+            }
+            assert_eq!(
+                base.outputs[rank].arrays.get(&name),
+                pre.outputs[rank].arrays.get(&name),
+                "`{}` rank {rank} array `{name}` differs",
+                w.name()
+            );
+        }
+    }
+
+    Measurement {
+        workload: w.name(),
+        model: model.name,
+        np,
+        tile_size: out.report.opportunities.iter().find_map(|o| o.tile_size),
+        orig: base.report.makespan(),
+        prepush: pre.report.makespan(),
+        orig_exposed: base.report.max_exposed_comm(),
+        prepush_exposed: pre.report.max_exposed_comm(),
+    }
+}
+
+/// The four Figure-1 bars for one workload: {MPICH, MPICH-GM} × {orig,
+/// prepush}, normalized to the best of the four.
+pub struct Fig1Rows {
+    pub rows: Vec<(String, SimTime, f64)>,
+}
+
+/// Regenerate Figure 1 for a workload: normalized execution times.
+pub fn figure1(w: &dyn Workload, np: usize) -> Fig1Rows {
+    let tcp = measure(w, np, &NetworkModel::mpich(), None);
+    let gm = measure(w, np, &NetworkModel::mpich_gm(), None);
+    let best = [tcp.orig, tcp.prepush, gm.orig, gm.prepush]
+        .into_iter()
+        .min()
+        .expect("four bars")
+        .as_ns()
+        .max(1) as f64;
+    let rows = vec![
+        ("MPICH     Original".to_string(), tcp.orig, tcp.orig.as_ns() as f64 / best),
+        ("MPICH     Prepush".to_string(), tcp.prepush, tcp.prepush.as_ns() as f64 / best),
+        ("MPICH-GM  Original".to_string(), gm.orig, gm.orig.as_ns() as f64 / best),
+        ("MPICH-GM  Prepush".to_string(), gm.prepush, gm.prepush.as_ns() as f64 / best),
+    ];
+    Fig1Rows { rows }
+}
+
+/// Render an ASCII bar chart in the style of the paper's Figure 1.
+pub fn render_fig1(title: &str, rows: &Fig1Rows) -> String {
+    let mut s = format!("{title}\n");
+    let maxnorm = rows
+        .rows
+        .iter()
+        .map(|(_, _, n)| *n)
+        .fold(1.0f64, f64::max);
+    for (label, t, norm) in &rows.rows {
+        let width = ((norm / maxnorm) * 50.0).round() as usize;
+        s.push_str(&format!(
+            "  {label:<20} {:>12}  {norm:>5.2}  |{}\n",
+            t.to_string(),
+            "#".repeat(width.max(1))
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_checks_equivalence_and_returns_times() {
+        let w = workloads::direct2d::Direct2d::small(2);
+        let m = measure(&w, 2, &NetworkModel::mpich_gm(), Some(8));
+        assert!(m.orig > SimTime::ZERO);
+        assert!(m.prepush > SimTime::ZERO);
+        assert_eq!(m.np, 2);
+        assert_eq!(m.tile_size, Some(8));
+    }
+
+    #[test]
+    fn figure1_produces_four_normalized_bars() {
+        let w = workloads::direct2d::Direct2d::small(2);
+        let f = figure1(&w, 2);
+        assert_eq!(f.rows.len(), 4);
+        // Normalized values are >= 1 (normalized to the best bar).
+        assert!(f.rows.iter().all(|(_, _, n)| *n >= 1.0));
+        let txt = render_fig1("t", &f);
+        assert!(txt.contains("MPICH-GM"));
+        assert!(txt.contains('#'));
+    }
+}

@@ -1,0 +1,411 @@
+//! The cluster runner: spawns one OS thread per simulated rank and collects
+//! results, statistics, and traces.
+
+use crate::comm::Comm;
+use crate::model::NetworkModel;
+use crate::state::Shared;
+use crate::stats::Report;
+use crate::trace::Trace;
+use std::sync::Arc;
+
+/// Errors surfaced by a simulated run.
+#[derive(Debug)]
+pub enum SimError {
+    /// A rank panicked (simulated deadlock, program bug, interpreter error).
+    RankPanic { rank: usize, message: String },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Results of a completed run.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    pub report: Report,
+    /// Present when the cluster was built with tracing enabled.
+    pub trace: Option<Trace>,
+}
+
+/// A simulated cluster: `np` ranks over one [`NetworkModel`].
+pub struct Cluster {
+    np: usize,
+    model: NetworkModel,
+    traced: bool,
+}
+
+impl Cluster {
+    pub fn new(np: usize, model: NetworkModel) -> Self {
+        assert!(np >= 1, "cluster needs at least one rank");
+        Cluster {
+            np,
+            model,
+            traced: false,
+        }
+    }
+
+    /// Enable event tracing (costs memory; intended for tests/debugging).
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// Run `f` once per rank, each on its own OS thread, and gather
+    /// everything. `f` receives a mutable [`Comm`] endpoint.
+    pub fn run<R, F>(&self, f: F) -> Result<RunOutput<R>, SimError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        let shared = Arc::new(Shared::new(self.np, self.model.clone()));
+        let f = &f;
+        let traced = self.traced;
+
+        let mut slots: Vec<Option<Result<_, SimError>>> =
+            (0..self.np).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.np);
+            for rank in 0..self.np {
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm::new(shared, rank, traced);
+                    let result = f(&mut comm);
+                    let (stats, events) = comm.finish();
+                    (result, stats, events)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                slots[rank] = Some(match h.join() {
+                    Ok(triple) => Ok(triple),
+                    Err(payload) => Err(SimError::RankPanic {
+                        rank,
+                        message: panic_message(payload),
+                    }),
+                });
+            }
+        });
+
+        // Prefer the root-cause error over secondary "aborted: another
+        // rank failed" panics from poisoned peers.
+        if slots.iter().any(|s| matches!(s, Some(Err(_)))) {
+            let mut fallback = None;
+            for slot in slots {
+                if let Some(Err(e)) = slot {
+                    if let SimError::RankPanic { message, .. } = &e {
+                        if !message.contains("aborted: another rank failed") {
+                            return Err(e);
+                        }
+                    }
+                    fallback.get_or_insert(e);
+                }
+            }
+            return Err(fallback.expect("checked an error exists"));
+        }
+
+        let mut results = Vec::with_capacity(self.np);
+        let mut report = Report::default();
+        let mut traces = Vec::with_capacity(self.np);
+        for slot in slots {
+            let (result, stats, events) = slot.expect("every rank joined")?;
+            results.push(result);
+            report.per_rank.push(stats);
+            traces.push(events);
+        }
+        Ok(RunOutput {
+            results,
+            report,
+            trace: traced.then(|| Trace::merged(traces)),
+        })
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use bytes::Bytes;
+
+    #[test]
+    fn single_rank_compute_only() {
+        let cluster = Cluster::new(1, NetworkModel::mpich_gm());
+        let out = cluster
+            .run(|comm| {
+                comm.advance(1000.0);
+                comm.now()
+            })
+            .unwrap();
+        assert_eq!(out.results[0], SimTime(1000));
+        assert_eq!(out.report.per_rank[0].compute, SimTime(1000));
+        assert_eq!(out.report.makespan(), SimTime(1000));
+    }
+
+    #[test]
+    fn ping_message_arrives_with_latency() {
+        let model = NetworkModel::mpich_gm();
+        let l = model.latency;
+        let wire = model.wire(8);
+        let send_cpu = model.send_cpu(8);
+        let cluster = Cluster::new(2, model);
+        let out = cluster
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.isend(1, 7, Bytes::from(vec![42u8; 8]));
+                    comm.wait_all();
+                } else {
+                    let id = comm.irecv(0, 7);
+                    let data = comm.wait_recv(id);
+                    assert_eq!(data.len(), 8);
+                }
+                comm.now()
+            })
+            .unwrap();
+        // Receiver: irecv overhead happens immediately; message ready at
+        // send_cpu + wire + latency (receiver NIC idle). Arrival dominates.
+        let ready = send_cpu + wire + l;
+        let expect = ready.max(NetworkModel::mpich_gm().overhead)
+            + NetworkModel::mpich_gm().recv_cpu(8);
+        assert_eq!(out.results[1], expect);
+        assert!(out.report.per_rank[1].blocked > SimTime::ZERO);
+    }
+
+    #[test]
+    fn overlap_hides_transfer_on_rdma() {
+        // Sender computes 10ms after isend of 1MB; under GM the wire time
+        // (~4ms) hides entirely within compute. Receiver also computes 10ms
+        // before waiting: arrival should already have happened.
+        let model = NetworkModel::mpich_gm();
+        let cluster = Cluster::new(2, model.clone());
+        let out = cluster
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.isend(1, 0, Bytes::from(vec![0u8; 1_000_000]));
+                    comm.advance(10_000_000.0); // 10 ms
+                    comm.wait_all();
+                } else {
+                    let id = comm.irecv(0, 0);
+                    comm.advance(10_000_000.0);
+                    comm.wait_recv(id);
+                }
+                comm.now()
+            })
+            .unwrap();
+        let r1 = &out.report.per_rank[1];
+        // Blocked time ≈ 0: the transfer was fully overlapped.
+        assert!(
+            r1.blocked < SimTime::from_us(300),
+            "blocked = {}",
+            r1.blocked
+        );
+        // And the total is compute-dominated.
+        assert!(r1.finish < SimTime::from_ms(11));
+    }
+
+    #[test]
+    fn no_overlap_under_tcp_per_byte_costs() {
+        // Same pattern under MPICH: β·1MB = 8ms of CPU on each side that
+        // cannot be hidden.
+        let cluster = Cluster::new(2, NetworkModel::mpich());
+        let out = cluster
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.isend(1, 0, Bytes::from(vec![0u8; 1_000_000]));
+                    comm.advance(10_000_000.0);
+                    comm.wait_all();
+                } else {
+                    let id = comm.irecv(0, 0);
+                    comm.advance(10_000_000.0);
+                    comm.wait_recv(id);
+                }
+                comm.now()
+            })
+            .unwrap();
+        // Receiver pays ~8ms of recv CPU on top of 10ms compute.
+        let r1 = &out.report.per_rank[1];
+        assert!(r1.comm_cpu > SimTime::from_ms(7), "comm_cpu = {}", r1.comm_cpu);
+        assert!(r1.finish > SimTime::from_ms(17), "finish = {}", r1.finish);
+    }
+
+    #[test]
+    fn alltoall_exchanges_data_and_synchronizes() {
+        let cluster = Cluster::new(4, NetworkModel::mpich_gm());
+        let out = cluster
+            .run(|comm| {
+                let me = comm.rank() as u8;
+                let payloads: Vec<Bytes> = (0..4)
+                    .map(|dst| Bytes::from(vec![me * 10 + dst as u8; 4]))
+                    .collect();
+                let got = comm.alltoall(payloads);
+                got.iter().map(|b| b[0]).collect::<Vec<u8>>()
+            })
+            .unwrap();
+        // Rank 2 receives from src s the value s*10 + 2.
+        assert_eq!(out.results[2], vec![2, 12, 22, 32]);
+        // All ranks finish at the same time (symmetric collective).
+        let t0 = out.report.per_rank[0].finish;
+        assert!(out.report.per_rank.iter().all(|r| r.finish == t0));
+        assert_eq!(out.report.per_rank[0].alltoalls, 1);
+    }
+
+    #[test]
+    fn alltoall_completion_matches_model_formula() {
+        let model = NetworkModel::mpich();
+        let np = 4;
+        let s = 1000usize;
+        let cluster = Cluster::new(np, model.clone());
+        let out = cluster
+            .run(|comm| {
+                let payloads: Vec<Bytes> =
+                    (0..4).map(|_| Bytes::from(vec![0u8; s])).collect();
+                comm.alltoall(payloads);
+                comm.now()
+            })
+            .unwrap();
+        let per_pair = model.send_cpu(s) + model.recv_cpu(s) + model.wire(s);
+        let expect = SimTime(per_pair.as_ns() * (np as u64 - 1)) + model.latency;
+        assert_eq!(out.results[0], expect);
+    }
+
+    #[test]
+    fn barrier_aligns_ranks() {
+        let cluster = Cluster::new(3, NetworkModel::mpich_gm());
+        let out = cluster
+            .run(|comm| {
+                comm.advance((comm.rank() as f64 + 1.0) * 1000.0);
+                comm.barrier();
+                comm.now()
+            })
+            .unwrap();
+        let expect = SimTime(3000) + NetworkModel::mpich_gm().overhead;
+        assert!(out.results.iter().all(|&t| t == expect));
+        assert_eq!(out.report.per_rank[0].barriers, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let cluster = Cluster::new(4, NetworkModel::mpich());
+            cluster
+                .run(|comm| {
+                    let me = comm.rank();
+                    let np = comm.np();
+                    for j in 1..np {
+                        let to = (me + j) % np;
+                        comm.isend(to, j as i64, Bytes::from(vec![me as u8; 256]));
+                        let from = (np + me - j) % np;
+                        comm.irecv(from, j as i64);
+                    }
+                    comm.advance(50_000.0);
+                    comm.wait_all();
+                    comm.now()
+                })
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        let fa: Vec<_> = a.report.per_rank.iter().map(|r| r.finish).collect();
+        let fb: Vec<_> = b.report.per_rank.iter().map(|r| r.finish).collect();
+        assert_eq!(fa, fb);
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn rank_panic_is_reported() {
+        let cluster = Cluster::new(2, NetworkModel::mpich_gm());
+        let err = cluster
+            .run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("boom at rank 1");
+                }
+                comm.barrier_free_noop();
+            })
+            .unwrap_err();
+        match err {
+            SimError::RankPanic { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("boom"));
+            }
+        }
+    }
+
+    impl Comm {
+        fn barrier_free_noop(&mut self) {}
+    }
+
+    #[test]
+    fn trace_records_send_and_recv() {
+        let cluster = Cluster::new(2, NetworkModel::mpich_gm()).traced();
+        let out = cluster
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.isend(1, 3, Bytes::from(vec![1u8; 16]));
+                    comm.wait_all();
+                } else {
+                    let id = comm.irecv(0, 3);
+                    comm.wait_recv(id);
+                }
+            })
+            .unwrap();
+        let trace = out.trace.unwrap();
+        assert_eq!(
+            trace.count(|e| matches!(e.kind, crate::trace::EventKind::SendPosted { .. })),
+            1
+        );
+        assert_eq!(
+            trace.count(
+                |e| matches!(e.kind, crate::trace::EventKind::RecvMatched { .. })
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn unmatched_recv_at_finish_panics_rank() {
+        let cluster = Cluster::new(2, NetworkModel::mpich_gm());
+        let err = cluster
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.isend(1, 9, Bytes::from(vec![0u8; 4]));
+                    comm.wait_all();
+                } else {
+                    // irecv posted, never waited.
+                    comm.irecv(0, 9);
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::RankPanic { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("unmatched receives"));
+            }
+        }
+    }
+}

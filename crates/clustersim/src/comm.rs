@@ -1,0 +1,334 @@
+//! The per-rank communication endpoint.
+//!
+//! A [`Comm`] owns its rank's virtual clock. Computation advances it via
+//! [`Comm::advance`]; communication calls combine CPU costs (charged to the
+//! clock) with NIC bookings in the shared state. The API mirrors the
+//! simplified MPI surface of the mini language:
+//!
+//! | mini-Fortran        | Comm method        |
+//! |---------------------|--------------------|
+//! | `mpi_isend`         | [`Comm::isend`]    |
+//! | `mpi_irecv`         | [`Comm::irecv`]    |
+//! | `mpi_waitall_recv`  | [`Comm::wait_all_recvs`] |
+//! | `mpi_waitall`       | [`Comm::wait_all`] |
+//! | `mpi_alltoall`      | [`Comm::alltoall`] |
+//! | `mpi_barrier`       | [`Comm::barrier`]  |
+
+use crate::message::{InFlight, MsgKey};
+use crate::model::NetworkModel;
+use crate::state::{CollectiveKind, Shared};
+use crate::stats::RankStats;
+use crate::time::SimTime;
+use crate::trace::{Event, EventKind};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Handle returned by [`Comm::irecv`], redeemed at wait time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecvId(pub usize);
+
+#[derive(Debug, Clone)]
+struct PendingRecv {
+    id: RecvId,
+    key: MsgKey,
+}
+
+/// One rank's endpoint into the simulated cluster.
+pub struct Comm {
+    shared: Arc<Shared>,
+    rank: usize,
+    clock: SimTime,
+    next_recv_id: usize,
+    pending_recvs: Vec<PendingRecv>,
+    /// NIC-done times of sends not yet waited on.
+    outstanding_sends: Vec<SimTime>,
+    collective_idx: u64,
+    stats: RankStats,
+    trace: Option<Vec<Event>>,
+}
+
+impl Comm {
+    pub(crate) fn new(shared: Arc<Shared>, rank: usize, traced: bool) -> Self {
+        Comm {
+            shared,
+            rank,
+            clock: SimTime::ZERO,
+            next_recv_id: 0,
+            pending_recvs: Vec::new(),
+            outstanding_sends: Vec::new(),
+            collective_idx: 0,
+            stats: RankStats {
+                rank,
+                ..Default::default()
+            },
+            trace: traced.then(Vec::new),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn np(&self) -> usize {
+        self.shared.np
+    }
+
+    pub fn model(&self) -> &NetworkModel {
+        &self.shared.model
+    }
+
+    /// Current virtual time at this rank.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        if let Some(tr) = &mut self.trace {
+            tr.push(Event {
+                rank: self.rank,
+                t: self.clock,
+                kind,
+            });
+        }
+    }
+
+    /// Charge `ns` nanoseconds of computation to this rank.
+    pub fn advance(&mut self, ns: f64) {
+        let dt = SimTime::from_ns_f64(ns);
+        self.clock += dt;
+        self.stats.compute += dt;
+        self.emit(EventKind::Compute { ns: dt.as_ns() });
+    }
+
+    /// Non-blocking send. CPU pays `o + β_s·S`; the NIC takes over.
+    ///
+    /// Returns the virtual time at which the NIC finishes reading the
+    /// buffer — after this instant the application may safely overwrite it
+    /// (the interpreter's buffer-reuse detector uses exactly this bound).
+    pub fn isend(&mut self, dst: usize, tag: i64, payload: Bytes) -> SimTime {
+        assert!(dst < self.np(), "isend to rank {dst} of {}", self.np());
+        assert_ne!(dst, self.rank, "isend to self is not modeled; copy locally");
+        let n = payload.len();
+        let cpu = self.shared.model.send_cpu(n);
+        self.clock += cpu;
+        self.stats.comm_cpu += cpu;
+
+        let (_depart, nic_done) = self.shared.book_send_nic(self.rank, self.clock, n);
+        let ready_at = nic_done + self.shared.model.latency;
+        self.outstanding_sends.push(nic_done);
+        self.stats.bytes_sent += n as u64;
+        self.stats.msgs_sent += 1;
+        self.emit(EventKind::SendPosted {
+            dst,
+            tag,
+            nbytes: n,
+            nic_done,
+            ready_at,
+        });
+        self.shared.deposit(
+            MsgKey {
+                src: self.rank,
+                dst,
+                tag,
+            },
+            InFlight { ready_at, payload },
+        );
+        nic_done
+    }
+
+    /// Post a non-blocking receive; costs one overhead `o` now.
+    pub fn irecv(&mut self, src: usize, tag: i64) -> RecvId {
+        assert!(src < self.np(), "irecv from rank {src} of {}", self.np());
+        let id = RecvId(self.next_recv_id);
+        self.next_recv_id += 1;
+        self.clock += self.shared.model.overhead;
+        self.stats.comm_cpu += self.shared.model.overhead;
+        self.pending_recvs.push(PendingRecv {
+            id,
+            key: MsgKey {
+                src,
+                dst: self.rank,
+                tag,
+            },
+        });
+        self.emit(EventKind::RecvPosted { src, tag });
+        id
+    }
+
+    /// Block until the message for `id` arrives; returns its payload.
+    pub fn wait_recv(&mut self, id: RecvId) -> Bytes {
+        let pos = self
+            .pending_recvs
+            .iter()
+            .position(|p| p.id == id)
+            .expect("wait_recv on unknown or already-completed RecvId");
+        let pending = self.pending_recvs.remove(pos);
+        let (arrival, payload) = self.shared.match_one(pending.key);
+        self.absorb_arrival(arrival, pending.key, &payload);
+        payload
+    }
+
+    /// Wait for *all* posted receives; returns (id, payload) in post order.
+    ///
+    /// This is `mpi_waitall_recv` — the call the transformation inserts at
+    /// the top of each tile to drain the previous tile's receives (paper
+    /// §3.6 step 2).
+    pub fn wait_all_recvs(&mut self) -> Vec<(RecvId, Bytes)> {
+        if self.pending_recvs.is_empty() {
+            return Vec::new();
+        }
+        let pendings = std::mem::take(&mut self.pending_recvs);
+        let keys: Vec<MsgKey> = pendings.iter().map(|p| p.key).collect();
+        let matched = self.shared.match_all(self.rank, &keys);
+        let mut out = Vec::with_capacity(pendings.len());
+        for (p, (arrival, payload)) in pendings.into_iter().zip(matched) {
+            self.absorb_arrival(arrival, p.key, &payload);
+            out.push((p.id, payload));
+        }
+        out
+    }
+
+    fn absorb_arrival(&mut self, arrival: SimTime, key: MsgKey, payload: &Bytes) {
+        let n = payload.len();
+        if arrival > self.clock {
+            self.stats.blocked += arrival - self.clock;
+            self.clock = arrival;
+        }
+        let cpu = self.shared.model.recv_cpu(n);
+        self.clock += cpu;
+        self.stats.comm_cpu += cpu;
+        self.stats.bytes_recv += n as u64;
+        self.stats.msgs_recv += 1;
+        self.emit(EventKind::RecvMatched {
+            src: key.src,
+            tag: key.tag,
+            nbytes: n,
+            arrival,
+        });
+    }
+
+    /// Wait for all outstanding sends (NIC drained — buffers reusable) and
+    /// all posted receives. This is `mpi_waitall`.
+    pub fn wait_all(&mut self) -> Vec<(RecvId, Bytes)> {
+        let out = self.wait_all_recvs();
+        let drained = self
+            .outstanding_sends
+            .drain(..)
+            .fold(SimTime::ZERO, SimTime::max);
+        if drained > self.clock {
+            self.stats.blocked += drained - self.clock;
+            self.clock = drained;
+        }
+        self.emit(EventKind::SendsDrained { until: drained });
+        out
+    }
+
+    /// Blocking all-to-all exchange: `payload_per_dst[d]` goes to rank `d`
+    /// (the self-slot is copied through without network cost). Returns one
+    /// payload per source rank. All ranks must call in matching order.
+    pub fn alltoall(&mut self, payload_per_dst: Vec<Bytes>) -> Vec<Bytes> {
+        assert_eq!(
+            payload_per_dst.len(),
+            self.np(),
+            "alltoall needs one payload per rank"
+        );
+        let bytes_per = payload_per_dst
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.rank)
+            .map(|(_, b)| b.len())
+            .max()
+            .unwrap_or(0);
+        let entry = self.clock;
+        let idx = self.collective_idx;
+        self.collective_idx += 1;
+        let (completion, payloads) = self.shared.collective(
+            CollectiveKind::Alltoall,
+            idx,
+            self.rank,
+            entry,
+            payload_per_dst,
+        );
+        // Attribute the collective's cost: the CPU part of this rank's own
+        // pairwise exchanges is comm_cpu; the rest of the jump is blocked.
+        let np = self.np() as u64;
+        let per_pair =
+            self.shared.model.send_cpu(bytes_per) + self.shared.model.recv_cpu(bytes_per);
+        let cpu_part = SimTime(per_pair.as_ns() * (np - 1));
+        let total_jump = completion.saturating_sub(entry);
+        let cpu_part = SimTime(cpu_part.as_ns().min(total_jump.as_ns()));
+        self.stats.comm_cpu += cpu_part;
+        self.stats.blocked += total_jump - cpu_part;
+        self.clock = completion.max(self.clock);
+        self.stats.alltoalls += 1;
+        let traffic = bytes_per as u64 * (np - 1);
+        self.stats.bytes_sent += traffic;
+        self.stats.bytes_recv += traffic;
+        self.stats.msgs_sent += np - 1;
+        self.stats.msgs_recv += np - 1;
+        self.emit(EventKind::Alltoall {
+            bytes_per_partner: bytes_per,
+            completion,
+        });
+        payloads
+    }
+
+    /// Barrier: all ranks synchronize to the latest entry time (+`o`).
+    pub fn barrier(&mut self) {
+        let entry = self.clock;
+        let idx = self.collective_idx;
+        self.collective_idx += 1;
+        let (completion, _) = self.shared.collective(
+            CollectiveKind::Barrier,
+            idx,
+            self.rank,
+            entry,
+            Vec::new(),
+        );
+        self.stats.blocked += completion.saturating_sub(self.clock);
+        self.clock = completion.max(self.clock);
+        self.stats.barriers += 1;
+        self.emit(EventKind::Barrier { completion });
+    }
+
+    /// Number of receives posted but not yet waited on.
+    pub fn pending_recv_count(&self) -> usize {
+        self.pending_recvs.len()
+    }
+
+    /// Number of sends not yet drained by `wait_all`.
+    pub fn outstanding_send_count(&self) -> usize {
+        self.outstanding_sends.len()
+    }
+
+    pub(crate) fn finish(&mut self) -> (RankStats, Vec<Event>) {
+        assert!(
+            self.pending_recvs.is_empty(),
+            "rank {} finished with {} unmatched receives",
+            self.rank,
+            self.pending_recvs.len()
+        );
+        self.stats.finish = self.clock;
+        (
+            std::mem::take(&mut self.stats),
+            self.trace.take().unwrap_or_default(),
+        )
+    }
+
+    /// Read-only view of the running stats (tests).
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+}
+
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // A rank unwinding mid-communication leaves peers blocked on
+        // messages or collectives that will never come; poison the cluster
+        // so they abort immediately instead of hitting the deadlock
+        // timeout.
+        if std::thread::panicking() {
+            self.shared.poison();
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! In-flight message representation.
+
+use crate::time::SimTime;
+use bytes::Bytes;
+
+/// Mailbox key: messages match on exact (src, dst, tag), FIFO within a key
+/// (MPI's non-overtaking rule for identical envelopes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgKey {
+    pub src: usize,
+    pub dst: usize,
+    pub tag: i64,
+}
+
+/// A message that has left the sender's NIC.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// Time the last byte clears the wire at the receiver side, *before*
+    /// receiver-NIC serialization.
+    pub ready_at: SimTime,
+    pub payload: Bytes,
+}
+
+impl InFlight {
+    pub fn nbytes(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_equality_is_exact() {
+        let a = MsgKey { src: 0, dst: 1, tag: 7 };
+        let b = MsgKey { src: 0, dst: 1, tag: 7 };
+        let c = MsgKey { src: 0, dst: 1, tag: 8 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn inflight_size() {
+        let m = InFlight {
+            ready_at: SimTime(10),
+            payload: Bytes::from(vec![0u8; 24]),
+        };
+        assert_eq!(m.nbytes(), 24);
+    }
+}

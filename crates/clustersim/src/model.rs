@@ -1,0 +1,160 @@
+//! Network performance models: LogGP extended with per-byte **CPU
+//! involvement** (β), the knob that separates a TCP stack (MPICH over
+//! Ethernet) from an RDMA-capable interconnect (MPICH-GM over Myrinet).
+//!
+//! Per message of `S` bytes:
+//!
+//! - the sender's CPU pays `o + β_s·S` (protocol + copy into the stack);
+//! - the sender's NIC is busy for `S·G` (G = 1/bandwidth) and the wire adds
+//!   latency `L`;
+//! - the receiver's NIC serializes incoming messages at `S·G`;
+//! - the receiver's CPU pays `o + β_r·S` when it *waits* for the message.
+//!
+//! With β ≈ 0 the NIC does all per-byte work and transfers overlap with
+//! computation — the paper's "network co-processor … freeing the CPU to
+//! perform useful computations". With β large, every byte consumes host CPU
+//! that no restructuring can hide, which is why Figure 1's pre-push bar
+//! improves only modestly under plain MPICH.
+//!
+//! The preset constants are order-of-magnitude values for 2005-era hardware
+//! (Fast/Gigabit Ethernet vs Myrinet 2000); DESIGN.md §2 records why only
+//! the *shape* of results depends on them.
+
+use crate::time::SimTime;
+
+/// A network + MPI-stack performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    pub name: &'static str,
+    /// Wire latency `L` added after the NIC finishes pushing the message.
+    pub latency: SimTime,
+    /// NIC gap per byte, `G = 1/bandwidth`, in ns/byte.
+    pub gap_ns_per_byte: f64,
+    /// Fixed per-call CPU overhead `o` (send or receive posting).
+    pub overhead: SimTime,
+    /// Sender CPU cost per byte (copies, checksums, protocol) in ns/byte.
+    pub cpu_send_ns_per_byte: f64,
+    /// Receiver CPU cost per byte, paid at wait time, in ns/byte.
+    pub cpu_recv_ns_per_byte: f64,
+}
+
+impl NetworkModel {
+    /// MPICH over 100 Mbit-class Ethernet/TCP: high latency, low bandwidth,
+    /// and — crucially — the host CPU touches every byte (β ≈ 8 ns/B ≈ one
+    /// memcpy + stack traversal at ~125 MB/s aggregate).
+    pub fn mpich() -> Self {
+        NetworkModel {
+            name: "MPICH",
+            latency: SimTime::from_us(55),
+            gap_ns_per_byte: 10.0, // ~100 MB/s
+            overhead: SimTime::from_us(10),
+            cpu_send_ns_per_byte: 8.0,
+            cpu_recv_ns_per_byte: 8.0,
+        }
+    }
+
+    /// MPICH-GM over Myrinet 2000: low latency, ~245 MB/s, and RDMA — the
+    /// NIC progresses transfers with almost no host involvement.
+    pub fn mpich_gm() -> Self {
+        NetworkModel {
+            name: "MPICH-GM",
+            latency: SimTime::from_us(7),
+            gap_ns_per_byte: 4.0, // ~250 MB/s
+            overhead: SimTime::from_us(1),
+            cpu_send_ns_per_byte: 0.05,
+            cpu_recv_ns_per_byte: 0.05,
+        }
+    }
+
+    /// An idealized zero-copy RDMA fabric (for ablations): the upper bound
+    /// on what pre-pushing can deliver.
+    pub fn rdma_ideal() -> Self {
+        NetworkModel {
+            name: "RDMA-ideal",
+            latency: SimTime::from_us(2),
+            gap_ns_per_byte: 1.0, // ~1 GB/s
+            overhead: SimTime::from_ns(300),
+            cpu_send_ns_per_byte: 0.0,
+            cpu_recv_ns_per_byte: 0.0,
+        }
+    }
+
+    /// `mpich()` with the per-byte CPU involvement scaled by `factor` —
+    /// the model-sweep ablation interpolates between TCP-like and RDMA-like
+    /// stacks with everything else held fixed.
+    pub fn mpich_with_beta_scaled(factor: f64) -> Self {
+        let mut m = Self::mpich();
+        m.name = "MPICH-beta-sweep";
+        m.cpu_send_ns_per_byte *= factor;
+        m.cpu_recv_ns_per_byte *= factor;
+        m
+    }
+
+    /// Sender CPU time for an `nbytes` message.
+    pub fn send_cpu(&self, nbytes: usize) -> SimTime {
+        self.overhead + SimTime::from_ns_f64(self.cpu_send_ns_per_byte * nbytes as f64)
+    }
+
+    /// Receiver CPU time for an `nbytes` message (paid at wait).
+    pub fn recv_cpu(&self, nbytes: usize) -> SimTime {
+        self.overhead + SimTime::from_ns_f64(self.cpu_recv_ns_per_byte * nbytes as f64)
+    }
+
+    /// NIC occupancy for an `nbytes` message.
+    pub fn wire(&self, nbytes: usize) -> SimTime {
+        SimTime::from_ns_f64(self.gap_ns_per_byte * nbytes as f64)
+    }
+
+    /// End-to-end unloaded transfer time of one message.
+    pub fn unloaded_transfer(&self, nbytes: usize) -> SimTime {
+        self.wire(nbytes) + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let tcp = NetworkModel::mpich();
+        let gm = NetworkModel::mpich_gm();
+        let rdma = NetworkModel::rdma_ideal();
+        assert!(tcp.latency > gm.latency);
+        assert!(gm.latency > rdma.latency);
+        assert!(tcp.gap_ns_per_byte > gm.gap_ns_per_byte);
+        assert!(tcp.cpu_send_ns_per_byte > 10.0 * gm.cpu_send_ns_per_byte);
+        assert_eq!(rdma.cpu_send_ns_per_byte, 0.0);
+    }
+
+    #[test]
+    fn cost_helpers() {
+        let m = NetworkModel::mpich();
+        // 1 MB: send CPU = 10us + 8 ns/B * 1e6 = 10us + 8ms.
+        let s = m.send_cpu(1_000_000);
+        assert_eq!(s.as_ns(), 10_000 + 8_000_000);
+        // Wire time: 10 ns/B * 1e6 = 10 ms.
+        assert_eq!(m.wire(1_000_000).as_ns(), 10_000_000);
+        assert_eq!(
+            m.unloaded_transfer(1000).as_ns(),
+            10_000 + 55_000
+        );
+    }
+
+    #[test]
+    fn gm_send_cpu_nearly_free() {
+        let m = NetworkModel::mpich_gm();
+        // 1 MB costs ~1us + 50us of CPU — tiny next to the 4ms wire time.
+        assert!(m.send_cpu(1_000_000) < SimTime::from_us(60));
+        assert!(m.wire(1_000_000) > SimTime::from_ms(3));
+    }
+
+    #[test]
+    fn beta_sweep_scales_only_cpu() {
+        let m0 = NetworkModel::mpich_with_beta_scaled(0.0);
+        assert_eq!(m0.cpu_send_ns_per_byte, 0.0);
+        assert_eq!(m0.gap_ns_per_byte, NetworkModel::mpich().gap_ns_per_byte);
+        let m2 = NetworkModel::mpich_with_beta_scaled(2.0);
+        assert_eq!(m2.cpu_recv_ns_per_byte, 16.0);
+    }
+}

@@ -1,0 +1,523 @@
+//! Shared cluster state: mailboxes, NIC timelines, and collective slots.
+//!
+//! Determinism argument (DESIGN.md §2): every timestamp is a pure function
+//! of per-rank program order —
+//!
+//! - `send_nic_free[r]` is only read/written under the lock by rank `r`'s
+//!   own `isend`s, which occur in `r`'s program order;
+//! - `recv_nic_free[r]` is only touched when rank `r` *matches* messages,
+//!   which happens in `r`'s program order, and multi-message waits sort by
+//!   `(ready_at, src)` before serializing;
+//! - collectives synchronize on a per-call-index slot, so their inputs are
+//!   a complete, order-independent set.
+//!
+//! Wall-clock thread scheduling therefore never changes any virtual time.
+
+use crate::message::{InFlight, MsgKey};
+use crate::model::NetworkModel;
+use crate::time::SimTime;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Wall-clock guard against deadlocked simulated programs (mismatched
+/// send/recv, missing collective participation). Generous: simulations are
+/// CPU-bound and finish in milliseconds.
+pub(crate) const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Which collective a slot belongs to — calling different collectives at
+/// the same call index is a program error we detect instead of deadlocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CollectiveKind {
+    Alltoall,
+    Barrier,
+}
+
+/// One rank's contribution to / share of a collective: its entry (or
+/// completion) time and one payload per partner rank.
+pub(crate) type RankShare = Option<(SimTime, Vec<Bytes>)>;
+
+pub(crate) struct CollectiveSlot {
+    pub kind: CollectiveKind,
+    /// Per-rank contribution: (entry clock, payload-per-destination).
+    pub inputs: Vec<RankShare>,
+    pub arrived: usize,
+    /// Filled by the last arriver.
+    pub outputs: Option<Vec<RankShare>>,
+    pub taken: usize,
+}
+
+pub(crate) struct Inner {
+    pub mailboxes: HashMap<MsgKey, VecDeque<InFlight>>,
+    pub send_nic_free: Vec<SimTime>,
+    pub recv_nic_free: Vec<SimTime>,
+    /// Keyed by per-rank collective call index (all ranks must agree).
+    pub collectives: HashMap<u64, CollectiveSlot>,
+}
+
+pub(crate) struct Shared {
+    pub model: NetworkModel,
+    pub np: usize,
+    pub inner: Mutex<Inner>,
+    pub cond: Condvar,
+    /// Set when any rank panics, so peers blocked in waits fail fast
+    /// instead of riding out the deadlock timeout.
+    poisoned: AtomicBool,
+}
+
+impl Shared {
+    pub fn new(np: usize, model: NetworkModel) -> Self {
+        Shared {
+            model,
+            np,
+            inner: Mutex::new(Inner {
+                mailboxes: HashMap::new(),
+                send_nic_free: vec![SimTime::ZERO; np],
+                recv_nic_free: vec![SimTime::ZERO; np],
+                collectives: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Mark the cluster failed (called while a rank unwinds) and wake
+    /// every waiter so it can abort.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.cond.notify_all();
+    }
+
+    fn check_poisoned(&self) {
+        if self.poisoned.load(Ordering::SeqCst) {
+            panic!("aborted: another rank failed");
+        }
+    }
+
+    /// Deposit a message already timed by the sender.
+    pub fn deposit(&self, key: MsgKey, msg: InFlight) {
+        let mut inner = self.inner.lock();
+        inner.mailboxes.entry(key).or_default().push_back(msg);
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Sender-side NIC booking: returns (depart, nic_done) and advances the
+    /// sender NIC timeline. `cpu_done` is the sender clock after CPU costs.
+    pub fn book_send_nic(&self, rank: usize, cpu_done: SimTime, nbytes: usize) -> (SimTime, SimTime) {
+        let mut inner = self.inner.lock();
+        let depart = inner.send_nic_free[rank].max(cpu_done);
+        let done = depart + self.model.wire(nbytes);
+        inner.send_nic_free[rank] = done;
+        (depart, done)
+    }
+
+    /// Block until a message for `key` exists, pop it, and serialize it
+    /// through the receiver NIC. Returns (arrival, payload).
+    pub fn match_one(&self, key: MsgKey) -> (SimTime, Bytes) {
+        let mut inner = self.inner.lock();
+        loop {
+            self.check_poisoned();
+            if let Some(q) = inner.mailboxes.get_mut(&key) {
+                if let Some(msg) = q.pop_front() {
+                    let arrival = self.serialize_at_receiver(&mut inner, key.dst, &msg);
+                    return (arrival, msg.payload);
+                }
+            }
+            if self
+                .cond
+                .wait_for(&mut inner, DEADLOCK_TIMEOUT)
+                .timed_out()
+            {
+                panic!(
+                    "simulated deadlock: rank {} waited {:?} for a message from rank {} tag {} that never arrived",
+                    key.dst, DEADLOCK_TIMEOUT, key.src, key.tag
+                );
+            }
+        }
+    }
+
+    /// Block until *all* keys have a message, then match them in
+    /// deterministic `(ready_at, src, tag)` order through the receiver NIC.
+    /// Returns arrivals/payloads in the order of `keys`.
+    pub fn match_all(&self, dst: usize, keys: &[MsgKey]) -> Vec<(SimTime, Bytes)> {
+        let mut inner = self.inner.lock();
+        loop {
+            self.check_poisoned();
+            let mut have = 0usize;
+            let mut counts: HashMap<MsgKey, usize> = HashMap::new();
+            for k in keys {
+                debug_assert_eq!(k.dst, dst);
+                let need = counts.entry(*k).or_insert(0);
+                *need += 1;
+                let avail = inner.mailboxes.get(k).map_or(0, VecDeque::len);
+                if avail >= *need {
+                    have += 1;
+                }
+            }
+            if have == keys.len() {
+                break;
+            }
+            if self
+                .cond
+                .wait_for(&mut inner, DEADLOCK_TIMEOUT)
+                .timed_out()
+            {
+                panic!(
+                    "simulated deadlock: rank {dst} waited {:?} for {} posted receives",
+                    DEADLOCK_TIMEOUT,
+                    keys.len()
+                );
+            }
+        }
+
+        // Pop in posted order, remembering each message's queue position.
+        let mut popped: Vec<(usize, MsgKey, InFlight)> = Vec::with_capacity(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            let q = inner.mailboxes.get_mut(k).expect("checked above");
+            let msg = q.pop_front().expect("checked above");
+            popped.push((i, *k, msg));
+        }
+        // Serialize through the receiver NIC in (ready_at, src, tag) order.
+        let mut order: Vec<usize> = (0..popped.len()).collect();
+        order.sort_by_key(|&j| {
+            let (_, k, ref m) = popped[j];
+            (m.ready_at, k.src, k.tag)
+        });
+        let mut arrivals = vec![SimTime::ZERO; popped.len()];
+        for &j in &order {
+            let (_, _, ref m) = popped[j];
+            let arrival = self.serialize_at_receiver(&mut inner, dst, m);
+            arrivals[j] = arrival;
+        }
+        drop(inner);
+
+        let mut out: Vec<(SimTime, Bytes)> = Vec::with_capacity(keys.len());
+        let mut popped = popped;
+        popped.sort_by_key(|(i, _, _)| *i);
+        for ((_, _, m), arr) in popped.into_iter().zip(arrivals) {
+            out.push((arr, m.payload));
+        }
+        out
+    }
+
+    /// Receiver NIC serialization: a message *finishes* arriving no earlier
+    /// than `ready_at`, and no earlier than one wire-time after the
+    /// previous arrival finished (back-to-back messages from one sender hit
+    /// exactly this bound, so single streams pay the wire only once).
+    fn serialize_at_receiver(&self, inner: &mut Inner, dst: usize, msg: &InFlight) -> SimTime {
+        let drain = inner.recv_nic_free[dst] + self.model.wire(msg.nbytes());
+        let arrival = msg.ready_at.max(drain);
+        inner.recv_nic_free[dst] = arrival;
+        arrival
+    }
+
+    /// Collective rendezvous. `call_idx` is the rank's collective sequence
+    /// number; `entry` its clock at the call; `payload_per_dst` one payload
+    /// per destination rank (empty vec for barriers).
+    ///
+    /// Returns `(completion, payload_per_src)`.
+    pub fn collective(
+        &self,
+        kind: CollectiveKind,
+        call_idx: u64,
+        rank: usize,
+        entry: SimTime,
+        payload_per_dst: Vec<Bytes>,
+    ) -> (SimTime, Vec<Bytes>) {
+        let np = self.np;
+        let mut inner = self.inner.lock();
+        let arrived_all = {
+            let slot = inner
+                .collectives
+                .entry(call_idx)
+                .or_insert_with(|| CollectiveSlot {
+                    kind,
+                    inputs: vec![None; np],
+                    arrived: 0,
+                    outputs: None,
+                    taken: 0,
+                });
+            assert_eq!(
+                slot.kind, kind,
+                "collective mismatch at call {call_idx}: rank {rank} called {kind:?}, others {:?}",
+                slot.kind
+            );
+            assert!(
+                slot.inputs[rank].is_none(),
+                "rank {rank} joined collective {call_idx} twice"
+            );
+            slot.inputs[rank] = Some((entry, payload_per_dst));
+            slot.arrived += 1;
+            slot.arrived == np
+        };
+
+        if arrived_all {
+            let completion = {
+                let slot = inner.collectives.get_mut(&call_idx).expect("slot exists");
+                compute_collective(&self.model, np, kind, slot)
+            };
+            if kind == CollectiveKind::Alltoall {
+                // The exchange occupies every NIC until completion.
+                for r in 0..np {
+                    inner.send_nic_free[r] = inner.send_nic_free[r].max(completion);
+                    inner.recv_nic_free[r] = inner.recv_nic_free[r].max(completion);
+                }
+            }
+            self.cond.notify_all();
+        }
+
+        // Wait for outputs.
+        loop {
+            self.check_poisoned();
+            {
+                let slot = inner.collectives.get_mut(&call_idx).expect("slot exists");
+                if let Some(outputs) = &mut slot.outputs {
+                    let (completion, payloads) = outputs[rank]
+                        .take()
+                        .expect("each rank takes its output once");
+                    slot.taken += 1;
+                    if slot.taken == np {
+                        inner.collectives.remove(&call_idx);
+                    }
+                    return (completion, payloads);
+                }
+            }
+            if self
+                .cond
+                .wait_for(&mut inner, DEADLOCK_TIMEOUT)
+                .timed_out()
+            {
+                panic!(
+                    "simulated deadlock: rank {rank} waited {:?} in collective {call_idx} ({kind:?})",
+                    DEADLOCK_TIMEOUT
+                );
+            }
+        }
+    }
+}
+
+/// Last arriver computes completion time and redistributes payloads.
+///
+/// Timing (see `model.rs` docs): all ranks synchronize at
+/// `start = max(entryᵢ)`; each rank then performs `NP-1` paired
+/// send+receive exchanges, fully serialized on its CPU *and* NIC (a
+/// blocking alltoall exposes every cost — this is exactly the baseline the
+/// pre-push transformation beats), plus one wire latency:
+///
+/// ```text
+/// completion = start + (NP-1)·(send_cpu(S) + recv_cpu(S) + wire(S)) + L
+/// ```
+fn compute_collective(
+    model: &NetworkModel,
+    np: usize,
+    kind: CollectiveKind,
+    slot: &mut CollectiveSlot,
+) -> SimTime {
+    let start = slot
+        .inputs
+        .iter()
+        .map(|i| i.as_ref().expect("all arrived").0)
+        .fold(SimTime::ZERO, SimTime::max);
+
+    let completion = match kind {
+        CollectiveKind::Barrier => start + model.overhead,
+        CollectiveKind::Alltoall => {
+            // Per-partner payload size (uniform by MPI_ALLTOALL semantics;
+            // use the max for robustness).
+            let s = slot
+                .inputs
+                .iter()
+                .flat_map(|i| i.as_ref().expect("all arrived").1.iter())
+                .map(Bytes::len)
+                .max()
+                .unwrap_or(0);
+            let pairs = (np - 1) as u64;
+            let per_pair = model.send_cpu(s) + model.recv_cpu(s) + model.wire(s);
+            start + SimTime(per_pair.as_ns() * pairs) + model.latency
+        }
+    };
+
+    // Redistribute: output[rank][src] = input[src][rank].
+    let mut outputs: Vec<RankShare> = Vec::with_capacity(np);
+    for rank in 0..np {
+        let payloads: Vec<Bytes> = match kind {
+            CollectiveKind::Barrier => Vec::new(),
+            CollectiveKind::Alltoall => (0..np)
+                .map(|src| {
+                    slot.inputs[src]
+                        .as_ref()
+                        .expect("all arrived")
+                        .1
+                        .get(rank)
+                        .cloned()
+                        .unwrap_or_default()
+                })
+                .collect(),
+        };
+        outputs.push(Some((completion, payloads)));
+    }
+    slot.outputs = Some(outputs);
+    completion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared(np: usize) -> Shared {
+        Shared::new(np, NetworkModel::mpich_gm())
+    }
+
+    #[test]
+    fn deposit_and_match_one() {
+        let s = shared(2);
+        let key = MsgKey { src: 0, dst: 1, tag: 5 };
+        s.deposit(
+            key,
+            InFlight {
+                ready_at: SimTime(1000),
+                payload: Bytes::from(vec![1, 2, 3]),
+            },
+        );
+        let (arrival, payload) = s.match_one(key);
+        // wire(3B) ≈ 12ns under GM; arrival = max(1000, 0 + 12) = 1000.
+        assert_eq!(arrival, SimTime(1000));
+        assert_eq!(payload.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn receiver_nic_serializes_incast() {
+        let s = shared(3);
+        let n = 1000usize; // wire = 4000ns under GM
+        for src in [0usize, 1] {
+            s.deposit(
+                MsgKey { src, dst: 2, tag: 1 },
+                InFlight {
+                    ready_at: SimTime(10_000),
+                    payload: Bytes::from(vec![0u8; n]),
+                },
+            );
+        }
+        let out = s.match_all(
+            2,
+            &[
+                MsgKey { src: 0, dst: 2, tag: 1 },
+                MsgKey { src: 1, dst: 2, tag: 1 },
+            ],
+        );
+        // First (by src tiebreak) arrives at max(10_000, 0+4000)=10_000;
+        // second at max(10_000, 10_000+4000)=14_000.
+        assert_eq!(out[0].0, SimTime(10_000));
+        assert_eq!(out[1].0, SimTime(14_000));
+    }
+
+    #[test]
+    fn back_to_back_single_stream_not_double_charged() {
+        let s = shared(2);
+        let n = 1000usize; // wire 4000ns
+        // Sender NIC spaced these at 4000ns already.
+        for (i, ready) in [(0u8, 14_000u64), (1, 18_000)] {
+            s.deposit(
+                MsgKey { src: 0, dst: 1, tag: i as i64 },
+                InFlight {
+                    ready_at: SimTime(ready),
+                    payload: Bytes::from(vec![i; n]),
+                },
+            );
+        }
+        let (a1, _) = s.match_one(MsgKey { src: 0, dst: 1, tag: 0 });
+        let (a2, _) = s.match_one(MsgKey { src: 0, dst: 1, tag: 1 });
+        assert_eq!(a1, SimTime(14_000));
+        assert_eq!(a2, SimTime(18_000)); // no extra receiver penalty
+    }
+
+    #[test]
+    fn fifo_within_key() {
+        let s = shared(2);
+        let key = MsgKey { src: 0, dst: 1, tag: 0 };
+        for v in [10u8, 20] {
+            s.deposit(
+                key,
+                InFlight {
+                    ready_at: SimTime(v as u64),
+                    payload: Bytes::from(vec![v]),
+                },
+            );
+        }
+        assert_eq!(s.match_one(key).1.as_ref(), &[10]);
+        assert_eq!(s.match_one(key).1.as_ref(), &[20]);
+    }
+
+    #[test]
+    fn book_send_nic_serializes() {
+        let s = shared(2);
+        let (d1, f1) = s.book_send_nic(0, SimTime(100), 1000);
+        assert_eq!(d1, SimTime(100));
+        assert_eq!(f1, SimTime(4100));
+        // Second send posted earlier in CPU time still queues behind.
+        let (d2, f2) = s.book_send_nic(0, SimTime(50), 500);
+        assert_eq!(d2, SimTime(4100));
+        assert_eq!(f2, SimTime(6100));
+    }
+
+    #[test]
+    fn collective_barrier_synchronizes_clocks() {
+        let s = std::sync::Arc::new(shared(3));
+        let entries = [SimTime(100), SimTime(5000), SimTime(300)];
+        let mut handles = Vec::new();
+        for (r, e) in entries.into_iter().enumerate() {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                s.collective(CollectiveKind::Barrier, 0, r, e, Vec::new())
+                    .0
+            }));
+        }
+        let done: Vec<SimTime> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let expect = SimTime(5000) + NetworkModel::mpich_gm().overhead;
+        assert!(done.iter().all(|&t| t == expect));
+    }
+
+    #[test]
+    fn collective_alltoall_redistributes() {
+        let s = std::sync::Arc::new(shared(2));
+        let mk = |r: usize| -> Vec<Bytes> {
+            vec![
+                Bytes::from(vec![(10 * r) as u8]),
+                Bytes::from(vec![(10 * r + 1) as u8]),
+            ]
+        };
+        let mut handles = Vec::new();
+        for r in 0..2 {
+            let s = s.clone();
+            let payload = mk(r);
+            handles.push(std::thread::spawn(move || {
+                s.collective(CollectiveKind::Alltoall, 0, r, SimTime(0), payload)
+                    .1
+            }));
+        }
+        let outs: Vec<Vec<Bytes>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // rank 0 receives input[src][0]: [0], [10]
+        assert_eq!(outs[0][0].as_ref(), &[0]);
+        assert_eq!(outs[0][1].as_ref(), &[10]);
+        // rank 1 receives input[src][1]: [1], [11]
+        assert_eq!(outs[1][0].as_ref(), &[1]);
+        assert_eq!(outs[1][1].as_ref(), &[11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "collective mismatch")]
+    fn collective_kind_mismatch_detected() {
+        let s = std::sync::Arc::new(shared(2));
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || {
+            s2.collective(CollectiveKind::Alltoall, 0, 1, SimTime(0), vec![Bytes::new(); 2])
+        });
+        // Give the other thread time to register the slot, then mismatch.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let _ = s.collective(CollectiveKind::Barrier, 0, 0, SimTime(0), Vec::new());
+        let _ = h.join();
+    }
+}

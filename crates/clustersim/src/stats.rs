@@ -1,0 +1,133 @@
+//! Per-rank and whole-run statistics: where virtual time went.
+//!
+//! The split into `compute / comm_cpu / blocked` is exactly the paper's
+//! story: pre-pushing converts *blocked* time (waiting for a blocking
+//! alltoall) into overlap, but cannot remove *comm_cpu* time (per-byte host
+//! costs) — which is why the win is large on MPICH-GM and modest on MPICH.
+
+use crate::time::SimTime;
+
+/// Where one rank's virtual time went.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RankStats {
+    pub rank: usize,
+    /// Final virtual clock (the rank's finish time).
+    pub finish: SimTime,
+    /// Time spent in application computation (`Comm::advance`).
+    pub compute: SimTime,
+    /// CPU time inside communication calls (overheads + per-byte costs).
+    pub comm_cpu: SimTime,
+    /// Time the clock jumped forward waiting for data/synchronization.
+    pub blocked: SimTime,
+    pub bytes_sent: u64,
+    pub bytes_recv: u64,
+    pub msgs_sent: u64,
+    pub msgs_recv: u64,
+    pub alltoalls: u64,
+    pub barriers: u64,
+}
+
+impl RankStats {
+    /// Communication cost visible on the critical path of this rank.
+    pub fn exposed_comm(&self) -> SimTime {
+        self.comm_cpu + self.blocked
+    }
+
+    /// Fraction of the rank's time spent computing (0..=1).
+    pub fn compute_fraction(&self) -> f64 {
+        if self.finish == SimTime::ZERO {
+            return 0.0;
+        }
+        self.compute.as_ns() as f64 / self.finish.as_ns() as f64
+    }
+}
+
+/// Aggregated run report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub per_rank: Vec<RankStats>,
+}
+
+impl Report {
+    /// Wall time of the simulated run: the slowest rank's finish.
+    pub fn makespan(&self) -> SimTime {
+        self.per_rank
+            .iter()
+            .map(|r| r.finish)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    pub fn total_msgs_sent(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.msgs_sent).sum()
+    }
+
+    /// Maximum exposed communication across ranks (the overlap headline:
+    /// pre-pushing should drive this toward zero on RDMA models).
+    pub fn max_exposed_comm(&self) -> SimTime {
+        self.per_rank
+            .iter()
+            .map(RankStats::exposed_comm)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Mean compute fraction across ranks.
+    pub fn mean_compute_fraction(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.per_rank
+            .iter()
+            .map(RankStats::compute_fraction)
+            .sum::<f64>()
+            / self.per_rank.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(finish: u64, compute: u64, comm: u64, blocked: u64) -> RankStats {
+        RankStats {
+            finish: SimTime(finish),
+            compute: SimTime(compute),
+            comm_cpu: SimTime(comm),
+            blocked: SimTime(blocked),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn exposed_comm_sums_cpu_and_blocked() {
+        let r = rs(100, 50, 20, 30);
+        assert_eq!(r.exposed_comm(), SimTime(50));
+        assert!((r.compute_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = Report {
+            per_rank: vec![rs(100, 80, 10, 10), rs(140, 80, 20, 40)],
+        };
+        assert_eq!(report.makespan(), SimTime(140));
+        assert_eq!(report.max_exposed_comm(), SimTime(60));
+        let f = report.mean_compute_fraction();
+        assert!((f - (0.8 + 80.0 / 140.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = Report::default();
+        assert_eq!(r.makespan(), SimTime::ZERO);
+        assert_eq!(r.mean_compute_fraction(), 0.0);
+    }
+
+    #[test]
+    fn zero_finish_compute_fraction() {
+        assert_eq!(rs(0, 0, 0, 0).compute_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Optional event traces for debugging and for tests that assert *how*
+//! time was spent (e.g. "the pre-push variant's sends were posted while
+//! computation was still running").
+
+use crate::time::SimTime;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// `advance` by this many nanoseconds.
+    Compute { ns: u64 },
+    SendPosted {
+        dst: usize,
+        tag: i64,
+        nbytes: usize,
+        nic_done: SimTime,
+        ready_at: SimTime,
+    },
+    RecvPosted { src: usize, tag: i64 },
+    RecvMatched {
+        src: usize,
+        tag: i64,
+        nbytes: usize,
+        arrival: SimTime,
+    },
+    SendsDrained { until: SimTime },
+    Alltoall {
+        bytes_per_partner: usize,
+        completion: SimTime,
+    },
+    Barrier { completion: SimTime },
+}
+
+/// One traced event: `t` is the rank's clock *after* the operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub rank: usize,
+    pub t: SimTime,
+    pub kind: EventKind,
+}
+
+/// A full-run trace, merged across ranks in time order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    pub fn merged(mut per_rank: Vec<Vec<Event>>) -> Trace {
+        let mut events: Vec<Event> = per_rank.drain(..).flatten().collect();
+        events.sort_by_key(|e| (e.t, e.rank));
+        Trace { events }
+    }
+
+    pub fn for_rank(&self, rank: usize) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.rank == rank)
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sorts_by_time_then_rank() {
+        let t = Trace::merged(vec![
+            vec![Event {
+                rank: 1,
+                t: SimTime(10),
+                kind: EventKind::Compute { ns: 10 },
+            }],
+            vec![
+                Event {
+                    rank: 0,
+                    t: SimTime(10),
+                    kind: EventKind::Compute { ns: 10 },
+                },
+                Event {
+                    rank: 0,
+                    t: SimTime(5),
+                    kind: EventKind::Compute { ns: 5 },
+                },
+            ],
+        ]);
+        assert_eq!(t.events[0].t, SimTime(5));
+        assert_eq!(t.events[1].rank, 0);
+        assert_eq!(t.events[2].rank, 1);
+        assert_eq!(t.for_rank(0).count(), 2);
+        assert_eq!(t.count(|e| matches!(e.kind, EventKind::Compute { .. })), 3);
+    }
+}

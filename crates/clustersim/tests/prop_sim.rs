@@ -1,0 +1,160 @@
+//! Simulator properties over randomized communication patterns:
+//!
+//! - **determinism**: identical runs produce identical virtual times;
+//! - **clock monotonicity**: every rank's trace is non-decreasing in time;
+//! - **causality**: a message is never matched before its send completes
+//!   plus wire latency;
+//! - **payload integrity**: bytes arrive exactly as sent.
+
+use clustersim::{Bytes, Cluster, EventKind, NetworkModel, SimTime};
+use proptest::prelude::*;
+
+/// A randomized but deadlock-free pattern: `rounds` of ring exchanges with
+/// varying sizes and compute gaps, then one alltoall, on `np` ranks.
+#[derive(Debug, Clone)]
+struct Pattern {
+    np: usize,
+    rounds: usize,
+    sizes: Vec<usize>,
+    gaps: Vec<u64>,
+}
+
+fn pattern() -> impl Strategy<Value = Pattern> {
+    (
+        2usize..6,
+        1usize..5,
+        prop::collection::vec(1usize..2000, 1..6),
+        prop::collection::vec(0u64..100_000, 1..6),
+    )
+        .prop_map(|(np, rounds, sizes, gaps)| Pattern {
+            np,
+            rounds,
+            sizes,
+            gaps,
+        })
+}
+
+fn run(p: &Pattern, traced: bool) -> clustersim::RunOutput<SimTime> {
+    let mut cluster = Cluster::new(p.np, NetworkModel::mpich_gm());
+    if traced {
+        cluster = cluster.traced();
+    }
+    let p = p.clone();
+    cluster
+        .run(move |comm| {
+            let me = comm.rank();
+            let np = comm.np();
+            for r in 0..p.rounds {
+                let size = p.sizes[r % p.sizes.len()];
+                let gap = p.gaps[r % p.gaps.len()];
+                let to = (me + 1) % np;
+                let from = (np + me - 1) % np;
+                let payload: Vec<u8> =
+                    (0..size).map(|i| (me + r + i) as u8).collect();
+                comm.isend(to, r as i64, Bytes::from(payload));
+                let id = comm.irecv(from, r as i64);
+                comm.advance(gap as f64);
+                let got = comm.wait_recv(id);
+                // Payload integrity.
+                assert_eq!(got.len(), size);
+                for (i, b) in got.iter().enumerate() {
+                    assert_eq!(*b, (from + r + i) as u8, "corrupted byte");
+                }
+            }
+            comm.wait_all();
+            let payloads: Vec<Bytes> = (0..np)
+                .map(|d| Bytes::from(vec![(me * np + d) as u8; 16]))
+                .collect();
+            let got = comm.alltoall(payloads);
+            for (s, b) in got.iter().enumerate() {
+                assert_eq!(b[0], (s * np + me) as u8);
+            }
+            comm.now()
+        })
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn deterministic_under_thread_scheduling(p in pattern()) {
+        let a = run(&p, false);
+        let b = run(&p, false);
+        prop_assert_eq!(&a.results, &b.results);
+        let fa: Vec<_> = a.report.per_rank.iter().map(|r| r.finish).collect();
+        let fb: Vec<_> = b.report.per_rank.iter().map(|r| r.finish).collect();
+        prop_assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn per_rank_clocks_are_monotone(p in pattern()) {
+        let out = run(&p, true);
+        let trace = out.trace.expect("traced");
+        for rank in 0..p.np {
+            let mut last = SimTime::ZERO;
+            for e in trace.for_rank(rank) {
+                prop_assert!(
+                    e.t >= last,
+                    "rank {} time went backwards: {} after {}",
+                    rank,
+                    e.t,
+                    last
+                );
+                last = e.t;
+            }
+        }
+    }
+
+    #[test]
+    fn messages_respect_latency(p in pattern()) {
+        let out = run(&p, true);
+        let trace = out.trace.expect("traced");
+        let l = NetworkModel::mpich_gm().latency;
+        // Every matched receive arrives no earlier than *some* matching
+        // send's ready time; with FIFO tags per round, pair them exactly.
+        for e in &trace.events {
+            if let EventKind::RecvMatched { src, tag, arrival, .. } = e.kind {
+                // Find the matching send (same round/tag from src to e.rank).
+                let send_ready = trace
+                    .events
+                    .iter()
+                    .find_map(|s| match s.kind {
+                        EventKind::SendPosted { dst, tag: t, ready_at, .. }
+                            if s.rank == src && dst == e.rank && t == tag =>
+                        {
+                            Some(ready_at)
+                        }
+                        _ => None,
+                    })
+                    .expect("send exists for every matched recv");
+                prop_assert!(
+                    arrival >= send_ready,
+                    "arrival {} before ready {}",
+                    arrival,
+                    send_ready
+                );
+                prop_assert!(send_ready >= l, "ready time below one latency");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_all_time(p in pattern()) {
+        let out = run(&p, false);
+        for r in &out.report.per_rank {
+            let accounted = r.compute + r.comm_cpu + r.blocked;
+            // Everything the clock advanced must be attributed to one of
+            // the three buckets (exact: the simulator only moves clocks
+            // through advance/comm paths).
+            prop_assert_eq!(
+                accounted,
+                r.finish,
+                "rank {} books {} of {}",
+                r.rank,
+                accounted,
+                r.finish
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The Compuniformer as a command-line tool: read a mini-Fortran file,
+//! transform it, print the result (and the semi-automatic report to
+//! stderr).
+//!
+//! ```text
+//! compuniformer [options] <input.f90>
+//!
+//! options:
+//!   -k <K>            fixed tile size (default: heuristic)
+//!   -D <name>=<int>   bind a symbol in the analysis context (repeatable);
+//!                     e.g. -D np=8 -D nx=4096
+//!   --assume-safe     answer every user query "yes" (semi-automatic mode
+//!                     after the user has inspected the code)
+//!   --opaque <proc>   treat <proc> as source-unavailable (repeatable)
+//!   --report-only     print only the report, not the transformed source
+//! ```
+//!
+//! Exit codes: 0 transformed, 1 nothing applied, 2 usage/parse error.
+
+use compuniformer::{transform, Options, TransformError, UserOracle};
+use depan::Context;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut args = std::env::args().skip(1);
+    let mut input: Option<String> = None;
+    let mut opts = Options::default();
+    let mut context = Context::new();
+    let mut report_only = false;
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-k" => match args.next().and_then(|v| v.parse::<i64>().ok()) {
+                Some(k) if k >= 1 => opts.tile_size = Some(k),
+                _ => return usage("-k needs a positive integer"),
+            },
+            "-D" => {
+                let Some(binding) = args.next() else {
+                    return usage("-D needs name=value");
+                };
+                let Some((name, value)) = binding.split_once('=') else {
+                    return usage("-D needs name=value");
+                };
+                let Ok(v) = value.parse::<i64>() else {
+                    return usage("-D value must be an integer");
+                };
+                context.set(name, v);
+            }
+            "--assume-safe" => opts.oracle = UserOracle::AssumeSafe,
+            "--opaque" => match args.next() {
+                Some(p) => opts.opaque_procedures.push(p),
+                None => return usage("--opaque needs a procedure name"),
+            },
+            "--report-only" => report_only = true,
+            "-h" | "--help" => return usage(""),
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string());
+            }
+            other => return usage(&format!("unknown option `{other}`")),
+        }
+    }
+    opts.context = context;
+
+    let Some(path) = input else {
+        return usage("missing input file");
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            return 2;
+        }
+    };
+
+    let program = match fir::parse_validated(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: `{path}` does not parse/validate:\n{}", e.render(&src));
+            return 2;
+        }
+    };
+
+    match transform(&program, &opts) {
+        Ok(out) => {
+            eprintln!("{}", out.report.summary().trim_end());
+            if !report_only {
+                print!("{}", fir::unparse(&out.program));
+            }
+            0
+        }
+        Err(TransformError::Invalid(e)) => {
+            eprintln!("error: validation failed:\n{e}");
+            2
+        }
+        Err(e @ TransformError::NothingApplied(_)) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn usage(err: &str) -> i32 {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: compuniformer [-k K] [-D name=int]... [--assume-safe] \
+         [--opaque proc]... [--report-only] <input.f90>"
+    );
+    2
+}

@@ -1,0 +1,629 @@
+//! Communication code generation (paper §3.5, Fig. 4) and fresh-name
+//! management for the inserted scalars and loop variables.
+
+use fir::ast::{Expr, SecDim, Stmt};
+use fir::builder as b;
+use std::collections::HashSet;
+
+/// Allocates identifiers that cannot collide with any name already used in
+/// the program. Generated names carry a `cc_` prefix ("communication-
+/// computation"), with numeric suffixes on collision.
+pub struct NameGen {
+    taken: HashSet<String>,
+    /// Names handed out, in order — the transformation declares these as
+    /// integer scalars.
+    pub issued: Vec<String>,
+}
+
+impl NameGen {
+    pub fn new(program: &fir::ast::Program) -> Self {
+        let mut taken = HashSet::new();
+        for p in program.all_procedures() {
+            taken.insert(p.name.clone());
+            for d in &p.decls {
+                taken.insert(d.name.clone());
+            }
+            for q in &p.params {
+                taken.insert(q.name.clone());
+            }
+            collect_names(&p.body, &mut taken);
+        }
+        NameGen {
+            taken,
+            issued: Vec::new(),
+        }
+    }
+
+    /// Fresh name based on `hint` (e.g. `fresh("to")` → `cc_to`).
+    pub fn fresh(&mut self, hint: &str) -> String {
+        let base = format!("cc_{hint}");
+        let mut name = base.clone();
+        let mut n = 1;
+        while self.taken.contains(&name) {
+            name = format!("{base}{n}");
+            n += 1;
+        }
+        self.taken.insert(name.clone());
+        self.issued.push(name.clone());
+        name
+    }
+
+    /// Declarations for every issued name (all integer scalars).
+    pub fn decls(&self) -> Vec<fir::ast::Decl> {
+        self.issued.iter().map(|n| b::decl_int(n)).collect()
+    }
+}
+
+fn collect_names(stmts: &[Stmt], out: &mut HashSet<String>) {
+    struct V<'a>(&'a mut HashSet<String>);
+    impl fir::visit::Visitor for V<'_> {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            match s {
+                Stmt::Assign { target, .. } => {
+                    self.0.insert(target.name.clone());
+                }
+                Stmt::Do { var, .. } => {
+                    self.0.insert(var.clone());
+                }
+                Stmt::Call { name, .. } => {
+                    self.0.insert(name.clone());
+                }
+                _ => {}
+            }
+            fir::visit::walk_stmt(self, s);
+        }
+        fn visit_expr(&mut self, e: &Expr) {
+            match e {
+                Expr::Var(n, _) => {
+                    self.0.insert(n.clone());
+                }
+                Expr::ArrayRef { name, .. } | Expr::Call { name, .. } => {
+                    self.0.insert(name.clone());
+                }
+                _ => {}
+            }
+            fir::visit::walk_expr(self, e);
+        }
+    }
+    fir::visit::walk_stmts(&mut V(out), stmts);
+}
+
+/// Names used by the generated exchange code for one opportunity.
+pub struct ExchangeNames {
+    pub j: String,
+    pub to: String,
+    pub from: String,
+    pub copy_i: String,
+}
+
+impl ExchangeNames {
+    pub fn fresh(gen: &mut NameGen) -> Self {
+        ExchangeNames {
+            j: gen.fresh("j"),
+            to: gen.fresh("to"),
+            from: gen.fresh("from"),
+            copy_i: gen.fresh("i"),
+        }
+    }
+}
+
+/// The Figure-4 skewed all-peers exchange for a rank-2 send array
+/// `as(d1, node)` whose tile finalized `as(lo:hi, :)`:
+///
+/// ```text
+/// do j = 1, np - 1
+///   to = mod(mynum + j, np)
+///   call mpi_isend(as(lo:hi, to + send_node_base), len, to, tag)
+///   from = mod(np + mynum - j, np)
+///   call mpi_irecv(ar(lo:hi, from + recv_node_base), len, from, tag)
+/// end do
+/// ```
+///
+/// `send_node_base` / `recv_node_base` are the declared lower bounds of the
+/// node dimension (peer `p` owns node index `base + p`).
+#[allow(clippy::too_many_arguments)]
+pub fn fig4_all_peers(
+    names: &ExchangeNames,
+    send_array: &str,
+    recv_array: &str,
+    d1_lo: Expr,
+    d1_hi: Expr,
+    len: Expr,
+    send_node_base: Expr,
+    recv_node_base: Expr,
+    tag: i64,
+) -> Stmt {
+    let to = b::var(&names.to);
+    let from = b::var(&names.from);
+    let body = vec![
+        b::sassign(
+            &names.to,
+            b::modulo(b::add(b::var("mynum"), b::var(&names.j)), b::var("np")),
+        ),
+        b::call(
+            "mpi_isend",
+            vec![
+                b::section(
+                    send_array,
+                    vec![
+                        b::range(d1_lo.clone(), d1_hi.clone()),
+                        b::at(b::add(to.clone(), send_node_base)),
+                    ],
+                ),
+                b::arg(len.clone()),
+                b::arg(to),
+                b::arg(b::int(tag)),
+            ],
+        ),
+        b::sassign(
+            &names.from,
+            b::modulo(
+                b::sub(b::add(b::var("np"), b::var("mynum")), b::var(&names.j)),
+                b::var("np"),
+            ),
+        ),
+        b::call(
+            "mpi_irecv",
+            vec![
+                b::section(
+                    recv_array,
+                    vec![
+                        b::range(d1_lo, d1_hi),
+                        b::at(b::add(from.clone(), recv_node_base)),
+                    ],
+                ),
+                b::arg(len),
+                b::arg(from),
+                b::arg(b::int(tag)),
+            ],
+        ),
+    ];
+    b::do_loop(&names.j, b::int(1), b::sub(b::var("np"), b::int(1)), body)
+}
+
+/// Self-partition copy for the all-peers strategy:
+/// `do i = lo, hi: ar(i, mynum + recv_base) = as(i, mynum + send_base)`.
+pub fn self_copy_rank2(
+    names: &ExchangeNames,
+    send_array: &str,
+    recv_array: &str,
+    d1_lo: Expr,
+    d1_hi: Expr,
+    send_node_base: Expr,
+    recv_node_base: Expr,
+) -> Stmt {
+    let i = b::var(&names.copy_i);
+    b::do_loop(
+        &names.copy_i,
+        d1_lo,
+        d1_hi,
+        vec![b::assign(
+            recv_array,
+            vec![i.clone(), b::add(b::var("mynum"), recv_node_base)],
+            b::aref(
+                send_array,
+                vec![i, b::add(b::var("mynum"), send_node_base)],
+            ),
+        )],
+    )
+}
+
+/// Names for the owner (subset-send) strategy's temporaries.
+pub struct OwnerNames {
+    pub a: String,
+    pub bb: String,
+    pub len: String,
+    pub to: String,
+    pub off: String,
+    pub j: String,
+    pub from: String,
+    pub copy_i: String,
+}
+
+impl OwnerNames {
+    pub fn fresh(gen: &mut NameGen) -> Self {
+        OwnerNames {
+            a: gen.fresh("a"),
+            bb: gen.fresh("b"),
+            len: gen.fresh("len"),
+            to: gen.fresh("to"),
+            off: gen.fresh("off"),
+            j: gen.fresh("j"),
+            from: gen.fresh("from"),
+            copy_i: gen.fresh("i"),
+        }
+    }
+}
+
+/// The owner (subset-send) exchange for a rank-1 send array, used when the
+/// node loop is the tiled loop itself and interchange is impossible (paper
+/// §3.5: "all of the nodes send to a subset of the nodes during each
+/// tile"). The tile finalized `as(f_lo:f_hi)`; the partition owner receives
+/// everyone's block slice:
+///
+/// ```text
+/// a = f_lo; b = f_hi; len = b - a + 1
+/// to = (a - send_base) / sz          ! 0-based owning rank
+/// off = a - send_base - to * sz      ! 0-based offset within the block
+/// if (to == mynum) then
+///   do j = 1, np - 1
+///     from = mod(np + mynum - j, np)
+///     call mpi_irecv(ar(from * sz + off + recv_base : … + len - 1), len, from, tag)
+///   end do
+///   do i = a, b
+///     ar(i - send_base + recv_base) = as(i)
+///   end do
+/// else
+///   call mpi_isend(as(a:b), len, to, tag)
+/// end if
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn owner_subset_exchange(
+    names: &OwnerNames,
+    send_array: &str,
+    recv_array: &str,
+    f_lo: Expr,
+    f_hi: Expr,
+    sz: Expr,
+    send_base: Expr,
+    recv_base: Expr,
+    tag: i64,
+) -> Vec<Stmt> {
+    let a = b::var(&names.a);
+    let bb = b::var(&names.bb);
+    let len = b::var(&names.len);
+    let to = b::var(&names.to);
+    let off = b::var(&names.off);
+    let from = b::var(&names.from);
+    let i = b::var(&names.copy_i);
+
+    let recv_start = b::add(
+        b::add(b::mul(from.clone(), sz.clone()), off.clone()),
+        recv_base.clone(),
+    );
+    let recv_end = b::sub(b::add(recv_start.clone(), len.clone()), b::int(1));
+
+    vec![
+        b::sassign(&names.a, f_lo),
+        b::sassign(&names.bb, f_hi),
+        b::sassign(&names.len, b::add(b::sub(bb.clone(), a.clone()), b::int(1))),
+        b::sassign(
+            &names.to,
+            b::div(b::sub(a.clone(), send_base.clone()), sz.clone()),
+        ),
+        b::sassign(
+            &names.off,
+            b::sub(
+                b::sub(a.clone(), send_base.clone()),
+                b::mul(to.clone(), sz),
+            ),
+        ),
+        b::if_then_else(
+            b::eq(to.clone(), b::var("mynum")),
+            vec![
+                b::do_loop(
+                    &names.j,
+                    b::int(1),
+                    b::sub(b::var("np"), b::int(1)),
+                    vec![
+                        b::sassign(
+                            &names.from,
+                            b::modulo(
+                                b::sub(
+                                    b::add(b::var("np"), b::var("mynum")),
+                                    b::var(&names.j),
+                                ),
+                                b::var("np"),
+                            ),
+                        ),
+                        b::call(
+                            "mpi_irecv",
+                            vec![
+                                b::section(
+                                    recv_array,
+                                    vec![b::range(recv_start, recv_end)],
+                                ),
+                                b::arg(len.clone()),
+                                b::arg(from),
+                                b::arg(b::int(tag)),
+                            ],
+                        ),
+                    ],
+                ),
+                b::do_loop(
+                    &names.copy_i,
+                    a.clone(),
+                    bb,
+                    vec![b::assign(
+                        recv_array,
+                        vec![b::add(b::sub(i.clone(), send_base), recv_base)],
+                        b::aref(send_array, vec![i]),
+                    )],
+                ),
+            ],
+            vec![b::call(
+                "mpi_isend",
+                vec![
+                    b::section(send_array, vec![b::range(a, b::var(&names.bb))]),
+                    b::arg(len),
+                    b::arg(to),
+                    b::arg(b::int(tag)),
+                ],
+            )],
+        ),
+    ]
+}
+
+/// `call mpi_waitall_recv()` — §3.6 step 2.
+pub fn wait_prev_recvs() -> Stmt {
+    b::call("mpi_waitall_recv", vec![])
+}
+
+/// `call mpi_waitall()` — §3.6 step 4 (plus send drain).
+pub fn wait_all() -> Stmt {
+    b::call("mpi_waitall", vec![])
+}
+
+/// Build the tiled loop structure: the original loop `do v = lo, hi` is
+/// split into `do vt = lo, hi, k` with an inner `do v = vt, min(vt+k-1, hi)`
+/// around `body`, followed by `per_tile` statements (wait/comm/self-copy).
+#[allow(clippy::too_many_arguments)]
+pub fn tiled_loop(
+    tile_var: &str,
+    orig_var: &str,
+    lo: Expr,
+    hi: Expr,
+    k: i64,
+    body: Vec<Stmt>,
+    per_tile: Vec<Stmt>,
+) -> Stmt {
+    let vt = b::var(tile_var);
+    let inner_hi = b::call_fn(
+        "min",
+        vec![b::sub(b::add(vt.clone(), b::int(k)), b::int(1)), hi.clone()],
+    );
+    let inner = b::do_loop(orig_var, vt, inner_hi, body);
+    let mut tile_body = vec![inner];
+    tile_body.extend(per_tile);
+    b::do_loop_step(tile_var, lo, hi, b::int(k), tile_body)
+}
+
+/// Tile bound expressions matching [`tiled_loop`]'s inner loop: the tile
+/// covers `[vt, min(vt + k - 1, hi)]`.
+pub fn tile_bounds(tile_var: &str, hi: &Expr, k: i64) -> (Expr, Expr) {
+    let vt = b::var(tile_var);
+    let end = b::call_fn(
+        "min",
+        vec![
+            b::sub(b::add(vt.clone(), b::int(k)), b::int(1)),
+            hi.clone(),
+        ],
+    );
+    (vt, end)
+}
+
+/// Rewrite every reference to array `from` into `to` inside `stmts`
+/// (targets, reads, sections) — used to re-point the deleted copy loop at
+/// `Ar` for the indirect pattern's self-copy.
+pub fn rename_array(stmts: &mut [Stmt], from: &str, to: &str) {
+    struct R<'a> {
+        from: &'a str,
+        to: &'a str,
+    }
+    impl fir::visit::Mutator for R<'_> {
+        fn mutate_stmt(&mut self, s: &mut Stmt) {
+            match s {
+                Stmt::Assign { target, .. } if target.name == self.from => {
+                    target.name = self.to.to_string();
+                }
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        if let fir::ast::Arg::Section(sec) = a {
+                            if sec.name == self.from {
+                                sec.name = self.to.to_string();
+                            }
+                        }
+                        if let fir::ast::Arg::Expr(Expr::Var(n, _)) = a {
+                            if n == self.from {
+                                *n = self.to.to_string();
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            fir::visit::walk_stmt_mut(self, s);
+        }
+        fn mutate_expr(&mut self, e: &mut Expr) {
+            if let Expr::ArrayRef { name, .. } = e {
+                if name == self.from {
+                    *name = self.to.to_string();
+                }
+            }
+            fir::visit::walk_expr_mut(self, e);
+        }
+    }
+    fir::visit::walk_stmts_mut(&mut R { from, to }, stmts);
+}
+
+/// Replace, in `stmts`, array references `name(i)` (rank 1) with
+/// `name(i, slot)` — the indirect pattern's buffer expansion (§3.4).
+pub fn add_slot_dimension(stmts: &mut [Stmt], name: &str, slot: &Expr) {
+    struct A<'a> {
+        name: &'a str,
+        slot: &'a Expr,
+    }
+    impl fir::visit::Mutator for A<'_> {
+        fn mutate_stmt(&mut self, s: &mut Stmt) {
+            match s {
+                Stmt::Assign { target, .. }
+                    if target.name == self.name && target.indices.len() == 1 =>
+                {
+                    target.indices.push(self.slot.clone());
+                }
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        match a {
+                            fir::ast::Arg::Expr(Expr::Var(n, sp)) if n == self.name => {
+                                // Whole-array pass becomes a full-column
+                                // section at the slot.
+                                *a = fir::ast::Arg::Section(fir::ast::Section {
+                                    name: self.name.to_string(),
+                                    dims: vec![
+                                        SecDim::Range(None, None),
+                                        SecDim::Index(self.slot.clone()),
+                                    ],
+                                    span: *sp,
+                                });
+                            }
+                            fir::ast::Arg::Section(sec)
+                                if sec.name == self.name && sec.dims.len() == 1 =>
+                            {
+                                sec.dims.push(SecDim::Index(self.slot.clone()));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+            fir::visit::walk_stmt_mut(self, s);
+        }
+        fn mutate_expr(&mut self, e: &mut Expr) {
+            if let Expr::ArrayRef { name, indices, .. } = e {
+                if name == self.name && indices.len() == 1 {
+                    indices.push(self.slot.clone());
+                }
+            }
+            fir::visit::walk_expr_mut(self, e);
+        }
+    }
+    fir::visit::walk_stmts_mut(&mut A { name, slot }, stmts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::{parse_stmts, unparse_stmt, unparse_stmts};
+
+    fn gen() -> NameGen {
+        let p = fir::parse("program m\n  integer :: cc_to\nend program").unwrap();
+        NameGen::new(&p)
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        let mut g = gen();
+        assert_eq!(g.fresh("to"), "cc_to1"); // cc_to is declared
+        assert_eq!(g.fresh("to"), "cc_to2");
+        assert_eq!(g.fresh("j"), "cc_j");
+        assert_eq!(g.decls().len(), 3);
+    }
+
+    #[test]
+    fn namegen_sees_body_identifiers() {
+        let p = fir::parse(
+            "program m\n  real :: a(4)\n  do cc_j = 1, 4\n    a(cc_j) = cc_x + 1\n  end do\nend program",
+        )
+        .unwrap();
+        let mut g = NameGen::new(&p);
+        assert_eq!(g.fresh("j"), "cc_j1");
+        assert_eq!(g.fresh("x"), "cc_x1");
+    }
+
+    #[test]
+    fn fig4_matches_paper_shape() {
+        let p = fir::parse("program m\nend program").unwrap();
+        let mut g = NameGen::new(&p);
+        let names = ExchangeNames::fresh(&mut g);
+        use fir::builder as b;
+        let s = fig4_all_peers(
+            &names,
+            "as",
+            "ar",
+            b::var("t0"),
+            b::var("t1"),
+            b::var("len"),
+            b::int(1),
+            b::int(1),
+            7,
+        );
+        let printed = unparse_stmt(&s);
+        assert!(printed.contains("do cc_j = 1, np - 1"));
+        assert!(printed.contains("cc_to = mod(mynum + cc_j, np)"));
+        assert!(printed.contains("call mpi_isend(as(t0:t1, cc_to + 1), len, cc_to, 7)"));
+        assert!(printed.contains("cc_from = mod(np + mynum - cc_j, np)"));
+        assert!(printed.contains("call mpi_irecv(ar(t0:t1, cc_from + 1), len, cc_from, 7)"));
+        // And it reparses.
+        assert!(parse_stmts(&printed).is_ok());
+    }
+
+    #[test]
+    fn owner_exchange_reparses_and_names_owner() {
+        let mut g = gen();
+        let names = OwnerNames::fresh(&mut g);
+        use fir::builder as b;
+        let stmts = owner_subset_exchange(
+            &names,
+            "as",
+            "ar",
+            b::var("t0"),
+            b::var("t1"),
+            b::int(16),
+            b::int(1),
+            b::int(1),
+            3,
+        );
+        let printed = unparse_stmts(&stmts);
+        assert!(printed.contains("cc_to1 = (cc_a - 1) / 16"));
+        assert!(printed.contains("if (cc_to1 == mynum) then"));
+        assert!(printed.contains("call mpi_isend(as(cc_a:cc_b), cc_len, cc_to1, 3)"));
+        assert!(parse_stmts(&printed).is_ok());
+    }
+
+    #[test]
+    fn tiled_loop_shape() {
+        let body = parse_stmts("as(ix) = ix").unwrap();
+        let s = tiled_loop(
+            "cc_t",
+            "ix",
+            fir::builder::int(1),
+            fir::builder::var("nx"),
+            8,
+            body,
+            vec![wait_prev_recvs()],
+        );
+        let printed = unparse_stmt(&s);
+        assert!(printed.contains("do cc_t = 1, nx, 8"));
+        assert!(printed.contains("do ix = cc_t, min(cc_t + 8 - 1, nx)"));
+        assert!(printed.contains("call mpi_waitall_recv()"));
+    }
+
+    #[test]
+    fn rename_array_hits_targets_reads_and_sections() {
+        let mut stmts = parse_stmts(
+            "as(i) = at(i)\ncall mpi_isend(as(1:4), 4, 0, 0)\nx = as(2) + 1",
+        )
+        .unwrap();
+        rename_array(&mut stmts, "as", "ar");
+        let printed = unparse_stmts(&stmts);
+        assert!(printed.contains("ar(i) = at(i)"));
+        assert!(printed.contains("mpi_isend(ar(1:4)"));
+        assert!(printed.contains("x = ar(2) + 1"));
+    }
+
+    #[test]
+    fn add_slot_dimension_rewrites_refs_and_args() {
+        let mut stmts = parse_stmts(
+            "at(i) = 0\ncall p(x, at)\ncall q(at(1:4))\ny = at(3)",
+        )
+        .unwrap();
+        let slot = fir::builder::var("cc_s");
+        add_slot_dimension(&mut stmts, "at", &slot);
+        let printed = unparse_stmts(&stmts);
+        assert!(printed.contains("at(i, cc_s) = 0"));
+        assert!(printed.contains("call p(x, at(:, cc_s))"));
+        assert!(printed.contains("call q(at(1:4, cc_s))"));
+        assert!(printed.contains("y = at(3, cc_s)"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Tile-size (K) selection heuristic.
+//!
+//! The paper (§2) deliberately leaves choosing K to its companion work
+//! (Danalis et al. [3]) while noting that "determining the optimal tile
+//! size … is best performed by an automated system, since the value may
+//! change as applications migrate across platforms". This module implements
+//! that automated choice from first principles:
+//!
+//! - **too small a K**: per-tile fixed costs (NP-1 message overheads `o`)
+//!   swamp the computation of the tile;
+//! - **too large a K**: the final tile's transfer has no computation left
+//!   to hide behind, and the exposed tail grows with K.
+//!
+//! We pick the smallest K whose per-tile computation exceeds the per-tile
+//! communication *CPU* cost by a safety factor, clamped to the partition
+//! size. The ablation harness (`harness -- ablation-k`) sweeps K around
+//! this choice to show the U-shaped curve.
+
+/// Inputs the heuristic needs. All costs in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct KselectInput {
+    /// Estimated computation cost of one iteration of the tiled loop.
+    pub ns_per_iteration: f64,
+    /// Bytes shipped per iteration of the tiled loop (to all peers).
+    pub bytes_per_iteration: f64,
+    /// Per-message fixed CPU overhead `o` of the network model.
+    pub overhead_ns: f64,
+    /// Per-byte CPU cost (send side) of the network model.
+    pub cpu_ns_per_byte: f64,
+    /// NIC gap per byte (1/bandwidth) of the network model.
+    pub wire_ns_per_byte: f64,
+    /// Messages posted per tile (NP-1 for the all-peers strategy, 1 for
+    /// the owner strategy).
+    pub messages_per_tile: f64,
+    /// Total iterations of the tiled loop.
+    pub trip_count: i64,
+    /// If the strategy requires tiles not to straddle partitions, the
+    /// partition size in iterations (K must divide it).
+    pub align_to: Option<i64>,
+}
+
+/// Keep total per-tile fixed overheads below this fraction of computation.
+const MAX_OVERHEAD_FRACTION: f64 = 0.02;
+
+/// Choose a tile size by minimizing the two exposed costs:
+///
+/// ```text
+/// cost(K) ≈ (trip/K)·fixed          — message overheads, shrink with K
+///         + K·bytes_per_iter·wire   — the last tile's unhidden tail,
+///                                     grows with K
+/// ⇒  K* = sqrt(trip·fixed / (bytes_per_iter·wire))
+/// ```
+///
+/// then clamping so overheads stay below [`MAX_OVERHEAD_FRACTION`] of the
+/// computation, and rounding to a divisor of `align_to` when the strategy
+/// needs partition-aligned tiles.
+pub fn choose_k(input: &KselectInput) -> i64 {
+    let trip = input.trip_count.max(1);
+    let fixed = (input.messages_per_tile * 2.0 * input.overhead_ns).max(1.0);
+    let tail_rate = (input.bytes_per_iteration * input.wire_ns_per_byte).max(1e-6);
+
+    let k_sqrt = ((trip as f64 * fixed) / tail_rate).sqrt();
+
+    // Overhead floor: (trip/K)·fixed ≤ f·trip·ns_per_iteration — but never
+    // so large that fewer than 4 tiles remain (a single tile would mean no
+    // overlap at all, defeating the transformation).
+    let k_floor = if input.ns_per_iteration > 0.0 {
+        (fixed / (MAX_OVERHEAD_FRACTION * input.ns_per_iteration))
+            .min((trip as f64 / 4.0).max(1.0))
+    } else {
+        1.0
+    };
+
+    let mut k = k_sqrt.max(k_floor).ceil() as i64;
+    k = k.clamp(1, trip);
+
+    if let Some(align) = input.align_to {
+        let align = align.max(1);
+        // Round to the nearest divisor of `align` that is >= k, falling
+        // back to `align` itself.
+        let mut best = align;
+        let mut d = 1;
+        while d * d <= align {
+            if align % d == 0 {
+                for cand in [d, align / d] {
+                    if cand >= k && cand < best {
+                        best = cand;
+                    }
+                }
+            }
+            d += 1;
+        }
+        k = best;
+    }
+    k.max(1)
+}
+
+/// Statically estimate the interpreter cost of one iteration of a loop
+/// body: expression nodes × `ns_per_op` + statements × `ns_per_stmt`.
+/// Nested loops multiply by their literal trip counts when known (symbolic
+/// trips assume 16 — recorded by the caller as an assumption).
+pub fn estimate_iteration_ns(
+    body: &[fir::ast::Stmt],
+    ns_per_op: f64,
+    ns_per_stmt: f64,
+) -> f64 {
+    fn expr_nodes(e: &fir::ast::Expr) -> f64 {
+        use fir::ast::Expr::*;
+        match e {
+            IntLit(..) | RealLit(..) | Var(..) => 1.0,
+            ArrayRef { indices, .. } => 1.0 + indices.iter().map(expr_nodes).sum::<f64>(),
+            Call { args, .. } => 1.0 + args.iter().map(expr_nodes).sum::<f64>(),
+            Unary { operand, .. } => 1.0 + expr_nodes(operand),
+            Binary { lhs, rhs, .. } => 1.0 + expr_nodes(lhs) + expr_nodes(rhs),
+        }
+    }
+    fn stmts_cost(stmts: &[fir::ast::Stmt], op: f64, st: f64) -> f64 {
+        let mut acc = 0.0;
+        for s in stmts {
+            acc += st;
+            match s {
+                fir::ast::Stmt::Assign { target, value, .. } => {
+                    acc += expr_nodes(value) * op;
+                    acc += target.indices.iter().map(expr_nodes).sum::<f64>() * op;
+                }
+                fir::ast::Stmt::Do {
+                    lower,
+                    upper,
+                    step,
+                    body,
+                    ..
+                } => {
+                    let trip = match (lower.as_int(), upper.as_int()) {
+                        (Some(lo), Some(hi)) => {
+                            let stp = step.as_ref().and_then(|e| e.as_int()).unwrap_or(1);
+                            if stp > 0 && hi >= lo {
+                                ((hi - lo) / stp + 1) as f64
+                            } else {
+                                1.0
+                            }
+                        }
+                        _ => 16.0, // symbolic trip: assume a modest inner loop
+                    };
+                    acc += (expr_nodes(lower) + expr_nodes(upper)) * op;
+                    acc += trip * (stmts_cost(body, op, st) + st);
+                }
+                fir::ast::Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    acc += expr_nodes(cond) * op;
+                    acc += stmts_cost(then_body, op, st)
+                        .max(stmts_cost(else_body, op, st));
+                }
+                fir::ast::Stmt::Call { args, .. } => {
+                    for a in args {
+                        if let fir::ast::Arg::Expr(e) = a {
+                            acc += expr_nodes(e) * op;
+                        }
+                    }
+                    // Callee cost unknown; charge a flat call estimate.
+                    acc += 50.0;
+                }
+            }
+        }
+        acc
+    }
+    stmts_cost(body, ns_per_op, ns_per_stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> KselectInput {
+        KselectInput {
+            ns_per_iteration: 100.0,
+            bytes_per_iteration: 8.0,
+            overhead_ns: 1_000.0,
+            cpu_ns_per_byte: 0.05,
+            wire_ns_per_byte: 4.0,
+            messages_per_tile: 7.0,
+            trip_count: 1024,
+            align_to: None,
+        }
+    }
+
+    #[test]
+    fn k_grows_with_overhead() {
+        let cheap = choose_k(&KselectInput {
+            overhead_ns: 100.0,
+            ..base()
+        });
+        let pricey = choose_k(&KselectInput {
+            overhead_ns: 10_000.0,
+            ..base()
+        });
+        assert!(pricey > cheap, "{pricey} vs {cheap}");
+    }
+
+    #[test]
+    fn k_shrinks_with_heavier_compute() {
+        let light = choose_k(&base());
+        let heavy = choose_k(&KselectInput {
+            ns_per_iteration: 10_000.0,
+            ..base()
+        });
+        assert!(heavy <= light, "{heavy} vs {light}");
+    }
+
+    #[test]
+    fn k_clamped_to_trip_count() {
+        let k = choose_k(&KselectInput {
+            overhead_ns: 1e12,
+            trip_count: 64,
+            ..base()
+        });
+        assert_eq!(k, 64);
+    }
+
+    #[test]
+    fn alignment_rounds_to_divisor() {
+        let k = choose_k(&KselectInput {
+            align_to: Some(48),
+            overhead_ns: 2_000.0,
+            ..base()
+        });
+        assert_eq!(48 % k, 0, "k = {k} must divide 48");
+        assert!(k >= 1);
+    }
+
+    #[test]
+    fn cpu_bound_model_degrades_gracefully() {
+        // TCP-like: 8 ns/B CPU on 8 B/iter = 64 ns vs 100 ns compute.
+        let k = choose_k(&KselectInput {
+            cpu_ns_per_byte: 8.0,
+            ..base()
+        });
+        assert!(k >= 1);
+    }
+
+    #[test]
+    fn estimate_counts_nested_loops() {
+        let body = fir::parse_stmts(
+            "do i = 1, 10\n  a(i) = i * 2 + 1\nend do",
+        )
+        .unwrap();
+        let ns = estimate_iteration_ns(&body, 1.0, 2.0);
+        // 10 iterations of an assignment with ~7 nodes each, plus loop
+        // bookkeeping: must be well above 50 and below 500.
+        assert!(ns > 50.0 && ns < 500.0, "ns = {ns}");
+    }
+
+    #[test]
+    fn estimate_symbolic_trip_uses_default() {
+        let body = fir::parse_stmts("do i = 1, n\n  a(i) = 1\nend do").unwrap();
+        let ns = estimate_iteration_ns(&body, 1.0, 2.0);
+        assert!(ns > 16.0);
+    }
+}

@@ -1,0 +1,611 @@
+//! Opportunity detection (paper §3.1): find each `MPI_ALLTOALL` call `C`,
+//! the sent array `As`, the received array `Ar`, and the loop nest `ℓ` —
+//! "the last loop nest not in a conditional statement, lexically preceding
+//! `C`, that mutates `As`".
+
+use fir::ast::{Arg, Expr, Procedure, Program, Stmt};
+use fir::Span;
+
+/// Answers the questions static analysis cannot: the paper's user queries
+/// that make the system *semi-automatic*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UserOracle {
+    /// Refuse to transform when a question comes up (fully automatic mode).
+    #[default]
+    Decline,
+    /// Answer every question "yes, it is safe" (the user has inspected the
+    /// code). Answers are recorded in the report.
+    AssumeSafe,
+}
+
+/// A question the system had to ask (or would have asked) the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserQuery {
+    pub question: String,
+    pub assumed_yes: bool,
+}
+
+/// Index path from a statement list down to a statement:
+/// `[3, 0]` = fourth statement's body's first statement.
+pub type StmtPath = Vec<usize>;
+
+/// Fetch the statement at `path` (panics on bad paths — they only come from
+/// our own walk).
+pub fn stmt_at<'a>(body: &'a [Stmt], path: &[usize]) -> &'a Stmt {
+    let (first, rest) = path.split_first().expect("non-empty path");
+    let s = &body[*first];
+    if rest.is_empty() {
+        return s;
+    }
+    match s {
+        Stmt::Do { body, .. } => stmt_at(body, rest),
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            // Paths through ifs use then-branch indices first.
+            if rest[0] < then_body.len() {
+                stmt_at(then_body, rest)
+            } else {
+                let mut rest = rest.to_vec();
+                rest[0] -= then_body.len();
+                stmt_at(else_body, &rest)
+            }
+        }
+        _ => panic!("path descends into a leaf statement"),
+    }
+}
+
+/// One detected transformation opportunity.
+#[derive(Debug, Clone)]
+pub struct Opportunity {
+    /// Path (within the procedure body) to the `mpi_alltoall` call `C`.
+    pub comm_path: StmtPath,
+    /// Path to the finalizing loop nest `ℓ`.
+    pub loop_path: StmtPath,
+    /// The sent array `As` (first argument of `C`).
+    pub send_array: String,
+    /// The received array `Ar` (third argument of `C`).
+    pub recv_array: String,
+    /// Per-partner element count (second argument of `C`).
+    pub count: Expr,
+    pub comm_span: Span,
+    /// Statements between `ℓ` and `C` (same list): must be empty for the
+    /// transformation to proceed; recorded for diagnostics.
+    pub gap_statements: usize,
+}
+
+/// Why a candidate alltoall could not become an opportunity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    CommInsideConditional { span: Span },
+    SendBufferNotBareArray { span: Span },
+    RecvBufferNotBareArray { span: Span },
+    NoPrecedingMutatingLoop { array: String, span: Span },
+    MutatorInsideConditional { span: Span },
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::CommInsideConditional { .. } => {
+                write!(f, "the alltoall call sits inside a conditional")
+            }
+            Rejection::SendBufferNotBareArray { .. } => {
+                write!(f, "the send buffer is not a bare array name")
+            }
+            Rejection::RecvBufferNotBareArray { .. } => {
+                write!(f, "the receive buffer is not a bare array name")
+            }
+            Rejection::NoPrecedingMutatingLoop { array, .. } => {
+                write!(f, "no loop preceding the call mutates `{array}`")
+            }
+            Rejection::MutatorInsideConditional { .. } => {
+                write!(f, "the finalizing loop is inside a conditional")
+            }
+        }
+    }
+}
+
+/// Result of scanning a procedure.
+#[derive(Debug, Default)]
+pub struct Scan {
+    pub opportunities: Vec<Opportunity>,
+    pub rejections: Vec<Rejection>,
+    pub queries: Vec<UserQuery>,
+}
+
+/// Scan the main program for opportunities.
+///
+/// `opaque_procedures` models the paper's "source code for the procedure is
+/// unavailable" case: calls to these procedures are treated as opaque, and
+/// whether they mutate `As` is resolved by the oracle.
+pub fn find_opportunities(
+    program: &Program,
+    oracle: UserOracle,
+    opaque_procedures: &[String],
+) -> Scan {
+    let mut scan = Scan::default();
+    walk(
+        program,
+        &program.main.body,
+        &mut Vec::new(),
+        false,
+        oracle,
+        opaque_procedures,
+        &mut scan,
+    );
+    scan
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    program: &Program,
+    body: &[Stmt],
+    prefix: &mut StmtPath,
+    in_conditional: bool,
+    oracle: UserOracle,
+    opaque: &[String],
+    scan: &mut Scan,
+) {
+    for (i, s) in body.iter().enumerate() {
+        match s {
+            Stmt::Call { name, args, span } if name == "mpi_alltoall" => {
+                if in_conditional {
+                    scan.rejections
+                        .push(Rejection::CommInsideConditional { span: *span });
+                    continue;
+                }
+                consider_alltoall(program, body, i, prefix, args, *span, oracle, opaque, scan);
+            }
+            Stmt::Do { body: b, .. } => {
+                prefix.push(i);
+                walk(program, b, prefix, in_conditional, oracle, opaque, scan);
+                prefix.pop();
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                prefix.push(i);
+                walk(program, then_body, prefix, true, oracle, opaque, scan);
+                walk(program, else_body, prefix, true, oracle, opaque, scan);
+                prefix.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn consider_alltoall(
+    program: &Program,
+    body: &[Stmt],
+    c_idx: usize,
+    prefix: &StmtPath,
+    args: &[Arg],
+    span: Span,
+    oracle: UserOracle,
+    opaque: &[String],
+    scan: &mut Scan,
+) {
+    let Some(send_array) = bare_array_name(&args[0]) else {
+        scan.rejections
+            .push(Rejection::SendBufferNotBareArray { span });
+        return;
+    };
+    let Some(recv_array) = bare_array_name(&args[2]) else {
+        scan.rejections
+            .push(Rejection::RecvBufferNotBareArray { span });
+        return;
+    };
+    let count = match &args[1] {
+        Arg::Expr(e) => e.clone(),
+        Arg::Section(_) => {
+            scan.rejections
+                .push(Rejection::SendBufferNotBareArray { span });
+            return;
+        }
+    };
+
+    // ℓ: last loop before C (same statement list, not in a conditional)
+    // that mutates As.
+    let mut loop_count_before = 0usize;
+    let mut found: Option<usize> = None;
+    for (j, s) in body[..c_idx].iter().enumerate().rev() {
+        if let Stmt::Do { body: lb, .. } = s {
+            loop_count_before += 1;
+            if mutates(program, lb, &send_array, oracle, opaque, scan) {
+                found = Some(j);
+                break;
+            }
+        }
+    }
+    match found {
+        Some(j) => {
+            let mut loop_path = prefix.clone();
+            loop_path.push(j);
+            let mut comm_path = prefix.clone();
+            comm_path.push(c_idx);
+            scan.opportunities.push(Opportunity {
+                comm_path,
+                loop_path,
+                send_array,
+                recv_array,
+                count,
+                comm_span: span,
+                gap_statements: c_idx - j - 1,
+            });
+        }
+        None => {
+            let _ = loop_count_before;
+            scan.rejections.push(Rejection::NoPrecedingMutatingLoop {
+                array: send_array,
+                span,
+            });
+        }
+    }
+}
+
+fn bare_array_name(arg: &Arg) -> Option<String> {
+    match arg {
+        Arg::Expr(Expr::Var(n, _)) => Some(n.clone()),
+        _ => None,
+    }
+}
+
+/// Does this statement list mutate `array`? Direct assignment, or passing
+/// it by reference to a procedure that writes its parameter. Opaque
+/// procedures trigger an oracle query (paper §3.1: "the user must be
+/// queried, making the system semi-automatic").
+fn mutates(
+    program: &Program,
+    body: &[Stmt],
+    array: &str,
+    oracle: UserOracle,
+    opaque: &[String],
+    scan: &mut Scan,
+) -> bool {
+    for s in body {
+        match s {
+            Stmt::Assign { target, .. } if target.name == array => return true,
+            Stmt::Do { body: b, .. }
+                if mutates(program, b, array, oracle, opaque, scan) => {
+                    return true;
+                }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            }
+                if (mutates(program, then_body, array, oracle, opaque, scan)
+                    || mutates(program, else_body, array, oracle, opaque, scan))
+                => {
+                    return true;
+                }
+            Stmt::Call { name, args, .. } => {
+                for (ai, a) in args.iter().enumerate() {
+                    if a.passed_name() != Some(array) {
+                        continue;
+                    }
+                    if opaque.iter().any(|p| p == name) {
+                        // Source unavailable: ask the user.
+                        let assumed = oracle == UserOracle::AssumeSafe;
+                        scan.queries.push(UserQuery {
+                            question: format!(
+                                "does procedure `{name}` (source unavailable) write to \
+                                 argument {} (`{array}`)?",
+                                ai + 1
+                            ),
+                            assumed_yes: assumed,
+                        });
+                        if assumed {
+                            return true;
+                        }
+                        continue;
+                    }
+                    if let Some(callee) = program.procedure(name) {
+                        if let Some(param) = callee.params.get(ai) {
+                            if procedure_writes_param(program, callee, &param.name) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Does `proc` write (directly or transitively) to its parameter `param`?
+fn procedure_writes_param(program: &Program, proc: &Procedure, param: &str) -> bool {
+    fn body_writes(program: &Program, body: &[Stmt], name: &str) -> bool {
+        for s in body {
+            match s {
+                Stmt::Assign { target, .. } if target.name == name => return true,
+                Stmt::Do { body: b, .. }
+                    if body_writes(program, b, name) => {
+                        return true;
+                    }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                }
+                    if (body_writes(program, then_body, name)
+                        || body_writes(program, else_body, name))
+                    => {
+                        return true;
+                    }
+                Stmt::Call { name: callee, args, .. } => {
+                    for (ai, a) in args.iter().enumerate() {
+                        if a.passed_name() == Some(name) {
+                            if let Some(c) = program.procedure(callee) {
+                                if let Some(p) = c.params.get(ai) {
+                                    if body_writes(program, &c.body, &p.name) {
+                                        return true;
+                                    }
+                                }
+                            } else if fir::intrinsics::is_builtin_sub(callee)
+                                && callee == "mpi_irecv"
+                            {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+    body_writes(program, &proc.body, param)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::parse;
+
+    fn scan_src(src: &str) -> Scan {
+        find_opportunities(&parse(src).unwrap(), UserOracle::Decline, &[])
+    }
+
+    const FIG2A: &str = "\
+program main
+  integer :: nx
+  real :: as(64), ar(64)
+  nx = 64
+  do iy = 1, nx
+    do ix = 1, nx
+      as(ix) = ix * iy
+    end do
+    call mpi_alltoall(as, 16, ar)
+  end do
+end program";
+
+    #[test]
+    fn finds_fig2_opportunity() {
+        let scan = scan_src(FIG2A);
+        assert_eq!(scan.opportunities.len(), 1);
+        let o = &scan.opportunities[0];
+        assert_eq!(o.send_array, "as");
+        assert_eq!(o.recv_array, "ar");
+        assert_eq!(o.loop_path, vec![1, 0]);
+        assert_eq!(o.comm_path, vec![1, 1]);
+        assert_eq!(o.gap_statements, 0);
+        assert!(o.count.is_int(16));
+    }
+
+    #[test]
+    fn stmt_at_resolves_paths() {
+        let p = parse(FIG2A).unwrap();
+        let scan = scan_src(FIG2A);
+        let o = &scan.opportunities[0];
+        assert!(matches!(
+            stmt_at(&p.main.body, &o.loop_path),
+            Stmt::Do { .. }
+        ));
+        assert!(matches!(
+            stmt_at(&p.main.body, &o.comm_path),
+            Stmt::Call { name, .. } if name == "mpi_alltoall"
+        ));
+    }
+
+    #[test]
+    fn alltoall_at_top_level_found() {
+        let src = "\
+program main
+  real :: as(8), ar(8)
+  do i = 1, 8
+    as(i) = i
+  end do
+  call mpi_alltoall(as, 2, ar)
+end program";
+        let scan = scan_src(src);
+        assert_eq!(scan.opportunities.len(), 1);
+        assert_eq!(scan.opportunities[0].loop_path, vec![0]);
+        assert_eq!(scan.opportunities[0].comm_path, vec![1]);
+    }
+
+    #[test]
+    fn conditional_comm_rejected() {
+        let src = "\
+program main
+  real :: as(8), ar(8)
+  do i = 1, 8
+    as(i) = i
+  end do
+  if (mynum == 0) then
+    call mpi_alltoall(as, 2, ar)
+  end if
+end program";
+        let scan = scan_src(src);
+        assert!(scan.opportunities.is_empty());
+        assert!(matches!(
+            scan.rejections[0],
+            Rejection::CommInsideConditional { .. }
+        ));
+    }
+
+    #[test]
+    fn skips_non_mutating_loops() {
+        // The loop between ℓ and C touches only `other`; ℓ is found anyway.
+        let src = "\
+program main
+  real :: as(8), ar(8), other(8)
+  do i = 1, 8
+    as(i) = i
+  end do
+  do i = 1, 8
+    other(i) = i
+  end do
+  call mpi_alltoall(as, 2, ar)
+end program";
+        let scan = scan_src(src);
+        assert_eq!(scan.opportunities.len(), 1);
+        assert_eq!(scan.opportunities[0].loop_path, vec![0]);
+        assert_eq!(scan.opportunities[0].gap_statements, 1);
+    }
+
+    #[test]
+    fn no_mutating_loop_rejected() {
+        let src = "\
+program main
+  real :: as(8), ar(8)
+  as(1) = 5
+  call mpi_alltoall(as, 2, ar)
+end program";
+        let scan = scan_src(src);
+        assert!(scan.opportunities.is_empty());
+        assert!(matches!(
+            scan.rejections[0],
+            Rejection::NoPrecedingMutatingLoop { .. }
+        ));
+    }
+
+    #[test]
+    fn mutation_through_procedure_detected() {
+        let src = "\
+subroutine fill(n, at)
+  integer :: n
+  real :: at(n)
+  do i = 1, n
+    at(i) = i
+  end do
+end subroutine
+
+program main
+  real :: as(8), ar(8)
+  do iy = 1, 4
+    call fill(8, as)
+  end do
+  call mpi_alltoall(as, 2, ar)
+end program";
+        let scan = scan_src(src);
+        assert_eq!(scan.opportunities.len(), 1);
+    }
+
+    #[test]
+    fn transitive_mutation_detected() {
+        let src = "\
+subroutine inner(m, b)
+  integer :: m
+  real :: b(m)
+  b(1) = 1
+end subroutine
+
+subroutine outer(m, b)
+  integer :: m
+  real :: b(m)
+  call inner(m, b)
+end subroutine
+
+program main
+  real :: as(8), ar(8)
+  do iy = 1, 4
+    call outer(8, as)
+  end do
+  call mpi_alltoall(as, 2, ar)
+end program";
+        let scan = scan_src(src);
+        assert_eq!(scan.opportunities.len(), 1);
+    }
+
+    #[test]
+    fn read_only_procedure_not_a_mutator() {
+        let src = "\
+subroutine reader(n, at)
+  integer :: n
+  real :: at(n)
+  x = at(1)
+end subroutine
+
+program main
+  real :: as(8), ar(8)
+  do iy = 1, 4
+    call reader(8, as)
+  end do
+  call mpi_alltoall(as, 2, ar)
+end program";
+        let scan = scan_src(src);
+        assert!(scan.opportunities.is_empty());
+    }
+
+    #[test]
+    fn opaque_procedure_queries_oracle() {
+        let src = "\
+subroutine mystery(n, at)
+  integer :: n
+  real :: at(n)
+  at(1) = 1
+end subroutine
+
+program main
+  real :: as(8), ar(8)
+  do iy = 1, 4
+    call mystery(8, as)
+  end do
+  call mpi_alltoall(as, 2, ar)
+end program";
+        let program = parse(src).unwrap();
+        // Declining oracle: no opportunity, one query recorded.
+        let scan = find_opportunities(
+            &program,
+            UserOracle::Decline,
+            &["mystery".to_string()],
+        );
+        assert!(scan.opportunities.is_empty());
+        assert_eq!(scan.queries.len(), 1);
+        assert!(!scan.queries[0].assumed_yes);
+        // AssumeSafe oracle: opportunity found, query recorded as assumed.
+        let scan = find_opportunities(
+            &program,
+            UserOracle::AssumeSafe,
+            &["mystery".to_string()],
+        );
+        assert_eq!(scan.opportunities.len(), 1);
+        assert!(scan.queries[0].assumed_yes);
+    }
+
+    #[test]
+    fn section_send_buffer_rejected() {
+        let src = "\
+program main
+  real :: as(8), ar(8)
+  do i = 1, 8
+    as(i) = i
+  end do
+  call mpi_alltoall(as(1:8), 2, ar)
+end program";
+        let scan = scan_src(src);
+        assert!(matches!(
+            scan.rejections[0],
+            Rejection::SendBufferNotBareArray { .. }
+        ));
+    }
+}

@@ -1,0 +1,310 @@
+//! Compute-copy pattern classification (paper §3.2).
+//!
+//! **Direct**: `As` is written by assignments that *compute* values
+//! (Fig. 2(a): "RHS is not array ref."). We generalize the paper's rule
+//! slightly: the RHS may read arrays (including `As` itself) because the
+//! transformation preserves the exact execution order of `ℓ`'s iterations —
+//! only reads of the *receive* array are hazardous, and those are rejected
+//! separately by the planner. The original strict rule exists to tell
+//! compute loops apart from copy loops, which the next case handles.
+//!
+//! **Indirect**: a procedure call `call p(…, At)` fills a temporary `At`,
+//! and a copy loop `ℓcp` transfers `At` into `As` with an RHS that is
+//! *exactly* one reference to `At` (`As(…) = At(…)` — Fig. 3(a)). The
+//! transformation deletes `ℓcp` and ships `At` directly. When the indirect
+//! checks fail, the planner falls back to treating the copy as a direct
+//! computation.
+
+use fir::ast::{Expr, Stmt};
+use fir::Span;
+
+/// Location of the pieces of an indirect pattern inside `ℓ`'s body.
+#[derive(Debug, Clone)]
+pub struct IndirectShape {
+    /// Index (within `ℓ`'s body) of the `call p(…, At)` statement.
+    pub producer_idx: usize,
+    /// Name of the producer procedure `P`.
+    pub producer: String,
+    /// Which argument position of `P` receives `At`.
+    pub temp_arg_idx: usize,
+    /// Index (within `ℓ`'s body) of the copy loop `ℓcp`.
+    pub copy_loop_idx: usize,
+    /// The temporary array `At`.
+    pub temp_array: String,
+}
+
+/// Classification result.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    Direct,
+    Indirect(IndirectShape),
+    Unsupported { reason: String, span: Span },
+}
+
+/// Classify the loop nest `ℓ` (its body) with respect to `As`.
+pub fn classify(loop_body: &[Stmt], send_array: &str) -> Pattern {
+    // Gather all direct writes to As anywhere under ℓ, noting whether any
+    // RHS references an array.
+    let mut any_direct_write = false;
+    let mut rhs_array: Option<(String, Span)> = None;
+    let mut saw_other_rhs_shape = false;
+
+    fn visit(
+        stmts: &[Stmt],
+        send: &str,
+        any: &mut bool,
+        rhs_array: &mut Option<(String, Span)>,
+        other: &mut bool,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { target, value, .. } if target.name == send => {
+                    *any = true;
+                    match single_array_rhs(value) {
+                        RhsShape::NoArray => {}
+                        RhsShape::SingleArray(name, span) => {
+                            if let Some((prev, _)) = rhs_array {
+                                if *prev != name {
+                                    *other = true;
+                                }
+                            }
+                            *rhs_array = Some((name, span));
+                        }
+                        RhsShape::Complex => *other = true,
+                    }
+                }
+                Stmt::Do { body, .. } => visit(body, send, any, rhs_array, other),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    visit(then_body, send, any, rhs_array, other);
+                    visit(else_body, send, any, rhs_array, other);
+                }
+                _ => {}
+            }
+        }
+    }
+    visit(
+        loop_body,
+        send_array,
+        &mut any_direct_write,
+        &mut rhs_array,
+        &mut saw_other_rhs_shape,
+    );
+
+    if saw_other_rhs_shape {
+        // General computation (possibly reading arrays): the relaxed
+        // direct pattern.
+        return if any_direct_write {
+            Pattern::Direct
+        } else {
+            Pattern::Unsupported {
+                reason: format!(
+                    "no direct writes to `{send_array}` inside the loop nest"
+                ),
+                span: Span::DUMMY,
+            }
+        };
+    }
+
+    match rhs_array {
+        None if any_direct_write => Pattern::Direct,
+        None => Pattern::Unsupported {
+            reason: format!("no direct writes to `{send_array}` inside the loop nest"),
+            span: Span::DUMMY,
+        },
+        Some((temp, _)) if temp == send_array => {
+            // `as(i) = as(j)` self-copy: a direct computation (the safety
+            // analysis decides whether it is tile-safe).
+            Pattern::Direct
+        }
+        Some((temp, span)) => classify_indirect(loop_body, send_array, &temp, span),
+    }
+}
+
+enum RhsShape {
+    NoArray,
+    SingleArray(String, Span),
+    Complex,
+}
+
+/// Is the RHS exactly one array reference (Fig. 3's `As(…) = At(ix)`)?
+fn single_array_rhs(e: &Expr) -> RhsShape {
+    match e {
+        Expr::ArrayRef { name, indices, span } => {
+            if indices.iter().any(Expr::contains_array_ref) {
+                RhsShape::Complex
+            } else {
+                RhsShape::SingleArray(name.clone(), *span)
+            }
+        }
+        _ if !e.contains_array_ref() => RhsShape::NoArray,
+        _ => RhsShape::Complex,
+    }
+}
+
+fn classify_indirect(
+    loop_body: &[Stmt],
+    send_array: &str,
+    temp: &str,
+    span: Span,
+) -> Pattern {
+    // The copy loop ℓcp must be a direct child of ℓ's body whose only
+    // writes to As come from `As(…) = At(…)` assignments.
+    let _ = span;
+    let mut copy_loop_idx = None;
+    for (i, s) in loop_body.iter().enumerate() {
+        if let Stmt::Do { .. } = s {
+            if writes_send_from_temp(std::slice::from_ref(s), send_array, temp) {
+                if copy_loop_idx.is_some() {
+                    // Multiple copy loops: not Fig. 3's shape; treat the
+                    // copies as direct computation.
+                    return Pattern::Direct;
+                }
+                copy_loop_idx = Some(i);
+            }
+        }
+    }
+    let Some(copy_loop_idx) = copy_loop_idx else {
+        return Pattern::Direct;
+    };
+
+    // The producer: the last call before ℓcp that passes At by reference.
+    let mut producer = None;
+    for (i, s) in loop_body[..copy_loop_idx].iter().enumerate().rev() {
+        if let Stmt::Call { name, args, .. } = s {
+            if let Some(ai) = args.iter().position(|a| a.passed_name() == Some(temp)) {
+                producer = Some((i, name.clone(), ai));
+                break;
+            }
+        }
+    }
+    let Some((producer_idx, producer, temp_arg_idx)) = producer else {
+        // A copy with no producer call: plain direct computation.
+        return Pattern::Direct;
+    };
+
+    Pattern::Indirect(IndirectShape {
+        producer_idx,
+        producer,
+        temp_arg_idx,
+        copy_loop_idx,
+        temp_array: temp.to_string(),
+    })
+}
+
+fn writes_send_from_temp(stmts: &[Stmt], send: &str, temp: &str) -> bool {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value, .. } if target.name == send => {
+                if matches!(value, Expr::ArrayRef { name, .. } if name == temp) {
+                    return true;
+                }
+            }
+            Stmt::Do { body, .. }
+                if writes_send_from_temp(body, send, temp) => {
+                    return true;
+                }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            }
+                if (writes_send_from_temp(then_body, send, temp)
+                    || writes_send_from_temp(else_body, send, temp))
+                => {
+                    return true;
+                }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::parse_stmts;
+
+    #[test]
+    fn direct_pattern_recognized() {
+        let body = parse_stmts("do ix = 1, nx\n  as(ix) = ix * iy + 1\nend do").unwrap();
+        let inner = match &body[0] {
+            Stmt::Do { body, .. } => body,
+            _ => unreachable!(),
+        };
+        assert!(matches!(classify(inner, "as"), Pattern::Direct));
+    }
+
+    #[test]
+    fn direct_pattern_whole_nest() {
+        // classify receives ℓ's body; writes may be nested deeper.
+        let body =
+            parse_stmts("do ix = 1, nx\n  do iz = 1, np\n    as(ix, iz) = ix * iz\n  end do\nend do")
+                .unwrap();
+        assert!(matches!(classify(&body, "as"), Pattern::Direct));
+    }
+
+    #[test]
+    fn indirect_pattern_recognized() {
+        // ℓ body (Fig 3a): call p(..., at); copy loop.
+        let body = parse_stmts(
+            "call p(iy, at)\ndo ix = 1, 100\n  tx = mod(ix, 10)\n  as(tx + 1, ix / 10 + 1, iy) = at(ix)\nend do",
+        )
+        .unwrap();
+        match classify(&body, "as") {
+            Pattern::Indirect(shape) => {
+                assert_eq!(shape.producer, "p");
+                assert_eq!(shape.producer_idx, 0);
+                assert_eq!(shape.temp_arg_idx, 1);
+                assert_eq!(shape.copy_loop_idx, 1);
+                assert_eq!(shape.temp_array, "at");
+            }
+            other => panic!("expected indirect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_update_is_direct() {
+        // `as(ix) = as(ix) + 1` — a computation; safety analysis decides
+        // tile legality, not the classifier.
+        let body = parse_stmts("do ix = 1, nx\n  as(ix) = as(ix) + 1\nend do").unwrap();
+        assert!(matches!(classify(&body, "as"), Pattern::Direct));
+    }
+
+    #[test]
+    fn stencil_reading_other_arrays_is_direct() {
+        let body =
+            parse_stmts("do ix = 1, nx\n  as(ix) = c(ix) * 2 + c(ix + 1)\nend do").unwrap();
+        assert!(matches!(classify(&body, "as"), Pattern::Direct));
+    }
+
+    #[test]
+    fn pure_self_copy_rhs_is_direct() {
+        let body = parse_stmts("do ix = 1, nx\n  as(ix) = as(nx - ix + 1)\nend do").unwrap();
+        assert!(matches!(classify(&body, "as"), Pattern::Direct));
+    }
+
+    #[test]
+    fn two_temp_arrays_falls_back_to_direct() {
+        let body = parse_stmts(
+            "do ix = 1, nx\n  as(ix) = at(ix)\nend do\ndo ix = 1, nx\n  as(ix) = bt(ix)\nend do",
+        )
+        .unwrap();
+        assert!(matches!(classify(&body, "as"), Pattern::Direct));
+    }
+
+    #[test]
+    fn missing_producer_falls_back_to_direct() {
+        let body = parse_stmts("do ix = 1, 100\n  as(ix) = at(ix)\nend do").unwrap();
+        assert!(matches!(classify(&body, "as"), Pattern::Direct));
+    }
+
+    #[test]
+    fn no_write_at_all_unsupported() {
+        let body = parse_stmts("do ix = 1, nx\n  other(ix) = 1\nend do").unwrap();
+        assert!(matches!(classify(&body, "as"), Pattern::Unsupported { .. }));
+    }
+}

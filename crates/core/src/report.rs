@@ -1,0 +1,204 @@
+//! The semi-automatic transformation report: what was found, what was
+//! decided, what was assumed, and what the user was (or would have been)
+//! asked.
+
+use crate::opportunity::UserQuery;
+
+/// Which replacement communication scheme was generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Figure 4: every tile sends a slice to all NP-1 peers, skewed to
+    /// avoid hotspots (node loop inside the tiled loop).
+    TiledAllPeers,
+    /// Rank-1 owner sends: each tile's block goes to its single owning
+    /// rank (node "loop" is the tiled loop; paper §3.5's subset case).
+    TiledOwner,
+    /// Rank-2 fallback when the node loop is outermost and interchange is
+    /// illegal: per-column owner sends.
+    TiledOwnerColumns,
+    /// Indirect pattern (§3.4): the temporary is expanded and shipped
+    /// directly, one block per iteration; the copy loop is deleted.
+    IndirectPrepush,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::TiledAllPeers => write!(f, "tiled all-peers exchange (Fig. 4)"),
+            Strategy::TiledOwner => write!(f, "tiled owner sends"),
+            Strategy::TiledOwnerColumns => write!(f, "per-column owner sends"),
+            Strategy::IndirectPrepush => write!(f, "indirect prepush (copy removed)"),
+        }
+    }
+}
+
+/// Whether an opportunity was transformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    Applied,
+    Declined(Vec<String>),
+}
+
+/// Per-opportunity outcome.
+#[derive(Debug, Clone)]
+pub struct OppOutcome {
+    pub send_array: String,
+    pub recv_array: String,
+    pub strategy: Option<Strategy>,
+    pub tile_size: Option<i64>,
+    /// Arrays the transformation made dead (the indirect pattern's `As`):
+    /// equivalence checks must exclude them.
+    pub dead_arrays: Vec<String>,
+    /// Arrays whose declared shape changed (the indirect pattern's
+    /// slot-expanded `At`): contents are equivalent but not comparable
+    /// element-for-element.
+    pub reshaped_arrays: Vec<String>,
+    /// Facts assumed rather than proven, for the user to review.
+    pub assumptions: Vec<String>,
+    pub status: Status,
+}
+
+impl OppOutcome {
+    pub fn applied(&self) -> bool {
+        self.status == Status::Applied
+    }
+}
+
+/// Whole-run report.
+#[derive(Debug, Clone, Default)]
+pub struct TransformReport {
+    pub opportunities: Vec<OppOutcome>,
+    /// Alltoall sites that never became opportunities (§3.1 rejections).
+    pub rejections: Vec<String>,
+    /// Questions for the user (semi-automatic mode).
+    pub queries: Vec<UserQuery>,
+}
+
+impl TransformReport {
+    pub fn applied_count(&self) -> usize {
+        self.opportunities.iter().filter(|o| o.applied()).count()
+    }
+
+    /// Union of arrays made dead across applied opportunities.
+    pub fn dead_arrays(&self) -> Vec<&str> {
+        self.opportunities
+            .iter()
+            .filter(|o| o.applied())
+            .flat_map(|o| o.dead_arrays.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Arrays not comparable element-for-element after the transformation:
+    /// dead plus reshaped. Equivalence checks exclude exactly these.
+    pub fn incomparable_arrays(&self) -> Vec<&str> {
+        self.opportunities
+            .iter()
+            .filter(|o| o.applied())
+            .flat_map(|o| {
+                o.dead_arrays
+                    .iter()
+                    .chain(o.reshaped_arrays.iter())
+                    .map(String::as_str)
+            })
+            .collect()
+    }
+
+    /// Human-readable summary (the harness prints this).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for o in &self.opportunities {
+            match &o.status {
+                Status::Applied => {
+                    s.push_str(&format!(
+                        "applied: {} -> {} via {}{}\n",
+                        o.send_array,
+                        o.recv_array,
+                        o.strategy.map_or("?".to_string(), |st| st.to_string()),
+                        o.tile_size
+                            .map_or(String::new(), |k| format!(" (K = {k})")),
+                    ));
+                    for a in &o.assumptions {
+                        s.push_str(&format!("  note: {a}\n"));
+                    }
+                }
+                Status::Declined(reasons) => {
+                    s.push_str(&format!("declined: {}\n", o.send_array));
+                    for r in reasons {
+                        s.push_str(&format!("  reason: {r}\n"));
+                    }
+                }
+            }
+        }
+        for q in &self.queries {
+            s.push_str(&format!(
+                "user query{}: {}\n",
+                if q.assumed_yes { " (assumed yes)" } else { "" },
+                q.question
+            ));
+        }
+        for r in &self.rejections {
+            s.push_str(&format!("rejected site: {r}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_strategy_and_reasons() {
+        let report = TransformReport {
+            opportunities: vec![
+                OppOutcome {
+                    send_array: "as".into(),
+                    recv_array: "ar".into(),
+                    strategy: Some(Strategy::TiledAllPeers),
+                    tile_size: Some(8),
+                    dead_arrays: vec![],
+                    reshaped_arrays: vec![],
+                    assumptions: vec!["K = 8 chosen".into()],
+                    status: Status::Applied,
+                },
+                OppOutcome {
+                    send_array: "bs".into(),
+                    recv_array: "br".into(),
+                    strategy: None,
+                    tile_size: None,
+                    dead_arrays: vec![],
+                    reshaped_arrays: vec![],
+                    assumptions: vec![],
+                    status: Status::Declined(vec!["not affine".into()]),
+                },
+            ],
+            rejections: vec![],
+            queries: vec![],
+        };
+        let s = report.summary();
+        assert!(s.contains("Fig. 4"));
+        assert!(s.contains("K = 8"));
+        assert!(s.contains("declined: bs"));
+        assert!(s.contains("not affine"));
+        assert_eq!(report.applied_count(), 1);
+    }
+
+    #[test]
+    fn dead_arrays_only_from_applied() {
+        let report = TransformReport {
+            opportunities: vec![OppOutcome {
+                send_array: "as".into(),
+                recv_array: "ar".into(),
+                strategy: Some(Strategy::IndirectPrepush),
+                tile_size: Some(1),
+                dead_arrays: vec!["as".into()],
+                reshaped_arrays: vec!["at".into()],
+                assumptions: vec![],
+                status: Status::Declined(vec!["x".into()]),
+            }],
+            rejections: vec![],
+            queries: vec![],
+        };
+        assert!(report.dead_arrays().is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Affine (linear + constant) forms over program variables.
+//!
+//! Subscript expressions are lowered to `Σ cᵥ·v + k` with integer-literal
+//! coefficients. Variables fall into two classes decided by the caller:
+//! loop *index* variables (the unknowns of a dependence system) and
+//! *symbolic* constants (`nx`, `np`, `mynum`, …) that are loop-invariant.
+//! Symbolic parts that are identical on both sides of a dependence equation
+//! cancel; differing symbolic parts make the test conservative (Unknown).
+
+use fir::ast::{BinOp, Expr, UnOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// `Σ coeffs[v]·v + constant`. Coefficients are never stored as zero.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    coeffs: BTreeMap<String, i64>,
+    pub constant: i64,
+}
+
+impl Affine {
+    pub fn constant(k: i64) -> Self {
+        Affine {
+            coeffs: BTreeMap::new(),
+            constant: k,
+        }
+    }
+
+    pub fn var(name: &str) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.to_string(), 1);
+        Affine {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    pub fn coeff(&self, var: &str) -> i64 {
+        self.coeffs.get(var).copied().unwrap_or(0)
+    }
+
+    pub fn vars(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.coeffs.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    fn set_coeff(&mut self, var: &str, c: i64) {
+        if c == 0 {
+            self.coeffs.remove(var);
+        } else {
+            self.coeffs.insert(var.to_string(), c);
+        }
+    }
+
+    pub fn checked_add(&self, other: &Affine) -> Option<Affine> {
+        let mut out = self.clone();
+        out.constant = out.constant.checked_add(other.constant)?;
+        for (v, c) in &other.coeffs {
+            let nc = out.coeff(v).checked_add(*c)?;
+            out.set_coeff(v, nc);
+        }
+        Some(out)
+    }
+
+    pub fn checked_sub(&self, other: &Affine) -> Option<Affine> {
+        self.checked_add(&other.checked_scale(-1)?)
+    }
+
+    pub fn checked_scale(&self, s: i64) -> Option<Affine> {
+        let mut out = Affine::constant(self.constant.checked_mul(s)?);
+        for (v, c) in &self.coeffs {
+            out.set_coeff(v, c.checked_mul(s)?);
+        }
+        Some(out)
+    }
+
+    /// Split into (index part over `index_vars`, symbolic remainder).
+    /// The symbolic remainder keeps the constant.
+    pub fn split(&self, index_vars: &[&str]) -> (Affine, Affine) {
+        let mut idx = Affine::constant(0);
+        let mut sym = Affine::constant(self.constant);
+        for (v, c) in &self.coeffs {
+            if index_vars.contains(&v.as_str()) {
+                idx.set_coeff(v, *c);
+            } else {
+                sym.set_coeff(v, *c);
+            }
+        }
+        (idx, sym)
+    }
+
+    /// Evaluate with every variable bound in `env`; `None` if any is free.
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (v, c) in &self.coeffs {
+            acc = acc.checked_add(c.checked_mul(env(v)?)?)?;
+        }
+        Some(acc)
+    }
+
+    /// Substitute `var := value`, folding it into the constant.
+    pub fn substitute(&self, var: &str, value: i64) -> Option<Affine> {
+        let c = self.coeff(var);
+        let mut out = self.clone();
+        out.coeffs.remove(var);
+        out.constant = out.constant.checked_add(c.checked_mul(value)?)?;
+        Some(out)
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.coeffs {
+            if first {
+                if *c == 1 {
+                    write!(f, "{v}")?;
+                } else if *c == -1 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}*{v}")?;
+                }
+                first = false;
+            } else if *c >= 0 {
+                if *c == 1 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c}*{v}")?;
+                }
+            } else if *c == -1 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {}*{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Lower an expression to affine form. Returns `None` for anything
+/// non-affine: products of two variables, division, `mod`, real literals,
+/// array references, intrinsic calls other than constant-foldable ones.
+pub fn from_expr(e: &Expr) -> Option<Affine> {
+    match e {
+        Expr::IntLit(v, _) => Some(Affine::constant(*v)),
+        Expr::RealLit(..) => None,
+        Expr::Var(n, _) => Some(Affine::var(n)),
+        Expr::ArrayRef { .. } | Expr::Call { .. } => None,
+        Expr::Unary { op, operand, .. } => match op {
+            UnOp::Neg => from_expr(operand)?.checked_scale(-1),
+            UnOp::Not => None,
+        },
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let l = from_expr(lhs);
+            let r = from_expr(rhs);
+            match op {
+                BinOp::Add => l?.checked_add(&r?),
+                BinOp::Sub => l?.checked_sub(&r?),
+                BinOp::Mul => {
+                    let l = l?;
+                    let r = r?;
+                    if l.is_constant() {
+                        r.checked_scale(l.constant)
+                    } else if r.is_constant() {
+                        l.checked_scale(r.constant)
+                    } else {
+                        None
+                    }
+                }
+                BinOp::Div => {
+                    // Exact constant division only; `ix / 2` is not affine.
+                    let l = l?;
+                    let r = r?;
+                    if r.is_constant() && r.constant != 0 && l.is_constant() {
+                        let (a, b) = (l.constant, r.constant);
+                        // Fortran integer division truncates toward zero.
+                        Some(Affine::constant(a.wrapping_div(b)))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::parse_expr;
+
+    fn aff(src: &str) -> Option<Affine> {
+        from_expr(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn literal_and_var() {
+        assert_eq!(aff("7").unwrap(), Affine::constant(7));
+        let a = aff("ix").unwrap();
+        assert_eq!(a.coeff("ix"), 1);
+        assert_eq!(a.constant, 0);
+    }
+
+    #[test]
+    fn linear_combination() {
+        let a = aff("2 * ix + 3 * iy - 5").unwrap();
+        assert_eq!(a.coeff("ix"), 2);
+        assert_eq!(a.coeff("iy"), 3);
+        assert_eq!(a.constant, -5);
+    }
+
+    #[test]
+    fn nested_negation_and_mul() {
+        let a = aff("-(ix - 2) * 3").unwrap();
+        assert_eq!(a.coeff("ix"), -3);
+        assert_eq!(a.constant, 6);
+    }
+
+    #[test]
+    fn coefficient_cancellation_removes_entry() {
+        let a = aff("ix - ix + 4").unwrap();
+        assert!(a.is_constant());
+        assert_eq!(a.constant, 4);
+    }
+
+    #[test]
+    fn non_affine_forms_rejected() {
+        assert!(aff("ix * iy").is_none());
+        assert!(aff("ix / 2").is_none());
+        assert!(aff("mod(ix, 4)").is_none());
+        assert!(aff("a(ix)").is_none());
+        assert!(aff("1.5").is_none());
+        assert!(aff("2**3").is_none());
+    }
+
+    #[test]
+    fn constant_division_folds() {
+        assert_eq!(aff("7 / 2").unwrap(), Affine::constant(3));
+        assert_eq!(aff("(-7) / 2").unwrap(), Affine::constant(-3));
+    }
+
+    #[test]
+    fn split_separates_index_and_symbolic() {
+        let a = aff("2 * ix + nx + 4").unwrap();
+        let (idx, sym) = a.split(&["ix"]);
+        assert_eq!(idx.coeff("ix"), 2);
+        assert_eq!(idx.constant, 0);
+        assert_eq!(sym.coeff("nx"), 1);
+        assert_eq!(sym.constant, 4);
+    }
+
+    #[test]
+    fn eval_and_substitute() {
+        let a = aff("2 * ix + iy + 1").unwrap();
+        let env = |v: &str| match v {
+            "ix" => Some(3),
+            "iy" => Some(10),
+            _ => None,
+        };
+        assert_eq!(a.eval(&env), Some(17));
+        let b = a.substitute("ix", 3).unwrap();
+        assert_eq!(b.coeff("ix"), 0);
+        assert_eq!(b.constant, 7);
+        assert_eq!(b.coeff("iy"), 1);
+    }
+
+    #[test]
+    fn display_readable() {
+        let a = aff("2 * ix - iy - 5").unwrap();
+        assert_eq!(a.to_string(), "2*ix - iy - 5");
+        assert_eq!(Affine::constant(0).to_string(), "0");
+    }
+
+    #[test]
+    fn overflow_is_caught() {
+        let a = Affine::constant(i64::MAX);
+        assert!(a.checked_add(&Affine::constant(1)).is_none());
+        assert!(a.checked_scale(2).is_none());
+    }
+}

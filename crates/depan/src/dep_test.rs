@@ -1,0 +1,474 @@
+//! The dependence decision procedure.
+//!
+//! Builds an integer linear system from a pair of array references
+//! (subscript equality per dimension + iteration-order constraints) and
+//! decides it with, in order:
+//!
+//! 1. **ZIV**: constant-vs-constant subscripts that differ ⇒ independent;
+//! 2. **GCD**: gcd of index coefficients does not divide the constant
+//!    difference ⇒ independent (bound-free, works with symbolic bounds);
+//! 3. **Banerjee / exact enumeration** over numeric bounds from the test
+//!    [`Context`] — exact within the node budget.
+//!
+//! Anything unprovable returns [`Verdict::MayDepend`]; the transformation
+//! only acts on proofs of independence, so `MayDepend` is always safe.
+
+use crate::exact::{feasible, LinearEq, OrderConstraint, OrderRel, VarDomain};
+use crate::loopnest::{numeric_bounds, AccessRef, Context, LoopInfo};
+
+pub use crate::exact::OrderRel as Rel;
+
+/// Outcome of a dependence query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Proven: no pair of instances can touch the same element (under the
+    /// given order constraints).
+    Independent,
+    /// Could not prove independence.
+    MayDepend,
+}
+
+impl Verdict {
+    pub fn is_independent(self) -> bool {
+        self == Verdict::Independent
+    }
+}
+
+/// An order constraint between the two instances of a *common* loop,
+/// identified by its position in the common prefix (0 = outermost).
+#[derive(Debug, Clone, Copy)]
+pub struct CommonOrder {
+    pub common_idx: usize,
+    pub rel: OrderRel,
+}
+
+/// Longest common prefix of the two refs' loop stacks (structural equality
+/// of var, bounds and step). Instances of these loops get paired variables
+/// in the dependence system.
+pub fn common_loops<'a>(r1: &'a AccessRef, r2: &AccessRef) -> &'a [LoopInfo] {
+    let n = r1
+        .loops
+        .iter()
+        .zip(r2.loops.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    &r1.loops[..n]
+}
+
+/// Can instances of `r1` and `r2` access the same element, subject to
+/// `orders` on the common loops?
+///
+/// Conservative in exactly these cases (returns `MayDepend`):
+/// whole-array references (empty subscripts), rank mismatch, non-affine
+/// subscripts on *every* dimension, symbolic subscript differences, or
+/// missing numeric bounds when the quick tests are inconclusive.
+pub fn may_depend(
+    r1: &AccessRef,
+    r2: &AccessRef,
+    ctx: &Context,
+    orders: &[CommonOrder],
+) -> Verdict {
+    if r1.subscripts.is_empty() || r2.subscripts.is_empty() {
+        return Verdict::MayDepend;
+    }
+    if r1.rank() != r2.rank() {
+        return Verdict::MayDepend;
+    }
+
+    let common = common_loops(r1, r2);
+    let n_common = common.len();
+    for oc in orders {
+        assert!(
+            oc.common_idx < n_common,
+            "order constraint on non-common loop"
+        );
+    }
+
+    // Column layout: [common pairs: (c0,r1),(c0,r2),(c1,r1),(c1,r2),...]
+    // then r1-private loops, then r2-private loops.
+    let r1_priv = &r1.loops[n_common..];
+    let r2_priv = &r2.loops[n_common..];
+    let n_cols = 2 * n_common + r1_priv.len() + r2_priv.len();
+
+    let col_of = |var: &str, first: bool| -> Option<usize> {
+        if let Some(i) = common.iter().position(|l| l.var == var) {
+            return Some(2 * i + usize::from(!first));
+        }
+        if first {
+            r1_priv
+                .iter()
+                .position(|l| l.var == var)
+                .map(|i| 2 * n_common + i)
+        } else {
+            r2_priv
+                .iter()
+                .position(|l| l.var == var)
+                .map(|i| 2 * n_common + r1_priv.len() + i)
+        }
+    };
+
+    // Index variables of each side: every enclosing loop var.
+    let idx_vars_1: Vec<&str> = r1.loops.iter().map(|l| l.var.as_str()).collect();
+    let idx_vars_2: Vec<&str> = r2.loops.iter().map(|l| l.var.as_str()).collect();
+
+    let mut eqs: Vec<LinearEq> = Vec::new();
+    let mut any_dim_constrained = false;
+
+    for d in 0..r1.rank() {
+        let (Some(a1), Some(a2)) = (&r1.affine[d], &r2.affine[d]) else {
+            continue; // non-affine dim: drop the constraint (conservative)
+        };
+        let (idx1, sym1) = a1.split(&idx_vars_1);
+        let (idx2, sym2) = a2.split(&idx_vars_2);
+        let Some(symdiff) = sym2.checked_sub(&sym1) else {
+            continue;
+        };
+        if !symdiff.is_constant() {
+            // Symbolic subscript difference (e.g. `as(ix)` vs `as(ix+n)`):
+            // cannot constrain this dimension.
+            continue;
+        }
+        let rhs = symdiff.constant;
+
+        let mut coeffs = vec![0i64; n_cols];
+        let mut lost_var = false;
+        for (v, c) in idx1.vars() {
+            match col_of(v, true) {
+                Some(col) => coeffs[col] += c,
+                None => lost_var = true,
+            }
+        }
+        for (v, c) in idx2.vars() {
+            match col_of(v, false) {
+                Some(col) => coeffs[col] -= c,
+                None => lost_var = true,
+            }
+        }
+        if lost_var {
+            continue;
+        }
+
+        // ZIV: no index variables at all.
+        if coeffs.iter().all(|&c| c == 0) {
+            if rhs != 0 {
+                return Verdict::Independent;
+            }
+            continue; // trivially satisfied
+        }
+
+        // GCD test (bound-free).
+        let g = coeffs.iter().fold(0i64, |acc, &c| gcd(acc, c));
+        if g != 0 && rhs % g != 0 {
+            return Verdict::Independent;
+        }
+
+        eqs.push(LinearEq { coeffs, rhs });
+        any_dim_constrained = true;
+    }
+
+    if !any_dim_constrained && orders.is_empty() {
+        return Verdict::MayDepend;
+    }
+
+    // Bound-free forced-equality check: an equation `x_a - x_b = 0` (and
+    // nothing else) forces the two instances of a common loop equal; a
+    // strict order constraint on that pair is then infeasible for *any*
+    // loop bounds. This is what proves injective writes (`as(ix, iz)`)
+    // safe when bounds are symbolic (e.g. declared with extent `np`).
+    for oc in orders {
+        if oc.rel == OrderRel::Eq {
+            continue;
+        }
+        let ca = 2 * oc.common_idx;
+        let cb = ca + 1;
+        let forced_equal = eqs.iter().any(|eq| {
+            eq.rhs == 0
+                && eq.coeffs[ca] != 0
+                && eq.coeffs[ca] == -eq.coeffs[cb]
+                && eq.coeffs
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &c)| j == ca || j == cb || c == 0)
+        });
+        if forced_equal {
+            return Verdict::Independent;
+        }
+    }
+
+    // Numeric bounds for the exact test.
+    let Some(nb_common) = numeric_bounds(common, ctx) else {
+        return Verdict::MayDepend;
+    };
+    let Some(nb_p1) = numeric_bounds(r1_priv, ctx) else {
+        return Verdict::MayDepend;
+    };
+    let Some(nb_p2) = numeric_bounds(r2_priv, ctx) else {
+        return Verdict::MayDepend;
+    };
+
+    let mut domains = Vec::with_capacity(n_cols);
+    for nb in &nb_common {
+        let d = VarDomain::new(nb.lo, nb.hi, nb.step);
+        domains.push(d); // instance 1
+        domains.push(d); // instance 2
+    }
+    for nb in nb_p1.iter().chain(nb_p2.iter()) {
+        domains.push(VarDomain::new(nb.lo, nb.hi, nb.step));
+    }
+
+    let order_constraints: Vec<OrderConstraint> = orders
+        .iter()
+        .map(|oc| OrderConstraint {
+            a: 2 * oc.common_idx,
+            b: 2 * oc.common_idx + 1,
+            rel: oc.rel,
+        })
+        .collect();
+
+    match feasible(
+        &domains,
+        &eqs,
+        &order_constraints,
+        crate::exact::DEFAULT_NODE_BUDGET,
+    ) {
+        Some(false) => Verdict::Independent,
+        Some(true) | None => Verdict::MayDepend,
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopnest::collect_accesses;
+    use fir::parse_stmts;
+
+    fn refs(src: &str, array: &str) -> Vec<AccessRef> {
+        collect_accesses(&parse_stmts(src).unwrap(), array)
+    }
+
+    fn ctx() -> Context {
+        Context::new().with("nx", 64).with("ny", 8).with("n", 64)
+    }
+
+    #[test]
+    fn injective_write_no_self_overwrite() {
+        // as(ix) written once per ix: no two distinct iterations collide.
+        let r = refs("do ix = 1, nx\n  as(ix) = 0\nend do", "as");
+        let v = may_depend(
+            &r[0],
+            &r[0],
+            &ctx(),
+            &[CommonOrder { common_idx: 0, rel: Rel::Lt }],
+        );
+        assert_eq!(v, Verdict::Independent);
+    }
+
+    #[test]
+    fn strided_write_still_injective() {
+        let r = refs("do ix = 1, nx\n  as(2 * ix + 3) = 0\nend do", "as");
+        let v = may_depend(
+            &r[0],
+            &r[0],
+            &ctx(),
+            &[CommonOrder { common_idx: 0, rel: Rel::Lt }],
+        );
+        assert_eq!(v, Verdict::Independent);
+    }
+
+    #[test]
+    fn constant_subscript_overwrites() {
+        // as(1) written every iteration: self output dependence.
+        let r = refs("do ix = 1, nx\n  as(1) = ix\nend do", "as");
+        let v = may_depend(
+            &r[0],
+            &r[0],
+            &ctx(),
+            &[CommonOrder { common_idx: 0, rel: Rel::Lt }],
+        );
+        assert_eq!(v, Verdict::MayDepend);
+    }
+
+    #[test]
+    fn non_injective_sum_subscript() {
+        // as(ix + iy) collides across the diagonal.
+        let r = refs(
+            "do iy = 1, ny\n  do ix = 1, nx\n    as(ix + iy) = 0\n  end do\nend do",
+            "as",
+        );
+        let v = may_depend(
+            &r[0],
+            &r[0],
+            &ctx(),
+            &[CommonOrder { common_idx: 0, rel: Rel::Lt }],
+        );
+        assert_eq!(v, Verdict::MayDepend);
+    }
+
+    #[test]
+    fn two_dim_subscript_injective_per_outer() {
+        // as(ix, iy): distinct (ix, iy) pairs map to distinct elements.
+        let r = refs(
+            "do iy = 1, ny\n  do ix = 1, nx\n    as(ix, iy) = 0\n  end do\nend do",
+            "as",
+        );
+        let v = may_depend(
+            &r[0],
+            &r[0],
+            &ctx(),
+            &[CommonOrder { common_idx: 0, rel: Rel::Lt }],
+        );
+        assert_eq!(v, Verdict::Independent);
+        let v = may_depend(
+            &r[0],
+            &r[0],
+            &ctx(),
+            &[CommonOrder { common_idx: 1, rel: Rel::Lt }],
+        );
+        assert_eq!(v, Verdict::Independent);
+    }
+
+    #[test]
+    fn ziv_different_constants() {
+        let r = refs("as(1) = 0\nas(2) = 0", "as");
+        assert_eq!(may_depend(&r[0], &r[1], &ctx(), &[]), Verdict::Independent);
+    }
+
+    #[test]
+    fn ziv_same_constant() {
+        let r = refs("as(1) = 0\nas(1) = 1", "as");
+        assert_eq!(may_depend(&r[0], &r[1], &ctx(), &[]), Verdict::MayDepend);
+    }
+
+    #[test]
+    fn gcd_disproof_without_bounds() {
+        // as(2*i) vs as(2*j + 1): parity differs — provable with no context.
+        let r = refs(
+            "do i = 1, n\n  as(2 * i) = 0\nend do\ndo j = 1, n\n  as(2 * j + 1) = 0\nend do",
+            "as",
+        );
+        let (w1, w2) = (&r[0], &r[1]);
+        assert_eq!(
+            may_depend(w1, w2, &Context::new(), &[]),
+            Verdict::Independent
+        );
+    }
+
+    #[test]
+    fn disjoint_ranges_proved_by_exact_test() {
+        // as(i) over 1..32 vs as(j+32) over 1..32: disjoint.
+        let r = refs(
+            "do i = 1, 32\n  as(i) = 0\nend do\ndo j = 1, 32\n  as(j + 32) = 0\nend do",
+            "as",
+        );
+        assert_eq!(may_depend(&r[0], &r[1], &ctx(), &[]), Verdict::Independent);
+    }
+
+    #[test]
+    fn overlapping_ranges_detected() {
+        let r = refs(
+            "do i = 1, 32\n  as(i) = 0\nend do\ndo j = 1, 32\n  as(j + 16) = 0\nend do",
+            "as",
+        );
+        assert_eq!(may_depend(&r[0], &r[1], &ctx(), &[]), Verdict::MayDepend);
+    }
+
+    #[test]
+    fn symbolic_difference_is_conservative() {
+        // as(ix) vs as(ix + n): difference is symbolic `n` — MayDepend.
+        let r = refs(
+            "do ix = 1, 8\n  as(ix) = 0\n  as(ix + n) = 1\nend do",
+            "as",
+        );
+        assert_eq!(
+            may_depend(&r[0], &r[1], &Context::new(), &[]),
+            Verdict::MayDepend
+        );
+        // …but with a context binding n=8 and tight loop bounds the exact
+        // test proves disjointness within one iteration (same ix).
+        let v = may_depend(
+            &r[0],
+            &r[1],
+            &ctx().with("n", 8),
+            &[CommonOrder { common_idx: 0, rel: Rel::Eq }],
+        );
+        // as(ix) vs as(ix+8) with ix == ix': never equal.
+        assert_eq!(v, Verdict::MayDepend); // symbolic diff still dropped
+    }
+
+    #[test]
+    fn whole_array_ref_conservative() {
+        let r = refs("call p(as)\nas(1) = 0", "as");
+        let w = r.iter().find(|r| r.is_write && r.subscripts.is_empty()).unwrap();
+        let e = r.iter().find(|r| !r.subscripts.is_empty()).unwrap();
+        assert_eq!(may_depend(w, e, &ctx(), &[]), Verdict::MayDepend);
+    }
+
+    #[test]
+    fn non_affine_subscript_conservative() {
+        let r = refs("do i = 1, n\n  as(mod(i, 4)) = 0\nend do", "as");
+        let v = may_depend(
+            &r[0],
+            &r[0],
+            &ctx(),
+            &[CommonOrder { common_idx: 0, rel: Rel::Lt }],
+        );
+        assert_eq!(v, Verdict::MayDepend);
+    }
+
+    #[test]
+    fn forced_equality_proves_injectivity_with_symbolic_bounds() {
+        // as(ix, iz) with bounds `nx`/`np` unknown: the exact test cannot
+        // run, but ix₁ = ix₂ forced by dim 1 contradicts ix₁ < ix₂.
+        let r = refs(
+            "do ix = 1, nx\n  do iz = 1, np2\n    as(ix, iz) = 0\n  end do\nend do",
+            "as",
+        );
+        let v = may_depend(
+            &r[0],
+            &r[0],
+            &Context::new(), // no bounds at all
+            &[CommonOrder { common_idx: 0, rel: Rel::Lt }],
+        );
+        assert_eq!(v, Verdict::Independent);
+        // …but a non-injective subscript stays conservative.
+        let r = refs(
+            "do ix = 1, nx\n  do iz = 1, np2\n    as(ix + iz, 1) = 0\n  end do\nend do",
+            "as",
+        );
+        let v = may_depend(
+            &r[0],
+            &r[0],
+            &Context::new(),
+            &[CommonOrder { common_idx: 0, rel: Rel::Lt }],
+        );
+        assert_eq!(v, Verdict::MayDepend);
+    }
+
+    #[test]
+    fn missing_context_conservative_when_quick_tests_fail() {
+        // Needs bounds to disprove, but no context: MayDepend.
+        let r = refs(
+            "do i = 1, n\n  as(i) = 0\nend do\ndo j = 1, n\n  as(j + 100) = 0\nend do",
+            "as",
+        );
+        assert_eq!(
+            may_depend(&r[0], &r[1], &Context::new(), &[]),
+            Verdict::MayDepend
+        );
+        // With n = 64: disjoint.
+        assert_eq!(
+            may_depend(&r[0], &r[1], &Context::new().with("n", 64), &[]),
+            Verdict::Independent
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! Exact integer feasibility for small linear systems — the reproduction's
+//! stand-in for the Omega test (Pugh, SC'91).
+//!
+//! The dependence problems this project generates are tiny (≤ 8 variables,
+//! ≤ 4 equations), so instead of full Omega-style Fourier–Motzkin with
+//! integer tightening we run a depth-first enumeration over the variable
+//! boxes with interval-arithmetic pruning on every equation, plus a node
+//! budget. Within the budget the answer is *exact*; over budget we return
+//! `None` and callers fall back to conservative verdicts. Property tests
+//! validate the enumerator against naive brute force.
+
+/// Inclusive integer domain `lo..=hi` stepping `step` (positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarDomain {
+    pub lo: i64,
+    pub hi: i64,
+    pub step: i64,
+}
+
+impl VarDomain {
+    pub fn new(lo: i64, hi: i64, step: i64) -> Self {
+        assert!(step != 0, "zero step domain");
+        // Normalize to a positive step.
+        if step > 0 {
+            VarDomain { lo, hi, step }
+        } else {
+            // lo..=hi downward with step<0 visits the same set as the
+            // upward-normalized domain anchored at the last visited value.
+            let s = -step;
+            if lo < hi {
+                // empty either way
+                VarDomain { lo: 1, hi: 0, step: s }
+            } else {
+                let count = (lo - hi) / s;
+                VarDomain {
+                    lo: lo - count * s,
+                    hi: lo,
+                    step: s,
+                }
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    pub fn size(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            ((self.hi - self.lo) as u64) / (self.step as u64) + 1
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        (self.lo..=self.hi).step_by(self.step as usize)
+    }
+}
+
+/// `Σ coeffs[j]·x[j] = rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearEq {
+    pub coeffs: Vec<i64>,
+    pub rhs: i64,
+}
+
+/// Strict order constraint between two variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderRel {
+    Lt,
+    Eq,
+    Gt,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderConstraint {
+    pub a: usize,
+    pub b: usize,
+    pub rel: OrderRel,
+}
+
+impl OrderConstraint {
+    fn holds(&self, xa: i64, xb: i64) -> bool {
+        match self.rel {
+            OrderRel::Lt => xa < xb,
+            OrderRel::Eq => xa == xb,
+            OrderRel::Gt => xa > xb,
+        }
+    }
+}
+
+/// Default node budget: generous for the tiny systems we build, small enough
+/// that pathological inputs return `None` quickly.
+pub const DEFAULT_NODE_BUDGET: u64 = 2_000_000;
+
+/// Is there an integer point in the box satisfying all equations and order
+/// constraints?  `Some(true)` / `Some(false)` are exact; `None` means the
+/// node budget was exhausted.
+pub fn feasible(
+    domains: &[VarDomain],
+    eqs: &[LinearEq],
+    orders: &[OrderConstraint],
+    budget: u64,
+) -> Option<bool> {
+    for d in domains {
+        if d.is_empty() {
+            return Some(false);
+        }
+    }
+    for eq in eqs {
+        debug_assert_eq!(eq.coeffs.len(), domains.len());
+    }
+
+    // GCD pre-filter: gcd of coefficients must divide rhs.
+    for eq in eqs {
+        let g = eq.coeffs.iter().fold(0i64, |acc, &c| gcd(acc, c));
+        if g == 0 {
+            if eq.rhs != 0 {
+                return Some(false);
+            }
+        } else if eq.rhs % g != 0 {
+            return Some(false);
+        }
+    }
+
+    let mut st = Search {
+        domains,
+        eqs,
+        orders,
+        assignment: vec![0; domains.len()],
+        nodes: 0,
+        budget,
+    };
+    st.dfs(0)
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+struct Search<'a> {
+    domains: &'a [VarDomain],
+    eqs: &'a [LinearEq],
+    orders: &'a [OrderConstraint],
+    assignment: Vec<i64>,
+    nodes: u64,
+    budget: u64,
+}
+
+impl Search<'_> {
+    /// Residual interval of `Σ_{j≥k} c_j·x_j` given domains; saturating so
+    /// extreme coefficients cannot overflow.
+    fn residual_range(&self, eq: &LinearEq, from: usize) -> (i64, i64) {
+        let mut lo = 0i64;
+        let mut hi = 0i64;
+        for j in from..self.domains.len() {
+            let c = eq.coeffs[j];
+            if c == 0 {
+                continue;
+            }
+            let d = &self.domains[j];
+            let (a, b) = (c.saturating_mul(d.lo), c.saturating_mul(d.hi));
+            lo = lo.saturating_add(a.min(b));
+            hi = hi.saturating_add(a.max(b));
+        }
+        (lo, hi)
+    }
+
+    fn prune(&self, level: usize) -> bool {
+        for eq in self.eqs {
+            let mut acc = 0i64;
+            for j in 0..level {
+                acc = acc.saturating_add(eq.coeffs[j].saturating_mul(self.assignment[j]));
+            }
+            let (rlo, rhi) = self.residual_range(eq, level);
+            let need = eq.rhs.saturating_sub(acc);
+            if need < rlo || need > rhi {
+                return true;
+            }
+        }
+        // Order constraints where both sides are assigned.
+        for oc in self.orders {
+            if oc.a < level && oc.b < level
+                && !oc.holds(self.assignment[oc.a], self.assignment[oc.b]) {
+                    return true;
+                }
+        }
+        false
+    }
+
+    fn dfs(&mut self, level: usize) -> Option<bool> {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return None;
+        }
+        if self.prune(level) {
+            return Some(false);
+        }
+        if level == self.domains.len() {
+            return Some(true);
+        }
+
+        // Forced-value propagation: if some equation has the current
+        // variable as its only unassigned term, its value is determined —
+        // solve instead of enumerating. This is what keeps equality-coupled
+        // instance pairs (`i - i' = d`) linear instead of quadratic.
+        let mut forced: Option<i64> = None;
+        'eqs: for eq in self.eqs {
+            let c = eq.coeffs[level];
+            if c == 0 {
+                continue;
+            }
+            for j in level + 1..self.domains.len() {
+                if eq.coeffs[j] != 0 {
+                    continue 'eqs;
+                }
+            }
+            let mut acc = 0i64;
+            for j in 0..level {
+                acc = acc.saturating_add(eq.coeffs[j].saturating_mul(self.assignment[j]));
+            }
+            let need = eq.rhs.saturating_sub(acc);
+            if need % c != 0 {
+                return Some(false);
+            }
+            let v = need / c;
+            match forced {
+                Some(f) if f != v => return Some(false),
+                _ => forced = Some(v),
+            }
+        }
+        if let Some(v) = forced {
+            let d = self.domains[level];
+            if v < d.lo || v > d.hi || (v - d.lo) % d.step != 0 {
+                return Some(false);
+            }
+            self.assignment[level] = v;
+            return self.dfs(level + 1);
+        }
+
+        let dom = self.domains[level];
+        for v in dom.iter() {
+            self.assignment[level] = v;
+            match self.dfs(level + 1) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(false)
+    }
+}
+
+/// Banerjee-style interval check for a single equation over the box:
+/// returns `false` (definitely infeasible) when `rhs` lies outside the
+/// attainable interval of the LHS. `true` means "maybe".
+pub fn banerjee_maybe(domains: &[VarDomain], eq: &LinearEq) -> bool {
+    let mut lo = 0i64;
+    let mut hi = 0i64;
+    for (j, d) in domains.iter().enumerate() {
+        let c = eq.coeffs[j];
+        if c == 0 {
+            continue;
+        }
+        let (a, b) = (c.saturating_mul(d.lo), c.saturating_mul(d.hi));
+        lo = lo.saturating_add(a.min(b));
+        hi = hi.saturating_add(a.max(b));
+    }
+    eq.rhs >= lo && eq.rhs <= hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dom(lo: i64, hi: i64) -> VarDomain {
+        VarDomain::new(lo, hi, 1)
+    }
+
+    #[test]
+    fn domain_normalization_negative_step() {
+        let d = VarDomain::new(10, 1, -3); // visits 10,7,4,1
+        assert_eq!(d, VarDomain { lo: 1, hi: 10, step: 3 });
+        assert_eq!(d.size(), 4);
+    }
+
+    #[test]
+    fn empty_domain_infeasible() {
+        let r = feasible(&[VarDomain::new(5, 1, 1)], &[], &[], 1000);
+        assert_eq!(r, Some(false));
+    }
+
+    #[test]
+    fn trivial_feasible() {
+        let r = feasible(&[dom(1, 3)], &[], &[], 1000);
+        assert_eq!(r, Some(true));
+    }
+
+    #[test]
+    fn single_equation() {
+        // x = 2 within 1..=3
+        let r = feasible(
+            &[dom(1, 3)],
+            &[LinearEq { coeffs: vec![1], rhs: 2 }],
+            &[],
+            1000,
+        );
+        assert_eq!(r, Some(true));
+        // x = 7 within 1..=3
+        let r = feasible(
+            &[dom(1, 3)],
+            &[LinearEq { coeffs: vec![1], rhs: 7 }],
+            &[],
+            1000,
+        );
+        assert_eq!(r, Some(false));
+    }
+
+    #[test]
+    fn gcd_filter() {
+        // 2x + 4y = 5 has no integer solution regardless of bounds.
+        let r = feasible(
+            &[dom(-100, 100), dom(-100, 100)],
+            &[LinearEq {
+                coeffs: vec![2, 4],
+                rhs: 5,
+            }],
+            &[],
+            10,
+        );
+        assert_eq!(r, Some(false));
+    }
+
+    #[test]
+    fn classic_dependence_system() {
+        // i - i' = 0, i < i' over 1..=10: infeasible (injective write).
+        let r = feasible(
+            &[dom(1, 10), dom(1, 10)],
+            &[LinearEq {
+                coeffs: vec![1, -1],
+                rhs: 0,
+            }],
+            &[OrderConstraint {
+                a: 0,
+                b: 1,
+                rel: OrderRel::Lt,
+            }],
+            100_000,
+        );
+        assert_eq!(r, Some(false));
+        // i - i' = -2 with i < i': feasible (distance-2 dependence).
+        let r = feasible(
+            &[dom(1, 10), dom(1, 10)],
+            &[LinearEq {
+                coeffs: vec![1, -1],
+                rhs: -2,
+            }],
+            &[OrderConstraint {
+                a: 0,
+                b: 1,
+                rel: OrderRel::Lt,
+            }],
+            100_000,
+        );
+        assert_eq!(r, Some(true));
+    }
+
+    #[test]
+    fn stepped_domain_respected() {
+        // x even in 0..=10, x = 5: infeasible.
+        let r = feasible(
+            &[VarDomain::new(0, 10, 2)],
+            &[LinearEq { coeffs: vec![1], rhs: 5 }],
+            &[],
+            1000,
+        );
+        assert_eq!(r, Some(false));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let doms: Vec<_> = (0..6).map(|_| dom(0, 100)).collect();
+        // Reachable rhs so the root is not pruned; the first recursive call
+        // then blows the budget of 1 node.
+        let r = feasible(
+            &doms,
+            &[LinearEq {
+                coeffs: vec![1; 6],
+                rhs: 300,
+            }],
+            &[],
+            1,
+        );
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn banerjee_interval() {
+        let doms = [dom(1, 10), dom(1, 10)];
+        // x - y ranges over [-9, 9]; rhs 15 is outside.
+        assert!(!banerjee_maybe(
+            &doms,
+            &LinearEq {
+                coeffs: vec![1, -1],
+                rhs: 15
+            }
+        ));
+        assert!(banerjee_maybe(
+            &doms,
+            &LinearEq {
+                coeffs: vec![1, -1],
+                rhs: 5
+            }
+        ));
+    }
+
+    /// Brute-force oracle for the property test.
+    fn brute(domains: &[VarDomain], eqs: &[LinearEq], orders: &[OrderConstraint]) -> bool {
+        fn rec(
+            domains: &[VarDomain],
+            eqs: &[LinearEq],
+            orders: &[OrderConstraint],
+            acc: &mut Vec<i64>,
+        ) -> bool {
+            if acc.len() == domains.len() {
+                let ok_eq = eqs.iter().all(|eq| {
+                    eq.coeffs
+                        .iter()
+                        .zip(acc.iter())
+                        .map(|(c, x)| c * x)
+                        .sum::<i64>()
+                        == eq.rhs
+                });
+                let ok_ord = orders.iter().all(|oc| oc.holds(acc[oc.a], acc[oc.b]));
+                return ok_eq && ok_ord;
+            }
+            let d = domains[acc.len()];
+            let mut v = d.lo;
+            while v <= d.hi {
+                acc.push(v);
+                if rec(domains, eqs, orders, acc) {
+                    acc.pop();
+                    return true;
+                }
+                acc.pop();
+                v += d.step;
+            }
+            false
+        }
+        rec(domains, eqs, orders, &mut Vec::new())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn enumerator_matches_brute_force(
+            n in 2usize..4,
+            seeds in prop::collection::vec((-4i64..5, -4i64..5, 1i64..3, -6i64..7), 4),
+            rhs in -8i64..9,
+            rel_pick in 0usize..4,
+        ) {
+            let domains: Vec<VarDomain> = (0..n)
+                .map(|j| {
+                    let (a, b, st, _) = seeds[j];
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    VarDomain::new(lo, hi, st)
+                })
+                .collect();
+            let eq = LinearEq {
+                coeffs: (0..n).map(|j| seeds[j].3).collect(),
+                rhs,
+            };
+            let orders: Vec<OrderConstraint> = if rel_pick < 3 && n >= 2 {
+                vec![OrderConstraint {
+                    a: 0,
+                    b: 1,
+                    rel: [OrderRel::Lt, OrderRel::Eq, OrderRel::Gt][rel_pick],
+                }]
+            } else {
+                vec![]
+            };
+            let got = feasible(&domains, std::slice::from_ref(&eq), &orders, 1_000_000);
+            let want = brute(&domains, std::slice::from_ref(&eq), &orders);
+            prop_assert_eq!(got, Some(want));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # depan — data-dependence and array-access analysis
+//!
+//! The reproduction's stand-in for the paper's analysis toolchain: *Petit*
+//! and the *Omega test* (Pugh) used through the Nestor framework, plus the
+//! access-region analysis of Paek, Hoeflinger & Padua (*partial triplets*).
+//!
+//! Layers, bottom-up:
+//!
+//! - [`affine`]: lowering subscript expressions to `Σ cᵥ·v + k`;
+//! - [`loopnest`]: collecting array references with their enclosing loop
+//!   stacks, and evaluating bounds under a numeric test [`loopnest::Context`];
+//! - [`exact`]: exact integer feasibility of small linear systems by
+//!   pruned enumeration (the Omega-test substitute — exact within a node
+//!   budget, validated against brute force by property tests);
+//! - [`dep_test`]: the ZIV / GCD / Banerjee / exact decision cascade over
+//!   pairs of references with iteration-order constraints;
+//! - [`output_dep`]: tile-safety (no output dependence carried by the tiled
+//!   loop — the paper's *safe reference* `Afs` check, §3.3);
+//! - [`region`]: per-tile footprints as partial triplets (§3.3) feeding the
+//!   generated `mpi_isend` sections;
+//! - [`interchange`]: legality of the node-loop interchange (§3.5).
+//!
+//! Everything here is *sound for the transformation*: any imprecision
+//! (non-affine subscripts, symbolic differences, exhausted budgets) surfaces
+//! as [`dep_test::Verdict::MayDepend`], which makes the Compuniformer
+//! decline rather than miscompile.
+
+pub mod affine;
+pub mod dep_test;
+pub mod exact;
+pub mod interchange;
+pub mod loopnest;
+pub mod output_dep;
+pub mod region;
+
+pub use affine::Affine;
+pub use dep_test::{may_depend, CommonOrder, Rel, Verdict};
+pub use loopnest::{collect_accesses, AccessRef, Context, LoopInfo};
+pub use output_dep::{check_tile_safety, SafetyReport, Unsafety};
+pub use region::{tile_footprint, DimTriplet, RegionError};

@@ -1,0 +1,390 @@
+//! Loop-nest extraction and array-access collection.
+//!
+//! Walks a statement tree and records, for every reference to a given array,
+//! the enclosing loop stack (outermost first), the subscripts in raw and
+//! affine form, whether the access sits under a conditional, and its
+//! pre-order position (used to decide lexical "earlier/later").
+
+use crate::affine::{from_expr, Affine};
+use fir::ast::{Expr, Stmt};
+use fir::Span;
+use std::collections::HashMap;
+
+/// One enclosing loop of an access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    pub var: String,
+    /// Affine lower/upper bound; `None` if the bound expression is
+    /// non-affine (analyses become conservative).
+    pub lower: Option<Affine>,
+    pub upper: Option<Affine>,
+    /// Literal step; `None` when symbolic (conservative), default 1.
+    pub step: Option<i64>,
+}
+
+impl LoopInfo {
+    fn from_do(var: &str, lower: &Expr, upper: &Expr, step: &Option<Expr>) -> Self {
+        LoopInfo {
+            var: var.to_string(),
+            lower: from_expr(lower),
+            upper: from_expr(upper),
+            step: match step {
+                None => Some(1),
+                Some(e) => e.as_int(),
+            },
+        }
+    }
+}
+
+/// A single textual array reference with its analysis context.
+#[derive(Debug, Clone)]
+pub struct AccessRef {
+    pub array: String,
+    pub subscripts: Vec<Expr>,
+    /// Affine lowering of each subscript; `None` per-dim when non-affine.
+    pub affine: Vec<Option<Affine>>,
+    /// Enclosing loops, outermost first.
+    pub loops: Vec<LoopInfo>,
+    /// True when any enclosing statement is an `if` branch.
+    pub in_conditional: bool,
+    /// Pre-order statement index (monotone over the walk).
+    pub order: usize,
+    pub is_write: bool,
+    pub span: Span,
+}
+
+impl AccessRef {
+    pub fn rank(&self) -> usize {
+        self.subscripts.len()
+    }
+
+    /// All subscripts affine?
+    pub fn fully_affine(&self) -> bool {
+        self.affine.iter().all(Option::is_some)
+    }
+
+    /// Index of the enclosing loop named `var`, if any (0 = outermost).
+    pub fn loop_index(&self, var: &str) -> Option<usize> {
+        self.loops.iter().position(|l| l.var == var)
+    }
+}
+
+/// Collect every read and write of `array` under `stmts`.
+///
+/// Writes are assignment targets. Reads are `Expr::ArrayRef`s anywhere,
+/// including inside subscripts of other arrays. Passing the array (bare name
+/// or section) to a `call` is recorded as *both* a read and a write with
+/// empty subscripts — by-reference semantics make the callee's behaviour
+/// unknown at this level; callers needing precision resolve the callee
+/// first (see the Compuniformer's mutation oracle).
+pub fn collect_accesses(stmts: &[Stmt], array: &str) -> Vec<AccessRef> {
+    let mut w = Walker {
+        array,
+        out: Vec::new(),
+        loops: Vec::new(),
+        cond_depth: 0,
+        order: 0,
+    };
+    w.stmts(stmts);
+    w.out
+}
+
+struct Walker<'a> {
+    array: &'a str,
+    out: Vec<AccessRef>,
+    loops: Vec<LoopInfo>,
+    cond_depth: usize,
+    order: usize,
+}
+
+impl Walker<'_> {
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn record(&mut self, subscripts: &[Expr], is_write: bool, span: Span) {
+        let affine = subscripts.iter().map(from_expr).collect();
+        self.out.push(AccessRef {
+            array: self.array.to_string(),
+            subscripts: subscripts.to_vec(),
+            affine,
+            loops: self.loops.clone(),
+            in_conditional: self.cond_depth > 0,
+            order: self.order,
+            is_write,
+            span,
+        });
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::ArrayRef {
+                name,
+                indices,
+                span,
+            } => {
+                if name == self.array {
+                    self.record(indices, false, *span);
+                }
+                for i in indices {
+                    self.expr(i);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Unary { operand, .. } => self.expr(operand),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::IntLit(..) | Expr::RealLit(..) | Expr::Var(..) => {}
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.order += 1;
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                if target.name == self.array {
+                    self.record(&target.indices, true, target.span);
+                }
+                for ix in &target.indices {
+                    self.expr(ix);
+                }
+                self.expr(value);
+            }
+            Stmt::Do {
+                var,
+                lower,
+                upper,
+                step,
+                body,
+                ..
+            } => {
+                self.expr(lower);
+                self.expr(upper);
+                if let Some(st) = step {
+                    self.expr(st);
+                }
+                self.loops.push(LoopInfo::from_do(var, lower, upper, step));
+                self.stmts(body);
+                self.loops.pop();
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                self.expr(cond);
+                self.cond_depth += 1;
+                self.stmts(then_body);
+                self.stmts(else_body);
+                self.cond_depth -= 1;
+            }
+            Stmt::Call { name: _, args, span } => {
+                for a in args {
+                    match a {
+                        fir::ast::Arg::Expr(e) => {
+                            if let Expr::Var(n, sp) = e {
+                                if n == self.array {
+                                    // whole-array by-reference pass
+                                    self.record(&[], true, *sp);
+                                    self.record(&[], false, *sp);
+                                    continue;
+                                }
+                            }
+                            self.expr(e);
+                        }
+                        fir::ast::Arg::Section(sec) => {
+                            if sec.name == self.array {
+                                self.record(&[], true, *span);
+                                self.record(&[], false, *span);
+                            }
+                            for d in &sec.dims {
+                                match d {
+                                    fir::ast::SecDim::Index(e) => self.expr(e),
+                                    fir::ast::SecDim::Range(lo, hi) => {
+                                        for e in [lo, hi].into_iter().flatten() {
+                                            self.expr(e);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Loop-invariant symbol values used to make bounds numeric for the exact
+/// dependence test (the "test context" of DESIGN.md §2: the semi-automatic
+/// system knows or assumes problem sizes at transformation time).
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    values: HashMap<String, i64>,
+}
+
+impl Context {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with(mut self, name: &str, v: i64) -> Self {
+        self.values.insert(name.to_string(), v);
+        self
+    }
+
+    pub fn set(&mut self, name: &str, v: i64) {
+        self.values.insert(name.to_string(), v);
+    }
+
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.values.get(name).copied()
+    }
+
+    pub fn eval(&self, a: &Affine) -> Option<i64> {
+        a.eval(&|v| self.get(v))
+    }
+}
+
+/// Numeric iteration domain of one loop: `lo..=hi` stepping `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumericLoop {
+    pub lo: i64,
+    pub hi: i64,
+    pub step: i64,
+}
+
+impl NumericLoop {
+    pub fn trip_count(&self) -> i64 {
+        if self.step > 0 {
+            if self.hi < self.lo {
+                0
+            } else {
+                (self.hi - self.lo) / self.step + 1
+            }
+        } else if self.lo < self.hi {
+            0
+        } else {
+            (self.lo - self.hi) / (-self.step) + 1
+        }
+    }
+}
+
+/// Evaluate loop bounds under `ctx`. `None` if any bound or step is
+/// symbolic/non-affine — callers then fall back to conservative verdicts.
+pub fn numeric_bounds(loops: &[LoopInfo], ctx: &Context) -> Option<Vec<NumericLoop>> {
+    loops
+        .iter()
+        .map(|l| {
+            let lo = ctx.eval(l.lower.as_ref()?)?;
+            let hi = ctx.eval(l.upper.as_ref()?)?;
+            let step = l.step?;
+            if step == 0 {
+                return None;
+            }
+            Some(NumericLoop { lo, hi, step })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::parse_stmts;
+
+    #[test]
+    fn collects_write_with_loop_stack() {
+        let stmts =
+            parse_stmts("do iy = 1, ny\n  do ix = 1, nx\n    as(ix) = ix * iy\n  end do\nend do")
+                .unwrap();
+        let refs = collect_accesses(&stmts, "as");
+        assert_eq!(refs.len(), 1);
+        let r = &refs[0];
+        assert!(r.is_write);
+        assert_eq!(r.loops.len(), 2);
+        assert_eq!(r.loops[0].var, "iy");
+        assert_eq!(r.loops[1].var, "ix");
+        assert!(r.fully_affine());
+        assert_eq!(r.loop_index("ix"), Some(1));
+    }
+
+    #[test]
+    fn collects_reads_including_subscript_reads() {
+        let stmts = parse_stmts("b(as(i)) = as(j) + 1").unwrap();
+        let refs = collect_accesses(&stmts, "as");
+        assert_eq!(refs.len(), 2);
+        assert!(refs.iter().all(|r| !r.is_write));
+    }
+
+    #[test]
+    fn conditional_flag() {
+        let stmts =
+            parse_stmts("if (i > 0) then\n  as(i) = 1\nend if\nas(j) = 2").unwrap();
+        let refs = collect_accesses(&stmts, "as");
+        assert_eq!(refs.len(), 2);
+        assert!(refs[0].in_conditional);
+        assert!(!refs[1].in_conditional);
+        assert!(refs[0].order < refs[1].order);
+    }
+
+    #[test]
+    fn call_args_record_read_write() {
+        let stmts = parse_stmts("call p(x, at)\ncall q(at(1:4))").unwrap();
+        let refs = collect_accesses(&stmts, "at");
+        // Two calls, each records one write + one read.
+        assert_eq!(refs.len(), 4);
+        assert_eq!(refs.iter().filter(|r| r.is_write).count(), 2);
+        assert!(refs.iter().all(|r| r.subscripts.is_empty()));
+    }
+
+    #[test]
+    fn non_affine_subscript_detected() {
+        let stmts = parse_stmts("do i = 1, n\n  as(mod(i, 4)) = 0\nend do").unwrap();
+        let refs = collect_accesses(&stmts, "as");
+        assert!(!refs[0].fully_affine());
+    }
+
+    #[test]
+    fn symbolic_step_is_none() {
+        let stmts = parse_stmts("do i = 1, n, k\n  as(i) = 0\nend do").unwrap();
+        let refs = collect_accesses(&stmts, "as");
+        assert_eq!(refs[0].loops[0].step, None);
+    }
+
+    #[test]
+    fn numeric_bounds_under_context() {
+        let stmts =
+            parse_stmts("do iy = 1, ny\n  do ix = 0, nx - 1, 2\n    as(ix) = 0\n  end do\nend do")
+                .unwrap();
+        let refs = collect_accesses(&stmts, "as");
+        let ctx = Context::new().with("nx", 10).with("ny", 3);
+        let nb = numeric_bounds(&refs[0].loops, &ctx).unwrap();
+        assert_eq!(nb[0], NumericLoop { lo: 1, hi: 3, step: 1 });
+        assert_eq!(nb[1], NumericLoop { lo: 0, hi: 9, step: 2 });
+        assert_eq!(nb[1].trip_count(), 5);
+    }
+
+    #[test]
+    fn numeric_bounds_fails_without_context() {
+        let stmts = parse_stmts("do ix = 1, nx\n  as(ix) = 0\nend do").unwrap();
+        let refs = collect_accesses(&stmts, "as");
+        assert!(numeric_bounds(&refs[0].loops, &Context::new()).is_none());
+    }
+
+    #[test]
+    fn trip_counts() {
+        assert_eq!(NumericLoop { lo: 1, hi: 10, step: 1 }.trip_count(), 10);
+        assert_eq!(NumericLoop { lo: 1, hi: 10, step: 3 }.trip_count(), 4);
+        assert_eq!(NumericLoop { lo: 10, hi: 1, step: 1 }.trip_count(), 0);
+        assert_eq!(NumericLoop { lo: 10, hi: 1, step: -2 }.trip_count(), 5);
+    }
+}

@@ -1,0 +1,230 @@
+//! Output-dependence analysis for the pre-push transformation (paper §3.3).
+//!
+//! The transformation tiles a loop `t` and ships, at the end of each tile,
+//! the array region written during that tile. This is only sound when no
+//! element written in tile `T` is written again in a tile `> T` — i.e. when
+//! there is **no output dependence carried by the tiled loop**. A reference
+//! with no such dependence is the paper's *safe* reference `Afs`.
+
+use crate::dep_test::{may_depend, CommonOrder, Rel, Verdict};
+use crate::loopnest::{collect_accesses, AccessRef, Context};
+use fir::ast::Stmt;
+
+/// Why a safety check failed, for the semi-automatic report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unsafety {
+    /// The array is passed by reference to a call; writes are opaque here.
+    OpaqueCallWrite { span: fir::Span },
+    /// A write is not enclosed by the tiled loop at all.
+    WriteOutsideTiledLoop { span: fir::Span },
+    /// The tiled loop is not in the common nest of a pair of writes.
+    TiledLoopNotCommon { span: fir::Span },
+    /// A (possible) output dependence carried by the tiled loop.
+    CarriedOverwrite { earlier: fir::Span, later: fir::Span },
+}
+
+impl std::fmt::Display for Unsafety {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unsafety::OpaqueCallWrite { .. } => {
+                write!(f, "array is passed by reference to a call inside the loop")
+            }
+            Unsafety::WriteOutsideTiledLoop { .. } => {
+                write!(f, "a write to the array is not inside the tiled loop")
+            }
+            Unsafety::TiledLoopNotCommon { .. } => {
+                write!(f, "two writes do not share the tiled loop in a common nest")
+            }
+            Unsafety::CarriedOverwrite { .. } => {
+                write!(f, "an element may be overwritten in a later tile")
+            }
+        }
+    }
+}
+
+/// Result of [`check_tile_safety`].
+#[derive(Debug, Clone)]
+pub struct SafetyReport {
+    pub verdict: Verdict,
+    pub problems: Vec<Unsafety>,
+    /// Number of textual write references examined.
+    pub writes_checked: usize,
+}
+
+impl SafetyReport {
+    pub fn is_safe(&self) -> bool {
+        self.verdict.is_independent()
+    }
+}
+
+/// Check that every element of `array` written under `stmts` is *final*
+/// with respect to the loop `tiled_var`: no instance of any write in a later
+/// iteration of `tiled_var` stores to the same element.
+///
+/// Rewrites *within* one iteration of the tiled loop are permitted — the
+/// tile only ships data after its last statement, so intra-tile overwrites
+/// are already ordered before the send.
+pub fn check_tile_safety(
+    stmts: &[Stmt],
+    array: &str,
+    tiled_var: &str,
+    ctx: &Context,
+) -> SafetyReport {
+    let refs = collect_accesses(stmts, array);
+    let writes: Vec<&AccessRef> = refs.iter().filter(|r| r.is_write).collect();
+    let mut problems = Vec::new();
+
+    for w in &writes {
+        if w.subscripts.is_empty() {
+            problems.push(Unsafety::OpaqueCallWrite { span: w.span });
+        } else if w.loop_index(tiled_var).is_none() {
+            problems.push(Unsafety::WriteOutsideTiledLoop { span: w.span });
+        }
+    }
+
+    if problems.is_empty() {
+        'pairs: for w1 in &writes {
+            for w2 in &writes {
+                let common = crate::dep_test::common_loops(w1, w2);
+                let Some(k) = common.iter().position(|l| l.var == tiled_var) else {
+                    problems.push(Unsafety::TiledLoopNotCommon { span: w2.span });
+                    break 'pairs;
+                };
+                let v = may_depend(
+                    w1,
+                    w2,
+                    ctx,
+                    &[CommonOrder {
+                        common_idx: k,
+                        rel: Rel::Lt,
+                    }],
+                );
+                if v == Verdict::MayDepend {
+                    problems.push(Unsafety::CarriedOverwrite {
+                        earlier: w1.span,
+                        later: w2.span,
+                    });
+                }
+            }
+        }
+    }
+
+    SafetyReport {
+        verdict: if problems.is_empty() {
+            Verdict::Independent
+        } else {
+            Verdict::MayDepend
+        },
+        problems,
+        writes_checked: writes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::parse_stmts;
+
+    fn ctx() -> Context {
+        Context::new().with("nx", 64).with("ny", 8)
+    }
+
+    fn check(src: &str, tiled: &str) -> SafetyReport {
+        check_tile_safety(&parse_stmts(src).unwrap(), "as", tiled, &ctx())
+    }
+
+    #[test]
+    fn fig2_direct_kernel_is_safe() {
+        let r = check("do ix = 1, nx\n  as(ix) = ix * 2\nend do", "ix");
+        assert!(r.is_safe());
+        assert_eq!(r.writes_checked, 1);
+    }
+
+    #[test]
+    fn intra_tile_double_write_is_safe() {
+        // as(ix) written twice in the SAME iteration: final value wins
+        // before the tile ships — safe.
+        let r = check("do ix = 1, nx\n  as(ix) = 0\n  as(ix) = ix\nend do", "ix");
+        assert!(r.is_safe());
+        assert_eq!(r.writes_checked, 2);
+    }
+
+    #[test]
+    fn accumulator_pattern_unsafe() {
+        // as(1) updated every iteration: each tile's value is overwritten
+        // by later tiles.
+        let r = check("do ix = 1, nx\n  as(1) = as(1) + ix\nend do", "ix");
+        assert!(!r.is_safe());
+        assert!(matches!(
+            r.problems[0],
+            Unsafety::CarriedOverwrite { .. }
+        ));
+    }
+
+    #[test]
+    fn overwrite_across_outer_loop_safe_for_inner_tiling() {
+        // Tiling over ix: as(ix) rewritten for each iy, but iy is OUTER —
+        // per fixed iy, ix writes are injective. Safe w.r.t. ix.
+        let r = check(
+            "do iy = 1, ny\n  do ix = 1, nx\n    as(ix) = ix * iy\n  end do\nend do",
+            "ix",
+        );
+        assert!(r.is_safe());
+        // ...but tiling over iy is NOT safe: later iy overwrites all of as.
+        let r = check(
+            "do iy = 1, ny\n  do ix = 1, nx\n    as(ix) = ix * iy\n  end do\nend do",
+            "iy",
+        );
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn write_outside_tiled_loop_flagged() {
+        let r = check("as(1) = 0\ndo ix = 1, nx\n  as(ix) = 1\nend do", "ix");
+        assert!(!r.is_safe());
+        assert!(matches!(
+            r.problems[0],
+            Unsafety::WriteOutsideTiledLoop { .. }
+        ));
+    }
+
+    #[test]
+    fn call_write_flagged_as_opaque() {
+        let r = check("do ix = 1, nx\n  call p(as)\nend do", "ix");
+        assert!(!r.is_safe());
+        assert!(matches!(r.problems[0], Unsafety::OpaqueCallWrite { .. }));
+    }
+
+    #[test]
+    fn skewed_but_injective_write_safe() {
+        let r = check("do ix = 1, nx\n  as(nx - ix + 1) = ix\nend do", "ix");
+        assert!(r.is_safe());
+    }
+
+    #[test]
+    fn two_interleaved_writes_disjoint_by_parity() {
+        let r = check(
+            "do ix = 1, nx\n  as(2 * ix) = 0\n  as(2 * ix - 1) = 1\nend do",
+            "ix",
+        );
+        assert!(r.is_safe());
+        assert_eq!(r.writes_checked, 2);
+    }
+
+    #[test]
+    fn two_writes_colliding_across_tiles() {
+        // as(ix) and as(ix+1): iteration ix writes slot ix+1, iteration
+        // ix+1 overwrites slot ix+1 — carried overwrite.
+        let r = check(
+            "do ix = 1, nx\n  as(ix) = 0\n  as(ix + 1) = 1\nend do",
+            "ix",
+        );
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn non_affine_write_conservative() {
+        let r = check("do ix = 1, nx\n  as(mod(ix, 8) + 1) = 0\nend do", "ix");
+        assert!(!r.is_safe());
+    }
+}

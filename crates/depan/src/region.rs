@@ -1,0 +1,338 @@
+//! Array access-region analysis with *partial triplets* (paper §3.3,
+//! after Paek/Hoeflinger/Padua's access-region work).
+//!
+//! For a write reference inside the loop being tiled, computes the symbolic
+//! per-dimension bounds `[l(i_k), u(i_k)]` of the region touched while the
+//! tiled variable sweeps a tile `[t_lo, t_hi]`, with every loop *inside* the
+//! tile loop swept over its full range. The Compuniformer turns these
+//! triplets into the array sections passed to `mpi_isend`.
+
+use crate::affine::Affine;
+use crate::loopnest::AccessRef;
+use fir::ast::Expr;
+use fir::builder as b;
+
+/// Convert an affine form back into an expression tree (for codegen).
+pub fn affine_to_expr(a: &Affine) -> Expr {
+    let mut acc = b::int(a.constant);
+    let mut first = a.constant == 0;
+    for (v, c) in a.vars() {
+        let term = b::mul(b::int(c), b::var(v));
+        if first {
+            acc = term;
+            first = false;
+        } else {
+            acc = b::add(acc, term);
+        }
+    }
+    acc
+}
+
+/// Symbolic bounds of one dimension of a tile footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimTriplet {
+    pub lower: Expr,
+    pub upper: Expr,
+    /// Does this dimension's subscript involve the tiled variable?
+    pub tracks_tile: bool,
+    /// Is this dimension constant within the whole tile (lower == upper)?
+    pub fixed: bool,
+}
+
+/// Why footprint computation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    NonAffineSubscript { dim: usize },
+    TiledVarNotEnclosing,
+    InnerLoopBoundNotAffine { var: String },
+    SymbolicInnerStep { var: String },
+    /// An inner loop's variable appears with the tiled variable in the same
+    /// subscript — bounds would not be separable monotone forms.
+    MixedDimension { dim: usize },
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::NonAffineSubscript { dim } => {
+                write!(f, "subscript of dimension {} is not affine", dim + 1)
+            }
+            RegionError::TiledVarNotEnclosing => {
+                write!(f, "the tiled loop does not enclose this reference")
+            }
+            RegionError::InnerLoopBoundNotAffine { var } => {
+                write!(f, "bounds of inner loop `{var}` are not affine")
+            }
+            RegionError::SymbolicInnerStep { var } => {
+                write!(f, "inner loop `{var}` has a symbolic step")
+            }
+            RegionError::MixedDimension { dim } => write!(
+                f,
+                "dimension {} mixes the tiled variable with an inner loop variable",
+                dim + 1
+            ),
+        }
+    }
+}
+
+/// Compute the tile footprint of `r` when `tile_var` ranges over
+/// `[tile_lo, tile_hi]` (inclusive expressions) and all loops nested inside
+/// `tile_var` sweep their full declared ranges.
+///
+/// Per dimension the subscript must be affine and *separable*: it may
+/// depend on the tiled variable, or on inner-loop variables, but not both
+/// at once (the monotone substitution would otherwise be wrong for e.g.
+/// `as(ix - iz)`).
+pub fn tile_footprint(
+    r: &AccessRef,
+    tile_var: &str,
+    tile_lo: &Expr,
+    tile_hi: &Expr,
+) -> Result<Vec<DimTriplet>, RegionError> {
+    let tile_pos = r
+        .loop_index(tile_var)
+        .ok_or(RegionError::TiledVarNotEnclosing)?;
+    let inner: Vec<_> = r.loops[tile_pos + 1..].to_vec();
+
+    let mut out = Vec::with_capacity(r.rank());
+    for (d, aff) in r.affine.iter().enumerate() {
+        let aff = aff
+            .as_ref()
+            .ok_or(RegionError::NonAffineSubscript { dim: d })?;
+        let c_tile = aff.coeff(tile_var);
+        let inner_vars: Vec<&str> = inner
+            .iter()
+            .map(|l| l.var.as_str())
+            .filter(|v| aff.coeff(v) != 0)
+            .collect();
+        if c_tile != 0 && !inner_vars.is_empty() {
+            return Err(RegionError::MixedDimension { dim: d });
+        }
+
+        // Start from the subscript with index vars removed (symbols + const
+        // stay as the base expression), then add monotone bound terms.
+        let mut base = aff.clone();
+        base = base.substitute(tile_var, 0).expect("checked overflow");
+        for l in &inner {
+            base = base.substitute(&l.var, 0).expect("checked overflow");
+        }
+        let base_expr = affine_to_expr(&base);
+
+        let mut lower = base_expr.clone();
+        let mut upper = base_expr;
+
+        if c_tile != 0 {
+            let scaled_lo = b::mul(b::int(c_tile), tile_lo.clone());
+            let scaled_hi = b::mul(b::int(c_tile), tile_hi.clone());
+            if c_tile > 0 {
+                lower = b::add(lower, scaled_lo);
+                upper = b::add(upper, scaled_hi);
+            } else {
+                lower = b::add(lower, scaled_hi);
+                upper = b::add(upper, scaled_lo);
+            }
+        }
+
+        for l in &inner {
+            let c = aff.coeff(&l.var);
+            if c == 0 {
+                continue;
+            }
+            if l.step.is_none() {
+                return Err(RegionError::SymbolicInnerStep {
+                    var: l.var.clone(),
+                });
+            }
+            let lo_aff = l
+                .lower
+                .as_ref()
+                .ok_or_else(|| RegionError::InnerLoopBoundNotAffine {
+                    var: l.var.clone(),
+                })?;
+            let hi_aff = l
+                .upper
+                .as_ref()
+                .ok_or_else(|| RegionError::InnerLoopBoundNotAffine {
+                    var: l.var.clone(),
+                })?;
+            // A negative step visits [hi', lo] downward; the touched value
+            // set is still within [lo, hi] so using declared bounds is
+            // sound (may over-approximate the last partial stride).
+            let lo_e = b::mul(b::int(c), affine_to_expr(lo_aff));
+            let hi_e = b::mul(b::int(c), affine_to_expr(hi_aff));
+            if c > 0 {
+                lower = b::add(lower, lo_e);
+                upper = b::add(upper, hi_e);
+            } else {
+                lower = b::add(lower, hi_e);
+                upper = b::add(upper, lo_e);
+            }
+        }
+
+        let fixed = c_tile == 0 && inner_vars.is_empty();
+        out.push(DimTriplet {
+            lower,
+            upper,
+            tracks_tile: c_tile != 0,
+            fixed,
+        });
+    }
+    Ok(out)
+}
+
+/// Is the footprint a single contiguous block in column-major order?
+/// True iff there is a split dimension `p` such that every dimension `< p`
+/// covers the full declared extent, and every dimension `> p` is fixed.
+///
+/// `full_extent(d)` must answer whether triplet `d` spans the declared
+/// bounds of dimension `d` (the caller owns the declarations).
+pub fn is_contiguous(
+    triplets: &[DimTriplet],
+    full_extent: &dyn Fn(usize) -> bool,
+) -> bool {
+    // Find the last non-fixed dimension.
+    let p = match triplets.iter().rposition(|t| !t.fixed) {
+        None => return true, // single element
+        Some(p) => p,
+    };
+    (0..p).all(full_extent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopnest::collect_accesses;
+    use fir::builder as b;
+    use fir::{parse_stmts, unparse_expr};
+
+    fn write_ref(src: &str, array: &str) -> AccessRef {
+        collect_accesses(&parse_stmts(src).unwrap(), array)
+            .into_iter()
+            .find(|r| r.is_write)
+            .unwrap()
+    }
+
+    #[test]
+    fn one_dim_direct_footprint() {
+        // as(ix), tile [t0, t0 + k - 1]: triplet [t0, t0 + k - 1].
+        let r = write_ref("do ix = 1, nx\n  as(ix) = 0\nend do", "as");
+        let lo = b::var("t0");
+        let hi = b::sub(b::add(b::var("t0"), b::var("k")), b::int(1));
+        let fp = tile_footprint(&r, "ix", &lo, &hi).unwrap();
+        assert_eq!(fp.len(), 1);
+        assert_eq!(unparse_expr(&fp[0].lower), "t0");
+        assert_eq!(unparse_expr(&fp[0].upper), "t0 + k - 1");
+        assert!(fp[0].tracks_tile);
+        assert!(!fp[0].fixed);
+    }
+
+    #[test]
+    fn scaled_subscript_footprint() {
+        // as(2*ix + 3): [2*lo + 3, 2*hi + 3].
+        let r = write_ref("do ix = 1, nx\n  as(2 * ix + 3) = 0\nend do", "as");
+        let fp = tile_footprint(&r, "ix", &b::var("a"), &b::var("b")).unwrap();
+        assert_eq!(unparse_expr(&fp[0].lower), "3 + 2 * a");
+        assert_eq!(unparse_expr(&fp[0].upper), "3 + 2 * b");
+    }
+
+    #[test]
+    fn negative_coefficient_swaps_bounds() {
+        // as(nx - ix + 1): decreasing in ix, so lower uses the tile's hi.
+        let r = write_ref("do ix = 1, nx\n  as(nx - ix + 1) = 0\nend do", "as");
+        let fp = tile_footprint(&r, "ix", &b::var("a"), &b::var("b")).unwrap();
+        assert_eq!(unparse_expr(&fp[0].lower), "1 + nx + (-1) * b");
+        assert_eq!(unparse_expr(&fp[0].upper), "1 + nx + (-1) * a");
+    }
+
+    #[test]
+    fn multi_dim_with_outer_fixed() {
+        // as(ix, iy): tiling over ix inside the iy loop — dim 2 fixed at iy.
+        let r = write_ref(
+            "do iy = 1, ny\n  do ix = 1, nx\n    as(ix, iy) = 0\n  end do\nend do",
+            "as",
+        );
+        let fp = tile_footprint(&r, "ix", &b::var("a"), &b::var("b")).unwrap();
+        assert_eq!(unparse_expr(&fp[0].lower), "a");
+        assert_eq!(unparse_expr(&fp[0].upper), "b");
+        assert!(fp[1].fixed);
+        assert_eq!(unparse_expr(&fp[1].lower), "iy");
+        assert_eq!(unparse_expr(&fp[1].upper), "iy");
+    }
+
+    #[test]
+    fn inner_loop_swept_full_range() {
+        // Tiling the OUTER loop iy of as(ix, iy): dim 1 sweeps 1..nx fully.
+        let r = write_ref(
+            "do iy = 1, ny\n  do ix = 1, nx\n    as(ix, iy) = 0\n  end do\nend do",
+            "as",
+        );
+        let fp = tile_footprint(&r, "iy", &b::var("a"), &b::var("b")).unwrap();
+        assert_eq!(unparse_expr(&fp[0].lower), "1");
+        assert_eq!(unparse_expr(&fp[0].upper), "nx");
+        assert!(!fp[0].tracks_tile);
+        assert!(!fp[0].fixed);
+        assert!(fp[1].tracks_tile);
+    }
+
+    #[test]
+    fn mixed_dimension_rejected() {
+        let r = write_ref(
+            "do iy = 1, ny\n  do ix = 1, nx\n    as(ix + iy) = 0\n  end do\nend do",
+            "as",
+        );
+        let err = tile_footprint(&r, "iy", &b::var("a"), &b::var("b")).unwrap_err();
+        assert_eq!(err, RegionError::MixedDimension { dim: 0 });
+    }
+
+    #[test]
+    fn non_affine_rejected() {
+        let r = write_ref("do ix = 1, nx\n  as(mod(ix, 4)) = 0\nend do", "as");
+        let err = tile_footprint(&r, "ix", &b::var("a"), &b::var("b")).unwrap_err();
+        assert_eq!(err, RegionError::NonAffineSubscript { dim: 0 });
+    }
+
+    #[test]
+    fn not_enclosing_rejected() {
+        let r = write_ref("do ix = 1, nx\n  as(ix) = 0\nend do", "as");
+        let err = tile_footprint(&r, "iz", &b::var("a"), &b::var("b")).unwrap_err();
+        assert_eq!(err, RegionError::TiledVarNotEnclosing);
+    }
+
+    #[test]
+    fn contiguity_rules() {
+        let t_fixed = DimTriplet {
+            lower: b::var("iy"),
+            upper: b::var("iy"),
+            tracks_tile: false,
+            fixed: true,
+        };
+        let t_range = DimTriplet {
+            lower: b::var("a"),
+            upper: b::var("b"),
+            tracks_tile: true,
+            fixed: false,
+        };
+        // (range, fixed): contiguous regardless of extents.
+        assert!(is_contiguous(
+            &[t_range.clone(), t_fixed.clone()],
+            &|_| false
+        ));
+        // (fixed, range): contiguous only if dim 0 is full extent.
+        assert!(is_contiguous(&[t_fixed.clone(), t_range.clone()], &|_| true));
+        assert!(!is_contiguous(
+            &[t_range.clone(), t_range.clone()],
+            &|_| false
+        ));
+        // all fixed: single element.
+        assert!(is_contiguous(&[t_fixed.clone(), t_fixed], &|_| false));
+    }
+
+    #[test]
+    fn affine_expr_conversion_roundtrip() {
+        let a = crate::affine::from_expr(&fir::parse_expr("2 * ix + nx - 5").unwrap())
+            .unwrap();
+        let e = affine_to_expr(&a);
+        let back = crate::affine::from_expr(&e).unwrap();
+        assert_eq!(a, back);
+    }
+}

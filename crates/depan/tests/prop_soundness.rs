@@ -1,0 +1,162 @@
+//! Soundness property: whenever the dependence cascade answers
+//! `Independent`, brute-force enumeration of the full iteration space must
+//! find no pair of conflicting accesses. (The reverse need not hold —
+//! `MayDepend` is allowed to be conservative.)
+//!
+//! Also: the tile-safety check (`check_tile_safety`) is validated against
+//! a brute-force interpreter of write footprints: if the analysis says
+//! safe, no element may be written in two different iterations of the
+//! tiled loop.
+
+use depan::loopnest::{collect_accesses, Context};
+use depan::{check_tile_safety, may_depend, CommonOrder, Rel, Verdict};
+use proptest::prelude::*;
+
+/// A small single-loop kernel writing `as(a*ix + b)` and `as(c*ix + d)`.
+#[derive(Debug, Clone)]
+struct TwoWrites {
+    n: i64,
+    a: i64,
+    b: i64,
+    c: i64,
+    d: i64,
+}
+
+impl TwoWrites {
+    fn source(&self) -> String {
+        let TwoWrites { n, a, b, c, d } = *self;
+        // Offsets keep subscripts positive; bounds don't matter for the
+        // dependence question itself (depan never sees runtime bounds
+        // violations — it reasons on the iteration space only).
+        format!(
+            "do ix = 1, {n}\n  as({a} * ix + {b}) = 1\n  as({c} * ix + {d}) = 2\nend do"
+        )
+    }
+
+    /// Brute force: is there a pair of iterations i < i' where write 1 at
+    /// i and write 2 at i' (or vice versa, or the same write at both)
+    /// touch the same element?
+    fn overwrite_across_iterations(&self) -> bool {
+        let subs = [
+            |s: &TwoWrites, i: i64| s.a * i + s.b,
+            |s: &TwoWrites, i: i64| s.c * i + s.d,
+        ];
+        for i in 1..=self.n {
+            for j in (i + 1)..=self.n {
+                for f in &subs {
+                    for g in &subs {
+                        if f(self, i) == g(self, j) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn tile_safety_never_claims_safe_wrongly(
+        n in 2i64..14,
+        a in -3i64..4,
+        b in 0i64..6,
+        c in -3i64..4,
+        d in 0i64..6,
+    ) {
+        let kern = TwoWrites { n, a, b, c, d };
+        let stmts = fir::parse_stmts(&kern.source()).unwrap();
+        let report = check_tile_safety(&stmts, "as", "ix", &Context::new());
+        if report.is_safe() {
+            prop_assert!(
+                !kern.overwrite_across_iterations(),
+                "analysis said safe but brute force found an overwrite:\n{}",
+                kern.source()
+            );
+        }
+    }
+
+    #[test]
+    fn independent_verdicts_are_sound(
+        n in 2i64..12,
+        a in -3i64..4,
+        b in -5i64..6,
+        c in -3i64..4,
+        d in -5i64..6,
+    ) {
+        let kern = TwoWrites { n, a, b, c, d };
+        let stmts = fir::parse_stmts(&kern.source()).unwrap();
+        let refs = collect_accesses(&stmts, "as");
+        let writes: Vec<_> = refs.iter().filter(|r| r.is_write).collect();
+        prop_assert_eq!(writes.len(), 2);
+
+        let ctx = Context::new();
+        // Pairwise with the strict-order constraint, exactly like the
+        // tile-safety driver.
+        for (w1, w2) in [(writes[0], writes[1]), (writes[1], writes[0])] {
+            let v = may_depend(
+                w1,
+                w2,
+                &ctx,
+                &[CommonOrder { common_idx: 0, rel: Rel::Lt }],
+            );
+            if v == Verdict::Independent {
+                // Brute-force the specific pair.
+                let f1 = |i: i64| {
+                    if std::ptr::eq(w1, writes[0]) { kern.a * i + kern.b } else { kern.c * i + kern.d }
+                };
+                let f2 = |i: i64| {
+                    if std::ptr::eq(w2, writes[0]) { kern.a * i + kern.b } else { kern.c * i + kern.d }
+                };
+                for i in 1..=kern.n {
+                    for j in (i + 1)..=kern.n {
+                        prop_assert_ne!(
+                            f1(i),
+                            f2(j),
+                            "Independent verdict contradicted at i={}, j={} for\n{}",
+                            i,
+                            j,
+                            kern.source()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Footprint exactness: the region analysis' tile footprint, evaluated
+    /// numerically, must equal the exact set-bounds of elements written
+    /// during the tile.
+    #[test]
+    fn tile_footprint_matches_brute_force(
+        n in 4i64..20,
+        coeff in prop::sample::select(vec![-1i64, 1]),
+        off in 0i64..5,
+        t_lo in 1i64..6,
+        t_len in 1i64..6,
+    ) {
+        let t_lo = t_lo.min(n);
+        let t_hi = (t_lo + t_len - 1).min(n);
+        let src = format!(
+            "do ix = 1, {n}\n  as({coeff} * ix + {off}) = 1\nend do"
+        );
+        let stmts = fir::parse_stmts(&src).unwrap();
+        let refs = collect_accesses(&stmts, "as");
+        let w = &refs[0];
+
+        let lo_e = fir::builder::int(t_lo);
+        let hi_e = fir::builder::int(t_hi);
+        let fp = depan::tile_footprint(w, "ix", &lo_e, &hi_e).unwrap();
+        let flo = depan::affine::from_expr(&fp[0].lower).unwrap().constant;
+        let fhi = depan::affine::from_expr(&fp[0].upper).unwrap().constant;
+
+        let touched: Vec<i64> = (t_lo..=t_hi).map(|i| coeff * i + off).collect();
+        let min = *touched.iter().min().unwrap();
+        let max = *touched.iter().max().unwrap();
+        prop_assert_eq!(flo, min, "lower bound mismatch for {}", src);
+        prop_assert_eq!(fhi, max, "upper bound mismatch for {}", src);
+    }
+}

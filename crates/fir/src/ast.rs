@@ -1,0 +1,667 @@
+//! The transformable IR: a typed AST for the mini-Fortran subset.
+//!
+//! This plays the role of the Nestor IR in the paper: the Compuniformer
+//! consumes and rewrites these trees, and [`crate::unparse`] turns them back
+//! into source text.
+//!
+//! Structural equality ([`PartialEq`]) deliberately ignores spans so that a
+//! parse → unparse → parse roundtrip compares equal; see the manual impls at
+//! the bottom of this module.
+
+use crate::span::Span;
+
+/// Scalar element types. The subset has no logical type; conditions are
+/// integers (0 = false, nonzero = true), matching old Fortran practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    Integer,
+    Real,
+}
+
+impl ScalarType {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ScalarType::Integer => "integer",
+            ScalarType::Real => "real",
+        }
+    }
+}
+
+/// One dimension's declared bounds, `lower:upper` (both inclusive, Fortran
+/// style). `integer :: a(n)` parses with an implicit lower bound of 1.
+#[derive(Debug, Clone)]
+pub struct DimBound {
+    pub lower: Expr,
+    pub upper: Expr,
+}
+
+/// A variable declaration: scalar if `dims` is empty.
+#[derive(Debug, Clone)]
+pub struct Decl {
+    pub name: String,
+    pub ty: ScalarType,
+    pub dims: Vec<DimBound>,
+    pub span: Span,
+}
+
+impl Decl {
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// Binary operators, in increasing precedence groups (see parser).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+}
+
+impl BinOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => ".or.",
+            BinOp::And => ".and.",
+            BinOp::Eq => "==",
+            BinOp::Ne => "/=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "**",
+        }
+    }
+
+    /// Binding power for the unparser's minimal-parenthesis printing.
+    /// Higher binds tighter. `Pow` is right-associative; the rest are left.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div => 5,
+            BinOp::Pow => 7,
+        }
+    }
+
+    pub fn is_right_assoc(self) -> bool {
+        matches!(self, BinOp::Pow)
+    }
+
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators. Unary minus has precedence 6 (between `*` and `**`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+impl UnOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => ".not.",
+        }
+    }
+}
+
+/// Expressions. `ArrayRef` covers both array element references and intrinsic
+/// function calls at parse time; [`crate::validate`] reclassifies intrinsic
+/// calls into `Call` using the intrinsic table.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    IntLit(i64, Span),
+    RealLit(f64, Span),
+    Var(String, Span),
+    ArrayRef {
+        name: String,
+        indices: Vec<Expr>,
+        span: Span,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+        span: Span,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
+}
+
+impl Expr {
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit(_, s)
+            | Expr::RealLit(_, s)
+            | Expr::Var(_, s)
+            | Expr::ArrayRef { span: s, .. }
+            | Expr::Call { span: s, .. }
+            | Expr::Unary { span: s, .. }
+            | Expr::Binary { span: s, .. } => *s,
+        }
+    }
+
+    /// Constant-fold check: is this literally the integer `v`?
+    pub fn is_int(&self, v: i64) -> bool {
+        matches!(self, Expr::IntLit(x, _) if *x == v)
+    }
+
+    /// If the expression is an integer literal, return it.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::IntLit(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Does any subexpression reference an array element?
+    /// (The paper's *direct* pattern requires an RHS that is not an array
+    /// reference — §3.2.)
+    pub fn contains_array_ref(&self) -> bool {
+        match self {
+            Expr::ArrayRef { .. } => true,
+            Expr::IntLit(..) | Expr::RealLit(..) | Expr::Var(..) => false,
+            Expr::Call { args, .. } => args.iter().any(Expr::contains_array_ref),
+            Expr::Unary { operand, .. } => operand.contains_array_ref(),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.contains_array_ref() || rhs.contains_array_ref()
+            }
+        }
+    }
+
+    /// Collect the names of all scalar variables read by this expression.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(n, _) => {
+                if !out.iter().any(|v| v == n) {
+                    out.push(n.clone());
+                }
+            }
+            Expr::IntLit(..) | Expr::RealLit(..) => {}
+            Expr::ArrayRef { indices, .. } => {
+                for i in indices {
+                    i.free_vars(out);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+            Expr::Unary { operand, .. } => operand.free_vars(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.free_vars(out);
+                rhs.free_vars(out);
+            }
+        }
+    }
+}
+
+/// An assignment target: scalar (`indices` empty) or array element.
+#[derive(Debug, Clone)]
+pub struct LValue {
+    pub name: String,
+    pub indices: Vec<Expr>,
+    pub span: Span,
+}
+
+impl LValue {
+    pub fn is_scalar(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// One dimension of an array section argument.
+#[derive(Debug, Clone)]
+pub enum SecDim {
+    /// A single index: `a(i, …)`.
+    Index(Expr),
+    /// A bounded range `lo:hi`; either side may be omitted meaning the
+    /// declared bound: `a(2:, :hi)`, or `a(:)` for the whole extent.
+    Range(Option<Expr>, Option<Expr>),
+}
+
+/// An array section used as a call argument, e.g. `as(1:k, iy)`.
+/// A bare array name argument is represented as a section with one
+/// `Range(None, None)` per declared dimension after validation, or kept as
+/// `Arg::Expr(Expr::Var)` before it.
+#[derive(Debug, Clone)]
+pub struct Section {
+    pub name: String,
+    pub dims: Vec<SecDim>,
+    pub span: Span,
+}
+
+/// A call argument: a plain expression or an array section.
+#[derive(Debug, Clone)]
+pub enum Arg {
+    Expr(Expr),
+    Section(Section),
+}
+
+impl Arg {
+    pub fn span(&self) -> Span {
+        match self {
+            Arg::Expr(e) => e.span(),
+            Arg::Section(s) => s.span,
+        }
+    }
+
+    /// The variable name this argument passes by reference, if it is a bare
+    /// variable or a section (used by the mutation analysis in §3.1).
+    pub fn passed_name(&self) -> Option<&str> {
+        match self {
+            Arg::Expr(Expr::Var(n, _)) => Some(n),
+            Arg::Section(s) => Some(&s.name),
+            _ => None,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    Assign {
+        target: LValue,
+        value: Expr,
+        span: Span,
+    },
+    Do {
+        var: String,
+        lower: Expr,
+        upper: Expr,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        span: Span,
+    },
+    Call {
+        name: String,
+        args: Vec<Arg>,
+        span: Span,
+    },
+}
+
+impl Stmt {
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::Do { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Call { span, .. } => *span,
+        }
+    }
+
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Stmt::Assign { .. } => "assignment",
+            Stmt::Do { .. } => "do loop",
+            Stmt::If { .. } => "if",
+            Stmt::Call { .. } => "call",
+        }
+    }
+}
+
+/// A subroutine parameter. Arrays are passed by reference; scalars by value.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub span: Span,
+}
+
+/// A procedure: the main program or a subroutine.
+#[derive(Debug, Clone)]
+pub struct Procedure {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub decls: Vec<Decl>,
+    pub body: Vec<Stmt>,
+    pub is_main: bool,
+    pub span: Span,
+}
+
+impl Procedure {
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+}
+
+/// A whole compilation unit: zero or more subroutines plus one main program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub procedures: Vec<Procedure>,
+    pub main: Procedure,
+}
+
+impl Program {
+    pub fn procedure(&self, name: &str) -> Option<&Procedure> {
+        self.procedures.iter().find(|p| p.name == name)
+    }
+
+    /// All procedures including main, main last (source order).
+    pub fn all_procedures(&self) -> impl Iterator<Item = &Procedure> {
+        self.procedures.iter().chain(std::iter::once(&self.main))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span-insensitive structural equality.
+//
+// PartialEq is implemented manually so unparse/parse roundtrips compare equal
+// even though spans differ. Real literals compare with bitwise equality
+// (f64::to_bits) so NaN == NaN and -0.0 != 0.0: the roundtrip property needs
+// reflexivity, not IEEE semantics.
+// ---------------------------------------------------------------------------
+
+impl PartialEq for DimBound {
+    fn eq(&self, other: &Self) -> bool {
+        self.lower == other.lower && self.upper == other.upper
+    }
+}
+impl Eq for DimBound {}
+
+impl PartialEq for Decl {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.ty == other.ty && self.dims == other.dims
+    }
+}
+impl Eq for Decl {}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        use Expr::*;
+        match (self, other) {
+            (IntLit(a, _), IntLit(b, _)) => a == b,
+            (RealLit(a, _), RealLit(b, _)) => a.to_bits() == b.to_bits(),
+            (Var(a, _), Var(b, _)) => a == b,
+            (
+                ArrayRef {
+                    name: n1,
+                    indices: i1,
+                    ..
+                },
+                ArrayRef {
+                    name: n2,
+                    indices: i2,
+                    ..
+                },
+            ) => n1 == n2 && i1 == i2,
+            (
+                Call {
+                    name: n1, args: a1, ..
+                },
+                Call {
+                    name: n2, args: a2, ..
+                },
+            ) => n1 == n2 && a1 == a2,
+            (
+                Unary {
+                    op: o1, operand: e1, ..
+                },
+                Unary {
+                    op: o2, operand: e2, ..
+                },
+            ) => o1 == o2 && e1 == e2,
+            (
+                Binary {
+                    op: o1,
+                    lhs: l1,
+                    rhs: r1,
+                    ..
+                },
+                Binary {
+                    op: o2,
+                    lhs: l2,
+                    rhs: r2,
+                    ..
+                },
+            ) => o1 == o2 && l1 == l2 && r1 == r2,
+            _ => false,
+        }
+    }
+}
+impl Eq for Expr {}
+
+impl PartialEq for LValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.indices == other.indices
+    }
+}
+impl Eq for LValue {}
+
+impl PartialEq for SecDim {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SecDim::Index(a), SecDim::Index(b)) => a == b,
+            (SecDim::Range(a1, a2), SecDim::Range(b1, b2)) => a1 == b1 && a2 == b2,
+            _ => false,
+        }
+    }
+}
+impl Eq for SecDim {}
+
+impl PartialEq for Section {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.dims == other.dims
+    }
+}
+impl Eq for Section {}
+
+impl PartialEq for Arg {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Arg::Expr(a), Arg::Expr(b)) => a == b,
+            (Arg::Section(a), Arg::Section(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+impl Eq for Arg {}
+
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        use Stmt::*;
+        match (self, other) {
+            (
+                Assign {
+                    target: t1,
+                    value: v1,
+                    ..
+                },
+                Assign {
+                    target: t2,
+                    value: v2,
+                    ..
+                },
+            ) => t1 == t2 && v1 == v2,
+            (
+                Do {
+                    var: v1,
+                    lower: l1,
+                    upper: u1,
+                    step: s1,
+                    body: b1,
+                    ..
+                },
+                Do {
+                    var: v2,
+                    lower: l2,
+                    upper: u2,
+                    step: s2,
+                    body: b2,
+                    ..
+                },
+            ) => v1 == v2 && l1 == l2 && u1 == u2 && s1 == s2 && b1 == b2,
+            (
+                If {
+                    cond: c1,
+                    then_body: t1,
+                    else_body: e1,
+                    ..
+                },
+                If {
+                    cond: c2,
+                    then_body: t2,
+                    else_body: e2,
+                    ..
+                },
+            ) => c1 == c2 && t1 == t2 && e1 == e2,
+            (
+                Call {
+                    name: n1, args: a1, ..
+                },
+                Call {
+                    name: n2, args: a2, ..
+                },
+            ) => n1 == n2 && a1 == a2,
+            _ => false,
+        }
+    }
+}
+impl Eq for Stmt {}
+
+impl PartialEq for Param {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+impl Eq for Param {}
+
+impl PartialEq for Procedure {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.decls == other.decls
+            && self.body == other.body
+            && self.is_main == other.is_main
+    }
+}
+impl Eq for Procedure {}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.procedures == other.procedures && self.main == other.main
+    }
+}
+impl Eq for Program {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str) -> Expr {
+        Expr::Var(n.into(), Span::DUMMY)
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = Expr::Var("x".into(), Span::new(0, 1));
+        let b = Expr::Var("x".into(), Span::new(10, 11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn real_literal_equality_is_bitwise() {
+        let nan1 = Expr::RealLit(f64::NAN, Span::DUMMY);
+        let nan2 = Expr::RealLit(f64::NAN, Span::DUMMY);
+        assert_eq!(nan1, nan2);
+        let pos = Expr::RealLit(0.0, Span::DUMMY);
+        let neg = Expr::RealLit(-0.0, Span::DUMMY);
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn contains_array_ref_descends() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(var("x")),
+            rhs: Box::new(Expr::ArrayRef {
+                name: "a".into(),
+                indices: vec![var("i")],
+                span: Span::DUMMY,
+            }),
+            span: Span::DUMMY,
+        };
+        assert!(e.contains_array_ref());
+        assert!(!var("x").contains_array_ref());
+    }
+
+    #[test]
+    fn free_vars_dedup_and_descend_into_indices() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::ArrayRef {
+                name: "a".into(),
+                indices: vec![var("i")],
+                span: Span::DUMMY,
+            }),
+            rhs: Box::new(var("i")),
+            span: Span::DUMMY,
+        };
+        let mut vs = Vec::new();
+        e.free_vars(&mut vs);
+        assert_eq!(vs, vec!["i".to_string()]);
+    }
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Pow.precedence() > BinOp::Mul.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+    }
+
+    #[test]
+    fn arg_passed_name() {
+        let a = Arg::Expr(var("at"));
+        assert_eq!(a.passed_name(), Some("at"));
+        let b = Arg::Expr(Expr::IntLit(3, Span::DUMMY));
+        assert_eq!(b.passed_name(), None);
+        let s = Arg::Section(Section {
+            name: "as".into(),
+            dims: vec![SecDim::Range(None, None)],
+            span: Span::DUMMY,
+        });
+        assert_eq!(s.passed_name(), Some("as"));
+    }
+}

@@ -1,0 +1,374 @@
+//! Ergonomic AST constructors for code generation.
+//!
+//! The Compuniformer's codegen (tile loops, the Figure 4 communication loop,
+//! epilogues) builds a lot of trees; these helpers keep that code close to
+//! the shape of the Fortran it emits. All constructed nodes carry
+//! [`Span::DUMMY`]. Arithmetic helpers constant-fold literal integers so the
+//! emitted code stays readable (`off(3) + 1` prints as `4`, not `3 + 1`).
+
+use crate::ast::*;
+use crate::span::Span;
+
+pub fn int(v: i64) -> Expr {
+    Expr::IntLit(v, Span::DUMMY)
+}
+
+pub fn real(v: f64) -> Expr {
+    Expr::RealLit(v, Span::DUMMY)
+}
+
+pub fn var(name: &str) -> Expr {
+    Expr::Var(name.to_string(), Span::DUMMY)
+}
+
+pub fn aref(name: &str, indices: Vec<Expr>) -> Expr {
+    Expr::ArrayRef {
+        name: name.to_string(),
+        indices,
+        span: Span::DUMMY,
+    }
+}
+
+pub fn call_fn(name: &str, args: Vec<Expr>) -> Expr {
+    Expr::Call {
+        name: name.to_string(),
+        args,
+        span: Span::DUMMY,
+    }
+}
+
+pub fn neg(e: Expr) -> Expr {
+    if let Some(v) = e.as_int() {
+        return int(-v);
+    }
+    Expr::Unary {
+        op: UnOp::Neg,
+        operand: Box::new(e),
+        span: Span::DUMMY,
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+        span: Span::DUMMY,
+    }
+}
+
+/// `a + b` with integer-literal folding and `x + 0 == x` simplification.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => int(x + y),
+        (Some(0), None) => b,
+        (None, Some(0)) => a,
+        _ => bin(BinOp::Add, a, b),
+    }
+}
+
+/// `a - b` with folding and `x - 0 == x`.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => int(x - y),
+        (None, Some(0)) => a,
+        _ => bin(BinOp::Sub, a, b),
+    }
+}
+
+/// `a * b` with folding, `1 * x == x`, and `0 * x == 0`.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => int(x * y),
+        (Some(1), None) => b,
+        (None, Some(1)) => a,
+        (Some(0), None) | (None, Some(0)) => int(0),
+        _ => bin(BinOp::Mul, a, b),
+    }
+}
+
+/// Integer `a / b` (truncating), folding only when exact or both literal.
+pub fn div(a: Expr, b: Expr) -> Expr {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) if y != 0 => int(x / y),
+        (None, Some(1)) => a,
+        _ => bin(BinOp::Div, a, b),
+    }
+}
+
+pub fn modulo(a: Expr, b: Expr) -> Expr {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) if y != 0 => int(x.rem_euclid(y)),
+        _ => call_fn("mod", vec![a, b]),
+    }
+}
+
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Eq, a, b)
+}
+
+pub fn ne(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Ne, a, b)
+}
+
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Lt, a, b)
+}
+
+pub fn le(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Le, a, b)
+}
+
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Gt, a, b)
+}
+
+pub fn ge(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Ge, a, b)
+}
+
+pub fn and(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::And, a, b)
+}
+
+pub fn or(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Or, a, b)
+}
+
+// -- statements --------------------------------------------------------------
+
+/// `name = value` (scalar assignment).
+pub fn sassign(name: &str, value: Expr) -> Stmt {
+    Stmt::Assign {
+        target: LValue {
+            name: name.to_string(),
+            indices: Vec::new(),
+            span: Span::DUMMY,
+        },
+        value,
+        span: Span::DUMMY,
+    }
+}
+
+/// `name(indices…) = value` (array element assignment).
+pub fn assign(name: &str, indices: Vec<Expr>, value: Expr) -> Stmt {
+    Stmt::Assign {
+        target: LValue {
+            name: name.to_string(),
+            indices,
+            span: Span::DUMMY,
+        },
+        value,
+        span: Span::DUMMY,
+    }
+}
+
+/// `do var = lower, upper … end do`.
+pub fn do_loop(var: &str, lower: Expr, upper: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::Do {
+        var: var.to_string(),
+        lower,
+        upper,
+        step: None,
+        body,
+        span: Span::DUMMY,
+    }
+}
+
+/// `do var = lower, upper, step … end do`.
+pub fn do_loop_step(
+    var: &str,
+    lower: Expr,
+    upper: Expr,
+    step: Expr,
+    body: Vec<Stmt>,
+) -> Stmt {
+    Stmt::Do {
+        var: var.to_string(),
+        lower,
+        upper,
+        step: Some(step),
+        body,
+        span: Span::DUMMY,
+    }
+}
+
+/// `if (cond) then … end if`.
+pub fn if_then(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then_body,
+        else_body: Vec::new(),
+        span: Span::DUMMY,
+    }
+}
+
+/// `if (cond) then … else … end if`.
+pub fn if_then_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then_body,
+        else_body,
+        span: Span::DUMMY,
+    }
+}
+
+/// `call name(args…)`.
+pub fn call(name: &str, args: Vec<Arg>) -> Stmt {
+    Stmt::Call {
+        name: name.to_string(),
+        args,
+        span: Span::DUMMY,
+    }
+}
+
+/// Plain expression argument.
+pub fn arg(e: Expr) -> Arg {
+    Arg::Expr(e)
+}
+
+/// Array section argument `name(dims…)`.
+pub fn section(name: &str, dims: Vec<SecDim>) -> Arg {
+    Arg::Section(Section {
+        name: name.to_string(),
+        dims,
+        span: Span::DUMMY,
+    })
+}
+
+/// Section dimension `lo:hi`.
+pub fn range(lo: Expr, hi: Expr) -> SecDim {
+    SecDim::Range(Some(lo), Some(hi))
+}
+
+/// Section dimension `:` (full extent).
+pub fn full_range() -> SecDim {
+    SecDim::Range(None, None)
+}
+
+/// Section dimension that is a single index.
+pub fn at(e: Expr) -> SecDim {
+    SecDim::Index(e)
+}
+
+// -- declarations -------------------------------------------------------------
+
+/// `integer :: name`.
+pub fn decl_int(name: &str) -> Decl {
+    Decl {
+        name: name.to_string(),
+        ty: ScalarType::Integer,
+        dims: Vec::new(),
+        span: Span::DUMMY,
+    }
+}
+
+/// `real :: name`.
+pub fn decl_real(name: &str) -> Decl {
+    Decl {
+        name: name.to_string(),
+        ty: ScalarType::Real,
+        dims: Vec::new(),
+        span: Span::DUMMY,
+    }
+}
+
+/// Array declaration with `1:upper` bounds per dimension.
+pub fn decl_array(name: &str, ty: ScalarType, uppers: Vec<Expr>) -> Decl {
+    Decl {
+        name: name.to_string(),
+        ty,
+        dims: uppers
+            .into_iter()
+            .map(|u| DimBound {
+                lower: int(1),
+                upper: u,
+            })
+            .collect(),
+        span: Span::DUMMY,
+    }
+}
+
+/// Array declaration with explicit `lower:upper` bounds.
+pub fn decl_array_bounds(name: &str, ty: ScalarType, dims: Vec<(Expr, Expr)>) -> Decl {
+    Decl {
+        name: name.to_string(),
+        ty,
+        dims: dims
+            .into_iter()
+            .map(|(lower, upper)| DimBound { lower, upper })
+            .collect(),
+        span: Span::DUMMY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unparse::{unparse_expr, unparse_stmt};
+
+    #[test]
+    fn folding_add_mul() {
+        assert_eq!(add(int(2), int(3)), int(5));
+        assert_eq!(unparse_expr(&add(var("x"), int(0))), "x");
+        assert_eq!(unparse_expr(&mul(int(1), var("x"))), "x");
+        assert_eq!(mul(int(0), var("x")), int(0));
+        assert_eq!(unparse_expr(&mul(var("a"), var("b"))), "a * b");
+    }
+
+    #[test]
+    fn folding_mod() {
+        assert_eq!(modulo(int(7), int(4)), int(3));
+        assert_eq!(unparse_expr(&modulo(var("ix"), var("k"))), "mod(ix, k)");
+    }
+
+    #[test]
+    fn neg_folds_literals() {
+        assert_eq!(neg(int(5)), int(-5));
+        assert_eq!(unparse_expr(&neg(var("x"))), "-x");
+    }
+
+    #[test]
+    fn builds_fig4_style_loop() {
+        // do j = 1, np - 1
+        //   to = mod(mynum + j, np)
+        //   call mpi_isend(as(to * sz + 1:(to + 1) * sz), sz, to, 7)
+        // end do
+        let body = vec![
+            sassign("to", modulo(add(var("mynum"), var("j")), var("np"))),
+            call(
+                "mpi_isend",
+                vec![
+                    section(
+                        "as",
+                        vec![range(
+                            add(mul(var("to"), var("sz")), int(1)),
+                            mul(add(var("to"), int(1)), var("sz")),
+                        )],
+                    ),
+                    arg(var("sz")),
+                    arg(var("to")),
+                    arg(int(7)),
+                ],
+            ),
+        ];
+        let s = do_loop("j", int(1), sub(var("np"), int(1)), body);
+        let printed = unparse_stmt(&s);
+        assert!(printed.contains("do j = 1, np - 1"));
+        assert!(printed.contains("to = mod(mynum + j, np)"));
+        assert!(printed.contains("call mpi_isend(as(to * sz + 1:(to + 1) * sz), sz, to, 7)"));
+        // And it reparses.
+        let reparsed = crate::parser::parse_stmts(&printed).unwrap();
+        assert_eq!(reparsed.len(), 1);
+        assert_eq!(reparsed[0], s);
+    }
+
+    #[test]
+    fn decl_builders() {
+        let d = decl_array("as", ScalarType::Real, vec![var("nx")]);
+        assert_eq!(d.rank(), 1);
+        assert!(d.dims[0].lower.is_int(1));
+        let d2 = decl_array_bounds("b", ScalarType::Integer, vec![(int(0), var("n"))]);
+        assert!(d2.dims[0].lower.is_int(0));
+    }
+}

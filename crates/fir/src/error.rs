@@ -1,0 +1,134 @@
+//! Diagnostics shared by the lexer, parser and validator.
+
+use crate::span::{line_col, Span};
+use std::fmt;
+
+/// Which phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Validate,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Validate => write!(f, "validate"),
+        }
+    }
+}
+
+/// A single diagnostic with a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirError {
+    pub phase: Phase,
+    pub span: Span,
+    pub message: String,
+}
+
+impl FirError {
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        FirError {
+            phase,
+            span,
+            message: message.into(),
+        }
+    }
+
+    pub fn lex(span: Span, message: impl Into<String>) -> Self {
+        Self::new(Phase::Lex, span, message)
+    }
+
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        Self::new(Phase::Parse, span, message)
+    }
+
+    pub fn validate(span: Span, message: impl Into<String>) -> Self {
+        Self::new(Phase::Validate, span, message)
+    }
+
+    /// Render with 1-based line/column resolved against `source`.
+    pub fn render(&self, source: &str) -> String {
+        let lc = line_col(source, self.span.start);
+        format!(
+            "{} error at {}:{}: {}",
+            self.phase, lc.line, lc.col, self.message
+        )
+    }
+}
+
+impl fmt::Display for FirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} error at bytes {}..{}: {}",
+            self.phase, self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for FirError {}
+
+/// A non-empty batch of diagnostics (the validator reports all it finds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Errors(pub Vec<FirError>);
+
+impl Errors {
+    pub fn single(err: FirError) -> Self {
+        Errors(vec![err])
+    }
+
+    pub fn render(&self, source: &str) -> String {
+        self.0
+            .iter()
+            .map(|e| e.render(source))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for Errors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Errors {}
+
+impl From<FirError> for Errors {
+    fn from(e: FirError) -> Self {
+        Errors::single(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_resolves_line_col() {
+        let src = "program p\nxx = 1\nend program";
+        let err = FirError::parse(Span::new(10, 12), "unexpected identifier");
+        assert_eq!(err.render(src), "parse error at 2:1: unexpected identifier");
+    }
+
+    #[test]
+    fn errors_display_joins_lines() {
+        let errs = Errors(vec![
+            FirError::lex(Span::new(0, 1), "a"),
+            FirError::lex(Span::new(1, 2), "b"),
+        ]);
+        let s = format!("{errs}");
+        assert!(s.contains('\n'));
+        assert!(s.contains("a") && s.contains("b"));
+    }
+}

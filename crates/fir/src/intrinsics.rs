@@ -1,0 +1,148 @@
+//! Intrinsic functions and built-in (MPI) subroutines of the mini language.
+//!
+//! The MPI surface is the simplified API described in DESIGN.md §2:
+//! counts instead of datatypes/communicators, and implicit request handles
+//! (`mpi_waitall_recv` / `mpi_waitall` wait on everything outstanding).
+//! `mynum` (0-based rank) and `np` (number of ranks) are predefined integer
+//! scalars in every procedure.
+
+/// Intrinsic *functions* usable in expressions. `(name, arity)`;
+/// `usize::MAX` marks variadic-with-at-least-two (min/max).
+const INTRINSIC_FNS: &[(&str, usize)] = &[
+    ("mod", 2),
+    ("min", usize::MAX),
+    ("max", usize::MAX),
+    ("abs", 1),
+    ("sqrt", 1),
+    ("sin", 1),
+    ("cos", 1),
+    ("exp", 1),
+    ("log", 1),
+    ("floor", 1),
+    ("int", 1),
+    ("real", 1),
+];
+
+/// Is `name` (already lowercased by the lexer) an intrinsic function?
+pub fn is_intrinsic_fn(name: &str) -> bool {
+    INTRINSIC_FNS.iter().any(|(n, _)| *n == name)
+}
+
+/// Arity check for an intrinsic function; `None` if unknown name.
+/// Returns `Ok(())` or the expected-arity message fragment.
+pub fn check_intrinsic_arity(name: &str, got: usize) -> Option<Result<(), String>> {
+    let (_, arity) = INTRINSIC_FNS.iter().find(|(n, _)| *n == name)?;
+    Some(if *arity == usize::MAX {
+        if got >= 2 {
+            Ok(())
+        } else {
+            Err(format!("`{name}` needs at least 2 arguments, got {got}"))
+        }
+    } else if got == *arity {
+        Ok(())
+    } else {
+        Err(format!("`{name}` needs {arity} argument(s), got {got}"))
+    })
+}
+
+/// Built-in subroutines reachable via `call`, with their arities.
+///
+/// | name              | arguments                                    |
+/// |-------------------|----------------------------------------------|
+/// | `mpi_alltoall`    | send array, element count per partner, recv array |
+/// | `mpi_isend`       | buffer (section), element count, dest rank, tag |
+/// | `mpi_irecv`       | buffer (section), element count, src rank, tag |
+/// | `mpi_waitall_recv`| — (wait for all posted receives)             |
+/// | `mpi_waitall`     | — (wait for all outstanding sends+receives)  |
+/// | `mpi_barrier`     | —                                            |
+/// | `print`           | any args (debugging aid, captured per rank)  |
+const BUILTIN_SUBS: &[(&str, usize)] = &[
+    ("mpi_alltoall", 3),
+    ("mpi_isend", 4),
+    ("mpi_irecv", 4),
+    ("mpi_waitall_recv", 0),
+    ("mpi_waitall", 0),
+    ("mpi_barrier", 0),
+    ("print", usize::MAX),
+];
+
+/// Is `name` a built-in subroutine (MPI or debugging)?
+pub fn is_builtin_sub(name: &str) -> bool {
+    BUILTIN_SUBS.iter().any(|(n, _)| *n == name)
+}
+
+/// Arity check for a built-in subroutine; `None` if unknown.
+pub fn check_builtin_sub_arity(name: &str, got: usize) -> Option<Result<(), String>> {
+    let (_, arity) = BUILTIN_SUBS.iter().find(|(n, _)| *n == name)?;
+    Some(if *arity == usize::MAX || got == *arity {
+        Ok(())
+    } else {
+        Err(format!("`{name}` needs {arity} argument(s), got {got}"))
+    })
+}
+
+/// Names of the MPI communication builtins (excludes `print`).
+pub fn is_mpi_builtin(name: &str) -> bool {
+    name.starts_with("mpi_") && is_builtin_sub(name)
+}
+
+/// Predefined integer scalars available in every scope.
+/// `mynum` = 0-based rank id; `np` = number of ranks.
+pub const PREDEFINED_SCALARS: &[&str] = &["mynum", "np"];
+
+pub fn is_predefined_scalar(name: &str) -> bool {
+    PREDEFINED_SCALARS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_lookup() {
+        assert!(is_intrinsic_fn("mod"));
+        assert!(is_intrinsic_fn("sqrt"));
+        assert!(!is_intrinsic_fn("as"));
+        assert!(!is_intrinsic_fn("mpi_isend"));
+    }
+
+    #[test]
+    fn arity_fixed() {
+        assert_eq!(check_intrinsic_arity("mod", 2), Some(Ok(())));
+        assert!(matches!(check_intrinsic_arity("mod", 1), Some(Err(_))));
+        assert_eq!(check_intrinsic_arity("nosuch", 1), None);
+    }
+
+    #[test]
+    fn arity_variadic_minmax() {
+        assert_eq!(check_intrinsic_arity("min", 2), Some(Ok(())));
+        assert_eq!(check_intrinsic_arity("min", 5), Some(Ok(())));
+        assert!(matches!(check_intrinsic_arity("min", 1), Some(Err(_))));
+    }
+
+    #[test]
+    fn builtin_subs() {
+        assert!(is_builtin_sub("mpi_alltoall"));
+        assert!(is_builtin_sub("print"));
+        assert!(!is_builtin_sub("p"));
+        assert_eq!(check_builtin_sub_arity("mpi_isend", 4), Some(Ok(())));
+        assert!(matches!(
+            check_builtin_sub_arity("mpi_isend", 3),
+            Some(Err(_))
+        ));
+    }
+
+    #[test]
+    fn mpi_classification() {
+        assert!(is_mpi_builtin("mpi_barrier"));
+        assert!(!is_mpi_builtin("print"));
+        assert!(!is_mpi_builtin("mpi_made_up"));
+    }
+
+    #[test]
+    fn predefined_scalars() {
+        assert!(is_predefined_scalar("mynum"));
+        assert!(is_predefined_scalar("np"));
+        assert!(!is_predefined_scalar("nx"));
+    }
+}

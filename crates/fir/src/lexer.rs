@@ -1,0 +1,571 @@
+//! Hand-written lexer for the mini-Fortran subset.
+//!
+//! Design notes:
+//! - `!` starts a comment running to end of line (Fortran 90 style).
+//! - Newlines are significant (they terminate statements) and are collapsed
+//!   into a single [`TokenKind::Newline`] token; `;` also separates
+//!   statements and lexes to `Newline`.
+//! - `&` at end of line is a continuation: the newline is swallowed.
+//! - Identifiers and keywords are case-insensitive; identifiers are
+//!   normalized to lowercase so the rest of the pipeline compares strings
+//!   directly.
+
+use crate::error::FirError;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+pub struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    pub fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input. Fail-fast on the first lexical error.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, FirError> {
+        let mut out: Vec<Token> = Vec::with_capacity(self.src.len() / 4 + 8);
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            // Collapse consecutive newlines.
+            if tok.kind == TokenKind::Newline
+                && matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None)
+            {
+                if is_eof {
+                    break;
+                }
+                continue;
+            }
+            out.push(tok);
+            if is_eof {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn skip_blank_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.pos += 1;
+                }
+                Some(b'!') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'&') => {
+                    // Line continuation: swallow `&`, optional blanks/comment,
+                    // and the following newline.
+                    let save = self.pos;
+                    self.pos += 1;
+                    while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\r')) {
+                        self.pos += 1;
+                    }
+                    if self.peek() == Some(b'!') {
+                        while let Some(b) = self.peek() {
+                            if b == b'\n' {
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                    }
+                    if self.peek() == Some(b'\n') {
+                        self.pos += 1;
+                    } else {
+                        // A stray `&` not at end of line: restore and let
+                        // next_token report it.
+                        self.pos = save;
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, FirError> {
+        self.skip_blank_and_comments();
+        let start = self.pos as u32;
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: Span::new(start, start),
+            });
+        };
+
+        let single = |kind: TokenKind, this: &mut Self| {
+            this.pos += 1;
+            Ok(Token {
+                kind,
+                span: Span::new(start, this.pos as u32),
+            })
+        };
+
+        match b {
+            b'\n' | b';' => single(TokenKind::Newline, self),
+            b'(' => single(TokenKind::LParen, self),
+            b')' => single(TokenKind::RParen, self),
+            b',' => single(TokenKind::Comma, self),
+            b'+' => single(TokenKind::Plus, self),
+            b'-' => single(TokenKind::Minus, self),
+            b'*' => {
+                if self.peek2() == Some(b'*') {
+                    self.pos += 2;
+                    Ok(Token {
+                        kind: TokenKind::Pow,
+                        span: Span::new(start, self.pos as u32),
+                    })
+                } else {
+                    single(TokenKind::Star, self)
+                }
+            }
+            b'/' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    Ok(Token {
+                        kind: TokenKind::Ne,
+                        span: Span::new(start, self.pos as u32),
+                    })
+                } else {
+                    single(TokenKind::Slash, self)
+                }
+            }
+            b':' => {
+                if self.peek2() == Some(b':') {
+                    self.pos += 2;
+                    Ok(Token {
+                        kind: TokenKind::DoubleColon,
+                        span: Span::new(start, self.pos as u32),
+                    })
+                } else {
+                    single(TokenKind::Colon, self)
+                }
+            }
+            b'=' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    Ok(Token {
+                        kind: TokenKind::Eq,
+                        span: Span::new(start, self.pos as u32),
+                    })
+                } else {
+                    single(TokenKind::Assign, self)
+                }
+            }
+            b'<' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    Ok(Token {
+                        kind: TokenKind::Le,
+                        span: Span::new(start, self.pos as u32),
+                    })
+                } else {
+                    single(TokenKind::Lt, self)
+                }
+            }
+            b'>' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    Ok(Token {
+                        kind: TokenKind::Ge,
+                        span: Span::new(start, self.pos as u32),
+                    })
+                } else {
+                    single(TokenKind::Gt, self)
+                }
+            }
+            b'.' => self.lex_dot_operator(start),
+            b'0'..=b'9' => self.lex_number(start),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+            other => Err(FirError::lex(
+                Span::new(start, start + 1),
+                format!("unexpected character `{}`", other as char),
+            )),
+        }
+    }
+
+    /// `.and.`, `.or.`, `.not.`, plus `.true.`/`.false.` lexed as int 1/0
+    /// (the subset has no logical type; conditions are integers).
+    fn lex_dot_operator(&mut self, start: u32) -> Result<Token, FirError> {
+        self.pos += 1; // consume '.'
+        let word_start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z') | Some(b'A'..=b'Z')) {
+            self.pos += 1;
+        }
+        let word = &self.src[word_start..self.pos];
+        if self.peek() != Some(b'.') {
+            return Err(FirError::lex(
+                Span::new(start, self.pos as u32),
+                format!("malformed dotted operator `.{word}` (missing closing `.`)"),
+            ));
+        }
+        self.pos += 1; // consume trailing '.'
+        let span = Span::new(start, self.pos as u32);
+        let kind = match word.to_ascii_lowercase().as_str() {
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            "true" => TokenKind::IntLit(1),
+            "false" => TokenKind::IntLit(0),
+            other => {
+                return Err(FirError::lex(
+                    span,
+                    format!("unknown dotted operator `.{other}.`"),
+                ))
+            }
+        };
+        Ok(Token { kind, span })
+    }
+
+    fn lex_number(&mut self, start: u32) -> Result<Token, FirError> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_real = false;
+        // A '.' is part of the number only if followed by a digit, to keep
+        // `1.and.` unambiguous (Fortran itself requires whitespace there; we
+        // are slightly more permissive).
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_real = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // Exponent: e / E / d / D (Fortran double literals use d).
+        if matches!(self.peek(), Some(b'e' | b'E' | b'd' | b'D')) {
+            let mut look = self.pos + 1;
+            if matches!(self.bytes.get(look), Some(b'+' | b'-')) {
+                look += 1;
+            }
+            if matches!(self.bytes.get(look), Some(b'0'..=b'9')) {
+                is_real = true;
+                self.pos = look + 1;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let span = Span::new(start, self.pos as u32);
+        let text = span.snippet(self.src);
+        if is_real {
+            let normalized = text.replace(['d', 'D'], "e");
+            let v: f64 = normalized.parse().map_err(|_| {
+                FirError::lex(span, format!("invalid real literal `{text}`"))
+            })?;
+            Ok(Token {
+                kind: TokenKind::RealLit(v),
+                span,
+            })
+        } else {
+            let v: i64 = text.parse().map_err(|_| {
+                FirError::lex(
+                    span,
+                    format!("integer literal `{text}` does not fit in 64 bits"),
+                )
+            })?;
+            Ok(Token {
+                kind: TokenKind::IntLit(v),
+                span,
+            })
+        }
+    }
+
+    fn lex_ident(&mut self, start: u32) -> Result<Token, FirError> {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
+        ) {
+            self.pos += 1;
+        }
+        let span = Span::new(start, self.pos as u32);
+        let text = span.snippet(self.src);
+        let kind = match Keyword::from_ident(text) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(text.to_ascii_lowercase()),
+        };
+        Ok(Token { kind, span })
+    }
+}
+
+/// Convenience entry point.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, FirError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\n  ! comment\n"), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_do_loop_header() {
+        assert_eq!(
+            kinds("do ix = 1, NX"),
+            vec![
+                TokenKind::Kw(Keyword::Do),
+                TokenKind::Ident("ix".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(1),
+                TokenKind::Comma,
+                TokenKind::Ident("nx".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_normalized_to_lowercase() {
+        assert_eq!(
+            kinds("As Ar MyNum"),
+            vec![
+                TokenKind::Ident("as".into()),
+                TokenKind::Ident("ar".into()),
+                TokenKind::Ident("mynum".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            kinds("a ** b == c /= d <= e >= f"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Pow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("d".into()),
+                TokenKind::Le,
+                TokenKind::Ident("e".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("f".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_operators() {
+        assert_eq!(
+            kinds("a .and. b .or. .not. c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::And,
+                TokenKind::Ident("b".into()),
+                TokenKind::Or,
+                TokenKind::Not,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn true_false_literals() {
+        assert_eq!(
+            kinds(".true. .false."),
+            vec![TokenKind::IntLit(1), TokenKind::IntLit(0), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_real() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5d-2"),
+            vec![
+                TokenKind::IntLit(42),
+                TokenKind::RealLit(3.5),
+                TokenKind::RealLit(1000.0),
+                TokenKind::RealLit(0.025),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn int_dot_operator_not_a_real() {
+        // `1.and.` must lex as IntLit(1), And — not a malformed real.
+        assert_eq!(
+            kinds("if (1 .and. 0) then"),
+            vec![
+                TokenKind::Kw(Keyword::If),
+                TokenKind::LParen,
+                TokenKind::IntLit(1),
+                TokenKind::And,
+                TokenKind::IntLit(0),
+                TokenKind::RParen,
+                TokenKind::Kw(Keyword::Then),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_stripped() {
+        assert_eq!(
+            kinds("a = 1 ! set a\nb = 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(1),
+                TokenKind::Newline,
+                TokenKind::Ident("b".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_collapse_and_semicolon_separates() {
+        assert_eq!(
+            kinds("a = 1\n\n\nb = 2; c = 3"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(1),
+                TokenKind::Newline,
+                TokenKind::Ident("b".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(2),
+                TokenKind::Newline,
+                TokenKind::Ident("c".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(3),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn leading_newlines_dropped() {
+        assert_eq!(
+            kinds("\n\na = 1"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        assert_eq!(
+            kinds("a = 1 + &\n    2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(1),
+                TokenKind::Plus,
+                TokenKind::IntLit(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_with_trailing_comment() {
+        assert_eq!(
+            kinds("a = 1 + & ! still going\n 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(1),
+                TokenKind::Plus,
+                TokenKind::IntLit(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn double_colon() {
+        assert_eq!(
+            kinds("integer :: n"),
+            vec![
+                TokenKind::Kw(Keyword::Integer),
+                TokenKind::DoubleColon,
+                TokenKind::Ident("n".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn colon_in_section() {
+        assert_eq!(
+            kinds("as(1:10)"),
+            vec![
+                TokenKind::Ident("as".into()),
+                TokenKind::LParen,
+                TokenKind::IntLit(1),
+                TokenKind::Colon,
+                TokenKind::IntLit(10),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn error_on_unknown_char() {
+        let err = tokenize("a = #").unwrap_err();
+        assert!(err.message.contains('#'));
+    }
+
+    #[test]
+    fn error_on_bad_dotted_op() {
+        let err = tokenize("a .xyz. b").unwrap_err();
+        assert!(err.message.contains("xyz"));
+    }
+
+    #[test]
+    fn error_on_unterminated_dotted_op() {
+        let err = tokenize("a .and b").unwrap_err();
+        assert!(err.message.contains("missing closing"));
+    }
+
+    #[test]
+    fn spans_point_at_source() {
+        let src = "x = 10";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[2].span.snippet(src), "10");
+    }
+}

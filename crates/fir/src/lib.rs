@@ -1,0 +1,73 @@
+//! # fir — the mini-Fortran frontend
+//!
+//! This crate is the reproduction's stand-in for the paper's **Nestor**
+//! framework (Silber & Darte, HPCN'99): "a lightweight framework for
+//! implementing transformations to Fortran 90 code, providing a parser, a
+//! transformable IR, and unparser."
+//!
+//! It implements a Fortran-90 subset sufficient for the communication-
+//! computation overlap transformation of Fishgold et al.:
+//!
+//! - `program` / `subroutine` units, `integer` / `real` declarations with
+//!   multi-dimensional explicit-shape arrays (`a(0:n, m)`),
+//! - `do` loops (with step), block `if`/`else`, assignments, `call`s,
+//! - array *sections* as call arguments (`as(lo:hi, iy)`) — the form the
+//!   generated `mpi_isend`/`mpi_irecv` calls take,
+//! - the simplified MPI builtins described in DESIGN.md (`mpi_alltoall`,
+//!   `mpi_isend`, `mpi_irecv`, `mpi_waitall_recv`, `mpi_waitall`,
+//!   `mpi_barrier`) and the predefined scalars `mynum` / `np`.
+//!
+//! The public pipeline is [`parse`] → analyze/transform (see the `depan` and
+//! `compuniformer` crates) → [`unparse`], with [`validate::validate`]
+//! guarding both ends. A parse → unparse → parse roundtrip yields a
+//! structurally identical tree (property-tested).
+
+pub mod ast;
+pub mod builder;
+pub mod error;
+pub mod intrinsics;
+pub mod lexer;
+pub mod parser;
+pub mod span;
+pub mod symbol;
+pub mod token;
+pub mod unparse;
+pub mod validate;
+pub mod visit;
+
+pub use ast::{
+    Arg, BinOp, Decl, DimBound, Expr, LValue, Param, Procedure, Program, ScalarType,
+    SecDim, Section, Stmt, UnOp,
+};
+pub use error::{Errors, FirError};
+pub use parser::{parse, parse_expr, parse_stmts};
+pub use span::Span;
+pub use unparse::{unparse, unparse_expr, unparse_stmt, unparse_stmts};
+
+/// Parse and validate in one step; the convenient entry point for tools.
+pub fn parse_validated(src: &str) -> Result<Program, Errors> {
+    let program = parse(src).map_err(Errors::single)?;
+    validate::validate(&program)?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_validated_accepts_good_source() {
+        let src = "program m\n  real :: a(4)\n  do i = 1, 4\n    a(i) = i\n  end do\nend program";
+        assert!(parse_validated(src).is_ok());
+    }
+
+    #[test]
+    fn parse_validated_reports_parse_errors() {
+        assert!(parse_validated("program\nend").is_err());
+    }
+
+    #[test]
+    fn parse_validated_reports_semantic_errors() {
+        assert!(parse_validated("program m\n  np = 1\nend program").is_err());
+    }
+}

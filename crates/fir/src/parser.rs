@@ -1,0 +1,1082 @@
+//! Recursive-descent parser for the mini-Fortran subset.
+//!
+//! Grammar sketch (statements are newline- or `;`-terminated):
+//!
+//! ```text
+//! unit       := { subroutine } program { subroutine }
+//! program    := "program" IDENT NL decls stmts "end" "program" [IDENT]
+//! subroutine := "subroutine" IDENT "(" [IDENT {"," IDENT}] ")" NL decls stmts
+//!               "end" "subroutine" [IDENT]
+//! decl       := ("integer"|"real") "::" declarator {"," declarator}
+//! declarator := IDENT [ "(" bounds {"," bounds} ")" ]
+//! bounds     := expr [":" expr]          (single expr means 1:expr)
+//! stmt       := do | if | call | assign
+//! do         := "do" IDENT "=" expr "," expr ["," expr] NL stmts "end" "do"
+//! if         := "if" "(" expr ")" "then" NL stmts ["else" NL stmts] "end" "if"
+//! call       := "call" IDENT "(" [arg {"," arg}] ")"
+//! arg        := section | expr           (section iff a `:` appears)
+//! assign     := IDENT ["(" expr {"," expr} ")"] "=" expr
+//! ```
+//!
+//! Expression precedence, loosest to tightest:
+//! `.or.` < `.and.` < `.not.` < relational < `+ -` < `* /` < unary `-` < `**`.
+//! `**` is right-associative; everything else is left-associative.
+
+use crate::ast::*;
+use crate::error::FirError;
+use crate::lexer::tokenize;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parse a complete compilation unit.
+pub fn parse(src: &str) -> Result<Program, FirError> {
+    let tokens = tokenize(src)?;
+    Parser::new(tokens).parse_program_unit()
+}
+
+/// Parse a single expression (used by tests and the transformation's
+/// pattern-matching helpers).
+pub fn parse_expr(src: &str) -> Result<Expr, FirError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.parse_expr()?;
+    p.expect_eof_or_newline()?;
+    Ok(e)
+}
+
+/// Parse a statement list (no surrounding program), for tests and builders.
+pub fn parse_stmts(src: &str) -> Result<Vec<Stmt>, FirError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    let stmts = p.parse_stmt_list(&[])?;
+    p.expect_eof_or_newline()?;
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, idx: 0 }
+    }
+
+    // -- token utilities ----------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.idx + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.idx.min(self.tokens.len() - 1)].clone();
+        if self.idx < self.tokens.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek_kind(), TokenKind::Kw(k) if *k == kw)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.at_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, ctx: &str) -> Result<Token, FirError> {
+        if self.at(kind) {
+            Ok(self.advance())
+        } else {
+            let t = self.peek();
+            Err(FirError::parse(
+                t.span,
+                format!("expected {} {ctx}, found {}", kind.describe(), t.kind),
+            ))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword, ctx: &str) -> Result<Token, FirError> {
+        self.expect(&TokenKind::Kw(kw), ctx)
+    }
+
+    fn expect_ident(&mut self, ctx: &str) -> Result<(String, Span), FirError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.advance();
+                Ok((name, t.span))
+            }
+            other => Err(FirError::parse(
+                self.peek().span,
+                format!("expected identifier {ctx}, found {other}"),
+            )),
+        }
+    }
+
+    /// Consume a statement terminator: newline, or end-of-file.
+    fn expect_stmt_end(&mut self) -> Result<(), FirError> {
+        if self.eat(&TokenKind::Newline) || self.at(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            let t = self.peek();
+            Err(FirError::parse(
+                t.span,
+                format!("expected end of statement, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn expect_eof_or_newline(&mut self) -> Result<(), FirError> {
+        self.eat(&TokenKind::Newline);
+        if self.at(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            let t = self.peek();
+            Err(FirError::parse(
+                t.span,
+                format!("expected end of input, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat(&TokenKind::Newline) {}
+    }
+
+    // -- compilation unit ---------------------------------------------------
+
+    fn parse_program_unit(&mut self) -> Result<Program, FirError> {
+        let mut procedures = Vec::new();
+        let mut main: Option<Procedure> = None;
+        self.skip_newlines();
+        while !self.at(&TokenKind::Eof) {
+            if self.at_kw(Keyword::Subroutine) {
+                procedures.push(self.parse_procedure(false)?);
+            } else if self.at_kw(Keyword::Program) {
+                let p = self.parse_procedure(true)?;
+                if let Some(prev) = &main {
+                    return Err(FirError::parse(
+                        p.span,
+                        format!(
+                            "duplicate `program` unit `{}` (already saw `{}`)",
+                            p.name, prev.name
+                        ),
+                    ));
+                }
+                main = Some(p);
+            } else {
+                let t = self.peek();
+                return Err(FirError::parse(
+                    t.span,
+                    format!("expected `program` or `subroutine`, found {}", t.kind),
+                ));
+            }
+            self.skip_newlines();
+        }
+        let main = main.ok_or_else(|| {
+            FirError::parse(Span::DUMMY, "no `program` unit found".to_string())
+        })?;
+        Ok(Program { procedures, main })
+    }
+
+    fn parse_procedure(&mut self, is_main: bool) -> Result<Procedure, FirError> {
+        let kw = if is_main {
+            Keyword::Program
+        } else {
+            Keyword::Subroutine
+        };
+        let start = self.expect_kw(kw, "starting a procedure")?.span;
+        let (name, _) = self.expect_ident("naming the procedure")?;
+
+        let mut params = Vec::new();
+        if !is_main && self.eat(&TokenKind::LParen) {
+            if !self.at(&TokenKind::RParen) {
+                loop {
+                    let (pname, pspan) = self.expect_ident("in parameter list")?;
+                    params.push(Param {
+                        name: pname,
+                        span: pspan,
+                    });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen, "closing the parameter list")?;
+        }
+        self.expect_stmt_end()?;
+
+        let mut decls = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.at_kw(Keyword::Integer) || self.at_kw(Keyword::Real) {
+                self.parse_decl_line(&mut decls)?;
+                self.expect_stmt_end()?;
+            } else {
+                break;
+            }
+        }
+
+        let body = self.parse_stmt_list(&[kw])?;
+
+        let end_tok = self.expect_kw(Keyword::End, "closing the procedure")?;
+        self.expect_kw(kw, "after `end`")?;
+        // Optional repeated name: `end program main`.
+        if let TokenKind::Ident(n) = self.peek_kind().clone() {
+            let t = self.advance();
+            if n != name {
+                return Err(FirError::parse(
+                    t.span,
+                    format!("mismatched end name: expected `{name}`, found `{n}`"),
+                ));
+            }
+        }
+        let span = start.merge(end_tok.span);
+        Ok(Procedure {
+            name,
+            params,
+            decls,
+            body,
+            is_main,
+            span,
+        })
+    }
+
+    fn parse_decl_line(&mut self, out: &mut Vec<Decl>) -> Result<(), FirError> {
+        let ty_tok = self.advance();
+        let ty = match ty_tok.kind {
+            TokenKind::Kw(Keyword::Integer) => ScalarType::Integer,
+            TokenKind::Kw(Keyword::Real) => ScalarType::Real,
+            _ => unreachable!("caller checked for a type keyword"),
+        };
+        self.expect(&TokenKind::DoubleColon, "after the type in a declaration")?;
+        loop {
+            let (name, nspan) = self.expect_ident("in a declaration")?;
+            let mut dims = Vec::new();
+            let mut end_span = nspan;
+            if self.eat(&TokenKind::LParen) {
+                loop {
+                    let first = self.parse_expr()?;
+                    if self.eat(&TokenKind::Colon) {
+                        let upper = self.parse_expr()?;
+                        dims.push(DimBound {
+                            lower: first,
+                            upper,
+                        });
+                    } else {
+                        // `a(n)` means `a(1:n)`.
+                        dims.push(DimBound {
+                            lower: Expr::IntLit(1, Span::DUMMY),
+                            upper: first,
+                        });
+                    }
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                end_span = self
+                    .expect(&TokenKind::RParen, "closing the dimension list")?
+                    .span;
+            }
+            out.push(Decl {
+                name,
+                ty,
+                dims,
+                span: ty_tok.span.merge(end_span),
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    /// Parse statements until an `end` (or `else`) that closes one of the
+    /// given constructs. The terminating token is *not* consumed.
+    fn parse_stmt_list(&mut self, _closers: &[Keyword]) -> Result<Vec<Stmt>, FirError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.at(&TokenKind::Eof)
+                || self.at_kw(Keyword::End)
+                || self.at_kw(Keyword::Else)
+            {
+                break;
+            }
+            out.push(self.parse_stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, FirError> {
+        match self.peek_kind() {
+            TokenKind::Kw(Keyword::Do) => self.parse_do(),
+            TokenKind::Kw(Keyword::If) => self.parse_if(),
+            TokenKind::Kw(Keyword::Call) => self.parse_call(),
+            TokenKind::Ident(_) => self.parse_assign(),
+            other => Err(FirError::parse(
+                self.peek().span,
+                format!("expected a statement, found {other}"),
+            )),
+        }
+    }
+
+    fn parse_do(&mut self) -> Result<Stmt, FirError> {
+        let start = self.expect_kw(Keyword::Do, "starting a do loop")?.span;
+        let (var, _) = self.expect_ident("as the loop variable")?;
+        self.expect(&TokenKind::Assign, "after the loop variable")?;
+        let lower = self.parse_expr()?;
+        self.expect(&TokenKind::Comma, "between loop bounds")?;
+        let upper = self.parse_expr()?;
+        let step = if self.eat(&TokenKind::Comma) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect_stmt_end()?;
+        let body = self.parse_stmt_list(&[Keyword::Do])?;
+        self.expect_kw(Keyword::End, "closing the do loop")?;
+        let end = self.expect_kw(Keyword::Do, "after `end`")?.span;
+        Ok(Stmt::Do {
+            var,
+            lower,
+            upper,
+            step,
+            body,
+            span: start.merge(end),
+        })
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, FirError> {
+        let start = self.expect_kw(Keyword::If, "starting an if")?.span;
+        self.expect(&TokenKind::LParen, "after `if`")?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen, "closing the if condition")?;
+        self.expect_kw(Keyword::Then, "after the if condition")?;
+        self.expect_stmt_end()?;
+        let then_body = self.parse_stmt_list(&[Keyword::If])?;
+        let else_body = if self.eat_kw(Keyword::Else) {
+            self.expect_stmt_end()?;
+            self.parse_stmt_list(&[Keyword::If])?
+        } else {
+            Vec::new()
+        };
+        self.expect_kw(Keyword::End, "closing the if")?;
+        let end = self.expect_kw(Keyword::If, "after `end`")?.span;
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span: start.merge(end),
+        })
+    }
+
+    fn parse_call(&mut self) -> Result<Stmt, FirError> {
+        let start = self.expect_kw(Keyword::Call, "starting a call")?.span;
+        let (name, name_span) = self.expect_ident("naming the subroutine")?;
+        let mut args = Vec::new();
+        let mut end = name_span;
+        if self.eat(&TokenKind::LParen) {
+            if !self.at(&TokenKind::RParen) {
+                loop {
+                    args.push(self.parse_arg()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            end = self.expect(&TokenKind::RParen, "closing the argument list")?.span;
+        }
+        Ok(Stmt::Call {
+            name,
+            args,
+            span: start.merge(end),
+        })
+    }
+
+    /// A call argument: an array section if a top-level `:` appears inside
+    /// `name(...)`, otherwise a plain expression. Decided by backtracking.
+    fn parse_arg(&mut self) -> Result<Arg, FirError> {
+        if matches!(self.peek_kind(), TokenKind::Ident(_))
+            && *self.peek_at(1) == TokenKind::LParen
+        {
+            let save = self.idx;
+            match self.try_parse_section() {
+                Ok(Some(sec)) => return Ok(Arg::Section(sec)),
+                Ok(None) | Err(_) => self.idx = save,
+            }
+        }
+        Ok(Arg::Expr(self.parse_expr()?))
+    }
+
+    /// Attempt `IDENT ( secdim {, secdim} )` where at least one secdim is a
+    /// range, and the argument ends right after `)`. Returns Ok(None) when
+    /// the parse succeeds but contains no range (then it is a plain
+    /// expression and the caller re-parses it as such).
+    fn try_parse_section(&mut self) -> Result<Option<Section>, FirError> {
+        let (name, start) = self.expect_ident("in a section")?;
+        self.expect(&TokenKind::LParen, "in a section")?;
+        let mut dims = Vec::new();
+        let mut saw_range = false;
+        loop {
+            // Possible forms per dim: `:`, `:e`, `e:`, `e1:e2`, `e`.
+            if self.eat(&TokenKind::Colon) {
+                saw_range = true;
+                if self.at(&TokenKind::Comma) || self.at(&TokenKind::RParen) {
+                    dims.push(SecDim::Range(None, None));
+                } else {
+                    let hi = self.parse_expr()?;
+                    dims.push(SecDim::Range(None, Some(hi)));
+                }
+            } else {
+                let lo = self.parse_expr()?;
+                if self.eat(&TokenKind::Colon) {
+                    saw_range = true;
+                    if self.at(&TokenKind::Comma) || self.at(&TokenKind::RParen) {
+                        dims.push(SecDim::Range(Some(lo), None));
+                    } else {
+                        let hi = self.parse_expr()?;
+                        dims.push(SecDim::Range(Some(lo), Some(hi)));
+                    }
+                } else {
+                    dims.push(SecDim::Index(lo));
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.expect(&TokenKind::RParen, "closing a section")?.span;
+        // The section must be a complete argument: next must be `,` or `)`.
+        if !(self.at(&TokenKind::Comma) || self.at(&TokenKind::RParen)) {
+            return Ok(None);
+        }
+        if !saw_range {
+            return Ok(None);
+        }
+        Ok(Some(Section {
+            name,
+            dims,
+            span: start.merge(end),
+        }))
+    }
+
+    fn parse_assign(&mut self) -> Result<Stmt, FirError> {
+        let (name, start) = self.expect_ident("starting an assignment")?;
+        let mut indices = Vec::new();
+        let mut lv_end = start;
+        if self.eat(&TokenKind::LParen) {
+            loop {
+                indices.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            lv_end = self
+                .expect(&TokenKind::RParen, "closing the subscript list")?
+                .span;
+        }
+        self.expect(&TokenKind::Assign, "in an assignment")?;
+        let value = self.parse_expr()?;
+        let span = start.merge(value.span());
+        Ok(Stmt::Assign {
+            target: LValue {
+                name,
+                indices,
+                span: start.merge(lv_end),
+            },
+            value,
+            span,
+        })
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, FirError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, FirError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.parse_and()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, FirError> {
+        let mut lhs = self.parse_not()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.parse_not()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, FirError> {
+        if self.at(&TokenKind::Not) {
+            let start = self.advance().span;
+            let operand = self.parse_not()?;
+            let span = start.merge(operand.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.parse_rel()
+    }
+
+    fn parse_rel(&mut self) -> Result<Expr, FirError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek_kind() {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let rhs = self.parse_add()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, FirError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_mul()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, FirError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_unary()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, FirError> {
+        if self.at(&TokenKind::Minus) {
+            let start = self.advance().span;
+            let operand = self.parse_unary()?;
+            let span = start.merge(operand.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.parse_pow()
+    }
+
+    fn parse_pow(&mut self) -> Result<Expr, FirError> {
+        let base = self.parse_primary()?;
+        if self.eat(&TokenKind::Pow) {
+            // Right-associative; exponent may carry a unary minus.
+            let exp = self.parse_unary()?;
+            let span = base.span().merge(exp.span());
+            return Ok(Expr::Binary {
+                op: BinOp::Pow,
+                lhs: Box::new(base),
+                rhs: Box::new(exp),
+                span,
+            });
+        }
+        Ok(base)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, FirError> {
+        match self.peek_kind().clone() {
+            TokenKind::IntLit(v) => {
+                let t = self.advance();
+                Ok(Expr::IntLit(v, t.span))
+            }
+            TokenKind::RealLit(v) => {
+                let t = self.advance();
+                Ok(Expr::RealLit(v, t.span))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "closing a parenthesized expression")?;
+                Ok(e)
+            }
+            // `real(x)` is the conversion intrinsic even though `real` is
+            // also the type keyword; disambiguate by the following `(`.
+            TokenKind::Kw(Keyword::Real) if *self.peek_at(1) == TokenKind::LParen => {
+                let t = self.advance();
+                self.expect(&TokenKind::LParen, "after `real`")?;
+                let mut args = Vec::new();
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let end = self
+                    .expect(&TokenKind::RParen, "closing `real(...)`")?
+                    .span;
+                Ok(Expr::Call {
+                    name: "real".to_string(),
+                    args,
+                    span: t.span.merge(end),
+                })
+            }
+            TokenKind::Ident(name) => {
+                let t = self.advance();
+                if self.eat(&TokenKind::LParen) {
+                    let mut indices = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            indices.push(self.parse_expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self
+                        .expect(&TokenKind::RParen, "closing a subscript/argument list")?
+                        .span;
+                    let span = t.span.merge(end);
+                    if crate::intrinsics::is_intrinsic_fn(&name) {
+                        Ok(Expr::Call {
+                            name,
+                            args: indices,
+                            span,
+                        })
+                    } else {
+                        Ok(Expr::ArrayRef {
+                            name,
+                            indices,
+                            span,
+                        })
+                    }
+                } else {
+                    Ok(Expr::Var(name, t.span))
+                }
+            }
+            other => Err(FirError::parse(
+                self.peek().span,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        parse_expr(src).unwrap()
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        // a + b*c parses as a + (b*c)
+        let e = expr("a + b * c");
+        match e {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("expected Add at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pow_right_assoc() {
+        // a ** b ** c parses as a ** (b ** c)
+        let e = expr("a ** b ** c");
+        match e {
+            Expr::Binary { op: BinOp::Pow, lhs, rhs, .. } => {
+                assert!(matches!(*lhs, Expr::Var(..)));
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Pow, .. }));
+            }
+            other => panic!("expected Pow at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_left_assoc() {
+        // a - b - c parses as (a - b) - c
+        let e = expr("a - b - c");
+        match e {
+            Expr::Binary { op: BinOp::Sub, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinOp::Sub, .. }));
+            }
+            other => panic!("expected Sub at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_binds_above_mul() {
+        // -a * b parses as (-a) * b under this grammar
+        let e = expr("-a * b");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn neg_of_pow() {
+        // -a ** b parses as -(a ** b)? No: parse_unary consumes `-` then
+        // parse_unary -> parse_pow sees a ** b. So Neg(Pow(a,b)).
+        let e = expr("-a ** b");
+        match e {
+            Expr::Unary { op: UnOp::Neg, operand, .. } => {
+                assert!(matches!(*operand, Expr::Binary { op: BinOp::Pow, .. }));
+            }
+            other => panic!("expected Neg at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_precedence() {
+        // a == b .and. c == d .or. e == f
+        // parses as ((a==b) .and. (c==d)) .or. (e==f)
+        let e = expr("a == b .and. c == d .or. e == f");
+        match e {
+            Expr::Binary { op: BinOp::Or, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("expected Or at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_binds_above_and() {
+        let e = expr(".not. a .and. b");
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn intrinsic_call_vs_array_ref() {
+        assert!(matches!(expr("mod(a, b)"), Expr::Call { .. }));
+        assert!(matches!(expr("as(i)"), Expr::ArrayRef { .. }));
+    }
+
+    #[test]
+    fn real_conversion_despite_keyword() {
+        // `real` is a type keyword AND the conversion intrinsic.
+        match expr("real(3) + 1.0") {
+            Expr::Binary { lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Call { ref name, .. } if name == "real"));
+            }
+            other => panic!("expected binary, got {other:?}"),
+        }
+        // As a declaration keyword it still works (covered elsewhere), and
+        // a bare `real` not followed by `(` is still a parse error here.
+        assert!(parse_expr("real + 1").is_err());
+    }
+
+    #[test]
+    fn multi_dim_array_ref() {
+        match expr("as(tx, ty, iy)") {
+            Expr::ArrayRef { name, indices, .. } => {
+                assert_eq!(name, "as");
+                assert_eq!(indices.len(), 3);
+            }
+            other => panic!("expected array ref, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_to_array_element() {
+        let stmts = parse_stmts("as(ix) = 2 * ix + iy").unwrap();
+        assert_eq!(stmts.len(), 1);
+        match &stmts[0] {
+            Stmt::Assign { target, .. } => {
+                assert_eq!(target.name, "as");
+                assert_eq!(target.indices.len(), 1);
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn do_loop_with_step() {
+        let stmts = parse_stmts("do i = 1, n, 2\n  a(i) = 0\nend do").unwrap();
+        match &stmts[0] {
+            Stmt::Do { var, step, body, .. } => {
+                assert_eq!(var, "i");
+                assert!(step.is_some());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_do_loops() {
+        let src = "do iy = 1, n\n  do ix = 1, n\n    a(ix) = ix\n  end do\nend do";
+        let stmts = parse_stmts(src).unwrap();
+        match &stmts[0] {
+            Stmt::Do { body, .. } => {
+                assert!(matches!(&body[0], Stmt::Do { .. }));
+            }
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_then_else() {
+        let src = "if (a > 0) then\n  b = 1\nelse\n  b = 2\nend if";
+        let stmts = parse_stmts(src).unwrap();
+        match &stmts[0] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_without_else() {
+        let src = "if (mod(ix, k) == 0) then\n  c = c + 1\nend if";
+        let stmts = parse_stmts(src).unwrap();
+        match &stmts[0] {
+            Stmt::If { else_body, .. } => assert!(else_body.is_empty()),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_with_plain_args() {
+        let stmts = parse_stmts("call p(x, at)").unwrap();
+        match &stmts[0] {
+            Stmt::Call { name, args, .. } => {
+                assert_eq!(name, "p");
+                assert_eq!(args.len(), 2);
+                assert!(matches!(&args[0], Arg::Expr(Expr::Var(..))));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_with_section_args() {
+        let stmts = parse_stmts("call mpi_isend(as(lo:hi), k, to, 7)").unwrap();
+        match &stmts[0] {
+            Stmt::Call { args, .. } => {
+                match &args[0] {
+                    Arg::Section(s) => {
+                        assert_eq!(s.name, "as");
+                        assert!(matches!(
+                            &s.dims[0],
+                            SecDim::Range(Some(_), Some(_))
+                        ));
+                    }
+                    other => panic!("expected section, got {other:?}"),
+                }
+                assert!(matches!(&args[1], Arg::Expr(_)));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_with_full_and_partial_ranges() {
+        let stmts = parse_stmts("call p(a(:, 2:, :5, i))").unwrap();
+        match &stmts[0] {
+            Stmt::Call { args, .. } => match &args[0] {
+                Arg::Section(s) => {
+                    assert_eq!(s.dims.len(), 4);
+                    assert!(matches!(s.dims[0], SecDim::Range(None, None)));
+                    assert!(matches!(s.dims[1], SecDim::Range(Some(_), None)));
+                    assert!(matches!(s.dims[2], SecDim::Range(None, Some(_))));
+                    assert!(matches!(s.dims[3], SecDim::Index(_)));
+                }
+                other => panic!("expected section, got {other:?}"),
+            },
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_arg_array_ref_in_expression_not_section() {
+        // `a(i) + 1` must parse as an expression even though it starts like
+        // a section.
+        let stmts = parse_stmts("call p(a(i) + 1)").unwrap();
+        match &stmts[0] {
+            Stmt::Call { args, .. } => {
+                assert!(matches!(&args[0], Arg::Expr(Expr::Binary { .. })));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_program_parses() {
+        let src = "\
+program main
+  integer :: nx
+  real :: as(1:8), ar(8)
+  do iy = 1, nx
+    as(iy) = iy * 2
+  end do
+  call mpi_alltoall(as, 2, ar)
+end program main
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.main.name, "main");
+        assert_eq!(p.main.decls.len(), 3);
+        assert_eq!(p.main.body.len(), 2);
+        // implicit lower bound is 1
+        assert!(p.main.decls[2].dims[0].lower.is_int(1));
+    }
+
+    #[test]
+    fn subroutine_then_program() {
+        let src = "\
+subroutine p(n, at)
+  integer :: n
+  real :: at(n)
+  do i = 1, n
+    at(i) = i
+  end do
+end subroutine p
+
+program main
+  integer :: n
+  real :: at(4)
+  n = 4
+  call p(n, at)
+end program
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.procedures.len(), 1);
+        assert_eq!(p.procedures[0].name, "p");
+        assert_eq!(p.procedures[0].params.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_program_rejected() {
+        let src = "program a\nend program\nprogram b\nend program";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn missing_program_rejected() {
+        let src = "subroutine s()\nend subroutine";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("no `program`"));
+    }
+
+    #[test]
+    fn mismatched_end_name_rejected() {
+        let src = "program a\nend program b";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("mismatched end name"));
+    }
+
+    #[test]
+    fn unclosed_do_reports_error() {
+        let src = "program a\ndo i = 1, 3\n x = 1\nend program";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn error_message_names_found_token() {
+        let err = parse_stmts("do = 1, 2").unwrap_err();
+        assert!(err.message.contains("expected identifier"));
+    }
+
+    #[test]
+    fn parenthesized_expression_drops_parens_node() {
+        // No Paren node in the AST: `(a + b) * c` is Mul(Add, c).
+        let e = expr("(a + b) * c");
+        match e {
+            Expr::Binary { op: BinOp::Mul, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("expected Mul at root, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Byte-offset source spans and line/column mapping.
+
+/// A half-open byte range `[start, end)` into the original source text.
+///
+/// Spans are carried on every AST node so analyses and the semi-automatic
+/// transformation driver can point the user at the exact code they are
+/// talking about (the paper's user queries in §3.1 need this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        if self == Span::DUMMY {
+            return other;
+        }
+        if other == Span::DUMMY {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Slice `source` at this span. Returns `""` for out-of-range spans
+    /// rather than panicking, so diagnostics never crash.
+    pub fn snippet(self, source: &str) -> &str {
+        source
+            .get(self.start as usize..self.end as usize)
+            .unwrap_or("")
+    }
+}
+
+/// 1-based line/column position derived from a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Compute the 1-based line/column of byte `offset` within `source`.
+pub fn line_col(source: &str, offset: u32) -> LineCol {
+    let offset = (offset as usize).min(source.len());
+    let mut line = 1u32;
+    let mut line_start = 0usize;
+    for (i, b) in source.bytes().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    LineCol {
+        line,
+        col: (offset - line_start) as u32 + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn merge_with_dummy_keeps_other() {
+        let a = Span::new(3, 7);
+        assert_eq!(Span::DUMMY.merge(a), a);
+        assert_eq!(a.merge(Span::DUMMY), a);
+    }
+
+    #[test]
+    fn line_col_basics() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 1), LineCol { line: 1, col: 2 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let src = "x\ny";
+        let lc = line_col(src, 100);
+        assert_eq!(lc.line, 2);
+    }
+
+    #[test]
+    fn snippet_out_of_range_is_empty() {
+        assert_eq!(Span::new(5, 9).snippet("ab"), "");
+    }
+
+    #[test]
+    fn snippet_in_range() {
+        assert_eq!(Span::new(3, 5).snippet("do ix = 1"), "ix");
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-procedure symbol resolution with Fortran implicit typing.
+//!
+//! Undeclared scalars follow the classic implicit rule: names starting with
+//! `i`–`n` are `integer`, everything else `real`. The predefined scalars
+//! `mynum` (rank id) and `np` (rank count) are always integers and read-only.
+
+use crate::ast::{Decl, Procedure, ScalarType};
+use crate::intrinsics::is_predefined_scalar;
+use std::collections::HashMap;
+
+/// What a name resolves to inside one procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol<'p> {
+    /// A declared array.
+    Array(&'p Decl),
+    /// A declared scalar.
+    Scalar(ScalarType, &'p Decl),
+    /// `mynum` / `np`.
+    Predefined,
+    /// Undeclared scalar, typed by the implicit rule.
+    Implicit(ScalarType),
+}
+
+impl Symbol<'_> {
+    pub fn is_array(&self) -> bool {
+        matches!(self, Symbol::Array(_))
+    }
+
+    /// Scalar type of this symbol; arrays return their element type.
+    pub fn scalar_type(&self) -> ScalarType {
+        match self {
+            Symbol::Array(d) => d.ty,
+            Symbol::Scalar(t, _) => *t,
+            Symbol::Predefined => ScalarType::Integer,
+            Symbol::Implicit(t) => *t,
+        }
+    }
+}
+
+/// The Fortran implicit typing rule for undeclared scalars.
+pub fn implicit_type(name: &str) -> ScalarType {
+    match name.bytes().next() {
+        Some(b'i'..=b'n') => ScalarType::Integer,
+        _ => ScalarType::Real,
+    }
+}
+
+/// Symbol table for a single procedure.
+pub struct ProcSymbols<'p> {
+    map: HashMap<&'p str, &'p Decl>,
+}
+
+impl<'p> ProcSymbols<'p> {
+    pub fn new(proc: &'p Procedure) -> Self {
+        let mut map = HashMap::with_capacity(proc.decls.len());
+        for d in &proc.decls {
+            // Later declarations shadow earlier ones; the validator reports
+            // duplicates separately.
+            map.insert(d.name.as_str(), d);
+        }
+        ProcSymbols { map }
+    }
+
+    pub fn decl(&self, name: &str) -> Option<&'p Decl> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolve `name` to a symbol. Never fails: undeclared names resolve via
+    /// the implicit rule (the validator flags problematic uses).
+    pub fn resolve(&self, name: &str) -> Symbol<'p> {
+        if let Some(d) = self.map.get(name) {
+            if d.is_array() {
+                Symbol::Array(d)
+            } else {
+                Symbol::Scalar(d.ty, d)
+            }
+        } else if is_predefined_scalar(name) {
+            Symbol::Predefined
+        } else {
+            Symbol::Implicit(implicit_type(name))
+        }
+    }
+
+    /// Is `name` a declared array in this procedure?
+    pub fn is_array(&self, name: &str) -> bool {
+        self.resolve(name).is_array()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog() -> crate::ast::Program {
+        parse(
+            "program m\n  integer :: n\n  real :: as(8), scale\n  n = 1\nend program",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn implicit_rule() {
+        assert_eq!(implicit_type("ix"), ScalarType::Integer);
+        assert_eq!(implicit_type("n"), ScalarType::Integer);
+        assert_eq!(implicit_type("alpha"), ScalarType::Real);
+        assert_eq!(implicit_type("x"), ScalarType::Real);
+    }
+
+    #[test]
+    fn resolve_declared() {
+        let p = prog();
+        let syms = ProcSymbols::new(&p.main);
+        assert!(matches!(syms.resolve("as"), Symbol::Array(_)));
+        assert!(matches!(
+            syms.resolve("n"),
+            Symbol::Scalar(ScalarType::Integer, _)
+        ));
+        assert!(matches!(
+            syms.resolve("scale"),
+            Symbol::Scalar(ScalarType::Real, _)
+        ));
+    }
+
+    #[test]
+    fn resolve_predefined_and_implicit() {
+        let p = prog();
+        let syms = ProcSymbols::new(&p.main);
+        assert_eq!(syms.resolve("mynum"), Symbol::Predefined);
+        assert_eq!(syms.resolve("np"), Symbol::Predefined);
+        assert_eq!(
+            syms.resolve("iy"),
+            Symbol::Implicit(ScalarType::Integer)
+        );
+        assert_eq!(syms.resolve("tmp"), Symbol::Implicit(ScalarType::Real));
+    }
+
+    #[test]
+    fn is_array_helper() {
+        let p = prog();
+        let syms = ProcSymbols::new(&p.main);
+        assert!(syms.is_array("as"));
+        assert!(!syms.is_array("n"));
+        assert!(!syms.is_array("undeclared"));
+    }
+}

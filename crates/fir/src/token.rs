@@ -1,0 +1,170 @@
+//! Token kinds produced by the lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Keywords of the mini-Fortran subset. Keywords are case-insensitive in the
+/// source (`DO`, `do`, `Do` all lex to [`Keyword::Do`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Program,
+    Subroutine,
+    End,
+    Do,
+    If,
+    Then,
+    Else,
+    Call,
+    Integer,
+    Real,
+}
+
+impl Keyword {
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        // Keywords are short; lowercase without allocating where possible.
+        let mut buf = [0u8; 16];
+        if s.len() > buf.len() {
+            return None;
+        }
+        for (i, b) in s.bytes().enumerate() {
+            buf[i] = b.to_ascii_lowercase();
+        }
+        match &buf[..s.len()] {
+            b"program" => Some(Keyword::Program),
+            b"subroutine" => Some(Keyword::Subroutine),
+            b"end" => Some(Keyword::End),
+            b"do" => Some(Keyword::Do),
+            b"if" => Some(Keyword::If),
+            b"then" => Some(Keyword::Then),
+            b"else" => Some(Keyword::Else),
+            b"call" => Some(Keyword::Call),
+            b"integer" => Some(Keyword::Integer),
+            b"real" => Some(Keyword::Real),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Program => "program",
+            Keyword::Subroutine => "subroutine",
+            Keyword::End => "end",
+            Keyword::Do => "do",
+            Keyword::If => "if",
+            Keyword::Then => "then",
+            Keyword::Else => "else",
+            Keyword::Call => "call",
+            Keyword::Integer => "integer",
+            Keyword::Real => "real",
+        }
+    }
+}
+
+/// All token kinds. Identifier and literal payloads are owned so the token
+/// stream outlives the source slice it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    IntLit(i64),
+    RealLit(f64),
+    Kw(Keyword),
+
+    // punctuation
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    DoubleColon,
+
+    // operators
+    Assign,   // =
+    Plus,     // +
+    Minus,    // -
+    Star,     // *
+    Slash,    // /
+    Pow,      // **
+    Eq,       // ==
+    Ne,       // /=
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    And,      // .and.
+    Or,       // .or.
+    Not,      // .not.
+
+    /// Statement separator: one or more newlines (or `;`).
+    Newline,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in parser error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::RealLit(v) => format!("real literal `{v}`"),
+            TokenKind::Kw(k) => format!("keyword `{}`", k.as_str()),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::DoubleColon => "`::`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Pow => "`**`".into(),
+            TokenKind::Eq => "`==`".into(),
+            TokenKind::Ne => "`/=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::And => "`.and.`".into(),
+            TokenKind::Or => "`.or.`".into(),
+            TokenKind::Not => "`.not.`".into(),
+            TokenKind::Newline => "end of line".into(),
+            TokenKind::Eof => "end of file".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::from_ident("DO"), Some(Keyword::Do));
+        assert_eq!(Keyword::from_ident("Program"), Some(Keyword::Program));
+        assert_eq!(Keyword::from_ident("enddo"), None);
+        assert_eq!(Keyword::from_ident("ix"), None);
+    }
+
+    #[test]
+    fn keyword_lookup_handles_long_idents() {
+        assert_eq!(Keyword::from_ident("averyverylongidentifier"), None);
+    }
+
+    #[test]
+    fn describe_mentions_payload() {
+        assert!(TokenKind::Ident("abc".into()).describe().contains("abc"));
+        assert!(TokenKind::IntLit(42).describe().contains("42"));
+    }
+}

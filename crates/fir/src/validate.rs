@@ -1,0 +1,716 @@
+//! Semantic validation: symbol resolution, arity, rank, and light type
+//! checking. Collects every error it finds rather than failing fast, so the
+//! semi-automatic driver can show users a complete report.
+
+use crate::ast::*;
+use crate::error::{Errors, FirError};
+use crate::intrinsics::{
+    check_builtin_sub_arity, check_intrinsic_arity, is_builtin_sub, is_predefined_scalar,
+};
+use crate::symbol::{ProcSymbols, Symbol};
+use std::collections::{HashMap, HashSet};
+
+/// Validate a whole program. `Ok(())` means the interpreter and the
+/// transformation can assume well-formed input.
+pub fn validate(program: &Program) -> Result<(), Errors> {
+    let mut errs = Vec::new();
+
+    // Duplicate procedure names.
+    let mut seen = HashSet::new();
+    for p in program.all_procedures() {
+        if !seen.insert(p.name.as_str()) {
+            errs.push(FirError::validate(
+                p.span,
+                format!("duplicate procedure name `{}`", p.name),
+            ));
+        }
+        if is_builtin_sub(&p.name) {
+            errs.push(FirError::validate(
+                p.span,
+                format!("procedure `{}` shadows a builtin subroutine", p.name),
+            ));
+        }
+    }
+
+    for p in program.all_procedures() {
+        validate_procedure(program, p, &mut errs);
+    }
+
+    check_recursion(program, &mut errs);
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(Errors(errs))
+    }
+}
+
+fn validate_procedure(program: &Program, proc: &Procedure, errs: &mut Vec<FirError>) {
+    // Declarations: duplicates, reserved names, param coverage.
+    let mut decl_names = HashSet::new();
+    for d in &proc.decls {
+        if !decl_names.insert(d.name.as_str()) {
+            errs.push(FirError::validate(
+                d.span,
+                format!("duplicate declaration of `{}`", d.name),
+            ));
+        }
+        if is_predefined_scalar(&d.name) {
+            errs.push(FirError::validate(
+                d.span,
+                format!("`{}` is predefined and cannot be redeclared", d.name),
+            ));
+        }
+    }
+    for param in &proc.params {
+        if !decl_names.contains(param.name.as_str()) {
+            errs.push(FirError::validate(
+                param.span,
+                format!(
+                    "parameter `{}` of `{}` has no declaration",
+                    param.name, proc.name
+                ),
+            ));
+        }
+    }
+
+    let syms = ProcSymbols::new(proc);
+
+    // Dimension bound expressions must be integer scalars.
+    for d in &proc.decls {
+        for b in &d.dims {
+            for e in [&b.lower, &b.upper] {
+                check_int_expr(&syms, e, "array bound", errs);
+            }
+        }
+    }
+
+    let mut cx = StmtCx {
+        program,
+        proc,
+        syms: &syms,
+        loop_vars: Vec::new(),
+        errs,
+    };
+    cx.check_stmts(&proc.body);
+}
+
+struct StmtCx<'a, 'p> {
+    program: &'p Program,
+    proc: &'p Procedure,
+    syms: &'a ProcSymbols<'p>,
+    loop_vars: Vec<String>,
+    errs: &'a mut Vec<FirError>,
+}
+
+impl StmtCx<'_, '_> {
+    fn check_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.check_stmt(s);
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                self.check_lvalue(target);
+                self.check_expr_typed(value);
+            }
+            Stmt::Do {
+                var,
+                lower,
+                upper,
+                step,
+                body,
+                span,
+            } => {
+                if is_predefined_scalar(var) {
+                    self.errs.push(FirError::validate(
+                        *span,
+                        format!("loop variable `{var}` is read-only"),
+                    ));
+                }
+                match self.syms.resolve(var) {
+                    Symbol::Array(_) => self.errs.push(FirError::validate(
+                        *span,
+                        format!("loop variable `{var}` is declared as an array"),
+                    )),
+                    sym if sym.scalar_type() != ScalarType::Integer => {
+                        self.errs.push(FirError::validate(
+                            *span,
+                            format!("loop variable `{var}` must be an integer"),
+                        ))
+                    }
+                    _ => {}
+                }
+                check_int_expr(self.syms, lower, "loop lower bound", self.errs);
+                check_int_expr(self.syms, upper, "loop upper bound", self.errs);
+                if let Some(st) = step {
+                    check_int_expr(self.syms, st, "loop step", self.errs);
+                    if st.is_int(0) {
+                        self.errs.push(FirError::validate(
+                            st.span(),
+                            "loop step must not be zero".to_string(),
+                        ));
+                    }
+                }
+                self.loop_vars.push(var.clone());
+                self.check_stmts(body);
+                self.loop_vars.pop();
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                match infer_type(self.syms, cond) {
+                    Ok(ScalarType::Integer) => {}
+                    Ok(ScalarType::Real) => self.errs.push(FirError::validate(
+                        cond.span(),
+                        "if condition must be integer-valued (logical)".to_string(),
+                    )),
+                    Err(e) => self.errs.push(e),
+                }
+                self.check_stmts(then_body);
+                self.check_stmts(else_body);
+            }
+            Stmt::Call { name, args, span } => self.check_call(name, args, *span),
+        }
+    }
+
+    fn check_lvalue(&mut self, lv: &LValue) {
+        if is_predefined_scalar(&lv.name) {
+            self.errs.push(FirError::validate(
+                lv.span,
+                format!("cannot assign to predefined `{}`", lv.name),
+            ));
+            return;
+        }
+        if self.loop_vars.contains(&lv.name) && lv.indices.is_empty() {
+            self.errs.push(FirError::validate(
+                lv.span,
+                format!("cannot assign to active loop variable `{}`", lv.name),
+            ));
+        }
+        match self.syms.resolve(&lv.name) {
+            Symbol::Array(d) => {
+                if lv.indices.len() != d.rank() {
+                    self.errs.push(FirError::validate(
+                        lv.span,
+                        format!(
+                            "array `{}` has rank {}, subscripted with {} index(es)",
+                            lv.name,
+                            d.rank(),
+                            lv.indices.len()
+                        ),
+                    ));
+                }
+                for ix in &lv.indices {
+                    check_int_expr(self.syms, ix, "array subscript", self.errs);
+                }
+            }
+            _ => {
+                if !lv.indices.is_empty() {
+                    self.errs.push(FirError::validate(
+                        lv.span,
+                        format!("`{}` is not an array but is subscripted", lv.name),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn check_expr_typed(&mut self, e: &Expr) {
+        if let Err(err) = infer_type(self.syms, e) {
+            self.errs.push(err);
+        }
+    }
+
+    fn check_call(&mut self, name: &str, args: &[Arg], span: crate::span::Span) {
+        // Argument well-formedness first (sections must name arrays, etc).
+        for a in args {
+            match a {
+                Arg::Expr(e) => {
+                    // A bare variable naming an array is a by-reference pass;
+                    // anything else must type-check as a scalar expression.
+                    if let Expr::Var(n, _) = e {
+                        if self.syms.is_array(n) {
+                            continue;
+                        }
+                    }
+                    self.check_expr_typed(e);
+                }
+                Arg::Section(sec) => {
+                    match self.syms.resolve(&sec.name) {
+                        Symbol::Array(d) => {
+                            if sec.dims.len() != d.rank() {
+                                self.errs.push(FirError::validate(
+                                    sec.span,
+                                    format!(
+                                        "section of `{}` has {} dim(s), array has rank {}",
+                                        sec.name,
+                                        sec.dims.len(),
+                                        d.rank()
+                                    ),
+                                ));
+                            }
+                        }
+                        _ => self.errs.push(FirError::validate(
+                            sec.span,
+                            format!("section base `{}` is not a declared array", sec.name),
+                        )),
+                    }
+                    for d in &sec.dims {
+                        match d {
+                            SecDim::Index(e) => {
+                                check_int_expr(self.syms, e, "section index", self.errs)
+                            }
+                            SecDim::Range(lo, hi) => {
+                                for e in [lo, hi].into_iter().flatten() {
+                                    check_int_expr(
+                                        self.syms,
+                                        e,
+                                        "section bound",
+                                        self.errs,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(res) = check_builtin_sub_arity(name, args.len()) {
+            if let Err(msg) = res {
+                self.errs.push(FirError::validate(span, msg));
+            }
+            self.check_mpi_buffer_args(name, args, span);
+            return;
+        }
+
+        match self.program.procedure(name) {
+            Some(callee) => {
+                if callee.params.len() != args.len() {
+                    self.errs.push(FirError::validate(
+                        span,
+                        format!(
+                            "`{}` expects {} argument(s), got {}",
+                            name,
+                            callee.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+            }
+            None => {
+                if self.proc.name == name || self.program.main.name == name {
+                    self.errs.push(FirError::validate(
+                        span,
+                        format!("cannot call program unit `{name}`"),
+                    ));
+                } else {
+                    self.errs.push(FirError::validate(
+                        span,
+                        format!("call to unknown subroutine `{name}`"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// MPI builtins: buffer arguments must be arrays (bare name or section).
+    fn check_mpi_buffer_args(&mut self, name: &str, args: &[Arg], span: crate::span::Span) {
+        let buffer_positions: &[usize] = match name {
+            "mpi_alltoall" => &[0, 2],
+            "mpi_isend" | "mpi_irecv" => &[0],
+            _ => &[],
+        };
+        for &i in buffer_positions {
+            let Some(a) = args.get(i) else { continue };
+            let ok = match a {
+                Arg::Section(_) => true,
+                Arg::Expr(Expr::Var(n, _)) => self.syms.is_array(n),
+                _ => false,
+            };
+            if !ok {
+                self.errs.push(FirError::validate(
+                    a.span().merge(span),
+                    format!(
+                        "argument {} of `{name}` must be an array or array section",
+                        i + 1
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_int_expr(
+    syms: &ProcSymbols<'_>,
+    e: &Expr,
+    what: &str,
+    errs: &mut Vec<FirError>,
+) {
+    match infer_type(syms, e) {
+        Ok(ScalarType::Integer) => {}
+        Ok(ScalarType::Real) => errs.push(FirError::validate(
+            e.span(),
+            format!("{what} must be an integer expression"),
+        )),
+        Err(err) => errs.push(err),
+    }
+}
+
+/// Light type inference. Integer/Real only; comparisons and logical
+/// operators yield Integer (0/1). Errors on arrays used as scalars, unknown
+/// intrinsics, wrong intrinsic arity, and `mod` on reals.
+pub fn infer_type(syms: &ProcSymbols<'_>, e: &Expr) -> Result<ScalarType, FirError> {
+    match e {
+        Expr::IntLit(..) => Ok(ScalarType::Integer),
+        Expr::RealLit(..) => Ok(ScalarType::Real),
+        Expr::Var(n, span) => match syms.resolve(n) {
+            Symbol::Array(_) => Err(FirError::validate(
+                *span,
+                format!("array `{n}` used as a scalar value"),
+            )),
+            sym => Ok(sym.scalar_type()),
+        },
+        Expr::ArrayRef {
+            name,
+            indices,
+            span,
+        } => match syms.resolve(name) {
+            Symbol::Array(d) => {
+                if indices.len() != d.rank() {
+                    return Err(FirError::validate(
+                        *span,
+                        format!(
+                            "array `{}` has rank {}, subscripted with {} index(es)",
+                            name,
+                            d.rank(),
+                            indices.len()
+                        ),
+                    ));
+                }
+                for ix in indices {
+                    let t = infer_type(syms, ix)?;
+                    if t != ScalarType::Integer {
+                        return Err(FirError::validate(
+                            ix.span(),
+                            "array subscript must be an integer expression".to_string(),
+                        ));
+                    }
+                }
+                Ok(d.ty)
+            }
+            _ => Err(FirError::validate(
+                *span,
+                format!("`{name}` is not a declared array"),
+            )),
+        },
+        Expr::Call { name, args, span } => {
+            match check_intrinsic_arity(name, args.len()) {
+                Some(Ok(())) => {}
+                Some(Err(msg)) => return Err(FirError::validate(*span, msg)),
+                None => {
+                    return Err(FirError::validate(
+                        *span,
+                        format!("unknown intrinsic function `{name}`"),
+                    ))
+                }
+            }
+            let mut arg_tys = Vec::with_capacity(args.len());
+            for a in args {
+                arg_tys.push(infer_type(syms, a)?);
+            }
+            match name.as_str() {
+                "mod" | "floor" | "int" => {
+                    if name == "mod"
+                        && arg_tys.iter().any(|t| *t != ScalarType::Integer)
+                    {
+                        return Err(FirError::validate(
+                            *span,
+                            "`mod` requires integer arguments".to_string(),
+                        ));
+                    }
+                    Ok(ScalarType::Integer)
+                }
+                "sqrt" | "sin" | "cos" | "exp" | "log" | "real" => Ok(ScalarType::Real),
+                "abs" => Ok(arg_tys[0]),
+                "min" | "max" => Ok(if arg_tys.contains(&ScalarType::Real) {
+                    ScalarType::Real
+                } else {
+                    ScalarType::Integer
+                }),
+                _ => unreachable!("arity table covers all intrinsics"),
+            }
+        }
+        Expr::Unary { op, operand, .. } => {
+            let t = infer_type(syms, operand)?;
+            Ok(match op {
+                UnOp::Neg => t,
+                UnOp::Not => ScalarType::Integer,
+            })
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let lt = infer_type(syms, lhs)?;
+            let rt = infer_type(syms, rhs)?;
+            if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                Ok(ScalarType::Integer)
+            } else if lt == ScalarType::Real || rt == ScalarType::Real {
+                Ok(ScalarType::Real)
+            } else {
+                Ok(ScalarType::Integer)
+            }
+        }
+    }
+}
+
+/// Reject recursive call chains: the interpreter (like Fortran 77) does not
+/// support recursion, and the transformation's procedure-mutation analysis
+/// assumes an acyclic call graph.
+fn check_recursion(program: &Program, errs: &mut Vec<FirError>) {
+    let mut graph: HashMap<&str, Vec<&str>> = HashMap::new();
+    for p in program.all_procedures() {
+        let calls = crate::visit::collect_stmts(&p.body, &|s| {
+            matches!(s, Stmt::Call { name, .. } if program.procedure(name).is_some())
+        });
+        let targets = calls
+            .into_iter()
+            .map(|s| match s {
+                Stmt::Call { name, .. } => name.as_str(),
+                _ => unreachable!(),
+            })
+            .collect();
+        graph.insert(p.name.as_str(), targets);
+    }
+
+    fn dfs<'g>(
+        node: &'g str,
+        graph: &HashMap<&'g str, Vec<&'g str>>,
+        visiting: &mut Vec<&'g str>,
+        done: &mut HashSet<&'g str>,
+    ) -> Option<Vec<String>> {
+        if done.contains(node) {
+            return None;
+        }
+        if let Some(pos) = visiting.iter().position(|n| *n == node) {
+            let mut cycle: Vec<String> =
+                visiting[pos..].iter().map(|s| s.to_string()).collect();
+            cycle.push(node.to_string());
+            return Some(cycle);
+        }
+        visiting.push(node);
+        if let Some(next) = graph.get(node) {
+            for n in next {
+                if let Some(c) = dfs(n, graph, visiting, done) {
+                    return Some(c);
+                }
+            }
+        }
+        visiting.pop();
+        done.insert(node);
+        None
+    }
+
+    let mut done = HashSet::new();
+    for p in program.all_procedures() {
+        let mut visiting = Vec::new();
+        if let Some(cycle) = dfs(p.name.as_str(), &graph, &mut visiting, &mut done) {
+            errs.push(FirError::validate(
+                p.span,
+                format!("recursive call chain: {}", cycle.join(" -> ")),
+            ));
+            return; // one report is enough
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), Errors> {
+        validate(&parse(src).unwrap())
+    }
+
+    fn assert_error_contains(src: &str, needle: &str) {
+        let errs = check(src).expect_err("expected validation failure");
+        assert!(
+            errs.0.iter().any(|e| e.message.contains(needle)),
+            "no error containing {needle:?} in {:?}",
+            errs.0
+        );
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        check(
+            "program m\n  integer :: n\n  real :: as(8), ar(8)\n  n = 8\n  do iy = 1, n\n    as(iy) = iy * 1.5\n  end do\n  call mpi_alltoall(as, 2, ar)\nend program",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_decl_rejected() {
+        assert_error_contains(
+            "program m\n  integer :: n\n  real :: n\nend program",
+            "duplicate declaration",
+        );
+    }
+
+    #[test]
+    fn redeclare_predefined_rejected() {
+        assert_error_contains(
+            "program m\n  integer :: mynum\nend program",
+            "predefined",
+        );
+    }
+
+    #[test]
+    fn assign_to_predefined_rejected() {
+        assert_error_contains("program m\n  np = 3\nend program", "cannot assign");
+    }
+
+    #[test]
+    fn assign_to_loop_var_rejected() {
+        assert_error_contains(
+            "program m\n  do i = 1, 3\n    i = 5\n  end do\nend program",
+            "active loop variable",
+        );
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        assert_error_contains(
+            "program m\n  real :: a(2, 2)\n  a(1) = 0\nend program",
+            "rank 2",
+        );
+    }
+
+    #[test]
+    fn subscripted_scalar_rejected() {
+        assert_error_contains(
+            "program m\n  integer :: n\n  n(1) = 0\nend program",
+            "not an array",
+        );
+    }
+
+    #[test]
+    fn real_loop_var_rejected() {
+        assert_error_contains(
+            "program m\n  do x = 1, 3\n  end do\nend program",
+            "must be an integer",
+        );
+    }
+
+    #[test]
+    fn real_subscript_rejected() {
+        assert_error_contains(
+            "program m\n  real :: a(4)\n  a(1.5) = 0\nend program",
+            "subscript must be an integer",
+        );
+    }
+
+    #[test]
+    fn unknown_subroutine_rejected() {
+        assert_error_contains("program m\n  call nosuch(1)\nend program", "unknown");
+    }
+
+    #[test]
+    fn wrong_user_arity_rejected() {
+        assert_error_contains(
+            "subroutine s(a)\n  integer :: a\nend subroutine\nprogram m\n  call s(1, 2)\nend program",
+            "expects 1 argument",
+        );
+    }
+
+    #[test]
+    fn undeclared_param_rejected() {
+        assert_error_contains(
+            "subroutine s(a)\nend subroutine\nprogram m\n  call s(1)\nend program",
+            "no declaration",
+        );
+    }
+
+    #[test]
+    fn mpi_buffer_must_be_array() {
+        assert_error_contains(
+            "program m\n  real :: ar(4)\n  integer :: x\n  call mpi_alltoall(x, 1, ar)\nend program",
+            "must be an array",
+        );
+    }
+
+    #[test]
+    fn mpi_arity_checked() {
+        assert_error_contains(
+            "program m\n  real :: a(4), b(4)\n  call mpi_isend(a, 1, 0)\nend program",
+            "needs 4 argument",
+        );
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        assert_error_contains(
+            "subroutine a()\n  call b()\nend subroutine\nsubroutine b()\n  call a()\nend subroutine\nprogram m\n  call a()\nend program",
+            "recursive call chain",
+        );
+    }
+
+    #[test]
+    fn self_recursion_rejected() {
+        assert_error_contains(
+            "subroutine a()\n  call a()\nend subroutine\nprogram m\n  call a()\nend program",
+            "recursive",
+        );
+    }
+
+    #[test]
+    fn mod_on_reals_rejected() {
+        assert_error_contains(
+            "program m\n  x = mod(1.5, 2.0)\nend program",
+            "integer arguments",
+        );
+    }
+
+    #[test]
+    fn real_condition_rejected() {
+        assert_error_contains(
+            "program m\n  if (1.5) then\n  end if\nend program",
+            "must be integer-valued",
+        );
+    }
+
+    #[test]
+    fn shadowing_builtin_rejected() {
+        assert_error_contains(
+            "subroutine print(x)\n  integer :: x\nend subroutine\nprogram m\nend program",
+            "shadows a builtin",
+        );
+    }
+
+    #[test]
+    fn section_of_scalar_rejected() {
+        assert_error_contains(
+            "program m\n  integer :: x\n  real :: r(4)\n  call mpi_isend(x(1:2), 2, 0, 0)\nend program",
+            "not a declared array",
+        );
+    }
+
+    #[test]
+    fn implicit_integers_accepted_in_bounds() {
+        check(
+            "program m\n  real :: a(8)\n  do i = 1, 8\n    a(i) = 0\n  end do\nend program",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn multiple_errors_collected() {
+        let errs = check("program m\n  np = 1\n  mynum = 2\nend program").unwrap_err();
+        assert!(errs.0.len() >= 2);
+    }
+}

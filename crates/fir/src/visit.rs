@@ -1,0 +1,345 @@
+//! Read-only visitors and in-place mutators over the AST.
+//!
+//! The Compuniformer's analyses walk statements and expressions constantly;
+//! these traits centralize the recursion so each analysis only overrides the
+//! hooks it cares about.
+
+use crate::ast::*;
+
+/// Read-only visitor. Default methods perform a full pre-order walk; override
+/// a hook and call the corresponding `walk_*` to keep descending.
+pub trait Visitor {
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+    fn visit_lvalue(&mut self, lv: &LValue) {
+        walk_lvalue(self, lv);
+    }
+    fn visit_arg(&mut self, a: &Arg) {
+        walk_arg(self, a);
+    }
+}
+
+pub fn walk_stmts<V: Visitor + ?Sized>(v: &mut V, stmts: &[Stmt]) {
+    for s in stmts {
+        v.visit_stmt(s);
+    }
+}
+
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
+    match s {
+        Stmt::Assign { target, value, .. } => {
+            v.visit_lvalue(target);
+            v.visit_expr(value);
+        }
+        Stmt::Do {
+            lower,
+            upper,
+            step,
+            body,
+            ..
+        } => {
+            v.visit_expr(lower);
+            v.visit_expr(upper);
+            if let Some(st) = step {
+                v.visit_expr(st);
+            }
+            walk_stmts(v, body);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            v.visit_expr(cond);
+            walk_stmts(v, then_body);
+            walk_stmts(v, else_body);
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                v.visit_arg(a);
+            }
+        }
+    }
+}
+
+pub fn walk_lvalue<V: Visitor + ?Sized>(v: &mut V, lv: &LValue) {
+    for ix in &lv.indices {
+        v.visit_expr(ix);
+    }
+}
+
+pub fn walk_arg<V: Visitor + ?Sized>(v: &mut V, a: &Arg) {
+    match a {
+        Arg::Expr(e) => v.visit_expr(e),
+        Arg::Section(sec) => {
+            for d in &sec.dims {
+                match d {
+                    SecDim::Index(e) => v.visit_expr(e),
+                    SecDim::Range(lo, hi) => {
+                        if let Some(lo) = lo {
+                            v.visit_expr(lo);
+                        }
+                        if let Some(hi) = hi {
+                            v.visit_expr(hi);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
+    match e {
+        Expr::IntLit(..) | Expr::RealLit(..) | Expr::Var(..) => {}
+        Expr::ArrayRef { indices, .. } => {
+            for i in indices {
+                v.visit_expr(i);
+            }
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        Expr::Unary { operand, .. } => v.visit_expr(operand),
+        Expr::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+    }
+}
+
+/// In-place mutator. Hooks receive `&mut`; defaults do a full walk.
+pub trait Mutator {
+    fn mutate_stmt(&mut self, s: &mut Stmt) {
+        walk_stmt_mut(self, s);
+    }
+    fn mutate_expr(&mut self, e: &mut Expr) {
+        walk_expr_mut(self, e);
+    }
+}
+
+pub fn walk_stmts_mut<M: Mutator + ?Sized>(m: &mut M, stmts: &mut [Stmt]) {
+    for s in stmts {
+        m.mutate_stmt(s);
+    }
+}
+
+pub fn walk_stmt_mut<M: Mutator + ?Sized>(m: &mut M, s: &mut Stmt) {
+    match s {
+        Stmt::Assign { target, value, .. } => {
+            for ix in &mut target.indices {
+                m.mutate_expr(ix);
+            }
+            m.mutate_expr(value);
+        }
+        Stmt::Do {
+            lower,
+            upper,
+            step,
+            body,
+            ..
+        } => {
+            m.mutate_expr(lower);
+            m.mutate_expr(upper);
+            if let Some(st) = step {
+                m.mutate_expr(st);
+            }
+            walk_stmts_mut(m, body);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            m.mutate_expr(cond);
+            walk_stmts_mut(m, then_body);
+            walk_stmts_mut(m, else_body);
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                match a {
+                    Arg::Expr(e) => m.mutate_expr(e),
+                    Arg::Section(sec) => {
+                        for d in &mut sec.dims {
+                            match d {
+                                SecDim::Index(e) => m.mutate_expr(e),
+                                SecDim::Range(lo, hi) => {
+                                    if let Some(lo) = lo {
+                                        m.mutate_expr(lo);
+                                    }
+                                    if let Some(hi) = hi {
+                                        m.mutate_expr(hi);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub fn walk_expr_mut<M: Mutator + ?Sized>(m: &mut M, e: &mut Expr) {
+    match e {
+        Expr::IntLit(..) | Expr::RealLit(..) | Expr::Var(..) => {}
+        Expr::ArrayRef { indices, .. } => {
+            for i in indices {
+                m.mutate_expr(i);
+            }
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                m.mutate_expr(a);
+            }
+        }
+        Expr::Unary { operand, .. } => m.mutate_expr(operand),
+        Expr::Binary { lhs, rhs, .. } => {
+            m.mutate_expr(lhs);
+            m.mutate_expr(rhs);
+        }
+    }
+}
+
+/// Substitute every read of scalar variable `var` with `replacement`.
+/// Loop variables shadow nothing in this language (single flat scope per
+/// procedure), so the substitution is purely syntactic.
+pub struct SubstVar<'a> {
+    pub var: &'a str,
+    pub replacement: &'a Expr,
+}
+
+impl Mutator for SubstVar<'_> {
+    fn mutate_expr(&mut self, e: &mut Expr) {
+        if let Expr::Var(n, _) = e {
+            if n == self.var {
+                *e = self.replacement.clone();
+                return;
+            }
+        }
+        walk_expr_mut(self, e);
+    }
+}
+
+/// Collect every statement matching a predicate, with pre-order indices.
+pub fn collect_stmts<'a>(
+    stmts: &'a [Stmt],
+    pred: &dyn Fn(&Stmt) -> bool,
+) -> Vec<&'a Stmt> {
+    struct C<'a, 'p> {
+        out: Vec<&'a Stmt>,
+        pred: &'p dyn Fn(&Stmt) -> bool,
+    }
+    // A custom recursion (not Visitor) because we need the 'a lifetime on
+    // collected references.
+    fn go<'a>(c: &mut C<'a, '_>, stmts: &'a [Stmt]) {
+        for s in stmts {
+            if (c.pred)(s) {
+                c.out.push(s);
+            }
+            match s {
+                Stmt::Do { body, .. } => go(c, body),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    go(c, then_body);
+                    go(c, else_body);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut c = C { out: Vec::new(), pred };
+    go(&mut c, stmts);
+    c.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_stmts};
+    use crate::unparse::{unparse_expr, unparse_stmts};
+
+    #[test]
+    fn visitor_counts_array_refs() {
+        struct Count(usize);
+        impl Visitor for Count {
+            fn visit_expr(&mut self, e: &Expr) {
+                if matches!(e, Expr::ArrayRef { .. }) {
+                    self.0 += 1;
+                }
+                walk_expr(self, e);
+            }
+        }
+        let stmts =
+            parse_stmts("do i = 1, n\n  a(i) = b(i) + b(i + 1)\nend do").unwrap();
+        let mut c = Count(0);
+        walk_stmts(&mut c, &stmts);
+        // The LValue `a(i)` is not an Expr::ArrayRef; only the two reads of
+        // `b` count.
+        assert_eq!(c.0, 2);
+    }
+
+    #[test]
+    fn visitor_descends_into_sections() {
+        struct Vars(Vec<String>);
+        impl Visitor for Vars {
+            fn visit_expr(&mut self, e: &Expr) {
+                if let Expr::Var(n, _) = e {
+                    self.0.push(n.clone());
+                }
+                walk_expr(self, e);
+            }
+        }
+        let stmts = parse_stmts("call mpi_isend(as(lo:hi), k, to, 7)").unwrap();
+        let mut v = Vars(Vec::new());
+        walk_stmts(&mut v, &stmts);
+        assert_eq!(v.0, vec!["lo", "hi", "k", "to"]);
+    }
+
+    #[test]
+    fn subst_var_replaces_reads_everywhere() {
+        let mut stmts = parse_stmts("a(i) = i + j * i").unwrap();
+        let repl = parse_expr("i0 + 5").unwrap();
+        let mut m = SubstVar {
+            var: "i",
+            replacement: &repl,
+        };
+        walk_stmts_mut(&mut m, &mut stmts);
+        // The LValue *index* is rewritten but the array name is not.
+        assert_eq!(
+            unparse_stmts(&stmts).trim(),
+            "a(i0 + 5) = i0 + 5 + j * (i0 + 5)"
+        );
+    }
+
+    #[test]
+    fn subst_leaves_other_vars() {
+        let mut e = parse_expr("x + y").unwrap();
+        let repl = parse_expr("1").unwrap();
+        let mut m = SubstVar {
+            var: "z",
+            replacement: &repl,
+        };
+        m.mutate_expr(&mut e);
+        assert_eq!(unparse_expr(&e), "x + y");
+    }
+
+    #[test]
+    fn collect_stmts_finds_nested_calls() {
+        let src = "do i = 1, n\n  if (i > 0) then\n    call p(i)\n  end if\nend do\ncall q()";
+        let stmts = parse_stmts(src).unwrap();
+        let calls = collect_stmts(&stmts, &|s| matches!(s, Stmt::Call { .. }));
+        assert_eq!(calls.len(), 2);
+    }
+}

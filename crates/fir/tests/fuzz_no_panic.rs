@@ -1,0 +1,58 @@
+//! Robustness: the lexer/parser/validator must never panic — any input,
+//! however mangled, yields `Err`, not a crash. Random strings plus
+//! mutations of valid programs.
+
+use proptest::prelude::*;
+
+const SEED_PROGRAM: &str = "\
+program main
+  real :: as(64), ar(64)
+  do iy = 1, 64
+    do ix = 1, 64
+      as(ix) = ix * iy + sin(0.5)
+    end do
+    call mpi_alltoall(as, 16, ar)
+  end do
+end program";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(s in "\\PC*") {
+        let _ = fir::parse_validated(&s);
+    }
+
+    #[test]
+    fn ascii_soup_never_panics(s in "[ -~\\n]{0,200}") {
+        let _ = fir::parse_validated(&s);
+    }
+
+    #[test]
+    fn mutated_valid_program_never_panics(
+        pos in 0usize..SEED_PROGRAM.len(),
+        len in 0usize..20,
+        insert in "[ -~]{0,10}",
+    ) {
+        let mut s = SEED_PROGRAM.to_string();
+        let start = pos.min(s.len());
+        let end = (pos + len).min(s.len());
+        // Only mutate at char boundaries (the seed is ASCII, so fine).
+        s.replace_range(start..end, &insert);
+        let _ = fir::parse_validated(&s);
+    }
+
+    #[test]
+    fn token_shuffles_never_panic(parts in prop::collection::vec(
+        prop::sample::select(vec![
+            "do", "end", "if", "then", "else", "program", "subroutine",
+            "call", "integer", "real", "::", "(", ")", ",", "=", "+",
+            "-", "*", "/", "**", "==", "<", ":", "a", "ix", "1", "2.5",
+            ".and.", ".not.", "\n",
+        ]),
+        0..40,
+    )) {
+        let s = parts.join(" ");
+        let _ = fir::parse_validated(&s);
+    }
+}

@@ -1,0 +1,254 @@
+//! Property test: `parse(unparse(ast)) == ast` for randomly generated ASTs,
+//! and `parse(unparse(parse(src))) == parse(src)` for generated source.
+//!
+//! Generator constraints (documented invariants of the unparser):
+//! - integer literals are non-negative (negative values only arise from the
+//!   builder's constant folding and print parenthesized, reparsing as Neg);
+//! - real literals are positive and finite;
+//! - names avoid keywords, intrinsics, and builtin subroutines.
+
+use fir::ast::*;
+use fir::span::Span;
+use fir::{parse, parse_expr, parse_stmts, unparse, unparse_expr, unparse_stmts};
+use proptest::prelude::*;
+
+const SCALAR_NAMES: &[&str] = &["i", "j", "k", "n", "ix", "iy", "lo", "hi", "x2", "alpha"];
+const ARRAY_NAMES: &[&str] = &["as", "ar", "at", "buf", "w"];
+
+fn scalar_name() -> impl Strategy<Value = String> {
+    prop::sample::select(SCALAR_NAMES).prop_map(str::to_string)
+}
+
+fn array_name() -> impl Strategy<Value = String> {
+    prop::sample::select(ARRAY_NAMES).prop_map(str::to_string)
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..1000).prop_map(|v| Expr::IntLit(v, Span::DUMMY)),
+        (1u32..10000u32).prop_map(|v| Expr::RealLit(v as f64 / 8.0, Span::DUMMY)),
+        scalar_name().prop_map(|n| Expr::Var(n, Span::DUMMY)),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            // array ref, rank 1-3
+            (array_name(), prop::collection::vec(inner.clone(), 1..4)).prop_map(
+                |(name, indices)| Expr::ArrayRef {
+                    name,
+                    indices,
+                    span: Span::DUMMY,
+                }
+            ),
+            // intrinsic calls with matching arity
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call {
+                name: "mod".into(),
+                args: vec![a, b],
+                span: Span::DUMMY,
+            }),
+            inner.clone().prop_map(|a| Expr::Call {
+                name: "abs".into(),
+                args: vec![a],
+                span: Span::DUMMY,
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| {
+                Expr::Call {
+                    name: "max".into(),
+                    args: vec![a, b, c],
+                    span: Span::DUMMY,
+                }
+            }),
+            // unary
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(e),
+                span: Span::DUMMY,
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(e),
+                span: Span::DUMMY,
+            }),
+            // binary, all operators
+            (
+                prop::sample::select(vec![
+                    BinOp::Or,
+                    BinOp::And,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Pow,
+                ]),
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, lhs, rhs)| Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    span: Span::DUMMY,
+                }),
+        ]
+    })
+}
+
+fn lvalue() -> impl Strategy<Value = LValue> {
+    prop_oneof![
+        scalar_name().prop_map(|name| LValue {
+            name,
+            indices: Vec::new(),
+            span: Span::DUMMY,
+        }),
+        (array_name(), prop::collection::vec(expr(), 1..3)).prop_map(|(name, indices)| {
+            LValue {
+                name,
+                indices,
+                span: Span::DUMMY,
+            }
+        }),
+    ]
+}
+
+fn sec_dim() -> impl Strategy<Value = SecDim> {
+    prop_oneof![
+        expr().prop_map(SecDim::Index),
+        (expr(), expr()).prop_map(|(a, b)| SecDim::Range(Some(a), Some(b))),
+        expr().prop_map(|a| SecDim::Range(Some(a), None)),
+        expr().prop_map(|b| SecDim::Range(None, Some(b))),
+        Just(SecDim::Range(None, None)),
+    ]
+}
+
+fn call_arg() -> impl Strategy<Value = Arg> {
+    prop_oneof![
+        expr().prop_map(Arg::Expr),
+        (array_name(), prop::collection::vec(sec_dim(), 1..3)).prop_map(|(name, dims)| {
+            // A section with no range dim would reparse as a plain
+            // expression (ArrayRef); force at least one range.
+            let mut dims = dims;
+            if !dims
+                .iter()
+                .any(|d| matches!(d, SecDim::Range(..)))
+            {
+                dims[0] = SecDim::Range(None, None);
+            }
+            Arg::Section(Section {
+                name,
+                dims,
+                span: Span::DUMMY,
+            })
+        }),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (lvalue(), expr()).prop_map(|(target, value)| Stmt::Assign {
+            target,
+            value,
+            span: Span::DUMMY,
+        }),
+        (prop::collection::vec(call_arg(), 0..4)).prop_map(|args| Stmt::Call {
+            name: "p".into(),
+            args,
+            span: Span::DUMMY,
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                scalar_name(),
+                expr(),
+                expr(),
+                prop::option::of(expr()),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(var, lower, upper, step, body)| Stmt::Do {
+                    var,
+                    lower,
+                    upper,
+                    step,
+                    body,
+                    span: Span::DUMMY,
+                }),
+            (
+                expr(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(cond, then_body, else_body)| Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span: Span::DUMMY,
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_roundtrip(e in expr()) {
+        let printed = unparse_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        prop_assert_eq!(&reparsed, &e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn stmt_roundtrip(stmts in prop::collection::vec(stmt(), 1..6)) {
+        let printed = unparse_stmts(&stmts);
+        let reparsed = parse_stmts(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n---\n{printed}"));
+        prop_assert_eq!(&reparsed, &stmts, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn program_roundtrip(body in prop::collection::vec(stmt(), 0..5)) {
+        let program = Program {
+            procedures: vec![Procedure {
+                name: "p".into(),
+                params: vec![Param { name: "q1".into(), span: Span::DUMMY }],
+                decls: vec![fir::builder::decl_int("q1")],
+                body: Vec::new(),
+                is_main: false,
+                span: Span::DUMMY,
+            }],
+            main: Procedure {
+                name: "main".into(),
+                params: Vec::new(),
+                decls: vec![
+                    fir::builder::decl_array("as", ScalarType::Real,
+                        vec![fir::builder::int(16)]),
+                    fir::builder::decl_int("n"),
+                ],
+                body,
+                is_main: true,
+                span: Span::DUMMY,
+            },
+        };
+        let printed = unparse(&program);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n---\n{printed}"));
+        prop_assert_eq!(&reparsed, &program, "printed:\n{}", printed);
+    }
+
+    /// Unparsing is a fixpoint: unparse(parse(unparse(p))) == unparse(p).
+    #[test]
+    fn unparse_fixpoint(stmts in prop::collection::vec(stmt(), 1..5)) {
+        let once = unparse_stmts(&stmts);
+        let again = unparse_stmts(&parse_stmts(&once).unwrap());
+        prop_assert_eq!(once, again);
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-rank execution environments with Fortran by-reference array passing
+//! and sequence association for section arguments.
+
+use crate::value::{ArrayStorage, Scalar};
+use fir::ast::ScalarType;
+use fir::symbol::implicit_type;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A view into shared array storage: the whole array, or — for section
+/// arguments passed to procedures — a contiguous window starting at
+/// `offset` with `len` elements (Fortran sequence association: the callee
+/// overlays its own declared shape onto the window).
+#[derive(Debug, Clone)]
+pub struct ArrayHandle {
+    pub storage: Rc<RefCell<ArrayStorage>>,
+    pub offset: usize,
+    pub len: usize,
+}
+
+impl ArrayHandle {
+    pub fn whole(storage: Rc<RefCell<ArrayStorage>>) -> ArrayHandle {
+        let len = storage.borrow().len();
+        ArrayHandle {
+            storage,
+            offset: 0,
+            len,
+        }
+    }
+
+    pub fn window(&self, offset: usize, len: usize) -> ArrayHandle {
+        assert!(
+            offset + len <= self.len,
+            "window {offset}+{len} exceeds view of {} elements",
+            self.len
+        );
+        ArrayHandle {
+            storage: Rc::clone(&self.storage),
+            offset: self.offset + offset,
+            len,
+        }
+    }
+
+    /// Identity of the underlying allocation (for buffer-reuse tracking).
+    pub fn alloc_id(&self) -> usize {
+        Rc::as_ptr(&self.storage) as usize
+    }
+}
+
+/// An array *binding*: a view plus the shape the current procedure uses to
+/// index it. For local arrays the shape matches the storage; for array
+/// parameters the callee's declared shape overlays the passed window
+/// (Fortran sequence association).
+#[derive(Debug, Clone)]
+pub struct BoundArray {
+    pub handle: ArrayHandle,
+    bounds: Vec<(i64, i64)>,
+    strides: Vec<usize>,
+}
+
+impl BoundArray {
+    /// Overlay `bounds` onto `handle`. Fails if the shape needs more
+    /// elements than the view provides.
+    pub fn from_shape(handle: ArrayHandle, bounds: Vec<(i64, i64)>) -> Result<Self, String> {
+        let mut strides = Vec::with_capacity(bounds.len());
+        let mut acc: usize = 1;
+        for &(lo, hi) in &bounds {
+            strides.push(acc);
+            acc = acc
+                .checked_mul((hi - lo + 1).max(0) as usize)
+                .ok_or_else(|| "array shape overflows".to_string())?;
+        }
+        if acc > handle.len {
+            return Err(format!(
+                "declared shape needs {acc} elements but only {} are passed",
+                handle.len
+            ));
+        }
+        Ok(BoundArray {
+            handle,
+            bounds,
+            strides,
+        })
+    }
+
+    pub fn rank(&self) -> usize {
+        self.bounds.len()
+    }
+
+    pub fn bounds(&self) -> &[(i64, i64)] {
+        &self.bounds
+    }
+
+    pub fn extent(&self, dim: usize) -> usize {
+        let (lo, hi) = self.bounds[dim];
+        (hi - lo + 1).max(0) as usize
+    }
+
+    /// Total elements of the declared shape.
+    pub fn shape_len(&self) -> usize {
+        self.bounds.iter().map(|&(lo, hi)| (hi - lo + 1).max(0) as usize).product()
+    }
+
+    /// Flat offset (within the view) of a subscript vector against the
+    /// bound shape.
+    pub fn flat(&self, name: &str, indices: &[i64]) -> Result<usize, crate::value::BoundsError> {
+        let mut off = 0usize;
+        for (d, (&ix, &(lo, hi))) in indices.iter().zip(&self.bounds).enumerate() {
+            if ix < lo || ix > hi {
+                return Err(crate::value::BoundsError {
+                    array: name.to_string(),
+                    dim: d,
+                    index: ix,
+                    lower: lo,
+                    upper: hi,
+                });
+            }
+            off += (ix - lo) as usize * self.strides[d];
+        }
+        Ok(off)
+    }
+
+    pub fn get(&self, name: &str, indices: &[i64]) -> Result<Scalar, crate::value::BoundsError> {
+        let off = self.flat(name, indices)?;
+        Ok(self.handle.storage.borrow().data.get(self.handle.offset + off))
+    }
+
+    pub fn set(
+        &self,
+        name: &str,
+        indices: &[i64],
+        v: Scalar,
+    ) -> Result<usize, crate::value::BoundsError> {
+        let off = self.flat(name, indices)?;
+        let abs = self.handle.offset + off;
+        self.handle.storage.borrow_mut().data.set(abs, v);
+        Ok(abs)
+    }
+}
+
+/// One procedure activation's name bindings.
+#[derive(Debug, Default)]
+pub struct Frame {
+    scalars: HashMap<String, Scalar>,
+    arrays: HashMap<String, BoundArray>,
+}
+
+impl Frame {
+    pub fn new() -> Frame {
+        Frame::default()
+    }
+
+    pub fn define_array(&mut self, name: &str, binding: BoundArray) {
+        self.arrays.insert(name.to_string(), binding);
+    }
+
+    pub fn array(&self, name: &str) -> Option<&BoundArray> {
+        self.arrays.get(name)
+    }
+
+    pub fn arrays(&self) -> impl Iterator<Item = (&String, &BoundArray)> {
+        self.arrays.iter()
+    }
+
+    pub fn set_scalar(&mut self, name: &str, v: Scalar) {
+        self.scalars.insert(name.to_string(), v);
+    }
+
+    /// Read a scalar. Uninitialized scalars default to a typed zero
+    /// (Fortran leaves them undefined; zero keeps runs deterministic and is
+    /// documented in DESIGN.md).
+    pub fn scalar(&self, name: &str) -> Scalar {
+        self.scalars.get(name).copied().unwrap_or_else(|| {
+            match implicit_type(name) {
+                ScalarType::Integer => Scalar::Int(0),
+                ScalarType::Real => Scalar::Real(0.0),
+            }
+        })
+    }
+
+    pub fn scalar_if_set(&self, name: &str) -> Option<Scalar> {
+        self.scalars.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::ast::ScalarType;
+
+    #[test]
+    fn whole_and_window_share_storage() {
+        let st = Rc::new(RefCell::new(ArrayStorage::new(
+            "a",
+            ScalarType::Integer,
+            vec![(1, 10)],
+        )));
+        let whole = ArrayHandle::whole(Rc::clone(&st));
+        let win = whole.window(4, 3);
+        win.storage.borrow_mut().data.set(4, Scalar::Int(99));
+        assert_eq!(st.borrow().data.get(4), Scalar::Int(99));
+        assert_eq!(win.offset, 4);
+        assert_eq!(win.len, 3);
+        assert_eq!(whole.alloc_id(), win.alloc_id());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds view")]
+    fn window_overflow_panics() {
+        let st = Rc::new(RefCell::new(ArrayStorage::new(
+            "a",
+            ScalarType::Integer,
+            vec![(1, 4)],
+        )));
+        let whole = ArrayHandle::whole(st);
+        let _ = whole.window(2, 3);
+    }
+
+    #[test]
+    fn nested_window_offsets_compose() {
+        let st = Rc::new(RefCell::new(ArrayStorage::new(
+            "a",
+            ScalarType::Integer,
+            vec![(1, 10)],
+        )));
+        let w1 = ArrayHandle::whole(st).window(2, 6);
+        let w2 = w1.window(3, 2);
+        assert_eq!(w2.offset, 5);
+    }
+
+    #[test]
+    fn scalar_defaults_follow_implicit_typing() {
+        let f = Frame::new();
+        assert_eq!(f.scalar("i"), Scalar::Int(0));
+        assert_eq!(f.scalar("x"), Scalar::Real(0.0));
+        assert_eq!(f.scalar_if_set("i"), None);
+    }
+
+    #[test]
+    fn scalar_set_get() {
+        let mut f = Frame::new();
+        f.set_scalar("n", Scalar::Int(5));
+        assert_eq!(f.scalar("n"), Scalar::Int(5));
+    }
+}

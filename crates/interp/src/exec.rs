@@ -1,0 +1,865 @@
+//! The tree-walking interpreter: executes one rank's view of a validated
+//! mini-Fortran program against a [`clustersim::Comm`] endpoint.
+//!
+//! Interpreter-detected runtime errors (bounds violations, bad MPI
+//! arguments, non-contiguous communication buffers, buffer-reuse hazards)
+//! panic with an `interp:` message; the cluster runner converts rank panics
+//! into [`clustersim::SimError::RankPanic`].
+
+use crate::cost::Options;
+use crate::env::{ArrayHandle, BoundArray, Frame};
+use crate::value::{ArrayStorage, Scalar};
+use clustersim::{Bytes, Comm, RecvId, SimTime};
+use fir::ast::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+macro_rules! rt_err {
+    ($($arg:tt)*) => {
+        panic!("interp: {}", format!($($arg)*))
+    };
+}
+
+/// A posted receive's target slice.
+struct PendingBuf {
+    storage: Rc<RefCell<ArrayStorage>>,
+    offset: usize,
+    count: usize,
+}
+
+/// A sent region that the NIC may still be reading.
+struct InflightRegion {
+    alloc: usize,
+    start: usize,
+    end: usize,
+    expires: SimTime,
+}
+
+pub(crate) struct Interp<'p, 'c> {
+    program: &'p Program,
+    opts: &'p Options,
+    comm: &'c mut Comm,
+    pub prints: Vec<String>,
+    pending: Vec<(RecvId, PendingBuf)>,
+    inflight: Vec<InflightRegion>,
+    ops: u64,
+}
+
+impl<'p, 'c> Interp<'p, 'c> {
+    pub fn new(program: &'p Program, opts: &'p Options, comm: &'c mut Comm) -> Self {
+        Interp {
+            program,
+            opts,
+            comm,
+            prints: Vec::new(),
+            pending: Vec::new(),
+            inflight: Vec::new(),
+            ops: 0,
+        }
+    }
+
+    /// Execute the main program; returns its final frame (for array dumps).
+    pub fn run_main(&mut self) -> Frame {
+        let main = &self.program.main;
+        let mut frame = self.fresh_frame();
+        self.allocate_locals(main, &mut frame, &[]);
+        self.exec_stmts(main, &frame.into_cell(), &main.body)
+    }
+
+    fn fresh_frame(&self) -> Frame {
+        let mut f = Frame::new();
+        f.set_scalar("mynum", Scalar::Int(self.comm.rank() as i64));
+        f.set_scalar("np", Scalar::Int(self.comm.np() as i64));
+        f
+    }
+
+    // -- cost charging -------------------------------------------------------
+
+    fn charge_stmt(&mut self) {
+        let c = &self.opts.cost;
+        let ns = self.ops as f64 * c.ns_per_op + c.ns_per_stmt;
+        self.ops = 0;
+        self.comm.advance(ns);
+    }
+
+    fn charge_ops_only(&mut self) {
+        let ns = self.ops as f64 * self.opts.cost.ns_per_op;
+        self.ops = 0;
+        self.comm.advance(ns);
+    }
+
+    // -- expression evaluation -------------------------------------------------
+
+    fn eval(&mut self, frame: &Frame, e: &Expr) -> Scalar {
+        self.ops += 1;
+        match e {
+            Expr::IntLit(v, _) => Scalar::Int(*v),
+            Expr::RealLit(v, _) => Scalar::Real(*v),
+            Expr::Var(n, _) => frame.scalar(n),
+            Expr::ArrayRef { name, indices, .. } => {
+                let idx = self.eval_indices(frame, indices);
+                let Some(binding) = frame.array(name) else {
+                    rt_err!("`{name}` is not an array in this scope");
+                };
+                match binding.get(name, &idx) {
+                    Ok(v) => v,
+                    Err(be) => rt_err!("{be}"),
+                }
+            }
+            Expr::Call { name, args, .. } => self.eval_intrinsic(frame, name, args),
+            Expr::Unary { op, operand, .. } => {
+                let v = self.eval(frame, operand);
+                match op {
+                    UnOp::Neg => match v {
+                        Scalar::Int(x) => Scalar::Int(-x),
+                        Scalar::Real(x) => Scalar::Real(-x),
+                    },
+                    UnOp::Not => Scalar::Int(i64::from(!v.is_true())),
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.eval(frame, lhs);
+                let b = self.eval(frame, rhs);
+                eval_binop(*op, a, b)
+            }
+        }
+    }
+
+    fn eval_indices(&mut self, frame: &Frame, indices: &[Expr]) -> Vec<i64> {
+        indices
+            .iter()
+            .map(|e| self.eval(frame, e).expect_int("array subscript"))
+            .collect()
+    }
+
+    fn eval_intrinsic(&mut self, frame: &Frame, name: &str, args: &[Expr]) -> Scalar {
+        let vals: Vec<Scalar> = args.iter().map(|a| self.eval(frame, a)).collect();
+        match name {
+            "mod" => {
+                let a = vals[0].expect_int("mod argument");
+                let b = vals[1].expect_int("mod argument");
+                if b == 0 {
+                    rt_err!("mod by zero");
+                }
+                Scalar::Int(a % b) // Fortran MOD: sign of the dividend
+            }
+            "min" | "max" => {
+                let any_real = vals.iter().any(|v| matches!(v, Scalar::Real(_)));
+                if any_real {
+                    let it = vals.iter().map(|v| v.as_real());
+                    let r = if name == "min" {
+                        it.fold(f64::INFINITY, f64::min)
+                    } else {
+                        it.fold(f64::NEG_INFINITY, f64::max)
+                    };
+                    Scalar::Real(r)
+                } else {
+                    let it = vals.iter().map(|v| v.truncate_to_int());
+                    Scalar::Int(if name == "min" {
+                        it.min().expect("arity checked")
+                    } else {
+                        it.max().expect("arity checked")
+                    })
+                }
+            }
+            "abs" => match vals[0] {
+                Scalar::Int(v) => Scalar::Int(v.abs()),
+                Scalar::Real(v) => Scalar::Real(v.abs()),
+            },
+            "sqrt" => Scalar::Real(vals[0].as_real().sqrt()),
+            "sin" => Scalar::Real(vals[0].as_real().sin()),
+            "cos" => Scalar::Real(vals[0].as_real().cos()),
+            "exp" => Scalar::Real(vals[0].as_real().exp()),
+            "log" => Scalar::Real(vals[0].as_real().ln()),
+            "floor" => Scalar::Int(vals[0].as_real().floor() as i64),
+            "int" => Scalar::Int(vals[0].truncate_to_int()),
+            "real" => Scalar::Real(vals[0].as_real()),
+            other => rt_err!("unknown intrinsic `{other}` (validation gap)"),
+        }
+    }
+
+    // -- statements -------------------------------------------------------------
+
+    fn exec_stmts(&mut self, proc: &'p Procedure, frame: &FrameCell, stmts: &[Stmt]) -> Frame {
+        for s in stmts {
+            self.exec_stmt(proc, frame, s);
+        }
+        frame.take()
+    }
+
+    fn exec_stmt(&mut self, proc: &'p Procedure, frame: &FrameCell, s: &Stmt) {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                let (idx, v) = {
+                    let f = frame.borrow();
+                    let idx = self.eval_indices(&f, &target.indices);
+                    let v = self.eval(&f, value);
+                    (idx, v)
+                };
+                self.charge_stmt();
+                self.store(proc, frame, target, idx, v);
+            }
+            Stmt::Do {
+                var,
+                lower,
+                upper,
+                step,
+                body,
+                ..
+            } => {
+                let (lo, hi, st) = {
+                    let f = frame.borrow();
+                    let lo = self.eval(&f, lower).expect_int("loop bound");
+                    let hi = self.eval(&f, upper).expect_int("loop bound");
+                    let st = match step {
+                        None => 1,
+                        Some(e) => self.eval(&f, e).expect_int("loop step"),
+                    };
+                    (lo, hi, st)
+                };
+                if st == 0 {
+                    rt_err!("zero loop step in `do {var}`");
+                }
+                self.charge_stmt();
+                let mut i = lo;
+                loop {
+                    if (st > 0 && i > hi) || (st < 0 && i < hi) {
+                        break;
+                    }
+                    frame.borrow_mut().set_scalar(var, Scalar::Int(i));
+                    for b in body {
+                        self.exec_stmt(proc, frame, b);
+                    }
+                    // loop increment + test bookkeeping
+                    self.comm.advance(self.opts.cost.ns_per_stmt);
+                    i += st;
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let c = {
+                    let f = frame.borrow();
+                    self.eval(&f, cond)
+                };
+                self.charge_stmt();
+                let body = if c.is_true() { then_body } else { else_body };
+                for b in body {
+                    self.exec_stmt(proc, frame, b);
+                }
+            }
+            Stmt::Call { name, args, .. } => {
+                if fir::intrinsics::is_builtin_sub(name) {
+                    self.exec_builtin(frame, name, args);
+                } else {
+                    self.exec_user_call(frame, name, args);
+                }
+            }
+        }
+    }
+
+    fn store(
+        &mut self,
+        proc: &'p Procedure,
+        frame: &FrameCell,
+        target: &LValue,
+        idx: Vec<i64>,
+        v: Scalar,
+    ) {
+        if target.indices.is_empty() {
+            let ty = scalar_ty(proc, &target.name);
+            frame
+                .borrow_mut()
+                .set_scalar(&target.name, v.convert_to(ty));
+            return;
+        }
+        let f = frame.borrow();
+        let Some(binding) = f.array(&target.name) else {
+            rt_err!("`{}` is not an array in this scope", target.name);
+        };
+        match binding.set(&target.name, &idx, v) {
+            Ok(abs) => {
+                if self.opts.detect_buffer_reuse {
+                    let alloc = binding.handle.alloc_id();
+                    drop(f);
+                    self.check_inflight_write(alloc, abs, &target.name);
+                }
+            }
+            Err(be) => rt_err!("{be}"),
+        }
+    }
+
+    fn check_inflight_write(&mut self, alloc: usize, abs: usize, name: &str) {
+        let now = self.comm.now();
+        self.inflight.retain(|r| r.expires > now);
+        if let Some(r) = self
+            .inflight
+            .iter()
+            .find(|r| r.alloc == alloc && abs >= r.start && abs < r.end)
+        {
+            rt_err!(
+                "buffer-reuse hazard: rank {} overwrote element {} of `{name}` while an \
+                 mpi_isend of [{}, {}) is still in flight (drains at {})",
+                self.comm.rank(),
+                abs,
+                r.start,
+                r.end,
+                r.expires
+            );
+        }
+    }
+
+    // -- procedure calls -----------------------------------------------------------
+
+    fn exec_user_call(&mut self, frame: &FrameCell, name: &str, args: &[Arg]) {
+        let Some(callee) = self.program.procedure(name) else {
+            rt_err!("call to unknown subroutine `{name}` (validation gap)");
+        };
+        let mut callee_frame = self.fresh_frame();
+        let mut array_args: Vec<(String, ArrayHandle)> = Vec::new();
+
+        for (param, arg) in callee.params.iter().zip(args) {
+            match arg {
+                Arg::Expr(Expr::Var(n, _)) if frame.borrow().array(n).is_some() => {
+                    let f = frame.borrow();
+                    let b = f.array(n).expect("checked");
+                    let h = b.handle.window(0, b.shape_len());
+                    array_args.push((param.name.clone(), h));
+                }
+                Arg::Section(sec) => {
+                    let h = self.resolve_section(frame, sec);
+                    array_args.push((param.name.clone(), h));
+                }
+                Arg::Expr(e) => {
+                    let v = {
+                        let f = frame.borrow();
+                        self.eval(&f, e)
+                    };
+                    let ty = scalar_ty(callee, &param.name);
+                    callee_frame.set_scalar(&param.name, v.convert_to(ty));
+                }
+            }
+        }
+        self.charge_ops_only();
+        self.comm.advance(self.opts.cost.ns_per_call);
+
+        self.allocate_locals(callee, &mut callee_frame, &array_args);
+        let cell = callee_frame.into_cell();
+        for s in &callee.body {
+            self.exec_stmt(callee, &cell, s);
+        }
+        // Arrays were by reference; scalar params are by value (documented).
+    }
+
+    /// Allocate local arrays and bind array parameters, in declaration
+    /// order, evaluating bound expressions in the growing frame.
+    fn allocate_locals(
+        &mut self,
+        proc: &'p Procedure,
+        frame: &mut Frame,
+        array_args: &[(String, ArrayHandle)],
+    ) {
+        for decl in &proc.decls {
+            if !decl.is_array() {
+                // Seed declared scalars with typed zeros (unless a
+                // parameter already bound a value), so an `integer :: n`
+                // read before assignment yields Int(0), not the implicit
+                // rule's guess.
+                if frame.scalar_if_set(&decl.name).is_none() {
+                    let zero = match decl.ty {
+                        ScalarType::Integer => Scalar::Int(0),
+                        ScalarType::Real => Scalar::Real(0.0),
+                    };
+                    frame.set_scalar(&decl.name, zero);
+                }
+                continue;
+            }
+            let bounds: Vec<(i64, i64)> = decl
+                .dims
+                .iter()
+                .map(|b| {
+                    let lo = self.eval(frame, &b.lower).expect_int("array bound");
+                    let hi = self.eval(frame, &b.upper).expect_int("array bound");
+                    (lo, hi)
+                })
+                .collect();
+            if let Some((_, handle)) = array_args.iter().find(|(n, _)| *n == decl.name) {
+                match BoundArray::from_shape(handle.clone(), bounds) {
+                    Ok(b) => frame.define_array(&decl.name, b),
+                    Err(msg) => rt_err!(
+                        "binding parameter `{}` of `{}`: {msg}",
+                        decl.name,
+                        proc.name
+                    ),
+                }
+            } else {
+                let storage = Rc::new(RefCell::new(ArrayStorage::new(
+                    &decl.name,
+                    decl.ty,
+                    bounds.clone(),
+                )));
+                let handle = ArrayHandle::whole(storage);
+                let b = BoundArray::from_shape(handle, bounds).expect("fresh allocation fits");
+                frame.define_array(&decl.name, b);
+            }
+        }
+        self.charge_ops_only();
+    }
+
+    // -- builtin (MPI) subroutines -----------------------------------------------
+
+    fn exec_builtin(&mut self, frame: &FrameCell, name: &str, args: &[Arg]) {
+        match name {
+            "mpi_isend" => self.mpi_isend(frame, args),
+            "mpi_irecv" => self.mpi_irecv(frame, args),
+            "mpi_waitall_recv" => {
+                self.charge_stmt();
+                let done = self.comm.wait_all_recvs();
+                self.apply_received(done);
+            }
+            "mpi_waitall" => {
+                self.charge_stmt();
+                let done = self.comm.wait_all();
+                self.apply_received(done);
+                self.inflight.clear();
+            }
+            "mpi_barrier" => {
+                self.charge_stmt();
+                self.comm.barrier();
+            }
+            "mpi_alltoall" => self.mpi_alltoall(frame, args),
+            "print" => {
+                let line = {
+                    let f = frame.borrow();
+                    args.iter()
+                        .map(|a| match a {
+                            Arg::Expr(e) => self.eval(&f, e).to_string(),
+                            Arg::Section(s) => format!("<section {}>", s.name),
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                };
+                self.charge_ops_only();
+                self.prints.push(line);
+            }
+            other => rt_err!("unknown builtin `{other}` (validation gap)"),
+        }
+    }
+
+    fn scalar_arg(&mut self, frame: &FrameCell, args: &[Arg], i: usize, what: &str) -> i64 {
+        let f = frame.borrow();
+        match &args[i] {
+            Arg::Expr(e) => self.eval(&f, e).expect_int(what),
+            Arg::Section(s) => rt_err!("{what} must be a scalar, got section of `{}`", s.name),
+        }
+    }
+
+    /// Resolve an MPI buffer argument to a contiguous element window.
+    fn resolve_buffer(&mut self, frame: &FrameCell, arg: &Arg, ctx: &str) -> ArrayHandle {
+        match arg {
+            Arg::Expr(Expr::Var(n, _)) => {
+                let f = frame.borrow();
+                let Some(b) = f.array(n) else {
+                    rt_err!("{ctx}: `{n}` is not an array");
+                };
+                b.handle.window(0, b.shape_len())
+            }
+            Arg::Section(sec) => self.resolve_section(frame, sec),
+            Arg::Expr(e) => rt_err!(
+                "{ctx}: buffer must be an array or section, got expression at {:?}",
+                e.span()
+            ),
+        }
+    }
+
+    /// Resolve a section to a contiguous window (column-major rule: all
+    /// dims before the last varying one must cover their full extent).
+    fn resolve_section(&mut self, frame: &FrameCell, sec: &Section) -> ArrayHandle {
+        let f = frame.borrow();
+        let Some(binding) = f.array(&sec.name) else {
+            rt_err!("section base `{}` is not an array", sec.name);
+        };
+        if sec.dims.len() != binding.rank() {
+            rt_err!(
+                "section of `{}` has {} dims, array has rank {}",
+                sec.name,
+                sec.dims.len(),
+                binding.rank()
+            );
+        }
+        let mut lows = Vec::with_capacity(sec.dims.len());
+        let mut counts = Vec::with_capacity(sec.dims.len());
+        for (d, sd) in sec.dims.iter().enumerate() {
+            let (blo, bhi) = binding.bounds()[d];
+            let (lo, hi) = match sd {
+                SecDim::Index(e) => {
+                    let v = self.eval(&f, e).expect_int("section index");
+                    (v, v)
+                }
+                SecDim::Range(a, b) => {
+                    let lo = a
+                        .as_ref()
+                        .map(|e| self.eval(&f, e).expect_int("section bound"))
+                        .unwrap_or(blo);
+                    let hi = b
+                        .as_ref()
+                        .map(|e| self.eval(&f, e).expect_int("section bound"))
+                        .unwrap_or(bhi);
+                    (lo, hi)
+                }
+            };
+            if lo < blo || hi > bhi {
+                rt_err!(
+                    "section of `{}` dim {}: {}:{} outside declared {}..={}",
+                    sec.name,
+                    d + 1,
+                    lo,
+                    hi,
+                    blo,
+                    bhi
+                );
+            }
+            lows.push(lo);
+            counts.push((hi - lo + 1).max(0) as usize);
+        }
+        let len: usize = counts.iter().product();
+        if len == 0 {
+            return binding.handle.window(0, 0);
+        }
+        // Contiguity: dims before the last varying dim must be full extent.
+        if let Some(p) = counts.iter().rposition(|&c| c != 1) {
+            for (d, &cnt) in counts.iter().enumerate().take(p) {
+                if cnt != binding.extent(d) {
+                    rt_err!(
+                        "section of `{}` is not contiguous: dim {} covers {} of {} elements \
+                         while dim {} varies",
+                        sec.name,
+                        d + 1,
+                        counts[d],
+                        binding.extent(d),
+                        p + 1
+                    );
+                }
+            }
+        }
+        let offset = match binding.flat(&sec.name, &lows) {
+            Ok(o) => o,
+            Err(be) => rt_err!("{be}"),
+        };
+        binding.handle.window(offset, len)
+    }
+
+    fn mpi_isend(&mut self, frame: &FrameCell, args: &[Arg]) {
+        let buf = self.resolve_buffer(frame, &args[0], "mpi_isend");
+        let count = self.scalar_arg(frame, args, 1, "mpi_isend count");
+        let dest = self.scalar_arg(frame, args, 2, "mpi_isend dest");
+        let tag = self.scalar_arg(frame, args, 3, "mpi_isend tag");
+        self.charge_stmt();
+        let me = self.comm.rank() as i64;
+        let np = self.comm.np() as i64;
+        if count < 0 || (count as usize) > buf.len {
+            rt_err!(
+                "mpi_isend: count {count} exceeds buffer window of {} elements",
+                buf.len
+            );
+        }
+        if dest < 0 || dest >= np {
+            rt_err!("mpi_isend: dest {dest} out of range 0..{np}");
+        }
+        if dest == me {
+            rt_err!("mpi_isend: self-send (rank {me}); copy locally instead");
+        }
+        let bytes = {
+            let st = buf.storage.borrow();
+            Bytes::from(st.encode(buf.offset, count as usize))
+        };
+        let nic_done = self.comm.isend(dest as usize, tag, bytes);
+        if self.opts.detect_buffer_reuse {
+            self.inflight.push(InflightRegion {
+                alloc: buf.alloc_id(),
+                start: buf.offset,
+                end: buf.offset + count as usize,
+                expires: nic_done,
+            });
+        }
+    }
+
+    fn mpi_irecv(&mut self, frame: &FrameCell, args: &[Arg]) {
+        let buf = self.resolve_buffer(frame, &args[0], "mpi_irecv");
+        let count = self.scalar_arg(frame, args, 1, "mpi_irecv count");
+        let src = self.scalar_arg(frame, args, 2, "mpi_irecv src");
+        let tag = self.scalar_arg(frame, args, 3, "mpi_irecv tag");
+        self.charge_stmt();
+        let me = self.comm.rank() as i64;
+        let np = self.comm.np() as i64;
+        if count < 0 || (count as usize) > buf.len {
+            rt_err!(
+                "mpi_irecv: count {count} exceeds buffer window of {} elements",
+                buf.len
+            );
+        }
+        if src < 0 || src >= np {
+            rt_err!("mpi_irecv: src {src} out of range 0..{np}");
+        }
+        if src == me {
+            rt_err!("mpi_irecv: self-receive (rank {me})");
+        }
+        let id = self.comm.irecv(src as usize, tag);
+        self.pending.push((
+            id,
+            PendingBuf {
+                storage: Rc::clone(&buf.storage),
+                offset: buf.offset,
+                count: count as usize,
+            },
+        ));
+    }
+
+    fn apply_received(&mut self, done: Vec<(RecvId, Bytes)>) {
+        for (id, payload) in done {
+            let pos = self
+                .pending
+                .iter()
+                .position(|(pid, _)| *pid == id)
+                .unwrap_or_else(|| rt_err!("completed receive with no registered buffer"));
+            let (_, buf) = self.pending.remove(pos);
+            if payload.len() != buf.count * 8 {
+                rt_err!(
+                    "mpi receive: expected {} elements ({} bytes), got {} bytes",
+                    buf.count,
+                    buf.count * 8,
+                    payload.len()
+                );
+            }
+            buf.storage
+                .borrow_mut()
+                .decode_into(buf.offset, payload.as_ref());
+        }
+    }
+
+    fn mpi_alltoall(&mut self, frame: &FrameCell, args: &[Arg]) {
+        let send = self.resolve_buffer(frame, &args[0], "mpi_alltoall send buffer");
+        let count = self.scalar_arg(frame, args, 1, "mpi_alltoall count");
+        let recv = self.resolve_buffer(frame, &args[2], "mpi_alltoall recv buffer");
+        self.charge_stmt();
+        let np = self.comm.np();
+        if count < 0 {
+            rt_err!("mpi_alltoall: negative count {count}");
+        }
+        let count = count as usize;
+        if count * np > send.len {
+            rt_err!(
+                "mpi_alltoall: need {} elements in send buffer, have {}",
+                count * np,
+                send.len
+            );
+        }
+        if count * np > recv.len {
+            rt_err!(
+                "mpi_alltoall: need {} elements in recv buffer, have {}",
+                count * np,
+                recv.len
+            );
+        }
+        let payloads: Vec<Bytes> = {
+            let st = send.storage.borrow();
+            (0..np)
+                .map(|d| Bytes::from(st.encode(send.offset + d * count, count)))
+                .collect()
+        };
+        let received = self.comm.alltoall(payloads);
+        let mut st = recv.storage.borrow_mut();
+        for (srcr, payload) in received.into_iter().enumerate() {
+            if payload.len() != count * 8 {
+                rt_err!(
+                    "mpi_alltoall: partner {srcr} sent {} bytes, expected {}",
+                    payload.len(),
+                    count * 8
+                );
+            }
+            st.decode_into(recv.offset + srcr * count, payload.as_ref());
+        }
+    }
+}
+
+/// Static scalar type of a name in a procedure (declared, or implicit).
+fn scalar_ty(proc: &Procedure, name: &str) -> ScalarType {
+    match proc.decl(name) {
+        Some(d) => d.ty,
+        None => fir::symbol::implicit_type(name),
+    }
+}
+
+/// Interior-mutable frame wrapper: statements need `&mut Frame` for scalar
+/// stores while expression evaluation holds shared borrows.
+pub(crate) struct FrameCell(RefCell<Frame>);
+
+impl FrameCell {
+    fn borrow(&self) -> std::cell::Ref<'_, Frame> {
+        self.0.borrow()
+    }
+
+    fn borrow_mut(&self) -> std::cell::RefMut<'_, Frame> {
+        self.0.borrow_mut()
+    }
+
+    fn take(&self) -> Frame {
+        self.0.replace(Frame::new())
+    }
+}
+
+pub(crate) trait IntoCell {
+    fn into_cell(self) -> FrameCell;
+}
+
+impl IntoCell for Frame {
+    fn into_cell(self) -> FrameCell {
+        FrameCell(RefCell::new(self))
+    }
+}
+
+fn eval_binop(op: BinOp, a: Scalar, b: Scalar) -> Scalar {
+    use BinOp::*;
+    let both_int = matches!((a, b), (Scalar::Int(_), Scalar::Int(_)));
+    match op {
+        Add | Sub | Mul | Div | Pow => {
+            if both_int {
+                let (x, y) = (a.truncate_to_int(), b.truncate_to_int());
+                match op {
+                    Add => Scalar::Int(x.wrapping_add(y)),
+                    Sub => Scalar::Int(x.wrapping_sub(y)),
+                    Mul => Scalar::Int(x.wrapping_mul(y)),
+                    Div => {
+                        if y == 0 {
+                            rt_err!("integer division by zero");
+                        }
+                        Scalar::Int(x.wrapping_div(y))
+                    }
+                    Pow => Scalar::Int(int_pow(x, y)),
+                    _ => unreachable!(),
+                }
+            } else {
+                let (x, y) = (a.as_real(), b.as_real());
+                Scalar::Real(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    Pow => x.powf(y),
+                    _ => unreachable!(),
+                })
+            }
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let r = if both_int {
+                let (x, y) = (a.truncate_to_int(), b.truncate_to_int());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    Ge => x >= y,
+                    _ => unreachable!(),
+                }
+            } else {
+                let (x, y) = (a.as_real(), b.as_real());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    Ge => x >= y,
+                    _ => unreachable!(),
+                }
+            };
+            Scalar::Int(i64::from(r))
+        }
+        And => Scalar::Int(i64::from(a.is_true() && b.is_true())),
+        Or => Scalar::Int(i64::from(a.is_true() || b.is_true())),
+    }
+}
+
+/// Fortran integer exponentiation: negative exponents truncate to 0 unless
+/// the base is ±1.
+fn int_pow(base: i64, exp: i64) -> i64 {
+    if exp >= 0 {
+        let mut acc: i64 = 1;
+        for _ in 0..exp {
+            acc = acc.wrapping_mul(base);
+        }
+        acc
+    } else {
+        match base {
+            1 => 1,
+            -1 => {
+                if exp % 2 == 0 {
+                    1
+                } else {
+                    -1
+                }
+            }
+            0 => rt_err!("0 ** negative exponent"),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_pow_cases() {
+        assert_eq!(int_pow(2, 10), 1024);
+        assert_eq!(int_pow(3, 0), 1);
+        assert_eq!(int_pow(2, -1), 0);
+        assert_eq!(int_pow(-1, 3), -1);
+        assert_eq!(int_pow(-1, 4), 1);
+        assert_eq!(int_pow(1, -5), 1);
+    }
+
+    #[test]
+    fn binop_integer_semantics() {
+        assert_eq!(
+            eval_binop(BinOp::Div, Scalar::Int(7), Scalar::Int(2)),
+            Scalar::Int(3)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, Scalar::Int(-7), Scalar::Int(2)),
+            Scalar::Int(-3)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Lt, Scalar::Int(1), Scalar::Int(2)),
+            Scalar::Int(1)
+        );
+    }
+
+    #[test]
+    fn binop_promotes_to_real() {
+        assert_eq!(
+            eval_binop(BinOp::Add, Scalar::Int(1), Scalar::Real(0.5)),
+            Scalar::Real(1.5)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, Scalar::Real(7.0), Scalar::Int(2)),
+            Scalar::Real(3.5)
+        );
+    }
+
+    #[test]
+    fn logical_ops() {
+        assert_eq!(
+            eval_binop(BinOp::And, Scalar::Int(1), Scalar::Int(0)),
+            Scalar::Int(0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Or, Scalar::Int(1), Scalar::Int(0)),
+            Scalar::Int(1)
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! MPI misuse must fail loudly with actionable messages — never silently
+//! corrupt data or hang forever.
+
+use clustersim::{NetworkModel, SimError};
+use interp::{run_source, RunError};
+
+fn expect_rank_panic(src: &str, np: usize, needle: &str) {
+    let err = run_source(src, np, &NetworkModel::mpich_gm()).unwrap_err();
+    match err {
+        RunError::Sim(SimError::RankPanic { message, .. }) => {
+            assert!(message.contains(needle), "wanted {needle:?} in: {message}");
+        }
+        other => panic!("expected rank panic, got {other}"),
+    }
+}
+
+#[test]
+fn self_send_rejected() {
+    expect_rank_panic(
+        "program m\n  real :: s(4)\n  call mpi_isend(s(1:4), 4, mynum, 0)\nend program",
+        2,
+        "self-send",
+    );
+}
+
+#[test]
+fn self_receive_rejected() {
+    expect_rank_panic(
+        "program m\n  real :: s(4)\n  call mpi_irecv(s(1:4), 4, mynum, 0)\nend program",
+        2,
+        "self-receive",
+    );
+}
+
+#[test]
+fn destination_out_of_range() {
+    expect_rank_panic(
+        "program m\n  real :: s(4)\n  call mpi_isend(s(1:4), 4, 7, 0)\nend program",
+        2,
+        "out of range",
+    );
+}
+
+#[test]
+fn count_exceeding_buffer_rejected() {
+    expect_rank_panic(
+        "program m\n  real :: s(4)\n  call mpi_isend(s(1:4), 9, 1 - mynum, 0)\nend program",
+        2,
+        "exceeds buffer window",
+    );
+}
+
+#[test]
+fn alltoall_send_buffer_too_small() {
+    expect_rank_panic(
+        "program m\n  real :: s(4), r(16)\n  call mpi_alltoall(s, 4, r)\nend program",
+        4,
+        "need 16 elements in send buffer",
+    );
+}
+
+#[test]
+fn alltoall_recv_buffer_too_small() {
+    expect_rank_panic(
+        "program m\n  real :: s(16), r(4)\n  call mpi_alltoall(s, 4, r)\nend program",
+        4,
+        "need 16 elements in recv buffer",
+    );
+}
+
+#[test]
+fn size_mismatched_point_to_point_detected() {
+    // Sender ships 2 elements; receiver expects 4.
+    let src = "\
+program m
+  real :: s(4), r(4)
+  if (mynum == 0) then
+    call mpi_isend(s(1:2), 2, 1, 0)
+    call mpi_waitall()
+  else
+    call mpi_irecv(r(1:4), 4, 0, 0)
+    call mpi_waitall()
+  end if
+end program";
+    expect_rank_panic(src, 2, "expected 4 elements");
+}
+
+#[test]
+fn collective_mismatch_detected() {
+    // Rank 0 calls barrier while rank 1 calls alltoall at the same
+    // collective index: a program error the simulator names explicitly.
+    let src = "\
+program m
+  real :: s(8), r(8)
+  if (mynum == 0) then
+    call mpi_barrier()
+  else
+    call mpi_alltoall(s, 4, r)
+  end if
+end program";
+    let err = run_source(src, 2, &NetworkModel::mpich_gm()).unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("collective mismatch"), "{msg}");
+}
+
+#[test]
+fn negative_count_rejected() {
+    expect_rank_panic(
+        "program m\n  real :: s(4), r(4)\n  n = 0 - 1\n  call mpi_isend(s(1:4), n, 1 - mynum, 0)\nend program",
+        2,
+        "count",
+    );
+}

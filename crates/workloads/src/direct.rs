@@ -1,0 +1,104 @@
+//! The paper's Figure 2(a) abstract kernel, verbatim shape: a 1-D send
+//! array filled by an inner computation loop, exchanged with
+//! `MPI_ALLTOALL` at the end of every outer iteration. The node "loop" is
+//! the computation loop itself, so the transformation uses the tiled
+//! *owner sends* strategy (§3.5's subset case).
+
+use crate::Workload;
+
+/// Size parameters. The send array has `np * sz` elements; `outer`
+/// iterations each exchange `sz` elements per partner; `work` controls the
+/// per-element computation (the knob that decides how much communication
+/// the CPU can hide).
+#[derive(Debug, Clone)]
+pub struct Direct1d {
+    pub np: usize,
+    pub sz: usize,
+    pub outer: usize,
+    pub work: usize,
+}
+
+impl Direct1d {
+    pub fn small(np: usize) -> Self {
+        Direct1d {
+            np,
+            sz: 16,
+            outer: 3,
+            work: 8,
+        }
+    }
+
+    /// Figure-1-scale: enough bytes and compute for overlap to matter.
+    pub fn standard(np: usize) -> Self {
+        Direct1d {
+            np,
+            sz: 2048,
+            outer: 4,
+            work: 3,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.np * self.sz
+    }
+}
+
+impl Workload for Direct1d {
+    fn name(&self) -> &'static str {
+        "direct-1d (Fig. 2a)"
+    }
+
+    fn source(&self) -> String {
+        let n = self.n();
+        let Direct1d { sz, outer, work, .. } = *self;
+        format!(
+            "\
+program main
+  real :: as({n}), ar({n}), acc({n})
+  do iy = 1, {outer}
+    do ix = 1, {n}
+      t = 0.0
+      do iw = 1, {work}
+        t = t + ix * iw + iy
+      end do
+      as(ix) = t * 0.5 + ix
+    end do
+    call mpi_alltoall(as, {sz}, ar)
+    do ix = 1, {n}
+      acc(ix) = acc(ix) * 0.5 + ar(ix) * 0.25
+    end do
+  end do
+end program
+"
+        )
+    }
+
+    fn context_pairs(&self) -> Vec<(String, i64)> {
+        vec![("np".into(), self.np as i64)]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["ar".into(), "acc".into(), "as".into()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_fig2a_shape() {
+        let w = Direct1d::small(4);
+        let src = w.source();
+        assert!(src.contains("call mpi_alltoall(as, 16, ar)"));
+        assert!(src.contains("do ix = 1, 64"));
+        let _ = w.program();
+    }
+
+    #[test]
+    fn array_sized_np_times_sz() {
+        let w = Direct1d { np: 8, sz: 32, outer: 1, work: 1 };
+        assert_eq!(w.n(), 256);
+        assert!(w.source().contains("as(256)"));
+    }
+}

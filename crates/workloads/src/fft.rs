@@ -1,0 +1,104 @@
+//! Multi-dimensional FFT transpose (one of the paper's §2 motivating
+//! algorithms). Each rank computes its local rows with twiddle-factor
+//! trigonometry (`stages` butterfly passes per element), then transposes
+//! via `MPI_ALLTOALL` — the classic 2-D distributed FFT structure where
+//! the transpose is the scalability bottleneck pre-pushing attacks.
+
+use crate::Workload;
+
+#[derive(Debug, Clone)]
+pub struct FftTranspose {
+    pub np: usize,
+    /// Elements per partner per transpose.
+    pub nloc: usize,
+    /// Butterfly stages (compute intensity per element).
+    pub stages: usize,
+    /// Forward + inverse style repetitions.
+    pub passes: usize,
+}
+
+impl FftTranspose {
+    pub fn small(np: usize) -> Self {
+        FftTranspose {
+            np,
+            nloc: 16,
+            stages: 4,
+            passes: 2,
+        }
+    }
+
+    pub fn standard(np: usize) -> Self {
+        FftTranspose {
+            np,
+            nloc: 4096,
+            stages: 2,
+            passes: 3,
+        }
+    }
+}
+
+impl Workload for FftTranspose {
+    fn name(&self) -> &'static str {
+        "fft-transpose"
+    }
+
+    fn source(&self) -> String {
+        let FftTranspose {
+            np,
+            nloc,
+            stages,
+            passes,
+        } = *self;
+        format!(
+            "\
+program main
+  real :: as({nloc}, {np}), ar({nloc}, {np}), spec({nloc})
+  do i = 1, {nloc}
+    spec(i) = i * 0.001
+  end do
+  do ip = 1, {passes}
+    do ix = 1, {nloc}
+      do iz = 1, {np}
+        t = spec(ix) + ip
+        do iw = 1, {stages}
+          t = t + cos(0.001 * (ix * iw + iz)) * 0.5 + sin(0.002 * iw) * 0.25
+        end do
+        as(ix, iz) = t
+      end do
+    end do
+    call mpi_alltoall(as, {nloc}, ar)
+    do ix = 1, {nloc}
+      t2 = 0.0
+      do iz = 1, {np}
+        t2 = t2 + ar(ix, iz)
+      end do
+      spec(ix) = spec(ix) * 0.5 + t2 / {np}
+    end do
+  end do
+end program
+"
+        )
+    }
+
+    fn context_pairs(&self) -> Vec<(String, i64)> {
+        vec![("np".into(), self.np as i64)]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["ar".into(), "spec".into(), "as".into()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_twiddle_compute() {
+        let w = FftTranspose::small(4);
+        let src = w.source();
+        assert!(src.contains("cos(0.001"));
+        assert!(src.contains("call mpi_alltoall(as, 16, ar)"));
+        let _ = w.program();
+    }
+}

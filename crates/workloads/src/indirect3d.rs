@@ -1,0 +1,104 @@
+//! The paper's Figure 3(a) nearly verbatim: a rank-3 send array
+//! `as(d, d, np)` filled from the temporary through a `mod`/`div`
+//! re-indexing (`tx = mod(ix-1, d) + 1`, `ty = (ix-1)/d + 1`). The map *is*
+//! flat-order-preserving, but the subscripts are non-affine, so static
+//! analysis cannot prove it — this workload exercises the semi-automatic
+//! path (`UserOracle::AssumeSafe`, §3.1/§3.4).
+
+use crate::Workload;
+
+#[derive(Debug, Clone)]
+pub struct Indirect3d {
+    pub np: usize,
+    /// Edge of the square slab; the temporary holds `d*d` elements.
+    pub d: usize,
+    pub work: usize,
+}
+
+impl Indirect3d {
+    pub fn small(np: usize) -> Self {
+        Indirect3d { np, d: 5, work: 4 }
+    }
+
+    pub fn standard(np: usize) -> Self {
+        Indirect3d { np, d: 64, work: 3 }
+    }
+
+    pub fn m(&self) -> usize {
+        self.d * self.d
+    }
+}
+
+impl Workload for Indirect3d {
+    fn name(&self) -> &'static str {
+        "indirect-3d (Fig. 3a verbatim, oracle-assisted)"
+    }
+
+    fn source(&self) -> String {
+        let Indirect3d { np, d, work } = *self;
+        let m = self.m();
+        format!(
+            "\
+subroutine producer(iy, m, at)
+  integer :: iy, m
+  real :: at(m)
+  do i = 1, m
+    t = 0.0
+    do iw = 1, {work}
+      t = t + i * iw + iy
+    end do
+    at(i) = t * 0.25 + i
+  end do
+end subroutine
+
+program main
+  real :: as({d}, {d}, {np}), ar({d}, {d}, {np}), acc({d})
+  real :: at({m})
+  do iy = 1, {np}
+    call producer(iy, {m}, at)
+    do ix = 1, {m}
+      itx = mod(ix - 1, {d}) + 1
+      ity = (ix - 1) / {d} + 1
+      as(itx, ity, iy) = at(ix)
+    end do
+  end do
+  call mpi_alltoall(as, {m}, ar)
+  do i = 1, {d}
+    t2 = 0.0
+    do iz = 1, {np}
+      t2 = t2 + ar(i, i, iz)
+    end do
+    acc(i) = t2 * 0.125
+  end do
+end program
+"
+        )
+    }
+
+    fn context_pairs(&self) -> Vec<(String, i64)> {
+        vec![("np".into(), self.np as i64)]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["ar".into(), "acc".into()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_mod_div_copy_loop() {
+        let w = Indirect3d::small(4);
+        let src = w.source();
+        assert!(src.contains("itx = mod(ix - 1, 5) + 1"));
+        assert!(src.contains("as(itx, ity, iy) = at(ix)"));
+        let _ = w.program();
+    }
+
+    #[test]
+    fn temp_size_is_d_squared() {
+        assert_eq!(Indirect3d::small(4).m(), 25);
+    }
+}

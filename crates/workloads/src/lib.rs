@@ -1,0 +1,88 @@
+//! # workloads — parameterized mini-Fortran programs for the evaluation
+//!
+//! The paper's §2 names the application class: "Sorting, LU Factorization,
+//! Finite differences, and multi-dimensional FFT constitute examples of
+//! algorithms that could fit this abstract form". Each module generates a
+//! program in that class, sized by a `Params`-style struct, plus the
+//! matching symbol values for the transformation's analysis context via
+//! [`Workload::context_pairs`].
+//!
+//! | module        | paper artefact                     | pattern    | strategy exercised |
+//! |---------------|------------------------------------|------------|--------------------|
+//! | [`direct`]    | Fig. 2(a) abstract kernel          | direct 1-D | tiled owner sends  |
+//! | [`direct2d`]  | Fig. 2(a), node loop inner         | direct 2-D | Fig. 4 all-peers   |
+//! | [`indirect`]  | Fig. 3(a) (provable order)         | indirect   | indirect prepush   |
+//! | [`indirect3d`]| Fig. 3(a) verbatim (mod/div map)   | indirect   | oracle-assisted    |
+//! | [`fft`]       | multi-dimensional FFT transpose    | direct 2-D | Fig. 4 all-peers   |
+//! | [`adi`]       | finite differences (ADI transpose) | direct 2-D | Fig. 4 all-peers   |
+//! | [`negative`]  | programs the tool must decline     | —          | rejection paths    |
+
+use fir::Program;
+
+/// Common interface for generated workloads.
+pub trait Workload {
+    /// Human-readable name (used in harness output).
+    fn name(&self) -> &'static str;
+    /// The program source text.
+    fn source(&self) -> String;
+    /// Symbol values for the transformation's analysis context.
+    fn context_pairs(&self) -> Vec<(String, i64)>;
+    /// Arrays whose final contents constitute the program's *output* for
+    /// equivalence checking (dead arrays of the transformed variant are
+    /// excluded by the caller using the transform report).
+    fn output_arrays(&self) -> Vec<String>;
+
+    /// Parse the source (panics on generator bugs — generated programs
+    /// must always parse).
+    fn program(&self) -> Program {
+        let src = self.source();
+        fir::parse_validated(&src).unwrap_or_else(|e| {
+            panic!(
+                "workload `{}` generated invalid source:\n{}\n---\n{}",
+                self.name(),
+                e.render(&src),
+                src
+            )
+        })
+    }
+
+    /// Build a `depan` context from [`Workload::context_pairs`].
+    fn context(&self) -> depan::Context {
+        let mut ctx = depan::Context::new();
+        for (k, v) in self.context_pairs() {
+            ctx.set(&k, v);
+        }
+        ctx
+    }
+}
+
+pub mod adi;
+pub mod direct;
+pub mod direct2d;
+pub mod fft;
+pub mod indirect;
+pub mod indirect3d;
+pub mod negative;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_parses_and_validates() {
+        let np = 4;
+        let all: Vec<Box<dyn Workload>> = vec![
+            Box::new(direct::Direct1d::small(np)),
+            Box::new(direct2d::Direct2d::small(np)),
+            Box::new(indirect::Indirect2d::small(np)),
+            Box::new(indirect3d::Indirect3d::small(np)),
+            Box::new(fft::FftTranspose::small(np)),
+            Box::new(adi::AdiStencil::small(np)),
+        ];
+        for w in &all {
+            let _ = w.program(); // panics on generator bugs
+            assert!(!w.output_arrays().is_empty());
+            assert!(w.context_pairs().iter().any(|(k, _)| k == "np"));
+        }
+    }
+}

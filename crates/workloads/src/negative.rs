@@ -1,0 +1,197 @@
+//! Programs the Compuniformer must *decline* (or whose alltoall sites it
+//! must reject outright). Each case isolates one safety rule from §3; the
+//! test suite asserts the tool refuses every one of them — miscompiling
+//! any of these would be a correctness bug.
+
+/// A named negative case with the reason the tool must give (substring).
+pub struct NegativeCase {
+    pub name: &'static str,
+    pub source: String,
+    /// A fragment that must appear among the decline/rejection reasons.
+    pub expect_reason: &'static str,
+}
+
+/// All negative cases, sized for `np` ranks.
+pub fn cases(np: usize) -> Vec<NegativeCase> {
+    let n = np * 8;
+    vec![
+        NegativeCase {
+            name: "accumulator-overwrite",
+            source: format!(
+                "\
+program main
+  real :: as({n}), ar({n})
+  do iy = 1, 3
+    do ix = 1, {n}
+      as(1) = as(1) + ix
+    end do
+    call mpi_alltoall(as, 8, ar)
+  end do
+end program
+"
+            ),
+            expect_reason: "tile safety",
+        },
+        NegativeCase {
+            name: "conditional-write",
+            source: format!(
+                "\
+program main
+  real :: as({n}), ar({n})
+  do iy = 1, 3
+    do ix = 1, {n}
+      if (mod(ix, 2) == 0) then
+        as(ix) = ix
+      end if
+    end do
+    call mpi_alltoall(as, 8, ar)
+  end do
+end program
+"
+            ),
+            expect_reason: "conditional",
+        },
+        NegativeCase {
+            name: "non-affine-subscript",
+            source: format!(
+                "\
+program main
+  real :: as({n}), ar({n})
+  do iy = 1, 3
+    do ix = 1, {n}
+      as(mod(ix * 7, {n}) + 1) = ix
+    end do
+    call mpi_alltoall(as, 8, ar)
+  end do
+end program
+"
+            ),
+            expect_reason: "affine",
+        },
+        NegativeCase {
+            name: "comm-inside-conditional",
+            source: format!(
+                "\
+program main
+  real :: as({n}), ar({n})
+  do ix = 1, {n}
+    as(ix) = ix
+  end do
+  if (mynum == 0) then
+    call mpi_alltoall(as, 8, ar)
+  end if
+end program
+"
+            ),
+            expect_reason: "conditional",
+        },
+        NegativeCase {
+            name: "gap-between-loop-and-comm",
+            source: format!(
+                "\
+program main
+  real :: as({n}), ar({n})
+  integer :: flag
+  do iy = 1, 3
+    do ix = 1, {n}
+      as(ix) = ix * iy
+    end do
+    flag = iy
+    call mpi_alltoall(as, 8, ar)
+  end do
+end program
+"
+            ),
+            expect_reason: "statement(s) between",
+        },
+        NegativeCase {
+            name: "recv-array-read-in-loop",
+            source: format!(
+                "\
+program main
+  real :: as({n}), ar({n})
+  do iy = 1, 3
+    do ix = 1, {n}
+      as(ix) = ar(ix) + iy
+    end do
+    call mpi_alltoall(as, 8, ar)
+  end do
+end program
+"
+            ),
+            expect_reason: "accessed inside",
+        },
+        NegativeCase {
+            name: "strided-write-with-holes",
+            source: format!(
+                "\
+program main
+  real :: as({n2}), ar({n2})
+  do iy = 1, 3
+    do ix = 1, {n}
+      as(2 * ix) = ix
+    end do
+    call mpi_alltoall(as, 16, ar)
+  end do
+end program
+",
+                n2 = 2 * n
+            ),
+            expect_reason: "cover",
+        },
+        NegativeCase {
+            name: "partial-coverage",
+            source: format!(
+                "\
+program main
+  real :: as({n}), ar({n})
+  do iy = 1, 3
+    do ix = 1, {h}
+      as(ix) = ix
+    end do
+    call mpi_alltoall(as, 8, ar)
+  end do
+end program
+",
+                h = n / 2
+            ),
+            expect_reason: "cover",
+        },
+        NegativeCase {
+            name: "non-unit-step-loop",
+            source: format!(
+                "\
+program main
+  real :: as({n}), ar({n})
+  do iy = 1, 3
+    do ix = 1, {n}, 2
+      as(ix) = ix
+    end do
+    call mpi_alltoall(as, 8, ar)
+  end do
+end program
+"
+            ),
+            expect_reason: "non-unit step",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cases_parse_and_validate() {
+        for c in cases(4) {
+            fir::parse_validated(&c.source).unwrap_or_else(|e| {
+                panic!("negative case `{}` is invalid: {e}", c.name)
+            });
+        }
+    }
+
+    #[test]
+    fn case_count_stable() {
+        assert_eq!(cases(4).len(), 9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Distributed 2-D FFT transpose (one of the paper's §2 motivating
+//! algorithms): the local butterfly passes are computation, the transpose
+//! is an `MPI_ALLTOALL`. This example transforms the kernel automatically
+//! and sweeps the rank count, printing the speedup pre-pushing delivers on
+//! each interconnect model.
+//!
+//! ```text
+//! cargo run --release --example fft_transpose
+//! ```
+
+use compuniformer::{transform, Options};
+use interp::run_program;
+use workloads::{fft::FftTranspose, Workload};
+
+fn main() {
+    println!("2-D FFT transpose: pre-push speedup vs rank count\n");
+    println!(
+        "{:>4} {:>12} {:>12} {:>8}   {:>12} {:>12} {:>8}",
+        "np", "MPICH orig", "MPICH pre", "gain", "GM orig", "GM pre", "gain"
+    );
+
+    for np in [2usize, 4, 8, 16] {
+        let w = FftTranspose::standard(np);
+        let program = w.program();
+        let opts = Options {
+            context: w.context(),
+            ..Default::default()
+        };
+        let out = transform(&program, &opts).expect("fft kernel transforms");
+
+        let mut row = format!("{np:>4}");
+        for model in [
+            clustersim::NetworkModel::mpich(),
+            clustersim::NetworkModel::mpich_gm(),
+        ] {
+            let base = run_program(&program, np, &model).expect("original");
+            let pre = run_program(&out.program, np, &model).expect("transformed");
+            for rank in 0..np {
+                assert_eq!(base.outputs[rank], pre.outputs[rank]);
+            }
+            let t0 = base.report.makespan();
+            let t1 = pre.report.makespan();
+            row.push_str(&format!(
+                " {:>12} {:>12} {:>7.2}x",
+                t0.to_string(),
+                t1.to_string(),
+                t0.as_ns() as f64 / t1.as_ns() as f64
+            ));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nEvery row verified output-identical between original and transformed. \
+         The gain grows with np on the RDMA model: more peers means more \
+         transfer time for the NIC to hide."
+    );
+}

@@ -1,0 +1,58 @@
+//! # overlap-suite
+//!
+//! Reproduction of Fishgold, Danalis, Pollock & Swany,
+//! *An Automated Approach to Improve Communication-Computation Overlap in
+//! Clusters* (ParCo 2005, NIC Series Vol. 33, pp. 481-488).
+//!
+//! This facade crate re-exports the workspace members so examples and
+//! downstream users can depend on a single crate:
+//!
+//! - [`fir`] — the mini-Fortran frontend (lexer, parser, AST, unparser): the
+//!   stand-in for the paper's Nestor framework.
+//! - [`depan`] — data-dependence and array-access analysis: the stand-in for
+//!   Petit + the Omega test.
+//! - [`clustersim`] — a deterministic virtual-time cluster simulator with
+//!   LogGP-style network models (`mpich`, `mpich_gm`).
+//! - [`interp`] — an interpreter that executes `fir` programs on the
+//!   simulated cluster, validating correctness and measuring virtual time.
+//! - [`compuniformer`] — the paper's contribution: the automated pre-push
+//!   transformation.
+//! - [`workloads`] — parameterized mini-Fortran programs used by the paper's
+//!   evaluation and our extensions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use overlap_suite::prelude::*;
+//! use workloads::Workload as _;
+//!
+//! // A direct-pattern kernel in the shape of the paper's Figure 2(a).
+//! let w = workloads::direct::Direct1d::small(4);
+//! let program = w.program();
+//!
+//! // Run the Compuniformer pipeline with tile size K = 8.
+//! let opts = compuniformer::Options {
+//!     tile_size: Some(8),
+//!     context: w.context(), // supplies np and problem sizes to the analyses
+//!     ..Default::default()
+//! };
+//! let out = compuniformer::transform(&program, &opts).expect("transforms");
+//!
+//! // Execute original and transformed on a 4-rank simulated Myrinet cluster.
+//! let model = clustersim::model::NetworkModel::mpich_gm();
+//! let base = interp::run_program(&program, 4, &model).unwrap();
+//! let pre = interp::run_program(&out.program, 4, &model).unwrap();
+//! assert_eq!(base.outputs, pre.outputs); // identical results (paper §4)
+//! ```
+
+pub use clustersim;
+pub use compuniformer;
+pub use depan;
+pub use fir;
+pub use interp;
+pub use workloads;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use crate::{clustersim, compuniformer, depan, fir, interp, workloads};
+}

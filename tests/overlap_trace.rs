@@ -1,0 +1,194 @@
+//! Structural overlap evidence from the event trace: the transformed
+//! program must *interleave* computation with posted sends (the whole
+//! point of pre-pushing), while the original bunches all communication
+//! after all computation of each phase.
+
+use clustersim::EventKind;
+use compuniformer::{transform, Options};
+use depan::Context;
+use interp::run_program_opts;
+use workloads::Workload;
+
+fn traced_run(
+    program: &fir::Program,
+    np: usize,
+) -> interp::RunResult {
+    let opts = interp::Options {
+        trace: true,
+        ..Default::default()
+    };
+    run_program_opts(program, np, &clustersim::NetworkModel::mpich_gm(), &opts)
+        .expect("runs")
+}
+
+#[test]
+fn prepush_interleaves_sends_with_compute() {
+    let np = 4;
+    let w = workloads::direct2d::Direct2d::small(np);
+    let program = w.program();
+    let out = transform(
+        &program,
+        &Options {
+            tile_size: Some(6),
+            context: w.context(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let pre = traced_run(&out.program, np);
+    let trace = pre.trace.expect("trace enabled");
+
+    // For rank 0: find the first SendPosted and the last Compute event.
+    // Pre-pushing means substantial computation happens AFTER the first
+    // send was posted.
+    let rank0: Vec<_> = trace.for_rank(0).collect();
+    let first_send_idx = rank0
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::SendPosted { .. }))
+        .expect("prepush posts sends");
+    let compute_after_send: u64 = rank0[first_send_idx..]
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Compute { ns } => Some(ns),
+            _ => None,
+        })
+        .sum();
+    let compute_total: u64 = rank0
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Compute { ns } => Some(ns),
+            _ => None,
+        })
+        .sum();
+    assert!(
+        compute_after_send * 2 > compute_total,
+        "less than half the computation ({compute_after_send} of {compute_total} ns) \
+         happens after the first send — no overlap structure"
+    );
+}
+
+#[test]
+fn original_bunches_communication_after_compute() {
+    let np = 4;
+    let w = workloads::direct2d::Direct2d::small(np);
+    let base = traced_run(&w.program(), np);
+    let trace = base.trace.expect("trace enabled");
+    // The original uses only collective alltoalls — no point-to-point at all.
+    assert_eq!(
+        trace.count(|e| matches!(e.kind, EventKind::SendPosted { .. })),
+        0
+    );
+    assert_eq!(
+        trace.count(|e| matches!(e.kind, EventKind::Alltoall { .. })),
+        (np * w.outer) // one per rank per outer iteration
+    );
+}
+
+#[test]
+fn prepush_message_counts_match_tiling() {
+    // nloc=24, K=6 → 4 tiles; per tile NP-1 sends per rank; outer=2.
+    let np = 4;
+    let w = workloads::direct2d::Direct2d::small(np); // nloc 24, outer 2
+    let program = w.program();
+    let out = transform(
+        &program,
+        &Options {
+            tile_size: Some(6),
+            context: w.context(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let pre = traced_run(&out.program, np);
+    let trace = pre.trace.expect("trace enabled");
+    let sends_rank0 = trace.count(|e| {
+        e.rank == 0 && matches!(e.kind, EventKind::SendPosted { .. })
+    });
+    let tiles = 24 / 6;
+    assert_eq!(sends_rank0, tiles * (np - 1) * w.outer);
+}
+
+#[test]
+fn two_alltoalls_both_transformed() {
+    // A double-transpose step: two independent exchange phases per
+    // iteration, each with its own finalizing loop — both opportunities
+    // must be found and transformed, and outputs must stay identical.
+    let np = 4;
+    let src = "\
+program main
+  real :: as(32, 4), ar(32, 4)
+  real :: bs(32, 4), br(32, 4)
+  do it = 1, 2
+    do ix = 1, 32
+      do iz = 1, 4
+        as(ix, iz) = ix * iz + it
+      end do
+    end do
+    call mpi_alltoall(as, 32, ar)
+    do ix = 1, 32
+      do iz = 1, 4
+        bs(ix, iz) = ar(ix, iz) * 0.5 + ix
+      end do
+    end do
+    call mpi_alltoall(bs, 32, br)
+  end do
+end program";
+    let program = fir::parse_validated(src).unwrap();
+    let out = transform(
+        &program,
+        &Options {
+            tile_size: Some(8),
+            context: Context::new().with("np", np as i64),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(out.report.applied_count(), 2, "{}", out.report.summary());
+    let text = fir::unparse(&out.program);
+    assert!(!text.contains("mpi_alltoall"), "{text}");
+
+    let model = clustersim::NetworkModel::mpich_gm();
+    let base = interp::run_program(&program, np, &model).unwrap();
+    let pre = interp::run_program(&out.program, np, &model).unwrap();
+    for rank in 0..np {
+        assert_eq!(base.outputs[rank], pre.outputs[rank], "rank {rank}");
+    }
+}
+
+#[test]
+fn second_phase_reading_first_result_is_safe() {
+    // The second phase's finalizing loop READS ar (the first phase's
+    // receive array). After transformation the first phase completes at
+    // its waitall, so the read still sees complete data — outputs prove it.
+    let np = 2;
+    let src = "\
+program main
+  real :: as(16, 2), ar(16, 2), acc(16)
+  do it = 1, 3
+    do ix = 1, 16
+      do iz = 1, 2
+        as(ix, iz) = ix + iz * it
+      end do
+    end do
+    call mpi_alltoall(as, 16, ar)
+    do ix = 1, 16
+      acc(ix) = acc(ix) + ar(ix, 1) + ar(ix, 2)
+    end do
+  end do
+end program";
+    let program = fir::parse_validated(src).unwrap();
+    let out = transform(
+        &program,
+        &Options {
+            tile_size: Some(4),
+            context: Context::new().with("np", np as i64),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let model = clustersim::NetworkModel::mpich();
+    let base = interp::run_program(&program, np, &model).unwrap();
+    let pre = interp::run_program(&out.program, np, &model).unwrap();
+    assert_eq!(base.outputs, pre.outputs);
+}
