@@ -110,10 +110,9 @@ impl Cluster {
             let mut fallback = None;
             for slot in slots {
                 if let Some(Err(e)) = slot {
-                    if let SimError::RankPanic { message, .. } = &e {
-                        if !message.contains("aborted: another rank failed") {
-                            return Err(e);
-                        }
+                    let SimError::RankPanic { message, .. } = &e;
+                    if !message.contains("aborted: another rank failed") {
+                        return Err(e);
                     }
                     fallback.get_or_insert(e);
                 }

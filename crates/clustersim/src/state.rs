@@ -194,9 +194,10 @@ impl Shared {
         }
         drop(inner);
 
+        // `popped` was pushed in ascending posted order (the enumerate
+        // above) and never reordered — `order` indexes it instead — so it
+        // already pairs positionally with `arrivals`.
         let mut out: Vec<(SimTime, Bytes)> = Vec::with_capacity(keys.len());
-        let mut popped = popped;
-        popped.sort_by_key(|(i, _, _)| *i);
         for ((_, _, m), arr) in popped.into_iter().zip(arrivals) {
             out.push((arr, m.payload));
         }

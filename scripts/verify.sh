@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local verification gate: everything compiles (benches, examples, both
+# binaries), the full test suite passes, and clippy is clean at
+# warnings-as-errors. Run from anywhere; operates on the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace --all-targets"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

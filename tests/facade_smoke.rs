@@ -1,0 +1,41 @@
+//! Facade smoke test: `overlap_suite::prelude` must expose every crate and
+//! type the `src/lib.rs` quickstart doc example uses, so the doc example,
+//! `examples/quickstart.rs`, and downstream users can rely on a single
+//! `use overlap_suite::prelude::*;` import.
+
+use overlap_suite::prelude::*;
+use workloads::Workload as _;
+
+/// Exercise the exact surface the doc example in `src/lib.rs` touches:
+/// `workloads::direct::Direct1d`, `compuniformer::{Options, transform}`,
+/// `clustersim::model::NetworkModel`, and `interp::run_program`.
+#[test]
+fn prelude_exposes_the_doc_example_surface() {
+    let w = workloads::direct::Direct1d::small(4);
+    let program = w.program();
+
+    let opts = compuniformer::Options {
+        tile_size: Some(8),
+        context: w.context(),
+        ..Default::default()
+    };
+    let out = compuniformer::transform(&program, &opts).expect("doc example kernel transforms");
+
+    let model = clustersim::model::NetworkModel::mpich_gm();
+    let base = interp::run_program(&program, 4, &model).expect("original runs");
+    let pre = interp::run_program(&out.program, 4, &model).expect("transformed runs");
+    assert_eq!(base.outputs, pre.outputs, "doc example equivalence claim");
+}
+
+/// The prelude and the facade's top-level re-exports name the same crates,
+/// and `fir` + `depan` (used by examples) are reachable through both.
+#[test]
+fn prelude_and_reexports_agree() {
+    // Each line fails to compile if the re-export disappears.
+    let _: fn(&str) -> Result<fir::Program, fir::Errors> = overlap_suite::fir::parse_validated;
+    let _ = overlap_suite::depan::Context::new();
+    let _ = depan::Context::new().with("np", 4);
+    let _ = clustersim::NetworkModel::mpich();
+    let program = fir::parse("program m\n  x = 1\nend program").expect("parses");
+    assert_eq!(fir::unparse(&program), overlap_suite::fir::unparse(&program));
+}

@@ -1,0 +1,116 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of the proptest API this workspace's property
+//! tests use: `Strategy` with `prop_map` / `prop_recursive` / `boxed`,
+//! tuple and integer-range strategies, `prop::collection::vec`,
+//! `prop::sample::select`, `prop::option::of`, a small regex-class string
+//! generator, and the `proptest!` / `prop_oneof!` / `prop_assert*!`
+//! macros.
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! test gate:
+//!
+//! - **no shrinking** — a failing case panics immediately instead of
+//!   reporting a minimized counterexample, and the failure output only
+//!   includes the sampled inputs if the assertion message interpolates
+//!   them; reproduction relies on deterministic seeding instead: each
+//!   test derives its RNG seed from its module path and name, so a
+//!   failure replays identically on every run;
+//! - the regex string strategy supports the character-class subset the
+//!   tests use (`\PC`, `[...]` classes, `*`, `+`, `?`, `{m,n}`), not full
+//!   regex syntax.
+//!
+//! Swap this shim for the real crate by pointing
+//! `[workspace.dependencies] proptest` back at crates-io.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror of `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // A tuple of strategies is itself a strategy, so the
+                // strategy expressions are evaluated once, not per case.
+                let __strategy = ($( $strat, )*);
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    let ($( $pat, )*) =
+                        $crate::strategy::Strategy::sample(&__strategy, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}

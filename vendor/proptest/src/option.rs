@@ -1,0 +1,39 @@
+//! `prop::option` — `Option<T>` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `None` or `Some(inner)` with equal probability.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_bool() {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0i64..3);
+        let mut rng = TestRng::deterministic("opt");
+        let samples: Vec<_> = (0..100).map(|_| s.sample(&mut rng)).collect();
+        assert!(samples.iter().any(Option::is_none));
+        assert!(samples.iter().any(Option::is_some));
+    }
+}

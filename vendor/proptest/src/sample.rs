@@ -1,0 +1,43 @@
+//! `prop::sample` — choose among explicit alternatives.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding a uniformly chosen clone of one of the given items.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.items[rng.gen_index(self.items.len())].clone()
+    }
+}
+
+/// Accepts a `Vec<T>` or slice of cloneable items (`&[&str]` included).
+pub fn select<T: Clone, I: Into<Vec<T>>>(items: I) -> Select<T> {
+    let items = items.into();
+    assert!(!items.is_empty(), "select over empty collection");
+    Select { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_from_slices_and_vecs() {
+        let mut rng = TestRng::deterministic("sel");
+        const NAMES: &[&str] = &["a", "b"];
+        let s = select(NAMES);
+        for _ in 0..20 {
+            assert!(matches!(s.sample(&mut rng), "a" | "b"));
+        }
+        let v = select(vec![1, 2, 3]);
+        for _ in 0..20 {
+            assert!((1..=3).contains(&v.sample(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! String strategies from regex-like patterns (`s in "[ -~]{0,10}"`).
+//!
+//! Supports the character-class subset the workspace's fuzz tests use:
+//! a pattern is a sequence of items, each a character class (`[...]`,
+//! `\PC` for printable, an escape, or a literal character) followed by an
+//! optional quantifier (`*`, `+`, `?`, `{n}`, `{m,n}`). Anything else
+//! panics with a clear message rather than silently generating the wrong
+//! distribution.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Cap for unbounded quantifiers (`*` / `+`).
+const UNBOUNDED_MAX: usize = 64;
+
+/// A handful of multi-byte scalars so `\PC` exercises real UTF-8 paths.
+const NON_ASCII_POOL: &[char] = &['é', 'λ', 'Ж', '中', '🦀', '∑', 'ß', '–'];
+
+#[derive(Debug, Clone)]
+enum Class {
+    /// Any printable char (`\PC`): ASCII graphic/space, plus occasional
+    /// non-ASCII from the pool.
+    Printable,
+    /// Explicit alternatives from a `[...]` class.
+    OneOf(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Item {
+    class: Class,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Item> {
+    let mut chars = pattern.chars().peekable();
+    let mut items = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // Only the \PC ("not a control char") form is supported.
+                    match chars.next() {
+                        Some('C') => Class::Printable,
+                        other => panic!(
+                            "string strategy: unsupported \\P{{...}} form {other:?} in {pattern:?}"
+                        ),
+                    }
+                }
+                Some('n') => Class::Literal('\n'),
+                Some('t') => Class::Literal('\t'),
+                Some(esc @ ('\\' | '.' | '[' | ']' | '{' | '}' | '*' | '+' | '?' | '-')) => {
+                    Class::Literal(esc)
+                }
+                other => panic!(
+                    "string strategy: unsupported escape \\{other:?} in {pattern:?}"
+                ),
+            },
+            '[' => Class::OneOf(parse_class(&mut chars, pattern)),
+            '.' => Class::Printable,
+            '*' | '+' | '?' | '{' => {
+                panic!("string strategy: dangling quantifier in {pattern:?}")
+            }
+            lit => Class::Literal(lit),
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        items.push(Item { class, min, max });
+    }
+    items
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("string strategy: unterminated [ in {pattern:?}"));
+        let resolved = match c {
+            ']' => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "string strategy: empty class in {pattern:?}"
+                );
+                return ranges;
+            }
+            '\\' => match chars.next() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some(esc @ ('\\' | ']' | '[' | '-' | '^')) => esc,
+                other => panic!(
+                    "string strategy: unsupported class escape \\{other:?} in {pattern:?}"
+                ),
+            },
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().unwrap();
+                let hi = match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some(esc @ ('\\' | ']' | '[' | '-')) => esc,
+                        other => panic!(
+                            "string strategy: unsupported class escape \\{other:?} in {pattern:?}"
+                        ),
+                    },
+                    Some(h) => h,
+                    None => panic!("string strategy: unterminated range in {pattern:?}"),
+                };
+                assert!(lo <= hi, "string strategy: inverted range in {pattern:?}");
+                ranges.push((lo, hi));
+                continue;
+            }
+            lit => lit,
+        };
+        if let Some(p) = pending.replace(resolved) {
+            ranges.push((p, p));
+        }
+    }
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_MAX)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_MAX)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match spec.split_once(',') {
+                        Some((lo, "")) => (parse_count(lo, pattern), UNBOUNDED_MAX),
+                        Some((lo, hi)) => (parse_count(lo, pattern), parse_count(hi, pattern)),
+                        None => {
+                            let n = parse_count(&spec, pattern);
+                            (n, n)
+                        }
+                    };
+                    assert!(min <= max, "string strategy: inverted count in {pattern:?}");
+                    return (min, max);
+                }
+                spec.push(c);
+            }
+            panic!("string strategy: unterminated {{...}} in {pattern:?}")
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_count(s: &str, pattern: &str) -> usize {
+    s.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("string strategy: bad count {s:?} in {pattern:?}"))
+}
+
+fn sample_class(class: &Class, rng: &mut TestRng) -> char {
+    match class {
+        Class::Literal(c) => *c,
+        Class::Printable => {
+            // Mostly ASCII printable; 1-in-8 multi-byte to stress UTF-8.
+            if rng.gen_index(8) == 0 {
+                NON_ASCII_POOL[rng.gen_index(NON_ASCII_POOL.len())]
+            } else {
+                rng.gen_range(0x20, 0x7f) as u8 as char
+            }
+        }
+        Class::OneOf(ranges) => {
+            let (lo, hi) = ranges[rng.gen_index(ranges.len())];
+            char::from_u32(rng.gen_range(lo as i128, hi as i128 + 1) as u32)
+                .expect("class range produced an invalid scalar")
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let items = parse_pattern(self);
+        let mut out = String::new();
+        for item in &items {
+            let n = rng.gen_range(item.min as i128, item.max as i128 + 1) as usize;
+            for _ in 0..n {
+                out.push(sample_class(&item.class, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_class_respects_bounds() {
+        let s = "[ -~\\n]{0,200}";
+        let mut rng = TestRng::deterministic("str1");
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(v.chars().count() <= 200);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn printable_star_generates_valid_utf8_of_mixed_width() {
+        let s = "\\PC*";
+        let mut rng = TestRng::deterministic("str2");
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            saw_multibyte |= v.len() != v.chars().count();
+        }
+        assert!(saw_multibyte, "\\PC should occasionally emit non-ASCII");
+    }
+
+    #[test]
+    fn literal_sequences_and_exact_counts() {
+        let mut rng = TestRng::deterministic("str3");
+        assert_eq!(Strategy::sample(&"abc", &mut rng), "abc");
+        assert_eq!(Strategy::sample(&"a{3}", &mut rng), "aaa");
+    }
+}

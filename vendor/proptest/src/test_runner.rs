@@ -1,0 +1,105 @@
+//! Test configuration and the deterministic RNG behind the shim.
+
+/// Mirror of `proptest::test_runner::Config` for the fields this
+/// workspace's tests set. `max_shrink_iters` is accepted for source
+/// compatibility; the shim does not shrink.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted but unused: the shim reports the raw failing case.
+    pub max_shrink_iters: u32,
+    /// Accepted but unused: the shim never rejects (no `prop_filter`).
+    pub max_global_rejects: u32,
+    /// Accepted but unused: the shim runs in-process.
+    pub fork: bool,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 65536,
+            fork: false,
+        }
+    }
+}
+
+/// SplitMix64: tiny, fast, and plenty uniform for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed derived from a test's module path + name (FNV-1a), so every
+    /// run of a given test sees the same case sequence and failures
+    /// reproduce without a persistence file.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform value in `[lo, hi)`. Modulo bias is irrelevant at test-case
+    /// sampling quality.
+    pub fn gen_range(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty sample range {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index over empty collection");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams_match() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = r.gen_range(-5, 7);
+            assert!((-5..7).contains(&v));
+        }
+    }
+}
