@@ -1,99 +1,17 @@
-//! # overlap-bench — experiment harness shared by the `harness` binary and
-//! the criterion benches.
+//! # overlap-bench — experiment formatting shared by the `harness` binary
+//! and the criterion benches.
 //!
-//! One experiment = (workload, rank count, network model, variant). The
-//! runner transforms once, executes both variants, checks output
-//! equivalence as a side effect (a benchmark that computes the wrong
-//! answer is worthless), and returns the virtual-time figures the paper's
-//! tables/figures are built from.
-
-use compuniformer::{transform, Options, TransformOutput, UserOracle};
-use interp::run_program;
-use workloads::Workload;
+//! The measurement pipeline itself (transform → interp → clustersim, with
+//! the §4 equivalence gate) lives in the [`driver`] crate so the sweep
+//! executor and the bench layer share one implementation; this crate
+//! re-exports it and keeps the figure-rendering helpers.
 
 pub use clustersim::NetworkModel;
 pub use clustersim::SimTime;
+pub use driver::{measure, transform_workload, Measurement};
 
-/// Measured figures for one (workload, model) pair.
-#[derive(Debug, Clone)]
-pub struct Measurement {
-    pub workload: &'static str,
-    pub model: &'static str,
-    pub np: usize,
-    pub tile_size: Option<i64>,
-    pub orig: SimTime,
-    pub prepush: SimTime,
-    pub orig_exposed: SimTime,
-    pub prepush_exposed: SimTime,
-}
-
-impl Measurement {
-    pub fn speedup(&self) -> f64 {
-        self.orig.as_ns() as f64 / self.prepush.as_ns().max(1) as f64
-    }
-}
-
-/// Transform a workload with the model-informed K heuristic.
-pub fn transform_workload(
-    w: &dyn Workload,
-    model: &NetworkModel,
-    tile_size: Option<i64>,
-) -> TransformOutput {
-    let opts = Options {
-        tile_size,
-        context: w.context(),
-        oracle: UserOracle::AssumeSafe,
-        kselect_overhead_ns: Some(model.overhead.as_ns() as f64),
-        kselect_cpu_ns_per_byte: Some(model.cpu_send_ns_per_byte),
-        kselect_wire_ns_per_byte: Some(model.gap_ns_per_byte),
-        ..Default::default()
-    };
-    transform(&w.program(), &opts)
-        .unwrap_or_else(|e| panic!("workload `{}` must transform: {e}", w.name()))
-}
-
-/// Run original + transformed under `model`, verify equivalence, measure.
-pub fn measure(
-    w: &dyn Workload,
-    np: usize,
-    model: &NetworkModel,
-    tile_size: Option<i64>,
-) -> Measurement {
-    let program = w.program();
-    let out = transform_workload(w, model, tile_size);
-
-    let base = run_program(&program, np, model)
-        .unwrap_or_else(|e| panic!("`{}` original failed: {e}", w.name()));
-    let pre = run_program(&out.program, np, model)
-        .unwrap_or_else(|e| panic!("`{}` transformed failed: {e}", w.name()));
-
-    // Equivalence gate (§4): benchmarks must compute identical answers.
-    let excluded = out.report.incomparable_arrays();
-    for rank in 0..np {
-        for name in w.output_arrays() {
-            if excluded.contains(&name.as_str()) {
-                continue;
-            }
-            assert_eq!(
-                base.outputs[rank].arrays.get(&name),
-                pre.outputs[rank].arrays.get(&name),
-                "`{}` rank {rank} array `{name}` differs",
-                w.name()
-            );
-        }
-    }
-
-    Measurement {
-        workload: w.name(),
-        model: model.name,
-        np,
-        tile_size: out.report.opportunities.iter().find_map(|o| o.tile_size),
-        orig: base.report.makespan(),
-        prepush: pre.report.makespan(),
-        orig_exposed: base.report.max_exposed_comm(),
-        prepush_exposed: pre.report.max_exposed_comm(),
-    }
-}
+use driver::SweepRecord;
+use workloads::Workload;
 
 /// The four Figure-1 bars for one workload: {MPICH, MPICH-GM} × {orig,
 /// prepush}, normalized to the best of the four.
@@ -101,23 +19,48 @@ pub struct Fig1Rows {
     pub rows: Vec<(String, SimTime, f64)>,
 }
 
+impl Fig1Rows {
+    /// The four bars, normalized to the best of the four.
+    fn from_times(tcp: (SimTime, SimTime), gm: (SimTime, SimTime)) -> Fig1Rows {
+        let bars = [
+            ("MPICH     Original", tcp.0),
+            ("MPICH     Prepush", tcp.1),
+            ("MPICH-GM  Original", gm.0),
+            ("MPICH-GM  Prepush", gm.1),
+        ];
+        let best = bars
+            .iter()
+            .map(|(_, t)| *t)
+            .min()
+            .expect("four bars")
+            .as_ns()
+            .max(1) as f64;
+        Fig1Rows {
+            rows: bars
+                .iter()
+                .map(|(label, t)| (label.to_string(), *t, t.as_ns() as f64 / best))
+                .collect(),
+        }
+    }
+
+    /// Build the four bars from two `compare` sweep records of the same
+    /// workload (one per stack).
+    pub fn from_records(tcp: &SweepRecord, gm: &SweepRecord) -> Fig1Rows {
+        let t = |ns: Option<u64>| {
+            SimTime::from_ns(ns.expect("compare records carry both times"))
+        };
+        Fig1Rows::from_times(
+            (t(tcp.orig_ns), t(tcp.prepush_ns)),
+            (t(gm.orig_ns), t(gm.prepush_ns)),
+        )
+    }
+}
+
 /// Regenerate Figure 1 for a workload: normalized execution times.
 pub fn figure1(w: &dyn Workload, np: usize) -> Fig1Rows {
     let tcp = measure(w, np, &NetworkModel::mpich(), None);
     let gm = measure(w, np, &NetworkModel::mpich_gm(), None);
-    let best = [tcp.orig, tcp.prepush, gm.orig, gm.prepush]
-        .into_iter()
-        .min()
-        .expect("four bars")
-        .as_ns()
-        .max(1) as f64;
-    let rows = vec![
-        ("MPICH     Original".to_string(), tcp.orig, tcp.orig.as_ns() as f64 / best),
-        ("MPICH     Prepush".to_string(), tcp.prepush, tcp.prepush.as_ns() as f64 / best),
-        ("MPICH-GM  Original".to_string(), gm.orig, gm.orig.as_ns() as f64 / best),
-        ("MPICH-GM  Prepush".to_string(), gm.prepush, gm.prepush.as_ns() as f64 / best),
-    ];
-    Fig1Rows { rows }
+    Fig1Rows::from_times((tcp.orig, tcp.prepush), (gm.orig, gm.prepush))
 }
 
 /// Render an ASCII bar chart in the style of the paper's Figure 1.
@@ -142,6 +85,7 @@ pub fn render_fig1(title: &str, rows: &Fig1Rows) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use driver::{run_sweep, ModelSpec, SizeClass, SweepGrid};
 
     #[test]
     fn measure_checks_equivalence_and_returns_times() {
@@ -163,5 +107,22 @@ mod tests {
         let txt = render_fig1("t", &f);
         assert!(txt.contains("MPICH-GM"));
         assert!(txt.contains('#'));
+    }
+
+    #[test]
+    fn fig1_rows_from_sweep_records_match_direct_measurement() {
+        let grid = SweepGrid::new()
+            .workloads(["direct2d"])
+            .size(SizeClass::Small)
+            .nps([2])
+            .models([ModelSpec::Mpich, ModelSpec::MpichGm]);
+        let result = run_sweep(&grid, 1);
+        let from_sweep = Fig1Rows::from_records(&result.records[0], &result.records[1]);
+        let direct = figure1(&workloads::direct2d::Direct2d::small(2), 2);
+        for (a, b) in from_sweep.rows.iter().zip(direct.rows.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1);
+            assert_eq!(a.2, b.2);
+        }
     }
 }

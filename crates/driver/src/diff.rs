@@ -1,0 +1,283 @@
+//! Regression comparison between two sweep artifacts: match records by
+//! scenario key, then flag status flips and virtual-time/speedup
+//! regressions beyond a tolerance. Host wall-clock is deliberately
+//! ignored — the simulator's virtual time is the metric the paper (and
+//! this repo's perf trajectory) cares about.
+
+use crate::exec::{SweepRecord, SweepResult};
+use std::fmt::Write as _;
+
+/// One matched scenario whose prepush virtual time moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    pub key: String,
+    pub before_ns: u64,
+    pub after_ns: u64,
+    /// `after/before` — > 1 is a slowdown.
+    pub ratio: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiffReport {
+    /// Scenario keys present in `a` but missing from `b`.
+    pub missing: Vec<String>,
+    /// Scenario keys new in `b`.
+    pub added: Vec<String>,
+    /// Keys that went ok -> error (with the error description).
+    pub status_changes: Vec<String>,
+    /// Keys that went error -> ok (a fix, not a regression).
+    pub fixed: Vec<String>,
+    /// Prepush virtual time grew beyond tolerance.
+    pub regressions: Vec<DiffRow>,
+    /// Prepush virtual time shrank beyond tolerance.
+    pub improvements: Vec<DiffRow>,
+    pub unchanged: usize,
+}
+
+impl DiffReport {
+    /// A gate should fail on these: lost scenarios, new errors, slower
+    /// virtual time.
+    pub fn has_regressions(&self) -> bool {
+        !self.missing.is_empty()
+            || !self.status_changes.is_empty()
+            || !self.regressions.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for k in &self.missing {
+            let _ = writeln!(s, "MISSING     {k}");
+        }
+        for k in &self.added {
+            let _ = writeln!(s, "NEW         {k}");
+        }
+        for k in &self.status_changes {
+            let _ = writeln!(s, "BROKE       {k}");
+        }
+        for k in &self.fixed {
+            let _ = writeln!(s, "FIXED       {k}");
+        }
+        let mut row = |label: &str, r: &DiffRow| {
+            let _ = writeln!(
+                s,
+                "{label}  {:>12} -> {:>12} ns  ({:+.2}%)  {}",
+                r.before_ns,
+                r.after_ns,
+                (r.ratio - 1.0) * 100.0,
+                r.key
+            );
+        };
+        for r in &self.regressions {
+            row("REGRESSION", r);
+        }
+        for r in &self.improvements {
+            row("IMPROVED  ", r);
+        }
+        let _ = writeln!(
+            s,
+            "{} unchanged, {} regressions, {} improvements, {} missing, {} new, \
+             {} broke, {} fixed",
+            self.unchanged,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.missing.len(),
+            self.added.len(),
+            self.status_changes.len(),
+            self.fixed.len()
+        );
+        s
+    }
+}
+
+/// The time a record is judged by: prepush when present (the optimized
+/// path is what we guard), otherwise the original-variant time.
+fn judged_ns(r: &SweepRecord) -> Option<u64> {
+    r.prepush_ns.or(r.orig_ns)
+}
+
+/// Compare baseline `a` against candidate `b`. `tolerance` is the
+/// allowed fractional growth of virtual time (0.0 = exact, the right
+/// setting for this deterministic simulator).
+///
+/// Records pair up by scenario key *and occurrence index* — grids do not
+/// dedup their axes, so an artifact may legitimately carry duplicate
+/// keys (e.g. `.nps([4, 4])`), and the n-th baseline duplicate must
+/// compare against the n-th candidate duplicate, not the first.
+pub fn diff(a: &SweepResult, b: &SweepResult, tolerance: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    let mut b_by_key: std::collections::HashMap<String, Vec<&SweepRecord>> =
+        std::collections::HashMap::new();
+    for rb in &b.records {
+        b_by_key.entry(rb.spec.key()).or_default().push(rb);
+    }
+    let mut a_count: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for ra in &a.records {
+        let key = ra.spec.key();
+        let occurrence = a_count.entry(key.clone()).or_insert(0);
+        let candidate = b_by_key.get(&key).and_then(|v| v.get(*occurrence)).copied();
+        *occurrence += 1;
+        let Some(rb) = candidate else {
+            report.missing.push(key);
+            continue;
+        };
+        match (ra.is_ok(), rb.is_ok()) {
+            (true, false) => {
+                report.status_changes.push(format!(
+                    "{key}: ok -> error ({})",
+                    rb.error().unwrap_or("")
+                ));
+                continue;
+            }
+            (false, true) => {
+                report.fixed.push(format!("{key}: error -> ok"));
+                continue;
+            }
+            (false, false) => {
+                report.unchanged += 1;
+                continue;
+            }
+            (true, true) => {}
+        }
+        let (Some(before), Some(after)) = (judged_ns(ra), judged_ns(rb)) else {
+            report.unchanged += 1;
+            continue;
+        };
+        let ratio = after as f64 / before.max(1) as f64;
+        let row = DiffRow {
+            key,
+            before_ns: before,
+            after_ns: after,
+            ratio,
+        };
+        if ratio > 1.0 + tolerance {
+            report.regressions.push(row);
+        } else if ratio < 1.0 - tolerance && after != before {
+            report.improvements.push(row);
+        } else {
+            report.unchanged += 1;
+        }
+    }
+    // Candidate records beyond the baseline's occurrence count are new.
+    let mut b_seen: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for rb in &b.records {
+        let key = rb.spec.key();
+        let occurrence = b_seen.entry(key.clone()).or_insert(0);
+        if *occurrence >= a_count.get(&key).copied().unwrap_or(0) {
+            report.added.push(key.clone());
+        }
+        *occurrence += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{summarize, RunStatus};
+    use crate::spec::{ModelSpec, ScenarioSpec, SizeClass, Variant};
+
+    fn rec(workload: &str, prepush_ns: u64) -> SweepRecord {
+        SweepRecord {
+            spec: ScenarioSpec {
+                workload: workload.into(),
+                size: SizeClass::Small,
+                np: 2,
+                model: ModelSpec::Mpich,
+                tile_size: None,
+                variant: Variant::Compare,
+            },
+            status: RunStatus::Ok,
+            tile_size: None,
+            strategy: None,
+            orig_ns: Some(2000),
+            prepush_ns: Some(prepush_ns),
+            orig_exposed_ns: None,
+            prepush_exposed_ns: None,
+            speedup: Some(2000.0 / prepush_ns as f64),
+            wall_ms: 0.0,
+        }
+    }
+
+    fn result(records: Vec<SweepRecord>) -> SweepResult {
+        let summary = summarize(&records, 0.0);
+        SweepResult { records, summary }
+    }
+
+    #[test]
+    fn detects_regressions_improvements_and_membership() {
+        let a = result(vec![rec("w1", 1000), rec("w2", 1000), rec("w3", 1000)]);
+        let b = result(vec![rec("w1", 1200), rec("w2", 900), rec("w4", 500)]);
+        let d = diff(&a, &b, 0.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].before_ns, 1000);
+        assert_eq!(d.regressions[0].after_ns, 1200);
+        assert_eq!(d.improvements.len(), 1);
+        assert_eq!(d.missing, vec![rec("w3", 1).spec.key()]);
+        assert_eq!(d.added, vec![rec("w4", 1).spec.key()]);
+        assert!(d.has_regressions());
+        let text = d.render();
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("+20.00%"));
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_drift() {
+        let a = result(vec![rec("w1", 1000)]);
+        let b = result(vec![rec("w1", 1040)]);
+        assert!(diff(&a, &b, 0.0).has_regressions());
+        let d = diff(&a, &b, 0.05);
+        assert!(!d.has_regressions());
+        assert_eq!(d.unchanged, 1);
+    }
+
+    #[test]
+    fn breaking_a_scenario_is_a_regression_fixing_one_is_not() {
+        let ok = result(vec![rec("w1", 1000)]);
+        let mut broken_rec = rec("w1", 1000);
+        broken_rec.status = RunStatus::Error("analysis died".into());
+        let broken = result(vec![broken_rec]);
+
+        let d = diff(&ok, &broken, 0.0);
+        assert_eq!(d.status_changes.len(), 1);
+        assert!(d.has_regressions());
+        assert!(d.status_changes[0].contains("analysis died"));
+        assert!(d.render().contains("BROKE"));
+
+        // The other direction is a fix: the gate must stay green.
+        let d = diff(&broken, &ok, 0.0);
+        assert_eq!(d.fixed.len(), 1);
+        assert!(!d.has_regressions());
+        assert!(d.render().contains("FIXED"));
+    }
+
+    #[test]
+    fn identical_results_are_clean() {
+        let a = result(vec![rec("w1", 1000), rec("w2", 800)]);
+        let d = diff(&a, &a.clone(), 0.0);
+        assert!(!d.has_regressions());
+        assert_eq!(d.unchanged, 2);
+        assert!(d.improvements.is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_pair_by_occurrence() {
+        // Grids don't dedup axes, so duplicate keys are legal; the
+        // regression hiding in the SECOND duplicate must be caught.
+        let a = result(vec![rec("w1", 1000), rec("w1", 1000)]);
+        let b = result(vec![rec("w1", 1000), rec("w1", 1500)]);
+        let d = diff(&a, &b, 0.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].after_ns, 1500);
+        assert_eq!(d.unchanged, 1);
+        assert!(d.has_regressions());
+
+        // Extra duplicates on either side surface as missing/new.
+        let d = diff(&a, &result(vec![rec("w1", 1000)]), 0.0);
+        assert_eq!(d.missing.len(), 1);
+        let d = diff(&result(vec![rec("w1", 1000)]), &a, 0.0);
+        assert_eq!(d.added.len(), 1);
+        assert!(!d.has_regressions());
+    }
+}

@@ -1,0 +1,365 @@
+//! The parallel sweep executor. Scenarios are dealt round-robin into
+//! per-worker deques; each worker pops from the front of its own deque
+//! and, when empty, steals from the back of a victim's, so an expensive
+//! scenario never idles the other cores. Results land in index-addressed
+//! slots, making the final record order a pure function of the grid —
+//! identical regardless of thread count or completion order. A panicking
+//! scenario (analysis bug, equivalence failure, unknown workload) becomes
+//! an *error row*, not a dead sweep.
+
+use crate::measure::{measure, measure_original, transform_workload};
+use crate::spec::{ScenarioSpec, Variant};
+use crate::SweepGrid;
+use interp::run_program;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    Ok,
+    /// The scenario failed; the row records why and the sweep continues.
+    Error(String),
+}
+
+/// One row of the sweep artifact: the spec plus everything measured.
+/// Fields are `None` when the variant doesn't produce them (e.g. an
+/// `original`-only run has no prepush time) or the scenario errored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    pub spec: ScenarioSpec,
+    pub status: RunStatus,
+    /// Tile size actually used (the heuristic's choice when the spec
+    /// requested `None`).
+    pub tile_size: Option<i64>,
+    pub strategy: Option<String>,
+    pub orig_ns: Option<u64>,
+    pub prepush_ns: Option<u64>,
+    pub orig_exposed_ns: Option<u64>,
+    pub prepush_exposed_ns: Option<u64>,
+    pub speedup: Option<f64>,
+    /// Host wall-clock spent simulating this scenario, in milliseconds.
+    /// Informative only — normalized to 0 in committed artifacts so the
+    /// JSON stays byte-deterministic across runs and machines.
+    pub wall_ms: f64,
+}
+
+impl SweepRecord {
+    pub fn is_ok(&self) -> bool {
+        self.status == RunStatus::Ok
+    }
+
+    pub fn error(&self) -> Option<&str> {
+        match &self.status {
+            RunStatus::Ok => None,
+            RunStatus::Error(e) => Some(e),
+        }
+    }
+
+    fn failed(spec: &ScenarioSpec, message: String, wall_ms: f64) -> SweepRecord {
+        SweepRecord {
+            spec: spec.clone(),
+            status: RunStatus::Error(message),
+            tile_size: None,
+            strategy: None,
+            orig_ns: None,
+            prepush_ns: None,
+            orig_exposed_ns: None,
+            prepush_exposed_ns: None,
+            speedup: None,
+            wall_ms,
+        }
+    }
+}
+
+/// Sweep-wide aggregates over the `compare` records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    pub scenarios: usize,
+    pub ok: usize,
+    pub errors: usize,
+    /// Geometric mean of the speedups of all ok `compare` records.
+    pub geomean_speedup: Option<f64>,
+    /// (scenario key, speedup) extremes.
+    pub best: Option<(String, f64)>,
+    pub worst: Option<(String, f64)>,
+    /// Per-model-id geomean speedup, in first-seen record order.
+    pub per_model: Vec<(String, f64)>,
+    /// Total host wall-clock of the sweep in milliseconds (normalized to
+    /// 0 in committed artifacts).
+    pub wall_ms: f64,
+}
+
+/// Everything one sweep produced: ordered records plus aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    pub records: Vec<SweepRecord>,
+    pub summary: SweepSummary,
+}
+
+impl SweepResult {
+    /// A copy with every wall-clock field zeroed: virtual times and
+    /// speedups are deterministic, host wall-clock is not, so committed
+    /// artifacts (and byte-equality assertions) use this form.
+    pub fn normalized(&self) -> SweepResult {
+        let mut out = self.clone();
+        for r in &mut out.records {
+            r.wall_ms = 0.0;
+        }
+        out.summary.wall_ms = 0.0;
+        out
+    }
+}
+
+/// Compute the aggregates for a record list.
+pub fn summarize(records: &[SweepRecord], wall_ms: f64) -> SweepSummary {
+    let ok = records.iter().filter(|r| r.is_ok()).count();
+    let mut best: Option<(String, f64)> = None;
+    let mut worst: Option<(String, f64)> = None;
+    let mut by_model: Vec<(String, Vec<f64>)> = Vec::new();
+    for r in records {
+        let Some(s) = r.speedup else { continue };
+        if best.as_ref().is_none_or(|(_, b)| s > *b) {
+            best = Some((r.spec.key(), s));
+        }
+        if worst.as_ref().is_none_or(|(_, w)| s < *w) {
+            worst = Some((r.spec.key(), s));
+        }
+        let id = r.spec.model.id();
+        match by_model.iter_mut().find(|(m, _)| *m == id) {
+            Some((_, v)) => v.push(s),
+            None => by_model.push((id, vec![s])),
+        }
+    }
+    let geomean = |v: &[f64]| -> Option<f64> {
+        if v.is_empty() {
+            None
+        } else {
+            Some((v.iter().map(|s| s.ln()).sum::<f64>() / v.len() as f64).exp())
+        }
+    };
+    let all: Vec<f64> = by_model.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+    SweepSummary {
+        scenarios: records.len(),
+        ok,
+        errors: records.len() - ok,
+        geomean_speedup: geomean(&all),
+        best,
+        worst,
+        per_model: by_model
+            .iter()
+            .map(|(m, v)| (m.clone(), geomean(v).unwrap_or(1.0)))
+            .collect(),
+        wall_ms,
+    }
+}
+
+/// Run one scenario, isolating panics into an error row.
+pub fn run_scenario(spec: &ScenarioSpec) -> SweepRecord {
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<SweepRecord, String> {
+        let entry = workloads::find(&spec.workload).ok_or_else(|| {
+            let known: Vec<&str> = workloads::registry().iter().map(|e| e.name).collect();
+            format!(
+                "unknown workload `{}` (known: {})",
+                spec.workload,
+                known.join(", ")
+            )
+        })?;
+        let w = (entry.make)(spec.size, spec.np);
+        let model = spec.model.to_model();
+        let mut rec = SweepRecord::failed(spec, String::new(), 0.0);
+        rec.status = RunStatus::Ok;
+        match spec.variant {
+            Variant::Compare => {
+                let m = measure(&*w, spec.np, &model, spec.tile_size);
+                rec.tile_size = m.tile_size;
+                rec.strategy = m.strategy.clone();
+                rec.orig_ns = Some(m.orig.as_ns());
+                rec.prepush_ns = Some(m.prepush.as_ns());
+                rec.orig_exposed_ns = Some(m.orig_exposed.as_ns());
+                rec.prepush_exposed_ns = Some(m.prepush_exposed.as_ns());
+                rec.speedup = Some(m.speedup());
+            }
+            Variant::Original => {
+                let (makespan, exposed) = measure_original(&*w, spec.np, &model);
+                rec.orig_ns = Some(makespan.as_ns());
+                rec.orig_exposed_ns = Some(exposed.as_ns());
+            }
+            Variant::Prepush => {
+                let out = transform_workload(&*w, &model, spec.tile_size);
+                rec.tile_size = out.report.opportunities.iter().find_map(|o| o.tile_size);
+                rec.strategy = out
+                    .report
+                    .opportunities
+                    .iter()
+                    .find_map(|o| o.strategy.map(|s| s.to_string()));
+                let r = run_program(&out.program, spec.np, &model)
+                    .map_err(|e| format!("transformed run failed: {e}"))?;
+                rec.prepush_ns = Some(r.report.makespan().as_ns());
+                rec.prepush_exposed_ns = Some(r.report.max_exposed_comm().as_ns());
+            }
+        }
+        Ok(rec)
+    }));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    match outcome {
+        Ok(Ok(mut rec)) => {
+            rec.wall_ms = wall_ms;
+            rec
+        }
+        Ok(Err(msg)) => SweepRecord::failed(spec, msg, wall_ms),
+        Err(panic) => SweepRecord::failed(spec, panic_message(panic), wall_ms),
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "scenario panicked (non-string payload)".to_string()
+    }
+}
+
+/// Expand `grid` and run every scenario on `threads` workers (0 = one per
+/// available core, capped by the scenario count).
+pub fn run_sweep(grid: &SweepGrid, threads: usize) -> SweepResult {
+    let specs = grid.expand();
+    let t0 = Instant::now();
+    let records = run_specs(&specs, threads);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let summary = summarize(&records, wall_ms);
+    SweepResult { records, summary }
+}
+
+/// Run an explicit scenario list in parallel; records come back in spec
+/// order regardless of which worker finished which scenario when.
+pub fn run_specs(specs: &[ScenarioSpec], threads: usize) -> Vec<SweepRecord> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let nthreads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .min(specs.len())
+    .max(1);
+
+    if nthreads == 1 {
+        return specs.iter().map(run_scenario).collect();
+    }
+
+    // Round-robin deal into per-worker deques.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..nthreads)
+        .map(|w| Mutex::new((w..specs.len()).step_by(nthreads).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<SweepRecord>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..nthreads {
+            let deques = &deques;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                // Own work first (front), then steal from a victim (back).
+                let mut next = deques[me].lock().unwrap().pop_front();
+                if next.is_none() {
+                    for v in 1..nthreads {
+                        next = deques[(me + v) % nthreads].lock().unwrap().pop_back();
+                        if next.is_some() {
+                            break;
+                        }
+                    }
+                }
+                let Some(idx) = next else { break };
+                let rec = run_scenario(&specs[idx]);
+                *slots[idx].lock().unwrap() = Some(rec);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every scenario index was claimed by exactly one worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ModelSpec, SizeClass};
+
+    fn tiny_spec(workload: &str) -> ScenarioSpec {
+        ScenarioSpec {
+            workload: workload.into(),
+            size: SizeClass::Small,
+            np: 2,
+            model: ModelSpec::MpichGm,
+            tile_size: None,
+            variant: Variant::Compare,
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error_row_not_a_dead_sweep() {
+        let specs = vec![tiny_spec("no-such-kernel"), tiny_spec("direct2d")];
+        let recs = run_specs(&specs, 2);
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].error().unwrap().contains("unknown workload"));
+        assert!(recs[1].is_ok());
+        assert!(recs[1].speedup.is_some());
+    }
+
+    #[test]
+    fn variants_populate_the_matching_fields() {
+        let mut orig = tiny_spec("direct2d");
+        orig.variant = Variant::Original;
+        let mut pre = tiny_spec("direct2d");
+        pre.variant = Variant::Prepush;
+        let recs = run_specs(&[orig, pre], 1);
+        assert!(recs[0].orig_ns.is_some() && recs[0].prepush_ns.is_none());
+        assert!(recs[1].prepush_ns.is_some() && recs[1].orig_ns.is_none());
+        assert!(recs[1].strategy.is_some());
+        assert!(recs[0].speedup.is_none() && recs[1].speedup.is_none());
+    }
+
+    #[test]
+    fn summary_aggregates_compare_records() {
+        let recs = run_specs(&[tiny_spec("direct2d"), tiny_spec("indirect")], 2);
+        let s = summarize(&recs, 12.5);
+        assert_eq!(s.scenarios, 2);
+        assert_eq!(s.ok, 2);
+        assert_eq!(s.errors, 0);
+        assert!(s.geomean_speedup.unwrap() > 0.0);
+        assert_eq!(s.per_model.len(), 1);
+        assert_eq!(s.per_model[0].0, "mpich-gm");
+        assert_eq!(s.wall_ms, 12.5);
+        assert!(s.best.is_some() && s.worst.is_some());
+    }
+
+    #[test]
+    fn normalized_zeroes_wall_clock_only() {
+        let result = run_sweep(
+            &SweepGrid::new()
+                .workloads(["direct2d"])
+                .size(SizeClass::Small)
+                .nps([2])
+                .models([ModelSpec::MpichGm]),
+            1,
+        );
+        let n = result.normalized();
+        assert!(n.records.iter().all(|r| r.wall_ms == 0.0));
+        assert_eq!(n.summary.wall_ms, 0.0);
+        assert_eq!(n.records[0].orig_ns, result.records[0].orig_ns);
+        assert_eq!(n.summary.geomean_speedup, result.summary.geomean_speedup);
+    }
+}

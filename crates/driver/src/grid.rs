@@ -1,0 +1,196 @@
+//! Cartesian sweep grids. A [`SweepGrid`] names one axis per spec field;
+//! [`SweepGrid::expand`] takes the cartesian product in a fixed axis
+//! order (workload → np → model → tile size → variant), applies the
+//! registered filters, and yields the deterministic scenario list the
+//! executor runs.
+
+use crate::spec::{ModelSpec, ScenarioSpec, SizeClass, Variant};
+
+/// A filter is a plain function pointer so grids stay `Clone` and their
+/// expansion stays a pure function of the grid value.
+pub type Filter = fn(&ScenarioSpec) -> bool;
+
+#[derive(Clone)]
+pub struct SweepGrid {
+    pub workloads: Vec<String>,
+    pub size: SizeClass,
+    pub nps: Vec<usize>,
+    pub models: Vec<ModelSpec>,
+    /// Requested tile sizes; `None` = the model-informed heuristic.
+    pub tile_sizes: Vec<Option<i64>>,
+    pub variants: Vec<Variant>,
+    filters: Vec<Filter>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid {
+            workloads: Vec::new(),
+            size: SizeClass::Standard,
+            nps: Vec::new(),
+            models: Vec::new(),
+            tile_sizes: vec![None],
+            variants: vec![Variant::Compare],
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl SweepGrid {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn workloads<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.workloads = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    pub fn size(mut self, size: SizeClass) -> Self {
+        self.size = size;
+        self
+    }
+
+    pub fn nps(mut self, nps: impl IntoIterator<Item = usize>) -> Self {
+        self.nps = nps.into_iter().collect();
+        self
+    }
+
+    pub fn models(mut self, models: impl IntoIterator<Item = ModelSpec>) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    pub fn tile_sizes(mut self, ks: impl IntoIterator<Item = Option<i64>>) -> Self {
+        self.tile_sizes = ks.into_iter().collect();
+        self
+    }
+
+    pub fn variants(mut self, vs: impl IntoIterator<Item = Variant>) -> Self {
+        self.variants = vs.into_iter().collect();
+        self
+    }
+
+    /// Keep only scenarios the predicate accepts. Filters compose (all
+    /// must accept).
+    pub fn filter(mut self, f: Filter) -> Self {
+        self.filters.push(f);
+        self
+    }
+
+    /// Number of points before filtering: the product of axis lengths.
+    pub fn unfiltered_len(&self) -> usize {
+        self.workloads.len()
+            * self.nps.len()
+            * self.models.len()
+            * self.tile_sizes.len()
+            * self.variants.len()
+    }
+
+    /// The deterministic scenario list: cartesian product in axis order,
+    /// then filters.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let mut out = Vec::with_capacity(self.unfiltered_len());
+        for w in &self.workloads {
+            for &np in &self.nps {
+                for model in &self.models {
+                    for &k in &self.tile_sizes {
+                        for &variant in &self.variants {
+                            let spec = ScenarioSpec {
+                                workload: w.clone(),
+                                size: self.size,
+                                np,
+                                model: model.clone(),
+                                tile_size: k,
+                                variant,
+                            };
+                            if self.filters.iter().all(|f| f(&spec)) {
+                                out.push(spec);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The full evaluation grid: every registry workload at Figure-1
+    /// scale, the paper's two stacks, both rank counts the paper tables
+    /// use. This is what `harness sweep` runs.
+    pub fn full() -> Self {
+        SweepGrid::new()
+            .workloads(workloads::registry().iter().map(|e| e.name))
+            .size(SizeClass::Standard)
+            .nps([4, 8])
+            .models([ModelSpec::Mpich, ModelSpec::MpichGm])
+    }
+
+    /// A tiny smoke grid (seconds, even in debug builds): two workload
+    /// families at small size, np = 2, both stacks. This is what
+    /// `harness quick`, the verify gate, and the golden test run.
+    pub fn quick() -> Self {
+        SweepGrid::new()
+            .workloads(["direct2d", "indirect"])
+            .size(SizeClass::Small)
+            .nps([2])
+            .models([ModelSpec::Mpich, ModelSpec::MpichGm])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_the_cartesian_product_in_axis_order() {
+        let g = SweepGrid::new()
+            .workloads(["a", "b"])
+            .nps([2, 4])
+            .models([ModelSpec::Mpich, ModelSpec::MpichGm])
+            .tile_sizes([None, Some(8)]);
+        let specs = g.expand();
+        assert_eq!(specs.len(), g.unfiltered_len());
+        assert_eq!(specs.len(), 2 * 2 * 2 * 2);
+        // Workload is the slowest axis, variant the fastest.
+        assert_eq!(specs[0].workload, "a");
+        assert_eq!(specs[0].np, 2);
+        assert_eq!(specs[0].tile_size, None);
+        assert_eq!(specs[1].tile_size, Some(8));
+        assert_eq!(specs[8].workload, "b");
+        // Determinism: same grid, same list.
+        assert_eq!(specs, g.expand());
+    }
+
+    #[test]
+    fn filters_compose() {
+        let g = SweepGrid::new()
+            .workloads(["a", "b"])
+            .nps([2, 4, 8])
+            .models([ModelSpec::Mpich])
+            .filter(|s| s.np >= 4)
+            .filter(|s| s.workload == "a");
+        let specs = g.expand();
+        assert_eq!(specs.len(), 2);
+        assert!(specs.iter().all(|s| s.workload == "a" && s.np >= 4));
+    }
+
+    #[test]
+    fn presets_are_nonempty_and_resolvable() {
+        for g in [SweepGrid::full(), SweepGrid::quick()] {
+            let specs = g.expand();
+            assert!(!specs.is_empty());
+            for s in &specs {
+                assert!(
+                    workloads::find(&s.workload).is_some(),
+                    "preset names unknown workload {}",
+                    s.workload
+                );
+            }
+        }
+    }
+}

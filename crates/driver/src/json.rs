@@ -1,0 +1,645 @@
+//! Dependency-free JSON for the `BENCH_sweep.json` artifact: a minimal
+//! value type, a recursive-descent parser, a pretty writer with stable
+//! key order, and the mapping to/from [`SweepResult`].
+//!
+//! Schema (`overlap-sweep/v1`): one object with `schema`, `records` (one
+//! object per scenario, in grid order) and `summary`. All virtual times
+//! are integer nanoseconds; `wall_ms` is host wall-clock and is the one
+//! field `normalized()` zeroes so committed artifacts stay
+//! byte-deterministic. The writer is canonical: `write(read(write(x)))`
+//! equals `write(x)` byte for byte.
+
+use crate::exec::{summarize, RunStatus, SweepRecord, SweepResult};
+use crate::spec::{ModelSpec, ScenarioSpec, SizeClass, Variant};
+use std::fmt::Write as _;
+
+/// The schema tag every artifact carries.
+pub const SCHEMA: &str = "overlap-sweep/v1";
+
+/// A JSON value. Objects keep insertion order (the writer's key order is
+/// part of the artifact's byte-level stability).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Json, indent: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        // Rust's shortest-roundtrip Display keeps parse(write(f)) == f,
+        // which is what makes re-serialization byte-stable.
+        Json::Float(f) => {
+            let _ = write!(out, "{f}");
+        }
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&"  ".repeat(indent + 1));
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&"  ".repeat(indent + 1));
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_value(out, v, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-print with two-space indent and a trailing newline.
+pub fn write_json(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, 0);
+    out.push('\n');
+    out
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        let line = 1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        format!("JSON parse error at byte {} (line {line}): {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn consume_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("non-scalar \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slices
+                    // at char boundaries are safe to find this way).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| b & 0xC0 == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|e| self.err(&format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|e| self.err(&format!("bad number `{text}`: {e}")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.consume_lit("null", Json::Null),
+            Some(b't') => self.consume_lit("true", Json::Bool(true)),
+            Some(b'f') => self.consume_lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+}
+
+/// Parse a complete JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+// ------------------------------------------------- SweepResult <-> Json
+
+fn opt_int(v: Option<u64>) -> Json {
+    v.map_or(Json::Null, |n| Json::Int(n as i64))
+}
+
+fn opt_i64(v: Option<i64>) -> Json {
+    v.map_or(Json::Null, Json::Int)
+}
+
+fn opt_str(v: &Option<String>) -> Json {
+    v.as_ref().map_or(Json::Null, |s| Json::Str(s.clone()))
+}
+
+/// `{}`-formatted floats parse back as `Int` when integral; accept both.
+fn float_field(v: f64) -> Json {
+    Json::Float(v)
+}
+
+fn record_to_json(r: &SweepRecord) -> Json {
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(r.spec.workload.clone())),
+        ("size".into(), Json::Str(r.spec.size.id().into())),
+        ("np".into(), Json::Int(r.spec.np as i64)),
+        ("model".into(), Json::Str(r.spec.model.id())),
+        ("requested_tile_size".into(), opt_i64(r.spec.tile_size)),
+        ("variant".into(), Json::Str(r.spec.variant.id().into())),
+        (
+            "status".into(),
+            Json::Str(if r.is_ok() { "ok" } else { "error" }.into()),
+        ),
+        (
+            "error".into(),
+            r.error().map_or(Json::Null, |e| Json::Str(e.into())),
+        ),
+        ("tile_size".into(), opt_i64(r.tile_size)),
+        ("strategy".into(), opt_str(&r.strategy)),
+        ("orig_ns".into(), opt_int(r.orig_ns)),
+        ("prepush_ns".into(), opt_int(r.prepush_ns)),
+        ("orig_exposed_ns".into(), opt_int(r.orig_exposed_ns)),
+        ("prepush_exposed_ns".into(), opt_int(r.prepush_exposed_ns)),
+        (
+            "speedup".into(),
+            r.speedup.map_or(Json::Null, float_field),
+        ),
+        ("wall_ms".into(), float_field(r.wall_ms)),
+    ])
+}
+
+fn extreme_to_json(v: &Option<(String, f64)>) -> Json {
+    match v {
+        None => Json::Null,
+        Some((key, s)) => Json::Obj(vec![
+            ("scenario".into(), Json::Str(key.clone())),
+            ("speedup".into(), float_field(*s)),
+        ]),
+    }
+}
+
+/// Serialize a sweep result to the canonical artifact text.
+pub fn to_json_string(result: &SweepResult) -> String {
+    let s = &result.summary;
+    let summary = Json::Obj(vec![
+        ("scenarios".into(), Json::Int(s.scenarios as i64)),
+        ("ok".into(), Json::Int(s.ok as i64)),
+        ("errors".into(), Json::Int(s.errors as i64)),
+        (
+            "geomean_speedup".into(),
+            s.geomean_speedup.map_or(Json::Null, float_field),
+        ),
+        ("best".into(), extreme_to_json(&s.best)),
+        ("worst".into(), extreme_to_json(&s.worst)),
+        (
+            "per_model".into(),
+            Json::Arr(
+                s.per_model
+                    .iter()
+                    .map(|(m, g)| {
+                        Json::Obj(vec![
+                            ("model".into(), Json::Str(m.clone())),
+                            ("geomean_speedup".into(), float_field(*g)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("wall_ms".into(), float_field(s.wall_ms)),
+    ]);
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        (
+            "records".into(),
+            Json::Arr(result.records.iter().map(record_to_json).collect()),
+        ),
+        ("summary".into(), summary),
+    ]);
+    write_json(&doc)
+}
+
+fn field<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{what}: missing field `{key}`"))
+}
+
+fn record_from_json(v: &Json, idx: usize) -> Result<SweepRecord, String> {
+    let what = format!("record {idx}");
+    let getstr = |key: &str| -> Result<String, String> {
+        field(v, key, &what)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("{what}: `{key}` must be a string"))
+    };
+    let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+        match field(v, key, &what)? {
+            Json::Null => Ok(None),
+            j => j
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("{what}: `{key}` must be a non-negative integer")),
+        }
+    };
+    let workload = getstr("workload")?;
+    let size = SizeClass::parse(&getstr("size")?)
+        .ok_or_else(|| format!("{what}: bad size class"))?;
+    let np = field(v, "np", &what)?
+        .as_u64()
+        .ok_or_else(|| format!("{what}: `np` must be an integer"))? as usize;
+    let model = ModelSpec::parse(&getstr("model")?).map_err(|e| format!("{what}: {e}"))?;
+    let requested = match field(v, "requested_tile_size", &what)? {
+        Json::Null => None,
+        Json::Int(i) => Some(*i),
+        _ => return Err(format!("{what}: bad `requested_tile_size`")),
+    };
+    let variant = Variant::parse(&getstr("variant")?)
+        .ok_or_else(|| format!("{what}: bad variant"))?;
+    let status = match getstr("status")?.as_str() {
+        "ok" => RunStatus::Ok,
+        "error" => RunStatus::Error(match field(v, "error", &what)? {
+            Json::Str(e) => e.clone(),
+            _ => String::new(),
+        }),
+        other => return Err(format!("{what}: bad status `{other}`")),
+    };
+    let tile_size = match field(v, "tile_size", &what)? {
+        Json::Null => None,
+        Json::Int(i) => Some(*i),
+        _ => return Err(format!("{what}: bad `tile_size`")),
+    };
+    let strategy = match field(v, "strategy", &what)? {
+        Json::Null => None,
+        Json::Str(s) => Some(s.clone()),
+        _ => return Err(format!("{what}: bad `strategy`")),
+    };
+    let speedup = match field(v, "speedup", &what)? {
+        Json::Null => None,
+        j => Some(
+            j.as_f64()
+                .ok_or_else(|| format!("{what}: `speedup` must be a number"))?,
+        ),
+    };
+    let wall_ms = field(v, "wall_ms", &what)?
+        .as_f64()
+        .ok_or_else(|| format!("{what}: `wall_ms` must be a number"))?;
+    Ok(SweepRecord {
+        spec: ScenarioSpec {
+            workload,
+            size,
+            np,
+            model,
+            tile_size: requested,
+            variant,
+        },
+        status,
+        tile_size,
+        strategy,
+        orig_ns: opt_u64("orig_ns")?,
+        prepush_ns: opt_u64("prepush_ns")?,
+        orig_exposed_ns: opt_u64("orig_exposed_ns")?,
+        prepush_exposed_ns: opt_u64("prepush_exposed_ns")?,
+        speedup,
+        wall_ms,
+    })
+}
+
+/// Parse an artifact back into a [`SweepResult`]. The summary is
+/// recomputed from the records (it is derived data), except `wall_ms`,
+/// which is taken from the file.
+pub fn from_json_string(text: &str) -> Result<SweepResult, String> {
+    let doc = parse_json(text)?;
+    let schema = field(&doc, "schema", "document")?
+        .as_str()
+        .ok_or("document: `schema` must be a string")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "unsupported schema `{schema}` (this reader understands `{SCHEMA}`)"
+        ));
+    }
+    let records_json = match field(&doc, "records", "document")? {
+        Json::Arr(items) => items,
+        _ => return Err("document: `records` must be an array".into()),
+    };
+    let mut records = Vec::with_capacity(records_json.len());
+    for (i, r) in records_json.iter().enumerate() {
+        records.push(record_from_json(r, i)?);
+    }
+    let wall_ms = field(&doc, "summary", "document")?
+        .get("wall_ms")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let summary = summarize(&records, wall_ms);
+    Ok(SweepResult { records, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Variant;
+
+    fn sample_record(workload: &str, speedup: Option<f64>) -> SweepRecord {
+        SweepRecord {
+            spec: ScenarioSpec {
+                workload: workload.into(),
+                size: SizeClass::Small,
+                np: 2,
+                model: ModelSpec::MpichGm,
+                tile_size: Some(8),
+                variant: Variant::Compare,
+            },
+            status: RunStatus::Ok,
+            tile_size: Some(8),
+            strategy: Some("fig4-all-peers".into()),
+            orig_ns: Some(1000),
+            prepush_ns: Some(800),
+            orig_exposed_ns: Some(100),
+            prepush_exposed_ns: Some(50),
+            speedup,
+            wall_ms: 0.0,
+        }
+    }
+
+    fn sample_result() -> SweepResult {
+        let records = vec![
+            sample_record("direct2d", Some(1.25)),
+            SweepRecord {
+                status: RunStatus::Error("boom \"quoted\"\nline2".into()),
+                orig_ns: None,
+                prepush_ns: None,
+                orig_exposed_ns: None,
+                prepush_exposed_ns: None,
+                speedup: None,
+                tile_size: None,
+                strategy: None,
+                ..sample_record("indirect", None)
+            },
+        ];
+        let summary = summarize(&records, 0.0);
+        SweepResult { records, summary }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let result = sample_result();
+        let text = to_json_string(&result);
+        let back = from_json_string(&text).unwrap();
+        assert_eq!(back, result);
+        assert_eq!(to_json_string(&back), text);
+    }
+
+    #[test]
+    fn integral_floats_survive_the_int_detour() {
+        // speedup 2.0 writes as `2`, reads back as Int, and must still
+        // re-serialize identically.
+        let mut result = sample_result();
+        result.records[0].speedup = Some(2.0);
+        result.summary = summarize(&result.records, 0.0);
+        let text = to_json_string(&result);
+        let back = from_json_string(&text).unwrap();
+        assert_eq!(back.records[0].speedup, Some(2.0));
+        assert_eq!(to_json_string(&back), text);
+    }
+
+    #[test]
+    fn parser_reports_readable_errors() {
+        assert!(parse_json("{\"a\": }").unwrap_err().contains("line 1"));
+        assert!(parse_json("[1, 2").unwrap_err().contains("expected"));
+        assert!(from_json_string("{\"schema\": \"other/v9\", \"records\": [], \"summary\": {}}")
+            .unwrap_err()
+            .contains("unsupported schema"));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = parse_json(r#"{"s": "a\"b\\c\ndAé"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "a\"b\\c\ndAé");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_json("{} x").is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! # driver — the declarative scenario-sweep engine
+//!
+//! The paper's evaluation is a grid: workloads × rank counts × network
+//! models × tile sizes. This crate turns every figure, ablation, and
+//! future scenario into *data*:
+//!
+//! - [`ScenarioSpec`] names one point of the grid (workload by registry
+//!   name, size class, np, [`ModelSpec`], tile size K, [`Variant`]);
+//! - [`SweepGrid`] expands axes cartesian-product-style, with filters,
+//!   in a deterministic order;
+//! - [`run_sweep`] executes scenarios on a work-stealing thread pool
+//!   (`std::thread::scope`), isolating per-scenario panics into error
+//!   rows and returning records in grid order regardless of completion
+//!   order;
+//! - [`json`] reads/writes the dependency-free `overlap-sweep/v1`
+//!   artifact (`BENCH_sweep.json`);
+//! - [`diff`](diff()) compares two artifacts and flags virtual-time
+//!   regressions.
+//!
+//! The facade re-exports this crate as `overlap_suite::sweep`.
+//!
+//! ```
+//! use driver::{run_sweep, ModelSpec, SizeClass, SweepGrid};
+//!
+//! let grid = SweepGrid::new()
+//!     .workloads(["direct2d"])
+//!     .size(SizeClass::Small)
+//!     .nps([2])
+//!     .models([ModelSpec::MpichGm]);
+//! let result = run_sweep(&grid, 0); // 0 = one worker per core
+//! assert_eq!(result.records.len(), 1);
+//! assert!(result.records[0].speedup.unwrap() > 0.0);
+//! let artifact = driver::json::to_json_string(&result.normalized());
+//! let back = driver::json::from_json_string(&artifact).unwrap();
+//! assert_eq!(back, result.normalized());
+//! ```
+
+pub mod diff;
+pub mod exec;
+pub mod grid;
+pub mod json;
+pub mod measure;
+pub mod spec;
+
+pub use diff::{diff, DiffReport, DiffRow};
+pub use exec::{
+    run_scenario, run_specs, run_sweep, summarize, RunStatus, SweepRecord, SweepResult,
+    SweepSummary,
+};
+pub use grid::SweepGrid;
+pub use measure::{measure, measure_original, transform_workload, Measurement};
+pub use spec::{ModelSpec, ScenarioSpec, SizeClass, Variant};

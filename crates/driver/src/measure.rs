@@ -1,0 +1,133 @@
+//! The transform→interp→clustersim pipeline for one scenario: transform a
+//! workload with the model-informed K heuristic, execute original and
+//! pre-push variants on the simulated cluster, check output equivalence
+//! (§4) as a side effect, and report the virtual-time figures the paper's
+//! tables are built from. (Moved here from `overlap_bench` so the sweep
+//! executor and the bench layer share one implementation.)
+
+use clustersim::{NetworkModel, SimTime};
+use compuniformer::{transform, Options, TransformOutput, UserOracle};
+use interp::run_program;
+use workloads::Workload;
+
+/// Measured figures for one (workload, np, model) point.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub workload: &'static str,
+    pub model: &'static str,
+    pub np: usize,
+    /// The tile size actually used (heuristic or requested).
+    pub tile_size: Option<i64>,
+    /// The communication strategy the transformation chose.
+    pub strategy: Option<String>,
+    pub orig: SimTime,
+    pub prepush: SimTime,
+    pub orig_exposed: SimTime,
+    pub prepush_exposed: SimTime,
+}
+
+impl Measurement {
+    pub fn speedup(&self) -> f64 {
+        self.orig.as_ns() as f64 / self.prepush.as_ns().max(1) as f64
+    }
+}
+
+/// Transform a workload with the model-informed K heuristic.
+pub fn transform_workload(
+    w: &dyn Workload,
+    model: &NetworkModel,
+    tile_size: Option<i64>,
+) -> TransformOutput {
+    let opts = Options {
+        tile_size,
+        context: w.context(),
+        oracle: UserOracle::AssumeSafe,
+        kselect_overhead_ns: Some(model.overhead.as_ns() as f64),
+        kselect_cpu_ns_per_byte: Some(model.cpu_send_ns_per_byte),
+        kselect_wire_ns_per_byte: Some(model.gap_ns_per_byte),
+        ..Default::default()
+    };
+    transform(&w.program(), &opts)
+        .unwrap_or_else(|e| panic!("workload `{}` must transform: {e}", w.name()))
+}
+
+/// Run original + transformed under `model`, verify equivalence, measure.
+pub fn measure(
+    w: &dyn Workload,
+    np: usize,
+    model: &NetworkModel,
+    tile_size: Option<i64>,
+) -> Measurement {
+    let program = w.program();
+    let out = transform_workload(w, model, tile_size);
+
+    let base = run_program(&program, np, model)
+        .unwrap_or_else(|e| panic!("`{}` original failed: {e}", w.name()));
+    let pre = run_program(&out.program, np, model)
+        .unwrap_or_else(|e| panic!("`{}` transformed failed: {e}", w.name()));
+
+    // Equivalence gate (§4): benchmarks must compute identical answers.
+    let excluded = out.report.incomparable_arrays();
+    for rank in 0..np {
+        for name in w.output_arrays() {
+            if excluded.contains(&name.as_str()) {
+                continue;
+            }
+            assert_eq!(
+                base.outputs[rank].arrays.get(&name),
+                pre.outputs[rank].arrays.get(&name),
+                "`{}` rank {rank} array `{name}` differs",
+                w.name()
+            );
+        }
+    }
+
+    Measurement {
+        workload: w.name(),
+        model: model.name,
+        np,
+        tile_size: out.report.opportunities.iter().find_map(|o| o.tile_size),
+        strategy: out
+            .report
+            .opportunities
+            .iter()
+            .find_map(|o| o.strategy.map(|s| s.to_string())),
+        orig: base.report.makespan(),
+        prepush: pre.report.makespan(),
+        orig_exposed: base.report.max_exposed_comm(),
+        prepush_exposed: pre.report.max_exposed_comm(),
+    }
+}
+
+/// Virtual times of the untransformed program only (for
+/// [`crate::spec::Variant::Original`] scenarios).
+pub fn measure_original(w: &dyn Workload, np: usize, model: &NetworkModel) -> (SimTime, SimTime) {
+    let r = run_program(&w.program(), np, model)
+        .unwrap_or_else(|e| panic!("`{}` original failed: {e}", w.name()));
+    (r.report.makespan(), r.report.max_exposed_comm())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_times_strategy_and_tile() {
+        let w = workloads::direct2d::Direct2d::small(2);
+        let m = measure(&w, 2, &NetworkModel::mpich_gm(), Some(8));
+        assert!(m.orig > SimTime::ZERO);
+        assert!(m.prepush > SimTime::ZERO);
+        assert_eq!(m.np, 2);
+        assert_eq!(m.tile_size, Some(8));
+        assert!(m.strategy.is_some());
+        assert!(m.speedup() > 0.0);
+    }
+
+    #[test]
+    fn measure_original_runs_without_transforming() {
+        let w = workloads::direct::Direct1d::small(2);
+        let (makespan, exposed) = measure_original(&w, 2, &NetworkModel::mpich());
+        assert!(makespan > SimTime::ZERO);
+        assert!(exposed <= makespan);
+    }
+}

@@ -1,0 +1,179 @@
+//! Declarative scenario specifications. A [`ScenarioSpec`] is plain data
+//! — workload *name*, size class, rank count, a [`ModelSpec`] naming a
+//! network model, requested tile size, and variant — so grids, JSON
+//! artifacts, and diff keys can describe scenarios without holding live
+//! programs or models.
+
+use clustersim::NetworkModel;
+pub use workloads::SizeClass;
+
+/// Which program variants a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Transform, run both variants, assert output equivalence (§4), and
+    /// report both virtual times plus the speedup. The default.
+    Compare,
+    /// Run only the untransformed program.
+    Original,
+    /// Transform and run only the pre-push program (no equivalence gate).
+    Prepush,
+}
+
+impl Variant {
+    pub fn id(self) -> &'static str {
+        match self {
+            Variant::Compare => "compare",
+            Variant::Original => "original",
+            Variant::Prepush => "prepush",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Variant> {
+        match s {
+            "compare" => Some(Variant::Compare),
+            "original" => Some(Variant::Original),
+            "prepush" => Some(Variant::Prepush),
+            _ => None,
+        }
+    }
+}
+
+/// A network model named as data. `to_model` materializes the live
+/// [`NetworkModel`]; `id`/`parse` give the stable string form used in
+/// grids and JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    Mpich,
+    MpichGm,
+    RdmaIdeal,
+    /// `NetworkModel::mpich_with_beta_scaled(factor)`: the per-byte CPU
+    /// involvement sweep between TCP-like and RDMA-like stacks.
+    MpichBeta(f64),
+}
+
+impl ModelSpec {
+    pub fn to_model(&self) -> NetworkModel {
+        match self {
+            ModelSpec::Mpich => NetworkModel::mpich(),
+            ModelSpec::MpichGm => NetworkModel::mpich_gm(),
+            ModelSpec::RdmaIdeal => NetworkModel::rdma_ideal(),
+            ModelSpec::MpichBeta(f) => NetworkModel::mpich_with_beta_scaled(*f),
+        }
+    }
+
+    pub fn id(&self) -> String {
+        match self {
+            ModelSpec::Mpich => "mpich".into(),
+            ModelSpec::MpichGm => "mpich-gm".into(),
+            ModelSpec::RdmaIdeal => "rdma-ideal".into(),
+            ModelSpec::MpichBeta(f) => format!("mpich-beta:{f}"),
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<ModelSpec, String> {
+        match s {
+            "mpich" => Ok(ModelSpec::Mpich),
+            "mpich-gm" => Ok(ModelSpec::MpichGm),
+            "rdma-ideal" => Ok(ModelSpec::RdmaIdeal),
+            _ => {
+                if let Some(rest) = s.strip_prefix("mpich-beta:") {
+                    rest.parse::<f64>()
+                        .map(ModelSpec::MpichBeta)
+                        .map_err(|e| format!("bad beta factor in `{s}`: {e}"))
+                } else {
+                    Err(format!(
+                        "unknown model `{s}` (expected mpich, mpich-gm, rdma-ideal, \
+                         or mpich-beta:<factor>)"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// The three preset stacks (no beta sweep points).
+    pub fn presets() -> Vec<ModelSpec> {
+        vec![ModelSpec::Mpich, ModelSpec::MpichGm, ModelSpec::RdmaIdeal]
+    }
+}
+
+/// One point of the evaluation grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Workload registry name (see [`workloads::registry`]).
+    pub workload: String,
+    pub size: SizeClass,
+    pub np: usize,
+    pub model: ModelSpec,
+    /// Requested tile size K; `None` lets the model-informed heuristic
+    /// pick (the chosen value is reported back in the record).
+    pub tile_size: Option<i64>,
+    pub variant: Variant,
+}
+
+impl ScenarioSpec {
+    /// Stable identity string: the diff key and the label used in reports.
+    pub fn key(&self) -> String {
+        let k = match self.tile_size {
+            Some(k) => k.to_string(),
+            None => "auto".into(),
+        };
+        format!(
+            "{}/{} np={} model={} K={} {}",
+            self.workload,
+            self.size.id(),
+            self.np,
+            self.model.id(),
+            k,
+            self.variant.id()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_ids_roundtrip() {
+        for m in [
+            ModelSpec::Mpich,
+            ModelSpec::MpichGm,
+            ModelSpec::RdmaIdeal,
+            ModelSpec::MpichBeta(0.125),
+            ModelSpec::MpichBeta(2.0),
+        ] {
+            assert_eq!(ModelSpec::parse(&m.id()).unwrap(), m);
+        }
+        assert!(ModelSpec::parse("ethernet").is_err());
+        assert!(ModelSpec::parse("mpich-beta:abc").is_err());
+    }
+
+    #[test]
+    fn model_spec_materializes_the_right_presets() {
+        assert_eq!(ModelSpec::Mpich.to_model().name, "MPICH");
+        assert_eq!(ModelSpec::MpichGm.to_model().name, "MPICH-GM");
+        let b = ModelSpec::MpichBeta(0.0).to_model();
+        assert_eq!(b.cpu_send_ns_per_byte, 0.0);
+    }
+
+    #[test]
+    fn variant_ids_roundtrip() {
+        for v in [Variant::Compare, Variant::Original, Variant::Prepush] {
+            assert_eq!(Variant::parse(v.id()), Some(v));
+        }
+        assert_eq!(Variant::parse("both"), None);
+    }
+
+    #[test]
+    fn key_is_stable_and_readable() {
+        let s = ScenarioSpec {
+            workload: "direct2d".into(),
+            size: SizeClass::Standard,
+            np: 8,
+            model: ModelSpec::MpichGm,
+            tile_size: None,
+            variant: Variant::Compare,
+        };
+        assert_eq!(s.key(), "direct2d/standard np=8 model=mpich-gm K=auto compare");
+    }
+}

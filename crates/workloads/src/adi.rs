@@ -29,6 +29,17 @@ impl AdiStencil {
         }
     }
 
+    /// Smallest scale where pre-push reliably wins on MPICH-GM (see
+    /// `SizeClass::Medium`).
+    pub fn medium(np: usize) -> Self {
+        AdiStencil {
+            np,
+            nloc: 1024,
+            steps: 2,
+            work: 2,
+        }
+    }
+
     pub fn standard(np: usize) -> Self {
         AdiStencil {
             np,

@@ -28,6 +28,17 @@ impl Direct1d {
         }
     }
 
+    /// Smallest scale with Figure-1-meaningful message sizes (see
+    /// `SizeClass::Medium`).
+    pub fn medium(np: usize) -> Self {
+        Direct1d {
+            np,
+            sz: 1024,
+            outer: 2,
+            work: 4,
+        }
+    }
+
     /// Figure-1-scale: enough bytes and compute for overlap to matter.
     pub fn standard(np: usize) -> Self {
         Direct1d {

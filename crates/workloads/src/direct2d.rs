@@ -24,6 +24,17 @@ impl Direct2d {
         }
     }
 
+    /// Smallest scale where pre-push reliably wins on MPICH-GM (see
+    /// `SizeClass::Medium`).
+    pub fn medium(np: usize) -> Self {
+        Direct2d {
+            np,
+            nloc: 1024,
+            outer: 2,
+            work: 3,
+        }
+    }
+
     pub fn standard(np: usize) -> Self {
         Direct2d {
             np,

@@ -27,6 +27,17 @@ impl FftTranspose {
         }
     }
 
+    /// Smallest scale where pre-push reliably wins on MPICH-GM (see
+    /// `SizeClass::Medium`).
+    pub fn medium(np: usize) -> Self {
+        FftTranspose {
+            np,
+            nloc: 1024,
+            stages: 2,
+            passes: 2,
+        }
+    }
+
     pub fn standard(np: usize) -> Self {
         FftTranspose {
             np,

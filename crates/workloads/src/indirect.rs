@@ -20,6 +20,16 @@ impl Indirect2d {
         Indirect2d { np, m: 20, work: 6 }
     }
 
+    /// Smallest scale where pre-push reliably wins on MPICH-GM (see
+    /// `SizeClass::Medium`).
+    pub fn medium(np: usize) -> Self {
+        Indirect2d {
+            np,
+            m: 1024,
+            work: 3,
+        }
+    }
+
     pub fn standard(np: usize) -> Self {
         Indirect2d {
             np,

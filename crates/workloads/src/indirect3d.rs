@@ -20,6 +20,12 @@ impl Indirect3d {
         Indirect3d { np, d: 5, work: 4 }
     }
 
+    /// Smallest scale where pre-push reliably wins on MPICH-GM (see
+    /// `SizeClass::Medium`).
+    pub fn medium(np: usize) -> Self {
+        Indirect3d { np, d: 24, work: 3 }
+    }
+
     pub fn standard(np: usize) -> Self {
         Indirect3d { np, d: 64, work: 3 }
     }

@@ -1,0 +1,192 @@
+//! The §3.5 node-loop-outermost pair: the node dimension is swept by the
+//! *outer* loop, so the efficient Figure-4 exchange is only reachable if
+//! the loop nest can be legally interchanged. [`InterchangeLegal`] permits
+//! the interchange; [`InterchangeBlocked`] carries a loop-carried stencil
+//! dependence through a helper array `c`, forcing the congested
+//! per-column fallback — slower, but still correct.
+
+use crate::Workload;
+
+/// Size parameters shared by both variants. The send array is
+/// `as(sz, np)`; each of the `outer` iterations exchanges one `sz`-element
+/// column per partner.
+#[derive(Debug, Clone)]
+pub struct Interchange {
+    pub np: usize,
+    pub sz: usize,
+    pub outer: usize,
+    /// When set, a `c(sz+4, 2*np)` stencil recurrence rides inside the
+    /// compute nest and blocks the interchange.
+    pub blocked: bool,
+}
+
+impl Interchange {
+    fn small(np: usize, blocked: bool) -> Self {
+        Interchange {
+            np,
+            sz: 64,
+            outer: 2,
+            blocked,
+        }
+    }
+
+    fn medium(np: usize, blocked: bool) -> Self {
+        Interchange {
+            np,
+            sz: 1024,
+            outer: 2,
+            blocked,
+        }
+    }
+
+    fn standard(np: usize, blocked: bool) -> Self {
+        Interchange {
+            np,
+            sz: 4096,
+            outer: 4,
+            blocked,
+        }
+    }
+}
+
+impl Workload for Interchange {
+    fn name(&self) -> &'static str {
+        if self.blocked {
+            "interchange-blocked (§3.5 fallback)"
+        } else {
+            "interchange-legal (§3.5 node loop outermost)"
+        }
+    }
+
+    fn source(&self) -> String {
+        let Interchange {
+            np, sz, blocked, ..
+        } = *self;
+        let outer = self.outer;
+        let (decl, stencil) = if blocked {
+            (
+                format!(", c({}, {})", sz + 4, 2 * np),
+                "        c(ix, iz + 1) = c(ix + 1, iz) + 1\n",
+            )
+        } else {
+            (String::new(), "")
+        };
+        format!(
+            "\
+program main
+  real :: as({sz}, {np}), ar({sz}, {np}){decl}
+  do it = 1, {outer}
+    do iz = 1, {np}
+      do ix = 1, {sz}
+{stencil}        as(ix, iz) = ix * iz + it
+      end do
+    end do
+    call mpi_alltoall(as, {sz}, ar)
+  end do
+end program
+"
+        )
+    }
+
+    fn context_pairs(&self) -> Vec<(String, i64)> {
+        vec![("np".into(), self.np as i64)]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        let mut out = vec!["ar".into(), "as".into()];
+        if self.blocked {
+            out.push("c".into());
+        }
+        out
+    }
+}
+
+/// Node loop outermost, interchange provably legal (Fig. 4 recovered).
+#[derive(Debug, Clone)]
+pub struct InterchangeLegal(pub Interchange);
+
+impl InterchangeLegal {
+    pub fn small(np: usize) -> Self {
+        InterchangeLegal(Interchange::small(np, false))
+    }
+
+    pub fn medium(np: usize) -> Self {
+        InterchangeLegal(Interchange::medium(np, false))
+    }
+
+    pub fn standard(np: usize) -> Self {
+        InterchangeLegal(Interchange::standard(np, false))
+    }
+}
+
+impl Workload for InterchangeLegal {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn source(&self) -> String {
+        self.0.source()
+    }
+    fn context_pairs(&self) -> Vec<(String, i64)> {
+        self.0.context_pairs()
+    }
+    fn output_arrays(&self) -> Vec<String> {
+        self.0.output_arrays()
+    }
+}
+
+/// Node loop outermost with a stencil recurrence blocking the interchange.
+#[derive(Debug, Clone)]
+pub struct InterchangeBlocked(pub Interchange);
+
+impl InterchangeBlocked {
+    pub fn small(np: usize) -> Self {
+        InterchangeBlocked(Interchange::small(np, true))
+    }
+
+    pub fn medium(np: usize) -> Self {
+        InterchangeBlocked(Interchange::medium(np, true))
+    }
+
+    pub fn standard(np: usize) -> Self {
+        InterchangeBlocked(Interchange::standard(np, true))
+    }
+}
+
+impl Workload for InterchangeBlocked {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn source(&self) -> String {
+        self.0.source()
+    }
+    fn context_pairs(&self) -> Vec<(String, i64)> {
+        self.0.context_pairs()
+    }
+    fn output_arrays(&self) -> Vec<String> {
+        self.0.output_arrays()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_variant_has_no_stencil() {
+        let w = InterchangeLegal::small(4);
+        let src = w.source();
+        assert!(src.contains("call mpi_alltoall(as, 64, ar)"));
+        assert!(!src.contains("c(ix"));
+        let _ = w.program();
+    }
+
+    #[test]
+    fn blocked_variant_carries_the_recurrence() {
+        let w = InterchangeBlocked::small(4);
+        let src = w.source();
+        assert!(src.contains("c(68, 8)"));
+        assert!(src.contains("c(ix, iz + 1) = c(ix + 1, iz) + 1"));
+        assert!(w.output_arrays().contains(&"c".to_string()));
+        let _ = w.program();
+    }
+}

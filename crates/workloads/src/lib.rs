@@ -15,7 +15,12 @@
 //! | [`indirect3d`]| Fig. 3(a) verbatim (mod/div map)   | indirect   | oracle-assisted    |
 //! | [`fft`]       | multi-dimensional FFT transpose    | direct 2-D | Fig. 4 all-peers   |
 //! | [`adi`]       | finite differences (ADI transpose) | direct 2-D | Fig. 4 all-peers   |
+//! | [`interchange`]| §3.5 node-loop-outermost pair     | direct 2-D | interchange/fallback|
 //! | [`negative`]  | programs the tool must decline     | —          | rejection paths    |
+//!
+//! [`registry`] enumerates every transformable workload by stable string
+//! name (with [`SizeClass`]-selectable scale), so sweep grids and JSON
+//! artifacts can name workloads as data.
 
 use fir::Program;
 
@@ -62,7 +67,137 @@ pub mod direct2d;
 pub mod fft;
 pub mod indirect;
 pub mod indirect3d;
+pub mod interchange;
 pub mod negative;
+
+/// Which of a workload's canonical sizes to generate.
+///
+/// `Small` keeps debug-mode simulation in the milliseconds (test grids);
+/// `Medium` is the smallest scale where pre-push reliably wins on the
+/// RDMA-capable stack (differential tests); `Standard` is Figure-1
+/// scale, where overlap matters on both stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    Small,
+    Medium,
+    Standard,
+}
+
+impl SizeClass {
+    /// Stable lowercase identifier (used by sweep specs and JSON).
+    pub fn id(self) -> &'static str {
+        match self {
+            SizeClass::Small => "small",
+            SizeClass::Medium => "medium",
+            SizeClass::Standard => "standard",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<SizeClass> {
+        match s {
+            "small" => Some(SizeClass::Small),
+            "medium" => Some(SizeClass::Medium),
+            "standard" => Some(SizeClass::Standard),
+            _ => None,
+        }
+    }
+}
+
+/// One registry row: a workload family constructible by name, so sweep
+/// grids, JSON artifacts, and command lines can reference workloads as
+/// strings instead of concrete types.
+#[derive(Clone)]
+pub struct RegistryEntry {
+    /// Stable short name (grid/JSON key) — distinct from the descriptive
+    /// [`Workload::name`] the harness prints.
+    pub name: &'static str,
+    pub description: &'static str,
+    /// The smallest rank count at which pre-pushing is guaranteed not to
+    /// be slower than the original at `Medium`+ size on the RDMA-capable
+    /// stack (`None` = no such guarantee). `direct` trades one large
+    /// message for many small ones, which loses on per-message overhead;
+    /// `interchange-blocked` pays the §3.5 congestion fallback;
+    /// `interchange-legal` needs np >= 4 for the all-peers pipeline to
+    /// have more than one partner. All stay *correct* — only the
+    /// no-slowdown assertion in the differential tests is scoped by this.
+    pub min_overlap_np: Option<usize>,
+    pub make: fn(SizeClass, usize) -> Box<dyn Workload>,
+}
+
+macro_rules! registry_entry {
+    ($name:literal, $desc:literal, $min_np:expr, $ty:ty) => {
+        RegistryEntry {
+            name: $name,
+            description: $desc,
+            min_overlap_np: $min_np,
+            make: |size, np| match size {
+                SizeClass::Small => Box::new(<$ty>::small(np)),
+                SizeClass::Medium => Box::new(<$ty>::medium(np)),
+                SizeClass::Standard => Box::new(<$ty>::standard(np)),
+            },
+        }
+    };
+}
+
+/// Every transformable workload, by stable name. Order is the canonical
+/// grid order (deterministic sweeps depend on it).
+pub fn registry() -> Vec<RegistryEntry> {
+    vec![
+        registry_entry!(
+            "direct",
+            "Fig. 2(a) 1-D kernel; tiled owner-sends strategy",
+            None,
+            direct::Direct1d
+        ),
+        registry_entry!(
+            "direct2d",
+            "Fig. 2(a) with the node loop inner; Fig. 4 all-peers exchange",
+            Some(2),
+            direct2d::Direct2d
+        ),
+        registry_entry!(
+            "indirect",
+            "Fig. 3(a) compute-copy pattern, provable order preservation",
+            Some(2),
+            indirect::Indirect2d
+        ),
+        registry_entry!(
+            "indirect3d",
+            "Fig. 3(a) verbatim mod/div map; oracle-assisted",
+            Some(2),
+            indirect3d::Indirect3d
+        ),
+        registry_entry!(
+            "fft",
+            "multi-dimensional FFT transpose",
+            Some(2),
+            fft::FftTranspose
+        ),
+        registry_entry!(
+            "adi",
+            "finite differences (ADI transpose)",
+            Some(2),
+            adi::AdiStencil
+        ),
+        registry_entry!(
+            "interchange-legal",
+            "node loop outermost, interchange provably legal (§3.5)",
+            Some(4),
+            interchange::InterchangeLegal
+        ),
+        registry_entry!(
+            "interchange-blocked",
+            "node loop outermost, stencil blocks the interchange (§3.5)",
+            None,
+            interchange::InterchangeBlocked
+        ),
+    ]
+}
+
+/// Look up a registry entry by its stable name.
+pub fn find(name: &str) -> Option<RegistryEntry> {
+    registry().into_iter().find(|e| e.name == name)
+}
 
 #[cfg(test)]
 mod tests {
@@ -84,5 +219,30 @@ mod tests {
             assert!(!w.output_arrays().is_empty());
             assert!(w.context_pairs().iter().any(|(k, _)| k == "np"));
         }
+    }
+
+    #[test]
+    fn registry_covers_both_sizes_and_finds_by_name() {
+        let reg = registry();
+        assert!(reg.len() >= 8);
+        let mut seen = std::collections::HashSet::new();
+        for e in &reg {
+            assert!(seen.insert(e.name), "duplicate registry name {}", e.name);
+            for size in [SizeClass::Small, SizeClass::Medium, SizeClass::Standard] {
+                let w = (e.make)(size, 4);
+                let _ = w.program();
+                assert!(!w.output_arrays().is_empty());
+            }
+        }
+        assert!(find("direct2d").is_some());
+        assert!(find("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn size_class_ids_roundtrip() {
+        for s in [SizeClass::Small, SizeClass::Medium, SizeClass::Standard] {
+            assert_eq!(SizeClass::parse(s.id()), Some(s));
+        }
+        assert_eq!(SizeClass::parse("huge"), None);
     }
 }

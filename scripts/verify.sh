@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Local verification gate: everything compiles (benches, examples, both
-# binaries), the full test suite passes, and clippy is clean at
+# binaries), the full test suite passes, the harness binary actually
+# *executes* (quick sweep grid, seconds), and clippy is clean at
 # warnings-as-errors. Run from anywhere; operates on the repo root.
 set -eu
 
@@ -11,6 +12,16 @@ cargo build --release --workspace --all-targets
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> harness quick (smoke-runs the binary; emits BENCH_sweep.json)"
+# (Re)writes the quick-grid perf-trajectory artifact in the repo root;
+# the bytes are deterministic, so a dirty BENCH_sweep.json after this
+# step means the perf profile changed. To see how (from bash):
+#   cargo run --release -p overlap-bench --bin harness -- diff \
+#     <(git show HEAD:BENCH_sweep.json) BENCH_sweep.json
+# (A full `harness sweep` also writes BENCH_sweep.json by default — pass
+# --out, or let this step regenerate the quick baseline afterwards.)
+cargo run --release -q -p overlap-bench --bin harness -- quick
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -18,7 +18,11 @@
 //! - [`compuniformer`] — the paper's contribution: the automated pre-push
 //!   transformation.
 //! - [`workloads`] — parameterized mini-Fortran programs used by the paper's
-//!   evaluation and our extensions.
+//!   evaluation and our extensions, enumerable by name via
+//!   [`workloads::registry`].
+//! - [`sweep`] — the declarative scenario-sweep engine: cartesian grids
+//!   over (workload, np, model, K, variant), a work-stealing parallel
+//!   executor, and the `BENCH_sweep.json` artifact reader/writer.
 //!
 //! ## Quickstart
 //!
@@ -48,11 +52,12 @@
 pub use clustersim;
 pub use compuniformer;
 pub use depan;
+pub use driver as sweep;
 pub use fir;
 pub use interp;
 pub use workloads;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use crate::{clustersim, compuniformer, depan, fir, interp, workloads};
+    pub use crate::{clustersim, compuniformer, depan, fir, interp, sweep, workloads};
 }

@@ -1,0 +1,130 @@
+//! Differential test over the whole pipeline, driven through the sweep
+//! engine (`overlap_suite::sweep`), for **every** workload in the
+//! registry at two rank counts:
+//!
+//! 1. **Equality (§4, exhaustive):** the transformed program's outputs
+//!    are element-wise identical to the original under
+//!    `interp::run_program`, for every preset `NetworkModel` — checked
+//!    both explicitly here and by the engine's internal equivalence gate.
+//! 2. **No-slowdown:** `prepush <= orig` virtual time at `Medium` size on
+//!    the RDMA-capable stack wherever the registry guarantees overlap
+//!    (`min_overlap_np`). The guarantee is *scoped* deliberately: at toy
+//!    sizes, or with a single partner (np = 2 all-peers), or on the
+//!    high-β MPICH stack at sub-Figure-1 sizes, per-message overhead can
+//!    beat the overlap win — e.g. `direct` (owner-sends) measures 0.37x
+//!    at standard/np=8/MPICH, and `interchange-blocked` pays the §3.5
+//!    congestion fallback. Those stay *correct* (case 1 covers them);
+//!    the full standard-size grid on both stacks is `harness sweep`.
+
+use interp::run_program;
+use overlap_suite::sweep::{
+    run_sweep, transform_workload, ModelSpec, ScenarioSpec, SizeClass, SweepGrid,
+};
+
+const TEST_NPS: [usize; 2] = [2, 4];
+
+fn preset_models() -> Vec<ModelSpec> {
+    ModelSpec::presets()
+}
+
+/// Case 1a, explicit: transform every registry workload and compare
+/// outputs element-for-element per rank under every preset model.
+#[test]
+fn every_registry_workload_is_output_identical_under_every_model() {
+    for entry in workloads::registry() {
+        for np in TEST_NPS {
+            let w = (entry.make)(SizeClass::Small, np);
+            let program = w.program();
+            for model_spec in preset_models() {
+                let model = model_spec.to_model();
+                // The K heuristic is model-informed, so transform per model.
+                let out = transform_workload(w.as_ref(), &model, None);
+                let base = run_program(&program, np, &model).unwrap_or_else(|e| {
+                    panic!("{} np={np} {}: original failed: {e}", entry.name, model.name)
+                });
+                let pre = run_program(&out.program, np, &model).unwrap_or_else(|e| {
+                    panic!("{} np={np} {}: transformed failed: {e}", entry.name, model.name)
+                });
+                let excluded = out.report.incomparable_arrays();
+                for rank in 0..np {
+                    for array in w.output_arrays() {
+                        if excluded.contains(&array.as_str()) {
+                            continue;
+                        }
+                        assert_eq!(
+                            base.outputs[rank].arrays.get(&array),
+                            pre.outputs[rank].arrays.get(&array),
+                            "{} np={np} {}: rank {rank} array `{array}` differs",
+                            entry.name,
+                            model.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Case 1b, via the engine: the same exhaustive grid as a sweep — every
+/// record must come back ok (the engine asserts equivalence per scenario
+/// and would turn a mismatch into an error row).
+#[test]
+fn exhaustive_small_grid_sweeps_clean() {
+    let grid = SweepGrid::new()
+        .workloads(workloads::registry().iter().map(|e| e.name))
+        .size(SizeClass::Small)
+        .nps(TEST_NPS)
+        .models(preset_models());
+    let result = run_sweep(&grid, 0);
+    assert_eq!(
+        result.records.len(),
+        workloads::registry().len() * TEST_NPS.len() * preset_models().len()
+    );
+    for r in &result.records {
+        assert!(
+            r.is_ok(),
+            "{} failed: {}",
+            r.spec.key(),
+            r.error().unwrap_or("")
+        );
+        assert!(r.orig_ns.is_some() && r.prepush_ns.is_some());
+    }
+    assert_eq!(result.summary.errors, 0);
+}
+
+/// Scenario filter (a plain `fn`, as the grid requires): keep points
+/// where the registry guarantees overlap at this rank count.
+fn overlap_guaranteed(s: &ScenarioSpec) -> bool {
+    workloads::find(&s.workload)
+        .and_then(|e| e.min_overlap_np)
+        .is_some_and(|min_np| s.np >= min_np)
+}
+
+/// Case 2: wherever overlap is guaranteed, pre-push must not be slower —
+/// virtual time is exact, so this is a strict `<=`, no tolerance.
+#[test]
+fn prepush_never_slower_where_overlap_is_guaranteed() {
+    let grid = SweepGrid::new()
+        .workloads(workloads::registry().iter().map(|e| e.name))
+        .size(SizeClass::Medium)
+        .nps(TEST_NPS)
+        .models([ModelSpec::MpichGm])
+        .filter(overlap_guaranteed);
+    let expected: usize = workloads::registry()
+        .iter()
+        .filter_map(|e| e.min_overlap_np)
+        .map(|min_np| TEST_NPS.iter().filter(|&&np| np >= min_np).count())
+        .sum();
+    let result = run_sweep(&grid, 0);
+    assert_eq!(result.records.len(), expected, "filter scoped the grid");
+    assert!(expected >= 10, "the guarantee must cover most of the registry");
+    for r in &result.records {
+        assert!(r.is_ok(), "{}: {}", r.spec.key(), r.error().unwrap_or(""));
+        let (orig, prepush) = (r.orig_ns.unwrap(), r.prepush_ns.unwrap());
+        assert!(
+            prepush <= orig,
+            "{}: prepush {prepush} ns SLOWER than orig {orig} ns",
+            r.spec.key()
+        );
+    }
+}

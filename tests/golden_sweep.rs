@@ -1,0 +1,70 @@
+//! Golden test for the `BENCH_sweep.json` schema: run the committed
+//! quick grid and compare the normalized artifact byte-for-byte against
+//! `tests/golden/BENCH_sweep_quick.json`. A mismatch means either the
+//! schema drifted (bump `overlap-sweep/v1` and regenerate deliberately)
+//! or the simulator/transformation stopped being deterministic — both
+//! deserve a loud, readable failure.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! cargo run --release -p overlap-bench --bin harness -- quick
+//! cp BENCH_sweep.json tests/golden/BENCH_sweep_quick.json
+//! ```
+
+use overlap_suite::sweep::{json, run_sweep, SweepGrid};
+
+const GOLDEN: &str = include_str!("golden/BENCH_sweep_quick.json");
+
+/// Render the first divergence with context, so the failure reads like a
+/// diff instead of two multi-KB blobs.
+fn first_divergence(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let n = exp.len().max(act.len());
+    for i in 0..n {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            let lo = i.saturating_sub(2);
+            let mut out = format!("first divergence at line {}:\n", i + 1);
+            for j in lo..i {
+                out.push_str(&format!("   {}\n", exp.get(j).copied().unwrap_or("")));
+            }
+            out.push_str(&format!("-  {}\n", e.unwrap_or("<end of golden file>")));
+            out.push_str(&format!("+  {}\n", a.unwrap_or("<end of actual output>")));
+            return out;
+        }
+    }
+    "contents equal".into()
+}
+
+#[test]
+fn quick_grid_artifact_matches_the_committed_golden_file() {
+    let result = run_sweep(&SweepGrid::quick(), 2);
+    assert_eq!(result.summary.errors, 0, "quick grid must sweep clean");
+    let actual = json::to_json_string(&result.normalized());
+    if actual != GOLDEN {
+        panic!(
+            "BENCH_sweep.json drifted from tests/golden/BENCH_sweep_quick.json\n\n{}\n\
+             if the change is intentional, regenerate with:\n  \
+             cargo run --release -p overlap-bench --bin harness -- quick\n  \
+             cp BENCH_sweep.json tests/golden/BENCH_sweep_quick.json",
+            first_divergence(GOLDEN, &actual)
+        );
+    }
+}
+
+/// The committed golden file itself must parse under the current reader
+/// and carry the current schema tag — guarding reader/writer skew.
+#[test]
+fn golden_file_parses_and_reserializes_identically() {
+    let parsed = json::from_json_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("golden file no longer parses: {e}"));
+    assert!(GOLDEN.contains(&format!("\"schema\": \"{}\"", json::SCHEMA)));
+    assert_eq!(
+        json::to_json_string(&parsed),
+        GOLDEN,
+        "golden file is not in canonical writer form"
+    );
+}

@@ -1,0 +1,200 @@
+//! Property tests over the sweep engine's *mechanics* (no heavy
+//! simulation): grid expansion is exactly the cartesian product, the
+//! JSON artifact round-trips byte-identically, and parallel execution
+//! yields identical ordered results at 1, 2, and 8 threads.
+
+use overlap_suite::sweep::{
+    run_specs, summarize, ModelSpec, RunStatus, ScenarioSpec, SizeClass, SweepGrid,
+    SweepRecord, SweepResult, Variant,
+};
+use overlap_suite::sweep::json::{from_json_string, to_json_string};
+use proptest::prelude::*;
+
+fn variant_strategy() -> impl Strategy<Value = Variant> {
+    prop::sample::select(vec![Variant::Compare, Variant::Original, Variant::Prepush])
+}
+
+fn model_strategy() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        Just(ModelSpec::Mpich),
+        Just(ModelSpec::MpichGm),
+        Just(ModelSpec::RdmaIdeal),
+        // Dyadic factors so the id string is short; any finite f64 would
+        // round-trip (shortest-repr Display), this just keeps keys tidy.
+        (0u32..64).prop_map(|n| ModelSpec::MpichBeta(n as f64 / 8.0)),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        prop::sample::select(vec!["direct2d", "indirect", "fft", "ghost"]),
+        prop::sample::select(vec![SizeClass::Small, SizeClass::Medium, SizeClass::Standard]),
+        1usize..64,
+        model_strategy(),
+        prop::option::of(1i64..4096),
+        variant_strategy(),
+    )
+        .prop_map(|(workload, size, np, model, tile_size, variant)| ScenarioSpec {
+            workload: workload.into(),
+            size,
+            np,
+            model,
+            tile_size,
+            variant,
+        })
+}
+
+/// Records with adversarial corners: error rows, absent measurements,
+/// strings that need escaping.
+fn record_strategy() -> impl Strategy<Value = SweepRecord> {
+    let error_text = prop::collection::vec(
+        prop::sample::select(vec!['a', 'Z', '0', ' ', '"', '\\', '\n', '\t', 'é']),
+        0..10,
+    )
+    .prop_map(|cs| cs.into_iter().collect::<String>());
+    let strategy_text = prop::sample::select(vec![
+        "tiled owner sends",
+        "tiled all-peers exchange (Fig. 4)",
+        "indirect prepush (copy removed)",
+    ])
+    .prop_map(String::from);
+    (
+        spec_strategy(),
+        prop::option::of(error_text),
+        (
+            prop::option::of(0u64..10_000_000_000),
+            prop::option::of(0u64..10_000_000_000),
+            prop::option::of(0u64..10_000_000_000),
+            prop::option::of(0u64..10_000_000_000),
+            // Dyadic-free but exactly representable decimals: n/1000 is
+            // not always exact in binary, but Display->parse->Display is
+            // still stable (shortest round-trip), which is what the
+            // artifact needs.
+            prop::option::of((1u32..4_000_000).prop_map(|n| n as f64 / 1000.0)),
+            (0u32..100_000).prop_map(|n| n as f64 / 8.0),
+        ),
+        prop::option::of(1i64..4096),
+        prop::option::of(strategy_text),
+    )
+        .prop_map(
+            |(spec, error, (orig, prepush, oexp, pexp, speedup, wall_ms), tile, strategy)| {
+                SweepRecord {
+                    spec,
+                    status: match error {
+                        None => RunStatus::Ok,
+                        Some(e) => RunStatus::Error(e),
+                    },
+                    tile_size: tile,
+                    strategy,
+                    orig_ns: orig,
+                    prepush_ns: prepush,
+                    orig_exposed_ns: oexp,
+                    prepush_exposed_ns: pexp,
+                    speedup,
+                    wall_ms,
+                }
+            },
+        )
+}
+
+fn result_strategy() -> impl Strategy<Value = SweepResult> {
+    (
+        prop::collection::vec(record_strategy(), 0..6),
+        (0u32..1_000_000).prop_map(|n| n as f64 / 8.0),
+    )
+        .prop_map(|(records, wall_ms)| {
+            let summary = summarize(&records, wall_ms);
+            SweepResult { records, summary }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Expansion count equals the product of the axis lengths, and the
+    /// expansion itself is a pure function of the grid.
+    #[test]
+    fn grid_expansion_count_is_the_axis_product(
+        wl in prop::collection::vec(
+            prop::sample::select(vec!["a", "b", "c", "direct2d"]), 1..4),
+        nps in prop::collection::vec(1usize..9, 1..4),
+        models in prop::collection::vec(model_strategy(), 1..3),
+        tiles in prop::collection::vec(prop::option::of(1i64..64), 1..3),
+        variants in prop::collection::vec(variant_strategy(), 1..3),
+    ) {
+        let grid = SweepGrid::new()
+            .workloads(wl.clone())
+            .nps(nps.clone())
+            .models(models.clone())
+            .tile_sizes(tiles.clone())
+            .variants(variants.clone());
+        let specs = grid.expand();
+        prop_assert_eq!(
+            specs.len(),
+            wl.len() * nps.len() * models.len() * tiles.len() * variants.len()
+        );
+        prop_assert_eq!(specs.len(), grid.unfiltered_len());
+        prop_assert_eq!(specs, grid.expand());
+    }
+
+    /// write -> read -> write is byte-identical, and the parsed value is
+    /// structurally equal — over randomized results including error rows,
+    /// missing fields, and strings that need escaping.
+    #[test]
+    fn json_artifact_roundtrips_byte_identically(result in result_strategy()) {
+        let text = to_json_string(&result);
+        let back = from_json_string(&text)
+            .unwrap_or_else(|e| panic!("artifact failed to parse back: {e}\n{text}"));
+        prop_assert_eq!(&back, &result);
+        prop_assert_eq!(to_json_string(&back), text);
+    }
+}
+
+/// Thread-count invariance: the *same ordered records* come back at 1,
+/// 2, and 8 workers — including error rows from an unknown workload —
+/// and the normalized artifact bytes are identical.
+#[test]
+fn parallel_execution_is_deterministic_across_thread_counts() {
+    let grid = SweepGrid::new()
+        .workloads(["direct2d", "ghost-workload", "indirect"])
+        .size(SizeClass::Small)
+        .nps([2])
+        .models([ModelSpec::MpichGm, ModelSpec::Mpich]);
+    let specs = grid.expand();
+    assert_eq!(specs.len(), 6);
+
+    let strip_wall = |mut records: Vec<SweepRecord>| -> Vec<SweepRecord> {
+        for r in &mut records {
+            r.wall_ms = 0.0;
+        }
+        records
+    };
+    let runs: Vec<Vec<SweepRecord>> = [1usize, 2, 8, 2]
+        .iter()
+        .map(|&threads| strip_wall(run_specs(&specs, threads)))
+        .collect();
+    for (i, other) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            &runs[0], other,
+            "run {i} differed from the single-threaded ordering"
+        );
+    }
+    // Error rows are present and identical wherever the sweep ran.
+    assert_eq!(
+        runs[0].iter().filter(|r| !r.is_ok()).count(),
+        2,
+        "the unknown workload contributes one error row per model"
+    );
+    // Artifact bytes agree too.
+    let artifacts: Vec<String> = runs
+        .iter()
+        .map(|records| {
+            let summary = summarize(records, 0.0);
+            to_json_string(&SweepResult {
+                records: records.clone(),
+                summary,
+            })
+        })
+        .collect();
+    assert!(artifacts.windows(2).all(|w| w[0] == w[1]));
+}
