@@ -18,9 +18,17 @@
 //!   all           everything above, in order
 //!
 //! sweep subcommands:
-//!   sweep [--threads N] [--out PATH]   full evaluation grid, in parallel;
-//!                                      writes the BENCH_sweep.json artifact
-//!   quick [--threads N] [--out PATH]   tiny smoke grid (seconds); same
+//!   sweep [--threads N] [--out PATH] [--wall-out PATH] [--baseline OLD.json] [--tol F]
+//!                                      full evaluation grid (np up to 64), in
+//!                                      parallel; writes the BENCH_sweep.json
+//!                                      artifact. --wall-out also writes the
+//!                                      non-normalized artifact with the
+//!                                      `timing` section; --baseline diffs the
+//!                                      fresh run against OLD.json and exits 1
+//!                                      on virtual-time regressions (one-shot
+//!                                      regression gate)
+//!   quick [--threads N] [--out PATH] [--wall-out PATH] [--baseline OLD.json] [--tol F]
+//!                                      tiny smoke grid (seconds); same
 //!                                      artifact schema — the verify gate
 //!                                      and the golden test run this
 //!   diff <a.json> <b.json> [--tol F]   compare two artifacts; exit 1 on
@@ -138,6 +146,8 @@ fn sim(ns: Option<u64>) -> SimTime {
 struct SweepFlags {
     threads: usize,
     out: String,
+    wall_out: Option<String>,
+    baseline: Option<String>,
     tolerance: f64,
 }
 
@@ -147,6 +157,8 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
     let mut flags = SweepFlags {
         threads: 0,
         out: "BENCH_sweep.json".into(),
+        wall_out: None,
+        baseline: None,
         tolerance: 0.0,
     };
     let mut it = args.iter();
@@ -172,6 +184,8 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
                 })
             }
             "--out" => flags.out = grab("--out").clone(),
+            "--wall-out" => flags.wall_out = Some(grab("--wall-out").clone()),
+            "--baseline" => flags.baseline = Some(grab("--baseline").clone()),
             "--tol" => {
                 flags.tolerance = grab("--tol").parse().unwrap_or_else(|e| {
                     eprintln!("bad --tol: {e}");
@@ -185,8 +199,13 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
 }
 
 /// Run a grid, print the record table + aggregates, write the artifact.
+/// With `--baseline`, also diff against the given artifact and exit 1 on
+/// regressions (the one-shot regression gate).
 fn sweep_cmd(grid: SweepGrid, args: &[String], full_grid: bool) {
-    let flags = parse_flags(args, &["--threads", "--out"]);
+    let flags = parse_flags(
+        args,
+        &["--threads", "--out", "--wall-out", "--baseline", "--tol"],
+    );
     let result = run_sweep(&grid, flags.threads);
     hr(&format!(
         "sweep — {} scenarios ({} ok, {} errors) in {:.0} ms wall",
@@ -243,14 +262,31 @@ fn sweep_cmd(grid: SweepGrid, args: &[String], full_grid: bool) {
     if let Some((key, s)) = &result.summary.worst {
         println!("worst: {s:.2}x  {key}");
     }
-    // Committed artifacts are normalized (host wall-clock zeroed) so the
-    // bytes are identical across runs, machines, and thread counts.
+    // Committed artifacts are normalized (host wall-clock zeroed, timing
+    // dropped) so the bytes are identical across runs, machines, and
+    // thread counts.
     let text = json::to_json_string(&result.normalized());
     if let Err(e) = std::fs::write(&flags.out, &text) {
         eprintln!("cannot write {}: {e}", flags.out);
         std::process::exit(1);
     }
     println!("\nwrote {} ({} records)", flags.out, result.records.len());
+    if let Some(wall_out) = &flags.wall_out {
+        // The non-normalized artifact keeps per-scenario wall_ms and the
+        // `timing` section — the tracked perf-trajectory data.
+        let text = json::to_json_string(&result);
+        if let Err(e) = std::fs::write(wall_out, &text) {
+            eprintln!("cannot write {wall_out}: {e}");
+            std::process::exit(1);
+        }
+        if let Some(t) = &result.timing {
+            println!(
+                "wrote {wall_out} (timing: {:.0} ms total, pool capacity {}, \
+                 worker high-water {})",
+                t.wall_ms_total, t.pool_capacity, t.workers_high_water
+            );
+        }
+    }
     if full_grid && flags.out == "BENCH_sweep.json" {
         // The committed BENCH_sweep.json is the quick-grid baseline that
         // scripts/verify.sh regenerates; don't commit the full grid there.
@@ -262,6 +298,27 @@ fn sweep_cmd(grid: SweepGrid, args: &[String], full_grid: bool) {
     }
     if result.summary.errors > 0 {
         std::process::exit(1);
+    }
+    if let Some(baseline_path) = &flags.baseline {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = json::from_json_string(&text).unwrap_or_else(|e| {
+            eprintln!("{baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        hr(&format!(
+            "regression gate — {} (baseline) vs this run, tolerance {}",
+            baseline_path, flags.tolerance
+        ));
+        let report = driver::diff(&baseline, &result, flags.tolerance);
+        print!("{}", report.render());
+        if report.has_regressions() {
+            eprintln!("regression gate FAILED");
+            std::process::exit(1);
+        }
+        println!("regression gate passed");
     }
 }
 
@@ -445,7 +502,16 @@ fn correctness() {
         "{:<46} {:>3} {:>10} {:>12} {:>12} {:>8}",
         "workload", "np", "model", "orig", "prepush", "gain"
     );
-    let result = run_sweep(&SweepGrid::full(), 0);
+    // The paper's np {4, 8} table — the full grid's np {16, 32, 64} rows
+    // belong to `harness sweep`, not to this figure.
+    let result = run_sweep(
+        &SweepGrid::new()
+            .workloads(workloads::registry().iter().map(|e| e.name))
+            .size(SizeClass::Standard)
+            .nps([4, 8])
+            .models([ModelSpec::Mpich, ModelSpec::MpichGm]),
+        0,
+    );
     require_clean(&result, "correctness");
     for np in [4usize, 8] {
         for entry in workloads::registry() {

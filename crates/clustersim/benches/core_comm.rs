@@ -1,0 +1,71 @@
+//! Criterion micro-bench for the sharded simulator core: isend/recv
+//! ping-pong and alltoall rendezvous at np {8, 32}. This is the verify
+//! gate's perf smoke — it exercises exactly the paths the sharded state
+//! and the rank pool rebuilt (per-pair mailboxes, per-rank condvars,
+//! pooled rank threads) so a contention regression shows up as wall-clock
+//! here before it shows up as a slow sweep.
+
+use clustersim::{Bytes, Cluster, NetworkModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Neighbouring ranks exchange `rounds` paired isend/irecv ping-pongs.
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core/pingpong");
+    g.sample_size(10);
+    for np in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("rounds=64", np), &np, |b, &np| {
+            b.iter(|| {
+                let cluster = Cluster::new(np, NetworkModel::mpich_gm());
+                let out = cluster
+                    .run(|comm| {
+                        let me = comm.rank();
+                        let np = comm.np();
+                        let peer = me ^ 1;
+                        for round in 0..64 {
+                            if peer < np {
+                                comm.isend(peer, round, Bytes::from(vec![me as u8; 256]));
+                                let id = comm.irecv(peer, round);
+                                comm.wait_recv(id);
+                                comm.wait_all();
+                            }
+                        }
+                        comm.now()
+                    })
+                    .unwrap();
+                black_box(out.report.makespan())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Full alltoall rendezvous: every rank contributes and collects per-peer
+/// payloads — the collective slot + per-rank NIC bump path.
+fn bench_alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core/alltoall");
+    g.sample_size(10);
+    for np in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("rounds=16", np), &np, |b, &np| {
+            b.iter(|| {
+                let cluster = Cluster::new(np, NetworkModel::mpich_gm());
+                let out = cluster
+                    .run(|comm| {
+                        for _ in 0..16 {
+                            let payloads: Vec<Bytes> = (0..comm.np())
+                                .map(|_| Bytes::from(vec![1u8; 256]))
+                                .collect();
+                            comm.alltoall(payloads);
+                        }
+                        comm.now()
+                    })
+                    .unwrap();
+                black_box(out.report.makespan())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(core_comm, bench_pingpong, bench_alltoall);
+criterion_main!(core_comm);

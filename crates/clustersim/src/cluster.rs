@@ -1,12 +1,15 @@
-//! The cluster runner: spawns one OS thread per simulated rank and collects
-//! results, statistics, and traces.
+//! The cluster runner: executes one task per simulated rank on the
+//! persistent [`crate::pool`] (rank 0 on the calling thread, the rest on
+//! reusable pool workers) and collects results, statistics, and traces.
 
 use crate::comm::Comm;
 use crate::model::NetworkModel;
+use crate::pool;
 use crate::state::Shared;
 use crate::stats::Report;
 use crate::trace::Trace;
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 
 /// Errors surfaced by a simulated run.
 #[derive(Debug)]
@@ -42,6 +45,7 @@ pub struct Cluster {
     np: usize,
     model: NetworkModel,
     traced: bool,
+    single_lock: bool,
 }
 
 impl Cluster {
@@ -51,12 +55,21 @@ impl Cluster {
             np,
             model,
             traced: false,
+            single_lock: false,
         }
     }
 
     /// Enable event tracing (costs memory; intended for tests/debugging).
     pub fn traced(mut self) -> Self {
         self.traced = true;
+        self
+    }
+
+    /// Use the historical single-global-lock state backend instead of the
+    /// sharded one. Virtual times are identical by construction; this
+    /// exists so differential tests can prove it.
+    pub fn single_lock_reference(mut self) -> Self {
+        self.single_lock = true;
         self
     }
 
@@ -68,41 +81,51 @@ impl Cluster {
         &self.model
     }
 
-    /// Run `f` once per rank, each on its own OS thread, and gather
-    /// everything. `f` receives a mutable [`Comm`] endpoint.
+    /// Run `f` once per rank — rank 0 on the calling thread, ranks 1..np
+    /// on persistent pool workers — and gather everything. `f` receives a
+    /// mutable [`Comm`] endpoint.
     pub fn run<R, F>(&self, f: F) -> Result<RunOutput<R>, SimError>
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
-        let shared = Arc::new(Shared::new(self.np, self.model.clone()));
+        let shared = Arc::new(if self.single_lock {
+            Shared::new_single_lock(self.np, self.model.clone())
+        } else {
+            Shared::new(self.np, self.model.clone())
+        });
         let f = &f;
         let traced = self.traced;
 
-        let mut slots: Vec<Option<Result<_, SimError>>> =
-            (0..self.np).map(|_| None).collect();
+        let slots: Vec<Mutex<Option<Result<_, SimError>>>> =
+            (0..self.np).map(|_| Mutex::new(None)).collect();
 
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.np);
-            for rank in 0..self.np {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..self.np)
+            .map(|rank| {
                 let shared = Arc::clone(&shared);
-                handles.push(scope.spawn(move || {
-                    let mut comm = Comm::new(shared, rank, traced);
-                    let result = f(&mut comm);
-                    let (stats, events) = comm.finish();
-                    (result, stats, events)
-                }));
-            }
-            for (rank, h) in handles.into_iter().enumerate() {
-                slots[rank] = Some(match h.join() {
-                    Ok(triple) => Ok(triple),
-                    Err(payload) => Err(SimError::RankPanic {
-                        rank,
-                        message: panic_message(payload),
-                    }),
-                });
-            }
-        });
+                let slots = &slots;
+                Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut comm = Comm::new(shared, rank, traced);
+                        let result = f(&mut comm);
+                        let (stats, events) = comm.finish();
+                        (result, stats, events)
+                    }));
+                    *slots[rank].lock().unwrap() = Some(outcome.map_err(|payload| {
+                        SimError::RankPanic {
+                            rank,
+                            message: panic_message(payload),
+                        }
+                    }));
+                }) as _
+            })
+            .collect();
+        pool::scope_ranks(tasks);
+
+        let slots: Vec<Option<Result<_, SimError>>> = slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap())
+            .collect();
 
         // Prefer the root-cause error over secondary "aborted: another
         // rank failed" panics from poisoned peers.

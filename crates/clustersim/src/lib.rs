@@ -35,12 +35,14 @@ pub mod cluster;
 pub mod comm;
 pub mod message;
 pub mod model;
+pub mod pool;
 mod state;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use cluster::{Cluster, RunOutput, SimError};
+pub use pool::PoolStats;
 pub use comm::{Comm, RecvId};
 pub use model::NetworkModel;
 pub use stats::{RankStats, Report};

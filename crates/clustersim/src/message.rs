@@ -4,8 +4,9 @@ use crate::time::SimTime;
 use bytes::Bytes;
 
 /// Mailbox key: messages match on exact (src, dst, tag), FIFO within a key
-/// (MPI's non-overtaking rule for identical envelopes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// (MPI's non-overtaking rule for identical envelopes). Keys index the
+/// per-pair mailbox cells directly — they are never hashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsgKey {
     pub src: usize,
     pub dst: usize,

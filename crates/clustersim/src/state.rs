@@ -3,15 +3,33 @@
 //! Determinism argument (DESIGN.md §2): every timestamp is a pure function
 //! of per-rank program order —
 //!
-//! - `send_nic_free[r]` is only read/written under the lock by rank `r`'s
-//!   own `isend`s, which occur in `r`'s program order;
-//! - `recv_nic_free[r]` is only touched when rank `r` *matches* messages,
+//! - `send_free[r]` is only read/written under its lock by rank `r`'s
+//!   own `isend`s, which occur in `r`'s program order (plus collective
+//!   completions, which are synchronization points every rank agrees on);
+//! - `recv_free[r]` is only touched when rank `r` *matches* messages,
 //!   which happens in `r`'s program order, and multi-message waits sort by
 //!   `(ready_at, src)` before serializing;
 //! - collectives synchronize on a per-call-index slot, so their inputs are
 //!   a complete, order-independent set.
 //!
 //! Wall-clock thread scheduling therefore never changes any virtual time.
+//! This argument is *independent of lock granularity*: the sharded backend
+//! below splits the historical single `Mutex<Inner>` into per-pair mailbox
+//! cells, per-rank NIC cells, and per-rank wakeup condvars (so a send to
+//! rank 3 never wakes rank 7), while the single-lock backend preserves the
+//! original structure as a differential-testing reference. Both compute the
+//! identical timestamps; only contention and wakeup fan-out differ.
+//!
+//! ## Sharded waiting protocol (lost-wakeup freedom)
+//!
+//! Each rank owns a wakeup cell `(epoch: Mutex<u64>, cond: Condvar)`. A
+//! receiver snapshots the epoch, scans its mailboxes, and — only if empty —
+//! re-locks the epoch and blocks *iff the epoch is unchanged*. A depositor
+//! pushes the message first, then bumps the destination's epoch under its
+//! lock and signals. Any deposit racing the scan either lands before the
+//! scan (found) or bumps the epoch (no block). Messages are only ever
+//! *removed* by their destination rank, so a satisfied scan can never be
+//! invalidated before the pop.
 
 use crate::message::{InFlight, MsgKey};
 use crate::model::NetworkModel;
@@ -49,19 +67,90 @@ pub(crate) struct CollectiveSlot {
     pub taken: usize,
 }
 
-pub(crate) struct Inner {
-    pub mailboxes: HashMap<MsgKey, VecDeque<InFlight>>,
-    pub send_nic_free: Vec<SimTime>,
-    pub recv_nic_free: Vec<SimTime>,
-    /// Keyed by per-rank collective call index (all ranks must agree).
-    pub collectives: HashMap<u64, CollectiveSlot>,
+/// One (src, dst) mailbox: FIFO queues per tag (MPI's non-overtaking rule
+/// for identical envelopes). Tag counts per pair are tiny, so a linear
+/// scan beats hashing — this retires the old `HashMap<MsgKey, _>` path.
+#[derive(Default)]
+struct Channel {
+    queues: Vec<(i64, VecDeque<InFlight>)>,
+}
+
+impl Channel {
+    fn push(&mut self, tag: i64, msg: InFlight) {
+        match self.queues.iter_mut().find(|(t, _)| *t == tag) {
+            Some((_, q)) => q.push_back(msg),
+            None => self.queues.push((tag, VecDeque::from([msg]))),
+        }
+    }
+
+    fn pop(&mut self, tag: i64) -> Option<InFlight> {
+        self.queues
+            .iter_mut()
+            .find(|(t, _)| *t == tag)
+            .and_then(|(_, q)| q.pop_front())
+    }
+
+    fn available(&self, tag: i64) -> usize {
+        self.queues
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map_or(0, |(_, q)| q.len())
+    }
+}
+
+/// One rank's NIC timelines.
+#[derive(Default, Clone, Copy)]
+struct Nic {
+    send_free: SimTime,
+    recv_free: SimTime,
+}
+
+/// Per-rank wakeup cell: epoch counter + condvar (see module docs).
+struct WaitCell {
+    epoch: Mutex<u64>,
+    cond: Condvar,
+}
+
+/// The scalable backend: state sharded so the common operations touch only
+/// the cells they semantically own.
+struct Sharded {
+    /// `np * np` mailbox cells, indexed `src * np + dst`. A cell is locked
+    /// only by its sender (deposit) and its receiver (match).
+    channels: Vec<Mutex<Channel>>,
+    /// Per-rank NIC timelines.
+    nics: Vec<Mutex<Nic>>,
+    /// Per-rank wakeup cells: a deposit to rank `d` wakes only rank `d`.
+    waits: Vec<WaitCell>,
+    /// Collective rendezvous is global by nature; it keeps its own lock so
+    /// point-to-point traffic never contends with it.
+    collectives: Mutex<HashMap<u64, CollectiveSlot>>,
+    coll_cond: Condvar,
+}
+
+/// The historical single-lock backend, kept as the differential-testing
+/// reference: same data structures, one global mutex, one condvar that
+/// every deposit broadcasts on (the thundering herd the sharded backend
+/// eliminates).
+struct SingleLock {
+    inner: Mutex<SingleInner>,
+    cond: Condvar,
+}
+
+struct SingleInner {
+    channels: Vec<Channel>,
+    nics: Vec<Nic>,
+    collectives: HashMap<u64, CollectiveSlot>,
+}
+
+enum Topology {
+    Sharded(Sharded),
+    SingleLock(SingleLock),
 }
 
 pub(crate) struct Shared {
     pub model: NetworkModel,
     pub np: usize,
-    pub inner: Mutex<Inner>,
-    pub cond: Condvar,
+    topo: Topology,
     /// Set when any rank panics, so peers blocked in waits fail fast
     /// instead of riding out the deadlock timeout.
     poisoned: AtomicBool,
@@ -72,13 +161,35 @@ impl Shared {
         Shared {
             model,
             np,
-            inner: Mutex::new(Inner {
-                mailboxes: HashMap::new(),
-                send_nic_free: vec![SimTime::ZERO; np],
-                recv_nic_free: vec![SimTime::ZERO; np],
-                collectives: HashMap::new(),
+            topo: Topology::Sharded(Sharded {
+                channels: (0..np * np).map(|_| Mutex::new(Channel::default())).collect(),
+                nics: (0..np).map(|_| Mutex::new(Nic::default())).collect(),
+                waits: (0..np)
+                    .map(|_| WaitCell {
+                        epoch: Mutex::new(0),
+                        cond: Condvar::new(),
+                    })
+                    .collect(),
+                collectives: Mutex::new(HashMap::new()),
+                coll_cond: Condvar::new(),
             }),
-            cond: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// The single-global-lock reference build path (differential tests).
+    pub fn new_single_lock(np: usize, model: NetworkModel) -> Self {
+        Shared {
+            model,
+            np,
+            topo: Topology::SingleLock(SingleLock {
+                inner: Mutex::new(SingleInner {
+                    channels: (0..np * np).map(|_| Channel::default()).collect(),
+                    nics: vec![Nic::default(); np],
+                    collectives: HashMap::new(),
+                }),
+                cond: Condvar::new(),
+            }),
             poisoned: AtomicBool::new(false),
         }
     }
@@ -87,7 +198,24 @@ impl Shared {
     /// every waiter so it can abort.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
-        self.cond.notify_all();
+        match &self.topo {
+            Topology::Sharded(s) => {
+                for w in &s.waits {
+                    *w.epoch.lock() += 1;
+                    w.cond.notify_all();
+                }
+                // Notify under the collectives lock: a waiter sits between
+                // its poisoned check and `wait_for` while holding it, so an
+                // unsynchronized notify could be lost and the waiter would
+                // ride out the full deadlock timeout.
+                let _guard = s.collectives.lock();
+                s.coll_cond.notify_all();
+            }
+            Topology::SingleLock(s) => {
+                let _guard = s.inner.lock();
+                s.cond.notify_all();
+            }
+        }
     }
 
     fn check_poisoned(&self) {
@@ -96,123 +224,231 @@ impl Shared {
         }
     }
 
-    /// Deposit a message already timed by the sender.
+    fn cell(&self, s: &Sharded, src: usize, dst: usize) -> usize {
+        debug_assert!(src < self.np && dst < self.np && s.channels.len() == self.np * self.np);
+        src * self.np + dst
+    }
+
+    /// Deposit a message already timed by the sender. Wakes only the
+    /// destination rank.
     pub fn deposit(&self, key: MsgKey, msg: InFlight) {
-        let mut inner = self.inner.lock();
-        inner.mailboxes.entry(key).or_default().push_back(msg);
-        drop(inner);
-        self.cond.notify_all();
+        match &self.topo {
+            Topology::Sharded(s) => {
+                let idx = self.cell(s, key.src, key.dst);
+                s.channels[idx].lock().push(key.tag, msg);
+                let w = &s.waits[key.dst];
+                *w.epoch.lock() += 1;
+                w.cond.notify_one();
+            }
+            Topology::SingleLock(s) => {
+                let mut inner = s.inner.lock();
+                inner.channels[key.src * self.np + key.dst].push(key.tag, msg);
+                drop(inner);
+                s.cond.notify_all();
+            }
+        }
     }
 
     /// Sender-side NIC booking: returns (depart, nic_done) and advances the
     /// sender NIC timeline. `cpu_done` is the sender clock after CPU costs.
     pub fn book_send_nic(&self, rank: usize, cpu_done: SimTime, nbytes: usize) -> (SimTime, SimTime) {
-        let mut inner = self.inner.lock();
-        let depart = inner.send_nic_free[rank].max(cpu_done);
-        let done = depart + self.model.wire(nbytes);
-        inner.send_nic_free[rank] = done;
-        (depart, done)
-    }
-
-    /// Block until a message for `key` exists, pop it, and serialize it
-    /// through the receiver NIC. Returns (arrival, payload).
-    pub fn match_one(&self, key: MsgKey) -> (SimTime, Bytes) {
-        let mut inner = self.inner.lock();
-        loop {
-            self.check_poisoned();
-            if let Some(q) = inner.mailboxes.get_mut(&key) {
-                if let Some(msg) = q.pop_front() {
-                    let arrival = self.serialize_at_receiver(&mut inner, key.dst, &msg);
-                    return (arrival, msg.payload);
-                }
-            }
-            if self
-                .cond
-                .wait_for(&mut inner, DEADLOCK_TIMEOUT)
-                .timed_out()
-            {
-                panic!(
-                    "simulated deadlock: rank {} waited {:?} for a message from rank {} tag {} that never arrived",
-                    key.dst, DEADLOCK_TIMEOUT, key.src, key.tag
-                );
-            }
+        let book = |nic: &mut Nic| {
+            let depart = nic.send_free.max(cpu_done);
+            let done = depart + self.model.wire(nbytes);
+            nic.send_free = done;
+            (depart, done)
+        };
+        match &self.topo {
+            Topology::Sharded(s) => book(&mut s.nics[rank].lock()),
+            Topology::SingleLock(s) => book(&mut s.inner.lock().nics[rank]),
         }
-    }
-
-    /// Block until *all* keys have a message, then match them in
-    /// deterministic `(ready_at, src, tag)` order through the receiver NIC.
-    /// Returns arrivals/payloads in the order of `keys`.
-    pub fn match_all(&self, dst: usize, keys: &[MsgKey]) -> Vec<(SimTime, Bytes)> {
-        let mut inner = self.inner.lock();
-        loop {
-            self.check_poisoned();
-            let mut have = 0usize;
-            let mut counts: HashMap<MsgKey, usize> = HashMap::new();
-            for k in keys {
-                debug_assert_eq!(k.dst, dst);
-                let need = counts.entry(*k).or_insert(0);
-                *need += 1;
-                let avail = inner.mailboxes.get(k).map_or(0, VecDeque::len);
-                if avail >= *need {
-                    have += 1;
-                }
-            }
-            if have == keys.len() {
-                break;
-            }
-            if self
-                .cond
-                .wait_for(&mut inner, DEADLOCK_TIMEOUT)
-                .timed_out()
-            {
-                panic!(
-                    "simulated deadlock: rank {dst} waited {:?} for {} posted receives",
-                    DEADLOCK_TIMEOUT,
-                    keys.len()
-                );
-            }
-        }
-
-        // Pop in posted order, remembering each message's queue position.
-        let mut popped: Vec<(usize, MsgKey, InFlight)> = Vec::with_capacity(keys.len());
-        for (i, k) in keys.iter().enumerate() {
-            let q = inner.mailboxes.get_mut(k).expect("checked above");
-            let msg = q.pop_front().expect("checked above");
-            popped.push((i, *k, msg));
-        }
-        // Serialize through the receiver NIC in (ready_at, src, tag) order.
-        let mut order: Vec<usize> = (0..popped.len()).collect();
-        order.sort_by_key(|&j| {
-            let (_, k, ref m) = popped[j];
-            (m.ready_at, k.src, k.tag)
-        });
-        let mut arrivals = vec![SimTime::ZERO; popped.len()];
-        for &j in &order {
-            let (_, _, ref m) = popped[j];
-            let arrival = self.serialize_at_receiver(&mut inner, dst, m);
-            arrivals[j] = arrival;
-        }
-        drop(inner);
-
-        // `popped` was pushed in ascending posted order (the enumerate
-        // above) and never reordered — `order` indexes it instead — so it
-        // already pairs positionally with `arrivals`.
-        let mut out: Vec<(SimTime, Bytes)> = Vec::with_capacity(keys.len());
-        for ((_, _, m), arr) in popped.into_iter().zip(arrivals) {
-            out.push((arr, m.payload));
-        }
-        out
     }
 
     /// Receiver NIC serialization: a message *finishes* arriving no earlier
     /// than `ready_at`, and no earlier than one wire-time after the
     /// previous arrival finished (back-to-back messages from one sender hit
     /// exactly this bound, so single streams pay the wire only once).
-    fn serialize_at_receiver(&self, inner: &mut Inner, dst: usize, msg: &InFlight) -> SimTime {
-        let drain = inner.recv_nic_free[dst] + self.model.wire(msg.nbytes());
+    fn serialize_at_receiver(&self, nic: &mut Nic, msg: &InFlight) -> SimTime {
+        let drain = nic.recv_free + self.model.wire(msg.nbytes());
         let arrival = msg.ready_at.max(drain);
-        inner.recv_nic_free[dst] = arrival;
+        nic.recv_free = arrival;
         arrival
+    }
+
+    /// Block until a message for `key` exists, pop it, and serialize it
+    /// through the receiver NIC. Returns (arrival, payload).
+    pub fn match_one(&self, key: MsgKey) -> (SimTime, Bytes) {
+        match &self.topo {
+            Topology::Sharded(s) => {
+                let idx = self.cell(s, key.src, key.dst);
+                let w = &s.waits[key.dst];
+                loop {
+                    self.check_poisoned();
+                    let seen = *w.epoch.lock();
+                    if let Some(msg) = s.channels[idx].lock().pop(key.tag) {
+                        let arrival =
+                            self.serialize_at_receiver(&mut s.nics[key.dst].lock(), &msg);
+                        return (arrival, msg.payload);
+                    }
+                    let mut epoch = w.epoch.lock();
+                    if *epoch == seen
+                        && w.cond.wait_for(&mut epoch, DEADLOCK_TIMEOUT).timed_out()
+                    {
+                        panic!(
+                            "simulated deadlock: rank {} waited {:?} for a message from rank {} tag {} that never arrived",
+                            key.dst, DEADLOCK_TIMEOUT, key.src, key.tag
+                        );
+                    }
+                }
+            }
+            Topology::SingleLock(s) => {
+                let mut inner = s.inner.lock();
+                loop {
+                    self.check_poisoned();
+                    if let Some(msg) =
+                        inner.channels[key.src * self.np + key.dst].pop(key.tag)
+                    {
+                        let arrival =
+                            self.serialize_at_receiver(&mut inner.nics[key.dst], &msg);
+                        return (arrival, msg.payload);
+                    }
+                    if s.cond.wait_for(&mut inner, DEADLOCK_TIMEOUT).timed_out() {
+                        panic!(
+                            "simulated deadlock: rank {} waited {:?} for a message from rank {} tag {} that never arrived",
+                            key.dst, DEADLOCK_TIMEOUT, key.src, key.tag
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// How many of each distinct key `keys` requests (multiset need).
+    /// Linear scan — wait lists are small and `MsgKey` no longer hashes.
+    fn key_needs(keys: &[MsgKey]) -> Vec<(MsgKey, usize)> {
+        let mut needs: Vec<(MsgKey, usize)> = Vec::with_capacity(keys.len());
+        for k in keys {
+            match needs.iter_mut().find(|(nk, _)| nk == k) {
+                Some((_, n)) => *n += 1,
+                None => needs.push((*k, 1)),
+            }
+        }
+        needs
+    }
+
+    /// Block until *all* keys have a message, then match them in
+    /// deterministic `(ready_at, src, tag)` order through the receiver NIC.
+    /// Returns arrivals/payloads in the order of `keys`.
+    pub fn match_all(&self, dst: usize, keys: &[MsgKey]) -> Vec<(SimTime, Bytes)> {
+        debug_assert!(keys.iter().all(|k| k.dst == dst));
+        let needs = Self::key_needs(keys);
+
+        // Phase 1: wait until every key's need is met. Messages are only
+        // removed by their destination (us), so a satisfied observation
+        // stays satisfied.
+        match &self.topo {
+            Topology::Sharded(s) => {
+                let w = &s.waits[dst];
+                loop {
+                    self.check_poisoned();
+                    let seen = *w.epoch.lock();
+                    let satisfied = needs.iter().all(|(k, need)| {
+                        s.channels[self.cell(s, k.src, k.dst)]
+                            .lock()
+                            .available(k.tag)
+                            >= *need
+                    });
+                    if satisfied {
+                        break;
+                    }
+                    let mut epoch = w.epoch.lock();
+                    if *epoch == seen
+                        && w.cond.wait_for(&mut epoch, DEADLOCK_TIMEOUT).timed_out()
+                    {
+                        panic!(
+                            "simulated deadlock: rank {dst} waited {:?} for {} posted receives",
+                            DEADLOCK_TIMEOUT,
+                            keys.len()
+                        );
+                    }
+                }
+                // Phase 2: pop in posted order, then serialize in
+                // deterministic (ready_at, src, tag) order.
+                let popped: Vec<InFlight> = keys
+                    .iter()
+                    .map(|k| {
+                        s.channels[self.cell(s, k.src, k.dst)]
+                            .lock()
+                            .pop(k.tag)
+                            .expect("availability checked above")
+                    })
+                    .collect();
+                let mut nic = s.nics[dst].lock();
+                self.finish_match_all(keys, popped, &mut nic)
+            }
+            Topology::SingleLock(s) => {
+                let mut inner = s.inner.lock();
+                loop {
+                    self.check_poisoned();
+                    let satisfied = needs.iter().all(|(k, need)| {
+                        inner.channels[k.src * self.np + k.dst].available(k.tag) >= *need
+                    });
+                    if satisfied {
+                        break;
+                    }
+                    if s.cond.wait_for(&mut inner, DEADLOCK_TIMEOUT).timed_out() {
+                        panic!(
+                            "simulated deadlock: rank {dst} waited {:?} for {} posted receives",
+                            DEADLOCK_TIMEOUT,
+                            keys.len()
+                        );
+                    }
+                }
+                let popped: Vec<InFlight> = keys
+                    .iter()
+                    .map(|k| {
+                        inner.channels[k.src * self.np + k.dst]
+                            .pop(k.tag)
+                            .expect("availability checked above")
+                    })
+                    .collect();
+                let inner = &mut *inner;
+                self.finish_match_all(keys, popped, &mut inner.nics[dst])
+            }
+        }
+    }
+
+    /// Serialize already-popped messages through the receiver NIC in
+    /// `(ready_at, src, tag)` order; return (arrival, payload) in the
+    /// posted order of `keys` (which pairs positionally with `popped`).
+    fn finish_match_all(
+        &self,
+        keys: &[MsgKey],
+        popped: Vec<InFlight>,
+        nic: &mut Nic,
+    ) -> Vec<(SimTime, Bytes)> {
+        let mut order: Vec<usize> = (0..popped.len()).collect();
+        order.sort_by_key(|&j| (popped[j].ready_at, keys[j].src, keys[j].tag));
+        let mut arrivals = vec![SimTime::ZERO; popped.len()];
+        for &j in &order {
+            arrivals[j] = self.serialize_at_receiver(nic, &popped[j]);
+        }
+        popped
+            .into_iter()
+            .zip(arrivals)
+            .map(|(m, arr)| (arr, m.payload))
+            .collect()
+    }
+
+    /// Whether a collective slot for `call_idx` has been registered by any
+    /// rank (test rendezvous hook — lets the mismatch test wait
+    /// deterministically instead of sleeping).
+    #[cfg(test)]
+    pub(crate) fn collective_registered(&self, call_idx: u64) -> bool {
+        match &self.topo {
+            Topology::Sharded(s) => s.collectives.lock().contains_key(&call_idx),
+            Topology::SingleLock(s) => s.inner.lock().collectives.contains_key(&call_idx),
+        }
     }
 
     /// Collective rendezvous. `call_idx` is the rank's collective sequence
@@ -229,74 +465,137 @@ impl Shared {
         payload_per_dst: Vec<Bytes>,
     ) -> (SimTime, Vec<Bytes>) {
         let np = self.np;
-        let mut inner = self.inner.lock();
-        let arrived_all = {
-            let slot = inner
-                .collectives
-                .entry(call_idx)
-                .or_insert_with(|| CollectiveSlot {
-                    kind,
-                    inputs: vec![None; np],
-                    arrived: 0,
-                    outputs: None,
-                    taken: 0,
-                });
-            assert_eq!(
-                slot.kind, kind,
-                "collective mismatch at call {call_idx}: rank {rank} called {kind:?}, others {:?}",
-                slot.kind
-            );
-            assert!(
-                slot.inputs[rank].is_none(),
-                "rank {rank} joined collective {call_idx} twice"
-            );
-            slot.inputs[rank] = Some((entry, payload_per_dst));
-            slot.arrived += 1;
-            slot.arrived == np
-        };
-
-        if arrived_all {
-            let completion = {
-                let slot = inner.collectives.get_mut(&call_idx).expect("slot exists");
-                compute_collective(&self.model, np, kind, slot)
-            };
-            if kind == CollectiveKind::Alltoall {
-                // The exchange occupies every NIC until completion.
-                for r in 0..np {
-                    inner.send_nic_free[r] = inner.send_nic_free[r].max(completion);
-                    inner.recv_nic_free[r] = inner.recv_nic_free[r].max(completion);
-                }
-            }
-            self.cond.notify_all();
-        }
-
-        // Wait for outputs.
-        loop {
-            self.check_poisoned();
-            {
-                let slot = inner.collectives.get_mut(&call_idx).expect("slot exists");
-                if let Some(outputs) = &mut slot.outputs {
-                    let (completion, payloads) = outputs[rank]
-                        .take()
-                        .expect("each rank takes its output once");
-                    slot.taken += 1;
-                    if slot.taken == np {
-                        inner.collectives.remove(&call_idx);
+        match &self.topo {
+            Topology::Sharded(s) => {
+                let mut colls = s.collectives.lock();
+                let arrived_all =
+                    Self::join_slot(&mut colls, kind, call_idx, rank, entry, payload_per_dst, np);
+                if arrived_all {
+                    let completion = {
+                        let slot = colls.get_mut(&call_idx).expect("slot exists");
+                        compute_collective(&self.model, np, kind, slot)
+                    };
+                    if kind == CollectiveKind::Alltoall {
+                        // The exchange occupies every NIC until completion.
+                        // Safe to touch peers' cells here: every rank is
+                        // parked inside this same collective. Lock order is
+                        // collectives -> nic, and no path acquires them in
+                        // the opposite order.
+                        for nic in &s.nics {
+                            let mut nic = nic.lock();
+                            nic.send_free = nic.send_free.max(completion);
+                            nic.recv_free = nic.recv_free.max(completion);
+                        }
                     }
-                    return (completion, payloads);
+                    s.coll_cond.notify_all();
+                }
+                loop {
+                    self.check_poisoned();
+                    if let Some(out) = Self::take_output(&mut colls, call_idx, rank, np) {
+                        return out;
+                    }
+                    if s.coll_cond
+                        .wait_for(&mut colls, DEADLOCK_TIMEOUT)
+                        .timed_out()
+                    {
+                        panic!(
+                            "simulated deadlock: rank {rank} waited {:?} in collective {call_idx} ({kind:?})",
+                            DEADLOCK_TIMEOUT
+                        );
+                    }
                 }
             }
-            if self
-                .cond
-                .wait_for(&mut inner, DEADLOCK_TIMEOUT)
-                .timed_out()
-            {
-                panic!(
-                    "simulated deadlock: rank {rank} waited {:?} in collective {call_idx} ({kind:?})",
-                    DEADLOCK_TIMEOUT
+            Topology::SingleLock(s) => {
+                let mut inner = s.inner.lock();
+                let arrived_all = Self::join_slot(
+                    &mut inner.collectives,
+                    kind,
+                    call_idx,
+                    rank,
+                    entry,
+                    payload_per_dst,
+                    np,
                 );
+                if arrived_all {
+                    let completion = {
+                        let slot = inner.collectives.get_mut(&call_idx).expect("slot exists");
+                        compute_collective(&self.model, np, kind, slot)
+                    };
+                    if kind == CollectiveKind::Alltoall {
+                        for nic in &mut inner.nics {
+                            nic.send_free = nic.send_free.max(completion);
+                            nic.recv_free = nic.recv_free.max(completion);
+                        }
+                    }
+                    s.cond.notify_all();
+                }
+                loop {
+                    self.check_poisoned();
+                    if let Some(out) =
+                        Self::take_output(&mut inner.collectives, call_idx, rank, np)
+                    {
+                        return out;
+                    }
+                    if s.cond.wait_for(&mut inner, DEADLOCK_TIMEOUT).timed_out() {
+                        panic!(
+                            "simulated deadlock: rank {rank} waited {:?} in collective {call_idx} ({kind:?})",
+                            DEADLOCK_TIMEOUT
+                        );
+                    }
+                }
             }
         }
+    }
+
+    /// Register `rank`'s contribution; true when it was the last arriver.
+    #[allow(clippy::too_many_arguments)]
+    fn join_slot(
+        collectives: &mut HashMap<u64, CollectiveSlot>,
+        kind: CollectiveKind,
+        call_idx: u64,
+        rank: usize,
+        entry: SimTime,
+        payload_per_dst: Vec<Bytes>,
+        np: usize,
+    ) -> bool {
+        let slot = collectives.entry(call_idx).or_insert_with(|| CollectiveSlot {
+            kind,
+            inputs: vec![None; np],
+            arrived: 0,
+            outputs: None,
+            taken: 0,
+        });
+        assert_eq!(
+            slot.kind, kind,
+            "collective mismatch at call {call_idx}: rank {rank} called {kind:?}, others {:?}",
+            slot.kind
+        );
+        assert!(
+            slot.inputs[rank].is_none(),
+            "rank {rank} joined collective {call_idx} twice"
+        );
+        slot.inputs[rank] = Some((entry, payload_per_dst));
+        slot.arrived += 1;
+        slot.arrived == np
+    }
+
+    /// Take `rank`'s share of a completed collective, if ready.
+    fn take_output(
+        collectives: &mut HashMap<u64, CollectiveSlot>,
+        call_idx: u64,
+        rank: usize,
+        np: usize,
+    ) -> Option<(SimTime, Vec<Bytes>)> {
+        let slot = collectives.get_mut(&call_idx).expect("slot exists");
+        let outputs = slot.outputs.as_mut()?;
+        let (completion, payloads) = outputs[rank]
+            .take()
+            .expect("each rank takes its output once");
+        slot.taken += 1;
+        if slot.taken == np {
+            collectives.remove(&call_idx);
+        }
+        Some((completion, payloads))
     }
 }
 
@@ -341,7 +640,8 @@ fn compute_collective(
         }
     };
 
-    // Redistribute: output[rank][src] = input[src][rank].
+    // Redistribute: output[rank][src] = input[src][rank]. `Bytes` clones
+    // are Arc bumps of one shared buffer, not copies.
     let mut outputs: Vec<RankShare> = Vec::with_capacity(np);
     for rank in 0..np {
         let payloads: Vec<Bytes> = match kind {
@@ -368,157 +668,197 @@ fn compute_collective(
 mod tests {
     use super::*;
 
-    fn shared(np: usize) -> Shared {
-        Shared::new(np, NetworkModel::mpich_gm())
+    fn backends(np: usize) -> [Shared; 2] {
+        [
+            Shared::new(np, NetworkModel::mpich_gm()),
+            Shared::new_single_lock(np, NetworkModel::mpich_gm()),
+        ]
     }
 
     #[test]
     fn deposit_and_match_one() {
-        let s = shared(2);
-        let key = MsgKey { src: 0, dst: 1, tag: 5 };
-        s.deposit(
-            key,
-            InFlight {
-                ready_at: SimTime(1000),
-                payload: Bytes::from(vec![1, 2, 3]),
-            },
-        );
-        let (arrival, payload) = s.match_one(key);
-        // wire(3B) ≈ 12ns under GM; arrival = max(1000, 0 + 12) = 1000.
-        assert_eq!(arrival, SimTime(1000));
-        assert_eq!(payload.as_ref(), &[1, 2, 3]);
+        for s in backends(2) {
+            let key = MsgKey { src: 0, dst: 1, tag: 5 };
+            s.deposit(
+                key,
+                InFlight {
+                    ready_at: SimTime(1000),
+                    payload: Bytes::from(vec![1, 2, 3]),
+                },
+            );
+            let (arrival, payload) = s.match_one(key);
+            // wire(3B) ≈ 12ns under GM; arrival = max(1000, 0 + 12) = 1000.
+            assert_eq!(arrival, SimTime(1000));
+            assert_eq!(payload.as_ref(), &[1, 2, 3]);
+        }
     }
 
     #[test]
     fn receiver_nic_serializes_incast() {
-        let s = shared(3);
-        let n = 1000usize; // wire = 4000ns under GM
-        for src in [0usize, 1] {
-            s.deposit(
-                MsgKey { src, dst: 2, tag: 1 },
-                InFlight {
-                    ready_at: SimTime(10_000),
-                    payload: Bytes::from(vec![0u8; n]),
-                },
+        for s in backends(3) {
+            let n = 1000usize; // wire = 4000ns under GM
+            for src in [0usize, 1] {
+                s.deposit(
+                    MsgKey { src, dst: 2, tag: 1 },
+                    InFlight {
+                        ready_at: SimTime(10_000),
+                        payload: Bytes::from(vec![0u8; n]),
+                    },
+                );
+            }
+            let out = s.match_all(
+                2,
+                &[
+                    MsgKey { src: 0, dst: 2, tag: 1 },
+                    MsgKey { src: 1, dst: 2, tag: 1 },
+                ],
             );
+            // First (by src tiebreak) arrives at max(10_000, 0+4000)=10_000;
+            // second at max(10_000, 10_000+4000)=14_000.
+            assert_eq!(out[0].0, SimTime(10_000));
+            assert_eq!(out[1].0, SimTime(14_000));
         }
-        let out = s.match_all(
-            2,
-            &[
-                MsgKey { src: 0, dst: 2, tag: 1 },
-                MsgKey { src: 1, dst: 2, tag: 1 },
-            ],
-        );
-        // First (by src tiebreak) arrives at max(10_000, 0+4000)=10_000;
-        // second at max(10_000, 10_000+4000)=14_000.
-        assert_eq!(out[0].0, SimTime(10_000));
-        assert_eq!(out[1].0, SimTime(14_000));
     }
 
     #[test]
     fn back_to_back_single_stream_not_double_charged() {
-        let s = shared(2);
-        let n = 1000usize; // wire 4000ns
-        // Sender NIC spaced these at 4000ns already.
-        for (i, ready) in [(0u8, 14_000u64), (1, 18_000)] {
-            s.deposit(
-                MsgKey { src: 0, dst: 1, tag: i as i64 },
-                InFlight {
-                    ready_at: SimTime(ready),
-                    payload: Bytes::from(vec![i; n]),
-                },
-            );
+        for s in backends(2) {
+            let n = 1000usize; // wire 4000ns
+            // Sender NIC spaced these at 4000ns already.
+            for (i, ready) in [(0u8, 14_000u64), (1, 18_000)] {
+                s.deposit(
+                    MsgKey { src: 0, dst: 1, tag: i as i64 },
+                    InFlight {
+                        ready_at: SimTime(ready),
+                        payload: Bytes::from(vec![i; n]),
+                    },
+                );
+            }
+            let (a1, _) = s.match_one(MsgKey { src: 0, dst: 1, tag: 0 });
+            let (a2, _) = s.match_one(MsgKey { src: 0, dst: 1, tag: 1 });
+            assert_eq!(a1, SimTime(14_000));
+            assert_eq!(a2, SimTime(18_000)); // no extra receiver penalty
         }
-        let (a1, _) = s.match_one(MsgKey { src: 0, dst: 1, tag: 0 });
-        let (a2, _) = s.match_one(MsgKey { src: 0, dst: 1, tag: 1 });
-        assert_eq!(a1, SimTime(14_000));
-        assert_eq!(a2, SimTime(18_000)); // no extra receiver penalty
     }
 
     #[test]
     fn fifo_within_key() {
-        let s = shared(2);
-        let key = MsgKey { src: 0, dst: 1, tag: 0 };
-        for v in [10u8, 20] {
-            s.deposit(
-                key,
-                InFlight {
-                    ready_at: SimTime(v as u64),
-                    payload: Bytes::from(vec![v]),
-                },
-            );
+        for s in backends(2) {
+            let key = MsgKey { src: 0, dst: 1, tag: 0 };
+            for v in [10u8, 20] {
+                s.deposit(
+                    key,
+                    InFlight {
+                        ready_at: SimTime(v as u64),
+                        payload: Bytes::from(vec![v]),
+                    },
+                );
+            }
+            assert_eq!(s.match_one(key).1.as_ref(), &[10]);
+            assert_eq!(s.match_one(key).1.as_ref(), &[20]);
         }
-        assert_eq!(s.match_one(key).1.as_ref(), &[10]);
-        assert_eq!(s.match_one(key).1.as_ref(), &[20]);
     }
 
     #[test]
     fn book_send_nic_serializes() {
-        let s = shared(2);
-        let (d1, f1) = s.book_send_nic(0, SimTime(100), 1000);
-        assert_eq!(d1, SimTime(100));
-        assert_eq!(f1, SimTime(4100));
-        // Second send posted earlier in CPU time still queues behind.
-        let (d2, f2) = s.book_send_nic(0, SimTime(50), 500);
-        assert_eq!(d2, SimTime(4100));
-        assert_eq!(f2, SimTime(6100));
+        for s in backends(2) {
+            let (d1, f1) = s.book_send_nic(0, SimTime(100), 1000);
+            assert_eq!(d1, SimTime(100));
+            assert_eq!(f1, SimTime(4100));
+            // Second send posted earlier in CPU time still queues behind.
+            let (d2, f2) = s.book_send_nic(0, SimTime(50), 500);
+            assert_eq!(d2, SimTime(4100));
+            assert_eq!(f2, SimTime(6100));
+        }
     }
 
     #[test]
     fn collective_barrier_synchronizes_clocks() {
-        let s = std::sync::Arc::new(shared(3));
-        let entries = [SimTime(100), SimTime(5000), SimTime(300)];
-        let mut handles = Vec::new();
-        for (r, e) in entries.into_iter().enumerate() {
-            let s = s.clone();
-            handles.push(std::thread::spawn(move || {
-                s.collective(CollectiveKind::Barrier, 0, r, e, Vec::new())
-                    .0
-            }));
+        for shared in backends(3) {
+            let s = std::sync::Arc::new(shared);
+            let entries = [SimTime(100), SimTime(5000), SimTime(300)];
+            let mut handles = Vec::new();
+            for (r, e) in entries.into_iter().enumerate() {
+                let s = s.clone();
+                handles.push(std::thread::spawn(move || {
+                    s.collective(CollectiveKind::Barrier, 0, r, e, Vec::new())
+                        .0
+                }));
+            }
+            let done: Vec<SimTime> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let expect = SimTime(5000) + NetworkModel::mpich_gm().overhead;
+            assert!(done.iter().all(|&t| t == expect));
         }
-        let done: Vec<SimTime> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        let expect = SimTime(5000) + NetworkModel::mpich_gm().overhead;
-        assert!(done.iter().all(|&t| t == expect));
     }
 
     #[test]
     fn collective_alltoall_redistributes() {
-        let s = std::sync::Arc::new(shared(2));
-        let mk = |r: usize| -> Vec<Bytes> {
-            vec![
-                Bytes::from(vec![(10 * r) as u8]),
-                Bytes::from(vec![(10 * r + 1) as u8]),
-            ]
-        };
-        let mut handles = Vec::new();
-        for r in 0..2 {
-            let s = s.clone();
-            let payload = mk(r);
-            handles.push(std::thread::spawn(move || {
-                s.collective(CollectiveKind::Alltoall, 0, r, SimTime(0), payload)
-                    .1
-            }));
+        for shared in backends(2) {
+            let s = std::sync::Arc::new(shared);
+            let mk = |r: usize| -> Vec<Bytes> {
+                vec![
+                    Bytes::from(vec![(10 * r) as u8]),
+                    Bytes::from(vec![(10 * r + 1) as u8]),
+                ]
+            };
+            let mut handles = Vec::new();
+            for r in 0..2 {
+                let s = s.clone();
+                let payload = mk(r);
+                handles.push(std::thread::spawn(move || {
+                    s.collective(CollectiveKind::Alltoall, 0, r, SimTime(0), payload)
+                        .1
+                }));
+            }
+            let outs: Vec<Vec<Bytes>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // rank 0 receives input[src][0]: [0], [10]
+            assert_eq!(outs[0][0].as_ref(), &[0]);
+            assert_eq!(outs[0][1].as_ref(), &[10]);
+            // rank 1 receives input[src][1]: [1], [11]
+            assert_eq!(outs[1][0].as_ref(), &[1]);
+            assert_eq!(outs[1][1].as_ref(), &[11]);
         }
-        let outs: Vec<Vec<Bytes>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        // rank 0 receives input[src][0]: [0], [10]
-        assert_eq!(outs[0][0].as_ref(), &[0]);
-        assert_eq!(outs[0][1].as_ref(), &[10]);
-        // rank 1 receives input[src][1]: [1], [11]
-        assert_eq!(outs[1][0].as_ref(), &[1]);
-        assert_eq!(outs[1][1].as_ref(), &[11]);
     }
 
     #[test]
     #[should_panic(expected = "collective mismatch")]
     fn collective_kind_mismatch_detected() {
-        let s = std::sync::Arc::new(shared(2));
+        let s = std::sync::Arc::new(Shared::new(2, NetworkModel::mpich_gm()));
         let s2 = s.clone();
         let h = std::thread::spawn(move || {
             s2.collective(CollectiveKind::Alltoall, 0, 1, SimTime(0), vec![Bytes::new(); 2])
         });
-        // Give the other thread time to register the slot, then mismatch.
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Deterministic rendezvous: wait until the other thread registered
+        // the slot (no wall-clock sleep), then join with the wrong kind.
+        while !s.collective_registered(0) {
+            std::thread::yield_now();
+        }
         let _ = s.collective(CollectiveKind::Barrier, 0, 0, SimTime(0), Vec::new());
         let _ = h.join();
+    }
+
+    /// The sharded and single-lock backends book identical timestamps for
+    /// an interleaved point-to-point pattern.
+    #[test]
+    fn backends_agree_on_timestamps() {
+        let run = |s: Shared| -> Vec<SimTime> {
+            let mut out = Vec::new();
+            let (_, f1) = s.book_send_nic(0, SimTime(100), 1000);
+            s.deposit(
+                MsgKey { src: 0, dst: 1, tag: 0 },
+                InFlight { ready_at: f1, payload: Bytes::from(vec![1u8; 1000]) },
+            );
+            let (_, f2) = s.book_send_nic(0, SimTime(200), 500);
+            s.deposit(
+                MsgKey { src: 0, dst: 1, tag: 1 },
+                InFlight { ready_at: f2, payload: Bytes::from(vec![2u8; 500]) },
+            );
+            out.push(s.match_one(MsgKey { src: 0, dst: 1, tag: 0 }).0);
+            out.push(s.match_one(MsgKey { src: 0, dst: 1, tag: 1 }).0);
+            out
+        };
+        let [a, b] = backends(2);
+        assert_eq!(run(a), run(b));
     }
 }

@@ -35,9 +35,16 @@ fn pattern() -> impl Strategy<Value = Pattern> {
 }
 
 fn run(p: &Pattern, traced: bool) -> clustersim::RunOutput<SimTime> {
+    run_on(p, traced, false)
+}
+
+fn run_on(p: &Pattern, traced: bool, single_lock: bool) -> clustersim::RunOutput<SimTime> {
     let mut cluster = Cluster::new(p.np, NetworkModel::mpich_gm());
     if traced {
         cluster = cluster.traced();
+    }
+    if single_lock {
+        cluster = cluster.single_lock_reference();
     }
     let p = p.clone();
     cluster
@@ -85,6 +92,32 @@ proptest! {
         let fa: Vec<_> = a.report.per_rank.iter().map(|r| r.finish).collect();
         let fb: Vec<_> = b.report.per_rank.iter().map(|r| r.finish).collect();
         prop_assert_eq!(fa, fb);
+    }
+
+    /// The sharded state backend books element-wise identical virtual
+    /// times, stats, and payload routings to the single-global-lock
+    /// reference build path — lock granularity is invisible to results.
+    #[test]
+    fn sharded_state_matches_single_lock_reference(p in pattern()) {
+        let sharded = run_on(&p, false, false);
+        let reference = run_on(&p, false, true);
+        prop_assert_eq!(&sharded.results, &reference.results);
+        for (a, b) in sharded
+            .report
+            .per_rank
+            .iter()
+            .zip(&reference.report.per_rank)
+        {
+            prop_assert_eq!(a.finish, b.finish);
+            prop_assert_eq!(a.compute, b.compute);
+            prop_assert_eq!(a.comm_cpu, b.comm_cpu);
+            prop_assert_eq!(a.blocked, b.blocked);
+            prop_assert_eq!(a.bytes_sent, b.bytes_sent);
+            prop_assert_eq!(a.bytes_recv, b.bytes_recv);
+            prop_assert_eq!(a.msgs_sent, b.msgs_sent);
+            prop_assert_eq!(a.msgs_recv, b.msgs_recv);
+        }
+        prop_assert_eq!(sharded.report.makespan(), reference.report.makespan());
     }
 
     #[test]

@@ -95,6 +95,101 @@ pub fn choose_k(input: &KselectInput) -> i64 {
     k.max(1)
 }
 
+/// Inputs for the profitability predictor: one transformed comm site,
+/// per execution of the original `MPI_ALLTOALL`.
+#[derive(Debug, Clone)]
+pub struct ProfitInput {
+    /// Per-partner payload bytes of the original alltoall.
+    pub partner_bytes: f64,
+    /// Rank count.
+    pub np: f64,
+    /// Iterations of the tiled loop.
+    pub trip_count: i64,
+    /// Chosen tile size K.
+    pub tile_size: i64,
+    /// Messages posted per tile (NP-1 all-peers, 1 owner-sends).
+    pub messages_per_tile: f64,
+    /// Owner-sends strategy: every rank targets the tile's single owner,
+    /// concentrating the receive burst (the §3.5 congestion shape).
+    pub owner_strategy: bool,
+    /// Estimated computation of one tiled-loop iteration (ns).
+    pub ns_per_iteration: f64,
+    /// Per-message fixed CPU overhead `o` (ns).
+    pub overhead_ns: f64,
+    /// Per-byte CPU involvement β (ns/B, send side).
+    pub cpu_ns_per_byte: f64,
+    /// NIC gap per byte (ns/B).
+    pub wire_ns_per_byte: f64,
+    /// Wire latency `L` (ns).
+    pub latency_ns: f64,
+}
+
+/// Predict whether pre-pushing this site would *slow the program down*,
+/// returning the human-readable reason when it would.
+///
+/// Two failure modes, both measured against what the original blocking
+/// exchange costs per call — `(NP-1)·(2o + 2β·S + G·S) + L`:
+///
+/// 1. **Fixed-overhead blowup**: the tiled variant replaces `NP-1`
+///    message overheads with `ntiles·M` of them. If those alone exceed
+///    the whole original exchange, no amount of overlap wins.
+///
+/// 2. **Owner-sends incast exposure** (§3.5 congestion): with the owner
+///    strategy every rank finishes tile `t` in near-lockstep and targets
+///    its single owner, which must absorb `NP-1` messages — fixed cost,
+///    per-byte CPU *and* receiver-NIC serialization — before its next
+///    wait returns. The only computation that burst can hide behind is
+///    one tile's worth (`K` iterations). When
+///
+///    ```text
+///    (NP-1)·(o + (G+β)·8K)  >  K·ns_per_iteration
+///    ```
+///
+///    the burst is exposed and grows with NP — exactly how the `direct`
+///    workload collapses to 0.37x at standard/np=8/MPICH while staying
+///    profitable on RDMA-class stacks (β ≈ 0, small `o`).
+///
+/// The skewed all-peers exchange (Fig. 4) staggers its targets by
+/// construction, so mode 2 does not apply to it.
+pub fn predict_slowdown(input: &ProfitInput) -> Option<String> {
+    let k = input.tile_size.max(1);
+    let ntiles = ((input.trip_count.max(1) + k - 1) / k) as f64;
+    let pairs = (input.np - 1.0).max(1.0);
+    let beta = input.cpu_ns_per_byte;
+    let gap = input.wire_ns_per_byte;
+
+    let orig_comm = pairs
+        * (2.0 * input.overhead_ns + 2.0 * beta * input.partner_bytes
+            + gap * input.partner_bytes)
+        + input.latency_ns;
+    let added_overhead = ntiles * input.messages_per_tile * 2.0 * input.overhead_ns;
+    if added_overhead > orig_comm {
+        return Some(format!(
+            "predicted slowdown: {ntiles:.0} tiles x {:.0} message(s) cost {:.1} us of \
+             fixed overhead vs {:.1} us for the original exchange",
+            input.messages_per_tile,
+            added_overhead / 1e3,
+            orig_comm / 1e3,
+        ));
+    }
+
+    if input.owner_strategy {
+        let tile_msg_bytes = 8.0 * k as f64;
+        let burst = pairs * (input.overhead_ns + (gap + beta) * tile_msg_bytes);
+        let hide = k as f64 * input.ns_per_iteration;
+        if burst > hide {
+            return Some(format!(
+                "predicted slowdown: owner incast of {:.1} us per tile ((NP-1) = \
+                 {pairs:.0} messages) exceeds the {:.1} us of computation one \
+                 K = {k} tile can hide it behind",
+                burst / 1e3,
+                hide / 1e3,
+            ));
+        }
+    }
+    None
+}
+
 /// Statically estimate the interpreter cost of one iteration of a loop
 /// body: expression nodes × `ns_per_op` + statements × `ns_per_stmt`.
 /// Nested loops multiply by their literal trip counts when known (symbolic
@@ -239,6 +334,88 @@ mod tests {
             ..base()
         });
         assert!(k >= 1);
+    }
+
+    fn profit_base() -> ProfitInput {
+        // direct/standard/np=8-like figures under MPICH: o = 10 us,
+        // G = 10 ns/B, beta = 8 ns/B, S = 16 KiB, K = 2048 aligned tiles.
+        ProfitInput {
+            partner_bytes: 16384.0,
+            np: 8.0,
+            trip_count: 16384,
+            tile_size: 2048,
+            messages_per_tile: 1.0,
+            owner_strategy: true,
+            ns_per_iteration: 48.0,
+            overhead_ns: 10_000.0,
+            cpu_ns_per_byte: 8.0,
+            wire_ns_per_byte: 10.0,
+            latency_ns: 55_000.0,
+        }
+    }
+
+    #[test]
+    fn owner_incast_on_tcp_predicts_slowdown() {
+        let reason = predict_slowdown(&profit_base()).expect("0.37x case must decline");
+        assert!(reason.contains("incast"), "{reason}");
+    }
+
+    #[test]
+    fn owner_with_enough_compute_stays_profitable() {
+        // np = 2 with heavy per-iteration compute: one partner's burst
+        // hides easily (the measured 1.02x case on MPICH-GM).
+        let keep = ProfitInput {
+            np: 2.0,
+            ns_per_iteration: 60.0,
+            overhead_ns: 1_000.0,
+            cpu_ns_per_byte: 0.05,
+            wire_ns_per_byte: 4.0,
+            latency_ns: 7_000.0,
+            tile_size: 1024,
+            trip_count: 2048,
+            partner_bytes: 8192.0,
+            ..profit_base()
+        };
+        assert_eq!(predict_slowdown(&keep), None);
+    }
+
+    #[test]
+    fn all_peers_ignores_incast_but_catches_overhead_blowup() {
+        // The skewed Fig. 4 exchange never triggers the incast branch...
+        let all_peers = ProfitInput {
+            owner_strategy: false,
+            messages_per_tile: 7.0,
+            ns_per_iteration: 0.0,
+            ..profit_base()
+        };
+        assert_eq!(predict_slowdown(&all_peers), None);
+        // ...but pathological tiling (K = 1 => trip x (NP-1) messages)
+        // still declines on fixed overheads alone.
+        let tiny_tiles = ProfitInput {
+            tile_size: 1,
+            ..all_peers
+        };
+        let reason = predict_slowdown(&tiny_tiles).expect("overhead blowup");
+        assert!(reason.contains("fixed overhead"), "{reason}");
+    }
+
+    #[test]
+    fn rdma_class_models_keep_the_owner_strategy_at_np2() {
+        let gm = ProfitInput {
+            np: 2.0,
+            overhead_ns: 1_000.0,
+            cpu_ns_per_byte: 0.05,
+            wire_ns_per_byte: 4.0,
+            latency_ns: 7_000.0,
+            ns_per_iteration: 48.0,
+            tile_size: 2048,
+            ..profit_base()
+        };
+        assert_eq!(predict_slowdown(&gm), None);
+        // Same stack at np = 8: seven simultaneous senders per owner
+        // overwhelm one tile's compute — decline (measured 0.94x).
+        let gm_np8 = ProfitInput { np: 8.0, ..gm };
+        assert!(predict_slowdown(&gm_np8).is_some());
     }
 
     #[test]

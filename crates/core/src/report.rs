@@ -37,6 +37,11 @@ impl std::fmt::Display for Strategy {
 pub enum Status {
     Applied,
     Declined(Vec<String>),
+    /// The transformation was *feasible* but the model-informed predictor
+    /// said pre-pushing would be slower (e.g. the owner-sends strategy on
+    /// a high-overhead stack): the original program is emitted unchanged,
+    /// with this note.
+    Unprofitable(String),
 }
 
 /// Per-opportunity outcome.
@@ -55,6 +60,10 @@ pub struct OppOutcome {
     pub reshaped_arrays: Vec<String>,
     /// Facts assumed rather than proven, for the user to review.
     pub assumptions: Vec<String>,
+    /// Set by K-selection when the model predicts pre-pushing would be
+    /// slower; `transform` turns it into [`Status::Unprofitable`] unless
+    /// overridden.
+    pub unprofitable: Option<String>,
     pub status: Status,
 }
 
@@ -127,6 +136,12 @@ impl TransformReport {
                         s.push_str(&format!("  reason: {r}\n"));
                     }
                 }
+                Status::Unprofitable(note) => {
+                    s.push_str(&format!(
+                        "declined (unprofitable): {} — {note}\n",
+                        o.send_array
+                    ));
+                }
             }
         }
         for q in &self.queries {
@@ -159,6 +174,7 @@ mod tests {
                     dead_arrays: vec![],
                     reshaped_arrays: vec![],
                     assumptions: vec!["K = 8 chosen".into()],
+                    unprofitable: None,
                     status: Status::Applied,
                 },
                 OppOutcome {
@@ -169,6 +185,7 @@ mod tests {
                     dead_arrays: vec![],
                     reshaped_arrays: vec![],
                     assumptions: vec![],
+                    unprofitable: None,
                     status: Status::Declined(vec!["not affine".into()]),
                 },
             ],
@@ -194,6 +211,7 @@ mod tests {
                 dead_arrays: vec!["as".into()],
                 reshaped_arrays: vec!["at".into()],
                 assumptions: vec![],
+                unprofitable: None,
                 status: Status::Declined(vec!["x".into()]),
             }],
             rejections: vec![],

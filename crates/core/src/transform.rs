@@ -38,10 +38,19 @@ pub struct Options {
     /// semi-automatic path).
     pub opaque_procedures: Vec<String>,
     /// Network-model figures for the K heuristic (overhead ns, CPU
-    /// ns/byte). Defaults to Myrinet-like values.
+    /// ns/byte, wire ns/byte, latency ns). Defaults to Myrinet-like
+    /// values.
     pub kselect_overhead_ns: Option<f64>,
     pub kselect_cpu_ns_per_byte: Option<f64>,
     pub kselect_wire_ns_per_byte: Option<f64>,
+    pub kselect_latency_ns: Option<f64>,
+    /// Apply a feasible transformation even when the model-informed
+    /// predictor says pre-pushing will be slower. The default (`false`)
+    /// declines such sites and emits the original program with a
+    /// [`Status::Unprofitable`] report note. Requesting an explicit
+    /// `tile_size` also bypasses the predictor (ablations sweep K on
+    /// purpose).
+    pub apply_even_if_unprofitable: bool,
 }
 
 /// Result of [`transform`].
@@ -101,6 +110,7 @@ pub fn transform(program: &Program, opts: &Options) -> Result<TransformOutput, T
     opportunities.sort_by(|a, b| b.comm_path.cmp(&a.comm_path));
 
     let mut applied_any = false;
+    let mut declined_unprofitable = false;
     for opp in &opportunities {
         let mut outcome = OppOutcome {
             send_array: opp.send_array.clone(),
@@ -110,15 +120,27 @@ pub fn transform(program: &Program, opts: &Options) -> Result<TransformOutput, T
             dead_arrays: Vec::new(),
             reshaped_arrays: Vec::new(),
             assumptions: Vec::new(),
+            unprofitable: None,
             status: Status::Declined(Vec::new()),
         };
         match plan_opportunity(&out, opp, opts, &mut gen, &mut outcome, &mut report.queries)
         {
-            Ok(plan) => {
-                apply_plan(&mut out, opp, plan);
-                outcome.status = Status::Applied;
-                applied_any = true;
-            }
+            Ok(plan) => match outcome.unprofitable.take() {
+                Some(note) if !opts.apply_even_if_unprofitable => {
+                    // Feasible but predicted slower: leave the program
+                    // untouched and report why (paper-faithful behaviour —
+                    // a tool that slows codes down would not be used).
+                    outcome.strategy = None;
+                    outcome.tile_size = None;
+                    outcome.status = Status::Unprofitable(note);
+                    declined_unprofitable = true;
+                }
+                _ => {
+                    apply_plan(&mut out, opp, plan);
+                    outcome.status = Status::Applied;
+                    applied_any = true;
+                }
+            },
             Err(reasons) => {
                 outcome.status = Status::Declined(reasons);
             }
@@ -133,6 +155,14 @@ pub fn transform(program: &Program, opts: &Options) -> Result<TransformOutput, T
             "generated program fails validation:\n{}",
             fir::unparse(&out)
         );
+        Ok(TransformOutput {
+            program: out,
+            report,
+        })
+    } else if declined_unprofitable {
+        // Every feasible site was declined as unprofitable: succeed with
+        // the *original* program (`out` was never mutated) so callers run
+        // it unchanged; the report carries the per-site notes.
         Ok(TransformOutput {
             program: out,
             report,
@@ -1258,12 +1288,14 @@ fn choose_tile_size(
     let bytes_per_iter = eval_expr(count, &opts.context)
         .map(|c| (c * 8) as f64 * (np - 1) as f64 / trip as f64)
         .unwrap_or(64.0);
+    let overhead_ns = opts.kselect_overhead_ns.unwrap_or(1_000.0);
+    let wire_ns_per_byte = opts.kselect_wire_ns_per_byte.unwrap_or(4.0);
     let k = kselect::choose_k(&KselectInput {
         ns_per_iteration: per_iter,
         bytes_per_iteration: bytes_per_iter,
-        overhead_ns: opts.kselect_overhead_ns.unwrap_or(1_000.0),
+        overhead_ns,
         cpu_ns_per_byte: opts.kselect_cpu_ns_per_byte.unwrap_or(0.05),
-        wire_ns_per_byte: opts.kselect_wire_ns_per_byte.unwrap_or(4.0),
+        wire_ns_per_byte,
         messages_per_tile: (np - 1) as f64,
         trip_count: trip,
         align_to,
@@ -1271,6 +1303,22 @@ fn choose_tile_size(
     outcome
         .assumptions
         .push(format!("tile size K = {k} chosen by the heuristic"));
+    // Profitability: would the tiled exchange's added fixed overheads
+    // exceed the wire time it can hide? (`align_to` marks the owner-sends
+    // strategy, which posts one message per tile; all-peers posts NP-1.)
+    outcome.unprofitable = kselect::predict_slowdown(&kselect::ProfitInput {
+        partner_bytes: eval_expr(count, &opts.context).map_or(64.0, |c| (c * 8) as f64),
+        np: np as f64,
+        trip_count: trip,
+        tile_size: k,
+        messages_per_tile: if align_to.is_some() { 1.0 } else { (np - 1) as f64 },
+        owner_strategy: align_to.is_some(),
+        ns_per_iteration: per_iter,
+        overhead_ns,
+        cpu_ns_per_byte: opts.kselect_cpu_ns_per_byte.unwrap_or(0.05),
+        wire_ns_per_byte,
+        latency_ns: opts.kselect_latency_ns.unwrap_or(7_000.0),
+    });
     k
 }
 

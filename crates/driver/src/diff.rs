@@ -17,6 +17,16 @@ pub struct DiffRow {
     pub ratio: f64,
 }
 
+/// Per-model aggregate movement: geomean speedup before vs after.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelAggregate {
+    pub model: String,
+    /// Geomean speedup in the baseline (`None`: model absent there).
+    pub before: Option<f64>,
+    /// Geomean speedup in the candidate (`None`: model absent there).
+    pub after: Option<f64>,
+}
+
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DiffReport {
     /// Scenario keys present in `a` but missing from `b`.
@@ -32,6 +42,9 @@ pub struct DiffReport {
     /// Prepush virtual time shrank beyond tolerance.
     pub improvements: Vec<DiffRow>,
     pub unchanged: usize,
+    /// Per-model geomean-speedup movement (informational, union of the
+    /// models seen on either side, baseline order first).
+    pub per_model: Vec<ModelAggregate>,
 }
 
 impl DiffReport {
@@ -72,6 +85,28 @@ impl DiffReport {
         }
         for r in &self.improvements {
             row("IMPROVED  ", r);
+        }
+        if !self.per_model.is_empty() {
+            let _ = writeln!(s, "per-model geomean speedup (baseline -> candidate):");
+            for m in &self.per_model {
+                let fmt = |v: Option<f64>| match v {
+                    Some(g) => format!("{g:.3}x"),
+                    None => "-".into(),
+                };
+                let delta = match (m.before, m.after) {
+                    (Some(b), Some(a)) if b > 0.0 => {
+                        format!("  ({:+.2}%)", (a / b - 1.0) * 100.0)
+                    }
+                    _ => String::new(),
+                };
+                let _ = writeln!(
+                    s,
+                    "  {:<16} {} -> {}{delta}",
+                    m.model,
+                    fmt(m.before),
+                    fmt(m.after)
+                );
+            }
         }
         let _ = writeln!(
             s,
@@ -169,6 +204,28 @@ pub fn diff(a: &SweepResult, b: &SweepResult, tolerance: f64) -> DiffReport {
         }
         *occurrence += 1;
     }
+    // Per-model aggregates: union of both sides, baseline order first.
+    for (model, before) in &a.summary.per_model {
+        report.per_model.push(ModelAggregate {
+            model: model.clone(),
+            before: Some(*before),
+            after: b
+                .summary
+                .per_model
+                .iter()
+                .find(|(m, _)| m == model)
+                .map(|(_, g)| *g),
+        });
+    }
+    for (model, after) in &b.summary.per_model {
+        if !report.per_model.iter().any(|m| m.model == *model) {
+            report.per_model.push(ModelAggregate {
+                model: model.clone(),
+                before: None,
+                after: Some(*after),
+            });
+        }
+    }
     report
 }
 
@@ -202,7 +259,11 @@ mod tests {
 
     fn result(records: Vec<SweepRecord>) -> SweepResult {
         let summary = summarize(&records, 0.0);
-        SweepResult { records, summary }
+        SweepResult {
+            records,
+            summary,
+            timing: None,
+        }
     }
 
     #[test]
@@ -259,6 +320,21 @@ mod tests {
         assert!(!d.has_regressions());
         assert_eq!(d.unchanged, 2);
         assert!(d.improvements.is_empty());
+    }
+
+    #[test]
+    fn per_model_aggregates_reported() {
+        let a = result(vec![rec("w1", 1000), rec("w2", 1000)]);
+        let b = result(vec![rec("w1", 800), rec("w2", 900)]);
+        let d = diff(&a, &b, 0.0);
+        assert_eq!(d.per_model.len(), 1);
+        assert_eq!(d.per_model[0].model, "mpich");
+        let before = d.per_model[0].before.unwrap();
+        let after = d.per_model[0].after.unwrap();
+        assert!(after > before, "candidate got faster: {before} -> {after}");
+        let text = d.render();
+        assert!(text.contains("per-model geomean speedup"));
+        assert!(text.contains("mpich"));
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! identical regardless of thread count or completion order. A panicking
 //! scenario (analysis bug, equivalence failure, unknown workload) becomes
 //! an *error row*, not a dead sweep.
+//!
+//! Threading: sweep workers run as *helper* tasks on the persistent
+//! [`clustersim::pool`] (no fresh OS threads per sweep), and each
+//! scenario's simulated ranks are scheduled onto the same pool under
+//! ticket admission — a worker thus *is* its scenario's rank 0, and total
+//! live threads stay bounded by the pool's capacity plus the largest
+//! admitted scenario instead of growing with the grid.
 
 use crate::measure::{measure, measure_original, transform_workload};
 use crate::spec::{ScenarioSpec, Variant};
@@ -92,23 +99,43 @@ pub struct SweepSummary {
     pub wall_ms: f64,
 }
 
-/// Everything one sweep produced: ordered records plus aggregates.
+/// Host-side timing of one sweep — the `overlap-sweep/v2` artifact's
+/// optional `timing` section. Never part of the normalized (committed)
+/// form: wall-clock varies across machines and runs by design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTiming {
+    /// Total sweep wall-clock in milliseconds.
+    pub wall_ms_total: f64,
+    /// Rank-pool ticket capacity during the sweep.
+    pub pool_capacity: usize,
+    /// High-water mark of live pool worker threads (process lifetime).
+    pub workers_high_water: usize,
+    /// `(scenario key, wall_ms)` per record, in record order.
+    pub per_scenario: Vec<(String, f64)>,
+}
+
+/// Everything one sweep produced: ordered records plus aggregates, plus
+/// host timing when the sweep was actually executed (absent after reading
+/// a normalized artifact).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     pub records: Vec<SweepRecord>,
     pub summary: SweepSummary,
+    pub timing: Option<SweepTiming>,
 }
 
 impl SweepResult {
-    /// A copy with every wall-clock field zeroed: virtual times and
-    /// speedups are deterministic, host wall-clock is not, so committed
-    /// artifacts (and byte-equality assertions) use this form.
+    /// A copy with every wall-clock field zeroed and the timing section
+    /// dropped: virtual times and speedups are deterministic, host
+    /// wall-clock is not, so committed artifacts (and byte-equality
+    /// assertions) use this form.
     pub fn normalized(&self) -> SweepResult {
         let mut out = self.clone();
         for r in &mut out.records {
             r.wall_ms = 0.0;
         }
         out.summary.wall_ms = 0.0;
+        out.timing = None;
         out
     }
 }
@@ -233,7 +260,21 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> SweepResult {
     let records = run_specs(&specs, threads);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let summary = summarize(&records, wall_ms);
-    SweepResult { records, summary }
+    let pool_stats = clustersim::pool::stats();
+    let timing = SweepTiming {
+        wall_ms_total: wall_ms,
+        pool_capacity: clustersim::pool::capacity(),
+        workers_high_water: pool_stats.workers_high_water,
+        per_scenario: records
+            .iter()
+            .map(|r| (r.spec.key(), r.wall_ms))
+            .collect(),
+    };
+    SweepResult {
+        records,
+        summary,
+        timing: Some(timing),
+    }
 }
 
 /// Run an explicit scenario list in parallel; records come back in spec
@@ -261,11 +302,14 @@ pub fn run_specs(specs: &[ScenarioSpec], threads: usize) -> Vec<SweepRecord> {
     let slots: Vec<Mutex<Option<SweepRecord>>> =
         specs.iter().map(|_| Mutex::new(None)).collect();
 
-    std::thread::scope(|scope| {
-        for me in 0..nthreads {
+    // Worker loops run as *helper* tasks on the persistent pool (the
+    // first on this thread): no fresh OS threads per sweep, and each
+    // worker becomes rank 0 of the scenarios it runs.
+    let workers: Vec<Box<dyn FnOnce() + Send + '_>> = (0..nthreads)
+        .map(|me| {
             let deques = &deques;
             let slots = &slots;
-            scope.spawn(move || loop {
+            Box::new(move || loop {
                 // Own work first (front), then steal from a victim (back).
                 let mut next = deques[me].lock().unwrap().pop_front();
                 if next.is_none() {
@@ -279,9 +323,10 @@ pub fn run_specs(specs: &[ScenarioSpec], threads: usize) -> Vec<SweepRecord> {
                 let Some(idx) = next else { break };
                 let rec = run_scenario(&specs[idx]);
                 *slots[idx].lock().unwrap() = Some(rec);
-            });
-        }
-    });
+            }) as _
+        })
+        .collect();
+    clustersim::pool::scope_helpers(workers);
 
     slots
         .into_iter()
@@ -359,6 +404,8 @@ mod tests {
         let n = result.normalized();
         assert!(n.records.iter().all(|r| r.wall_ms == 0.0));
         assert_eq!(n.summary.wall_ms, 0.0);
+        assert!(result.timing.is_some(), "executed sweeps carry timing");
+        assert!(n.timing.is_none(), "normalized artifacts drop timing");
         assert_eq!(n.records[0].orig_ns, result.records[0].orig_ns);
         assert_eq!(n.summary.geomean_speedup, result.summary.geomean_speedup);
     }

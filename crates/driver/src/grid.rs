@@ -119,15 +119,23 @@ impl SweepGrid {
         out
     }
 
+    /// Workload families that extend to the large-np rows of the full
+    /// grid: the Fig. 4 all-peers exchanges, whose scaling behaviour the
+    /// paper's argument rests on. The rest of the registry is pinned at
+    /// the paper's np {4, 8} to keep the sweep's wall-clock in check.
+    pub const HIGH_NP_WORKLOADS: [&'static str; 3] = ["direct2d", "fft", "adi"];
+
     /// The full evaluation grid: every registry workload at Figure-1
-    /// scale, the paper's two stacks, both rank counts the paper tables
-    /// use. This is what `harness sweep` runs.
+    /// scale on the paper's two stacks at np {4, 8}, plus np {16, 32, 64}
+    /// rows for the all-peers families ([`Self::HIGH_NP_WORKLOADS`]).
+    /// This is what `harness sweep` runs.
     pub fn full() -> Self {
         SweepGrid::new()
             .workloads(workloads::registry().iter().map(|e| e.name))
             .size(SizeClass::Standard)
-            .nps([4, 8])
+            .nps([4, 8, 16, 32, 64])
             .models([ModelSpec::Mpich, ModelSpec::MpichGm])
+            .filter(|s| s.np <= 8 || Self::HIGH_NP_WORKLOADS.contains(&s.workload.as_str()))
     }
 
     /// A tiny smoke grid (seconds, even in debug builds): two workload

@@ -2,19 +2,25 @@
 //! value type, a recursive-descent parser, a pretty writer with stable
 //! key order, and the mapping to/from [`SweepResult`].
 //!
-//! Schema (`overlap-sweep/v1`): one object with `schema`, `records` (one
-//! object per scenario, in grid order) and `summary`. All virtual times
-//! are integer nanoseconds; `wall_ms` is host wall-clock and is the one
-//! field `normalized()` zeroes so committed artifacts stay
-//! byte-deterministic. The writer is canonical: `write(read(write(x)))`
-//! equals `write(x)` byte for byte.
+//! Schema (`overlap-sweep/v2`): one object with `schema`, `records` (one
+//! object per scenario, in grid order), `summary`, and an *optional*
+//! `timing` section (total/per-scenario host wall-clock plus rank-pool
+//! figures). All virtual times are integer nanoseconds; wall-clock fields
+//! are host time and are what `normalized()` zeroes/drops so committed
+//! artifacts stay byte-deterministic. The reader also accepts the v1
+//! schema (identical minus `timing`), so historical baselines keep
+//! diffing. The writer is canonical: `write(read(write(x)))` equals
+//! `write(x)` byte for byte.
 
-use crate::exec::{summarize, RunStatus, SweepRecord, SweepResult};
+use crate::exec::{summarize, RunStatus, SweepRecord, SweepResult, SweepTiming};
 use crate::spec::{ModelSpec, ScenarioSpec, SizeClass, Variant};
 use std::fmt::Write as _;
 
-/// The schema tag every artifact carries.
-pub const SCHEMA: &str = "overlap-sweep/v1";
+/// The schema tag the writer emits.
+pub const SCHEMA: &str = "overlap-sweep/v2";
+
+/// The previous schema, still accepted by the reader.
+pub const SCHEMA_V1: &str = "overlap-sweep/v1";
 
 /// A JSON value. Objects keep insertion order (the writer's key order is
 /// part of the artifact's byte-level stability).
@@ -430,15 +436,42 @@ pub fn to_json_string(result: &SweepResult) -> String {
         ),
         ("wall_ms".into(), float_field(s.wall_ms)),
     ]);
-    let doc = Json::Obj(vec![
+    let mut fields = vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         (
             "records".into(),
             Json::Arr(result.records.iter().map(record_to_json).collect()),
         ),
         ("summary".into(), summary),
-    ]);
-    write_json(&doc)
+    ];
+    if let Some(t) = &result.timing {
+        fields.push((
+            "timing".into(),
+            Json::Obj(vec![
+                ("wall_ms_total".into(), float_field(t.wall_ms_total)),
+                ("pool_capacity".into(), Json::Int(t.pool_capacity as i64)),
+                (
+                    "workers_high_water".into(),
+                    Json::Int(t.workers_high_water as i64),
+                ),
+                (
+                    "per_scenario".into(),
+                    Json::Arr(
+                        t.per_scenario
+                            .iter()
+                            .map(|(key, ms)| {
+                                Json::Obj(vec![
+                                    ("scenario".into(), Json::Str(key.clone())),
+                                    ("wall_ms".into(), float_field(*ms)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    write_json(&Json::Obj(fields))
 }
 
 fn field<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
@@ -528,15 +561,16 @@ fn record_from_json(v: &Json, idx: usize) -> Result<SweepRecord, String> {
 
 /// Parse an artifact back into a [`SweepResult`]. The summary is
 /// recomputed from the records (it is derived data), except `wall_ms`,
-/// which is taken from the file.
+/// which is taken from the file. Accepts the current `overlap-sweep/v2`
+/// schema and the historical v1 (which simply lacks `timing`).
 pub fn from_json_string(text: &str) -> Result<SweepResult, String> {
     let doc = parse_json(text)?;
     let schema = field(&doc, "schema", "document")?
         .as_str()
         .ok_or("document: `schema` must be a string")?;
-    if schema != SCHEMA {
+    if schema != SCHEMA && schema != SCHEMA_V1 {
         return Err(format!(
-            "unsupported schema `{schema}` (this reader understands `{SCHEMA}`)"
+            "unsupported schema `{schema}` (this reader understands `{SCHEMA}` and `{SCHEMA_V1}`)"
         ));
     }
     let records_json = match field(&doc, "records", "document")? {
@@ -552,7 +586,51 @@ pub fn from_json_string(text: &str) -> Result<SweepResult, String> {
         .and_then(Json::as_f64)
         .unwrap_or(0.0);
     let summary = summarize(&records, wall_ms);
-    Ok(SweepResult { records, summary })
+    let timing = match doc.get("timing") {
+        None | Some(Json::Null) => None,
+        Some(t) => Some(timing_from_json(t)?),
+    };
+    Ok(SweepResult {
+        records,
+        summary,
+        timing,
+    })
+}
+
+fn timing_from_json(t: &Json) -> Result<SweepTiming, String> {
+    let what = "timing";
+    let wall_ms_total = field(t, "wall_ms_total", what)?
+        .as_f64()
+        .ok_or("timing: `wall_ms_total` must be a number")?;
+    let pool_capacity = field(t, "pool_capacity", what)?
+        .as_u64()
+        .ok_or("timing: `pool_capacity` must be an integer")? as usize;
+    let workers_high_water = field(t, "workers_high_water", what)?
+        .as_u64()
+        .ok_or("timing: `workers_high_water` must be an integer")?
+        as usize;
+    let per_scenario = match field(t, "per_scenario", what)? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|item| -> Result<(String, f64), String> {
+                let key = field(item, "scenario", "timing row")?
+                    .as_str()
+                    .ok_or("timing row: `scenario` must be a string")?
+                    .to_string();
+                let ms = field(item, "wall_ms", "timing row")?
+                    .as_f64()
+                    .ok_or("timing row: `wall_ms` must be a number")?;
+                Ok((key, ms))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("timing: `per_scenario` must be an array".into()),
+    };
+    Ok(SweepTiming {
+        wall_ms_total,
+        pool_capacity,
+        workers_high_water,
+        per_scenario,
+    })
 }
 
 #[cfg(test)]
@@ -598,7 +676,11 @@ mod tests {
             },
         ];
         let summary = summarize(&records, 0.0);
-        SweepResult { records, summary }
+        SweepResult {
+            records,
+            summary,
+            timing: None,
+        }
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //!   name, size class, np, [`ModelSpec`], tile size K, [`Variant`]);
 //! - [`SweepGrid`] expands axes cartesian-product-style, with filters,
 //!   in a deterministic order;
-//! - [`run_sweep`] executes scenarios on a work-stealing thread pool
-//!   (`std::thread::scope`), isolating per-scenario panics into error
-//!   rows and returning records in grid order regardless of completion
-//!   order;
-//! - [`json`] reads/writes the dependency-free `overlap-sweep/v1`
-//!   artifact (`BENCH_sweep.json`);
+//! - [`run_sweep`] executes scenarios on work-stealing workers scheduled
+//!   onto the persistent `clustersim` rank pool, isolating per-scenario
+//!   panics into error rows and returning records in grid order
+//!   regardless of completion order;
+//! - [`json`] reads/writes the dependency-free `overlap-sweep/v2`
+//!   artifact (`BENCH_sweep.json`), including the optional host-timing
+//!   section (reader also accepts v1);
 //! - [`diff`](diff()) compares two artifacts and flags virtual-time
 //!   regressions.
 //!
@@ -45,7 +46,7 @@ pub mod spec;
 pub use diff::{diff, DiffReport, DiffRow};
 pub use exec::{
     run_scenario, run_specs, run_sweep, summarize, RunStatus, SweepRecord, SweepResult,
-    SweepSummary,
+    SweepSummary, SweepTiming,
 };
 pub use grid::SweepGrid;
 pub use measure::{measure, measure_original, transform_workload, Measurement};

@@ -45,6 +45,7 @@ pub fn transform_workload(
         kselect_overhead_ns: Some(model.overhead.as_ns() as f64),
         kselect_cpu_ns_per_byte: Some(model.cpu_send_ns_per_byte),
         kselect_wire_ns_per_byte: Some(model.gap_ns_per_byte),
+        kselect_latency_ns: Some(model.latency.as_ns() as f64),
         ..Default::default()
     };
     transform(&w.program(), &opts)

@@ -1,11 +1,11 @@
-//! Per-rank execution environments with Fortran by-reference array passing
-//! and sequence association for section arguments.
+//! Array views and bindings: Fortran by-reference array passing and
+//! sequence association for section arguments.
+//!
+//! Scalar bindings live in the slot-indexed frame in `exec.rs` (resolved
+//! by `lower.rs`); this module keeps the shared-storage array machinery.
 
 use crate::value::{ArrayStorage, Scalar};
-use fir::ast::ScalarType;
-use fir::symbol::implicit_type;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A view into shared array storage: the whole array, or — for section
@@ -139,54 +139,10 @@ impl BoundArray {
     }
 }
 
-/// One procedure activation's name bindings.
-#[derive(Debug, Default)]
-pub struct Frame {
-    scalars: HashMap<String, Scalar>,
-    arrays: HashMap<String, BoundArray>,
-}
-
-impl Frame {
-    pub fn new() -> Frame {
-        Frame::default()
-    }
-
-    pub fn define_array(&mut self, name: &str, binding: BoundArray) {
-        self.arrays.insert(name.to_string(), binding);
-    }
-
-    pub fn array(&self, name: &str) -> Option<&BoundArray> {
-        self.arrays.get(name)
-    }
-
-    pub fn arrays(&self) -> impl Iterator<Item = (&String, &BoundArray)> {
-        self.arrays.iter()
-    }
-
-    pub fn set_scalar(&mut self, name: &str, v: Scalar) {
-        self.scalars.insert(name.to_string(), v);
-    }
-
-    /// Read a scalar. Uninitialized scalars default to a typed zero
-    /// (Fortran leaves them undefined; zero keeps runs deterministic and is
-    /// documented in DESIGN.md).
-    pub fn scalar(&self, name: &str) -> Scalar {
-        self.scalars.get(name).copied().unwrap_or_else(|| {
-            match implicit_type(name) {
-                ScalarType::Integer => Scalar::Int(0),
-                ScalarType::Real => Scalar::Real(0.0),
-            }
-        })
-    }
-
-    pub fn scalar_if_set(&self, name: &str) -> Option<Scalar> {
-        self.scalars.get(name).copied()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::Scalar;
     use fir::ast::ScalarType;
 
     #[test]
@@ -230,17 +186,20 @@ mod tests {
     }
 
     #[test]
-    fn scalar_defaults_follow_implicit_typing() {
-        let f = Frame::new();
-        assert_eq!(f.scalar("i"), Scalar::Int(0));
-        assert_eq!(f.scalar("x"), Scalar::Real(0.0));
-        assert_eq!(f.scalar_if_set("i"), None);
-    }
-
-    #[test]
-    fn scalar_set_get() {
-        let mut f = Frame::new();
-        f.set_scalar("n", Scalar::Int(5));
-        assert_eq!(f.scalar("n"), Scalar::Int(5));
+    fn bound_array_shape_overlay() {
+        let st = Rc::new(RefCell::new(ArrayStorage::new(
+            "a",
+            ScalarType::Integer,
+            vec![(1, 6)],
+        )));
+        let whole = ArrayHandle::whole(st);
+        // Overlay a 2x3 shape onto the 6-element window.
+        let b = BoundArray::from_shape(whole.clone(), vec![(1, 2), (1, 3)]).unwrap();
+        assert_eq!(b.rank(), 2);
+        assert_eq!(b.shape_len(), 6);
+        b.set("a", &[2, 1], Scalar::Int(7)).unwrap();
+        assert_eq!(b.get("a", &[2, 1]).unwrap(), Scalar::Int(7));
+        // A shape needing more elements than the window fails.
+        assert!(BoundArray::from_shape(whole, vec![(1, 7)]).is_err());
     }
 }

@@ -1,5 +1,12 @@
-//! The tree-walking interpreter: executes one rank's view of a validated
+//! The slot-indexed executor: runs one rank's view of a lowered
 //! mini-Fortran program against a [`clustersim::Comm`] endpoint.
+//!
+//! Names were resolved to dense frame-slot indices by [`crate::lower`], so
+//! the hot loop below is `Vec` indexing — no string hashing, no name
+//! clones. Cost accounting (one `op` per expression node, `ns_per_stmt`
+//! per statement, `ns_per_call` per user call) is identical to the
+//! historical tree-walker; virtual times are pinned byte-for-byte by the
+//! golden and differential suites.
 //!
 //! Interpreter-detected runtime errors (bounds violations, bad MPI
 //! arguments, non-contiguous communication buffers, buffer-reuse hazards)
@@ -7,10 +14,13 @@
 //! into [`clustersim::SimError::RankPanic`].
 
 use crate::cost::Options;
-use crate::env::{ArrayHandle, BoundArray, Frame};
+use crate::env::{ArrayHandle, BoundArray};
+use crate::lower::{
+    BufferKind, Builtin, Intr, LArg, LCallArg, LExpr, LProc, LProgram, LSecDim, LSection, LStmt,
+};
 use crate::value::{ArrayStorage, Scalar};
 use clustersim::{Bytes, Comm, RecvId, SimTime};
-use fir::ast::*;
+use fir::ast::{BinOp, UnOp};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -35,8 +45,51 @@ struct InflightRegion {
     expires: SimTime,
 }
 
+/// One procedure activation's slot-indexed bindings.
+pub(crate) struct LFrame {
+    /// `None` = never written; reads fall back to the proc's typed zero.
+    scalars: Vec<Option<Scalar>>,
+    arrays: Vec<Option<BoundArray>>,
+}
+
+impl LFrame {
+    fn new(proc: &LProc, rank: i64, np: i64) -> LFrame {
+        let mut f = LFrame {
+            scalars: vec![None; proc.scalar_defaults.len()],
+            arrays: (0..proc.array_names.len()).map(|_| None).collect(),
+        };
+        // Slots 0/1 are reserved by the lowering for mynum/np.
+        f.scalars[0] = Some(Scalar::Int(rank));
+        f.scalars[1] = Some(Scalar::Int(np));
+        f
+    }
+
+    #[inline]
+    fn scalar(&self, proc: &LProc, slot: u32) -> Scalar {
+        self.scalars[slot as usize].unwrap_or(proc.scalar_defaults[slot as usize])
+    }
+
+    #[inline]
+    fn array(&self, slot: u32) -> &BoundArray {
+        self.arrays[slot as usize]
+            .as_ref()
+            .expect("arrays are bound during allocate_locals, before any use")
+    }
+
+    /// Iterate bound arrays with their names (final dump).
+    pub fn arrays<'a>(
+        &'a self,
+        proc: &'a LProc,
+    ) -> impl Iterator<Item = (&'a String, &'a BoundArray)> {
+        proc.array_names
+            .iter()
+            .zip(&self.arrays)
+            .filter_map(|(n, a)| a.as_ref().map(|b| (n, b)))
+    }
+}
+
 pub(crate) struct Interp<'p, 'c> {
-    program: &'p Program,
+    program: &'p LProgram,
     opts: &'p Options,
     comm: &'c mut Comm,
     pub prints: Vec<String>,
@@ -46,7 +99,7 @@ pub(crate) struct Interp<'p, 'c> {
 }
 
 impl<'p, 'c> Interp<'p, 'c> {
-    pub fn new(program: &'p Program, opts: &'p Options, comm: &'c mut Comm) -> Self {
+    pub fn new(program: &'p LProgram, opts: &'p Options, comm: &'c mut Comm) -> Self {
         Interp {
             program,
             opts,
@@ -58,19 +111,21 @@ impl<'p, 'c> Interp<'p, 'c> {
         }
     }
 
-    /// Execute the main program; returns its final frame (for array dumps).
-    pub fn run_main(&mut self) -> Frame {
-        let main = &self.program.main;
-        let mut frame = self.fresh_frame();
+    /// Execute the main program; returns its final frame (for array dumps)
+    /// along with the main proc for name resolution.
+    pub fn run_main(&mut self) -> (LFrame, &'p LProc) {
+        let main = &self.program.procs[self.program.main];
+        let mut frame = self.fresh_frame(main);
         self.allocate_locals(main, &mut frame, &[]);
-        self.exec_stmts(main, &frame.into_cell(), &main.body)
+        let cell = FrameCell(RefCell::new(frame));
+        for s in &main.body {
+            self.exec_stmt(main, &cell, s);
+        }
+        (cell.take(), main)
     }
 
-    fn fresh_frame(&self) -> Frame {
-        let mut f = Frame::new();
-        f.set_scalar("mynum", Scalar::Int(self.comm.rank() as i64));
-        f.set_scalar("np", Scalar::Int(self.comm.np() as i64));
-        f
+    fn fresh_frame(&self, proc: &LProc) -> LFrame {
+        LFrame::new(proc, self.comm.rank() as i64, self.comm.np() as i64)
     }
 
     // -- cost charging -------------------------------------------------------
@@ -88,27 +143,27 @@ impl<'p, 'c> Interp<'p, 'c> {
         self.comm.advance(ns);
     }
 
-    // -- expression evaluation -------------------------------------------------
+    // -- expression evaluation -----------------------------------------------
 
-    fn eval(&mut self, frame: &Frame, e: &Expr) -> Scalar {
+    fn eval(&mut self, proc: &LProc, frame: &LFrame, e: &LExpr) -> Scalar {
         self.ops += 1;
         match e {
-            Expr::IntLit(v, _) => Scalar::Int(*v),
-            Expr::RealLit(v, _) => Scalar::Real(*v),
-            Expr::Var(n, _) => frame.scalar(n),
-            Expr::ArrayRef { name, indices, .. } => {
-                let idx = self.eval_indices(frame, indices);
-                let Some(binding) = frame.array(name) else {
+            LExpr::Int(v) => Scalar::Int(*v),
+            LExpr::Real(v) => Scalar::Real(*v),
+            LExpr::Var(slot) => frame.scalar(proc, *slot),
+            LExpr::ArrayRef { slot, name, indices } => {
+                let idx = self.eval_indices(proc, frame, indices);
+                let Some(slot) = slot else {
                     rt_err!("`{name}` is not an array in this scope");
                 };
-                match binding.get(name, &idx) {
+                match frame.array(*slot).get(name, &idx) {
                     Ok(v) => v,
                     Err(be) => rt_err!("{be}"),
                 }
             }
-            Expr::Call { name, args, .. } => self.eval_intrinsic(frame, name, args),
-            Expr::Unary { op, operand, .. } => {
-                let v = self.eval(frame, operand);
+            LExpr::Intrinsic { op, name, args } => self.eval_intrinsic(proc, frame, *op, name, args),
+            LExpr::Unary { op, operand } => {
+                let v = self.eval(proc, frame, operand);
                 match op {
                     UnOp::Neg => match v {
                         Scalar::Int(x) => Scalar::Int(-x),
@@ -117,25 +172,32 @@ impl<'p, 'c> Interp<'p, 'c> {
                     UnOp::Not => Scalar::Int(i64::from(!v.is_true())),
                 }
             }
-            Expr::Binary { op, lhs, rhs, .. } => {
-                let a = self.eval(frame, lhs);
-                let b = self.eval(frame, rhs);
+            LExpr::Binary { op, lhs, rhs } => {
+                let a = self.eval(proc, frame, lhs);
+                let b = self.eval(proc, frame, rhs);
                 eval_binop(*op, a, b)
             }
         }
     }
 
-    fn eval_indices(&mut self, frame: &Frame, indices: &[Expr]) -> Vec<i64> {
+    fn eval_indices(&mut self, proc: &LProc, frame: &LFrame, indices: &[LExpr]) -> Vec<i64> {
         indices
             .iter()
-            .map(|e| self.eval(frame, e).expect_int("array subscript"))
+            .map(|e| self.eval(proc, frame, e).expect_int("array subscript"))
             .collect()
     }
 
-    fn eval_intrinsic(&mut self, frame: &Frame, name: &str, args: &[Expr]) -> Scalar {
-        let vals: Vec<Scalar> = args.iter().map(|a| self.eval(frame, a)).collect();
-        match name {
-            "mod" => {
+    fn eval_intrinsic(
+        &mut self,
+        proc: &LProc,
+        frame: &LFrame,
+        op: Intr,
+        name: &str,
+        args: &[LExpr],
+    ) -> Scalar {
+        let vals: Vec<Scalar> = args.iter().map(|a| self.eval(proc, frame, a)).collect();
+        match op {
+            Intr::Mod => {
                 let a = vals[0].expect_int("mod argument");
                 let b = vals[1].expect_int("mod argument");
                 if b == 0 {
@@ -143,11 +205,12 @@ impl<'p, 'c> Interp<'p, 'c> {
                 }
                 Scalar::Int(a % b) // Fortran MOD: sign of the dividend
             }
-            "min" | "max" => {
+            Intr::Min | Intr::Max => {
+                let is_min = op == Intr::Min;
                 let any_real = vals.iter().any(|v| matches!(v, Scalar::Real(_)));
                 if any_real {
                     let it = vals.iter().map(|v| v.as_real());
-                    let r = if name == "min" {
+                    let r = if is_min {
                         it.fold(f64::INFINITY, f64::min)
                     } else {
                         it.fold(f64::NEG_INFINITY, f64::max)
@@ -155,70 +218,89 @@ impl<'p, 'c> Interp<'p, 'c> {
                     Scalar::Real(r)
                 } else {
                     let it = vals.iter().map(|v| v.truncate_to_int());
-                    Scalar::Int(if name == "min" {
+                    Scalar::Int(if is_min {
                         it.min().expect("arity checked")
                     } else {
                         it.max().expect("arity checked")
                     })
                 }
             }
-            "abs" => match vals[0] {
+            Intr::Abs => match vals[0] {
                 Scalar::Int(v) => Scalar::Int(v.abs()),
                 Scalar::Real(v) => Scalar::Real(v.abs()),
             },
-            "sqrt" => Scalar::Real(vals[0].as_real().sqrt()),
-            "sin" => Scalar::Real(vals[0].as_real().sin()),
-            "cos" => Scalar::Real(vals[0].as_real().cos()),
-            "exp" => Scalar::Real(vals[0].as_real().exp()),
-            "log" => Scalar::Real(vals[0].as_real().ln()),
-            "floor" => Scalar::Int(vals[0].as_real().floor() as i64),
-            "int" => Scalar::Int(vals[0].truncate_to_int()),
-            "real" => Scalar::Real(vals[0].as_real()),
-            other => rt_err!("unknown intrinsic `{other}` (validation gap)"),
+            Intr::Sqrt => Scalar::Real(vals[0].as_real().sqrt()),
+            Intr::Sin => Scalar::Real(vals[0].as_real().sin()),
+            Intr::Cos => Scalar::Real(vals[0].as_real().cos()),
+            Intr::Exp => Scalar::Real(vals[0].as_real().exp()),
+            Intr::Log => Scalar::Real(vals[0].as_real().ln()),
+            Intr::Floor => Scalar::Int(vals[0].as_real().floor() as i64),
+            Intr::Int => Scalar::Int(vals[0].truncate_to_int()),
+            Intr::Real => Scalar::Real(vals[0].as_real()),
+            Intr::Unknown => rt_err!("unknown intrinsic `{name}` (validation gap)"),
         }
     }
 
-    // -- statements -------------------------------------------------------------
+    // -- statements -----------------------------------------------------------
 
-    fn exec_stmts(&mut self, proc: &'p Procedure, frame: &FrameCell, stmts: &[Stmt]) -> Frame {
-        for s in stmts {
-            self.exec_stmt(proc, frame, s);
-        }
-        frame.take()
-    }
-
-    fn exec_stmt(&mut self, proc: &'p Procedure, frame: &FrameCell, s: &Stmt) {
+    fn exec_stmt(&mut self, proc: &'p LProc, frame: &FrameCell, s: &'p LStmt) {
         match s {
-            Stmt::Assign { target, value, .. } => {
+            LStmt::AssignScalar { slot, ty, value } => {
+                let v = {
+                    let f = frame.borrow();
+                    self.eval(proc, &f, value)
+                };
+                self.charge_stmt();
+                frame.borrow_mut().scalars[*slot as usize] = Some(v.convert_to(*ty));
+            }
+            LStmt::AssignArray {
+                slot,
+                name,
+                indices,
+                value,
+            } => {
                 let (idx, v) = {
                     let f = frame.borrow();
-                    let idx = self.eval_indices(&f, &target.indices);
-                    let v = self.eval(&f, value);
+                    let idx = self.eval_indices(proc, &f, indices);
+                    let v = self.eval(proc, &f, value);
                     (idx, v)
                 };
                 self.charge_stmt();
-                self.store(proc, frame, target, idx, v);
+                let Some(slot) = slot else {
+                    rt_err!("`{name}` is not an array in this scope");
+                };
+                let (abs, alloc) = {
+                    let f = frame.borrow();
+                    let binding = f.array(*slot);
+                    match binding.set(name, &idx, v) {
+                        Ok(abs) => (abs, binding.handle.alloc_id()),
+                        Err(be) => rt_err!("{be}"),
+                    }
+                };
+                if self.opts.detect_buffer_reuse {
+                    self.check_inflight_write(alloc, abs, name);
+                }
             }
-            Stmt::Do {
+            LStmt::Do {
                 var,
                 lower,
                 upper,
                 step,
+                var_name,
                 body,
-                ..
             } => {
                 let (lo, hi, st) = {
                     let f = frame.borrow();
-                    let lo = self.eval(&f, lower).expect_int("loop bound");
-                    let hi = self.eval(&f, upper).expect_int("loop bound");
+                    let lo = self.eval(proc, &f, lower).expect_int("loop bound");
+                    let hi = self.eval(proc, &f, upper).expect_int("loop bound");
                     let st = match step {
                         None => 1,
-                        Some(e) => self.eval(&f, e).expect_int("loop step"),
+                        Some(e) => self.eval(proc, &f, e).expect_int("loop step"),
                     };
                     (lo, hi, st)
                 };
                 if st == 0 {
-                    rt_err!("zero loop step in `do {var}`");
+                    rt_err!("zero loop step in `do {var_name}`");
                 }
                 self.charge_stmt();
                 let mut i = lo;
@@ -226,7 +308,7 @@ impl<'p, 'c> Interp<'p, 'c> {
                     if (st > 0 && i > hi) || (st < 0 && i < hi) {
                         break;
                     }
-                    frame.borrow_mut().set_scalar(var, Scalar::Int(i));
+                    frame.borrow_mut().scalars[*var as usize] = Some(Scalar::Int(i));
                     for b in body {
                         self.exec_stmt(proc, frame, b);
                     }
@@ -235,15 +317,14 @@ impl<'p, 'c> Interp<'p, 'c> {
                     i += st;
                 }
             }
-            Stmt::If {
+            LStmt::If {
                 cond,
                 then_body,
                 else_body,
-                ..
             } => {
                 let c = {
                     let f = frame.borrow();
-                    self.eval(&f, cond)
+                    self.eval(proc, &f, cond)
                 };
                 self.charge_stmt();
                 let body = if c.is_true() { then_body } else { else_body };
@@ -251,44 +332,13 @@ impl<'p, 'c> Interp<'p, 'c> {
                     self.exec_stmt(proc, frame, b);
                 }
             }
-            Stmt::Call { name, args, .. } => {
-                if fir::intrinsics::is_builtin_sub(name) {
-                    self.exec_builtin(frame, name, args);
-                } else {
-                    self.exec_user_call(frame, name, args);
-                }
+            LStmt::CallBuiltin { op, name, args } => self.exec_builtin(proc, frame, *op, name, args),
+            LStmt::CallUser { proc: callee, args } => {
+                self.exec_user_call(proc, frame, *callee, args)
             }
-        }
-    }
-
-    fn store(
-        &mut self,
-        proc: &'p Procedure,
-        frame: &FrameCell,
-        target: &LValue,
-        idx: Vec<i64>,
-        v: Scalar,
-    ) {
-        if target.indices.is_empty() {
-            let ty = scalar_ty(proc, &target.name);
-            frame
-                .borrow_mut()
-                .set_scalar(&target.name, v.convert_to(ty));
-            return;
-        }
-        let f = frame.borrow();
-        let Some(binding) = f.array(&target.name) else {
-            rt_err!("`{}` is not an array in this scope", target.name);
-        };
-        match binding.set(&target.name, &idx, v) {
-            Ok(abs) => {
-                if self.opts.detect_buffer_reuse {
-                    let alloc = binding.handle.alloc_id();
-                    drop(f);
-                    self.check_inflight_write(alloc, abs, &target.name);
-                }
+            LStmt::CallUnknown { name } => {
+                rt_err!("call to unknown subroutine `{name}` (validation gap)")
             }
-            Err(be) => rt_err!("{be}"),
         }
     }
 
@@ -314,40 +364,45 @@ impl<'p, 'c> Interp<'p, 'c> {
 
     // -- procedure calls -----------------------------------------------------------
 
-    fn exec_user_call(&mut self, frame: &FrameCell, name: &str, args: &[Arg]) {
-        let Some(callee) = self.program.procedure(name) else {
-            rt_err!("call to unknown subroutine `{name}` (validation gap)");
-        };
-        let mut callee_frame = self.fresh_frame();
-        let mut array_args: Vec<(String, ArrayHandle)> = Vec::new();
+    fn exec_user_call(
+        &mut self,
+        caller: &'p LProc,
+        frame: &FrameCell,
+        callee_idx: usize,
+        args: &'p [LCallArg],
+    ) {
+        let callee = &self.program.procs[callee_idx];
+        let mut callee_frame = self.fresh_frame(callee);
+        let mut handles: Vec<Option<ArrayHandle>> = vec![None; callee.nparams];
 
-        for (param, arg) in callee.params.iter().zip(args) {
+        for (i, arg) in args.iter().enumerate() {
             match arg {
-                Arg::Expr(Expr::Var(n, _)) if frame.borrow().array(n).is_some() => {
+                LCallArg::Array { caller_slot } => {
                     let f = frame.borrow();
-                    let b = f.array(n).expect("checked");
-                    let h = b.handle.window(0, b.shape_len());
-                    array_args.push((param.name.clone(), h));
+                    let b = f.array(*caller_slot);
+                    handles[i] = Some(b.handle.window(0, b.shape_len()));
                 }
-                Arg::Section(sec) => {
-                    let h = self.resolve_section(frame, sec);
-                    array_args.push((param.name.clone(), h));
+                LCallArg::Section(sec) => {
+                    handles[i] = Some(self.resolve_section(caller, frame, sec));
                 }
-                Arg::Expr(e) => {
+                LCallArg::Scalar {
+                    expr,
+                    callee_slot,
+                    ty,
+                } => {
                     let v = {
                         let f = frame.borrow();
-                        self.eval(&f, e)
+                        self.eval(caller, &f, expr)
                     };
-                    let ty = scalar_ty(callee, &param.name);
-                    callee_frame.set_scalar(&param.name, v.convert_to(ty));
+                    callee_frame.scalars[*callee_slot as usize] = Some(v.convert_to(*ty));
                 }
             }
         }
         self.charge_ops_only();
         self.comm.advance(self.opts.cost.ns_per_call);
 
-        self.allocate_locals(callee, &mut callee_frame, &array_args);
-        let cell = callee_frame.into_cell();
+        self.allocate_locals(callee, &mut callee_frame, &handles);
+        let cell = FrameCell(RefCell::new(callee_frame));
         for s in &callee.body {
             self.exec_stmt(callee, &cell, s);
         }
@@ -355,89 +410,89 @@ impl<'p, 'c> Interp<'p, 'c> {
     }
 
     /// Allocate local arrays and bind array parameters, in declaration
-    /// order, evaluating bound expressions in the growing frame.
+    /// order, evaluating bound expressions in the growing frame. Declared
+    /// scalars need no explicit seeding: the per-slot typed defaults in
+    /// [`LProc::scalar_defaults`] encode exactly the zero the tree-walker
+    /// used to insert.
     fn allocate_locals(
         &mut self,
-        proc: &'p Procedure,
-        frame: &mut Frame,
-        array_args: &[(String, ArrayHandle)],
+        proc: &'p LProc,
+        frame: &mut LFrame,
+        handles: &[Option<ArrayHandle>],
     ) {
-        for decl in &proc.decls {
-            if !decl.is_array() {
-                // Seed declared scalars with typed zeros (unless a
-                // parameter already bound a value), so an `integer :: n`
-                // read before assignment yields Int(0), not the implicit
-                // rule's guess.
-                if frame.scalar_if_set(&decl.name).is_none() {
-                    let zero = match decl.ty {
-                        ScalarType::Integer => Scalar::Int(0),
-                        ScalarType::Real => Scalar::Real(0.0),
-                    };
-                    frame.set_scalar(&decl.name, zero);
-                }
-                continue;
-            }
+        for decl in &proc.array_decls {
             let bounds: Vec<(i64, i64)> = decl
                 .dims
                 .iter()
-                .map(|b| {
-                    let lo = self.eval(frame, &b.lower).expect_int("array bound");
-                    let hi = self.eval(frame, &b.upper).expect_int("array bound");
+                .map(|(lo, hi)| {
+                    let lo = self.eval(proc, frame, lo).expect_int("array bound");
+                    let hi = self.eval(proc, frame, hi).expect_int("array bound");
                     (lo, hi)
                 })
                 .collect();
-            if let Some((_, handle)) = array_args.iter().find(|(n, _)| *n == decl.name) {
-                match BoundArray::from_shape(handle.clone(), bounds) {
-                    Ok(b) => frame.define_array(&decl.name, b),
+            let passed = decl.param.and_then(|i| handles.get(i).cloned().flatten());
+            let binding = match passed {
+                Some(handle) => match BoundArray::from_shape(handle, bounds) {
+                    Ok(b) => b,
                     Err(msg) => rt_err!(
                         "binding parameter `{}` of `{}`: {msg}",
                         decl.name,
                         proc.name
                     ),
+                },
+                None => {
+                    let storage = Rc::new(RefCell::new(ArrayStorage::new(
+                        &decl.name,
+                        decl.ty,
+                        bounds.clone(),
+                    )));
+                    let handle = ArrayHandle::whole(storage);
+                    BoundArray::from_shape(handle, bounds).expect("fresh allocation fits")
                 }
-            } else {
-                let storage = Rc::new(RefCell::new(ArrayStorage::new(
-                    &decl.name,
-                    decl.ty,
-                    bounds.clone(),
-                )));
-                let handle = ArrayHandle::whole(storage);
-                let b = BoundArray::from_shape(handle, bounds).expect("fresh allocation fits");
-                frame.define_array(&decl.name, b);
-            }
+            };
+            frame.arrays[decl.slot as usize] = Some(binding);
         }
         self.charge_ops_only();
     }
 
     // -- builtin (MPI) subroutines -----------------------------------------------
 
-    fn exec_builtin(&mut self, frame: &FrameCell, name: &str, args: &[Arg]) {
-        match name {
-            "mpi_isend" => self.mpi_isend(frame, args),
-            "mpi_irecv" => self.mpi_irecv(frame, args),
-            "mpi_waitall_recv" => {
+    fn exec_builtin(
+        &mut self,
+        proc: &'p LProc,
+        frame: &FrameCell,
+        op: Builtin,
+        name: &str,
+        args: &'p [LArg],
+    ) {
+        match op {
+            Builtin::Isend => self.mpi_isend(proc, frame, args),
+            Builtin::Irecv => self.mpi_irecv(proc, frame, args),
+            Builtin::WaitallRecv => {
                 self.charge_stmt();
                 let done = self.comm.wait_all_recvs();
                 self.apply_received(done);
             }
-            "mpi_waitall" => {
+            Builtin::Waitall => {
                 self.charge_stmt();
                 let done = self.comm.wait_all();
                 self.apply_received(done);
                 self.inflight.clear();
             }
-            "mpi_barrier" => {
+            Builtin::Barrier => {
                 self.charge_stmt();
                 self.comm.barrier();
             }
-            "mpi_alltoall" => self.mpi_alltoall(frame, args),
-            "print" => {
+            Builtin::Alltoall => self.mpi_alltoall(proc, frame, args),
+            Builtin::Print => {
                 let line = {
                     let f = frame.borrow();
                     args.iter()
                         .map(|a| match a {
-                            Arg::Expr(e) => self.eval(&f, e).to_string(),
-                            Arg::Section(s) => format!("<section {}>", s.name),
+                            LArg::Expr { expr, .. } => {
+                                self.eval(proc, &f, expr).to_string()
+                            }
+                            LArg::Section(s) => format!("<section {}>", s.name),
                         })
                         .collect::<Vec<_>>()
                         .join(" ")
@@ -445,43 +500,58 @@ impl<'p, 'c> Interp<'p, 'c> {
                 self.charge_ops_only();
                 self.prints.push(line);
             }
-            other => rt_err!("unknown builtin `{other}` (validation gap)"),
+            Builtin::Unknown => rt_err!("unknown builtin `{name}` (validation gap)"),
         }
     }
 
-    fn scalar_arg(&mut self, frame: &FrameCell, args: &[Arg], i: usize, what: &str) -> i64 {
+    fn scalar_arg(
+        &mut self,
+        proc: &LProc,
+        frame: &FrameCell,
+        args: &[LArg],
+        i: usize,
+        what: &str,
+    ) -> i64 {
         let f = frame.borrow();
         match &args[i] {
-            Arg::Expr(e) => self.eval(&f, e).expect_int(what),
-            Arg::Section(s) => rt_err!("{what} must be a scalar, got section of `{}`", s.name),
+            LArg::Expr { expr, .. } => self.eval(proc, &f, expr).expect_int(what),
+            LArg::Section(s) => rt_err!("{what} must be a scalar, got section of `{}`", s.name),
         }
     }
 
     /// Resolve an MPI buffer argument to a contiguous element window.
-    fn resolve_buffer(&mut self, frame: &FrameCell, arg: &Arg, ctx: &str) -> ArrayHandle {
+    fn resolve_buffer(
+        &mut self,
+        proc: &'p LProc,
+        frame: &FrameCell,
+        arg: &'p LArg,
+        ctx: &str,
+    ) -> ArrayHandle {
         match arg {
-            Arg::Expr(Expr::Var(n, _)) => {
-                let f = frame.borrow();
-                let Some(b) = f.array(n) else {
-                    rt_err!("{ctx}: `{n}` is not an array");
-                };
-                b.handle.window(0, b.shape_len())
-            }
-            Arg::Section(sec) => self.resolve_section(frame, sec),
-            Arg::Expr(e) => rt_err!(
-                "{ctx}: buffer must be an array or section, got expression at {:?}",
-                e.span()
-            ),
+            LArg::Expr { buffer, name, .. } => match buffer {
+                BufferKind::Array(slot) => {
+                    let f = frame.borrow();
+                    let b = f.array(*slot);
+                    b.handle.window(0, b.shape_len())
+                }
+                BufferKind::NotArray => rt_err!("{ctx}: `{name}` is not an array"),
+                BufferKind::NotAVar(span) => rt_err!(
+                    "{ctx}: buffer must be an array or section, got expression at {:?}",
+                    span
+                ),
+            },
+            LArg::Section(sec) => self.resolve_section(proc, frame, sec),
         }
     }
 
     /// Resolve a section to a contiguous window (column-major rule: all
     /// dims before the last varying one must cover their full extent).
-    fn resolve_section(&mut self, frame: &FrameCell, sec: &Section) -> ArrayHandle {
+    fn resolve_section(&mut self, proc: &LProc, frame: &FrameCell, sec: &LSection) -> ArrayHandle {
         let f = frame.borrow();
-        let Some(binding) = f.array(&sec.name) else {
+        let Some(slot) = sec.slot else {
             rt_err!("section base `{}` is not an array", sec.name);
         };
+        let binding = f.array(slot);
         if sec.dims.len() != binding.rank() {
             rt_err!(
                 "section of `{}` has {} dims, array has rank {}",
@@ -495,18 +565,18 @@ impl<'p, 'c> Interp<'p, 'c> {
         for (d, sd) in sec.dims.iter().enumerate() {
             let (blo, bhi) = binding.bounds()[d];
             let (lo, hi) = match sd {
-                SecDim::Index(e) => {
-                    let v = self.eval(&f, e).expect_int("section index");
+                LSecDim::Index(e) => {
+                    let v = self.eval(proc, &f, e).expect_int("section index");
                     (v, v)
                 }
-                SecDim::Range(a, b) => {
+                LSecDim::Range(a, b) => {
                     let lo = a
                         .as_ref()
-                        .map(|e| self.eval(&f, e).expect_int("section bound"))
+                        .map(|e| self.eval(proc, &f, e).expect_int("section bound"))
                         .unwrap_or(blo);
                     let hi = b
                         .as_ref()
-                        .map(|e| self.eval(&f, e).expect_int("section bound"))
+                        .map(|e| self.eval(proc, &f, e).expect_int("section bound"))
                         .unwrap_or(bhi);
                     (lo, hi)
                 }
@@ -552,11 +622,11 @@ impl<'p, 'c> Interp<'p, 'c> {
         binding.handle.window(offset, len)
     }
 
-    fn mpi_isend(&mut self, frame: &FrameCell, args: &[Arg]) {
-        let buf = self.resolve_buffer(frame, &args[0], "mpi_isend");
-        let count = self.scalar_arg(frame, args, 1, "mpi_isend count");
-        let dest = self.scalar_arg(frame, args, 2, "mpi_isend dest");
-        let tag = self.scalar_arg(frame, args, 3, "mpi_isend tag");
+    fn mpi_isend(&mut self, proc: &'p LProc, frame: &FrameCell, args: &'p [LArg]) {
+        let buf = self.resolve_buffer(proc, frame, &args[0], "mpi_isend");
+        let count = self.scalar_arg(proc, frame, args, 1, "mpi_isend count");
+        let dest = self.scalar_arg(proc, frame, args, 2, "mpi_isend dest");
+        let tag = self.scalar_arg(proc, frame, args, 3, "mpi_isend tag");
         self.charge_stmt();
         let me = self.comm.rank() as i64;
         let np = self.comm.np() as i64;
@@ -587,11 +657,11 @@ impl<'p, 'c> Interp<'p, 'c> {
         }
     }
 
-    fn mpi_irecv(&mut self, frame: &FrameCell, args: &[Arg]) {
-        let buf = self.resolve_buffer(frame, &args[0], "mpi_irecv");
-        let count = self.scalar_arg(frame, args, 1, "mpi_irecv count");
-        let src = self.scalar_arg(frame, args, 2, "mpi_irecv src");
-        let tag = self.scalar_arg(frame, args, 3, "mpi_irecv tag");
+    fn mpi_irecv(&mut self, proc: &'p LProc, frame: &FrameCell, args: &'p [LArg]) {
+        let buf = self.resolve_buffer(proc, frame, &args[0], "mpi_irecv");
+        let count = self.scalar_arg(proc, frame, args, 1, "mpi_irecv count");
+        let src = self.scalar_arg(proc, frame, args, 2, "mpi_irecv src");
+        let tag = self.scalar_arg(proc, frame, args, 3, "mpi_irecv tag");
         self.charge_stmt();
         let me = self.comm.rank() as i64;
         let np = self.comm.np() as i64;
@@ -640,10 +710,10 @@ impl<'p, 'c> Interp<'p, 'c> {
         }
     }
 
-    fn mpi_alltoall(&mut self, frame: &FrameCell, args: &[Arg]) {
-        let send = self.resolve_buffer(frame, &args[0], "mpi_alltoall send buffer");
-        let count = self.scalar_arg(frame, args, 1, "mpi_alltoall count");
-        let recv = self.resolve_buffer(frame, &args[2], "mpi_alltoall recv buffer");
+    fn mpi_alltoall(&mut self, proc: &'p LProc, frame: &FrameCell, args: &'p [LArg]) {
+        let send = self.resolve_buffer(proc, frame, &args[0], "mpi_alltoall send buffer");
+        let count = self.scalar_arg(proc, frame, args, 1, "mpi_alltoall count");
+        let recv = self.resolve_buffer(proc, frame, &args[2], "mpi_alltoall recv buffer");
         self.charge_stmt();
         let np = self.comm.np();
         if count < 0 {
@@ -685,39 +755,24 @@ impl<'p, 'c> Interp<'p, 'c> {
     }
 }
 
-/// Static scalar type of a name in a procedure (declared, or implicit).
-fn scalar_ty(proc: &Procedure, name: &str) -> ScalarType {
-    match proc.decl(name) {
-        Some(d) => d.ty,
-        None => fir::symbol::implicit_type(name),
-    }
-}
-
-/// Interior-mutable frame wrapper: statements need `&mut Frame` for scalar
-/// stores while expression evaluation holds shared borrows.
-pub(crate) struct FrameCell(RefCell<Frame>);
+/// Interior-mutable frame wrapper: statements need `&mut LFrame` for
+/// scalar stores while expression evaluation holds shared borrows.
+pub(crate) struct FrameCell(RefCell<LFrame>);
 
 impl FrameCell {
-    fn borrow(&self) -> std::cell::Ref<'_, Frame> {
+    fn borrow(&self) -> std::cell::Ref<'_, LFrame> {
         self.0.borrow()
     }
 
-    fn borrow_mut(&self) -> std::cell::RefMut<'_, Frame> {
+    fn borrow_mut(&self) -> std::cell::RefMut<'_, LFrame> {
         self.0.borrow_mut()
     }
 
-    fn take(&self) -> Frame {
-        self.0.replace(Frame::new())
-    }
-}
-
-pub(crate) trait IntoCell {
-    fn into_cell(self) -> FrameCell;
-}
-
-impl IntoCell for Frame {
-    fn into_cell(self) -> FrameCell {
-        FrameCell(RefCell::new(self))
+    fn take(&self) -> LFrame {
+        self.0.replace(LFrame {
+            scalars: Vec::new(),
+            arrays: Vec::new(),
+        })
     }
 }
 
@@ -861,5 +916,31 @@ mod tests {
             eval_binop(BinOp::Or, Scalar::Int(1), Scalar::Int(0)),
             Scalar::Int(1)
         );
+    }
+
+    #[test]
+    fn lowered_frame_defaults_follow_types() {
+        let program = fir::parse(
+            "program m\n  integer :: n\n  real :: a(2)\n  a(1) = n + x\nend program",
+        )
+        .unwrap();
+        let l = crate::lower::lower(&program);
+        let main = &l.procs[l.main];
+        let f = LFrame::new(main, 3, 4);
+        // Slots 0/1 are mynum/np.
+        assert_eq!(f.scalars[0], Some(Scalar::Int(3)));
+        assert_eq!(f.scalars[1], Some(Scalar::Int(4)));
+        // `n` is declared integer; `x` is implicit real.
+        let n_slot = main
+            .scalar_defaults
+            .iter()
+            .position(|d| *d == Scalar::Int(0))
+            .unwrap();
+        assert!(n_slot >= 2 || main.scalar_defaults[0] == Scalar::Int(0));
+        assert!(main
+            .scalar_defaults
+            .iter()
+            .any(|d| matches!(d, Scalar::Real(r) if *r == 0.0)));
+        assert_eq!(main.array_names, vec!["a".to_string()]);
     }
 }

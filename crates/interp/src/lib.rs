@@ -21,6 +21,7 @@
 pub mod cost;
 pub mod env;
 mod exec;
+mod lower;
 pub mod run;
 pub mod value;
 

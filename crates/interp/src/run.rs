@@ -77,15 +77,19 @@ pub fn run_program_opts(
 ) -> Result<RunResult, RunError> {
     fir::validate::validate(program).map_err(RunError::Invalid)?;
 
+    // Resolve names to frame slots once; all ranks share the lowered
+    // program read-only.
+    let lowered = crate::lower::lower(program);
+
     let mut cluster = Cluster::new(np, model.clone());
     if opts.trace {
         cluster = cluster.traced();
     }
     let out = cluster.run(|comm| {
-        let mut interp = Interp::new(program, opts, comm);
-        let final_frame = interp.run_main();
+        let mut interp = Interp::new(&lowered, opts, comm);
+        let (final_frame, main) = interp.run_main();
         let mut arrays = BTreeMap::new();
-        for (name, binding) in final_frame.arrays() {
+        for (name, binding) in final_frame.arrays(main) {
             let st = binding.handle.storage.borrow();
             arrays.insert(
                 name.clone(),

@@ -114,11 +114,14 @@ pub struct RegistryEntry {
     pub description: &'static str,
     /// The smallest rank count at which pre-pushing is guaranteed not to
     /// be slower than the original at `Medium`+ size on the RDMA-capable
-    /// stack (`None` = no such guarantee). `direct` trades one large
-    /// message for many small ones, which loses on per-message overhead;
-    /// `interchange-blocked` pays the §3.5 congestion fallback;
-    /// `interchange-legal` needs np >= 4 for the all-peers pipeline to
-    /// have more than one partner. All stay *correct* — only the
+    /// stack (`None` = no such guarantee). `direct` (owner-sends) used to
+    /// lose badly to incast congestion on high-overhead stacks — the
+    /// K-selection predictor now *declines* such sites (emitting the
+    /// original program), which upgrades it to a guarantee at np >= 2;
+    /// `interchange-blocked` pays the §3.5 congestion fallback (the
+    /// per-column strategy bypasses K-selection, so no predictor covers
+    /// it); `interchange-legal` needs np >= 4 for the all-peers pipeline
+    /// to have more than one partner. All stay *correct* — only the
     /// no-slowdown assertion in the differential tests is scoped by this.
     pub min_overlap_np: Option<usize>,
     pub make: fn(SizeClass, usize) -> Box<dyn Workload>,
@@ -146,7 +149,7 @@ pub fn registry() -> Vec<RegistryEntry> {
         registry_entry!(
             "direct",
             "Fig. 2(a) 1-D kernel; tiled owner-sends strategy",
-            None,
+            Some(2),
             direct::Direct1d
         ),
         registry_entry!(

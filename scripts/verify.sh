@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Local verification gate: everything compiles (benches, examples, both
 # binaries), the full test suite passes, the harness binary actually
-# *executes* (quick sweep grid, seconds), and clippy is clean at
-# warnings-as-errors. Run from anywhere; operates on the repo root.
+# *executes* (quick sweep grid, seconds), the perf smoke confirms
+# wall-clock instrumentation and the simulator-core micro-bench run, and
+# clippy is clean at warnings-as-errors. Run from anywhere; operates on
+# the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +23,25 @@ echo "==> harness quick (smoke-runs the binary; emits BENCH_sweep.json)"
 #     <(git show HEAD:BENCH_sweep.json) BENCH_sweep.json
 # (A full `harness sweep` also writes BENCH_sweep.json by default — pass
 # --out, or let this step regenerate the quick baseline afterwards.)
-cargo run --release -q -p overlap-bench --bin harness -- quick
+# The one-shot regression gate against the committed baseline is:
+#   cargo run --release -p overlap-bench --bin harness -- quick \
+#     --out /tmp/q.json --baseline BENCH_sweep.json
+cargo run --release -q -p overlap-bench --bin harness -- quick \
+  --wall-out target/BENCH_sweep_wall.json
+
+echo "==> perf smoke: wall-clock fields populated in the timing section"
+# The non-normalized artifact must carry the v2 `timing` section with a
+# real (nonzero) total — catching a broken stopwatch before it silently
+# zeroes the tracked perf trajectory.
+grep -q '"timing"' target/BENCH_sweep_wall.json
+grep -q '"wall_ms_total"' target/BENCH_sweep_wall.json
+if grep -q '"wall_ms_total": 0,' target/BENCH_sweep_wall.json; then
+  echo "perf smoke FAILED: wall_ms_total is zero in the --wall-out artifact"
+  exit 1
+fi
+
+echo "==> perf smoke: simulator-core micro-bench (isend/recv + alltoall)"
+cargo bench -p clustersim --bench core_comm
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

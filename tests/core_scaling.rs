@@ -1,0 +1,131 @@
+//! The scaled simulator core, end to end: an np=64 stress scenario runs
+//! to completion with bounded live threads, rank-pool capacity never
+//! changes any virtual time (re-pinning PR 2's thread-invariance at pool
+//! sizes {1, 2, 8}), and the full-grid preset actually carries the large
+//! rank counts.
+
+use overlap_suite::clustersim::pool;
+use overlap_suite::sweep::{
+    run_specs, summarize, ModelSpec, ScenarioSpec, SizeClass, SweepGrid, SweepRecord,
+    SweepResult, Variant,
+};
+use std::sync::{Mutex, OnceLock};
+
+/// Tests here mutate the global rank-pool capacity; serialize them.
+fn pool_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn spec(workload: &str, np: usize, model: ModelSpec) -> ScenarioSpec {
+    ScenarioSpec {
+        workload: workload.into(),
+        size: SizeClass::Small,
+        np,
+        model,
+        tile_size: None,
+        variant: Variant::Compare,
+    }
+}
+
+/// np=64 stress: a whole compare scenario (transform, two 64-rank
+/// simulated runs, equivalence gate) completes on the pooled core, and
+/// the thread high-water stays bounded by the documented envelope —
+/// max(2 x cores, largest admitted scenario) plus the sweep workers.
+#[test]
+fn np64_scenario_completes_with_bounded_threads() {
+    let _guard = pool_lock();
+    let recs = run_specs(&[spec("direct2d", 64, ModelSpec::MpichGm)], 1);
+    assert_eq!(recs.len(), 1);
+    let r = &recs[0];
+    assert!(r.is_ok(), "np=64 scenario failed: {}", r.error().unwrap_or(""));
+    assert!(r.orig_ns.is_some() && r.prepush_ns.is_some());
+    assert!(r.speedup.unwrap() > 0.0);
+
+    let stats = pool::stats();
+    let envelope = pool::capacity().max(64) + 8;
+    assert!(
+        stats.workers_high_water <= envelope,
+        "live-thread high-water {} exceeds the documented bound {envelope}",
+        stats.workers_high_water
+    );
+    assert_eq!(stats.tickets_outstanding, 0, "all rank tickets released");
+}
+
+/// Rank-pool capacity changes scheduling only: the same grid produces
+/// byte-identical normalized artifacts at pool sizes 1, 2, and 8.
+#[test]
+fn results_invariant_across_pool_sizes() {
+    let _guard = pool_lock();
+    let grid = SweepGrid::new()
+        .workloads(["direct2d", "indirect", "direct"])
+        .size(SizeClass::Small)
+        .nps([2, 4])
+        .models([ModelSpec::MpichGm, ModelSpec::Mpich]);
+    let specs = grid.expand();
+    assert_eq!(specs.len(), 12);
+
+    let strip_wall = |mut records: Vec<SweepRecord>| {
+        for r in &mut records {
+            r.wall_ms = 0.0;
+        }
+        records
+    };
+
+    let default_capacity = pool::capacity();
+    let runs: Vec<Vec<SweepRecord>> = [1usize, 2, 8]
+        .iter()
+        .map(|&cap| {
+            pool::set_capacity(cap);
+            strip_wall(run_specs(&specs, 2))
+        })
+        .collect();
+    pool::set_capacity(default_capacity);
+
+    for (i, other) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            &runs[0], other,
+            "pool size {} changed results vs pool size 1",
+            [1usize, 2, 8][i]
+        );
+    }
+    let artifacts: Vec<String> = runs
+        .into_iter()
+        .map(|records| {
+            let summary = summarize(&records, 0.0);
+            overlap_suite::sweep::json::to_json_string(&SweepResult {
+                records,
+                summary,
+                timing: None,
+            })
+        })
+        .collect();
+    assert!(
+        artifacts.windows(2).all(|w| w[0] == w[1]),
+        "artifact bytes differ across pool sizes"
+    );
+}
+
+/// The full-grid preset carries the np {16, 32, 64} rows for the
+/// all-peers families and keeps the rest of the registry at np {4, 8}.
+#[test]
+fn full_grid_includes_large_rank_counts() {
+    let specs = SweepGrid::full().expand();
+    for np in [16usize, 32, 64] {
+        for w in SweepGrid::HIGH_NP_WORKLOADS {
+            assert!(
+                specs.iter().any(|s| s.np == np && s.workload == w),
+                "full grid lost the {w}/np={np} row"
+            );
+        }
+    }
+    assert!(
+        !specs.iter().any(|s| s.np > 8
+            && !SweepGrid::HIGH_NP_WORKLOADS.contains(&s.workload.as_str())),
+        "only the all-peers families extend past np=8"
+    );
+    // 8 workloads x np {4,8} x 2 models + 3 workloads x np {16,32,64} x 2.
+    assert_eq!(specs.len(), 8 * 2 * 2 + 3 * 3 * 2);
+}

@@ -14,6 +14,9 @@ fn check_workload(w: &dyn Workload, np: usize, oracle: UserOracle, tile: Option<
         tile_size: tile,
         context: w.context(),
         oracle,
+        // This suite verifies that *transformed* programs are equivalent,
+        // so always transform — profitability is the sweep tests' concern.
+        apply_even_if_unprofitable: true,
         ..Default::default()
     };
     let out = transform(&program, &opts)

@@ -104,7 +104,11 @@ fn result_strategy() -> impl Strategy<Value = SweepResult> {
     )
         .prop_map(|(records, wall_ms)| {
             let summary = summarize(&records, wall_ms);
-            SweepResult { records, summary }
+            SweepResult {
+                records,
+                summary,
+                timing: None,
+            }
         })
 }
 
@@ -193,6 +197,7 @@ fn parallel_execution_is_deterministic_across_thread_counts() {
             to_json_string(&SweepResult {
                 records: records.clone(),
                 summary,
+                timing: None,
             })
         })
         .collect();

@@ -25,6 +25,11 @@ fn time_workload(w: &dyn Workload, np: usize, model: &clustersim::NetworkModel) 
         kselect_overhead_ns: Some(model.overhead.as_ns() as f64),
         kselect_cpu_ns_per_byte: Some(model.cpu_send_ns_per_byte),
         kselect_wire_ns_per_byte: Some(model.gap_ns_per_byte),
+        kselect_latency_ns: Some(model.latency.as_ns() as f64),
+        // These tests pin the timing shape of *transformed* programs —
+        // including the congestion case the K-selection predictor would
+        // (rightly) decline in production.
+        apply_even_if_unprofitable: true,
         ..Default::default()
     };
     let out = transform(&program, &opts).expect("workload transforms");
