@@ -18,22 +18,36 @@
 //!   all           everything above, in order
 //!
 //! sweep subcommands:
-//!   sweep [--threads N] [--out PATH] [--wall-out PATH] [--baseline OLD.json] [--tol F]
-//!                                      full evaluation grid (np up to 64), in
-//!                                      parallel; writes the BENCH_sweep.json
-//!                                      artifact. --wall-out also writes the
-//!                                      non-normalized artifact with the
-//!                                      `timing` section; --baseline diffs the
-//!                                      fresh run against OLD.json and exits 1
-//!                                      on virtual-time regressions (one-shot
-//!                                      regression gate)
-//!   quick [--threads N] [--out PATH] [--wall-out PATH] [--baseline OLD.json] [--tol F]
+//!   sweep [--grid FILE.toml] [--threads N] [--out PATH] [--wall-out PATH]
+//!         [--baseline OLD.json] [--tol F] [--md-out PATH]
+//!                                      full evaluation grid (np up to 64,
+//!                                      rdma-ideal column, U-curve tile axis),
+//!                                      in parallel; writes the
+//!                                      BENCH_sweep.json artifact. --grid
+//!                                      swaps in a declarative scenario file
+//!                                      (scenarios/*.toml) instead of the
+//!                                      compiled-in grid; --wall-out also
+//!                                      writes the non-normalized artifact
+//!                                      with the `timing` section; --baseline
+//!                                      diffs the fresh run against OLD.json
+//!                                      and exits 1 on virtual-time
+//!                                      regressions (one-shot regression
+//!                                      gate), with --md-out writing that
+//!                                      diff as a markdown report
+//!   quick [--grid FILE.toml] [--threads N] [--out PATH] [--wall-out PATH]
+//!         [--baseline OLD.json] [--tol F] [--md-out PATH]
 //!                                      tiny smoke grid (seconds); same
 //!                                      artifact schema — the verify gate
 //!                                      and the golden test run this
-//!   diff <a.json> <b.json> [--tol F]   compare two artifacts; exit 1 on
+//!   diff <a.json> <b.json> [--tol F] [--grid FILE.toml] [--md-out PATH]
+//!                                      compare two artifacts; exit 1 on
 //!                                      virtual-time regressions beyond the
-//!                                      fractional tolerance F (default 0)
+//!                                      fractional tolerance F (default 0).
+//!                                      --grid restricts the comparison to
+//!                                      the scenarios a grid file expands to;
+//!                                      --md-out writes the report as
+//!                                      markdown (status flips, movements,
+//!                                      per-model geomean table)
 //! ```
 //!
 //! Every experiment grid runs through [`driver::run_sweep`]: scenarios
@@ -64,8 +78,8 @@ fn main() {
         "scaling" => scaling(),
         "model-sweep" => model_sweep(),
         "interchange" => interchange(),
-        "sweep" => sweep_cmd(SweepGrid::full(), rest, true),
-        "quick" => sweep_cmd(SweepGrid::quick(), rest, false),
+        "sweep" => sweep_cmd(SweepGrid::full(), rest),
+        "quick" => sweep_cmd(SweepGrid::quick(), rest),
         "diff" => diff_cmd(rest),
         "all" => {
             fig1();
@@ -149,6 +163,8 @@ struct SweepFlags {
     wall_out: Option<String>,
     baseline: Option<String>,
     tolerance: f64,
+    grid: Option<String>,
+    md_out: Option<String>,
 }
 
 /// Parse flags, accepting only the ones the subcommand supports (so
@@ -160,6 +176,8 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
         wall_out: None,
         baseline: None,
         tolerance: 0.0,
+        grid: None,
+        md_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -186,6 +204,8 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
             "--out" => flags.out = grab("--out").clone(),
             "--wall-out" => flags.wall_out = Some(grab("--wall-out").clone()),
             "--baseline" => flags.baseline = Some(grab("--baseline").clone()),
+            "--grid" => flags.grid = Some(grab("--grid").clone()),
+            "--md-out" => flags.md_out = Some(grab("--md-out").clone()),
             "--tol" => {
                 flags.tolerance = grab("--tol").parse().unwrap_or_else(|e| {
                     eprintln!("bad --tol: {e}");
@@ -198,14 +218,78 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
     flags
 }
 
+/// Load a declarative scenario file (`scenarios/*.toml`) into a grid.
+fn load_grid(path: &str) -> SweepGrid {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read grid file {path}: {e}");
+        std::process::exit(2);
+    });
+    let text = String::from_utf8(bytes).unwrap_or_else(|e| {
+        eprintln!("{path}: grid file is not valid UTF-8: {e}");
+        std::process::exit(2);
+    });
+    driver::grid_from_toml(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Read a sweep artifact, treating any corruption (including non-UTF-8
+/// bytes) as a readable error, never a panic.
+fn load_artifact(path: &str) -> SweepResult {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    json::from_json_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Write the markdown diff report when `--md-out` was given.
+fn write_md_report(
+    md_out: &Option<String>,
+    report: &driver::DiffReport,
+    baseline: &str,
+    candidate: &str,
+    tolerance: f64,
+) {
+    let Some(path) = md_out else { return };
+    let md = report.render_markdown(baseline, candidate, tolerance);
+    if let Err(e) = std::fs::write(path, &md) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} (markdown diff report)");
+}
+
 /// Run a grid, print the record table + aggregates, write the artifact.
-/// With `--baseline`, also diff against the given artifact and exit 1 on
-/// regressions (the one-shot regression gate).
-fn sweep_cmd(grid: SweepGrid, args: &[String], full_grid: bool) {
+/// With `--grid FILE.toml`, the compiled-in grid is replaced by the
+/// declarative scenario file. With `--baseline`, also diff against the
+/// given artifact and exit 1 on regressions (the one-shot regression
+/// gate); `--md-out` writes that diff as markdown.
+fn sweep_cmd(grid: SweepGrid, args: &[String]) {
     let flags = parse_flags(
         args,
-        &["--threads", "--out", "--wall-out", "--baseline", "--tol"],
+        &[
+            "--threads",
+            "--out",
+            "--wall-out",
+            "--baseline",
+            "--tol",
+            "--grid",
+            "--md-out",
+        ],
     );
+    if flags.md_out.is_some() && flags.baseline.is_none() {
+        eprintln!("--md-out needs --baseline (the markdown report is a diff report)");
+        std::process::exit(2);
+    }
+    let grid = match &flags.grid {
+        Some(path) => load_grid(path),
+        None => grid,
+    };
     let result = run_sweep(&grid, flags.threads);
     hr(&format!(
         "sweep — {} scenarios ({} ok, {} errors) in {:.0} ms wall",
@@ -287,9 +371,10 @@ fn sweep_cmd(grid: SweepGrid, args: &[String], full_grid: bool) {
             );
         }
     }
-    if full_grid && flags.out == "BENCH_sweep.json" {
-        // The committed BENCH_sweep.json is the quick-grid baseline that
-        // scripts/verify.sh regenerates; don't commit the full grid there.
+    // The committed BENCH_sweep.json is the quick-grid baseline that
+    // scripts/verify.sh regenerates; warn whenever any *other* grid —
+    // whichever subcommand or --grid file produced it — lands there.
+    if grid != SweepGrid::quick() && flags.out == "BENCH_sweep.json" {
         eprintln!(
             "note: overwrote the quick-grid baseline at BENCH_sweep.json — \
              `git restore BENCH_sweep.json` (or rerun `harness quick`), \
@@ -300,20 +385,20 @@ fn sweep_cmd(grid: SweepGrid, args: &[String], full_grid: bool) {
         std::process::exit(1);
     }
     if let Some(baseline_path) = &flags.baseline {
-        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
-            eprintln!("cannot read baseline {baseline_path}: {e}");
-            std::process::exit(2);
-        });
-        let baseline = json::from_json_string(&text).unwrap_or_else(|e| {
-            eprintln!("{baseline_path}: {e}");
-            std::process::exit(2);
-        });
+        let baseline = load_artifact(baseline_path);
         hr(&format!(
             "regression gate — {} (baseline) vs this run, tolerance {}",
             baseline_path, flags.tolerance
         ));
         let report = driver::diff(&baseline, &result, flags.tolerance);
         print!("{}", report.render());
+        write_md_report(
+            &flags.md_out,
+            &report,
+            baseline_path,
+            "this run",
+            flags.tolerance,
+        );
         if report.has_regressions() {
             eprintln!("regression gate FAILED");
             std::process::exit(1);
@@ -322,7 +407,25 @@ fn sweep_cmd(grid: SweepGrid, args: &[String], full_grid: bool) {
     }
 }
 
-/// Compare two sweep artifacts; exit 1 on regressions.
+/// Keep only the records a grid file's expansion names (by scenario
+/// key), recomputing the summary over the survivors.
+fn restrict_to_grid(result: SweepResult, keys: &std::collections::HashSet<String>) -> SweepResult {
+    let records: Vec<SweepRecord> = result
+        .records
+        .into_iter()
+        .filter(|r| keys.contains(&r.spec.key()))
+        .collect();
+    let summary = driver::summarize(&records, result.summary.wall_ms);
+    SweepResult {
+        records,
+        summary,
+        timing: None,
+    }
+}
+
+/// Compare two sweep artifacts; exit 1 on regressions. `--grid` scopes
+/// the comparison to a scenario file's expansion; `--md-out` writes the
+/// report as markdown.
 fn diff_cmd(args: &[String]) {
     // Flags (with their values) go to parse_flags; bare args are paths.
     let mut paths: Vec<String> = Vec::new();
@@ -338,29 +441,35 @@ fn diff_cmd(args: &[String]) {
             paths.push(a.clone());
         }
     }
-    let flags = parse_flags(&flag_args, &["--tol"]);
+    let flags = parse_flags(&flag_args, &["--tol", "--grid", "--md-out"]);
     if paths.len() != 2 {
-        eprintln!("usage: harness diff <a.json> <b.json> [--tol F]");
+        eprintln!("usage: harness diff <a.json> <b.json> [--tol F] [--grid FILE.toml] [--md-out PATH]");
         std::process::exit(2);
     }
-    let load = |path: &str| -> SweepResult {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        });
-        json::from_json_string(&text).unwrap_or_else(|e| {
-            eprintln!("{path}: {e}");
-            std::process::exit(2);
-        })
-    };
-    let a = load(&paths[0]);
-    let b = load(&paths[1]);
+    let mut a = load_artifact(&paths[0]);
+    let mut b = load_artifact(&paths[1]);
+    if let Some(grid_path) = &flags.grid {
+        let keys: std::collections::HashSet<String> = load_grid(grid_path)
+            .expand()
+            .iter()
+            .map(driver::ScenarioSpec::key)
+            .collect();
+        a = restrict_to_grid(a, &keys);
+        b = restrict_to_grid(b, &keys);
+        println!(
+            "(scoped to {}: {} baseline / {} candidate records match)",
+            grid_path,
+            a.records.len(),
+            b.records.len()
+        );
+    }
     hr(&format!(
         "diff — {} (baseline) vs {} (candidate), tolerance {}",
         paths[0], paths[1], flags.tolerance
     ));
     let report = driver::diff(&a, &b, flags.tolerance);
     print!("{}", report.render());
+    write_md_report(&flags.md_out, &report, &paths[0], &paths[1], flags.tolerance);
     if report.has_regressions() {
         std::process::exit(1);
     }
@@ -375,13 +484,7 @@ fn fig1() {
     let np = 8;
     println!("(np = {np}; bars normalized to the fastest variant; paper shape:");
     println!(" prepush beats original on both stacks, decisively on MPICH-GM)\n");
-    let result = run_sweep(
-        &SweepGrid::new()
-            .workloads(["direct2d", "indirect"])
-            .nps([np])
-            .models([ModelSpec::Mpich, ModelSpec::MpichGm]),
-        0,
-    );
+    let result = run_sweep(&SweepGrid::fig1(), 0);
     for (name, blurb) in [
         ("direct2d", "communication scheme: {} —"),
         ("indirect", "communication scheme: {} (the paper's §4 test shape) —"),
@@ -574,13 +677,7 @@ fn ablation_k() {
 fn scaling() {
     hr("Ablation — pre-push speedup vs rank count (direct-2d)");
     let nps = [2usize, 4, 8, 16, 32];
-    let result = run_sweep(
-        &SweepGrid::new()
-            .workloads(["direct2d"])
-            .nps(nps)
-            .models([ModelSpec::Mpich, ModelSpec::MpichGm]),
-        0,
-    );
+    let result = run_sweep(&SweepGrid::scaling(), 0);
     println!("{:>4} {:>10} {:>10}", "np", "MPICH", "MPICH-GM");
     for np in nps {
         let tcp = rec(&result, "direct2d", np, &ModelSpec::Mpich, None);
@@ -632,13 +729,7 @@ fn model_sweep() {
 fn interchange() {
     hr("Ablation — node loop outermost: interchange vs per-column fallback");
     let np = 4;
-    let result = run_sweep(
-        &SweepGrid::new()
-            .workloads(["interchange-legal", "interchange-blocked"])
-            .nps([np])
-            .models([ModelSpec::MpichGm]),
-        0,
-    );
+    let result = run_sweep(&SweepGrid::interchange(), 0);
     for (name, label) in [
         ("interchange-legal", "interchange legal"),
         ("interchange-blocked", "interchange blocked"),

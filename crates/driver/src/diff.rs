@@ -124,6 +124,117 @@ impl DiffReport {
     }
 }
 
+impl DiffReport {
+    /// Render the report as a self-contained markdown document: verdict,
+    /// summary counts, status flips, membership changes, virtual-time
+    /// movements, and the per-model geomean table. Deterministic — byte
+    /// output is a pure function of the report plus the labels, so the
+    /// `--md-out` artifact is golden-testable.
+    pub fn render_markdown(&self, baseline: &str, candidate: &str, tolerance: f64) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# Sweep diff report\n");
+        let _ = writeln!(
+            s,
+            "Baseline `{baseline}` vs candidate `{candidate}` — tolerance {:.2}%.\n",
+            tolerance * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "**Verdict: {}**\n",
+            if self.has_regressions() {
+                "REGRESSIONS"
+            } else {
+                "clean"
+            }
+        );
+        let _ = writeln!(
+            s,
+            "| unchanged | regressions | improvements | missing | new | broke | fixed |"
+        );
+        let _ = writeln!(s, "|---:|---:|---:|---:|---:|---:|---:|");
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            self.unchanged,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.missing.len(),
+            self.added.len(),
+            self.status_changes.len(),
+            self.fixed.len()
+        );
+        // Status-flip entries embed verbatim error text, and panic
+        // payloads can be multi-line or contain backticks — neither
+        // survives inside a single-line markdown code span.
+        let inline = |k: &String| -> String {
+            k.lines().next().unwrap_or("").replace('`', "'")
+        };
+        if !self.status_changes.is_empty() || !self.fixed.is_empty() {
+            let _ = writeln!(s, "\n## Status flips\n");
+            for k in &self.status_changes {
+                let _ = writeln!(s, "- **broke** `{}`", inline(k));
+            }
+            for k in &self.fixed {
+                let _ = writeln!(s, "- fixed `{}`", inline(k));
+            }
+        }
+        if !self.missing.is_empty() || !self.added.is_empty() {
+            let _ = writeln!(s, "\n## Membership\n");
+            for k in &self.missing {
+                let _ = writeln!(s, "- **missing** `{k}`");
+            }
+            for k in &self.added {
+                let _ = writeln!(s, "- new `{k}`");
+            }
+        }
+        if !self.regressions.is_empty() || !self.improvements.is_empty() {
+            let _ = writeln!(s, "\n## Virtual-time movements\n");
+            let _ = writeln!(s, "| change | scenario | before (ns) | after (ns) | Δ |");
+            let _ = writeln!(s, "|---|---|---:|---:|---:|");
+            for (label, rows) in [
+                ("**regression**", &self.regressions),
+                ("improvement", &self.improvements),
+            ] {
+                for r in rows {
+                    let _ = writeln!(
+                        s,
+                        "| {label} | `{}` | {} | {} | {:+.2}% |",
+                        r.key,
+                        r.before_ns,
+                        r.after_ns,
+                        (r.ratio - 1.0) * 100.0
+                    );
+                }
+            }
+        }
+        if !self.per_model.is_empty() {
+            let _ = writeln!(s, "\n## Per-model geomean speedup\n");
+            let _ = writeln!(s, "| model | baseline | candidate | Δ |");
+            let _ = writeln!(s, "|---|---:|---:|---:|");
+            for m in &self.per_model {
+                let fmt = |v: Option<f64>| match v {
+                    Some(g) => format!("{g:.3}x"),
+                    None => "–".into(),
+                };
+                let delta = match (m.before, m.after) {
+                    (Some(b), Some(a)) if b > 0.0 => {
+                        format!("{:+.2}%", (a / b - 1.0) * 100.0)
+                    }
+                    _ => String::new(),
+                };
+                let _ = writeln!(
+                    s,
+                    "| {} | {} | {} | {delta} |",
+                    m.model,
+                    fmt(m.before),
+                    fmt(m.after)
+                );
+            }
+        }
+        s
+    }
+}
+
 /// The time a record is judged by: prepush when present (the optimized
 /// path is what we guard), otherwise the original-variant time.
 fn judged_ns(r: &SweepRecord) -> Option<u64> {
@@ -335,6 +446,51 @@ mod tests {
         let text = d.render();
         assert!(text.contains("per-model geomean speedup"));
         assert!(text.contains("mpich"));
+    }
+
+    #[test]
+    fn markdown_report_covers_flips_movements_and_models() {
+        let a = result(vec![rec("w1", 1000), rec("w2", 1000), rec("w3", 1000)]);
+        let mut broke = rec("w2", 1000);
+        broke.status = RunStatus::Error("died".into());
+        let b = result(vec![rec("w1", 1200), broke, rec("w4", 500)]);
+        let d = diff(&a, &b, 0.0);
+        let md = d.render_markdown("old.json", "new.json", 0.0);
+        assert!(md.starts_with("# Sweep diff report"), "{md}");
+        assert!(md.contains("**Verdict: REGRESSIONS**"), "{md}");
+        assert!(md.contains("`old.json`") && md.contains("`new.json`"), "{md}");
+        assert!(md.contains("- **broke**") && md.contains("died"), "{md}");
+        assert!(md.contains("- **missing**") && md.contains("- new"), "{md}");
+        assert!(md.contains("| **regression** |") && md.contains("+20.00%"), "{md}");
+        assert!(md.contains("## Per-model geomean speedup"), "{md}");
+        assert!(md.contains("| mpich |"), "{md}");
+        // Deterministic bytes: same inputs, same document.
+        assert_eq!(md, d.render_markdown("old.json", "new.json", 0.0));
+
+        // A clean self-diff says so and omits the empty sections.
+        let clean = diff(&a, &a.clone(), 0.0).render_markdown("a", "a", 0.0);
+        assert!(clean.contains("**Verdict: clean**"), "{clean}");
+        assert!(!clean.contains("## Status flips"), "{clean}");
+        assert!(!clean.contains("## Virtual-time movements"), "{clean}");
+    }
+
+    #[test]
+    fn markdown_survives_multiline_and_backtick_panic_payloads() {
+        let a = result(vec![rec("w1", 1000)]);
+        let mut broke = rec("w1", 1000);
+        broke.status =
+            RunStatus::Error("assertion failed: `left == right`\n  left: 1\n right: 2".into());
+        let b = result(vec![broke]);
+        let md = diff(&a, &b, 0.0).render_markdown("a", "b", 0.0);
+        let broke_line = md
+            .lines()
+            .find(|l| l.starts_with("- **broke**"))
+            .expect("report lists the flip");
+        // One list item, no raw backticks from the payload, no payload
+        // newlines splitting the item.
+        assert!(!broke_line.contains("`left"), "{broke_line}");
+        assert!(broke_line.contains("assertion failed"), "{broke_line}");
+        assert!(!md.contains("  left: 1"), "{md}");
     }
 
     #[test]

@@ -141,6 +141,12 @@ impl SweepResult {
 }
 
 /// Compute the aggregates for a record list.
+///
+/// Only *ok* records with a finite, positive speedup contribute to the
+/// geomeans and extremes. Error rows are skipped even when they carry a
+/// `speedup` value (a parsed artifact may — records are data, not
+/// provenance), so a model whose scenarios all errored simply has no
+/// per-model aggregate instead of contributing a NaN-shaped one.
 pub fn summarize(records: &[SweepRecord], wall_ms: f64) -> SweepSummary {
     let ok = records.iter().filter(|r| r.is_ok()).count();
     let mut best: Option<(String, f64)> = None;
@@ -148,6 +154,9 @@ pub fn summarize(records: &[SweepRecord], wall_ms: f64) -> SweepSummary {
     let mut by_model: Vec<(String, Vec<f64>)> = Vec::new();
     for r in records {
         let Some(s) = r.speedup else { continue };
+        if !r.is_ok() || !s.is_finite() || s <= 0.0 {
+            continue;
+        }
         if best.as_ref().is_none_or(|(_, b)| s > *b) {
             best = Some((r.spec.key(), s));
         }
@@ -389,6 +398,46 @@ mod tests {
         assert_eq!(s.per_model[0].0, "mpich-gm");
         assert_eq!(s.wall_ms, 12.5);
         assert!(s.best.is_some() && s.worst.is_some());
+    }
+
+    #[test]
+    fn summary_skips_error_rows_and_degenerate_speedups() {
+        // An artifact (records are data — they may come from a file, not
+        // a fresh run) where one model's rows all errored yet still carry
+        // speedup values, plus ok rows with NaN/zero speedups: none of
+        // these may leak into the aggregates.
+        let mut errored = SweepRecord {
+            status: RunStatus::Error("sim exploded".into()),
+            ..run_scenario(&tiny_spec("direct2d"))
+        };
+        errored.spec.model = ModelSpec::Mpich;
+        errored.speedup = Some(7.5); // stale value on an error row
+        let mut nan_row = run_scenario(&tiny_spec("direct2d"));
+        nan_row.speedup = Some(f64::NAN);
+        let mut zero_row = run_scenario(&tiny_spec("direct2d"));
+        zero_row.speedup = Some(0.0);
+        let good = run_scenario(&tiny_spec("indirect"));
+        let good_speedup = good.speedup.unwrap();
+
+        let s = summarize(&[errored, nan_row, zero_row, good], 0.0);
+        assert_eq!(s.scenarios, 4);
+        assert_eq!(s.errors, 1);
+        // Only the good row aggregates: one model (mpich-gm), no NaN.
+        assert_eq!(s.per_model.len(), 1);
+        assert_eq!(s.per_model[0].0, "mpich-gm");
+        assert!(s.per_model[0].1.is_finite());
+        assert_eq!(s.geomean_speedup, Some(good_speedup));
+        assert_eq!(s.best.as_ref().unwrap().1, good_speedup);
+        assert_eq!(s.worst.as_ref().unwrap().1, good_speedup);
+
+        // A model whose rows ALL errored: no aggregate at all.
+        let mut only_err = run_scenario(&tiny_spec("direct2d"));
+        only_err.status = RunStatus::Error("boom".into());
+        only_err.speedup = Some(2.0);
+        let s = summarize(&[only_err], 0.0);
+        assert!(s.per_model.is_empty());
+        assert_eq!(s.geomean_speedup, None);
+        assert!(s.best.is_none() && s.worst.is_none());
     }
 
     #[test]

@@ -3,14 +3,101 @@
 //! order (workload → np → model → tile size → variant), applies the
 //! registered filters, and yields the deterministic scenario list the
 //! executor runs.
+//!
+//! Filters are [`FilterSpec`] values — plain data, not function pointers
+//! — so a grid round-trips through the `scenarios/*.toml` files (see
+//! [`crate::toml`]) without loss: file → grid → file is byte-identical.
 
 use crate::spec::{ModelSpec, ScenarioSpec, SizeClass, Variant};
 
-/// A filter is a plain function pointer so grids stay `Clone` and their
-/// expansion stays a pure function of the grid value.
-pub type Filter = fn(&ScenarioSpec) -> bool;
+/// A scenario filter as *data*: every variant is expressible in a
+/// scenario file by its [`FilterSpec::kind`] name, and its decision is a
+/// pure function of the [`ScenarioSpec`] (plus, for
+/// [`FilterSpec::OverlapGuaranteed`], the static workload registry).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterSpec {
+    /// Keep scenarios with `np >= n`.
+    MinNp(usize),
+    /// Keep scenarios with `np <= n`.
+    MaxNp(usize),
+    /// Keep scenarios whose workload is one of the named families.
+    WorkloadIn(Vec<String>),
+    /// Keep `np <= max_np` everywhere except the `exempt` workloads — the
+    /// full grid's gate that reserves the expensive large-np rows for the
+    /// all-peers families.
+    NpCapExcept { max_np: usize, exempt: Vec<String> },
+    /// Restrict one model column to `np <= max_np` (scoping an expensive
+    /// or ablation-only stack without dropping it from the model axis).
+    ModelNpCap { model: String, max_np: usize },
+    /// Explicit (non-auto) tile sizes run only inside the named scope;
+    /// auto rows (`tile_size = None`) always pass. This is how the full
+    /// grid carries a U-curve tile axis without multiplying every row.
+    TileAxisScope {
+        workloads: Vec<String>,
+        nps: Vec<usize>,
+        models: Vec<String>,
+    },
+    /// Keep scenarios where the workload registry guarantees overlap at
+    /// this rank count (`min_overlap_np`, see [`workloads::RegistryEntry`]).
+    OverlapGuaranteed,
+}
 
-#[derive(Clone)]
+impl FilterSpec {
+    /// Every kind name the scenario-file loader accepts, for error
+    /// messages and docs.
+    pub const KINDS: [&'static str; 7] = [
+        "min-np",
+        "max-np",
+        "workload-in",
+        "np-cap-except",
+        "model-np-cap",
+        "tile-axis-scope",
+        "overlap-guaranteed",
+    ];
+
+    /// The stable kind name used in scenario files.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FilterSpec::MinNp(_) => "min-np",
+            FilterSpec::MaxNp(_) => "max-np",
+            FilterSpec::WorkloadIn(_) => "workload-in",
+            FilterSpec::NpCapExcept { .. } => "np-cap-except",
+            FilterSpec::ModelNpCap { .. } => "model-np-cap",
+            FilterSpec::TileAxisScope { .. } => "tile-axis-scope",
+            FilterSpec::OverlapGuaranteed => "overlap-guaranteed",
+        }
+    }
+
+    /// Does this filter keep the scenario?
+    pub fn accepts(&self, s: &ScenarioSpec) -> bool {
+        match self {
+            FilterSpec::MinNp(n) => s.np >= *n,
+            FilterSpec::MaxNp(n) => s.np <= *n,
+            FilterSpec::WorkloadIn(names) => names.contains(&s.workload),
+            FilterSpec::NpCapExcept { max_np, exempt } => {
+                s.np <= *max_np || exempt.contains(&s.workload)
+            }
+            FilterSpec::ModelNpCap { model, max_np } => {
+                s.model.id() != *model || s.np <= *max_np
+            }
+            FilterSpec::TileAxisScope {
+                workloads,
+                nps,
+                models,
+            } => {
+                s.tile_size.is_none()
+                    || (workloads.contains(&s.workload)
+                        && nps.contains(&s.np)
+                        && models.iter().any(|m| *m == s.model.id()))
+            }
+            FilterSpec::OverlapGuaranteed => workloads::find(&s.workload)
+                .and_then(|e| e.min_overlap_np)
+                .is_some_and(|min_np| s.np >= min_np),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepGrid {
     pub workloads: Vec<String>,
     pub size: SizeClass,
@@ -19,7 +106,7 @@ pub struct SweepGrid {
     /// Requested tile sizes; `None` = the model-informed heuristic.
     pub tile_sizes: Vec<Option<i64>>,
     pub variants: Vec<Variant>,
-    filters: Vec<Filter>,
+    filters: Vec<FilterSpec>,
 }
 
 impl Default for SweepGrid {
@@ -75,11 +162,17 @@ impl SweepGrid {
         self
     }
 
-    /// Keep only scenarios the predicate accepts. Filters compose (all
-    /// must accept).
-    pub fn filter(mut self, f: Filter) -> Self {
+    /// Keep only scenarios the filter accepts. Filters compose (all must
+    /// accept).
+    pub fn filter(mut self, f: FilterSpec) -> Self {
         self.filters.push(f);
         self
+    }
+
+    /// The registered filters, in registration order (the scenario-file
+    /// writer serializes them in this order).
+    pub fn filters(&self) -> &[FilterSpec] {
+        &self.filters
     }
 
     /// Number of points before filtering: the product of axis lengths.
@@ -108,7 +201,7 @@ impl SweepGrid {
                                 tile_size: k,
                                 variant,
                             };
-                            if self.filters.iter().all(|f| f(&spec)) {
+                            if self.filters.iter().all(|f| f.accepts(&spec)) {
                                 out.push(spec);
                             }
                         }
@@ -125,28 +218,78 @@ impl SweepGrid {
     /// the paper's np {4, 8} to keep the sweep's wall-clock in check.
     pub const HIGH_NP_WORKLOADS: [&'static str; 3] = ["direct2d", "fft", "adi"];
 
-    /// The full evaluation grid: every registry workload at Figure-1
-    /// scale on the paper's two stacks at np {4, 8}, plus np {16, 32, 64}
-    /// rows for the all-peers families ([`Self::HIGH_NP_WORKLOADS`]).
-    /// This is what `harness sweep` runs.
+    /// The full evaluation grid (`harness sweep`, mirrored by
+    /// `scenarios/full.toml`): every registry workload at Figure-1 scale
+    /// on the paper's two stacks plus the `rdma-ideal` upper-bound column
+    /// at np {4, 8}; np {16, 32, 64} rows for the all-peers families
+    /// ([`Self::HIGH_NP_WORKLOADS`]) on the two paper stacks; and an
+    /// explicit tile-size axis {64, 512, 4096} around the heuristic's
+    /// choice (the U-curve) for the all-peers families at np = 8 on
+    /// MPICH-GM.
     pub fn full() -> Self {
+        let high_np: Vec<String> =
+            Self::HIGH_NP_WORKLOADS.iter().map(|w| w.to_string()).collect();
         SweepGrid::new()
             .workloads(workloads::registry().iter().map(|e| e.name))
             .size(SizeClass::Standard)
             .nps([4, 8, 16, 32, 64])
-            .models([ModelSpec::Mpich, ModelSpec::MpichGm])
-            .filter(|s| s.np <= 8 || Self::HIGH_NP_WORKLOADS.contains(&s.workload.as_str()))
+            .models([ModelSpec::Mpich, ModelSpec::MpichGm, ModelSpec::RdmaIdeal])
+            .tile_sizes([None, Some(64), Some(512), Some(4096)])
+            .filter(FilterSpec::NpCapExcept {
+                max_np: 8,
+                exempt: high_np.clone(),
+            })
+            .filter(FilterSpec::ModelNpCap {
+                model: "rdma-ideal".into(),
+                max_np: 8,
+            })
+            .filter(FilterSpec::TileAxisScope {
+                workloads: high_np,
+                nps: vec![8],
+                models: vec!["mpich-gm".into()],
+            })
     }
 
     /// A tiny smoke grid (seconds, even in debug builds): two workload
     /// families at small size, np = 2, both stacks. This is what
-    /// `harness quick`, the verify gate, and the golden test run.
+    /// `harness quick`, the verify gate, and the golden test run
+    /// (mirrored by `scenarios/quick.toml`).
     pub fn quick() -> Self {
         SweepGrid::new()
             .workloads(["direct2d", "indirect"])
             .size(SizeClass::Small)
             .nps([2])
             .models([ModelSpec::Mpich, ModelSpec::MpichGm])
+    }
+
+    /// Figure 1's grid: the two paper workloads at Figure-1 scale, np = 8,
+    /// both stacks (mirrored by `scenarios/fig1.toml`).
+    pub fn fig1() -> Self {
+        SweepGrid::new()
+            .workloads(["direct2d", "indirect"])
+            .size(SizeClass::Standard)
+            .nps([8])
+            .models([ModelSpec::Mpich, ModelSpec::MpichGm])
+    }
+
+    /// The scaling ablation's grid: speedup vs rank count for the Fig. 4
+    /// exchange (mirrored by `scenarios/scaling.toml`).
+    pub fn scaling() -> Self {
+        SweepGrid::new()
+            .workloads(["direct2d"])
+            .size(SizeClass::Standard)
+            .nps([2, 4, 8, 16, 32])
+            .models([ModelSpec::Mpich, ModelSpec::MpichGm])
+    }
+
+    /// The §3.5 interchange ablation's grid (mirrored by
+    /// `scenarios/interchange.toml`).
+    pub fn interchange() -> Self {
+        SweepGrid::new()
+            .workloads(["interchange-legal", "interchange-blocked"])
+            .size(SizeClass::Standard)
+            .nps([4])
+            .models([ModelSpec::MpichGm])
     }
 }
 
@@ -180,16 +323,95 @@ mod tests {
             .workloads(["a", "b"])
             .nps([2, 4, 8])
             .models([ModelSpec::Mpich])
-            .filter(|s| s.np >= 4)
-            .filter(|s| s.workload == "a");
+            .filter(FilterSpec::MinNp(4))
+            .filter(FilterSpec::WorkloadIn(vec!["a".into()]));
         let specs = g.expand();
         assert_eq!(specs.len(), 2);
         assert!(specs.iter().all(|s| s.workload == "a" && s.np >= 4));
     }
 
     #[test]
+    fn filter_specs_decide_as_documented() {
+        let spec = |workload: &str, np: usize, model: ModelSpec, k: Option<i64>| ScenarioSpec {
+            workload: workload.into(),
+            size: SizeClass::Standard,
+            np,
+            model,
+            tile_size: k,
+            variant: Variant::Compare,
+        };
+        let cap = FilterSpec::NpCapExcept {
+            max_np: 8,
+            exempt: vec!["fft".into()],
+        };
+        assert!(cap.accepts(&spec("direct", 8, ModelSpec::Mpich, None)));
+        assert!(!cap.accepts(&spec("direct", 16, ModelSpec::Mpich, None)));
+        assert!(cap.accepts(&spec("fft", 64, ModelSpec::Mpich, None)));
+
+        let col = FilterSpec::ModelNpCap {
+            model: "rdma-ideal".into(),
+            max_np: 8,
+        };
+        assert!(col.accepts(&spec("fft", 64, ModelSpec::Mpich, None)));
+        assert!(col.accepts(&spec("fft", 8, ModelSpec::RdmaIdeal, None)));
+        assert!(!col.accepts(&spec("fft", 16, ModelSpec::RdmaIdeal, None)));
+
+        let tiles = FilterSpec::TileAxisScope {
+            workloads: vec!["fft".into()],
+            nps: vec![8],
+            models: vec!["mpich-gm".into()],
+        };
+        // Auto rows always pass; explicit tiles only inside the scope.
+        assert!(tiles.accepts(&spec("direct", 4, ModelSpec::Mpich, None)));
+        assert!(tiles.accepts(&spec("fft", 8, ModelSpec::MpichGm, Some(64))));
+        assert!(!tiles.accepts(&spec("fft", 4, ModelSpec::MpichGm, Some(64))));
+        assert!(!tiles.accepts(&spec("fft", 8, ModelSpec::Mpich, Some(64))));
+
+        // The registry guarantee: interchange-legal needs np >= 4,
+        // interchange-blocked has no guarantee at all.
+        let og = FilterSpec::OverlapGuaranteed;
+        assert!(og.accepts(&spec("direct2d", 2, ModelSpec::MpichGm, None)));
+        assert!(!og.accepts(&spec("interchange-legal", 2, ModelSpec::MpichGm, None)));
+        assert!(og.accepts(&spec("interchange-legal", 4, ModelSpec::MpichGm, None)));
+        assert!(!og.accepts(&spec("interchange-blocked", 8, ModelSpec::MpichGm, None)));
+    }
+
+    #[test]
+    fn kind_names_are_stable_and_complete() {
+        let all = [
+            FilterSpec::MinNp(1),
+            FilterSpec::MaxNp(1),
+            FilterSpec::WorkloadIn(vec![]),
+            FilterSpec::NpCapExcept {
+                max_np: 1,
+                exempt: vec![],
+            },
+            FilterSpec::ModelNpCap {
+                model: String::new(),
+                max_np: 1,
+            },
+            FilterSpec::TileAxisScope {
+                workloads: vec![],
+                nps: vec![],
+                models: vec![],
+            },
+            FilterSpec::OverlapGuaranteed,
+        ];
+        assert_eq!(all.len(), FilterSpec::KINDS.len());
+        for f in &all {
+            assert!(FilterSpec::KINDS.contains(&f.kind()), "{} unlisted", f.kind());
+        }
+    }
+
+    #[test]
     fn presets_are_nonempty_and_resolvable() {
-        for g in [SweepGrid::full(), SweepGrid::quick()] {
+        for g in [
+            SweepGrid::full(),
+            SweepGrid::quick(),
+            SweepGrid::fig1(),
+            SweepGrid::scaling(),
+            SweepGrid::interchange(),
+        ] {
             let specs = g.expand();
             assert!(!specs.is_empty());
             for s in &specs {
@@ -200,5 +422,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn full_grid_carries_the_rdma_column_and_tile_axis() {
+        let specs = SweepGrid::full().expand();
+        // rdma-ideal appears, but only at the paper's np {4, 8}.
+        let rdma: Vec<_> = specs
+            .iter()
+            .filter(|s| s.model == ModelSpec::RdmaIdeal)
+            .collect();
+        assert!(!rdma.is_empty());
+        assert!(rdma.iter().all(|s| s.np <= 8));
+        assert_eq!(rdma.len(), workloads::registry().len() * 2);
+        // The tile axis: three explicit sizes per all-peers family at
+        // np = 8 on MPICH-GM, nowhere else.
+        let tiled: Vec<_> = specs.iter().filter(|s| s.tile_size.is_some()).collect();
+        assert_eq!(tiled.len(), SweepGrid::HIGH_NP_WORKLOADS.len() * 3);
+        assert!(tiled
+            .iter()
+            .all(|s| s.np == 8 && s.model == ModelSpec::MpichGm));
+        // Large-np rows stay reserved for the all-peers families.
+        assert!(specs
+            .iter()
+            .filter(|s| s.np > 8)
+            .all(|s| SweepGrid::HIGH_NP_WORKLOADS.contains(&s.workload.as_str())));
     }
 }

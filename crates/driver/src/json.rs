@@ -68,23 +68,7 @@ impl Json {
 
 // ---------------------------------------------------------------- writer
 
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+use crate::text::{consume_scalar, write_escaped};
 
 fn write_value(out: &mut String, v: &Json, indent: usize) {
     match v {
@@ -229,18 +213,13 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so slices
-                    // at char boundaries are safe to find this way).
-                    let start = self.pos;
-                    self.pos += 1;
-                    while self
-                        .bytes
-                        .get(self.pos)
-                        .is_some_and(|b| b & 0xC0 == 0x80)
-                    {
-                        self.pos += 1;
-                    }
-                    s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                    // The artifact may arrive as raw file bytes
+                    // (`parse_json_bytes`), so a malformed sequence is a
+                    // parse *error*, never a panic.
+                    let (next, chunk) = consume_scalar(self.bytes, self.pos)
+                        .map_err(|()| self.err("invalid UTF-8 in string"))?;
+                    self.pos = next;
+                    s.push_str(chunk);
                 }
             }
         }
@@ -262,7 +241,10 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scan above only consumes ASCII bytes, but keep the error
+        // path anyway: the artifact reader must never panic on input.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Json::Float)
@@ -336,10 +318,14 @@ impl<'a> Parser<'a> {
 
 /// Parse a complete JSON document.
 pub fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
+    parse_json_bytes(text.as_bytes())
+}
+
+/// Parse a complete JSON document from raw bytes (e.g. a file read with
+/// `std::fs::read`). Malformed UTF-8 inside strings is a parse error
+/// with a byte/line position, not a panic.
+pub fn parse_json_bytes(bytes: &[u8]) -> Result<Json, String> {
+    let mut p = Parser { bytes, pos: 0 };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -564,7 +550,14 @@ fn record_from_json(v: &Json, idx: usize) -> Result<SweepRecord, String> {
 /// which is taken from the file. Accepts the current `overlap-sweep/v2`
 /// schema and the historical v1 (which simply lacks `timing`).
 pub fn from_json_string(text: &str) -> Result<SweepResult, String> {
-    let doc = parse_json(text)?;
+    from_json_bytes(text.as_bytes())
+}
+
+/// [`from_json_string`] over raw file bytes: what the harness feeds
+/// `std::fs::read` results into, so a corrupted (even non-UTF-8)
+/// artifact surfaces as a readable error instead of a panic.
+pub fn from_json_bytes(bytes: &[u8]) -> Result<SweepResult, String> {
+    let doc = parse_json_bytes(bytes)?;
     let schema = field(&doc, "schema", "document")?
         .as_str()
         .ok_or("document: `schema` must be a string")?;
@@ -723,5 +716,60 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         assert!(parse_json("{} x").is_err());
+    }
+
+    #[test]
+    fn malformed_non_utf8_bytes_error_instead_of_panicking() {
+        // A lone 0xFF inside a string: not a continuation byte, not a
+        // valid scalar — must be a parse error, not a panic.
+        let e = parse_json_bytes(b"{\"s\": \"\xFF\"}").unwrap_err();
+        assert!(e.contains("invalid UTF-8"), "{e}");
+        // A truncated multi-byte sequence (0xC3 lead with no tail).
+        let e = parse_json_bytes(b"[\"\xC3\"]").unwrap_err();
+        assert!(e.contains("invalid UTF-8"), "{e}");
+        // An overlong-style continuation run spliced mid-string.
+        let e = parse_json_bytes(b"{\"k\": \"a\xE2\x28\xA1b\"}").unwrap_err();
+        assert!(e.contains("invalid UTF-8"), "{e}");
+        // The same corruption through the full artifact reader.
+        let e = from_json_bytes(b"{\"schema\": \"overlap-sweep/v2\", \"records\": [\"\xFF\"]}")
+            .unwrap_err();
+        assert!(e.contains("invalid UTF-8"), "{e}");
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics() {
+        // Fuzz-ish sweep: every 1- and 2-byte prefix of the byte range
+        // plus a few structured corruptions. The only acceptable
+        // outcomes are Ok or Err — a panic here is the bug this guards.
+        for b in 0u8..=255 {
+            let _ = parse_json_bytes(&[b]);
+            let _ = parse_json_bytes(&[b'"', b]);
+            let _ = parse_json_bytes(&[b'"', b'\\', b]);
+            let _ = parse_json_bytes(&[b'[', b, b']']);
+        }
+        let valid = to_json_string(&sample_result());
+        let bytes = valid.as_bytes();
+        // Corrupt each position of a real artifact in turn (stride keeps
+        // the test fast; corruption classes repeat long before that).
+        for i in (0..bytes.len()).step_by(7) {
+            let mut corrupted = bytes.to_vec();
+            corrupted[i] = 0xFF;
+            let _ = from_json_bytes(&corrupted);
+            corrupted[i] = 0xC3;
+            let _ = from_json_bytes(&corrupted);
+        }
+    }
+
+    #[test]
+    fn byte_and_str_entry_points_agree_on_valid_input() {
+        let text = to_json_string(&sample_result());
+        assert_eq!(
+            parse_json(&text).unwrap(),
+            parse_json_bytes(text.as_bytes()).unwrap()
+        );
+        assert_eq!(
+            from_json_string(&text).unwrap(),
+            from_json_bytes(text.as_bytes()).unwrap()
+        );
     }
 }

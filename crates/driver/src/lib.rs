@@ -6,8 +6,12 @@
 //!
 //! - [`ScenarioSpec`] names one point of the grid (workload by registry
 //!   name, size class, np, [`ModelSpec`], tile size K, [`Variant`]);
-//! - [`SweepGrid`] expands axes cartesian-product-style, with filters,
-//!   in a deterministic order;
+//! - [`SweepGrid`] expands axes cartesian-product-style, with
+//!   [`FilterSpec`] filters (plain data, so grids serialize), in a
+//!   deterministic order;
+//! - [`toml`] loads/writes grids as declarative `scenarios/*.toml` files
+//!   (`overlap-grid/v1`, a dependency-free TOML subset) — new scenario
+//!   families need a file edit, not a recompile;
 //! - [`run_sweep`] executes scenarios on work-stealing workers scheduled
 //!   onto the persistent `clustersim` rank pool, isolating per-scenario
 //!   panics into error rows and returning records in grid order
@@ -42,12 +46,15 @@ pub mod grid;
 pub mod json;
 pub mod measure;
 pub mod spec;
+mod text;
+pub mod toml;
 
 pub use diff::{diff, DiffReport, DiffRow};
 pub use exec::{
     run_scenario, run_specs, run_sweep, summarize, RunStatus, SweepRecord, SweepResult,
     SweepSummary, SweepTiming,
 };
-pub use grid::SweepGrid;
+pub use grid::{FilterSpec, SweepGrid};
+pub use toml::{grid_from_toml, grid_to_toml};
 pub use measure::{measure, measure_original, transform_workload, Measurement};
 pub use spec::{ModelSpec, ScenarioSpec, SizeClass, Variant};

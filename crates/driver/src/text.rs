@@ -1,0 +1,67 @@
+//! Low-level text helpers shared by the two dependency-free file
+//! formats ([`crate::json`], [`crate::toml`]): the escape set for
+//! double-quoted strings (identical for JSON strings and TOML basic
+//! strings) and byte-level UTF-8 scalar scanning. One implementation,
+//! so an escaping or validation fix lands in both readers at once.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a double-quoted, escaped string.
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Consume one UTF-8 scalar at `start` (a lead byte plus its
+/// continuation bytes), returning the position past it and the validated
+/// text. `Err` on malformed sequences — parsers turn that into a
+/// positioned parse error, never a panic.
+pub(crate) fn consume_scalar(bytes: &[u8], start: usize) -> Result<(usize, &str), ()> {
+    let mut pos = start + 1;
+    while bytes.get(pos).is_some_and(|b| b & 0xC0 == 0x80) {
+        pos += 1;
+    }
+    match std::str::from_utf8(&bytes[start..pos]) {
+        Ok(chunk) => Ok((pos, chunk)),
+        Err(_) => Err(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_controls_quotes_and_backslashes() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\te\u{1}é");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001é\"");
+    }
+
+    #[test]
+    fn consume_scalar_accepts_multibyte_and_rejects_malformed() {
+        let bytes = "aé€".as_bytes();
+        let (p, s) = consume_scalar(bytes, 0).unwrap();
+        assert_eq!((p, s), (1, "a"));
+        let (p, s) = consume_scalar(bytes, 1).unwrap();
+        assert_eq!((p, s), (3, "é"));
+        let (p, s) = consume_scalar(bytes, 3).unwrap();
+        assert_eq!((p, s), (6, "€"));
+        assert!(consume_scalar(b"\xFFx", 0).is_err());
+        assert!(consume_scalar(b"\xC3", 0).is_err()); // truncated tail
+        assert!(consume_scalar(b"a\xE2\x28\xA1b", 1).is_err());
+    }
+}

@@ -1,0 +1,958 @@
+//! Dependency-free TOML-subset reader/writer for **scenario grid files**
+//! (`scenarios/*.toml`): the sibling of [`crate::json`], with the same
+//! zero-dependency discipline (no registry is reachable from this
+//! environment, so both file formats are implemented in-tree).
+//!
+//! The accepted subset is exactly what grid files need, no more:
+//!
+//! - top-level `key = value` pairs, one-level `[table]` headers, and
+//!   `[[array-of-tables]]` headers (no dotted keys, no nesting);
+//! - bare keys (`[A-Za-z0-9_-]+`);
+//! - values: basic `"strings"` (with `\" \\ \n \r \t \uXXXX` escapes),
+//!   integers, floats, booleans, and (possibly multi-line) arrays —
+//!   arrays may mix strings and integers, which the `tile_sizes` axis
+//!   uses for `["auto", 64, ...]`;
+//! - `#` comments and blank lines anywhere between statements.
+//!
+//! Grid files carry the `overlap-grid/v1` schema: a `schema` key, one
+//! `[grid]` table naming the axes, and zero or more `[[filter]]` tables
+//! naming [`FilterSpec`]s by kind. [`grid_to_toml`] writes the canonical
+//! form; `grid_from_toml(grid_to_toml(g)) == g` and, for files already in
+//! canonical form, `grid_to_toml(grid_from_toml(text)) == text` byte for
+//! byte — the committed `scenarios/*.toml` are canonical and a golden
+//! test pins that round-trip.
+//!
+//! Every rejection names the offending line and what was expected, so a
+//! typo in a scenario file reads as a diagnostic, not a shrug.
+
+use crate::grid::{FilterSpec, SweepGrid};
+use crate::spec::{ModelSpec, SizeClass, Variant};
+use std::fmt::Write as _;
+
+/// The schema tag grid files carry.
+pub const GRID_SCHEMA: &str = "overlap-grid/v1";
+
+/// A TOML value (the accepted subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Arr(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Arr(_) => "array",
+        }
+    }
+}
+
+/// `key = value` entries of one table, with the line each key appeared on
+/// (for actionable diagnostics). Insertion order is preserved.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TomlTable {
+    pub entries: Vec<(String, TomlValue, usize)>,
+}
+
+impl TomlTable {
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, _)| v)
+    }
+}
+
+/// One `[name]` or `[[name]]` section of a document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlSection {
+    pub name: String,
+    /// `true` for `[[name]]` (array-of-tables element).
+    pub is_array: bool,
+    pub line: usize,
+    pub table: TomlTable,
+}
+
+/// A parsed document: top-level keys plus sections in file order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TomlDoc {
+    pub root: TomlTable,
+    pub sections: Vec<TomlSection>,
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("scenario file parse error at line {}: {msg}", self.line)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    /// Skip spaces/tabs and a trailing `#` comment, but stop at newline.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'#') {
+            while self.peek().is_some_and(|b| b != b'\n') {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skip whitespace, newlines, and comments (between statements and
+    /// inside arrays).
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.pos += 1;
+                }
+                Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while self.peek().is_some_and(|b| b != b'\n') {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// After a statement: only whitespace/comment may remain on the line.
+    /// Accepts LF and CRLF endings — hand-edited files arrive both ways.
+    fn expect_end_of_line(&mut self) -> Result<(), String> {
+        self.skip_inline_ws();
+        if self.peek() == Some(b'\r') && self.bytes.get(self.pos + 1) == Some(&b'\n') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some(b) => Err(self.err(&format!(
+                "unexpected `{}` after value (one statement per line)",
+                b.escape_ascii()
+            ))),
+        }
+    }
+
+    fn parse_bare_key(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a key ([A-Za-z0-9_-]+)"));
+        }
+        // Keys are scanned byte-wise over ASCII classes, so this slice is
+        // always valid UTF-8; keep the error path anyway (subset parsers
+        // should never panic on input).
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map(str::to_string)
+            .map_err(|_| self.err("key is not valid UTF-8"))
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, String> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("non-scalar \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let (next, chunk) = crate::text::consume_scalar(self.bytes, self.pos)
+                        .map_err(|()| self.err("invalid UTF-8 in string"))?;
+                    self.pos = next;
+                    s.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<TomlValue, String> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'+' | b'-' if is_float => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("number is not valid UTF-8"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(TomlValue::Float)
+                .map_err(|e| self.err(&format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TomlValue::Int)
+                .map_err(|e| self.err(&format!("bad number `{text}`: {e}")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<TomlValue, String> {
+        match self.peek() {
+            None => Err(self.err("expected a value")),
+            Some(b'"') => Ok(TomlValue::Str(self.parse_basic_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(TomlValue::Arr(items));
+                        }
+                        None => return Err(self.err("unterminated array")),
+                        _ => {}
+                    }
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(TomlValue::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b't') | Some(b'f') => {
+                for (lit, v) in [("true", true), ("false", false)] {
+                    if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                        self.pos += lit.len();
+                        return Ok(TomlValue::Bool(v));
+                    }
+                }
+                Err(self.err("expected `true` or `false`"))
+            }
+            Some(b) if b == b'+' || b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(&format!(
+                "unexpected `{}` (values are strings, numbers, booleans, or arrays; \
+                 bare words must be quoted)",
+                b as char
+            ))),
+        }
+    }
+
+    fn parse_doc(&mut self) -> Result<TomlDoc, String> {
+        let mut doc = TomlDoc::default();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Ok(doc),
+                Some(b'[') => {
+                    let line = self.line;
+                    self.pos += 1;
+                    let is_array = self.peek() == Some(b'[');
+                    if is_array {
+                        self.pos += 1;
+                    }
+                    let name = self.parse_bare_key()?;
+                    if self.peek() != Some(b']') {
+                        return Err(self.err("expected `]` closing the section header"));
+                    }
+                    self.pos += 1;
+                    if is_array {
+                        if self.peek() != Some(b']') {
+                            return Err(self.err("expected `]]` closing the section header"));
+                        }
+                        self.pos += 1;
+                    }
+                    self.expect_end_of_line()?;
+                    doc.sections.push(TomlSection {
+                        name,
+                        is_array,
+                        line,
+                        table: TomlTable::default(),
+                    });
+                }
+                Some(_) => {
+                    let line = self.line;
+                    let key = self.parse_bare_key()?;
+                    self.skip_inline_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(&format!("expected `=` after key `{key}`")));
+                    }
+                    self.pos += 1;
+                    self.skip_inline_ws();
+                    let value = self.parse_value()?;
+                    self.expect_end_of_line()?;
+                    let table = match doc.sections.last_mut() {
+                        Some(s) => &mut s.table,
+                        None => &mut doc.root,
+                    };
+                    if table.entries.iter().any(|(k, _, _)| *k == key) {
+                        self.line = line;
+                        return Err(self.err(&format!("duplicate key `{key}`")));
+                    }
+                    table.entries.push((key, value, line));
+                }
+            }
+        }
+    }
+}
+
+/// Parse a TOML-subset document (see the module docs for the subset).
+pub fn parse_toml(text: &str) -> Result<TomlDoc, String> {
+    Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .parse_doc()
+}
+
+// ----------------------------------------------------------- grid loader
+
+fn expected_list(keys: &[&str]) -> String {
+    keys.join(", ")
+}
+
+fn reject_unknown_keys(table: &TomlTable, what: &str, allowed: &[&str]) -> Result<(), String> {
+    for (k, _, line) in &table.entries {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!(
+                "line {line}: unknown key `{k}` in {what} (expected one of: {})",
+                expected_list(allowed)
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn require<'a>(table: &'a TomlTable, what: &str, key: &str) -> Result<&'a TomlValue, String> {
+    table
+        .get(key)
+        .ok_or_else(|| format!("{what}: missing required key `{key}`"))
+}
+
+fn as_str<'a>(v: &'a TomlValue, what: &str, key: &str) -> Result<&'a str, String> {
+    match v {
+        TomlValue::Str(s) => Ok(s),
+        other => Err(format!(
+            "{what}: `{key}` must be a string, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn string_list(v: &TomlValue, what: &str, key: &str) -> Result<Vec<String>, String> {
+    match v {
+        TomlValue::Arr(items) => items
+            .iter()
+            .map(|item| as_str(item, what, key).map(str::to_string))
+            .collect(),
+        other => Err(format!(
+            "{what}: `{key}` must be an array of strings, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn usize_list(v: &TomlValue, what: &str, key: &str) -> Result<Vec<usize>, String> {
+    match v {
+        TomlValue::Arr(items) => items
+            .iter()
+            .map(|item| match item {
+                TomlValue::Int(i) if *i > 0 => Ok(*i as usize),
+                TomlValue::Int(i) => {
+                    Err(format!("{what}: `{key}` entries must be positive, got {i}"))
+                }
+                other => Err(format!(
+                    "{what}: `{key}` must be an array of integers, got a {} entry",
+                    other.type_name()
+                )),
+            })
+            .collect(),
+        other => Err(format!(
+            "{what}: `{key}` must be an array of integers, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn as_usize(v: &TomlValue, what: &str, key: &str) -> Result<usize, String> {
+    match v {
+        TomlValue::Int(i) if *i > 0 => Ok(*i as usize),
+        TomlValue::Int(i) => Err(format!("{what}: `{key}` must be positive, got {i}")),
+        other => Err(format!(
+            "{what}: `{key}` must be an integer, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+const GRID_KEYS: [&str; 6] = ["workloads", "size", "nps", "models", "tile_sizes", "variants"];
+
+fn grid_from_doc(doc: &TomlDoc) -> Result<SweepGrid, String> {
+    reject_unknown_keys(&doc.root, "the document root", &["schema"])?;
+    let schema = as_str(require(&doc.root, "document", "schema")?, "document", "schema")?;
+    if schema != GRID_SCHEMA {
+        return Err(format!(
+            "unsupported grid schema `{schema}` (this reader understands `{GRID_SCHEMA}`)"
+        ));
+    }
+
+    let mut grid_table: Option<&TomlSection> = None;
+    let mut filter_tables: Vec<&TomlSection> = Vec::new();
+    for section in &doc.sections {
+        match (section.name.as_str(), section.is_array) {
+            ("grid", false) => {
+                if grid_table.replace(section).is_some() {
+                    return Err(format!("line {}: duplicate [grid] section", section.line));
+                }
+            }
+            ("grid", true) => {
+                return Err(format!(
+                    "line {}: [grid] is a single table, not an array — write `[grid]`",
+                    section.line
+                ));
+            }
+            ("filter", true) => filter_tables.push(section),
+            ("filter", false) => {
+                return Err(format!(
+                    "line {}: filters are an array of tables — write `[[filter]]`",
+                    section.line
+                ));
+            }
+            (other, _) => {
+                return Err(format!(
+                    "line {}: unknown section [{other}] (expected [grid] or [[filter]])",
+                    section.line
+                ));
+            }
+        }
+    }
+    let grid_table = grid_table.ok_or("scenario file has no [grid] section")?;
+    let g = &grid_table.table;
+    reject_unknown_keys(g, "[grid]", &GRID_KEYS)?;
+
+    let what = "[grid]";
+    let workloads = string_list(require(g, what, "workloads")?, what, "workloads")?;
+    let size_text = as_str(require(g, what, "size")?, what, "size")?;
+    let size = SizeClass::parse(size_text).ok_or_else(|| {
+        format!("{what}: unknown size class `{size_text}` (expected small, medium, or standard)")
+    })?;
+    let nps = usize_list(require(g, what, "nps")?, what, "nps")?;
+    let models = string_list(require(g, what, "models")?, what, "models")?
+        .iter()
+        .map(|m| ModelSpec::parse(m).map_err(|e| format!("{what}: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let tile_sizes = match g.get("tile_sizes") {
+        None => vec![None],
+        Some(TomlValue::Arr(items)) => items
+            .iter()
+            .map(|item| match item {
+                TomlValue::Str(s) if s == "auto" => Ok(None),
+                TomlValue::Int(i) if *i > 0 => Ok(Some(*i)),
+                TomlValue::Int(i) => {
+                    Err(format!("{what}: tile sizes must be positive, got {i}"))
+                }
+                other => Err(format!(
+                    "{what}: `tile_sizes` entries must be \"auto\" or a positive \
+                     integer, got a {}",
+                    other.type_name()
+                )),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(other) => {
+            return Err(format!(
+                "{what}: `tile_sizes` must be an array, got {}",
+                other.type_name()
+            ))
+        }
+    };
+    let variants = match g.get("variants") {
+        None => vec![Variant::Compare],
+        Some(v) => string_list(v, what, "variants")?
+            .iter()
+            .map(|s| {
+                Variant::parse(s).ok_or_else(|| {
+                    format!(
+                        "{what}: unknown variant `{s}` (expected compare, original, \
+                         or prepush)"
+                    )
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+
+    // An empty axis would expand to a zero-scenario sweep that "succeeds"
+    // while writing an empty artifact — reject it like any other mistake.
+    for (key, len) in [
+        ("workloads", workloads.len()),
+        ("nps", nps.len()),
+        ("models", models.len()),
+        ("tile_sizes", tile_sizes.len()),
+        ("variants", variants.len()),
+    ] {
+        if len == 0 {
+            return Err(format!(
+                "{what}: `{key}` must not be empty (an empty axis expands to a \
+                 zero-scenario sweep)"
+            ));
+        }
+    }
+
+    let mut grid = SweepGrid::new()
+        .workloads(workloads)
+        .size(size)
+        .nps(nps)
+        .models(models)
+        .tile_sizes(tile_sizes)
+        .variants(variants);
+    for section in filter_tables {
+        grid = grid.filter(filter_from_table(section)?);
+    }
+    Ok(grid)
+}
+
+fn filter_from_table(section: &TomlSection) -> Result<FilterSpec, String> {
+    let t = &section.table;
+    let what = format!("[[filter]] at line {}", section.line);
+    let kind = as_str(require(t, &what, "kind")?, &what, "kind")?;
+    let check = |allowed: &[&str]| reject_unknown_keys(t, &format!("{what} ({kind})"), allowed);
+    match kind {
+        "min-np" => {
+            check(&["kind", "np"])?;
+            Ok(FilterSpec::MinNp(as_usize(require(t, &what, "np")?, &what, "np")?))
+        }
+        "max-np" => {
+            check(&["kind", "np"])?;
+            Ok(FilterSpec::MaxNp(as_usize(require(t, &what, "np")?, &what, "np")?))
+        }
+        "workload-in" => {
+            check(&["kind", "workloads"])?;
+            Ok(FilterSpec::WorkloadIn(string_list(
+                require(t, &what, "workloads")?,
+                &what,
+                "workloads",
+            )?))
+        }
+        "np-cap-except" => {
+            check(&["kind", "max_np", "exempt"])?;
+            Ok(FilterSpec::NpCapExcept {
+                max_np: as_usize(require(t, &what, "max_np")?, &what, "max_np")?,
+                exempt: string_list(require(t, &what, "exempt")?, &what, "exempt")?,
+            })
+        }
+        "model-np-cap" => {
+            check(&["kind", "model", "max_np"])?;
+            let model = as_str(require(t, &what, "model")?, &what, "model")?;
+            // Validate the model id eagerly so a typo is caught at load
+            // time, not as a silently never-matching filter.
+            ModelSpec::parse(model).map_err(|e| format!("{what}: {e}"))?;
+            Ok(FilterSpec::ModelNpCap {
+                model: model.to_string(),
+                max_np: as_usize(require(t, &what, "max_np")?, &what, "max_np")?,
+            })
+        }
+        "tile-axis-scope" => {
+            check(&["kind", "workloads", "nps", "models"])?;
+            let models = string_list(require(t, &what, "models")?, &what, "models")?;
+            for m in &models {
+                ModelSpec::parse(m).map_err(|e| format!("{what}: {e}"))?;
+            }
+            Ok(FilterSpec::TileAxisScope {
+                workloads: string_list(require(t, &what, "workloads")?, &what, "workloads")?,
+                nps: usize_list(require(t, &what, "nps")?, &what, "nps")?,
+                models,
+            })
+        }
+        "overlap-guaranteed" => {
+            check(&["kind"])?;
+            Ok(FilterSpec::OverlapGuaranteed)
+        }
+        other => Err(format!(
+            "{what}: unknown filter kind `{other}` (known kinds: {})",
+            expected_list(&FilterSpec::KINDS)
+        )),
+    }
+}
+
+/// Load a [`SweepGrid`] from scenario-file text.
+pub fn grid_from_toml(text: &str) -> Result<SweepGrid, String> {
+    grid_from_doc(&parse_toml(text)?)
+}
+
+// ----------------------------------------------------------- grid writer
+
+// JSON strings and TOML basic strings share one escape set; the single
+// implementation lives in `crate::text`.
+use crate::text::write_escaped as write_toml_str;
+
+fn write_string_array(out: &mut String, key: &str, items: &[String]) {
+    let _ = write!(out, "{key} = [");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_toml_str(out, item);
+    }
+    out.push_str("]\n");
+}
+
+fn write_usize_array(out: &mut String, key: &str, items: &[usize]) {
+    let _ = write!(out, "{key} = [");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{item}");
+    }
+    out.push_str("]\n");
+}
+
+/// Serialize a grid to the canonical scenario-file text (the form the
+/// committed `scenarios/*.toml` are kept in).
+pub fn grid_to_toml(grid: &SweepGrid) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "schema = \"{GRID_SCHEMA}\"");
+    out.push_str("\n[grid]\n");
+    write_string_array(&mut out, "workloads", &grid.workloads);
+    let _ = writeln!(out, "size = \"{}\"", grid.size.id());
+    write_usize_array(&mut out, "nps", &grid.nps);
+    write_string_array(
+        &mut out,
+        "models",
+        &grid.models.iter().map(ModelSpec::id).collect::<Vec<_>>(),
+    );
+    out.push_str("tile_sizes = [");
+    for (i, k) in grid.tile_sizes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match k {
+            None => out.push_str("\"auto\""),
+            Some(k) => {
+                let _ = write!(out, "{k}");
+            }
+        }
+    }
+    out.push_str("]\n");
+    write_string_array(
+        &mut out,
+        "variants",
+        &grid
+            .variants
+            .iter()
+            .map(|v| v.id().to_string())
+            .collect::<Vec<_>>(),
+    );
+    for f in grid.filters() {
+        out.push_str("\n[[filter]]\n");
+        let _ = writeln!(out, "kind = \"{}\"", f.kind());
+        match f {
+            FilterSpec::MinNp(n) | FilterSpec::MaxNp(n) => {
+                let _ = writeln!(out, "np = {n}");
+            }
+            FilterSpec::WorkloadIn(names) => {
+                write_string_array(&mut out, "workloads", names);
+            }
+            FilterSpec::NpCapExcept { max_np, exempt } => {
+                let _ = writeln!(out, "max_np = {max_np}");
+                write_string_array(&mut out, "exempt", exempt);
+            }
+            FilterSpec::ModelNpCap { model, max_np } => {
+                let _ = writeln!(out, "model = \"{model}\"");
+                let _ = writeln!(out, "max_np = {max_np}");
+            }
+            FilterSpec::TileAxisScope {
+                workloads,
+                nps,
+                models,
+            } => {
+                write_string_array(&mut out, "workloads", workloads);
+                write_usize_array(&mut out, "nps", nps);
+                write_string_array(&mut out, "models", models);
+            }
+            FilterSpec::OverlapGuaranteed => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let doc = parse_toml(
+            "# header comment\n\
+             schema = \"overlap-grid/v1\"\n\
+             \n\
+             [grid]\n\
+             workloads = [\"a\", \"b\"]  # inline comment\n\
+             nps = [\n  2,\n  4, # big\n]\n\
+             flag = true\n\
+             ratio = 1.5\n\
+             \n\
+             [[filter]]\n\
+             kind = \"min-np\"\n\
+             np = 4\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.root.get("schema"),
+            Some(&TomlValue::Str("overlap-grid/v1".into()))
+        );
+        assert_eq!(doc.sections.len(), 2);
+        let grid = &doc.sections[0];
+        assert_eq!(grid.name, "grid");
+        assert!(!grid.is_array);
+        assert_eq!(
+            grid.table.get("nps"),
+            Some(&TomlValue::Arr(vec![TomlValue::Int(2), TomlValue::Int(4)]))
+        );
+        assert_eq!(grid.table.get("flag"), Some(&TomlValue::Bool(true)));
+        assert_eq!(grid.table.get("ratio"), Some(&TomlValue::Float(1.5)));
+        assert!(doc.sections[1].is_array);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let e = parse_toml("a = 1\nb = \n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        let e = parse_toml("a = 1\na = 2\n").unwrap_err();
+        assert!(e.contains("duplicate key `a`") && e.contains("line 2"), "{e}");
+        let e = parse_toml("a = 1 b = 2\n").unwrap_err();
+        assert!(e.contains("one statement per line"), "{e}");
+        let e = parse_toml("a = bare\n").unwrap_err();
+        assert!(e.contains("quoted"), "{e}");
+        let e = parse_toml("[grid\n").unwrap_err();
+        assert!(e.contains("expected `]`"), "{e}");
+        let e = parse_toml("a = \"unterminated\n").unwrap_err();
+        assert!(e.contains("unterminated string"), "{e}");
+    }
+
+    #[test]
+    fn crlf_files_load_identically_to_lf() {
+        let lf = minimal_grid_text();
+        let crlf = lf.replace('\n', "\r\n");
+        assert_eq!(
+            grid_from_toml(&crlf).unwrap(),
+            grid_from_toml(lf).unwrap(),
+            "CRLF endings must parse like LF"
+        );
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        for (key, broken) in [
+            ("workloads", "workloads = []"),
+            ("nps", "nps = []"),
+            ("models", "models = []"),
+        ] {
+            let text = minimal_grid_text()
+                .lines()
+                .map(|l| if l.starts_with(key) { broken } else { l })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let e = grid_from_toml(&text).unwrap_err();
+            assert!(
+                e.contains(&format!("`{key}` must not be empty")),
+                "{key}: {e}"
+            );
+        }
+        let text = format!("{}tile_sizes = []\n", minimal_grid_text());
+        let e = grid_from_toml(&text).unwrap_err();
+        assert!(e.contains("`tile_sizes` must not be empty"), "{e}");
+    }
+
+    fn minimal_grid_text() -> &'static str {
+        "schema = \"overlap-grid/v1\"\n\n[grid]\nworkloads = [\"direct2d\"]\n\
+         size = \"small\"\nnps = [2]\nmodels = [\"mpich-gm\"]\n"
+    }
+
+    #[test]
+    fn loads_a_minimal_grid_with_defaults() {
+        let grid = grid_from_toml(minimal_grid_text()).unwrap();
+        assert_eq!(grid.workloads, vec!["direct2d"]);
+        assert_eq!(grid.size, SizeClass::Small);
+        assert_eq!(grid.tile_sizes, vec![None]); // default
+        assert_eq!(grid.variants, vec![Variant::Compare]); // default
+        assert_eq!(grid.expand().len(), 1);
+    }
+
+    #[test]
+    fn every_preset_roundtrips_file_to_grid_to_file() {
+        for grid in [
+            SweepGrid::full(),
+            SweepGrid::quick(),
+            SweepGrid::fig1(),
+            SweepGrid::scaling(),
+            SweepGrid::interchange(),
+        ] {
+            let text = grid_to_toml(&grid);
+            let back = grid_from_toml(&text)
+                .unwrap_or_else(|e| panic!("canonical text failed to load: {e}\n{text}"));
+            assert_eq!(back, grid, "grid drifted through the file form:\n{text}");
+            assert_eq!(grid_to_toml(&back), text, "writer is not canonical");
+        }
+    }
+
+    #[test]
+    fn mixed_tile_size_axis_roundtrips() {
+        let grid = SweepGrid::new()
+            .workloads(["direct2d"])
+            .nps([8])
+            .models([ModelSpec::MpichGm, ModelSpec::MpichBeta(0.125)])
+            .tile_sizes([None, Some(64), Some(4096)]);
+        let text = grid_to_toml(&grid);
+        assert!(text.contains("tile_sizes = [\"auto\", 64, 4096]"), "{text}");
+        assert!(text.contains("mpich-beta:0.125"), "{text}");
+        assert_eq!(grid_from_toml(&text).unwrap(), grid);
+    }
+
+    #[test]
+    fn unknown_keys_and_kinds_are_rejected_with_guidance() {
+        let e = grid_from_toml(
+            "schema = \"overlap-grid/v1\"\n[grid]\nworkloads = [\"a\"]\nsize = \"small\"\n\
+             nps = [2]\nmodels = [\"mpich\"]\nsizes = [\"small\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown key `sizes`"), "{e}");
+        assert!(e.contains("tile_sizes"), "suggests the valid keys: {e}");
+
+        let e = grid_from_toml(
+            "schema = \"overlap-grid/v1\"\n[grid]\nworkloads = [\"a\"]\nsize = \"small\"\n\
+             nps = [2]\nmodels = [\"mpich\"]\n[[filter]]\nkind = \"np-at-least\"\nnp = 4\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown filter kind `np-at-least`"), "{e}");
+        assert!(e.contains("min-np"), "lists the known kinds: {e}");
+
+        let e = grid_from_toml(
+            "schema = \"overlap-grid/v1\"\n[grid]\nworkloads = [\"a\"]\nsize = \"small\"\n\
+             nps = [2]\nmodels = [\"ethernet\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown model `ethernet`"), "{e}");
+
+        let e = grid_from_toml(
+            "schema = \"overlap-grid/v1\"\n[grid]\nworkloads = [\"a\"]\nsize = \"tiny\"\n\
+             nps = [2]\nmodels = [\"mpich\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown size class `tiny`"), "{e}");
+
+        let e = grid_from_toml("schema = \"overlap-grid/v2\"\n").unwrap_err();
+        assert!(e.contains("unsupported grid schema"), "{e}");
+
+        let e = grid_from_toml("schema = \"overlap-grid/v1\"\n").unwrap_err();
+        assert!(e.contains("no [grid] section"), "{e}");
+
+        let e = grid_from_toml(
+            "schema = \"overlap-grid/v1\"\n[[grid]]\nworkloads = [\"a\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("write `[grid]`"), "{e}");
+
+        let e = grid_from_toml(
+            "schema = \"overlap-grid/v1\"\n[grid]\nworkloads = [\"a\"]\nsize = \"small\"\n\
+             nps = [2]\nmodels = [\"mpich\"]\n[filter]\nkind = \"min-np\"\nnp = 2\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("write `[[filter]]`"), "{e}");
+
+        let e = grid_from_toml(
+            "schema = \"overlap-grid/v1\"\n[grid]\nworkloads = [\"a\"]\nsize = \"small\"\n\
+             nps = [2]\nmodels = [\"mpich\"]\n[[filter]]\nkind = \"model-np-cap\"\n\
+             model = \"myrinet\"\nmax_np = 8\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown model `myrinet`"), "{e}");
+
+        let e = grid_from_toml(
+            "schema = \"overlap-grid/v1\"\n[grid]\nworkloads = [\"a\"]\nsize = \"small\"\n\
+             nps = [2]\nmodels = [\"mpich\"]\ntile_sizes = [\"huge\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("\"auto\""), "{e}");
+
+        let e = grid_from_toml(
+            "schema = \"overlap-grid/v1\"\n[orbit]\nx = 1\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown section [orbit]"), "{e}");
+    }
+}

@@ -28,6 +28,21 @@ echo "==> harness quick (smoke-runs the binary; emits BENCH_sweep.json)"
 #     --out /tmp/q.json --baseline BENCH_sweep.json
 cargo run --release -q -p overlap-bench --bin harness -- quick \
   --wall-out target/BENCH_sweep_wall.json
+# One --wall-out timing artifact is committed per PR under perf/ — the
+# ROADMAP's tracked perf trajectory. Refresh the current PR's file with:
+#   cp target/BENCH_sweep_wall.json perf/PR<N>_quick_wall.json
+
+echo "==> scenario-file smoke: quick grid from scenarios/quick.toml"
+# The declarative grid must drive the harness to the *byte-identical*
+# artifact the compiled-in quick grid produces — the committed
+# scenarios/*.toml files are the source of truth for what each preset
+# sweeps, so any drift between file and code fails here.
+cargo run --release -q -p overlap-bench --bin harness -- quick \
+  --grid scenarios/quick.toml --out target/BENCH_quick_from_toml.json
+cmp BENCH_sweep.json target/BENCH_quick_from_toml.json || {
+  echo "scenario-file smoke FAILED: scenarios/quick.toml artifact differs from the compiled-in quick grid"
+  exit 1
+}
 
 echo "==> perf smoke: wall-clock fields populated in the timing section"
 # The non-normalized artifact must carry the v2 `timing` section with a

@@ -126,6 +126,8 @@ fn full_grid_includes_large_rank_counts() {
             && !SweepGrid::HIGH_NP_WORKLOADS.contains(&s.workload.as_str())),
         "only the all-peers families extend past np=8"
     );
-    // 8 workloads x np {4,8} x 2 models + 3 workloads x np {16,32,64} x 2.
-    assert_eq!(specs.len(), 8 * 2 * 2 + 3 * 3 * 2);
+    // 8 workloads x np {4,8} x 3 models (rdma-ideal column included)
+    // + 3 all-peers workloads x np {16,32,64} x the 2 paper stacks
+    // + the U-curve tile axis: 3 all-peers workloads x 3 explicit sizes.
+    assert_eq!(specs.len(), 8 * 2 * 3 + 3 * 3 * 2 + 3 * 3);
 }

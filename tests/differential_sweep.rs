@@ -18,7 +18,7 @@
 
 use interp::run_program;
 use overlap_suite::sweep::{
-    run_sweep, transform_workload, ModelSpec, ScenarioSpec, SizeClass, SweepGrid,
+    run_sweep, transform_workload, FilterSpec, ModelSpec, SizeClass, SweepGrid,
 };
 
 const TEST_NPS: [usize; 2] = [2, 4];
@@ -92,16 +92,10 @@ fn exhaustive_small_grid_sweeps_clean() {
     assert_eq!(result.summary.errors, 0);
 }
 
-/// Scenario filter (a plain `fn`, as the grid requires): keep points
-/// where the registry guarantees overlap at this rank count.
-fn overlap_guaranteed(s: &ScenarioSpec) -> bool {
-    workloads::find(&s.workload)
-        .and_then(|e| e.min_overlap_np)
-        .is_some_and(|min_np| s.np >= min_np)
-}
-
 /// Case 2: wherever overlap is guaranteed, pre-push must not be slower —
-/// virtual time is exact, so this is a strict `<=`, no tolerance.
+/// virtual time is exact, so this is a strict `<=`, no tolerance. The
+/// registry guarantee is a first-class declarative filter
+/// ([`FilterSpec::OverlapGuaranteed`]), usable from scenario files too.
 #[test]
 fn prepush_never_slower_where_overlap_is_guaranteed() {
     let grid = SweepGrid::new()
@@ -109,7 +103,7 @@ fn prepush_never_slower_where_overlap_is_guaranteed() {
         .size(SizeClass::Medium)
         .nps(TEST_NPS)
         .models([ModelSpec::MpichGm])
-        .filter(overlap_guaranteed);
+        .filter(FilterSpec::OverlapGuaranteed);
     let expected: usize = workloads::registry()
         .iter()
         .filter_map(|e| e.min_overlap_np)
@@ -126,5 +120,46 @@ fn prepush_never_slower_where_overlap_is_guaranteed() {
             "{}: prepush {prepush} ns SLOWER than orig {orig} ns",
             r.spec.key()
         );
+    }
+}
+
+/// The PR-4 predictor calibration, end to end: `direct` (owner-sends) on
+/// the zero-copy `rdma-ideal` stack must never come back slower at any
+/// size — the predictor declines the few-sender cases that used to ship
+/// measured 0.73x–0.95x slowdowns, and still accepts the np = 8
+/// standard-size win it used to wrongly decline.
+#[test]
+fn rdma_ideal_owner_cases_never_regress() {
+    for size in [SizeClass::Small, SizeClass::Medium, SizeClass::Standard] {
+        let grid = SweepGrid::new()
+            .workloads(["direct"])
+            .size(size)
+            .nps([2, 4, 8])
+            .models([ModelSpec::RdmaIdeal]);
+        let result = run_sweep(&grid, 0);
+        for r in &result.records {
+            assert!(r.is_ok(), "{}: {}", r.spec.key(), r.error().unwrap_or(""));
+            let (orig, prepush) = (r.orig_ns.unwrap(), r.prepush_ns.unwrap());
+            assert!(
+                prepush <= orig,
+                "{}: prepush {prepush} ns SLOWER than orig {orig} ns",
+                r.spec.key()
+            );
+        }
+        // The win half of the calibration: standard/np=8 still transforms
+        // (1.04x measured) instead of being declined outright.
+        if size == SizeClass::Standard {
+            let r = result
+                .records
+                .iter()
+                .find(|r| r.spec.np == 8)
+                .expect("standard grid has the np=8 row");
+            assert!(
+                r.prepush_ns.unwrap() < r.orig_ns.unwrap(),
+                "standard/np=8 on rdma-ideal must keep its measured overlap win ({} vs {})",
+                r.prepush_ns.unwrap(),
+                r.orig_ns.unwrap()
+            );
+        }
     }
 }

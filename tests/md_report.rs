@@ -1,0 +1,107 @@
+//! Golden test for the `--md-out` markdown diff report: a fixed pair of
+//! artifacts exercising every report section (regression, improvement,
+//! status flips both ways, membership changes, two model columns) must
+//! render byte-identically to `tests/golden/diff_report.md`.
+//!
+//! To regenerate after an intentional format change, run this test and
+//! copy the printed actual output into the golden file (the failure
+//! message includes it in full).
+
+use overlap_suite::sweep::{
+    diff, summarize, ModelSpec, RunStatus, ScenarioSpec, SizeClass, SweepRecord, SweepResult,
+    Variant,
+};
+
+const GOLDEN: &str = include_str!("golden/diff_report.md");
+
+fn rec(workload: &str, model: ModelSpec, prepush_ns: u64) -> SweepRecord {
+    SweepRecord {
+        spec: ScenarioSpec {
+            workload: workload.into(),
+            size: SizeClass::Standard,
+            np: 8,
+            model,
+            tile_size: None,
+            variant: Variant::Compare,
+        },
+        status: RunStatus::Ok,
+        tile_size: Some(512),
+        strategy: Some("fig4-all-peers".into()),
+        orig_ns: Some(2000),
+        prepush_ns: Some(prepush_ns),
+        orig_exposed_ns: Some(400),
+        prepush_exposed_ns: Some(100),
+        speedup: Some(2000.0 / prepush_ns as f64),
+        wall_ms: 0.0,
+    }
+}
+
+fn errored(workload: &str, model: ModelSpec, message: &str) -> SweepRecord {
+    SweepRecord {
+        status: RunStatus::Error(message.into()),
+        tile_size: None,
+        strategy: None,
+        orig_ns: None,
+        prepush_ns: None,
+        orig_exposed_ns: None,
+        prepush_exposed_ns: None,
+        speedup: None,
+        ..rec(workload, model, 1)
+    }
+}
+
+fn result(records: Vec<SweepRecord>) -> SweepResult {
+    let summary = summarize(&records, 0.0);
+    SweepResult {
+        records,
+        summary,
+        timing: None,
+    }
+}
+
+/// The fixture pair: every section of the report is non-empty.
+fn fixture() -> (SweepResult, SweepResult) {
+    let baseline = result(vec![
+        rec("fft", ModelSpec::Mpich, 1000),
+        rec("adi", ModelSpec::Mpich, 1000),
+        rec("direct2d", ModelSpec::MpichGm, 1000),
+        rec("indirect", ModelSpec::MpichGm, 1000),
+        rec("direct", ModelSpec::Mpich, 1000),
+        errored("indirect3d", ModelSpec::MpichGm, "baseline died"),
+    ]);
+    let candidate = result(vec![
+        rec("fft", ModelSpec::Mpich, 1200),     // regression
+        rec("adi", ModelSpec::Mpich, 900),      // improvement
+        rec("direct2d", ModelSpec::MpichGm, 1000), // unchanged
+        errored("indirect", ModelSpec::MpichGm, "simulator panicked: tile 7"), // broke
+        // `direct` missing here,
+        rec("indirect3d", ModelSpec::MpichGm, 800), // fixed
+        rec("interchange-legal", ModelSpec::MpichGm, 500), // new
+    ]);
+    (baseline, candidate)
+}
+
+#[test]
+fn markdown_report_matches_the_committed_golden_file() {
+    let (a, b) = fixture();
+    let report = diff(&a, &b, 0.0);
+    let actual = report.render_markdown("baseline.json", "candidate.json", 0.0);
+    assert_eq!(
+        actual, GOLDEN,
+        "markdown diff report drifted from tests/golden/diff_report.md;\n\
+         if intentional, replace the golden file with:\n\n{actual}"
+    );
+}
+
+/// The golden document itself keeps the shape downstream tooling relies
+/// on: a top-level title, the verdict line, and the three tables.
+#[test]
+fn golden_report_has_the_documented_shape() {
+    assert!(GOLDEN.starts_with("# Sweep diff report"));
+    assert!(GOLDEN.contains("**Verdict: REGRESSIONS**"));
+    assert!(GOLDEN.contains("| unchanged | regressions |"));
+    assert!(GOLDEN.contains("## Status flips"));
+    assert!(GOLDEN.contains("## Membership"));
+    assert!(GOLDEN.contains("## Virtual-time movements"));
+    assert!(GOLDEN.contains("## Per-model geomean speedup"));
+}

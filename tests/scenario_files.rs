@@ -1,0 +1,112 @@
+//! Golden tests for the committed `scenarios/*.toml` files: each file
+//! must load to *exactly* the compiled-in grid it mirrors (same grid
+//! value, byte-identical scenario list), stay in canonical writer form
+//! (file → grid → file is byte-identical), and — for the quick grid —
+//! produce a byte-identical `BENCH_sweep.json` artifact when actually
+//! executed. Rejection paths get actionable-error coverage too, because
+//! scenario files are edited by hand.
+
+use overlap_suite::sweep::{
+    grid_from_toml, grid_to_toml, json, run_sweep, SweepGrid,
+};
+
+type NamedGrid = (&'static str, &'static str, fn() -> SweepGrid);
+
+const FILES: [NamedGrid; 5] = [
+    ("full", include_str!("../scenarios/full.toml"), SweepGrid::full),
+    ("quick", include_str!("../scenarios/quick.toml"), SweepGrid::quick),
+    ("fig1", include_str!("../scenarios/fig1.toml"), SweepGrid::fig1),
+    ("scaling", include_str!("../scenarios/scaling.toml"), SweepGrid::scaling),
+    (
+        "interchange",
+        include_str!("../scenarios/interchange.toml"),
+        SweepGrid::interchange,
+    ),
+];
+
+/// Every committed file loads to the compiled-in grid it mirrors, and
+/// the expansion — the actual scenario list a sweep would run — is
+/// identical element for element. This is what makes
+/// `harness sweep --grid scenarios/full.toml` produce the same artifact
+/// as the compiled-in full grid: same scenario list, deterministic
+/// simulator.
+#[test]
+fn committed_files_expand_identically_to_the_compiled_in_grids() {
+    for (name, text, compiled) in FILES {
+        let from_file = grid_from_toml(text)
+            .unwrap_or_else(|e| panic!("scenarios/{name}.toml failed to load: {e}"));
+        let compiled = compiled();
+        assert_eq!(from_file, compiled, "scenarios/{name}.toml drifted from the preset");
+        let a = from_file.expand();
+        let b = compiled.expand();
+        assert_eq!(a, b, "scenarios/{name}.toml expands differently");
+        assert!(!a.is_empty(), "scenarios/{name}.toml expands to nothing");
+    }
+}
+
+/// The committed files are canonical: parse → write reproduces the file
+/// bytes. (Grids therefore round-trip file → grid → file losslessly.)
+#[test]
+fn committed_files_are_in_canonical_writer_form() {
+    for (name, text, _) in FILES {
+        let grid = grid_from_toml(text).unwrap();
+        assert_eq!(
+            grid_to_toml(&grid),
+            text,
+            "scenarios/{name}.toml is not canonical — regenerate with grid_to_toml \
+             (see README §Scenario files)"
+        );
+    }
+}
+
+/// Executing the quick grid from its scenario file yields byte-identical
+/// artifact text to the compiled-in quick grid (the verify gate asserts
+/// the same through the harness binary).
+#[test]
+fn quick_grid_from_file_produces_byte_identical_artifact() {
+    let (_, text, _) = FILES[1];
+    let from_file = run_sweep(&grid_from_toml(text).unwrap(), 2);
+    let compiled = run_sweep(&SweepGrid::quick(), 2);
+    assert_eq!(
+        json::to_json_string(&from_file.normalized()),
+        json::to_json_string(&compiled.normalized())
+    );
+}
+
+/// Hand-edited files that go wrong must fail with errors that name the
+/// problem and the alternatives — a scenario file typo is a user-facing
+/// event, not an internal one.
+#[test]
+fn editing_mistakes_get_actionable_errors() {
+    let (_, quick, _) = FILES[1];
+
+    // A typo'd axis key suggests the real ones.
+    let e = grid_from_toml(&quick.replace("nps =", "ranks =")).unwrap_err();
+    assert!(e.contains("unknown key `ranks`") && e.contains("nps"), "{e}");
+
+    // A typo'd workload name is caught at *expansion* resolution time by
+    // the sweep (error rows), but a typo'd model dies at load time.
+    let e = grid_from_toml(&quick.replace("\"mpich\"", "\"mpicc\"")).unwrap_err();
+    assert!(e.contains("unknown model `mpicc`"), "{e}");
+
+    // An unknown filter kind lists the known kinds.
+    let bad_filter = format!(
+        "{quick}\n[[filter]]\nkind = \"only-big\"\nnp = 64\n"
+    );
+    let e = grid_from_toml(&bad_filter).unwrap_err();
+    assert!(
+        e.contains("unknown filter kind `only-big`") && e.contains("np-cap-except"),
+        "{e}"
+    );
+
+    // A filter with a misspelled key names the kind's real keys.
+    let bad_key = format!(
+        "{quick}\n[[filter]]\nkind = \"min-np\"\nnp_min = 4\n"
+    );
+    let e = grid_from_toml(&bad_key).unwrap_err();
+    assert!(e.contains("unknown key `np_min`"), "{e}");
+
+    // Scenario files carry their own schema tag.
+    let e = grid_from_toml(&quick.replace("overlap-grid/v1", "overlap-grid/v9")).unwrap_err();
+    assert!(e.contains("unsupported grid schema"), "{e}");
+}
