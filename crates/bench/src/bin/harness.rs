@@ -48,6 +48,13 @@
 //!                                      --md-out writes the report as
 //!                                      markdown (status flips, movements,
 //!                                      per-model geomean table)
+//!   diff --wall <a.json> <b.json>      compare the host wall-clock `timing`
+//!                                      sections of two --wall-out artifacts
+//!                                      (the per-PR perf trajectory under
+//!                                      perf/): per-scenario movements plus
+//!                                      totals. Informational only — wall
+//!                                      clock varies across machines, so
+//!                                      this never fails the gate
 //! ```
 //!
 //! Every experiment grid runs through [`driver::run_sweep`]: scenarios
@@ -165,6 +172,9 @@ struct SweepFlags {
     tolerance: f64,
     grid: Option<String>,
     md_out: Option<String>,
+    /// `diff --wall`: compare host wall-clock timing sections instead of
+    /// virtual times.
+    wall: bool,
 }
 
 /// Parse flags, accepting only the ones the subcommand supports (so
@@ -178,6 +188,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
         tolerance: 0.0,
         grid: None,
         md_out: None,
+        wall: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -187,6 +198,10 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
                 allowed.join(", ")
             );
             std::process::exit(2);
+        }
+        if a == "--wall" {
+            flags.wall = true;
+            continue;
         }
         let mut grab = |what: &str| {
             it.next().unwrap_or_else(|| {
@@ -432,7 +447,10 @@ fn diff_cmd(args: &[String]) {
     let mut flag_args: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a.starts_with("--") {
+        if a == "--wall" {
+            // Boolean flag: takes no value.
+            flag_args.push(a.clone());
+        } else if a.starts_with("--") {
             flag_args.push(a.clone());
             if let Some(v) = it.next() {
                 flag_args.push(v.clone());
@@ -441,10 +459,16 @@ fn diff_cmd(args: &[String]) {
             paths.push(a.clone());
         }
     }
-    let flags = parse_flags(&flag_args, &["--tol", "--grid", "--md-out"]);
+    let flags = parse_flags(&flag_args, &["--tol", "--grid", "--md-out", "--wall"]);
     if paths.len() != 2 {
-        eprintln!("usage: harness diff <a.json> <b.json> [--tol F] [--grid FILE.toml] [--md-out PATH]");
+        eprintln!(
+            "usage: harness diff [--wall] <a.json> <b.json> [--tol F] [--grid FILE.toml] [--md-out PATH]"
+        );
         std::process::exit(2);
+    }
+    if flags.wall {
+        wall_diff(&paths[0], &paths[1]);
+        return;
     }
     let mut a = load_artifact(&paths[0]);
     let mut b = load_artifact(&paths[1]);
@@ -473,6 +497,74 @@ fn diff_cmd(args: &[String]) {
     if report.has_regressions() {
         std::process::exit(1);
     }
+}
+
+/// `diff --wall`: compare the host wall-clock `timing` sections of two
+/// `--wall-out` artifacts — the per-PR perf trajectory the ROADMAP tracks
+/// under `perf/`. Prints per-scenario movements (sorted by absolute delta)
+/// and totals. Purely informational: wall clock varies across machines and
+/// runs, so this never exits nonzero on a slowdown — it exists so a perf
+/// regression is *seen* in CI output, not to fail the gate.
+fn wall_diff(baseline_path: &str, candidate_path: &str) {
+    let load_timing = |path: &str| {
+        let result = load_artifact(path);
+        result.timing.unwrap_or_else(|| {
+            eprintln!(
+                "{path}: no `timing` section — wall diffs need the non-normalized \
+                 --wall-out artifact (e.g. perf/PR*_quick_wall.json)"
+            );
+            std::process::exit(2);
+        })
+    };
+    let a = load_timing(baseline_path);
+    let b = load_timing(candidate_path);
+    hr(&format!(
+        "wall-clock diff — {baseline_path} (baseline) vs {candidate_path} (candidate)"
+    ));
+    let base: std::collections::HashMap<&str, f64> = a
+        .per_scenario
+        .iter()
+        .map(|(k, ms)| (k.as_str(), *ms))
+        .collect();
+    let mut rows: Vec<(&str, Option<f64>, f64)> = b
+        .per_scenario
+        .iter()
+        .map(|(k, ms)| (k.as_str(), base.get(k.as_str()).copied(), *ms))
+        .collect();
+    rows.sort_by(|x, y| {
+        let d = |r: &(&str, Option<f64>, f64)| r.1.map_or(f64::MAX, |old| (r.2 - old).abs());
+        d(y).partial_cmp(&d(x)).expect("finite wall times")
+    });
+    println!(
+        "{:<58} {:>10} {:>10} {:>8}",
+        "scenario", "old ms", "new ms", "ratio"
+    );
+    for (key, old, new) in &rows {
+        match old {
+            Some(old) => println!(
+                "{key:<58} {old:>10.1} {new:>10.1} {:>7.2}x",
+                old / new.max(1e-9)
+            ),
+            None => println!("{key:<58} {:>10} {new:>10.1}  (new scenario)", "-"),
+        }
+    }
+    for (key, ms) in &a.per_scenario {
+        if !b.per_scenario.iter().any(|(k, _)| k == key) {
+            println!("{key:<58} {ms:>10.1} {:>10}  (dropped)", "-");
+        }
+    }
+    let matched_old: f64 = rows.iter().filter_map(|r| r.1).sum();
+    let matched_new: f64 = rows.iter().filter(|r| r.1.is_some()).map(|r| r.2).sum();
+    println!(
+        "\ntotals: {:.0} ms -> {:.0} ms over {} matched scenario(s) ({:.2}x); \
+         whole runs {:.0} ms -> {:.0} ms",
+        matched_old,
+        matched_new,
+        rows.iter().filter(|r| r.1.is_some()).count(),
+        matched_old / matched_new.max(1e-9),
+        a.wall_ms_total,
+        b.wall_ms_total,
+    );
 }
 
 // ------------------------------------------------------- paper figures
@@ -745,7 +837,10 @@ fn interchange() {
     }
     println!(
         "\nthe legal interchange recovers the efficient Fig. 4 exchange; the \
-         blocked case pays §3.5's congestion penalty but stays correct. \
+         blocked case would pay §3.5's congestion penalty, so the K-selection \
+         predictor declines it here (1.00x, original program kept) — the \
+         per-column fallback only applies where it measurably wins (zero-copy \
+         stack, >= 6 senders per owner, >= 16 KiB columns). \
          (equivalence is asserted inside each scenario — an ok row is the check)"
     );
 }

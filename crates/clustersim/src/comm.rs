@@ -100,6 +100,17 @@ impl Comm {
         self.emit(EventKind::Compute { ns: dt.as_ns() });
     }
 
+    /// Charge an already-rounded computation span to this rank. Callers
+    /// that pre-aggregate many per-statement charges (the interpreter's
+    /// block-summarized cost accounting) must round each charge first —
+    /// integer addition is associative, so the summed clock is
+    /// byte-identical to making the individual [`Comm::advance`] calls.
+    pub fn advance_exact(&mut self, dt: SimTime) {
+        self.clock += dt;
+        self.stats.compute += dt;
+        self.emit(EventKind::Compute { ns: dt.as_ns() });
+    }
+
     /// Non-blocking send. CPU pays `o + β_s·S`; the NIC takes over.
     ///
     /// Returns the virtual time at which the NIC finishes reading the

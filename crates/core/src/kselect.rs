@@ -238,6 +238,96 @@ pub fn predict_slowdown(input: &ProfitInput) -> Option<String> {
     None
 }
 
+/// Inputs for the §3.5 per-column fallback's profitability predictor: the
+/// node loop is outermost and cannot be interchanged, so every iteration
+/// of ℓ ships one full `partner_bytes` column to that iteration's single
+/// owner — all ranks in lockstep, the worst-case incast shape, with only
+/// one iteration's computation to hide each burst behind.
+#[derive(Debug, Clone)]
+pub struct ColumnInput {
+    /// Bytes of one column (the alltoall's per-partner payload).
+    pub partner_bytes: f64,
+    /// Rank count.
+    pub np: f64,
+    /// Estimated computation of one iteration of ℓ (the whole inner
+    /// nest), in ns — the only cover for one column burst.
+    pub ns_per_iteration: f64,
+    /// Per-message fixed CPU overhead `o` (ns).
+    pub overhead_ns: f64,
+    /// Per-byte CPU involvement β (ns/B, send side).
+    pub cpu_ns_per_byte: f64,
+    /// NIC gap per byte (ns/B).
+    pub wire_ns_per_byte: f64,
+}
+
+/// On a zero-copy stack the per-column exchange only wins once the column
+/// is big enough that pipelining the owner's receive link across
+/// iterations beats the blocking alltoall: measured on `rdma-ideal` at
+/// np = 8 (7 senders), 8 KiB columns still lose 0.95x while 32 KiB
+/// columns win 1.01x.
+const ZERO_COPY_COLUMN_MIN_BYTES: f64 = 16384.0;
+
+/// Predict whether the §3.5 per-column owner fallback would slow the
+/// program down, returning the reason when it would.
+///
+/// Unlike the tiled owner strategy ([`predict_slowdown`]), the fallback
+/// has no tile-size freedom: every ℓ iteration ships one whole column to
+/// one owner, so the incast burst `(NP-1)·(o + (G+β)·S)` must hide behind
+/// a single iteration's computation. Measured over the full registry ×
+/// {2,4,8} ranks × all three preset stacks, the fallback loses in 26 of
+/// 27 cases (0.21x–0.98x); the one win — `rdma-ideal` at standard scale
+/// with np = 8, 1.01x — is what the zero-copy branch keeps:
+///
+/// 1. columns under [`MIN_OWNER_PARTNER_BYTES`] never recoup the
+///    per-message fixed costs (small sizes, every stack);
+/// 2. on zero-copy stacks (β ≈ 0) the burst lands on the NIC, not the
+///    waiting CPU — the fallback wins only with enough simultaneous
+///    senders ([`ZERO_COPY_MIN_INCAST_PAIRS`]) *and* columns big enough
+///    ([`ZERO_COPY_COLUMN_MIN_BYTES`]) to pipeline the receive link;
+/// 3. otherwise, decline when the incast burst exceeds one iteration's
+///    computation.
+pub fn predict_column_slowdown(input: &ColumnInput) -> Option<String> {
+    let pairs = (input.np - 1.0).max(1.0);
+    let beta = input.cpu_ns_per_byte;
+    if input.partner_bytes < MIN_OWNER_PARTNER_BYTES {
+        return Some(format!(
+            "predicted slowdown: {:.0} B per column is below the {:.0} B floor \
+             where per-message fixed costs dominate any overlap win",
+            input.partner_bytes, MIN_OWNER_PARTNER_BYTES,
+        ));
+    }
+    if beta <= ZERO_COPY_BETA_NS_PER_BYTE {
+        if pairs < ZERO_COPY_MIN_INCAST_PAIRS {
+            return Some(format!(
+                "predicted slowdown: only {pairs:.0} sender(s) per owner on a \
+                 zero-copy stack (β ≈ 0) — fewer than the {:.0} needed to \
+                 pipeline the owner's receive link",
+                ZERO_COPY_MIN_INCAST_PAIRS,
+            ));
+        }
+        if input.partner_bytes < ZERO_COPY_COLUMN_MIN_BYTES {
+            return Some(format!(
+                "predicted slowdown: {:.0} B columns are below the {:.0} B \
+                 zero-copy threshold where pipelining the owner's receive \
+                 link starts to pay",
+                input.partner_bytes, ZERO_COPY_COLUMN_MIN_BYTES,
+            ));
+        }
+        return None;
+    }
+    let burst = pairs * (input.overhead_ns + (input.wire_ns_per_byte + beta) * input.partner_bytes);
+    if burst > input.ns_per_iteration {
+        return Some(format!(
+            "predicted slowdown: per-column owner incast of {:.1} us ((NP-1) = \
+             {pairs:.0} full columns) exceeds the {:.1} us of computation one \
+             node-loop iteration can hide it behind",
+            burst / 1e3,
+            input.ns_per_iteration / 1e3,
+        ));
+    }
+    None
+}
+
 /// Statically estimate the interpreter cost of one iteration of a loop
 /// body: expression nodes × `ns_per_op` + statements × `ns_per_stmt`.
 /// Nested loops multiply by their literal trip counts when known (symbolic
@@ -537,6 +627,70 @@ mod tests {
             predict_slowdown(&rdma_owner(8.0, 16384.0, 16384, 2048, 48.0)),
             None
         );
+    }
+
+    /// `interchange-blocked` per-column figures: `sz`-element columns on
+    /// a given stack, with the inner nest's estimated per-iteration cost.
+    fn column(sz: f64, np: f64, o: f64, beta: f64, gap: f64) -> ColumnInput {
+        ColumnInput {
+            partner_bytes: sz * 8.0,
+            np,
+            // The blocked variant's inner nest costs ~26 ns per element
+            // (stencil + compute assignment) under the unit cost model.
+            ns_per_iteration: sz * 26.0,
+            overhead_ns: o,
+            cpu_ns_per_byte: beta,
+            wire_ns_per_byte: gap,
+        }
+    }
+
+    #[test]
+    fn per_column_small_payloads_decline_on_every_stack() {
+        // interchange-blocked/small: 64-element (512 B) columns measure
+        // 0.21x–0.79x everywhere; the payload floor declines them all.
+        for (o, beta, gap) in [
+            (10_000.0, 8.0, 10.0), // MPICH
+            (1_000.0, 0.05, 4.0),  // MPICH-GM
+            (300.0, 0.0, 1.0),     // RDMA-ideal
+        ] {
+            for np in [2.0, 4.0, 8.0] {
+                let reason = predict_column_slowdown(&column(64.0, np, o, beta, gap))
+                    .expect("small columns must decline");
+                assert!(reason.contains("floor"), "{reason}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_column_incast_declines_the_copying_stacks() {
+        // Medium (8 KiB) and standard (32 KiB) columns on the two copying
+        // stacks: measured 0.30x–0.85x. One iteration's compute cannot
+        // hide an (NP-1)-column burst.
+        for sz in [1024.0, 4096.0] {
+            for np in [2.0, 4.0, 8.0] {
+                for (o, beta, gap) in [(10_000.0, 8.0, 10.0), (1_000.0, 0.05, 4.0)] {
+                    let reason = predict_column_slowdown(&column(sz, np, o, beta, gap))
+                        .expect("copying stacks must decline");
+                    assert!(reason.contains("incast"), "{reason}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_column_zero_copy_keeps_only_the_measured_win() {
+        let rdma = |sz: f64, np: f64| column(sz, np, 300.0, 0.0, 1.0);
+        // Few senders (np <= 4): measured 0.68x–0.98x — decline.
+        for sz in [1024.0, 4096.0] {
+            for np in [2.0, 4.0] {
+                let reason = predict_column_slowdown(&rdma(sz, np)).expect("few senders");
+                assert!(reason.contains("zero-copy"), "{reason}");
+            }
+        }
+        // np = 8 with 8 KiB columns: 0.95x — still declines.
+        assert!(predict_column_slowdown(&rdma(1024.0, 8.0)).is_some());
+        // np = 8 with 32 KiB columns: the single measured win (1.01x).
+        assert_eq!(predict_column_slowdown(&rdma(4096.0, 8.0)), None);
     }
 
     #[test]

@@ -745,6 +745,21 @@ fn plan_direct_rank2_node_outer(
          (network congestion caveat, §3.5)"
             .to_string(),
     );
+    // Profitability: the per-column fallback used to bypass K-selection
+    // and knowingly ship the §3.5 congestion penalty (down to 0.21x on
+    // MPICH). Route it through the model-informed predictor like every
+    // other strategy; an explicit requested tile size still bypasses it
+    // (ablations force the fallback on purpose).
+    if opts.tile_size.is_none() {
+        outcome.unprofitable = kselect::predict_column_slowdown(&kselect::ColumnInput {
+            partner_bytes: eval_expr(&opp.count, ctx).map_or(64.0, |c| (c * 8) as f64),
+            np: ctx.get("np").unwrap_or(8) as f64,
+            ns_per_iteration: kselect::estimate_iteration_ns(body, 1.0, 2.0),
+            overhead_ns: opts.kselect_overhead_ns.unwrap_or(1_000.0),
+            cpu_ns_per_byte: opts.kselect_cpu_ns_per_byte.unwrap_or(0.05),
+            wire_ns_per_byte: opts.kselect_wire_ns_per_byte.unwrap_or(4.0),
+        });
+    }
 
     let names = OwnerNames::fresh(gen);
     let d1lo = as_decl.dims[0].lower.clone();

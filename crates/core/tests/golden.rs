@@ -224,7 +224,10 @@ end program";
 }
 
 /// Interchange blocked by a reversed dependence: the planner falls back to
-/// per-column owner sends (with the §3.5 congestion caveat recorded).
+/// per-column owner sends (with the §3.5 congestion caveat recorded). An
+/// explicit tile size forces the fallback through (ablation mode); with
+/// the automatic path, the K-selection predictor sees the tiny columns
+/// and declines the site as unprofitable, emitting the original program.
 #[test]
 fn node_loop_outermost_interchange_blocked_falls_back() {
     let src = "\
@@ -239,12 +242,29 @@ program main
   call mpi_alltoall(as, 32, ar)
 end program";
     let program = fir::parse(src).unwrap();
-    let out = transform(&program, &opts(4)).unwrap();
+    let out = transform(
+        &program,
+        &Options {
+            tile_size: Some(1),
+            ..opts(4)
+        },
+    )
+    .unwrap();
     let summary = out.report.summary();
     assert!(summary.contains("interchange blocked"), "{summary}");
     assert!(summary.contains("per-column owner sends"), "{summary}");
     let text = fir::unparse(&out.program);
     assert!(text.contains("call mpi_isend(as(:, "), "{text}");
+
+    // Automatic mode: 256 B columns can never recoup the per-message
+    // overheads — the predictor declines and the program is unchanged.
+    let auto = transform(&program, &opts(4)).unwrap();
+    assert_eq!(fir::unparse(&auto.program), fir::unparse(&program));
+    let auto_summary = auto.report.summary();
+    assert!(
+        auto_summary.contains("predicted slowdown"),
+        "{auto_summary}"
+    );
 }
 
 /// The report records user queries for opaque procedures.

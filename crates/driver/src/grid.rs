@@ -221,8 +221,11 @@ impl SweepGrid {
     /// The full evaluation grid (`harness sweep`, mirrored by
     /// `scenarios/full.toml`): every registry workload at Figure-1 scale
     /// on the paper's two stacks plus the `rdma-ideal` upper-bound column
-    /// at np {4, 8}; np {16, 32, 64} rows for the all-peers families
-    /// ([`Self::HIGH_NP_WORKLOADS`]) on the two paper stacks; and an
+    /// at np {4, 8}; np {16, 32} rows for the *whole* registry and
+    /// np = 64 rows for the all-peers families
+    /// ([`Self::HIGH_NP_WORKLOADS`]) on the two paper stacks; one
+    /// np = 128 scaling row (`direct2d` on MPICH-GM — the first grid
+    /// point the block-summarized interpreter made affordable); and an
     /// explicit tile-size axis {64, 512, 4096} around the heuristic's
     /// choice (the U-curve) for the all-peers families at np = 8 on
     /// MPICH-GM.
@@ -232,16 +235,24 @@ impl SweepGrid {
         SweepGrid::new()
             .workloads(workloads::registry().iter().map(|e| e.name))
             .size(SizeClass::Standard)
-            .nps([4, 8, 16, 32, 64])
+            .nps([4, 8, 16, 32, 64, 128])
             .models([ModelSpec::Mpich, ModelSpec::MpichGm, ModelSpec::RdmaIdeal])
             .tile_sizes([None, Some(64), Some(512), Some(4096)])
             .filter(FilterSpec::NpCapExcept {
-                max_np: 8,
+                max_np: 32,
                 exempt: high_np.clone(),
+            })
+            .filter(FilterSpec::NpCapExcept {
+                max_np: 64,
+                exempt: vec!["direct2d".to_string()],
             })
             .filter(FilterSpec::ModelNpCap {
                 model: "rdma-ideal".into(),
                 max_np: 8,
+            })
+            .filter(FilterSpec::ModelNpCap {
+                model: "mpich".into(),
+                max_np: 64,
             })
             .filter(FilterSpec::TileAxisScope {
                 workloads: high_np,
@@ -367,13 +378,14 @@ mod tests {
         assert!(!tiles.accepts(&spec("fft", 4, ModelSpec::MpichGm, Some(64))));
         assert!(!tiles.accepts(&spec("fft", 8, ModelSpec::Mpich, Some(64))));
 
-        // The registry guarantee: interchange-legal needs np >= 4,
-        // interchange-blocked has no guarantee at all.
+        // The registry guarantee: interchange-legal needs np >= 4;
+        // interchange-blocked is guaranteed from np >= 2 now that the
+        // per-column fallback goes through the K-selection predictor.
         let og = FilterSpec::OverlapGuaranteed;
         assert!(og.accepts(&spec("direct2d", 2, ModelSpec::MpichGm, None)));
         assert!(!og.accepts(&spec("interchange-legal", 2, ModelSpec::MpichGm, None)));
         assert!(og.accepts(&spec("interchange-legal", 4, ModelSpec::MpichGm, None)));
-        assert!(!og.accepts(&spec("interchange-blocked", 8, ModelSpec::MpichGm, None)));
+        assert!(og.accepts(&spec("interchange-blocked", 8, ModelSpec::MpichGm, None)));
     }
 
     #[test]
@@ -442,10 +454,20 @@ mod tests {
         assert!(tiled
             .iter()
             .all(|s| s.np == 8 && s.model == ModelSpec::MpichGm));
-        // Large-np rows stay reserved for the all-peers families.
+        // np {16, 32} now covers the whole registry; np = 64 stays
+        // reserved for the all-peers families.
+        for np in [16usize, 32] {
+            let rows = specs.iter().filter(|s| s.np == np).count();
+            assert_eq!(rows, workloads::registry().len() * 2, "np={np} rows");
+        }
         assert!(specs
             .iter()
-            .filter(|s| s.np > 8)
+            .filter(|s| s.np > 32)
             .all(|s| SweepGrid::HIGH_NP_WORKLOADS.contains(&s.workload.as_str())));
+        // Exactly one np = 128 scaling row: direct2d on MPICH-GM.
+        let big: Vec<_> = specs.iter().filter(|s| s.np == 128).collect();
+        assert_eq!(big.len(), 1);
+        assert_eq!(big[0].workload, "direct2d");
+        assert_eq!(big[0].model, ModelSpec::MpichGm);
     }
 }

@@ -37,7 +37,7 @@ impl CostModel {
 }
 
 /// Interpreter options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Options {
     pub cost: CostModel,
     /// Detect writes to array regions that a still-in-flight `mpi_isend`
@@ -46,6 +46,23 @@ pub struct Options {
     pub detect_buffer_reuse: bool,
     /// Record a full event trace.
     pub trace: bool,
+    /// Run the [`crate::opt`] pass over the lowered program
+    /// (constant folding, loop-invariant hoisting, block-summarized cost
+    /// accounting). On by default; virtual times, stats, outputs, and
+    /// traces are byte-identical either way (pinned by the differential
+    /// suites) — turning it off only slows the simulation down.
+    pub optimize: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cost: CostModel::default(),
+            detect_buffer_reuse: false,
+            trace: false,
+            optimize: true,
+        }
+    }
 }
 
 impl Options {

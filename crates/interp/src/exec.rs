@@ -16,7 +16,8 @@
 use crate::cost::Options;
 use crate::env::{ArrayHandle, BoundArray};
 use crate::lower::{
-    BufferKind, Builtin, Intr, LArg, LCallArg, LExpr, LProc, LProgram, LSecDim, LSection, LStmt,
+    BufferKind, Builtin, Hoist, Instr, Intr, LArg, LCallArg, LExpr, LProc, LProgram, LSecDim,
+    LSection, LStmt, Operand,
 };
 use crate::value::{ArrayStorage, Scalar};
 use clustersim::{Bytes, Comm, RecvId, SimTime};
@@ -47,26 +48,32 @@ struct InflightRegion {
 
 /// One procedure activation's slot-indexed bindings.
 pub(crate) struct LFrame {
-    /// `None` = never written; reads fall back to the proc's typed zero.
-    scalars: Vec<Option<Scalar>>,
+    /// Seeded with the proc's typed zeros, so a read of a never-written
+    /// slot returns exactly the tree-walker's deterministic default
+    /// without an `Option` in the hot path.
+    scalars: Vec<Scalar>,
     arrays: Vec<Option<BoundArray>>,
+    /// Loop-invariant values cached at loop entry ([`crate::opt`]); every
+    /// `LExpr::Hoisted` read is dominated by its loop's entry write.
+    hoisted: Vec<Scalar>,
 }
 
 impl LFrame {
     fn new(proc: &LProc, rank: i64, np: i64) -> LFrame {
         let mut f = LFrame {
-            scalars: vec![None; proc.scalar_defaults.len()],
+            scalars: proc.scalar_defaults.clone(),
             arrays: (0..proc.array_names.len()).map(|_| None).collect(),
+            hoisted: vec![Scalar::Int(0); proc.hoist_slots],
         };
         // Slots 0/1 are reserved by the lowering for mynum/np.
-        f.scalars[0] = Some(Scalar::Int(rank));
-        f.scalars[1] = Some(Scalar::Int(np));
+        f.scalars[0] = Scalar::Int(rank);
+        f.scalars[1] = Scalar::Int(np);
         f
     }
 
-    #[inline]
-    fn scalar(&self, proc: &LProc, slot: u32) -> Scalar {
-        self.scalars[slot as usize].unwrap_or(proc.scalar_defaults[slot as usize])
+    #[inline(always)]
+    fn scalar(&self, _proc: &LProc, slot: u32) -> Scalar {
+        self.scalars[slot as usize]
     }
 
     #[inline]
@@ -96,6 +103,9 @@ pub(crate) struct Interp<'p, 'c> {
     pending: Vec<(RecvId, PendingBuf)>,
     inflight: Vec<InflightRegion>,
     ops: u64,
+    /// Reusable operand stack and subscript buffer for block tapes.
+    stack: Vec<Scalar>,
+    idx_buf: Vec<i64>,
 }
 
 impl<'p, 'c> Interp<'p, 'c> {
@@ -108,6 +118,8 @@ impl<'p, 'c> Interp<'p, 'c> {
             pending: Vec::new(),
             inflight: Vec::new(),
             ops: 0,
+            stack: Vec::new(),
+            idx_buf: Vec::new(),
         }
     }
 
@@ -151,6 +163,17 @@ impl<'p, 'c> Interp<'p, 'c> {
             LExpr::Int(v) => Scalar::Int(*v),
             LExpr::Real(v) => Scalar::Real(*v),
             LExpr::Var(slot) => frame.scalar(proc, *slot),
+            // Folded/hoisted subtrees charge their historical node count
+            // (minus the 1 charged on entry above) so virtual times match
+            // the unoptimized walk exactly.
+            LExpr::Const { v, ops } => {
+                self.ops += u64::from(*ops) - 1;
+                *v
+            }
+            LExpr::Hoisted { slot, ops } => {
+                self.ops += u64::from(*ops) - 1;
+                frame.hoisted[*slot as usize]
+            }
             LExpr::ArrayRef { slot, name, indices } => {
                 let idx = self.eval_indices(proc, frame, indices);
                 let Some(slot) = slot else {
@@ -196,48 +219,9 @@ impl<'p, 'c> Interp<'p, 'c> {
         args: &[LExpr],
     ) -> Scalar {
         let vals: Vec<Scalar> = args.iter().map(|a| self.eval(proc, frame, a)).collect();
-        match op {
-            Intr::Mod => {
-                let a = vals[0].expect_int("mod argument");
-                let b = vals[1].expect_int("mod argument");
-                if b == 0 {
-                    rt_err!("mod by zero");
-                }
-                Scalar::Int(a % b) // Fortran MOD: sign of the dividend
-            }
-            Intr::Min | Intr::Max => {
-                let is_min = op == Intr::Min;
-                let any_real = vals.iter().any(|v| matches!(v, Scalar::Real(_)));
-                if any_real {
-                    let it = vals.iter().map(|v| v.as_real());
-                    let r = if is_min {
-                        it.fold(f64::INFINITY, f64::min)
-                    } else {
-                        it.fold(f64::NEG_INFINITY, f64::max)
-                    };
-                    Scalar::Real(r)
-                } else {
-                    let it = vals.iter().map(|v| v.truncate_to_int());
-                    Scalar::Int(if is_min {
-                        it.min().expect("arity checked")
-                    } else {
-                        it.max().expect("arity checked")
-                    })
-                }
-            }
-            Intr::Abs => match vals[0] {
-                Scalar::Int(v) => Scalar::Int(v.abs()),
-                Scalar::Real(v) => Scalar::Real(v.abs()),
-            },
-            Intr::Sqrt => Scalar::Real(vals[0].as_real().sqrt()),
-            Intr::Sin => Scalar::Real(vals[0].as_real().sin()),
-            Intr::Cos => Scalar::Real(vals[0].as_real().cos()),
-            Intr::Exp => Scalar::Real(vals[0].as_real().exp()),
-            Intr::Log => Scalar::Real(vals[0].as_real().ln()),
-            Intr::Floor => Scalar::Int(vals[0].as_real().floor() as i64),
-            Intr::Int => Scalar::Int(vals[0].truncate_to_int()),
-            Intr::Real => Scalar::Real(vals[0].as_real()),
-            Intr::Unknown => rt_err!("unknown intrinsic `{name}` (validation gap)"),
+        match try_intrinsic(op, name, &vals) {
+            Ok(v) => v,
+            Err(msg) => rt_err!("{msg}"),
         }
     }
 
@@ -251,7 +235,7 @@ impl<'p, 'c> Interp<'p, 'c> {
                     self.eval(proc, &f, value)
                 };
                 self.charge_stmt();
-                frame.borrow_mut().scalars[*slot as usize] = Some(v.convert_to(*ty));
+                frame.borrow_mut().scalars[*slot as usize] = v.convert_to(*ty);
             }
             LStmt::AssignArray {
                 slot,
@@ -288,6 +272,8 @@ impl<'p, 'c> Interp<'p, 'c> {
                 step,
                 var_name,
                 body,
+                hoists,
+                iter_charge,
             } => {
                 let (lo, hi, st) = {
                     let f = frame.borrow();
@@ -303,18 +289,55 @@ impl<'p, 'c> Interp<'p, 'c> {
                     rt_err!("zero loop step in `do {var_name}`");
                 }
                 self.charge_stmt();
-                let mut i = lo;
-                loop {
-                    if (st > 0 && i > hi) || (st < 0 && i < hi) {
-                        break;
+                self.eval_hoists(proc, frame, hoists);
+                if let (Some(charge), [LStmt::Block { code, .. }]) =
+                    (*iter_charge, body.as_slice())
+                {
+                    // Whole-body-block fast path: hold the frame borrow
+                    // and scratch buffers across iterations, and charge
+                    // `iterations × per-iteration` in ONE add at the end —
+                    // integer multiplication distributes over the addition
+                    // the tree-walker performed, and no statement in the
+                    // block can observe the clock, so virtual times are
+                    // unchanged to the bit.
+                    let mut stack = std::mem::take(&mut self.stack);
+                    let mut idx = std::mem::take(&mut self.idx_buf);
+                    let mut iters: u64 = 0;
+                    {
+                        let mut f = frame.borrow_mut();
+                        let mut i = lo;
+                        loop {
+                            if (st > 0 && i > hi) || (st < 0 && i < hi) {
+                                break;
+                            }
+                            f.scalars[*var as usize] = Scalar::Int(i);
+                            run_tape(proc, &mut f, code, &mut stack, &mut idx);
+                            iters += 1;
+                            i += st;
+                        }
                     }
-                    frame.borrow_mut().scalars[*var as usize] = Some(Scalar::Int(i));
-                    for b in body {
-                        self.exec_stmt(proc, frame, b);
+                    self.stack = stack;
+                    self.idx_buf = idx;
+                    if iters > 0 {
+                        let total = charge
+                            .checked_mul(iters)
+                            .expect("SimTime overflow in summarized loop");
+                        self.comm.advance_exact(SimTime::from_ns(total));
                     }
-                    // loop increment + test bookkeeping
-                    self.comm.advance(self.opts.cost.ns_per_stmt);
-                    i += st;
+                } else {
+                    let mut i = lo;
+                    loop {
+                        if (st > 0 && i > hi) || (st < 0 && i < hi) {
+                            break;
+                        }
+                        frame.borrow_mut().scalars[*var as usize] = Scalar::Int(i);
+                        for b in body {
+                            self.exec_stmt(proc, frame, b);
+                        }
+                        // loop increment + test bookkeeping
+                        self.comm.advance(self.opts.cost.ns_per_stmt);
+                        i += st;
+                    }
                 }
             }
             LStmt::If {
@@ -332,6 +355,24 @@ impl<'p, 'c> Interp<'p, 'c> {
                     self.exec_stmt(proc, frame, b);
                 }
             }
+            LStmt::Block { code, charge, .. } => {
+                debug_assert_eq!(self.ops, 0, "blocks start at a charge boundary");
+                let mut stack = std::mem::take(&mut self.stack);
+                let mut idx = std::mem::take(&mut self.idx_buf);
+                {
+                    let mut f = frame.borrow_mut();
+                    run_tape(proc, &mut f, code, &mut stack, &mut idx);
+                }
+                self.stack = stack;
+                self.idx_buf = idx;
+                // The per-statement charges were precomputed (and rounded
+                // per statement, exactly like `charge_stmt`) at opt time;
+                // one summarizing add replaces them all.
+                self.comm.advance_exact(SimTime::from_ns(*charge));
+            }
+            LStmt::SetVar { .. } => {
+                unreachable!("SetVar only appears inside summarized blocks")
+            }
             LStmt::CallBuiltin { op, name, args } => self.exec_builtin(proc, frame, *op, name, args),
             LStmt::CallUser { proc: callee, args } => {
                 self.exec_user_call(proc, frame, *callee, args)
@@ -340,6 +381,27 @@ impl<'p, 'c> Interp<'p, 'c> {
                 rt_err!("call to unknown subroutine `{name}` (validation gap)")
             }
         }
+    }
+
+    /// Cache a loop's invariant subtrees at loop entry, *uncharged*: the
+    /// per-use cost stays on every `LExpr::Hoisted` read (which bills the
+    /// replaced subtree's node count), so the entry computation must not
+    /// advance the clock. Hoisted expressions are pure and total by
+    /// construction ([`crate::opt`]), so evaluating them here — even when
+    /// the loop then runs zero iterations — cannot fail or be observed.
+    fn eval_hoists(&mut self, proc: &'p LProc, frame: &FrameCell, hoists: &'p [Hoist]) {
+        if hoists.is_empty() {
+            return;
+        }
+        debug_assert_eq!(self.ops, 0, "hoists evaluate at a charge boundary");
+        for h in hoists {
+            let v = {
+                let f = frame.borrow();
+                self.eval(proc, &f, &h.expr)
+            };
+            frame.borrow_mut().hoisted[h.slot as usize] = v;
+        }
+        self.ops = 0;
     }
 
     fn check_inflight_write(&mut self, alloc: usize, abs: usize, name: &str) {
@@ -394,7 +456,7 @@ impl<'p, 'c> Interp<'p, 'c> {
                         let f = frame.borrow();
                         self.eval(caller, &f, expr)
                     };
-                    callee_frame.scalars[*callee_slot as usize] = Some(v.convert_to(*ty));
+                    callee_frame.scalars[*callee_slot as usize] = v.convert_to(*ty);
                 }
             }
         }
@@ -772,14 +834,334 @@ impl FrameCell {
         self.0.replace(LFrame {
             scalars: Vec::new(),
             arrays: Vec::new(),
+            hoisted: Vec::new(),
         })
     }
 }
 
+/// The intrinsic-function kernel, shared verbatim between the executor and
+/// the constant folder ([`crate::opt`]) so a folded call computes exactly
+/// what the tree-walker would have. `Err` carries the message the executor
+/// raises as an `interp:` runtime error; argument-type panics (a real
+/// `mod` argument) surface identically from both callers.
+pub(crate) fn try_intrinsic(op: Intr, name: &str, vals: &[Scalar]) -> Result<Scalar, String> {
+    Ok(match op {
+        Intr::Mod => {
+            let a = vals[0].expect_int("mod argument");
+            let b = vals[1].expect_int("mod argument");
+            if b == 0 {
+                return Err("mod by zero".into());
+            }
+            Scalar::Int(a % b) // Fortran MOD: sign of the dividend
+        }
+        Intr::Min | Intr::Max => {
+            let is_min = op == Intr::Min;
+            let any_real = vals.iter().any(|v| matches!(v, Scalar::Real(_)));
+            if any_real {
+                let it = vals.iter().map(|v| v.as_real());
+                let r = if is_min {
+                    it.fold(f64::INFINITY, f64::min)
+                } else {
+                    it.fold(f64::NEG_INFINITY, f64::max)
+                };
+                Scalar::Real(r)
+            } else {
+                let it = vals.iter().map(|v| v.truncate_to_int());
+                Scalar::Int(if is_min {
+                    it.min().expect("arity checked")
+                } else {
+                    it.max().expect("arity checked")
+                })
+            }
+        }
+        Intr::Abs => match vals[0] {
+            Scalar::Int(v) => Scalar::Int(v.abs()),
+            Scalar::Real(v) => Scalar::Real(v.abs()),
+        },
+        Intr::Sqrt => Scalar::Real(vals[0].as_real().sqrt()),
+        Intr::Sin => Scalar::Real(vals[0].as_real().sin()),
+        Intr::Cos => Scalar::Real(vals[0].as_real().cos()),
+        Intr::Exp => Scalar::Real(vals[0].as_real().exp()),
+        Intr::Log => Scalar::Real(vals[0].as_real().ln()),
+        Intr::Floor => Scalar::Int(vals[0].as_real().floor() as i64),
+        Intr::Int => Scalar::Int(vals[0].truncate_to_int()),
+        Intr::Real => Scalar::Real(vals[0].as_real()),
+        Intr::Unknown => return Err(format!("unknown intrinsic `{name}` (validation gap)")),
+    })
+}
+
+/// Run one summarized block's flat postfix tape. Charging is the caller's
+/// one precomputed add, so no op counting happens here; the instruction
+/// order reproduces the tree-walker's evaluation order exactly, including
+/// where any runtime error fires. Array stores are only compiled into
+/// tapes when buffer-reuse detection is off (the detector compares
+/// against `now()`, which mid-block sits before the summarized charge).
+/// A free function (no `Interp` receiver) so loop drivers can hold the
+/// frame borrow and scratch buffers across iterations.
+fn run_tape(
+    proc: &LProc,
+    f: &mut LFrame,
+    code: &[Instr],
+    stack: &mut Vec<Scalar>,
+    idx: &mut Vec<i64>,
+) {
+    for ins in code {
+        match ins {
+            Instr::PushInt(v) => stack.push(Scalar::Int(*v)),
+            Instr::PushReal(v) => stack.push(Scalar::Real(*v)),
+            Instr::PushConst(v) => stack.push(*v),
+            Instr::PushVar(slot) => stack.push(f.scalar(proc, *slot)),
+            Instr::PushHoisted(slot) => stack.push(f.hoisted[*slot as usize]),
+            Instr::ExpectIdx => {
+                let v = stack
+                    .pop()
+                    .expect("tape balance")
+                    .expect_int("array subscript");
+                stack.push(Scalar::Int(v));
+            }
+            Instr::PushIdxVar(slot) => {
+                let v = f.scalar(proc, *slot).expect_int("array subscript");
+                stack.push(Scalar::Int(v));
+            }
+            Instr::Unary(op) => {
+                let v = stack.pop().expect("tape balance");
+                stack.push(match op {
+                    UnOp::Neg => match v {
+                        Scalar::Int(x) => Scalar::Int(-x),
+                        Scalar::Real(x) => Scalar::Real(-x),
+                    },
+                    UnOp::Not => Scalar::Int(i64::from(!v.is_true())),
+                });
+            }
+            Instr::Binary(op) => {
+                let b = stack.pop().expect("tape balance");
+                let a = stack.pop().expect("tape balance");
+                stack.push(eval_binop(*op, a, b));
+            }
+            Instr::BinRhsVar { op, slot } => {
+                let a = stack.pop().expect("tape balance");
+                let b = f.scalar(proc, *slot);
+                stack.push(eval_binop(*op, a, b));
+            }
+            Instr::BinRhsConst { op, v } => {
+                let a = stack.pop().expect("tape balance");
+                stack.push(eval_binop(*op, a, *v));
+            }
+            Instr::BinRhsHoisted { op, slot } => {
+                let a = stack.pop().expect("tape balance");
+                let b = f.hoisted[*slot as usize];
+                stack.push(eval_binop(*op, a, b));
+            }
+            Instr::Intrinsic { op, argc, name } => {
+                let base = stack.len() - *argc as usize;
+                let r = match try_intrinsic(*op, name, &stack[base..]) {
+                    Ok(v) => v,
+                    Err(msg) => rt_err!("{msg}"),
+                };
+                stack.truncate(base);
+                stack.push(r);
+            }
+            Instr::LoadArray { slot, argc, name } => {
+                let base = stack.len() - *argc as usize;
+                idx.clear();
+                idx.extend(stack[base..].iter().map(|v| match v {
+                    Scalar::Int(i) => *i,
+                    Scalar::Real(_) => unreachable!("ExpectIdx converted"),
+                }));
+                stack.truncate(base);
+                match f.array(*slot).get(name, idx) {
+                    Ok(v) => stack.push(v),
+                    Err(be) => rt_err!("{be}"),
+                }
+            }
+            Instr::StoreScalar { slot, ty } => {
+                let v = stack.pop().expect("tape balance");
+                f.scalars[*slot as usize] = v.convert_to(*ty);
+            }
+            Instr::StoreArray { slot, argc, name } => {
+                let v = stack.pop().expect("tape balance");
+                let base = stack.len() - *argc as usize;
+                idx.clear();
+                idx.extend(stack[base..].iter().map(|v| match v {
+                    Scalar::Int(i) => *i,
+                    Scalar::Real(_) => unreachable!("ExpectIdx converted"),
+                }));
+                stack.truncate(base);
+                if let Err(be) = f.array(*slot).set(name, idx, v) {
+                    rt_err!("{be}");
+                }
+            }
+            Instr::SetVar { slot, v } => {
+                f.scalars[*slot as usize] = Scalar::Int(*v);
+            }
+            Instr::ChainScalar {
+                dst,
+                ty,
+                first,
+                rest,
+            } => {
+                let v = eval_chain(proc, f, first, rest);
+                f.scalars[*dst as usize] = v.convert_to(*ty);
+            }
+            Instr::ChainArray {
+                slot,
+                name,
+                idxs,
+                first,
+                rest,
+            } => {
+                // Indices first, value second — `eval_indices` order.
+                let mut flat = [0i64; 4];
+                let rank = idxs.len();
+                debug_assert!(rank <= 4, "chains cover rank <= 4 stores");
+                for (d, o) in idxs.iter().enumerate() {
+                    flat[d] = fetch_operand(proc, f, o).expect_int("array subscript");
+                }
+                let v = eval_chain(proc, f, first, rest);
+                if let Err(be) = f.array(*slot).set(name, &flat[..rank], v) {
+                    rt_err!("{be}");
+                }
+            }
+            Instr::ErrNotArray { name } => {
+                rt_err!("`{name}` is not an array in this scope")
+            }
+        }
+    }
+    debug_assert!(stack.is_empty(), "tape leaves a balanced stack");
+}
+
+/// Fetch one chain operand — the lean recursive mirror of `eval`: same
+/// evaluation order, same runtime errors, no op counting (the block's
+/// charge is precomputed), no shared buffers (each load level resolves
+/// its subscripts into its own fixed array).
+fn fetch_operand(proc: &LProc, f: &LFrame, o: &Operand) -> Scalar {
+    match o {
+        Operand::Const(v) => *v,
+        Operand::Var(slot) => f.scalar(proc, *slot),
+        Operand::Hoisted(slot) => f.hoisted[*slot as usize],
+        Operand::Load { slot, idxs, name } => {
+            let mut flat = [0i64; 8];
+            for (d, io) in idxs.iter().enumerate() {
+                flat[d] = fetch_operand(proc, f, io).expect_int("array subscript");
+            }
+            match f.array(*slot).get(name, &flat[..idxs.len()]) {
+                Ok(v) => v,
+                Err(be) => rt_err!("{be}"),
+            }
+        }
+        Operand::LoadErr { idxs, name } => {
+            for io in idxs.iter() {
+                fetch_operand(proc, f, io).expect_int("array subscript");
+            }
+            rt_err!("`{name}` is not an array in this scope")
+        }
+        Operand::Un { op, operand } => {
+            let v = fetch_operand(proc, f, operand);
+            match op {
+                UnOp::Neg => match v {
+                    Scalar::Int(x) => Scalar::Int(-x),
+                    Scalar::Real(x) => Scalar::Real(-x),
+                },
+                UnOp::Not => Scalar::Int(i64::from(!v.is_true())),
+            }
+        }
+        Operand::Bin { op, a, b } => {
+            let x = fetch_operand(proc, f, a);
+            let y = fetch_operand(proc, f, b);
+            eval_binop(*op, x, y)
+        }
+        Operand::Intr { op, name, args } => {
+            let mut vals = [Scalar::Int(0); 8];
+            for (i, a) in args.iter().enumerate() {
+                vals[i] = fetch_operand(proc, f, a);
+            }
+            match try_intrinsic(*op, name, &vals[..args.len()]) {
+                Ok(v) => v,
+                Err(msg) => rt_err!("{msg}"),
+            }
+        }
+    }
+}
+
+/// Evaluate a chain: `first`, then each (op, operand) left to right — the
+/// tree-walker's exact visit order for a left-leaning binary chain.
+#[inline(always)]
+fn eval_chain(proc: &LProc, f: &LFrame, first: &Operand, rest: &[(BinOp, Operand)]) -> Scalar {
+    let mut acc = fetch_operand(proc, f, first);
+    for (op, o) in rest {
+        let b = fetch_operand(proc, f, o);
+        acc = eval_binop(*op, acc, b);
+    }
+    acc
+}
+
+/// The hot arithmetic cases, inlined — exactly [`try_binop`]'s semantics
+/// for the operators that cannot error (`+ - *` everywhere, `/` once any
+/// operand is real); everything else falls through to the shared kernel.
+#[inline(always)]
 fn eval_binop(op: BinOp, a: Scalar, b: Scalar) -> Scalar {
     use BinOp::*;
+    match (a, b) {
+        (Scalar::Real(x), Scalar::Real(y)) => match op {
+            Add => return Scalar::Real(x + y),
+            Sub => return Scalar::Real(x - y),
+            Mul => return Scalar::Real(x * y),
+            Div => return Scalar::Real(x / y),
+            Lt => return Scalar::Int(i64::from(x < y)),
+            Le => return Scalar::Int(i64::from(x <= y)),
+            Gt => return Scalar::Int(i64::from(x > y)),
+            Ge => return Scalar::Int(i64::from(x >= y)),
+            Eq => return Scalar::Int(i64::from(x == y)),
+            Ne => return Scalar::Int(i64::from(x != y)),
+            _ => {}
+        },
+        (Scalar::Int(x), Scalar::Int(y)) => match op {
+            Add => return Scalar::Int(x.wrapping_add(y)),
+            Sub => return Scalar::Int(x.wrapping_sub(y)),
+            Mul => return Scalar::Int(x.wrapping_mul(y)),
+            Lt => return Scalar::Int(i64::from(x < y)),
+            Le => return Scalar::Int(i64::from(x <= y)),
+            Gt => return Scalar::Int(i64::from(x > y)),
+            Ge => return Scalar::Int(i64::from(x >= y)),
+            Eq => return Scalar::Int(i64::from(x == y)),
+            Ne => return Scalar::Int(i64::from(x != y)),
+            _ => {}
+        },
+        (Scalar::Int(x), Scalar::Real(y)) => match op {
+            Add => return Scalar::Real(x as f64 + y),
+            Sub => return Scalar::Real(x as f64 - y),
+            Mul => return Scalar::Real(x as f64 * y),
+            Div => return Scalar::Real(x as f64 / y),
+            _ => {}
+        },
+        (Scalar::Real(x), Scalar::Int(y)) => match op {
+            Add => return Scalar::Real(x + y as f64),
+            Sub => return Scalar::Real(x - y as f64),
+            Mul => return Scalar::Real(x * y as f64),
+            Div => return Scalar::Real(x / y as f64),
+            _ => {}
+        },
+    }
+    eval_binop_cold(op, a, b)
+}
+
+#[cold]
+fn eval_binop_cold(op: BinOp, a: Scalar, b: Scalar) -> Scalar {
+    match try_binop(op, a, b) {
+        Ok(v) => v,
+        Err(msg) => rt_err!("{msg}"),
+    }
+}
+
+/// The binary-operator kernel, shared between the executor and the
+/// constant folder ([`crate::opt`]). `Err` carries the runtime-error
+/// message (`interp:` prefix added by the executor); the folder simply
+/// declines to fold erroring cases, leaving the error to fire at run time
+/// exactly as before.
+pub(crate) fn try_binop(op: BinOp, a: Scalar, b: Scalar) -> Result<Scalar, String> {
+    use BinOp::*;
     let both_int = matches!((a, b), (Scalar::Int(_), Scalar::Int(_)));
-    match op {
+    Ok(match op {
         Add | Sub | Mul | Div | Pow => {
             if both_int {
                 let (x, y) = (a.truncate_to_int(), b.truncate_to_int());
@@ -789,11 +1171,11 @@ fn eval_binop(op: BinOp, a: Scalar, b: Scalar) -> Scalar {
                     Mul => Scalar::Int(x.wrapping_mul(y)),
                     Div => {
                         if y == 0 {
-                            rt_err!("integer division by zero");
+                            return Err("integer division by zero".into());
                         }
                         Scalar::Int(x.wrapping_div(y))
                     }
-                    Pow => Scalar::Int(int_pow(x, y)),
+                    Pow => Scalar::Int(try_int_pow(x, y)?),
                     _ => unreachable!(),
                 }
             } else {
@@ -836,30 +1218,30 @@ fn eval_binop(op: BinOp, a: Scalar, b: Scalar) -> Scalar {
         }
         And => Scalar::Int(i64::from(a.is_true() && b.is_true())),
         Or => Scalar::Int(i64::from(a.is_true() || b.is_true())),
-    }
+    })
 }
 
 /// Fortran integer exponentiation: negative exponents truncate to 0 unless
 /// the base is ±1.
-fn int_pow(base: i64, exp: i64) -> i64 {
+fn try_int_pow(base: i64, exp: i64) -> Result<i64, String> {
     if exp >= 0 {
         let mut acc: i64 = 1;
         for _ in 0..exp {
             acc = acc.wrapping_mul(base);
         }
-        acc
+        Ok(acc)
     } else {
         match base {
-            1 => 1,
+            1 => Ok(1),
             -1 => {
                 if exp % 2 == 0 {
-                    1
+                    Ok(1)
                 } else {
-                    -1
+                    Ok(-1)
                 }
             }
-            0 => rt_err!("0 ** negative exponent"),
-            _ => 0,
+            0 => Err("0 ** negative exponent".into()),
+            _ => Ok(0),
         }
     }
 }
@@ -870,12 +1252,13 @@ mod tests {
 
     #[test]
     fn int_pow_cases() {
-        assert_eq!(int_pow(2, 10), 1024);
-        assert_eq!(int_pow(3, 0), 1);
-        assert_eq!(int_pow(2, -1), 0);
-        assert_eq!(int_pow(-1, 3), -1);
-        assert_eq!(int_pow(-1, 4), 1);
-        assert_eq!(int_pow(1, -5), 1);
+        assert_eq!(try_int_pow(2, 10), Ok(1024));
+        assert_eq!(try_int_pow(3, 0), Ok(1));
+        assert_eq!(try_int_pow(2, -1), Ok(0));
+        assert_eq!(try_int_pow(-1, 3), Ok(-1));
+        assert_eq!(try_int_pow(-1, 4), Ok(1));
+        assert_eq!(try_int_pow(1, -5), Ok(1));
+        assert!(try_int_pow(0, -1).is_err());
     }
 
     #[test]
@@ -928,8 +1311,8 @@ mod tests {
         let main = &l.procs[l.main];
         let f = LFrame::new(main, 3, 4);
         // Slots 0/1 are mynum/np.
-        assert_eq!(f.scalars[0], Some(Scalar::Int(3)));
-        assert_eq!(f.scalars[1], Some(Scalar::Int(4)));
+        assert_eq!(f.scalars[0], Scalar::Int(3));
+        assert_eq!(f.scalars[1], Scalar::Int(4));
         // `n` is declared integer; `x` is implicit real.
         let n_slot = main
             .scalar_defaults

@@ -44,6 +44,9 @@ pub(crate) struct LProc {
     pub array_decls: Vec<LArrayDecl>,
     /// Number of parameters (caller builds one handle slot per param).
     pub nparams: usize,
+    /// Number of loop-invariant hoist slots [`crate::opt`] allocated for
+    /// this procedure (0 until the opt pass runs).
+    pub hoist_slots: usize,
     pub body: Vec<LStmt>,
 }
 
@@ -58,11 +61,20 @@ pub(crate) struct LArrayDecl {
     pub param: Option<usize>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum LExpr {
     Int(i64),
     Real(f64),
     Var(u32),
+    /// A constant-folded subtree ([`crate::opt`]). Evaluates to `v` but
+    /// still charges the folded subtree's historical node count `ops`, so
+    /// virtual times stay byte-identical to the unfolded tree.
+    Const { v: Scalar, ops: u32 },
+    /// A loop-hoisted subtree ([`crate::opt`]): reads the value cached in
+    /// the frame's hoist slot at loop entry, charging the replaced
+    /// subtree's historical node count `ops` — the tree-walker evaluated
+    /// it on every iteration, so the charge stays per-use.
+    Hoisted { slot: u32, ops: u32 },
     /// `slot` is `None` when the name is not an array in this scope — the
     /// executor reports the same runtime error the tree-walker did.
     ArrayRef {
@@ -124,7 +136,7 @@ fn intr_of(name: &str) -> Intr {
 }
 
 /// A section argument (`a(1:n, j)`), slot-resolved.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct LSection {
     /// `None` when the base name is not an array in this scope.
     pub slot: Option<u32>,
@@ -132,14 +144,14 @@ pub(crate) struct LSection {
     pub dims: Vec<LSecDim>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum LSecDim {
     Index(LExpr),
     Range(Option<LExpr>, Option<LExpr>),
 }
 
 /// How a builtin argument resolves when used as a communication buffer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum BufferKind {
     /// `Var(n)` where `n` is an array: the whole-array window.
     Array(u32),
@@ -152,7 +164,7 @@ pub(crate) enum BufferKind {
 /// Builtin-call argument: an expression (with its buffer resolution, since
 /// the same argument can be read as a buffer *or* a scalar depending on
 /// position) or a section.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum LArg {
     Expr {
         expr: LExpr,
@@ -163,7 +175,7 @@ pub(crate) enum LArg {
 }
 
 /// User-call argument plan.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum LCallArg {
     /// `Var(n)` where `n` is an array in the caller: pass by reference.
     Array { caller_slot: u32 },
@@ -191,7 +203,14 @@ pub(crate) enum Builtin {
     Unknown,
 }
 
-#[derive(Debug)]
+/// A loop-invariant computation cached at loop entry ([`crate::opt`]).
+#[derive(Debug, Clone)]
+pub(crate) struct Hoist {
+    pub slot: u32,
+    pub expr: LExpr,
+}
+
+#[derive(Debug, Clone)]
 pub(crate) enum LStmt {
     AssignScalar {
         slot: u32,
@@ -212,7 +231,35 @@ pub(crate) enum LStmt {
         step: Option<LExpr>,
         var_name: String,
         body: Vec<LStmt>,
+        /// Loop-invariant subtrees cached (uncharged) at loop entry.
+        hoists: Vec<Hoist>,
+        /// When the whole body is one summarized [`LStmt::Block`], the
+        /// precomputed per-iteration charge: the block's statement charges
+        /// plus the loop's own increment/test bookkeeping, already rounded
+        /// per statement to integer nanoseconds so one add per iteration
+        /// reproduces the tree-walker's clock exactly.
+        iter_charge: Option<u64>,
     },
+    /// A straight-line run of assignment statements (no communication,
+    /// branch, call, or loop) whose cost is charged in one precomputed add
+    /// instead of per statement ([`crate::opt`]). `charge` is the sum of
+    /// the per-statement rounded charges the tree-walker would have made;
+    /// `code` is the flat postfix compilation of `stmts` the executor
+    /// actually runs (same evaluation order, no recursion).
+    Block {
+        /// The statements the tape was compiled from — the executor runs
+        /// `code`, but the structured form is what the opt unit tests (and
+        /// anyone debugging a tape) inspect.
+        #[allow(dead_code)]
+        stmts: Vec<LStmt>,
+        code: Vec<Instr>,
+        charge: u64,
+    },
+    /// An unrolled loop's per-iteration head ([`crate::opt`]): store the
+    /// loop variable and account the iteration's bookkeeping (plus, on the
+    /// first iteration, the loop's bound-evaluation charge) inside the
+    /// enclosing block's summarized total. Never appears outside a block.
+    SetVar { slot: u32, v: i64, charge: u64 },
     If {
         cond: LExpr,
         then_body: Vec<LStmt>,
@@ -229,6 +276,132 @@ pub(crate) enum LStmt {
         op: Builtin,
         name: String,
         args: Vec<LArg>,
+    },
+}
+
+/// One instruction of a summarized block's flat postfix tape
+/// ([`crate::opt`] compiles, the executor runs). Evaluation order — and
+/// therefore the order and text of any runtime error — is exactly the
+/// tree-walker's post-order walk; costs are not tracked here because the
+/// block's total charge is precomputed.
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    PushInt(i64),
+    PushReal(f64),
+    PushConst(Scalar),
+    PushVar(u32),
+    PushHoisted(u32),
+    /// Convert the just-pushed subscript to an integer (the tree-walker's
+    /// `expect_int("array subscript")`, applied per index as evaluated).
+    ExpectIdx,
+    Unary(UnOp),
+    Binary(BinOp),
+    /// Peephole fusions of a leaf push followed by `Binary` (the leaf is
+    /// the right operand) or by `ExpectIdx` — one dispatch instead of two.
+    BinRhsVar {
+        op: BinOp,
+        slot: u32,
+    },
+    BinRhsConst {
+        op: BinOp,
+        v: Scalar,
+    },
+    BinRhsHoisted {
+        op: BinOp,
+        slot: u32,
+    },
+    PushIdxVar(u32),
+    Intrinsic {
+        op: Intr,
+        argc: u16,
+        name: Box<str>,
+    },
+    /// Pop `argc` integer indices, load the element.
+    LoadArray {
+        slot: u32,
+        argc: u16,
+        name: Box<str>,
+    },
+    /// Pop the value, convert, store into a scalar slot.
+    StoreScalar {
+        slot: u32,
+        ty: ScalarType,
+    },
+    /// Pop the value, then `argc` integer indices, store the element.
+    StoreArray {
+        slot: u32,
+        argc: u16,
+        name: Box<str>,
+    },
+    /// Store the unrolled loop variable ([`LStmt::SetVar`]).
+    SetVar {
+        slot: u32,
+        v: i64,
+    },
+    /// A whole `x = a op b op c …` assignment as ONE instruction: a
+    /// left-leaning binary chain whose right operands are all leaves (or
+    /// single element loads), evaluated by an internal well-predicted
+    /// loop instead of one dispatched instruction per node. Evaluation
+    /// order is the tree-walker's exactly: first, then each (op, operand)
+    /// left to right.
+    ChainScalar {
+        dst: u32,
+        ty: ScalarType,
+        first: Operand,
+        rest: Box<[(BinOp, Operand)]>,
+    },
+    /// `a(i, j, …) = chain` as one instruction; `idxs` (all leaves)
+    /// evaluate first, like the tree-walker's `eval_indices`.
+    ChainArray {
+        slot: u32,
+        name: Box<str>,
+        idxs: Box<[Operand]>,
+        first: Operand,
+        rest: Box<[(BinOp, Operand)]>,
+    },
+    /// The "`name` is not an array in this scope" runtime error, after its
+    /// operands evaluated (parity with the tree-walker's check order).
+    ErrNotArray {
+        name: Box<str>,
+    },
+}
+
+/// A chain-instruction operand: an expression evaluated by the lean
+/// recursive fetcher (`exec::fetch_operand`) — a 1:1 image of [`LExpr`]
+/// minus names/weights, so evaluation order and every runtime error are
+/// the tree-walker's exactly, without op counting or `Option` frames.
+#[derive(Debug, Clone)]
+pub(crate) enum Operand {
+    Const(Scalar),
+    Var(u32),
+    Hoisted(u32),
+    /// One array element; subscripts convert to integers as evaluated
+    /// (`eval_indices` order). Rank ≤ 8 enforced at compile time.
+    Load {
+        slot: u32,
+        idxs: Box<[Operand]>,
+        name: Box<str>,
+    },
+    /// `ArrayRef` whose name is not an array here: evaluate the
+    /// subscripts, then raise the tree-walker's error.
+    LoadErr {
+        idxs: Box<[Operand]>,
+        name: Box<str>,
+    },
+    Un {
+        op: UnOp,
+        operand: Box<Operand>,
+    },
+    Bin {
+        op: BinOp,
+        a: Box<Operand>,
+        b: Box<Operand>,
+    },
+    /// Intrinsic call; arity ≤ 8 enforced at compile time.
+    Intr {
+        op: Intr,
+        name: Box<str>,
+        args: Box<[Operand]>,
     },
 }
 
@@ -398,6 +571,7 @@ fn lower_proc(proc: &Procedure, index: &ProcIndex) -> LProc {
         array_names: scope.array_names,
         array_decls,
         nparams: proc.params.len(),
+        hoist_slots: 0,
         body,
     }
 }
@@ -443,6 +617,8 @@ fn lower_stmt(s: &Stmt, scope: &mut Scope, index: &ProcIndex) -> LStmt {
             step: step.as_ref().map(|e| lower_expr(e, scope)),
             var_name: var.clone(),
             body: lower_stmts(body, scope, index),
+            hoists: Vec::new(),
+            iter_charge: None,
         },
         Stmt::If {
             cond,

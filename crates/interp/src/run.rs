@@ -79,7 +79,13 @@ pub fn run_program_opts(
 
     // Resolve names to frame slots once; all ranks share the lowered
     // program read-only.
-    let lowered = crate::lower::lower(program);
+    let mut lowered = crate::lower::lower(program);
+    if opts.optimize {
+        // Constant folding, loop-invariant hoisting, block-summarized
+        // cost accounting — virtual times stay byte-identical (see
+        // `opt`'s module docs and DESIGN.md §S3).
+        crate::opt::optimize(&mut lowered, opts);
+    }
 
     let mut cluster = Cluster::new(np, model.clone());
     if opts.trace {

@@ -118,9 +118,13 @@ pub struct RegistryEntry {
     /// lose badly to incast congestion on high-overhead stacks — the
     /// K-selection predictor now *declines* such sites (emitting the
     /// original program), which upgrades it to a guarantee at np >= 2;
-    /// `interchange-blocked` pays the §3.5 congestion fallback (the
-    /// per-column strategy bypasses K-selection, so no predictor covers
-    /// it); `interchange-legal` needs np >= 4 for the all-peers pipeline
+    /// `interchange-blocked` gained the same guarantee once the §3.5
+    /// per-column fallback was routed through the predictor (it used to
+    /// bypass K-selection and knowingly ship 0.21x–0.98x slowdowns; the
+    /// fallback now only applies where it measurably wins — zero-copy
+    /// stacks with >= 6 senders per owner and >= 16 KiB columns — and
+    /// every other site keeps the original program);
+    /// `interchange-legal` needs np >= 4 for the all-peers pipeline
     /// to have more than one partner. All stay *correct* — only the
     /// no-slowdown assertion in the differential tests is scoped by this.
     pub min_overlap_np: Option<usize>,
@@ -191,7 +195,7 @@ pub fn registry() -> Vec<RegistryEntry> {
         registry_entry!(
             "interchange-blocked",
             "node loop outermost, stencil blocks the interchange (§3.5)",
-            None,
+            Some(2),
             interchange::InterchangeBlocked
         ),
     ]

@@ -1,0 +1,63 @@
+//! A/B micro-benchmark of the `interp::opt` pass: runs the same programs
+//! with the optimizer off and on, printing host wall-clock for each. The
+//! makespans (virtual times) are asserted identical — the pass is
+//! unobservable except to your watch.
+//!
+//! ```text
+//! cargo run --release --example opt_bench
+//! ```
+
+use clustersim::NetworkModel;
+use interp::{run_program_opts, Options};
+use std::time::Instant;
+
+fn bench(label: &str, src: &str) {
+    let program = fir::parse(src).unwrap();
+    let model = NetworkModel::mpich_gm();
+    let mut times = [0.0f64; 2];
+    let mut makespans = [clustersim::SimTime::ZERO; 2];
+    // Two rounds; the first warms caches, the second is reported.
+    for round in 0..2 {
+        for (i, optimize) in [false, true].into_iter().enumerate() {
+            let opts = Options {
+                optimize,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let r = run_program_opts(&program, 1, &model, &opts).unwrap();
+            let dt = t0.elapsed().as_secs_f64();
+            if round == 1 {
+                times[i] = dt;
+                makespans[i] = r.report.makespan();
+            }
+            std::hint::black_box(r);
+        }
+    }
+    assert_eq!(makespans[0], makespans[1], "virtual times must not move");
+    println!(
+        "{label:24} unopt {:8.1} ms  opt {:8.1} ms  ({:.2}x)  makespan {}",
+        times[0] * 1e3,
+        times[1] * 1e3,
+        times[0] / times[1],
+        makespans[0],
+    );
+}
+
+fn main() {
+    bench(
+        "scalar accumulate",
+        "program main\n  real :: a(1)\n  do i = 1, 4000000\n    t = t + 1.0\n  end do\n  a(1) = t\nend program",
+    );
+    bench(
+        "sum of 16 terms",
+        "program main\n  real :: a(1)\n  do i = 1, 4000000\n    t = i+i+i+i+i+i+i+i+i+i+i+i+i+i+i+i\n  end do\n  a(1) = t\nend program",
+    );
+    bench(
+        "array stores",
+        "program main\n  real :: a(4000000)\n  do i = 1, 4000000\n    a(i) = i * 0.5\n  end do\nend program",
+    );
+    bench(
+        "direct2d-shaped nest",
+        "program main\n  real :: as(4096, 8), ar(4096, 8)\n  do iy = 1, 4\n    do ix = 1, 4096\n      do iz = 1, 8\n        t = 0.0\n        do iw = 1, 3\n          t = t + ix * iw + iz + iy\n        end do\n        as(ix, iz) = t * 0.5 + ix\n      end do\n    end do\n  end do\nend program",
+    );
+}

@@ -55,6 +55,19 @@ if grep -q '"wall_ms_total": 0,' target/BENCH_sweep_wall.json; then
   exit 1
 fi
 
+echo "==> wall-clock trajectory: diff consecutive perf/ artifacts"
+# The ROADMAP tracks one --wall-out artifact per PR under perf/. Diff the
+# two most recent so per-scenario host wall-clock movements are *seen* in
+# CI output (informational only — wall clock varies across machines, so
+# this step never fails on a slowdown, only on missing/corrupt artifacts).
+latest_two=$(ls perf/PR*_quick_wall.json | sort -t R -k 2 -n | tail -2)
+if [ "$(echo "$latest_two" | wc -l)" -eq 2 ]; then
+  # shellcheck disable=SC2086
+  cargo run --release -q -p overlap-bench --bin harness -- diff --wall $latest_two
+else
+  echo "(fewer than two perf/PR*_quick_wall.json artifacts; skipping)"
+fi
+
 echo "==> perf smoke: simulator-core micro-bench (isend/recv + alltoall)"
 cargo bench -p clustersim --bench core_comm
 

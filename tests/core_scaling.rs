@@ -113,21 +113,35 @@ fn results_invariant_across_pool_sizes() {
 #[test]
 fn full_grid_includes_large_rank_counts() {
     let specs = SweepGrid::full().expand();
-    for np in [16usize, 32, 64] {
-        for w in SweepGrid::HIGH_NP_WORKLOADS {
+    // np {16, 32} for every registry workload; np = 64 for the all-peers
+    // families; one np = 128 scaling row.
+    for np in [16usize, 32] {
+        for entry in workloads::registry() {
             assert!(
-                specs.iter().any(|s| s.np == np && s.workload == w),
-                "full grid lost the {w}/np={np} row"
+                specs.iter().any(|s| s.np == np && s.workload == entry.name),
+                "full grid lost the {}/np={np} row",
+                entry.name
             );
         }
     }
+    for w in SweepGrid::HIGH_NP_WORKLOADS {
+        assert!(
+            specs.iter().any(|s| s.np == 64 && s.workload == w),
+            "full grid lost the {w}/np=64 row"
+        );
+    }
     assert!(
-        !specs.iter().any(|s| s.np > 8
+        !specs.iter().any(|s| s.np > 32
             && !SweepGrid::HIGH_NP_WORKLOADS.contains(&s.workload.as_str())),
-        "only the all-peers families extend past np=8"
+        "only the all-peers families extend past np=32"
     );
+    let big: Vec<_> = specs.iter().filter(|s| s.np == 128).collect();
+    assert_eq!(big.len(), 1, "exactly one np=128 scaling row");
+    assert_eq!(big[0].workload, "direct2d");
     // 8 workloads x np {4,8} x 3 models (rdma-ideal column included)
-    // + 3 all-peers workloads x np {16,32,64} x the 2 paper stacks
+    // + 8 workloads x np {16,32} x the 2 paper stacks
+    // + 3 all-peers workloads x np=64 x the 2 paper stacks
+    // + the direct2d/np=128/MPICH-GM scaling row
     // + the U-curve tile axis: 3 all-peers workloads x 3 explicit sizes.
-    assert_eq!(specs.len(), 8 * 2 * 3 + 3 * 3 * 2 + 3 * 3);
+    assert_eq!(specs.len(), 8 * 2 * 3 + 8 * 2 * 2 + 3 * 2 + 1 + 3 * 3);
 }

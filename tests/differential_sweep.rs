@@ -12,9 +12,12 @@
 //!    sizes, or with a single partner (np = 2 all-peers), or on the
 //!    high-β MPICH stack at sub-Figure-1 sizes, per-message overhead can
 //!    beat the overlap win — e.g. `direct` (owner-sends) measures 0.37x
-//!    at standard/np=8/MPICH, and `interchange-blocked` pays the §3.5
-//!    congestion fallback. Those stay *correct* (case 1 covers them);
-//!    the full standard-size grid on both stacks is `harness sweep`.
+//!    at standard/np=8/MPICH if forced. The K-selection predictor
+//!    declines every such site (the program ships unchanged), so since
+//!    PR 5 no registry workload knowingly regresses anywhere — the last
+//!    open class, `interchange-blocked`'s §3.5 per-column fallback, now
+//!    routes through the predictor too ([`interchange_blocked_never_regresses`]).
+//!    The full standard-size grid on both stacks is `harness sweep`.
 
 use interp::run_program;
 use overlap_suite::sweep::{
@@ -120,6 +123,56 @@ fn prepush_never_slower_where_overlap_is_guaranteed() {
             "{}: prepush {prepush} ns SLOWER than orig {orig} ns",
             r.spec.key()
         );
+    }
+}
+
+/// The PR-5 predictor routing, end to end: `interchange-blocked` (the
+/// §3.5 per-column fallback) must never come back slower at any size, on
+/// any preset stack, at np {2, 4, 8}. Before the fix the fallback
+/// bypassed K-selection entirely and shipped measured 0.21x–0.98x
+/// slowdowns in 26 of these 27 cells; now every losing site is declined
+/// (the original program runs, 1.00x) while the single measured win —
+/// standard scale, np = 8, zero-copy stack, 1.01x — is still applied.
+#[test]
+fn interchange_blocked_never_regresses() {
+    for size in [SizeClass::Small, SizeClass::Medium, SizeClass::Standard] {
+        let grid = SweepGrid::new()
+            .workloads(["interchange-blocked"])
+            .size(size)
+            .nps([2, 4, 8])
+            .models(preset_models());
+        let result = run_sweep(&grid, 0);
+        assert_eq!(result.records.len(), 9);
+        for r in &result.records {
+            assert!(r.is_ok(), "{}: {}", r.spec.key(), r.error().unwrap_or(""));
+            let (orig, prepush) = (r.orig_ns.unwrap(), r.prepush_ns.unwrap());
+            assert!(
+                prepush <= orig,
+                "{}: prepush {prepush} ns SLOWER than orig {orig} ns",
+                r.spec.key()
+            );
+        }
+        // The win half of the calibration: the per-column fallback still
+        // fires where it measurably pays (1.01x) instead of being
+        // declined outright.
+        if size == SizeClass::Standard {
+            let r = result
+                .records
+                .iter()
+                .find(|r| r.spec.np == 8 && r.spec.model == ModelSpec::RdmaIdeal)
+                .expect("standard grid has the np=8 rdma-ideal cell");
+            assert!(
+                r.strategy.as_deref() == Some("per-column owner sends"),
+                "the zero-copy standard/np=8 cell must keep the fallback: {:?}",
+                r.strategy
+            );
+            assert!(
+                r.prepush_ns.unwrap() < r.orig_ns.unwrap(),
+                "standard/np=8 on rdma-ideal must keep its measured win ({} vs {})",
+                r.prepush_ns.unwrap(),
+                r.orig_ns.unwrap()
+            );
+        }
     }
 }
 

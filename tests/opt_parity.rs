@@ -1,0 +1,126 @@
+//! Differential pinning of the `interp::opt` pass (PR 5): the optimized
+//! interpreter — constant folding, loop unrolling, loop-invariant
+//! hoisting, block-summarized cost accounting, chain compilation — must
+//! be *unobservable* next to the plain slot-indexed walk. For every
+//! registry workload (original AND transformed program), and for a
+//! proptest-sampled space of rank counts, network models, cost scales,
+//! and option flags, virtual times, full per-rank stats, array payloads,
+//! and prints must be byte-identical.
+
+use clustersim::NetworkModel;
+use interp::{run_program_opts, CostModel, Options, RunResult};
+use overlap_suite::sweep::{transform_workload, ModelSpec, SizeClass};
+use proptest::prelude::*;
+
+fn run(program: &fir::Program, np: usize, model: &NetworkModel, opts: &Options) -> RunResult {
+    run_program_opts(program, np, model, opts).unwrap_or_else(|e| panic!("run failed: {e}"))
+}
+
+/// Everything the simulation produced, compared field-for-field.
+fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.outputs, b.outputs, "{what}: outputs differ");
+    assert_eq!(
+        a.report.per_rank, b.report.per_rank,
+        "{what}: per-rank stats differ"
+    );
+}
+
+/// Exhaustive: every registry workload, original and transformed, under
+/// every preset model at two rank counts — optimized and unoptimized
+/// runs are indistinguishable.
+#[test]
+fn every_registry_workload_is_opt_invariant() {
+    let base = Options {
+        optimize: false,
+        ..Default::default()
+    };
+    let tuned = Options::default();
+    assert!(tuned.optimize, "the opt pass is on by default");
+    for entry in workloads::registry() {
+        for np in [2usize, 4] {
+            let w = (entry.make)(SizeClass::Small, np);
+            let original = w.program();
+            for model_spec in ModelSpec::presets() {
+                let model = model_spec.to_model();
+                let transformed = transform_workload(w.as_ref(), &model, None).program;
+                for (kind, program) in [("original", &original), ("prepush", &transformed)] {
+                    let what =
+                        format!("{} np={np} {} {kind}", entry.name, model.name);
+                    let plain = run(program, np, &model, &base);
+                    let fast = run(program, np, &model, &tuned);
+                    assert_identical(&plain, &fast, &what);
+                }
+            }
+        }
+    }
+}
+
+/// The gated modes keep parity too: buffer-reuse detection (array stores
+/// excluded from blocks) and tracing (no blocks at all) still run the
+/// folder/hoister, and traces must come out event-for-event identical.
+#[test]
+fn strict_and_traced_modes_stay_identical() {
+    let model = NetworkModel::mpich_gm();
+    for entry in workloads::registry() {
+        let w = (entry.make)(SizeClass::Small, 2);
+        let program = w.program();
+        for (reuse, trace) in [(true, false), (false, true), (true, true)] {
+            let mk = |optimize| Options {
+                optimize,
+                detect_buffer_reuse: reuse,
+                trace,
+                ..Default::default()
+            };
+            let what = format!("{} reuse={reuse} trace={trace}", entry.name);
+            let plain = run(&program, 2, &model, &mk(false));
+            let fast = run(&program, 2, &model, &mk(true));
+            assert_identical(&plain, &fast, &what);
+            if trace {
+                let (pt, ft) = (plain.trace.unwrap(), fast.trace.unwrap());
+                assert_eq!(pt.events, ft.events, "{what}: traces differ");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sampled: workload × np × model × a *non-integral* cost scale (the
+    /// per-statement rounding is where naive charge summation would
+    /// drift) × option flags.
+    #[test]
+    fn optimized_interpreter_is_unobservable(
+        widx in 0usize..8,
+        np in 2usize..5,
+        model_idx in 0usize..3,
+        scale_num in 1u32..40,
+        transformed in any::<bool>(),
+        reuse in any::<bool>(),
+    ) {
+        let registry = workloads::registry();
+        let entry = &registry[widx % registry.len()];
+        let w = (entry.make)(SizeClass::Small, np);
+        let model = ModelSpec::presets()[model_idx].to_model();
+        let program = if transformed {
+            transform_workload(w.as_ref(), &model, None).program
+        } else {
+            w.program()
+        };
+        // E.g. scale 7 → ns_per_op 0.7: charges round per statement.
+        let cost = CostModel::default().scaled(scale_num as f64 / 10.0);
+        let mk = |optimize| Options {
+            optimize,
+            detect_buffer_reuse: reuse,
+            cost: cost.clone(),
+            ..Default::default()
+        };
+        let plain = run(&program, np, &model, &mk(false));
+        let fast = run(&program, np, &model, &mk(true));
+        let what = format!(
+            "{} np={np} {} scale={} transformed={transformed} reuse={reuse}",
+            entry.name, model.name, scale_num
+        );
+        assert_identical(&plain, &fast, &what);
+    }
+}
