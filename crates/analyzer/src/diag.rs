@@ -1,0 +1,257 @@
+//! Diagnostics: stable codes, spans, and the machine-readable report.
+
+use crate::types::TypeReport;
+use fir::span::{line_col, Span};
+use std::fmt;
+
+/// Stable diagnostic codes. `A…` codes come from the communication-safety
+/// pass, `T…` codes from type inference. The negative corpus in
+/// `workloads::negative` pins one code per program, so renumbering is a
+/// breaking change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// An `mpi_isend` is never matched by a wait on some control path.
+    A001,
+    /// An `mpi_irecv` is never matched by a wait on some control path.
+    A002,
+    /// A statement writes into a buffer region with an in-flight
+    /// `mpi_isend` — the exact hazard prepush must avoid (paper §3.4).
+    A003,
+    /// A statement reads or writes a buffer region with an in-flight
+    /// `mpi_irecv` — its contents are undefined until the wait.
+    A004,
+    /// A collective operation diverges across ranks (some ranks reach it,
+    /// others don't, or its count disagrees) — deadlock at runtime.
+    A005,
+    /// The set of in-flight operations differs between the two arms of a
+    /// rank-undecidable branch — a wait is missing on one path.
+    A006,
+    /// The analyzer could not verify the program (symbolic communication
+    /// bounds, call into a communicating procedure, or budget exhausted).
+    A007,
+    /// Type inference found conflicting types for one storage location.
+    T001,
+}
+
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::A001 => "A001",
+            Code::A002 => "A002",
+            Code::A003 => "A003",
+            Code::A004 => "A004",
+            Code::A005 => "A005",
+            Code::A006 => "A006",
+            Code::A007 => "A007",
+            Code::T001 => "T001",
+        }
+    }
+
+    /// One-line meaning, used in human rendering.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::A001 => "unmatched mpi_isend (no wait on this path)",
+            Code::A002 => "unmatched mpi_irecv (no wait on this path)",
+            Code::A003 => "write into an in-flight mpi_isend buffer",
+            Code::A004 => "access to an in-flight mpi_irecv buffer",
+            Code::A005 => "collective diverges across ranks",
+            Code::A006 => "in-flight operations differ across branch arms",
+            Code::A007 => "communication unverifiable",
+            Code::T001 => "conflicting types for one location",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, anchored to the source text via [`fir::span`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub message: String,
+    pub span: Span,
+    /// Ranks (SPMD `mynum` values) the finding was observed on. Empty for
+    /// rank-independent findings.
+    pub ranks: Vec<i64>,
+}
+
+/// The machine-readable result of analyzing one program.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Findings, deduplicated by (code, span) and sorted by source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Ranks the communication pass actually walked.
+    pub ranks_checked: Vec<i64>,
+    /// Inferred types, when the caller ran the type pass too.
+    pub types: Option<TypeReport>,
+}
+
+impl AnalysisReport {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Sort by source position then code, and drop duplicate findings
+    /// (the same hazard observed on several ranks is one diagnostic; the
+    /// ranks are merged).
+    pub fn normalize(&mut self) {
+        self.diagnostics
+            .sort_by_key(|d| (d.span.start, d.span.end, d.code));
+        let mut out: Vec<Diagnostic> = Vec::with_capacity(self.diagnostics.len());
+        for d in self.diagnostics.drain(..) {
+            match out.last_mut() {
+                Some(prev) if prev.code == d.code && prev.span == d.span => {
+                    for r in d.ranks {
+                        if !prev.ranks.contains(&r) {
+                            prev.ranks.push(r);
+                        }
+                    }
+                    prev.ranks.sort_unstable();
+                }
+                _ => out.push(d),
+            }
+        }
+        self.diagnostics = out;
+    }
+
+    /// Render findings for a terminal, resolving spans against `source`.
+    pub fn render_human(&self, source: &str) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            let lc = line_col(source, d.span.start);
+            let snippet = d.span.snippet(source);
+            s.push_str(&format!(
+                "error[{}]: {} at {}:{}\n",
+                d.code,
+                d.code.title(),
+                lc.line,
+                lc.col
+            ));
+            if !snippet.is_empty() {
+                s.push_str(&format!("  | {}\n", snippet.lines().next().unwrap_or("")));
+            }
+            s.push_str(&format!("  = {}\n", d.message));
+            if !d.ranks.is_empty() {
+                let ranks: Vec<String> = d.ranks.iter().map(i64::to_string).collect();
+                s.push_str(&format!("  = on rank(s): {}\n", ranks.join(", ")));
+            }
+        }
+        if self.diagnostics.is_empty() {
+            s.push_str("clean: no diagnostics\n");
+        }
+        s
+    }
+
+    /// Render as a JSON object (hand-rolled like `driver::json` — the
+    /// workspace carries no serde).
+    pub fn to_json(&self, source: &str) -> String {
+        let mut s = String::from("{\"clean\":");
+        s.push_str(if self.is_clean() { "true" } else { "false" });
+        s.push_str(",\"ranks_checked\":[");
+        for (i, r) in self.ranks_checked.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&r.to_string());
+        }
+        s.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let lc = line_col(source, d.span.start);
+            s.push_str(&format!(
+                "{{\"code\":\"{}\",\"title\":{},\"message\":{},\"span\":{{\"start\":{},\"end\":{},\"line\":{},\"col\":{}}},\"ranks\":[{}]}}",
+                d.code,
+                json_string(d.code.title()),
+                json_string(&d.message),
+                d.span.start,
+                d.span.end,
+                lc.line,
+                lc.col,
+                d.ranks
+                    .iter()
+                    .map(i64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
+        s.push(']');
+        if let Some(t) = &self.types {
+            s.push_str(",\"types\":");
+            s.push_str(&t.to_json());
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Minimal JSON string escaping (mirrors `driver::json`'s writer rules).
+pub(crate) fn json_string(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_dedups_and_merges_ranks() {
+        let mut r = AnalysisReport::default();
+        let span = Span::new(5, 9);
+        r.diagnostics.push(Diagnostic {
+            code: Code::A003,
+            message: "m".into(),
+            span,
+            ranks: vec![1],
+        });
+        r.diagnostics.push(Diagnostic {
+            code: Code::A003,
+            message: "m".into(),
+            span,
+            ranks: vec![0],
+        });
+        r.normalize();
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].ranks, vec![0, 1]);
+    }
+
+    #[test]
+    fn human_rendering_names_the_code_and_line() {
+        let src = "abc\ndefg";
+        let mut r = AnalysisReport::default();
+        r.diagnostics.push(Diagnostic {
+            code: Code::A004,
+            message: "read of in-flight `ar`".into(),
+            span: Span::new(4, 8),
+            ranks: vec![2],
+        });
+        let h = r.render_human(src);
+        assert!(h.contains("error[A004]"), "{h}");
+        assert!(h.contains("2:1"), "{h}");
+        assert!(h.contains("defg"), "{h}");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

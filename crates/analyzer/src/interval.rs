@@ -1,0 +1,267 @@
+//! Integer intervals: the abstract value domain of the communication pass.
+//!
+//! Everything the safety check cares about — ranks, tags, subscripts,
+//! loop bounds — is integer-valued; reals abstract to [`Val::Top`]. The
+//! arithmetic is deliberately conservative: any overflow or unmodelled
+//! case answers `Top`, which downstream widens a subscript to the whole
+//! declared dimension (never *narrows* a region), so imprecision can only
+//! produce false alarms, never missed hazards.
+
+/// An abstract integer value: either unknown, or an inclusive range
+/// (`Range(v, v)` is a known constant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Val {
+    Top,
+    Range(i64, i64),
+}
+
+// The arithmetic methods intentionally shadow the operator names: they
+// are *interval* transfer functions (widening to Top, not erroring),
+// and spelling `a.add(b)` next to `a.modulo(b)`/`a.min(b)` keeps the
+// transfer-function table uniform at call sites.
+#[allow(clippy::should_implement_trait)]
+impl Val {
+    pub fn constant(v: i64) -> Val {
+        Val::Range(v, v)
+    }
+
+    /// The exactly-known value, if any.
+    pub fn singleton(self) -> Option<i64> {
+        match self {
+            Val::Range(lo, hi) if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    pub fn bounds(self) -> Option<(i64, i64)> {
+        match self {
+            Val::Range(lo, hi) => Some((lo, hi)),
+            Val::Top => None,
+        }
+    }
+
+    /// Least upper bound (range hull).
+    pub fn join(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Range(a, b), Val::Range(c, d)) => Val::Range(a.min(c), b.max(d)),
+            _ => Val::Top,
+        }
+    }
+
+    pub fn neg(self) -> Val {
+        match self {
+            Val::Range(lo, hi) => match (hi.checked_neg(), lo.checked_neg()) {
+                (Some(a), Some(b)) => Val::Range(a, b),
+                _ => Val::Top,
+            },
+            Val::Top => Val::Top,
+        }
+    }
+
+    pub fn add(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Range(a, b), Val::Range(c, d)) => {
+                match (a.checked_add(c), b.checked_add(d)) {
+                    (Some(lo), Some(hi)) => Val::Range(lo, hi),
+                    _ => Val::Top,
+                }
+            }
+            _ => Val::Top,
+        }
+    }
+
+    pub fn sub(self, other: Val) -> Val {
+        self.add(other.neg())
+    }
+
+    pub fn mul(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Range(a, b), Val::Range(c, d)) => {
+                let corners = [a.checked_mul(c), a.checked_mul(d), b.checked_mul(c), b.checked_mul(d)];
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                for c in corners {
+                    match c {
+                        Some(v) => {
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                        None => return Val::Top,
+                    }
+                }
+                Val::Range(lo, hi)
+            }
+            _ => Val::Top,
+        }
+    }
+
+    /// Truncated (Fortran/Rust) integer division. Conservative: `Top`
+    /// whenever the divisor range contains zero.
+    pub fn div(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Range(a, b), Val::Range(c, d)) if c > 0 || d < 0 => {
+                let corners = [a / c, a / d, b / c, b / d];
+                Val::Range(
+                    corners.iter().copied().min().unwrap(),
+                    corners.iter().copied().max().unwrap(),
+                )
+            }
+            _ => Val::Top,
+        }
+    }
+
+    /// Fortran `mod` (sign of the dividend — Rust `%`). Exact for known
+    /// constants; otherwise bounded by the divisor's magnitude.
+    pub fn modulo(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Range(a, b), Val::Range(c, d)) => {
+                if a == b && c == d && c != 0 {
+                    return Val::constant(a % c);
+                }
+                if c > 0 {
+                    if a >= 0 {
+                        // Non-negative dividend, positive divisor: [0, d-1],
+                        // and never exceeds the dividend itself.
+                        Val::Range(0, (d - 1).min(b.max(0)))
+                    } else {
+                        Val::Range(-(d - 1), d - 1)
+                    }
+                } else {
+                    Val::Top
+                }
+            }
+            _ => Val::Top,
+        }
+    }
+
+    pub fn min(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Range(a, b), Val::Range(c, d)) => Val::Range(a.min(c), b.min(d)),
+            _ => Val::Top,
+        }
+    }
+
+    pub fn max(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Range(a, b), Val::Range(c, d)) => Val::Range(a.max(c), b.max(d)),
+            _ => Val::Top,
+        }
+    }
+
+    pub fn abs(self) -> Val {
+        match self {
+            Val::Range(lo, hi) => {
+                if lo == i64::MIN {
+                    Val::Top
+                } else if lo >= 0 {
+                    Val::Range(lo, hi)
+                } else if hi <= 0 {
+                    Val::Range(-hi, -lo)
+                } else {
+                    Val::Range(0, (-lo).max(hi))
+                }
+            }
+            Val::Top => Val::Top,
+        }
+    }
+
+    /// Abstract truth value of `self cmp other`: `Some(true/false)` when
+    /// the intervals decide it, `None` when both outcomes are possible.
+    pub fn cmp_lt(self, other: Val) -> Option<bool> {
+        let (a, b) = self.bounds()?;
+        let (c, d) = other.bounds()?;
+        if b < c {
+            Some(true)
+        } else if a >= d {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    pub fn cmp_le(self, other: Val) -> Option<bool> {
+        let (a, b) = self.bounds()?;
+        let (c, d) = other.bounds()?;
+        if b <= c {
+            Some(true)
+        } else if a > d {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    pub fn cmp_eq(self, other: Val) -> Option<bool> {
+        match (self.singleton(), other.singleton()) {
+            (Some(x), Some(y)) => Some(x == y),
+            _ => {
+                let (a, b) = self.bounds()?;
+                let (c, d) = other.bounds()?;
+                // Disjoint ranges cannot be equal.
+                if b < c || d < a {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Do two intervals intersect? `Top` intersects everything.
+    pub fn overlaps(self, other: Val) -> bool {
+        match (self, other) {
+            (Val::Range(a, b), Val::Range(c, d)) => a <= d && c <= b,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_hull() {
+        let a = Val::Range(1, 3);
+        let b = Val::Range(10, 20);
+        assert_eq!(a.add(b), Val::Range(11, 23));
+        assert_eq!(b.sub(a), Val::Range(7, 19));
+        assert_eq!(a.mul(b), Val::Range(10, 60));
+        assert_eq!(Val::Range(-2, 3).mul(Val::constant(10)), Val::Range(-20, 30));
+    }
+
+    #[test]
+    fn overflow_goes_top() {
+        assert_eq!(Val::constant(i64::MAX).add(Val::constant(1)), Val::Top);
+        assert_eq!(Val::constant(i64::MIN).neg(), Val::Top);
+    }
+
+    #[test]
+    fn modulo_matches_runtime_for_constants() {
+        // Mirrors try_intrinsic's `a % b` (sign of the dividend).
+        assert_eq!(Val::constant(-7).modulo(Val::constant(4)), Val::constant(-3));
+        assert_eq!(Val::constant(7).modulo(Val::constant(4)), Val::constant(3));
+    }
+
+    #[test]
+    fn modulo_range_is_bounded_by_divisor() {
+        assert_eq!(Val::Range(0, 100).modulo(Val::constant(4)), Val::Range(0, 3));
+        assert_eq!(Val::Range(-5, 100).modulo(Val::constant(4)), Val::Range(-3, 3));
+    }
+
+    #[test]
+    fn comparisons_decide_only_disjoint_ranges() {
+        assert_eq!(Val::Range(1, 3).cmp_lt(Val::Range(5, 9)), Some(true));
+        assert_eq!(Val::Range(5, 9).cmp_lt(Val::Range(1, 3)), Some(false));
+        assert_eq!(Val::Range(1, 6).cmp_lt(Val::Range(5, 9)), None);
+        assert_eq!(Val::constant(4).cmp_eq(Val::constant(4)), Some(true));
+        assert_eq!(Val::Range(1, 3).cmp_eq(Val::Range(7, 9)), Some(false));
+    }
+
+    #[test]
+    fn overlap_is_interval_intersection() {
+        assert!(Val::Range(1, 5).overlaps(Val::Range(5, 9)));
+        assert!(!Val::Range(1, 4).overlaps(Val::Range(5, 9)));
+        assert!(Val::Top.overlaps(Val::Range(5, 9)));
+    }
+}

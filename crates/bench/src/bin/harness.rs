@@ -55,6 +55,18 @@
 //!                                      totals. Informational only — wall
 //!                                      clock varies across machines, so
 //!                                      this never fails the gate
+//!   analyze [--np N] [--size small|medium|standard] [--json]
+//!                                      statically analyze every registry
+//!                                      workload — the original program and
+//!                                      the pre-push program emitted under
+//!                                      each preset network model — for
+//!                                      communication safety (unmatched
+//!                                      isend/irecv, in-flight buffer
+//!                                      hazards, rank-divergent collectives)
+//!                                      and slot-level types. Prints one
+//!                                      line per program (or a JSON array
+//!                                      with --json) and exits 1 if any
+//!                                      program has diagnostics
 //! ```
 //!
 //! Every experiment grid runs through [`driver::run_sweep`]: scenarios
@@ -88,6 +100,7 @@ fn main() {
         "sweep" => sweep_cmd(SweepGrid::full(), rest),
         "quick" => sweep_cmd(SweepGrid::quick(), rest),
         "diff" => diff_cmd(rest),
+        "analyze" => analyze_cmd(rest),
         "all" => {
             fig1();
             fig2();
@@ -495,6 +508,103 @@ fn diff_cmd(args: &[String]) {
     print!("{}", report.render());
     write_md_report(&flags.md_out, &report, &paths[0], &paths[1], flags.tolerance);
     if report.has_regressions() {
+        std::process::exit(1);
+    }
+}
+
+/// `analyze`: run the static analyzer over every program the pipeline
+/// touches — each registry workload's original, plus the pre-push program
+/// emitted under each preset model — and report communication-safety
+/// diagnostics and type-inference counts. Exits 1 if any program fails.
+fn analyze_cmd(args: &[String]) {
+    let mut np: usize = 4;
+    let mut size = SizeClass::Small;
+    let mut as_json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => as_json = true,
+            "--np" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--np needs a value");
+                    std::process::exit(2);
+                });
+                np = v.parse().unwrap_or_else(|e| {
+                    eprintln!("bad --np: {e}");
+                    std::process::exit(2);
+                });
+                if np < 2 {
+                    eprintln!("--np must be at least 2");
+                    std::process::exit(2);
+                }
+            }
+            "--size" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--size needs a value");
+                    std::process::exit(2);
+                });
+                size = SizeClass::parse(v).unwrap_or_else(|| {
+                    eprintln!("bad --size `{v}` (small, medium, standard)");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (accepts: --np N, --size S, --json)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = driver::analyze_registry(size, np, &ModelSpec::presets());
+    let dirty = rows.iter().filter(|r| !r.is_clean()).count();
+
+    if as_json {
+        let mut out = String::from("[\n");
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"workload\": \"{}\", \"variant\": \"{}\", \"model\": \"{}\", \
+                 \"np\": {}, \"analysis\": {}}}",
+                row.workload,
+                row.variant,
+                row.model,
+                row.np,
+                row.report.to_json(&row.source)
+            ));
+        }
+        out.push_str("\n]\n");
+        print!("{out}");
+    } else {
+        hr(&format!(
+            "analyze — registry x {{orig, prepush}} x models, {} np={np}",
+            size.id()
+        ));
+        for row in &rows {
+            let types = row
+                .report
+                .types
+                .as_ref()
+                .map(|t| format!("{} typed / {} dyn chains", t.chains_typed(), t.chains_dyn()))
+                .unwrap_or_else(|| "types unavailable".into());
+            if row.is_clean() {
+                println!("  ok    {:<40} {}", row.label(), types);
+            } else {
+                println!("  FAIL  {:<40} {}", row.label(), types);
+                for line in row.report.render_human(&row.source).lines() {
+                    println!("        {line}");
+                }
+            }
+        }
+        println!(
+            "\n{} program(s) analyzed, {} clean, {} with diagnostics",
+            rows.len(),
+            rows.len() - dirty,
+            dirty
+        );
+    }
+    if dirty > 0 {
         std::process::exit(1);
     }
 }

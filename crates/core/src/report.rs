@@ -42,6 +42,11 @@ pub enum Status {
     /// a high-overhead stack): the original program is emitted unchanged,
     /// with this note.
     Unprofitable(String),
+    /// The transformation was applied but the emitted program failed the
+    /// static communication-safety verification ([`analyzer`]): the
+    /// original program is emitted unchanged, with the diagnostics. A
+    /// prepush that cannot be *proved* hazard-free does not ship.
+    AnalysisRejected(Vec<String>),
 }
 
 /// Per-opportunity outcome.
@@ -141,6 +146,15 @@ impl TransformReport {
                         "declined (unprofitable): {} — {note}\n",
                         o.send_array
                     ));
+                }
+                Status::AnalysisRejected(diags) => {
+                    s.push_str(&format!(
+                        "withdrawn (failed communication-safety verification): {}\n",
+                        o.send_array
+                    ));
+                    for d in diags {
+                        s.push_str(&format!("  diagnostic: {d}\n"));
+                    }
                 }
             }
         }

@@ -155,6 +155,22 @@ pub fn transform(program: &Program, opts: &Options) -> Result<TransformOutput, T
             "generated program fails validation:\n{}",
             fir::unparse(&out)
         );
+        // Static communication-safety gate: an emitted program we cannot
+        // *prove* hazard-free does not ship. Withdraw the transformation
+        // and emit the original instead, carrying the diagnostics.
+        if let Some(diags) = analysis_gate(&out, opts) {
+            for o in &mut report.opportunities {
+                if o.status == Status::Applied {
+                    o.strategy = None;
+                    o.tile_size = None;
+                    o.status = Status::AnalysisRejected(diags.clone());
+                }
+            }
+            return Ok(TransformOutput {
+                program: program.clone(),
+                report,
+            });
+        }
         Ok(TransformOutput {
             program: out,
             report,
@@ -170,6 +186,29 @@ pub fn transform(program: &Program, opts: &Options) -> Result<TransformOutput, T
     } else {
         Err(TransformError::NothingApplied(report))
     }
+}
+
+/// Verify the emitted program with the static communication checker.
+/// Returns `None` when clean (or when `np` is unknown — the checker is
+/// rank-parametric and needs a concrete rank count to instantiate), or
+/// the rendered diagnostics when the program cannot be proved safe.
+fn analysis_gate(out: &Program, opts: &Options) -> Option<Vec<String>> {
+    let np = opts.context.get("np")?;
+    if np < 2 {
+        return None;
+    }
+    let cfg = analyzer::CommCheckConfig::new(np).with_symbols(opts.context.pairs());
+    let verdict = analyzer::verify_comm(out, &cfg);
+    if verdict.is_clean() {
+        return None;
+    }
+    Some(
+        verdict
+            .diagnostics
+            .iter()
+            .map(|d| format!("{}: {}", d.code, d.message))
+            .collect(),
+    )
 }
 
 /// The replacement produced by planning one opportunity.

@@ -253,6 +253,15 @@ impl Context {
     pub fn eval(&self, a: &Affine) -> Option<i64> {
         a.eval(&|v| self.get(v))
     }
+
+    /// All (name, value) pairs, sorted by name — a deterministic view for
+    /// consumers that re-seed other analyses (e.g. the communication
+    /// verifier) from this context.
+    pub fn pairs(&self) -> Vec<(String, i64)> {
+        let mut v: Vec<(String, i64)> = self.values.iter().map(|(k, &x)| (k.clone(), x)).collect();
+        v.sort();
+        v
+    }
 }
 
 /// Numeric iteration domain of one loop: `lo..=hi` stepping `step`.

@@ -1,0 +1,112 @@
+//! Batch static analysis of the pipeline's programs: every registry
+//! workload, original and pre-push emitted variants, across network
+//! models. The `harness analyze` subcommand, `scripts/verify.sh`, and the
+//! property tests all run this one implementation.
+
+use crate::measure::transform_workload;
+use crate::spec::ModelSpec;
+use analyzer::{verify_comm, AnalysisReport, CommCheckConfig};
+use workloads::{registry, SizeClass};
+
+/// One analyzed program: which workload/variant/model produced it, its
+/// source text (for rendering spans), and the analysis verdict.
+pub struct AnalyzeRow {
+    /// Registry name of the workload.
+    pub workload: &'static str,
+    /// `"orig"` or `"prepush"`.
+    pub variant: &'static str,
+    /// Model id that parameterized the transformation (`"-"` for
+    /// originals, which do not depend on a model).
+    pub model: String,
+    pub np: usize,
+    /// Source of the analyzed program (original or emitted).
+    pub source: String,
+    pub report: AnalysisReport,
+}
+
+impl AnalyzeRow {
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+
+    /// `workload/variant@model np=N` — the row's stable label.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}@{} np={}",
+            self.workload, self.variant, self.model, self.np
+        )
+    }
+}
+
+/// Analyze one program: communication safety seeded with the workload's
+/// context symbols, plus slot-level type inference when the program
+/// lowers cleanly.
+fn analyze_program(
+    program: &fir::ast::Program,
+    np: usize,
+    symbols: Vec<(String, i64)>,
+) -> AnalysisReport {
+    let cfg = CommCheckConfig::new(np as i64).with_symbols(symbols);
+    let mut report = verify_comm(program, &cfg);
+    report.types = interp::analyze_types(program).ok();
+    report
+}
+
+/// Analyze the full registry at `size`/`np`: the original program of
+/// every workload, plus the program the transformation emits under each
+/// model in `models` (the emitted code differs per model because the K
+/// heuristic and strategy selection are model-informed).
+pub fn analyze_registry(size: SizeClass, np: usize, models: &[ModelSpec]) -> Vec<AnalyzeRow> {
+    let mut rows = Vec::new();
+    for entry in registry() {
+        let w = (entry.make)(size, np);
+        let program = w.program();
+        rows.push(AnalyzeRow {
+            workload: entry.name,
+            variant: "orig",
+            model: "-".into(),
+            np,
+            source: w.source(),
+            report: analyze_program(&program, np, w.context_pairs()),
+        });
+        for model in models {
+            let out = transform_workload(w.as_ref(), &model.to_model(), None);
+            let emitted = fir::unparse(&out.program);
+            let reparsed = fir::parse_validated(&emitted).unwrap_or_else(|e| {
+                panic!(
+                    "emitted `{}` does not re-parse: {}",
+                    entry.name,
+                    e.render(&emitted)
+                )
+            });
+            rows.push(AnalyzeRow {
+                workload: entry.name,
+                variant: "prepush",
+                model: model.id(),
+                np,
+                source: emitted,
+                report: analyze_program(&reparsed, np, w.context_pairs()),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_registry_is_analyzer_clean() {
+        let rows = analyze_registry(SizeClass::Small, 4, &ModelSpec::presets());
+        assert_eq!(rows.len(), 8 * 4); // 8 workloads x (orig + 3 models)
+        for row in &rows {
+            assert!(
+                row.is_clean(),
+                "{} has diagnostics:\n{}",
+                row.label(),
+                row.report.render_human(&row.source)
+            );
+        }
+    }
+}

@@ -131,7 +131,13 @@ pub fn write_json(v: &Json) -> String {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
+
+/// Containers deeper than this are a parse error, not a stack overflow.
+/// Real artifacts nest 4-5 levels; 128 is far beyond any legitimate
+/// document while keeping recursion bounded on hostile input.
+const MAX_DEPTH: usize = 128;
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> String {
@@ -140,6 +146,16 @@ impl<'a> Parser<'a> {
             .filter(|&&b| b == b'\n')
             .count();
         format!("JSON parse error at byte {} (line {line}): {msg}", self.pos)
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!(
+                "containers nested deeper than {MAX_DEPTH} levels"
+            )));
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -266,10 +282,12 @@ impl<'a> Parser<'a> {
             Some(b'"') => Ok(Json::Str(self.parse_string()?)),
             Some(b'[') => {
                 self.pos += 1;
+                self.enter()?;
                 let mut items = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b']') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 loop {
@@ -279,6 +297,7 @@ impl<'a> Parser<'a> {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Json::Arr(items));
                         }
                         _ => return Err(self.err("expected `,` or `]`")),
@@ -287,10 +306,12 @@ impl<'a> Parser<'a> {
             }
             Some(b'{') => {
                 self.pos += 1;
+                self.enter()?;
                 let mut fields = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b'}') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 loop {
@@ -305,6 +326,7 @@ impl<'a> Parser<'a> {
                         Some(b',') => self.pos += 1,
                         Some(b'}') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Json::Obj(fields));
                         }
                         _ => return Err(self.err("expected `,` or `}`")),
@@ -325,7 +347,7 @@ pub fn parse_json(text: &str) -> Result<Json, String> {
 /// `std::fs::read`). Malformed UTF-8 inside strings is a parse error
 /// with a byte/line position, not a panic.
 pub fn parse_json_bytes(bytes: &[u8]) -> Result<Json, String> {
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser { bytes, pos: 0, depth: 0 };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -630,6 +652,24 @@ fn timing_from_json(t: &Json) -> Result<SweepTiming, String> {
 mod tests {
     use super::*;
     use crate::spec::Variant;
+
+    #[test]
+    fn hostile_bracket_nesting_is_an_error_not_an_overflow() {
+        // Two megabytes of `[` must come back as a parse error with a
+        // position, not abort the process.
+        let hostile = "[".repeat(2_000_000);
+        let err = parse_json(&hostile).unwrap_err();
+        assert!(err.contains("nested deeper"), "unexpected error: {err}");
+        let objs = "{\"k\":".repeat(2_000_000);
+        let err = parse_json(&objs).unwrap_err();
+        assert!(err.contains("nested deeper"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let doc = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        parse_json(&doc).unwrap();
+    }
 
     fn sample_record(workload: &str, speedup: Option<f64>) -> SweepRecord {
         SweepRecord {

@@ -40,6 +40,7 @@
 //! assert_eq!(back, result.normalized());
 //! ```
 
+pub mod analyze;
 pub mod diff;
 pub mod exec;
 pub mod grid;
@@ -49,6 +50,7 @@ pub mod spec;
 mod text;
 pub mod toml;
 
+pub use analyze::{analyze_registry, AnalyzeRow};
 pub use diff::{diff, DiffReport, DiffRow};
 pub use exec::{
     run_scenario, run_specs, run_sweep, summarize, RunStatus, SweepRecord, SweepResult,

@@ -93,7 +93,12 @@ struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
     line: usize,
+    depth: usize,
 }
+
+/// Arrays nested deeper than this are a parse error, not a stack
+/// overflow. The grid schema uses depth 1 (value lists); 32 is generous.
+const MAX_DEPTH: usize = 32;
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> String {
@@ -269,12 +274,19 @@ impl<'a> Parser<'a> {
             Some(b'"') => Ok(TomlValue::Str(self.parse_basic_string()?)),
             Some(b'[') => {
                 self.pos += 1;
+                self.depth += 1;
+                if self.depth > MAX_DEPTH {
+                    return Err(
+                        self.err(&format!("arrays nested deeper than {MAX_DEPTH} levels"))
+                    );
+                }
                 let mut items = Vec::new();
                 loop {
                     self.skip_ws();
                     match self.peek() {
                         Some(b']') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(TomlValue::Arr(items));
                         }
                         None => return Err(self.err("unterminated array")),
@@ -288,6 +300,7 @@ impl<'a> Parser<'a> {
                         }
                         Some(b']') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(TomlValue::Arr(items));
                         }
                         _ => return Err(self.err("expected `,` or `]` in array")),
@@ -376,6 +389,7 @@ pub fn parse_toml(text: &str) -> Result<TomlDoc, String> {
         bytes: text.as_bytes(),
         pos: 0,
         line: 1,
+        depth: 0,
     }
     .parse_doc()
 }
@@ -753,6 +767,13 @@ pub fn grid_to_toml(grid: &SweepGrid) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hostile_array_nesting_is_an_error_not_an_overflow() {
+        let hostile = format!("[grid]\nx = {}", "[".repeat(1_000_000));
+        let err = parse_toml(&hostile).unwrap_err();
+        assert!(err.contains("nested deeper"), "unexpected error: {err}");
+    }
 
     #[test]
     fn parses_the_subset() {

@@ -198,10 +198,15 @@ impl<'s> Lexer<'s> {
             b'.' => self.lex_dot_operator(start),
             b'0'..=b'9' => self.lex_number(start),
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
-            other => Err(FirError::lex(
-                Span::new(start, start + 1),
-                format!("unexpected character `{}`", other as char),
-            )),
+            _ => {
+                // Decode the full character so a multibyte input (`é`)
+                // names itself in the diagnostic, not its lead byte.
+                let ch = self.src[start as usize..].chars().next().unwrap_or('\u{fffd}');
+                Err(FirError::lex(
+                    Span::new(start, start + ch.len_utf8() as u32),
+                    format!("unexpected character `{ch}`"),
+                ))
+            }
         }
     }
 
@@ -320,6 +325,13 @@ mod tests {
 
     fn kinds(src: &str) -> Vec<TokenKind> {
         tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn multibyte_character_names_itself_in_the_diagnostic() {
+        let err = tokenize("x = é").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains('é'), "diagnostic mangles the char: {msg}");
     }
 
     #[test]

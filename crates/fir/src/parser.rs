@@ -56,11 +56,35 @@ pub fn parse_stmts(src: &str) -> Result<Vec<Stmt>, FirError> {
 struct Parser {
     tokens: Vec<Token>,
     idx: usize,
+    depth: usize,
 }
+
+/// Expressions or statements nested deeper than this are a parse error,
+/// not a stack overflow. Generated programs nest a handful of levels.
+/// The bound is deliberately small: one nesting level costs the whole
+/// precedence-climbing chain (~10 frames), and every later pass
+/// (validation, unparsing, lowering, the analyses) recurses over the
+/// same AST — capping the parse caps them all.
+const MAX_DEPTH: usize = 64;
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, idx: 0 }
+        Parser {
+            tokens,
+            idx: 0,
+            depth: 0,
+        }
+    }
+
+    fn enter(&mut self, what: &str) -> Result<(), FirError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(FirError::parse(
+                self.peek().span,
+                format!("{what} nested deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        Ok(())
     }
 
     // -- token utilities ----------------------------------------------------
@@ -338,6 +362,13 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, FirError> {
+        self.enter("statements")?;
+        let r = self.parse_stmt_dispatch();
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_stmt_dispatch(&mut self) -> Result<Stmt, FirError> {
         match self.peek_kind() {
             TokenKind::Kw(Keyword::Do) => self.parse_do(),
             TokenKind::Kw(Keyword::If) => self.parse_if(),
@@ -522,7 +553,10 @@ impl Parser {
     // -- expressions ----------------------------------------------------------
 
     fn parse_expr(&mut self) -> Result<Expr, FirError> {
-        self.parse_or()
+        self.enter("expressions")?;
+        let r = self.parse_or();
+        self.depth -= 1;
+        r
     }
 
     fn parse_or(&mut self) -> Result<Expr, FirError> {
@@ -752,6 +786,42 @@ mod tests {
 
     fn expr(src: &str) -> Expr {
         parse_expr(src).unwrap()
+    }
+
+    #[test]
+    fn hostile_paren_nesting_is_an_error_not_an_overflow() {
+        // A megabyte of `(` must come back as a parse diagnostic.
+        let src = format!("{}1{}", "(".repeat(500_000), ")".repeat(500_000));
+        let err = parse_expr(&src).unwrap_err();
+        assert!(
+            err.to_string().contains("nested deeper"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn hostile_if_nesting_is_an_error_not_an_overflow() {
+        let n = 100_000;
+        let src = format!(
+            "program m
+{}x = 1.0
+{}end program",
+            "if (x > 0.0) then
+".repeat(n),
+            "end if
+".repeat(n)
+        );
+        let err = parse(&src).unwrap_err();
+        assert!(
+            err.to_string().contains("nested deeper"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn deep_but_reasonable_nesting_still_parses() {
+        let src = format!("{}1{}", "(".repeat(40), ")".repeat(40));
+        parse_expr(&src).unwrap();
     }
 
     #[test]

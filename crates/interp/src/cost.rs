@@ -52,6 +52,13 @@ pub struct Options {
     /// traces are byte-identical either way (pinned by the differential
     /// suites) — turning it off only slows the simulation down.
     pub optimize: bool,
+    /// Compile statically monomorphic `ChainScalar`/`ChainArray`
+    /// instructions to typed accumulator loops ([`crate::typeck`]),
+    /// skipping the per-operation value-tag dispatch. On by default;
+    /// virtual times, outputs, and traces are byte-identical either way
+    /// (the typed loops replicate `eval_binop`'s monomorphic arms
+    /// bit-for-bit and block charges are precomputed — DESIGN.md §3).
+    pub typed_chains: bool,
 }
 
 impl Default for Options {
@@ -61,6 +68,7 @@ impl Default for Options {
             detect_buffer_reuse: false,
             trace: false,
             optimize: true,
+            typed_chains: true,
         }
     }
 }

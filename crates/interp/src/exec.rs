@@ -16,8 +16,8 @@
 use crate::cost::Options;
 use crate::env::{ArrayHandle, BoundArray};
 use crate::lower::{
-    BufferKind, Builtin, Hoist, Instr, Intr, LArg, LCallArg, LExpr, LProc, LProgram, LSecDim,
-    LSection, LStmt, Operand,
+    BufferKind, Builtin, ChainTy, Hoist, Instr, Intr, LArg, LCallArg, LExpr, LProc, LProgram,
+    LSecDim, LSection, LStmt, Operand,
 };
 use crate::value::{ArrayStorage, Scalar};
 use clustersim::{Bytes, Comm, RecvId, SimTime};
@@ -999,8 +999,9 @@ fn run_tape(
                 ty,
                 first,
                 rest,
+                mono,
             } => {
-                let v = eval_chain(proc, f, first, rest);
+                let v = eval_chain_mono(proc, f, first, rest, *mono);
                 f.scalars[*dst as usize] = v.convert_to(*ty);
             }
             Instr::ChainArray {
@@ -1009,6 +1010,7 @@ fn run_tape(
                 idxs,
                 first,
                 rest,
+                mono,
             } => {
                 // Indices first, value second — `eval_indices` order.
                 let mut flat = [0i64; 4];
@@ -1017,7 +1019,7 @@ fn run_tape(
                 for (d, o) in idxs.iter().enumerate() {
                     flat[d] = fetch_operand(proc, f, o).expect_int("array subscript");
                 }
-                let v = eval_chain(proc, f, first, rest);
+                let v = eval_chain_mono(proc, f, first, rest, *mono);
                 if let Err(be) = f.array(*slot).set(name, &flat[..rank], v) {
                     rt_err!("{be}");
                 }
@@ -1093,6 +1095,71 @@ fn eval_chain(proc: &LProc, f: &LFrame, first: &Operand, rest: &[(BinOp, Operand
         acc = eval_binop(*op, acc, b);
     }
     acc
+}
+
+/// Dispatch on the chain's static monomorphism verdict
+/// ([`crate::typeck`]). The typed loops replicate `eval_binop`'s
+/// monomorphic arms bit-for-bit; if a fetched tag ever contradicts the
+/// static verdict they fall back to the general evaluator (operand
+/// fetching is pure, so re-evaluating is safe), making a wrong verdict a
+/// performance bug at worst, never a correctness bug.
+#[inline(always)]
+fn eval_chain_mono(
+    proc: &LProc,
+    f: &LFrame,
+    first: &Operand,
+    rest: &[(BinOp, Operand)],
+    mono: ChainTy,
+) -> Scalar {
+    match mono {
+        ChainTy::Dyn => eval_chain(proc, f, first, rest),
+        ChainTy::Real => eval_chain_real(proc, f, first, rest),
+        ChainTy::Int => eval_chain_int(proc, f, first, rest),
+    }
+}
+
+/// Real-accumulator chain: the verdict guarantees the first operand is
+/// real and every operator is `+ - * /`, so after each step the
+/// accumulator stays real and `eval_binop` would take the
+/// `(Real, Real)`/`(Real, Int)` arms — exactly `acc op b.as_real()`.
+#[inline(always)]
+fn eval_chain_real(proc: &LProc, f: &LFrame, first: &Operand, rest: &[(BinOp, Operand)]) -> Scalar {
+    let Scalar::Real(mut acc) = fetch_operand(proc, f, first) else {
+        return eval_chain(proc, f, first, rest);
+    };
+    for (op, o) in rest {
+        let b = fetch_operand(proc, f, o).as_real();
+        acc = match op {
+            BinOp::Add => acc + b,
+            BinOp::Sub => acc - b,
+            BinOp::Mul => acc * b,
+            BinOp::Div => acc / b,
+            _ => unreachable!("Real verdicts carry only + - * / (typeck::chain_mono)"),
+        };
+    }
+    Scalar::Real(acc)
+}
+
+/// Integer-accumulator chain: the verdict guarantees every operand is an
+/// integer and every operator is `+ - *` — `eval_binop`'s wrapping
+/// `(Int, Int)` arms, which cannot error.
+#[inline(always)]
+fn eval_chain_int(proc: &LProc, f: &LFrame, first: &Operand, rest: &[(BinOp, Operand)]) -> Scalar {
+    let Scalar::Int(mut acc) = fetch_operand(proc, f, first) else {
+        return eval_chain(proc, f, first, rest);
+    };
+    for (op, o) in rest {
+        let Scalar::Int(b) = fetch_operand(proc, f, o) else {
+            return eval_chain(proc, f, first, rest);
+        };
+        acc = match op {
+            BinOp::Add => acc.wrapping_add(b),
+            BinOp::Sub => acc.wrapping_sub(b),
+            BinOp::Mul => acc.wrapping_mul(b),
+            _ => unreachable!("Int verdicts carry only + - * (typeck::chain_mono)"),
+        };
+    }
+    Scalar::Int(acc)
 }
 
 /// The hot arithmetic cases, inlined — exactly [`try_binop`]'s semantics

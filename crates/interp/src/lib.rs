@@ -24,9 +24,11 @@ mod exec;
 mod lower;
 mod opt;
 pub mod run;
+pub mod typeck;
 pub mod value;
 
 pub use cost::{CostModel, Options};
+pub use typeck::analyze_types;
 pub use run::{
     run_program, run_program_opts, run_source, ArrayDump, RankOutput, RunError, RunResult,
 };

@@ -38,6 +38,8 @@ pub(crate) struct LProc {
     /// reads of never-written slots return this, replicating Fortran's
     /// deterministic-zero convention documented in DESIGN.md.
     pub scalar_defaults: Vec<Scalar>,
+    /// Scalar slot -> source name (type reports, debugging).
+    pub scalar_names: Vec<String>,
     /// Array slot -> source name (error messages, output dumps).
     pub array_names: Vec<String>,
     /// Array allocations/bindings, in declaration order.
@@ -343,12 +345,15 @@ pub(crate) enum Instr {
     /// single element loads), evaluated by an internal well-predicted
     /// loop instead of one dispatched instruction per node. Evaluation
     /// order is the tree-walker's exactly: first, then each (op, operand)
-    /// left to right.
+    /// left to right. `mono` is the static type-inference verdict
+    /// ([`crate::typeck`]): a monomorphic chain runs a typed accumulator
+    /// loop that skips the per-operation value-tag dispatch.
     ChainScalar {
         dst: u32,
         ty: ScalarType,
         first: Operand,
         rest: Box<[(BinOp, Operand)]>,
+        mono: ChainTy,
     },
     /// `a(i, j, …) = chain` as one instruction; `idxs` (all leaves)
     /// evaluate first, like the tree-walker's `eval_indices`.
@@ -358,12 +363,27 @@ pub(crate) enum Instr {
         idxs: Box<[Operand]>,
         first: Operand,
         rest: Box<[(BinOp, Operand)]>,
+        mono: ChainTy,
     },
     /// The "`name` is not an array in this scope" runtime error, after its
     /// operands evaluated (parity with the tree-walker's check order).
     ErrNotArray {
         name: Box<str>,
     },
+}
+
+/// Static monomorphism verdict for one chain instruction, computed by
+/// [`crate::typeck`] from the slot-level type lattice
+/// ([`analyzer::types`]). `Dyn` keeps the general tag-dispatching
+/// evaluator; `Int`/`Real` run a typed accumulator loop whose arithmetic
+/// is bit-for-bit the corresponding `eval_binop` arms — virtual times are
+/// unaffected either way because block charges are precomputed
+/// (DESIGN.md §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChainTy {
+    Dyn,
+    Int,
+    Real,
 }
 
 /// A chain-instruction operand: an expression evaluated by the lean
@@ -568,6 +588,7 @@ fn lower_proc(proc: &Procedure, index: &ProcIndex) -> LProc {
     LProc {
         name: proc.name.clone(),
         scalar_defaults,
+        scalar_names: scope.scalar_names,
         array_names: scope.array_names,
         array_decls,
         nparams: proc.params.len(),

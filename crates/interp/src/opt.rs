@@ -42,7 +42,8 @@
 use crate::cost::{CostModel, Options};
 use crate::exec::{try_binop, try_intrinsic};
 use crate::lower::{
-    Hoist, Instr, Intr, LArg, LCallArg, LExpr, LProgram, LSecDim, LSection, LStmt, Operand,
+    ChainTy, Hoist, Instr, Intr, LArg, LCallArg, LExpr, LProgram, LSecDim, LSection, LStmt,
+    Operand,
 };
 use crate::value::Scalar;
 use clustersim::SimTime;
@@ -73,6 +74,9 @@ pub(crate) fn optimize(program: &mut LProgram, opts: &Options) {
 
         if !opts.trace {
             form_blocks(&mut proc.body, opts);
+            if opts.typed_chains {
+                crate::typeck::annotate_proc(proc);
+            }
         }
     }
 }
@@ -795,6 +799,7 @@ fn compile_block_unfused(stmts: &[LStmt]) -> Vec<Instr> {
                         ty: *ty,
                         first,
                         rest: rest.into_boxed_slice(),
+                        mono: ChainTy::Dyn,
                     });
                     continue;
                 }
@@ -819,6 +824,7 @@ fn compile_block_unfused(stmts: &[LStmt]) -> Vec<Instr> {
                             idxs: idxs.into_boxed_slice(),
                             first,
                             rest: rest.into_boxed_slice(),
+                            mono: ChainTy::Dyn,
                         });
                         continue;
                     }

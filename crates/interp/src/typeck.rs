@@ -1,0 +1,324 @@
+//! Static type inference over the lowered program, feeding the typed
+//! chain instructions ([`crate::lower::ChainTy`]).
+//!
+//! Every storage location in mini-Fortran is monomorphic by construction:
+//! every store converts the value to the slot's declared (or implicit)
+//! type, array storage is homogeneous, and hoist slots cache one fixed
+//! expression. So "inference" is seeding slot types from
+//! `scalar_defaults`/`array_decls` and computing expression types
+//! bottom-up with the promotion rules in [`analyzer::types`] — which
+//! mirror `exec::try_binop`/`try_intrinsic` exactly. A chain instruction
+//! whose accumulator provably keeps one runtime tag is marked `Int` or
+//! `Real` and the executor runs a typed accumulator loop instead of
+//! per-operation tag dispatch; anything unprovable stays `Dyn`.
+//!
+//! The verdicts are conservative *and* double-checked: the typed loops in
+//! `exec` still inspect the fetched tags and fall back to the generic
+//! evaluator on any mismatch (re-fetching is pure), so a wrong verdict
+//! could only cost speed, never change a result.
+
+use crate::lower::{ChainTy, Instr, Intr, LExpr, LProc, LProgram, LStmt, Operand};
+use analyzer::types::{binop_ty, intrinsic_ty, unop_ty, ProcTypes, Ty, TypeReport};
+use fir::ast::BinOp;
+
+/// Owned slot-type tables for one procedure.
+pub(crate) struct ProcTyEnv {
+    /// Scalar slot -> type (from the typed zero defaults).
+    pub scalars: Vec<Ty>,
+    /// Array slot -> element type (from the declarations).
+    pub arrays: Vec<Ty>,
+    /// Hoist slot -> type of the cached expression, filled in statement
+    /// order as the annotation walk encounters each loop's hoists.
+    pub hoists: Vec<Ty>,
+}
+
+impl ProcTyEnv {
+    pub fn new(proc: &LProc) -> Self {
+        let scalars = proc
+            .scalar_defaults
+            .iter()
+            .map(|s| Ty::of_scalar_type(s.ty()))
+            .collect();
+        let mut arrays = vec![Ty::Unknown; proc.array_names.len()];
+        for d in &proc.array_decls {
+            arrays[d.slot as usize] = Ty::of_scalar_type(d.ty);
+        }
+        ProcTyEnv {
+            scalars,
+            arrays,
+            hoists: vec![Ty::Unknown; proc.hoist_slots],
+        }
+    }
+}
+
+fn intr_rule_name(op: Intr) -> Option<&'static str> {
+    Some(match op {
+        Intr::Mod => "mod",
+        Intr::Min => "min",
+        Intr::Max => "max",
+        Intr::Abs => "abs",
+        Intr::Sqrt => "sqrt",
+        Intr::Sin => "sin",
+        Intr::Cos => "cos",
+        Intr::Exp => "exp",
+        Intr::Log => "log",
+        Intr::Floor => "floor",
+        Intr::Int => "int",
+        Intr::Real => "real",
+        Intr::Unknown => return None,
+    })
+}
+
+pub(crate) fn lexpr_ty(e: &LExpr, env: &ProcTyEnv) -> Ty {
+    match e {
+        LExpr::Int(_) => Ty::Int,
+        LExpr::Real(_) => Ty::Real,
+        LExpr::Const { v, .. } => Ty::of_scalar_type(v.ty()),
+        LExpr::Var(slot) => env.scalars[*slot as usize].clone(),
+        LExpr::Hoisted { slot, .. } => env.hoists[*slot as usize].clone(),
+        LExpr::ArrayRef { slot, .. } => match slot {
+            Some(s) => env.arrays[*s as usize].clone(),
+            None => Ty::Unknown,
+        },
+        LExpr::Intrinsic { op, args, .. } => match intr_rule_name(*op) {
+            Some(name) => {
+                let tys: Vec<Ty> = args.iter().map(|a| lexpr_ty(a, env)).collect();
+                intrinsic_ty(name, &tys)
+            }
+            None => Ty::Unknown,
+        },
+        LExpr::Unary { op, operand } => unop_ty(*op, &lexpr_ty(operand, env)),
+        LExpr::Binary { op, lhs, rhs } => {
+            binop_ty(*op, &lexpr_ty(lhs, env), &lexpr_ty(rhs, env))
+        }
+    }
+}
+
+pub(crate) fn operand_ty(o: &Operand, env: &ProcTyEnv) -> Ty {
+    match o {
+        Operand::Const(v) => Ty::of_scalar_type(v.ty()),
+        Operand::Var(slot) => env.scalars[*slot as usize].clone(),
+        Operand::Hoisted(slot) => env.hoists[*slot as usize].clone(),
+        Operand::Load { slot, .. } => env.arrays[*slot as usize].clone(),
+        Operand::LoadErr { .. } => Ty::Unknown,
+        Operand::Un { op, operand } => unop_ty(*op, &operand_ty(operand, env)),
+        Operand::Bin { op, a, b } => binop_ty(*op, &operand_ty(a, env), &operand_ty(b, env)),
+        Operand::Intr { op, args, .. } => match intr_rule_name(*op) {
+            Some(name) => {
+                let tys: Vec<Ty> = args.iter().map(|a| operand_ty(a, env)).collect();
+                intrinsic_ty(name, &tys)
+            }
+            None => Ty::Unknown,
+        },
+    }
+}
+
+/// Classify one chain. `Real` needs only the *first* operand to be a
+/// real and every operator to be `+ - * /`: once the accumulator is
+/// real, `eval_binop` promotes any right operand — so the typed f64 loop
+/// is bit-identical regardless of the operands' tags. `Int` needs every
+/// operand provably integer and operators within `+ - *` (integer
+/// division and `**` can error and stay on the general path).
+pub(crate) fn chain_mono(first: &Operand, rest: &[(BinOp, Operand)], env: &ProcTyEnv) -> ChainTy {
+    use BinOp::*;
+    if rest.is_empty() {
+        // A bare store: no operator dispatch to skip.
+        return ChainTy::Dyn;
+    }
+    let first_ty = operand_ty(first, env);
+    if first_ty == Ty::Real && rest.iter().all(|(op, _)| matches!(op, Add | Sub | Mul | Div)) {
+        return ChainTy::Real;
+    }
+    if first_ty == Ty::Int
+        && rest.iter().all(|(op, o)| {
+            matches!(op, Add | Sub | Mul) && operand_ty(o, env) == Ty::Int
+        })
+    {
+        return ChainTy::Int;
+    }
+    ChainTy::Dyn
+}
+
+/// Annotate every chain instruction in `proc` with its monomorphism
+/// verdict. Returns `(typed, dynamic)` chain counts.
+pub(crate) fn annotate_proc(proc: &mut LProc) -> (usize, usize) {
+    let mut env = ProcTyEnv::new(proc);
+    let mut counts = (0usize, 0usize);
+    let mut body = std::mem::take(&mut proc.body);
+    annotate_stmts(&mut body, &mut env, &mut counts);
+    proc.body = body;
+    counts
+}
+
+fn annotate_stmts(stmts: &mut [LStmt], env: &mut ProcTyEnv, counts: &mut (usize, usize)) {
+    for s in stmts {
+        match s {
+            LStmt::Do { body, hoists, .. } => {
+                // Hoists evaluate at loop entry, before the body — type
+                // them first so body chains can use their slots.
+                for h in hoists.iter() {
+                    let t = lexpr_ty(&h.expr, env);
+                    env.hoists[h.slot as usize] = t;
+                }
+                annotate_stmts(body, env, counts);
+            }
+            LStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                annotate_stmts(then_body, env, counts);
+                annotate_stmts(else_body, env, counts);
+            }
+            LStmt::Block { code, .. } => {
+                for ins in code {
+                    match ins {
+                        Instr::ChainScalar {
+                            first, rest, mono, ..
+                        }
+                        | Instr::ChainArray {
+                            first, rest, mono, ..
+                        } => {
+                            *mono = chain_mono(first, rest, env);
+                            if *mono == ChainTy::Dyn {
+                                counts.1 += 1;
+                            } else {
+                                counts.0 += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn count_chains(stmts: &[LStmt], counts: &mut (usize, usize)) {
+    for s in stmts {
+        match s {
+            LStmt::Do { body, .. } => count_chains(body, counts),
+            LStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                count_chains(then_body, counts);
+                count_chains(else_body, counts);
+            }
+            LStmt::Block { code, .. } => {
+                for ins in code {
+                    if let Instr::ChainScalar { mono, .. } | Instr::ChainArray { mono, .. } = ins
+                    {
+                        if *mono == ChainTy::Dyn {
+                            counts.1 += 1;
+                        } else {
+                            counts.0 += 1;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Infer slot-level types for `program` and report how many chain
+/// instructions the optimizer could specialize. Runs the same lowering
+/// and optimization pipeline as execution (with default options), so the
+/// counts are exactly what [`crate::run_program`] runs.
+pub fn analyze_types(program: &fir::ast::Program) -> Result<TypeReport, fir::Errors> {
+    fir::validate::validate(program)?;
+    let mut lowered = crate::lower::lower(program);
+    crate::opt::optimize(&mut lowered, &crate::cost::Options::default());
+    Ok(report_of(&lowered))
+}
+
+fn report_of(program: &LProgram) -> TypeReport {
+    let mut report = TypeReport::default();
+    for proc in &program.procs {
+        let env = ProcTyEnv::new(proc);
+        let mut counts = (0usize, 0usize);
+        count_chains(&proc.body, &mut counts);
+        report.procs.push(ProcTypes {
+            name: proc.name.clone(),
+            scalars: proc
+                .scalar_names
+                .iter()
+                .cloned()
+                .zip(env.scalars.iter().cloned())
+                .collect(),
+            arrays: proc
+                .array_names
+                .iter()
+                .cloned()
+                .zip(env.arrays.iter().map(|t| Ty::Array(Box::new(t.clone()))))
+                .collect(),
+            chains_typed: counts.0,
+            chains_dyn: counts.1,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_chains_are_typed() {
+        let src = "program m\n\
+                   real :: a(16)\n\
+                   do i = 1, 16\n\
+                   t = 0.0\n\
+                   do j = 1, 8\n\
+                   t = t + i * j + 0.5\n\
+                   end do\n\
+                   a(i) = t * 0.5 + i\n\
+                   end do\n\
+                   end program";
+        let program = fir::parse_validated(src).unwrap();
+        let report = analyze_types(&program).unwrap();
+        assert!(
+            report.chains_typed() > 0,
+            "real accumulator chains should specialize: {report:?}"
+        );
+        let main = &report.procs[0];
+        let t = main.scalars.iter().find(|(n, _)| n == "t").unwrap();
+        assert_eq!(t.1, Ty::Real);
+        let i = main.scalars.iter().find(|(n, _)| n == "i").unwrap();
+        assert_eq!(i.1, Ty::Int);
+        let a = main.arrays.iter().find(|(n, _)| n == "a").unwrap();
+        assert_eq!(a.1, Ty::Array(Box::new(Ty::Real)));
+    }
+
+    #[test]
+    fn integer_division_chain_stays_dynamic() {
+        // i / j can raise "integer division by zero" — the typed int loop
+        // excludes Div, so this chain must stay on the general path.
+        let src = "program m\n\
+                   integer :: k(8)\n\
+                   do i = 1, 8\n\
+                   k(i) = i * 3 - i / 2\n\
+                   end do\n\
+                   end program";
+        let program = fir::parse_validated(src).unwrap();
+        let report = analyze_types(&program).unwrap();
+        assert_eq!(report.chains_typed(), 0, "{report:?}");
+    }
+
+    #[test]
+    fn type_report_is_monomorphic_per_slot() {
+        let src = "program m\n\
+                   x = 1.5\n\
+                   n = 3\n\
+                   end program";
+        let program = fir::parse_validated(src).unwrap();
+        let report = analyze_types(&program).unwrap();
+        let main = &report.procs[0];
+        // Implicit typing: x -> real, n -> integer.
+        assert!(main.scalars.iter().any(|(n, t)| n == "x" && *t == Ty::Real));
+        assert!(main.scalars.iter().any(|(n, t)| n == "n" && *t == Ty::Int));
+    }
+}

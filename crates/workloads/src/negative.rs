@@ -177,6 +177,155 @@ end program
     ]
 }
 
+/// A program the *static communication verifier* (`analyzer`) must
+/// reject, with the pinned diagnostic code it must produce. Distinct from
+/// [`cases`]: those programs make the transformation decline; these are
+/// hand-broken communication patterns the analyzer must catch in anything
+/// the pipeline is asked to certify.
+pub struct AnalyzerCase {
+    pub name: &'static str,
+    pub source: String,
+    /// The diagnostic code (e.g. `"A003"`) the analyzer must report.
+    /// Golden-tested: the code is part of the tool's contract.
+    pub expect_code: &'static str,
+}
+
+/// Communication-safety negative corpus, sized for `np` ranks. One case
+/// per diagnostic class the verifier can produce.
+pub fn analyzer_cases(np: usize) -> Vec<AnalyzerCase> {
+    let n = np * 8;
+    vec![
+        AnalyzerCase {
+            // The isend is posted per peer but the final waitall is
+            // missing: the send is still in flight at program end.
+            name: "a001-unwaited-isend",
+            source: format!(
+                "\
+program main
+  real :: as({n})
+  do ix = 1, {n}
+    as(ix) = ix * 0.5
+  end do
+  call mpi_isend(as(1:8), 8, mod(mynum + 1, np), 7)
+end program
+"
+            ),
+            expect_code: "A001",
+        },
+        AnalyzerCase {
+            // The irecv has no matching wait of any kind.
+            name: "a002-unwaited-irecv",
+            source: format!(
+                "\
+program main
+  real :: ar({n})
+  call mpi_irecv(ar(1:8), 8, mod(np + mynum - 1, np), 7)
+end program
+"
+            ),
+            expect_code: "A002",
+        },
+        AnalyzerCase {
+            // The compute loop keeps writing the first slot of `as`
+            // after the isend posted that very region.
+            name: "a003-overwrite-inflight-send",
+            source: format!(
+                "\
+program main
+  real :: as({n})
+  do ix = 1, {n}
+    as(ix) = ix * 0.5
+  end do
+  call mpi_isend(as(1:8), 8, mod(mynum + 1, np), 7)
+  do ix = 1, 8
+    as(ix) = 0.0
+  end do
+  call mpi_waitall()
+end program
+"
+            ),
+            expect_code: "A003",
+        },
+        AnalyzerCase {
+            // Reads the receive buffer before the wait: the value raced
+            // with the network.
+            name: "a004-read-inflight-recv",
+            source: format!(
+                "\
+program main
+  real :: ar({n})
+  real :: acc({n})
+  call mpi_irecv(ar(1:8), 8, mod(np + mynum - 1, np), 7)
+  do ix = 1, 8
+    acc(ix) = ar(ix)
+  end do
+  call mpi_waitall()
+end program
+"
+            ),
+            expect_code: "A004",
+        },
+        AnalyzerCase {
+            // Only rank 0 enters the barrier: every other rank deadlocks.
+            name: "a005-rank-divergent-barrier",
+            source: format!(
+                "\
+program main
+  real :: as({n})
+  do ix = 1, {n}
+    as(ix) = ix
+  end do
+  if (mynum == 0) then
+    call mpi_barrier()
+  end if
+end program
+"
+            ),
+            expect_code: "A005",
+        },
+        AnalyzerCase {
+            // The condition reads array contents the analysis cannot
+            // track, and one arm posts a send the other does not — the
+            // pending-communication state differs across the join.
+            name: "a006-one-sided-isend-branch",
+            source: format!(
+                "\
+program main
+  integer :: k(1)
+  real :: as({n})
+  if (k(1) == 1) then
+    call mpi_isend(as(1:8), 8, mod(mynum + 1, np), 7)
+  end if
+  call mpi_waitall()
+end program
+"
+            ),
+            expect_code: "A006",
+        },
+        AnalyzerCase {
+            // The comm loop's trip count comes from array contents the
+            // analysis does not track, so the verifier cannot enumerate
+            // the posts. (A never-written *scalar* bound would be exactly
+            // zero under the deterministic-zero convention — array reads
+            // are the genuinely unverifiable case.)
+            name: "a007-unverifiable-comm-loop-bound",
+            source: format!(
+                "\
+program main
+  integer :: k(1)
+  real :: as({n})
+  do iy = 1, k(1)
+    call mpi_isend(as(1:8), 8, mod(mynum + iy, np), 7)
+  end do
+  call mpi_waitall()
+end program
+"
+            ),
+            expect_code: "A007",
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +342,19 @@ mod tests {
     #[test]
     fn case_count_stable() {
         assert_eq!(cases(4).len(), 9);
+    }
+
+    #[test]
+    fn all_analyzer_cases_parse_and_validate() {
+        for c in analyzer_cases(4) {
+            fir::parse_validated(&c.source).unwrap_or_else(|e| {
+                panic!("analyzer case `{}` is invalid: {e}", c.name)
+            });
+        }
+    }
+
+    #[test]
+    fn analyzer_case_count_stable() {
+        assert_eq!(analyzer_cases(4).len(), 7);
     }
 }

@@ -32,6 +32,33 @@ cargo run --release -q -p overlap-bench --bin harness -- quick \
 # ROADMAP's tracked perf trajectory. Refresh the current PR's file with:
 #   cp target/BENCH_sweep_wall.json perf/PR<N>_quick_wall.json
 
+echo "==> harness analyze: registry x {orig,prepush} x models must verify clean"
+# Static communication-safety verification + type inference over every
+# program the pipeline ships or emits. Any diagnostic (unwaited isend,
+# in-flight buffer touched, rank-divergent collective, ...) exits 1 here.
+cargo run --release -q -p overlap-bench --bin harness -- analyze
+
+echo "==> determinism lints: no wall-clock or unordered iteration in sim paths"
+# The simulator's virtual times are byte-reproducible across hosts and
+# runs. Two classes of bug quietly break that: reading the host clock
+# inside simulation code, and iterating a HashMap (arbitrary order) where
+# the order can reach scheduling or output. Keyed HashMap *lookups* are
+# fine — files on the allowlist below are audited to only do lookups.
+if grep -rn "std::time::Instant\|std::time::SystemTime" \
+    crates/clustersim/src crates/interp/src; then
+  echo "determinism lint FAILED: host clock read inside simulator/interpreter code"
+  exit 1
+fi
+hashmap_hits=$(grep -rln "HashMap" crates/clustersim/src crates/interp/src \
+  | grep -v -e '^crates/clustersim/src/state.rs$' -e '^crates/interp/src/lower.rs$' \
+  || true)
+if [ -n "$hashmap_hits" ]; then
+  echo "determinism lint FAILED: HashMap outside the audited allowlist:"
+  echo "$hashmap_hits"
+  echo "(use BTreeMap/Vec, or audit the file for lookup-only use and extend the allowlist)"
+  exit 1
+fi
+
 echo "==> scenario-file smoke: quick grid from scenarios/quick.toml"
 # The declarative grid must drive the harness to the *byte-identical*
 # artifact the compiled-in quick grid produces — the committed

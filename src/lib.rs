@@ -20,6 +20,11 @@
 //! - [`workloads`] — parameterized mini-Fortran programs used by the paper's
 //!   evaluation and our extensions, enumerable by name via
 //!   [`workloads::registry`].
+//! - [`analyze`] — static analysis over emitted programs: slot-level type
+//!   inference (feeding `interp`'s typed chain instructions) and
+//!   rank-parametric communication-safety verification (every
+//!   `mpi_isend`/`mpi_irecv` waited on all paths, no in-flight buffer
+//!   touched, collectives rank-consistent).
 //! - [`sweep`] — the declarative scenario-sweep engine: cartesian grids
 //!   over (workload, np, model, K, variant), a work-stealing parallel
 //!   executor, and the `BENCH_sweep.json` artifact reader/writer.
@@ -49,6 +54,7 @@
 //! assert_eq!(base.outputs, pre.outputs); // identical results (paper §4)
 //! ```
 
+pub use analyzer as analyze;
 pub use clustersim;
 pub use compuniformer;
 pub use depan;
@@ -59,5 +65,5 @@ pub use workloads;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use crate::{clustersim, compuniformer, depan, fir, interp, sweep, workloads};
+    pub use crate::{analyze, clustersim, compuniformer, depan, fir, interp, sweep, workloads};
 }

@@ -1,0 +1,135 @@
+//! The static analyzer's external contract:
+//!
+//! 1. the hand-broken negative corpus is rejected with its *pinned*
+//!    diagnostic codes (golden — the codes are part of the tool's
+//!    interface, scripts grep for them);
+//! 2. every program the pipeline emits — registry × rank counts ×
+//!    original/pre-push — verifies clean;
+//! 3. the typed-chain specialization is invisible: virtual times,
+//!    per-rank stats, and outputs are byte-identical with it on or off.
+
+use overlap_suite::analyze::{verify_comm, CommCheckConfig};
+use overlap_suite::sweep::{analyze_registry, ModelSpec};
+use proptest::prelude::*;
+use workloads::SizeClass;
+
+#[test]
+fn negative_corpus_is_rejected_with_pinned_codes() {
+    for np in [2usize, 4, 8] {
+        for case in workloads::negative::analyzer_cases(np) {
+            let program = fir::parse_validated(&case.source).unwrap_or_else(|e| {
+                panic!("case `{}` must parse: {}", case.name, e.render(&case.source))
+            });
+            let report = verify_comm(&program, &CommCheckConfig::new(np as i64));
+            assert!(
+                !report.is_clean(),
+                "case `{}` (np={np}) must be rejected",
+                case.name
+            );
+            let codes: Vec<&str> = report
+                .diagnostics
+                .iter()
+                .map(|d| d.code.as_str())
+                .collect();
+            assert!(
+                codes.iter().all(|c| *c == case.expect_code),
+                "case `{}` (np={np}) must pin {}, got {:?}:\n{}",
+                case.name,
+                case.expect_code,
+                codes,
+                report.render_human(&case.source)
+            );
+        }
+    }
+}
+
+#[test]
+fn negative_corpus_diagnostics_name_the_offending_line() {
+    // Rendering must point into the *case's own source* — a span of 0..0
+    // (or one past the end) would mean the analyzer lost provenance.
+    for case in workloads::negative::analyzer_cases(4) {
+        let program = fir::parse_validated(&case.source).unwrap();
+        let report = verify_comm(&program, &CommCheckConfig::new(4));
+        for d in &report.diagnostics {
+            assert!(
+                d.span.end > d.span.start && d.span.end as usize <= case.source.len(),
+                "case `{}`: diagnostic span {:?} does not point into the source",
+                case.name,
+                d.span
+            );
+        }
+        let rendered = report.render_human(&case.source);
+        assert!(
+            rendered.contains(case.expect_code),
+            "case `{}`: rendering must show the code:\n{rendered}",
+            case.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    /// Every program the pipeline emits is analyzer-clean: all registry
+    /// workloads, original and pre-push, under every preset model, across
+    /// sampled rank counts.
+    #[test]
+    fn emitted_programs_are_analyzer_clean(np in prop::sample::select(vec![2usize, 4, 8])) {
+        for row in analyze_registry(SizeClass::Small, np, &ModelSpec::presets()) {
+            prop_assert!(
+                row.is_clean(),
+                "{} has diagnostics:\n{}",
+                row.label(),
+                row.report.render_human(&row.source)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    /// Typed chains are a pure dispatch optimization: turning them off
+    /// changes nothing observable — same outputs, same per-rank virtual
+    /// times, same stats — on original and pre-push programs alike.
+    #[test]
+    fn typed_chains_are_byte_identical(
+        idx in 0usize..8,
+        np in prop::sample::select(vec![2usize, 4]),
+        prepush in any::<bool>(),
+    ) {
+        let entry = &workloads::registry()[idx];
+        let w = (entry.make)(SizeClass::Small, np);
+        let model = clustersim::NetworkModel::mpich_gm();
+        let program = if prepush {
+            overlap_suite::sweep::transform_workload(w.as_ref(), &model, None).program
+        } else {
+            w.program()
+        };
+
+        let on = interp::Options {
+            typed_chains: true,
+            ..Default::default()
+        };
+        let off = interp::Options {
+            typed_chains: false,
+            ..on.clone()
+        };
+
+        let a = interp::run_program_opts(&program, np, &model, &on).unwrap();
+        let b = interp::run_program_opts(&program, np, &model, &off).unwrap();
+        prop_assert_eq!(&a.outputs, &b.outputs, "{} outputs differ", entry.name);
+        prop_assert_eq!(
+            &a.report.per_rank, &b.report.per_rank,
+            "{} virtual-time stats differ", entry.name
+        );
+    }
+}
