@@ -1,13 +1,25 @@
-//! The cluster runner: executes one task per simulated rank on the
-//! persistent [`crate::pool`] (rank 0 on the calling thread, the rest on
-//! reusable pool workers) and collects results, statistics, and traces.
+//! The cluster runner. Two execution engines share one accounting core:
+//!
+//! - [`Cluster::run`] — thread-per-rank: one task per simulated rank on the
+//!   persistent [`crate::pool`] (rank 0 on the calling thread, the rest on
+//!   reusable pool workers), ranks block on condvars. Kept as the
+//!   differential reference, the way `single_lock_reference` preserves the
+//!   historical state backend.
+//! - [`Cluster::run_resumable`] — M worker threads drive `np`
+//!   [`RankMachine`]s through a runnable queue ([`crate::sched`]); a rank
+//!   that cannot progress parks its *state*, not an OS thread, so any `np`
+//!   runs on a fixed worker count.
+//!
+//! Both produce byte-identical results, statistics, and traces (pinned by
+//! the differential suites; argument in DESIGN.md §3).
 
 use crate::comm::Comm;
 use crate::model::NetworkModel;
 use crate::pool;
-use crate::state::Shared;
-use crate::stats::Report;
-use crate::trace::Trace;
+use crate::sched::{ParkOutcome, RankSched};
+use crate::state::{Shared, WakeEvent};
+use crate::stats::{RankStats, Report};
+use crate::trace::{Event, Trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
@@ -38,6 +50,29 @@ pub struct RunOutput<R> {
     pub report: Report,
     /// Present when the cluster was built with tracing enabled.
     pub trace: Option<Trace>,
+}
+
+/// One quantum of resumable-rank progress.
+pub enum Step<R> {
+    /// The rank hit a blocking point whose condition isn't met yet; park it
+    /// and re-step when a wake arrives.
+    Blocked,
+    /// The rank ran to completion.
+    Done(R),
+}
+
+/// A rank as a resumable state machine: `step` runs until the program
+/// either finishes or reaches a communication point that cannot progress
+/// (an unmatched wait, an incomplete collective). The machine owns all
+/// suspended execution state — frames, pc, pending operations — and `step`
+/// is re-entered with the same `Comm` after a wake.
+///
+/// Contract: a `Blocked` return must leave the rank's virtual clock
+/// untouched relative to the eventual completion — i.e. polling must be
+/// free. The `Comm` poll methods guarantee this by construction.
+pub trait RankMachine {
+    type Out: Send;
+    fn step(&mut self, comm: &mut Comm) -> Step<Self::Out>;
 }
 
 /// A simulated cluster: `np` ranks over one [`NetworkModel`].
@@ -126,38 +161,178 @@ impl Cluster {
             .into_iter()
             .map(|s| s.into_inner().unwrap())
             .collect();
+        gather(self.np, traced, slots)
+    }
 
-        // Prefer the root-cause error over secondary "aborted: another
-        // rank failed" panics from poisoned peers.
-        if slots.iter().any(|s| matches!(s, Some(Err(_)))) {
-            let mut fallback = None;
-            for slot in slots {
-                if let Some(Err(e)) = slot {
-                    let SimError::RankPanic { message, .. } = &e;
-                    if !message.contains("aborted: another rank failed") {
-                        return Err(e);
+    /// Run `np` resumable rank machines on a bounded worker set. `mk`
+    /// constructs each rank's machine (called on the calling thread, in
+    /// rank order). `workers` caps the drivers; `None` means
+    /// `min(np, available cores)`. The calling thread always participates,
+    /// and extra drivers join only as non-blocking pool tickets allow — so
+    /// a run makes progress with zero tickets and never waits on admission.
+    ///
+    /// Worker count and host scheduling cannot change any result byte:
+    /// see `sched.rs` module docs and DESIGN.md §3.
+    pub fn run_resumable<M, F>(
+        &self,
+        workers: Option<usize>,
+        mk: F,
+    ) -> Result<RunOutput<M::Out>, SimError>
+    where
+        M: RankMachine + Send,
+        F: Fn(&mut Comm) -> M,
+    {
+        let shared = Arc::new(if self.single_lock {
+            Shared::new_single_lock(self.np, self.model.clone())
+        } else {
+            Shared::new(self.np, self.model.clone())
+        });
+        let sched = Arc::new(RankSched::new(self.np));
+        {
+            let sched = Arc::clone(&sched);
+            shared.set_waker(Arc::new(move |ev| match ev {
+                WakeEvent::One(rank) => sched.wake(rank),
+                WakeEvent::All => sched.wake_all(),
+            }));
+        }
+
+        struct RankCell<M> {
+            machine: M,
+            comm: Comm,
+        }
+        // One cell per rank. The scheduler hands a rank to exactly one
+        // worker at a time, so these locks are uncontended; they exist to
+        // move ownership soundly between workers.
+        let cells: Vec<Mutex<Option<RankCell<M>>>> = (0..self.np)
+            .map(|rank| {
+                let mut comm = Comm::new(Arc::clone(&shared), rank, self.traced);
+                let machine = mk(&mut comm);
+                Mutex::new(Some(RankCell { machine, comm }))
+            })
+            .collect();
+        type Slot<R> = Mutex<Option<Result<(R, RankStats, Vec<Event>), SimError>>>;
+        let slots: Vec<Slot<M::Out>> = (0..self.np).map(|_| Mutex::new(None)).collect();
+
+        let worker = || {
+            while let Some(rank) = sched.next() {
+                let mut guard = cells[rank]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let cell = guard.as_mut().expect("scheduled rank has a live machine");
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    match cell.machine.step(&mut cell.comm) {
+                        Step::Done(out) => {
+                            let (stats, events) = cell.comm.finish();
+                            Some((out, stats, events))
+                        }
+                        Step::Blocked => None,
                     }
-                    fallback.get_or_insert(e);
+                }));
+                match stepped {
+                    Ok(None) => {
+                        drop(guard);
+                        if sched.park(rank) == ParkOutcome::Deadlock {
+                            // Quiescence: nothing queued, nothing running,
+                            // live ranks remain. Requeue them all; each
+                            // aborts at its next poll with a diagnostic.
+                            shared.mark_deadlocked();
+                        }
+                    }
+                    Ok(Some(done)) => {
+                        *slots[rank]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Ok(done));
+                        guard.take();
+                        drop(guard);
+                        sched.done(rank);
+                    }
+                    Err(payload) => {
+                        // The worker thread itself isn't unwinding, so the
+                        // Comm drop can't poison for us — do it explicitly
+                        // to abort peers (which also wakes parked ranks).
+                        shared.poison();
+                        *slots[rank]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some(Err(SimError::RankPanic {
+                                rank,
+                                message: panic_message(payload),
+                            }));
+                        guard.take();
+                        drop(guard);
+                        sched.done(rank);
+                    }
                 }
             }
-            return Err(fallback.expect("checked an error exists"));
-        }
+        };
 
-        let mut results = Vec::with_capacity(self.np);
-        let mut report = Report::default();
-        let mut traces = Vec::with_capacity(self.np);
-        for slot in slots {
-            let (result, stats, events) = slot.expect("every rank joined")?;
-            results.push(result);
-            report.per_rank.push(stats);
-            traces.push(events);
-        }
-        Ok(RunOutput {
-            results,
-            report,
-            trace: traced.then(|| Trace::merged(traces)),
-        })
+        // The caller always drives; extra workers join only as free tickets
+        // allow (never blocking on admission — oversize grids keep moving).
+        let want = workers
+            .unwrap_or_else(|| default_workers(self.np))
+            .clamp(1, self.np.max(1));
+        let tickets = pool::Tickets::try_acquire_up_to(want - 1);
+        let helpers = tickets.granted();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+            (0..helpers + 1).map(|_| Box::new(&worker) as _).collect();
+        pool::scope_helpers(tasks);
+        drop(tickets);
+
+        let slots: Vec<Option<Result<_, SimError>>> = slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+            .collect();
+        gather(self.np, self.traced, slots)
     }
+}
+
+/// Default driver count for resumable runs: one per core, never more than
+/// ranks. With the sweep executor running scenarios in parallel, scenario-
+/// level concurrency usually saturates the machine already.
+fn default_workers(np: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(np)
+        .max(1)
+}
+
+/// Collect per-rank slots into a [`RunOutput`], preferring the root-cause
+/// error over secondary "aborted: another rank failed" panics from
+/// poisoned peers.
+#[allow(clippy::type_complexity)]
+fn gather<R>(
+    np: usize,
+    traced: bool,
+    slots: Vec<Option<Result<(R, RankStats, Vec<Event>), SimError>>>,
+) -> Result<RunOutput<R>, SimError> {
+    if slots.iter().any(|s| matches!(s, Some(Err(_)))) {
+        let mut fallback = None;
+        for slot in slots {
+            if let Some(Err(e)) = slot {
+                let SimError::RankPanic { message, .. } = &e;
+                if !message.contains("aborted: another rank failed") {
+                    return Err(e);
+                }
+                fallback.get_or_insert(e);
+            }
+        }
+        return Err(fallback.expect("checked an error exists"));
+    }
+
+    let mut results = Vec::with_capacity(np);
+    let mut report = Report::default();
+    let mut traces = Vec::with_capacity(np);
+    for slot in slots {
+        let (result, stats, events) = slot.expect("every rank joined")?;
+        results.push(result);
+        report.per_rank.push(stats);
+        traces.push(events);
+    }
+    Ok(RunOutput {
+        results,
+        report,
+        trace: traced.then(|| Trace::merged(traces)),
+    })
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

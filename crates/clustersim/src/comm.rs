@@ -33,6 +33,16 @@ struct PendingRecv {
     key: MsgKey,
 }
 
+/// A collective this rank has joined (`*_begin`) but not yet completed —
+/// the saved inputs the matching `poll_*` needs to reproduce the blocking
+/// path's post-completion accounting bit-for-bit.
+struct PendingColl {
+    kind: CollectiveKind,
+    idx: u64,
+    entry: SimTime,
+    bytes_per: usize,
+}
+
 /// One rank's endpoint into the simulated cluster.
 pub struct Comm {
     shared: Arc<Shared>,
@@ -43,6 +53,8 @@ pub struct Comm {
     /// NIC-done times of sends not yet waited on.
     outstanding_sends: Vec<SimTime>,
     collective_idx: u64,
+    /// Collective joined but not yet completed (resumable mode only).
+    pending_coll: Option<PendingColl>,
     stats: RankStats,
     trace: Option<Vec<Event>>,
 }
@@ -57,6 +69,7 @@ impl Comm {
             pending_recvs: Vec::new(),
             outstanding_sends: Vec::new(),
             collective_idx: 0,
+            pending_coll: None,
             stats: RankStats {
                 rank,
                 ..Default::default()
@@ -218,10 +231,33 @@ impl Comm {
         });
     }
 
-    /// Wait for all outstanding sends (NIC drained — buffers reusable) and
-    /// all posted receives. This is `mpi_waitall`.
-    pub fn wait_all(&mut self) -> Vec<(RecvId, Bytes)> {
-        let out = self.wait_all_recvs();
+    /// Non-blocking [`Comm::wait_all_recvs`]: complete all posted receives
+    /// if every one of them already has a message, else `None` with nothing
+    /// consumed. On success the matching, NIC serialization, clock jump,
+    /// stats, and trace events are the blocking path's own code on the same
+    /// inputs — and since a parked rank's clock does not move, the values
+    /// are byte-identical no matter how many polls returned `None` first.
+    pub fn poll_wait_all_recvs(&mut self) -> Option<Vec<(RecvId, Bytes)>> {
+        self.shared
+            .check_aborts(self.rank, "waiting for posted receives");
+        if self.pending_recvs.is_empty() {
+            return Some(Vec::new());
+        }
+        let keys: Vec<MsgKey> = self.pending_recvs.iter().map(|p| p.key).collect();
+        let matched = self.shared.try_match_all(self.rank, &keys)?;
+        let pendings = std::mem::take(&mut self.pending_recvs);
+        let mut out = Vec::with_capacity(pendings.len());
+        for (p, (arrival, payload)) in pendings.into_iter().zip(matched) {
+            self.absorb_arrival(arrival, p.key, &payload);
+            out.push((p.id, payload));
+        }
+        Some(out)
+    }
+
+    /// Drain all outstanding sends (NIC done — buffers reusable): the send
+    /// half of `mpi_waitall`. Purely local — the drain times were fixed at
+    /// `isend` time — so it never blocks and needs no poll counterpart.
+    pub fn drain_sends(&mut self) {
         let drained = self
             .outstanding_sends
             .drain(..)
@@ -231,13 +267,26 @@ impl Comm {
             self.clock = drained;
         }
         self.emit(EventKind::SendsDrained { until: drained });
+    }
+
+    /// Wait for all outstanding sends (NIC drained — buffers reusable) and
+    /// all posted receives. This is `mpi_waitall`.
+    pub fn wait_all(&mut self) -> Vec<(RecvId, Bytes)> {
+        let out = self.wait_all_recvs();
+        self.drain_sends();
         out
     }
 
-    /// Blocking all-to-all exchange: `payload_per_dst[d]` goes to rank `d`
-    /// (the self-slot is copied through without network cost). Returns one
-    /// payload per source rank. All ranks must call in matching order.
-    pub fn alltoall(&mut self, payload_per_dst: Vec<Bytes>) -> Vec<Bytes> {
+    /// Join an alltoall: fixes the entry clock and sequence index, registers
+    /// the payloads, and remembers what the completion accounting needs.
+    /// Shared by the blocking [`Comm::alltoall`] and the resumable
+    /// [`Comm::poll_alltoall`], so both attribute identical costs.
+    pub fn alltoall_begin(&mut self, payload_per_dst: Vec<Bytes>) {
+        assert!(
+            self.pending_coll.is_none(),
+            "collective already in flight on rank {}",
+            self.rank
+        );
         assert_eq!(
             payload_per_dst.len(),
             self.np(),
@@ -253,15 +302,25 @@ impl Comm {
         let entry = self.clock;
         let idx = self.collective_idx;
         self.collective_idx += 1;
-        let (completion, payloads) = self.shared.collective(
+        self.shared.collective_begin(
             CollectiveKind::Alltoall,
             idx,
             self.rank,
             entry,
             payload_per_dst,
         );
-        // Attribute the collective's cost: the CPU part of this rank's own
-        // pairwise exchanges is comm_cpu; the rest of the jump is blocked.
+        self.pending_coll = Some(PendingColl {
+            kind: CollectiveKind::Alltoall,
+            idx,
+            entry,
+            bytes_per,
+        });
+    }
+
+    /// Post-completion accounting for an alltoall: the CPU part of this
+    /// rank's own pairwise exchanges is comm_cpu; the rest of the jump is
+    /// blocked.
+    fn absorb_alltoall(&mut self, entry: SimTime, bytes_per: usize, completion: SimTime) {
         let np = self.np() as u64;
         let per_pair =
             self.shared.model.send_cpu(bytes_per) + self.shared.model.recv_cpu(bytes_per);
@@ -281,25 +340,83 @@ impl Comm {
             bytes_per_partner: bytes_per,
             completion,
         });
+    }
+
+    /// Non-blocking completion check for an [`Comm::alltoall_begin`]: takes
+    /// this rank's share once the last arriver computed it. The clock does
+    /// not move while parked (`entry` was saved at the begin), so the
+    /// accounting equals the blocking path's byte-for-byte.
+    pub fn poll_alltoall(&mut self) -> Option<Vec<Bytes>> {
+        self.shared.check_aborts(self.rank, "in an alltoall");
+        let pc = self
+            .pending_coll
+            .as_ref()
+            .expect("poll_alltoall without alltoall_begin");
+        debug_assert_eq!(pc.kind, CollectiveKind::Alltoall);
+        let (completion, payloads) = self.shared.try_collective_take(pc.idx, self.rank)?;
+        let pc = self.pending_coll.take().expect("checked above");
+        self.absorb_alltoall(pc.entry, pc.bytes_per, completion);
+        Some(payloads)
+    }
+
+    /// Blocking all-to-all exchange: `payload_per_dst[d]` goes to rank `d`
+    /// (the self-slot is copied through without network cost). Returns one
+    /// payload per source rank. All ranks must call in matching order.
+    pub fn alltoall(&mut self, payload_per_dst: Vec<Bytes>) -> Vec<Bytes> {
+        self.alltoall_begin(payload_per_dst);
+        let pc = self.pending_coll.take().expect("just set");
+        let (completion, payloads) = self.shared.collective_wait(pc.kind, pc.idx, self.rank);
+        self.absorb_alltoall(pc.entry, pc.bytes_per, completion);
         payloads
     }
 
-    /// Barrier: all ranks synchronize to the latest entry time (+`o`).
-    pub fn barrier(&mut self) {
+    /// Join a barrier (resumable counterpart of [`Comm::barrier`]).
+    pub fn barrier_begin(&mut self) {
+        assert!(
+            self.pending_coll.is_none(),
+            "collective already in flight on rank {}",
+            self.rank
+        );
         let entry = self.clock;
         let idx = self.collective_idx;
         self.collective_idx += 1;
-        let (completion, _) = self.shared.collective(
-            CollectiveKind::Barrier,
+        self.shared
+            .collective_begin(CollectiveKind::Barrier, idx, self.rank, entry, Vec::new());
+        self.pending_coll = Some(PendingColl {
+            kind: CollectiveKind::Barrier,
             idx,
-            self.rank,
             entry,
-            Vec::new(),
-        );
+            bytes_per: 0,
+        });
+    }
+
+    fn absorb_barrier(&mut self, completion: SimTime) {
         self.stats.blocked += completion.saturating_sub(self.clock);
         self.clock = completion.max(self.clock);
         self.stats.barriers += 1;
         self.emit(EventKind::Barrier { completion });
+    }
+
+    /// Non-blocking completion check for a [`Comm::barrier_begin`].
+    pub fn poll_barrier(&mut self) -> Option<()> {
+        self.shared.check_aborts(self.rank, "in a barrier");
+        let pc = self
+            .pending_coll
+            .as_ref()
+            .expect("poll_barrier without barrier_begin");
+        debug_assert_eq!(pc.kind, CollectiveKind::Barrier);
+        let (completion, _) = self.shared.try_collective_take(pc.idx, self.rank)?;
+        self.pending_coll = None;
+        self.absorb_barrier(completion);
+        Some(())
+    }
+
+    /// Barrier: all ranks synchronize to the latest entry time (+`o`).
+    pub fn barrier(&mut self) {
+        self.barrier_begin();
+        let pc = self.pending_coll.take().expect("just set");
+        let (completion, _) = self.shared.collective_wait(pc.kind, pc.idx, self.rank);
+        self.absorb_barrier(completion);
     }
 
     /// Number of receives posted but not yet waited on.

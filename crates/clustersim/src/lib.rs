@@ -36,12 +36,13 @@ pub mod comm;
 pub mod message;
 pub mod model;
 pub mod pool;
+mod sched;
 mod state;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use cluster::{Cluster, RunOutput, SimError};
+pub use cluster::{Cluster, RankMachine, RunOutput, SimError, Step};
 pub use pool::PoolStats;
 pub use comm::{Comm, RecvId};
 pub use model::NetworkModel;

@@ -35,7 +35,21 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Lock a pool mutex, recovering from poisoning. Pool bookkeeping is plain
+/// counters and queues whose invariants hold between statements, so a
+/// panic on some other thread while it held the lock cannot leave torn
+/// state — propagating the poison would instead convert one failed
+/// scenario into cascading panics across every unrelated sweep row.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Condvar wait with the same poison recovery as [`plock`].
+fn pwait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A lifetime-erased task plus its completion latch.
 struct Job {
@@ -114,9 +128,10 @@ pub fn set_capacity(n: usize) {
     let p = pool();
     // Store and notify under the tickets mutex: an `acquire` waiter sits
     // between its capacity load and `wait()` while holding this lock, so
-    // an unsynchronized notify could be lost and the new capacity would
-    // not take effect until the next ticket release.
-    let _guard = p.tickets.lock().unwrap();
+    // an unsynchronized notify could be lost and a capacity *increase*
+    // would not unblock an already-parked scenario until the next ticket
+    // release.
+    let _guard = plock(&p.tickets);
     p.capacity.store(n.max(1), Ordering::Relaxed);
     p.tickets_free.notify_all();
 }
@@ -124,8 +139,8 @@ pub fn set_capacity(n: usize) {
 /// Snapshot the pool counters.
 pub fn stats() -> PoolStats {
     let p = pool();
-    let st = p.state.lock().unwrap();
-    let tk = p.tickets.lock().unwrap();
+    let st = plock(&p.state);
+    let tk = plock(&p.tickets);
     PoolStats {
         workers_live: st.live,
         workers_high_water: st.high_water,
@@ -151,7 +166,7 @@ impl Latch {
     }
 
     fn complete_one(&self) {
-        let mut left = self.remaining.lock().unwrap();
+        let mut left = plock(&self.remaining);
         *left -= 1;
         if *left == 0 {
             self.done.notify_all();
@@ -159,9 +174,9 @@ impl Latch {
     }
 
     fn wait(&self) {
-        let mut left = self.remaining.lock().unwrap();
+        let mut left = plock(&self.remaining);
         while *left > 0 {
-            left = self.done.wait(left).unwrap();
+            left = pwait(&self.done, left);
         }
     }
 }
@@ -176,8 +191,10 @@ impl Drop for LatchWaitGuard<'_> {
     }
 }
 
-/// RAII ticket hold.
-struct Tickets(usize);
+/// RAII ticket hold. Dropping releases — including during unwinding, and
+/// even when a panic elsewhere poisoned the tickets mutex — so a failed
+/// scenario can never leak admission capacity.
+pub(crate) struct Tickets(usize);
 
 impl Tickets {
     fn acquire(n: usize) -> Tickets {
@@ -185,7 +202,7 @@ impl Tickets {
             return Tickets(0);
         }
         let p = pool();
-        let mut tk = p.tickets.lock().unwrap();
+        let mut tk = plock(&p.tickets);
         loop {
             let cap = p.capacity.load(Ordering::Relaxed);
             // Normal admission within capacity; an oversize scenario
@@ -195,8 +212,30 @@ impl Tickets {
                 tk.high_water = tk.high_water.max(tk.outstanding);
                 return Tickets(n);
             }
-            tk = p.tickets_free.wait(tk).unwrap();
+            tk = pwait(&p.tickets_free, tk);
         }
+    }
+
+    /// Take as many tickets as current headroom allows, up to `max`,
+    /// without ever blocking — possibly zero. Resumable runs use this to
+    /// size their helper-driver set opportunistically: the calling thread
+    /// always drives, so zero granted tickets still means progress.
+    pub(crate) fn try_acquire_up_to(max: usize) -> Tickets {
+        if max == 0 {
+            return Tickets(0);
+        }
+        let p = pool();
+        let mut tk = plock(&p.tickets);
+        let cap = p.capacity.load(Ordering::Relaxed);
+        let n = cap.saturating_sub(tk.outstanding).min(max);
+        tk.outstanding += n;
+        tk.high_water = tk.high_water.max(tk.outstanding);
+        Tickets(n)
+    }
+
+    /// How many tickets this hold actually acquired.
+    pub(crate) fn granted(&self) -> usize {
+        self.0
     }
 }
 
@@ -206,7 +245,7 @@ impl Drop for Tickets {
             return;
         }
         let p = pool();
-        let mut tk = p.tickets.lock().unwrap();
+        let mut tk = plock(&p.tickets);
         tk.outstanding -= self.0;
         drop(tk);
         p.tickets_free.notify_all();
@@ -215,7 +254,7 @@ impl Drop for Tickets {
 
 fn worker_loop() {
     let p = pool();
-    let mut st = p.state.lock().unwrap();
+    let mut st = plock(&p.state);
     loop {
         if let Some(job) = st.queue.pop_front() {
             st.tasks_run += 1;
@@ -226,10 +265,10 @@ fn worker_loop() {
             // bookkeeping so a worker never dies and a scope never hangs.
             let _ = catch_unwind(AssertUnwindSafe(run));
             latch.complete_one();
-            st = p.state.lock().unwrap();
+            st = plock(&p.state);
         } else {
             st.idle += 1;
-            st = p.work.wait(st).unwrap();
+            st = pwait(&p.work, st);
             st.idle -= 1;
         }
     }
@@ -238,7 +277,7 @@ fn worker_loop() {
 /// Enqueue jobs, growing the worker set so every queued job has a worker.
 fn submit(jobs: Vec<Job>) {
     let p = pool();
-    let mut st = p.state.lock().unwrap();
+    let mut st = plock(&p.state);
     for job in jobs {
         st.queue.push_back(job);
     }
@@ -394,5 +433,59 @@ mod tests {
         // No global tickets_outstanding == 0 assertion here: other tests
         // in this binary legitimately hold tickets concurrently. The
         // serialized end-to-end check lives in tests/core_scaling.rs.
+    }
+
+    /// Serializes the tests that mutate the global ticket capacity.
+    fn cap_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        plock(&LOCK)
+    }
+
+    #[test]
+    fn raising_capacity_unblocks_parked_admission() {
+        let _g = cap_lock();
+        let orig = capacity();
+        let cap = capacity();
+        // Saturate admission, so the next acquire must park.
+        let hold = Tickets::acquire(cap);
+        let unblocked = Arc::new(AtomicU64::new(0));
+        let waiter = {
+            let unblocked = Arc::clone(&unblocked);
+            std::thread::spawn(move || {
+                let _t = Tickets::acquire(1);
+                unblocked.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        // Give the waiter time to park, then raise the cap. Without the
+        // notify-under-the-tickets-mutex in `set_capacity`, the waiter
+        // would stay parked until some ticket release happens to nudge it
+        // — and none is coming: `hold` is alive until after the join.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(unblocked.load(Ordering::SeqCst), 0, "waiter parked");
+        set_capacity(cap + 2);
+        waiter.join().expect("waiter thread");
+        assert_eq!(unblocked.load(Ordering::SeqCst), 1);
+        drop(hold);
+        set_capacity(orig);
+    }
+
+    #[test]
+    fn try_acquire_up_to_never_blocks() {
+        let _g = cap_lock();
+        let orig = capacity();
+        // Plenty of headroom even with concurrent small scopes running.
+        set_capacity(orig + 64);
+        let t = Tickets::try_acquire_up_to(3);
+        assert_eq!(t.granted(), 3);
+        // Zero request → zero grant, no waiting.
+        assert_eq!(Tickets::try_acquire_up_to(0).granted(), 0);
+        // Shrink so there is no headroom at all: the call must return
+        // immediately with nothing rather than park.
+        set_capacity(1);
+        let starved = Tickets::try_acquire_up_to(5);
+        assert_eq!(starved.granted(), 0);
+        drop(starved);
+        drop(t);
+        set_capacity(orig);
     }
 }

@@ -1,0 +1,245 @@
+//! The resumable-rank scheduler: a runnable queue over rank indices.
+//!
+//! Thread-per-rank execution parks a whole OS thread on a condvar whenever
+//! a rank blocks. Here a rank is a *state machine* (see
+//! [`crate::cluster::RankMachine`]): when its poll cannot progress, the
+//! driving worker parks the rank's *index* and goes on to run someone else.
+//! `M` workers therefore drive any `np`.
+//!
+//! ## Lost-wakeup freedom
+//!
+//! The race to defeat: a worker polls rank R (not ready), and a deposit for
+//! R lands *between* that poll and the worker parking R — the wake would
+//! find R `Running` and be dropped, leaving R parked forever. So `wake` on
+//! a `Running` rank sets its `wake_pending` bit instead, and `park`
+//! re-queues the rank when the bit is set. Every wake is thus either
+//! delivered (Parked → Queued) or latched (Running → re-queued at park).
+//!
+//! ## Exact deadlock detection
+//!
+//! All mailbox deposits and collective arrivals happen *inside* a rank's
+//! step, and a stepping rank is counted in `running`. So when `park`
+//! observes `queue empty ∧ running == 0 ∧ done < np`, no message can be in
+//! flight anywhere: the simulated program has deadlocked, provably — no
+//! 30-second wall-clock timeout, no false positives.
+//!
+//! ## Determinism (why any of this is safe)
+//!
+//! The scheduler decides only *when on the host* a rank executes, never
+//! what it computes: virtual times are a pure function of per-rank program
+//! order and the message/cost data (DESIGN.md §2–§3). Queue order, worker
+//! count, and wake interleavings are free to vary without changing a byte
+//! of simulator output.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RState {
+    Queued,
+    Running { wake_pending: bool },
+    Parked,
+    Done,
+}
+
+struct Inner {
+    queue: VecDeque<usize>,
+    state: Vec<RState>,
+    /// Ranks currently inside a `step` on some worker.
+    running: usize,
+    done: usize,
+    /// Latched once, so only one parker reports the deadlock.
+    deadlocked: bool,
+}
+
+/// Outcome of parking a rank that returned `Blocked`.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ParkOutcome {
+    /// Parked; some future wake will requeue it.
+    Parked,
+    /// A wake raced the step; the rank went straight back on the queue.
+    Requeued,
+    /// This park quiesced the whole cluster: simulated deadlock.
+    Deadlock,
+}
+
+pub(crate) struct RankSched {
+    inner: Mutex<Inner>,
+    /// Signals workers blocked in `next` (work available, or all done).
+    work: Condvar,
+}
+
+impl RankSched {
+    pub fn new(np: usize) -> RankSched {
+        RankSched {
+            inner: Mutex::new(Inner {
+                queue: (0..np).collect(),
+                state: vec![RState::Queued; np],
+                running: 0,
+                done: 0,
+                deadlocked: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    /// Claim the next runnable rank; blocks while the queue is empty but
+    /// ranks are still live. Returns `None` when every rank is done — the
+    /// worker's signal to exit.
+    pub fn next(&self) -> Option<usize> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(rank) = g.queue.pop_front() {
+                debug_assert_eq!(g.state[rank], RState::Queued);
+                g.state[rank] = RState::Running {
+                    wake_pending: false,
+                };
+                g.running += 1;
+                return Some(rank);
+            }
+            if g.done == g.state.len() {
+                return None;
+            }
+            self.work.wait(&mut g);
+        }
+    }
+
+    /// A state change may let `rank` progress: requeue it if parked, latch
+    /// the wake if it's mid-step. Spurious wakes (already queued/done) are
+    /// harmless — a resumed rank that still can't progress just parks again.
+    pub fn wake(&self, rank: usize) {
+        let mut g = self.inner.lock();
+        match g.state[rank] {
+            RState::Parked => {
+                g.state[rank] = RState::Queued;
+                g.queue.push_back(rank);
+                self.work.notify_one();
+            }
+            RState::Running { .. } => {
+                g.state[rank] = RState::Running { wake_pending: true };
+            }
+            RState::Queued | RState::Done => {}
+        }
+    }
+
+    /// Wake every non-done rank (collective completion, poison, deadlock).
+    pub fn wake_all(&self) {
+        let mut g = self.inner.lock();
+        for rank in 0..g.state.len() {
+            match g.state[rank] {
+                RState::Parked => {
+                    g.state[rank] = RState::Queued;
+                    g.queue.push_back(rank);
+                }
+                RState::Running { .. } => {
+                    g.state[rank] = RState::Running { wake_pending: true };
+                }
+                RState::Queued | RState::Done => {}
+            }
+        }
+        self.work.notify_all();
+    }
+
+    /// The worker finished a step that returned `Blocked`.
+    pub fn park(&self, rank: usize) -> ParkOutcome {
+        let mut g = self.inner.lock();
+        g.running -= 1;
+        match g.state[rank] {
+            RState::Running { wake_pending: true } => {
+                g.state[rank] = RState::Queued;
+                g.queue.push_back(rank);
+                self.work.notify_one();
+                ParkOutcome::Requeued
+            }
+            RState::Running { wake_pending: false } => {
+                g.state[rank] = RState::Parked;
+                if g.queue.is_empty()
+                    && g.running == 0
+                    && g.done < g.state.len()
+                    && !g.deadlocked
+                {
+                    g.deadlocked = true;
+                    ParkOutcome::Deadlock
+                } else {
+                    ParkOutcome::Parked
+                }
+            }
+            other => unreachable!("park of rank {rank} in state {other:?}"),
+        }
+    }
+
+    /// The worker finished a step that returned `Done` (or the rank died).
+    pub fn done(&self, rank: usize) {
+        let mut g = self.inner.lock();
+        g.running -= 1;
+        g.state[rank] = RState::Done;
+        g.done += 1;
+        if g.done == g.state.len() {
+            // Release every worker blocked in `next`.
+            self.work.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_done_termination() {
+        let s = RankSched::new(3);
+        assert_eq!(s.next(), Some(0));
+        assert_eq!(s.next(), Some(1));
+        s.done(0);
+        s.done(1);
+        assert_eq!(s.next(), Some(2));
+        s.done(2);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn wake_while_running_latches() {
+        let s = RankSched::new(2);
+        assert_eq!(s.next(), Some(0));
+        s.wake(0); // deposit raced the step
+        assert_eq!(s.park(0), ParkOutcome::Requeued);
+        assert_eq!(s.next(), Some(1));
+        s.done(1);
+        // Rank 0 is queued again, not lost.
+        assert_eq!(s.next(), Some(0));
+        s.done(0);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn wake_parked_requeues() {
+        let s = RankSched::new(2);
+        assert_eq!(s.next(), Some(0));
+        assert_eq!(s.next(), Some(1));
+        assert_eq!(s.park(0), ParkOutcome::Parked);
+        s.wake(0);
+        s.done(1);
+        assert_eq!(s.next(), Some(0));
+        s.done(0);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn quiescence_is_deadlock() {
+        let s = RankSched::new(2);
+        assert_eq!(s.next(), Some(0));
+        assert_eq!(s.next(), Some(1));
+        s.done(0);
+        // Last live rank parks with nothing queued and nothing running.
+        assert_eq!(s.park(1), ParkOutcome::Deadlock);
+    }
+
+    #[test]
+    fn no_false_deadlock_while_peer_runs() {
+        let s = RankSched::new(2);
+        assert_eq!(s.next(), Some(0));
+        assert_eq!(s.next(), Some(1));
+        // Rank 1 still mid-step: its deposit may be coming.
+        assert_eq!(s.park(0), ParkOutcome::Parked);
+    }
+}

@@ -38,12 +38,28 @@ use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Wall-clock guard against deadlocked simulated programs (mismatched
 /// send/recv, missing collective participation). Generous: simulations are
-/// CPU-bound and finish in milliseconds.
+/// CPU-bound and finish in milliseconds. Only the blocking (thread-per-
+/// rank) paths need it — the resumable scheduler detects deadlock exactly,
+/// by quiescence, with no timer (see `sched.rs`).
 pub(crate) const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What a state-change notification is about, for the resumable scheduler:
+/// a deposit concerns exactly one destination rank; collective completion,
+/// poisoning, and deadlock concern everyone still parked.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WakeEvent {
+    One(usize),
+    All,
+}
+
+/// Callback the resumable cluster installs to requeue parked ranks when
+/// shared state changes. Unset (and free) in thread-per-rank mode.
+pub(crate) type Waker = Arc<dyn Fn(WakeEvent) + Send + Sync>;
 
 /// Which collective a slot belongs to — calling different collectives at
 /// the same call index is a program error we detect instead of deadlocking.
@@ -154,6 +170,11 @@ pub(crate) struct Shared {
     /// Set when any rank panics, so peers blocked in waits fail fast
     /// instead of riding out the deadlock timeout.
     poisoned: AtomicBool,
+    /// Set by the resumable scheduler when every live rank is parked on a
+    /// poll that cannot progress (simulated deadlock, detected exactly).
+    deadlocked: AtomicBool,
+    /// Resumable-mode requeue hook; a no-op when unset.
+    waker: OnceLock<Waker>,
 }
 
 impl Shared {
@@ -174,6 +195,8 @@ impl Shared {
                 coll_cond: Condvar::new(),
             }),
             poisoned: AtomicBool::new(false),
+            deadlocked: AtomicBool::new(false),
+            waker: OnceLock::new(),
         }
     }
 
@@ -191,6 +214,19 @@ impl Shared {
                 cond: Condvar::new(),
             }),
             poisoned: AtomicBool::new(false),
+            deadlocked: AtomicBool::new(false),
+            waker: OnceLock::new(),
+        }
+    }
+
+    /// Install the resumable scheduler's requeue hook (once per run).
+    pub fn set_waker(&self, w: Waker) {
+        let _ = self.waker.set(w);
+    }
+
+    fn wake(&self, ev: WakeEvent) {
+        if let Some(w) = self.waker.get() {
+            w(ev);
         }
     }
 
@@ -216,11 +252,30 @@ impl Shared {
                 s.cond.notify_all();
             }
         }
+        self.wake(WakeEvent::All);
+    }
+
+    /// Resumable-mode deadlock: every live rank is parked and nothing can
+    /// run. Flag it and requeue everyone, so each rank's next poll aborts
+    /// with a per-rank diagnostic instead of hanging.
+    pub fn mark_deadlocked(&self) {
+        self.deadlocked.store(true, Ordering::SeqCst);
+        self.wake(WakeEvent::All);
     }
 
     fn check_poisoned(&self) {
         if self.poisoned.load(Ordering::SeqCst) {
             panic!("aborted: another rank failed");
+        }
+    }
+
+    /// Poll-path abort check: peers' panics and exact deadlock detection
+    /// both surface here, at the same points the blocking paths check
+    /// `check_poisoned` or time out.
+    pub fn check_aborts(&self, rank: usize, what: &str) {
+        self.check_poisoned();
+        if self.deadlocked.load(Ordering::SeqCst) {
+            panic!("simulated deadlock: rank {rank} is parked {what} and every other rank is parked too");
         }
     }
 
@@ -247,6 +302,7 @@ impl Shared {
                 s.cond.notify_all();
             }
         }
+        self.wake(WakeEvent::One(key.dst));
     }
 
     /// Sender-side NIC booking: returns (depart, nic_done) and advances the
@@ -440,6 +496,60 @@ impl Shared {
             .collect()
     }
 
+    /// Non-blocking [`Shared::match_all`]: if every key's need is already
+    /// met, pop and serialize exactly as the blocking path would (same
+    /// deterministic `(ready_at, src, tag)` order, so the arrivals are
+    /// byte-identical); otherwise return `None` without touching anything.
+    /// Messages are only removed by their destination — the caller — so a
+    /// satisfied availability check cannot be invalidated before the pops.
+    pub fn try_match_all(&self, dst: usize, keys: &[MsgKey]) -> Option<Vec<(SimTime, Bytes)>> {
+        debug_assert!(keys.iter().all(|k| k.dst == dst));
+        let needs = Self::key_needs(keys);
+        match &self.topo {
+            Topology::Sharded(s) => {
+                let satisfied = needs.iter().all(|(k, need)| {
+                    s.channels[self.cell(s, k.src, k.dst)]
+                        .lock()
+                        .available(k.tag)
+                        >= *need
+                });
+                if !satisfied {
+                    return None;
+                }
+                let popped: Vec<InFlight> = keys
+                    .iter()
+                    .map(|k| {
+                        s.channels[self.cell(s, k.src, k.dst)]
+                            .lock()
+                            .pop(k.tag)
+                            .expect("availability checked above")
+                    })
+                    .collect();
+                let mut nic = s.nics[dst].lock();
+                Some(self.finish_match_all(keys, popped, &mut nic))
+            }
+            Topology::SingleLock(s) => {
+                let mut inner = s.inner.lock();
+                let satisfied = needs.iter().all(|(k, need)| {
+                    inner.channels[k.src * self.np + k.dst].available(k.tag) >= *need
+                });
+                if !satisfied {
+                    return None;
+                }
+                let popped: Vec<InFlight> = keys
+                    .iter()
+                    .map(|k| {
+                        inner.channels[k.src * self.np + k.dst]
+                            .pop(k.tag)
+                            .expect("availability checked above")
+                    })
+                    .collect();
+                let inner = &mut *inner;
+                Some(self.finish_match_all(keys, popped, &mut inner.nics[dst]))
+            }
+        }
+    }
+
     /// Whether a collective slot for `call_idx` has been registered by any
     /// rank (test rendezvous hook — lets the mismatch test wait
     /// deterministically instead of sleeping).
@@ -451,19 +561,22 @@ impl Shared {
         }
     }
 
-    /// Collective rendezvous. `call_idx` is the rank's collective sequence
-    /// number; `entry` its clock at the call; `payload_per_dst` one payload
-    /// per destination rank (empty vec for barriers).
-    ///
-    /// Returns `(completion, payload_per_src)`.
-    pub fn collective(
+    /// Register `rank`'s contribution to a collective. The last arriver
+    /// computes the completion time, redistributes payloads, applies the
+    /// alltoall NIC occupation, and wakes everyone — all under the
+    /// collectives lock, so any rank that later observes the outputs (via
+    /// `take_output` under the same lock) also observes the NIC updates.
+    /// `call_idx` is the rank's collective sequence number; `entry` its
+    /// clock at the call; `payload_per_dst` one payload per destination
+    /// rank (empty vec for barriers).
+    pub fn collective_begin(
         &self,
         kind: CollectiveKind,
         call_idx: u64,
         rank: usize,
         entry: SimTime,
         payload_per_dst: Vec<Bytes>,
-    ) -> (SimTime, Vec<Bytes>) {
+    ) {
         let np = self.np;
         match &self.topo {
             Topology::Sharded(s) => {
@@ -488,21 +601,8 @@ impl Shared {
                         }
                     }
                     s.coll_cond.notify_all();
-                }
-                loop {
-                    self.check_poisoned();
-                    if let Some(out) = Self::take_output(&mut colls, call_idx, rank, np) {
-                        return out;
-                    }
-                    if s.coll_cond
-                        .wait_for(&mut colls, DEADLOCK_TIMEOUT)
-                        .timed_out()
-                    {
-                        panic!(
-                            "simulated deadlock: rank {rank} waited {:?} in collective {call_idx} ({kind:?})",
-                            DEADLOCK_TIMEOUT
-                        );
-                    }
+                    drop(colls);
+                    self.wake(WakeEvent::All);
                 }
             }
             Topology::SingleLock(s) => {
@@ -528,7 +628,73 @@ impl Shared {
                         }
                     }
                     s.cond.notify_all();
+                    drop(inner);
+                    self.wake(WakeEvent::All);
                 }
+            }
+        }
+    }
+
+    /// Non-blocking collective completion check: take `rank`'s share if the
+    /// last arriver has computed it. The values are whatever that single
+    /// computation produced, so polling and blocking agree byte-for-byte.
+    pub fn try_collective_take(&self, call_idx: u64, rank: usize) -> Option<(SimTime, Vec<Bytes>)> {
+        match &self.topo {
+            Topology::Sharded(s) => {
+                Self::take_output(&mut s.collectives.lock(), call_idx, rank, self.np)
+            }
+            Topology::SingleLock(s) => {
+                Self::take_output(&mut s.inner.lock().collectives, call_idx, rank, self.np)
+            }
+        }
+    }
+
+    /// Blocking collective rendezvous in one call: join, then wait for the
+    /// last arriver. Production paths compose `collective_begin` +
+    /// `collective_wait` (Comm owns the in-between state); tests use this.
+    #[cfg(test)]
+    pub fn collective(
+        &self,
+        kind: CollectiveKind,
+        call_idx: u64,
+        rank: usize,
+        entry: SimTime,
+        payload_per_dst: Vec<Bytes>,
+    ) -> (SimTime, Vec<Bytes>) {
+        self.collective_begin(kind, call_idx, rank, entry, payload_per_dst);
+        self.collective_wait(kind, call_idx, rank)
+    }
+
+    /// Block until the collective joined at `call_idx` completes and take
+    /// this rank's share (thread-per-rank mode).
+    pub fn collective_wait(
+        &self,
+        kind: CollectiveKind,
+        call_idx: u64,
+        rank: usize,
+    ) -> (SimTime, Vec<Bytes>) {
+        let np = self.np;
+        match &self.topo {
+            Topology::Sharded(s) => {
+                let mut colls = s.collectives.lock();
+                loop {
+                    self.check_poisoned();
+                    if let Some(out) = Self::take_output(&mut colls, call_idx, rank, np) {
+                        return out;
+                    }
+                    if s.coll_cond
+                        .wait_for(&mut colls, DEADLOCK_TIMEOUT)
+                        .timed_out()
+                    {
+                        panic!(
+                            "simulated deadlock: rank {rank} waited {:?} in collective {call_idx} ({kind:?})",
+                            DEADLOCK_TIMEOUT
+                        );
+                    }
+                }
+            }
+            Topology::SingleLock(s) => {
+                let mut inner = s.inner.lock();
                 loop {
                     self.check_poisoned();
                     if let Some(out) =

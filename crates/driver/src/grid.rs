@@ -223,19 +223,21 @@ impl SweepGrid {
     /// on the paper's two stacks plus the `rdma-ideal` upper-bound column
     /// at np {4, 8}; np {16, 32} rows for the *whole* registry and
     /// np = 64 rows for the all-peers families
-    /// ([`Self::HIGH_NP_WORKLOADS`]) on the two paper stacks; one
-    /// np = 128 scaling row (`direct2d` on MPICH-GM — the first grid
-    /// point the block-summarized interpreter made affordable); and an
-    /// explicit tile-size axis {64, 512, 4096} around the heuristic's
-    /// choice (the U-curve) for the all-peers families at np = 8 on
-    /// MPICH-GM.
+    /// ([`Self::HIGH_NP_WORKLOADS`]) on the two paper stacks; `direct2d`
+    /// scaling rows on MPICH-GM at np {128, 256, 512} (np = 128 was the
+    /// first grid point the block-summarized interpreter made
+    /// affordable; the giant rows ride the resumable rank engine, which
+    /// decouples thread count from np, plus strong-scaled problem
+    /// sizes); and an explicit tile-size axis {64, 512, 4096} around
+    /// the heuristic's choice (the U-curve) for the all-peers families
+    /// at np = 8 on MPICH-GM.
     pub fn full() -> Self {
         let high_np: Vec<String> =
             Self::HIGH_NP_WORKLOADS.iter().map(|w| w.to_string()).collect();
         SweepGrid::new()
             .workloads(workloads::registry().iter().map(|e| e.name))
             .size(SizeClass::Standard)
-            .nps([4, 8, 16, 32, 64, 128])
+            .nps([4, 8, 16, 32, 64, 128, 256, 512])
             .models([ModelSpec::Mpich, ModelSpec::MpichGm, ModelSpec::RdmaIdeal])
             .tile_sizes([None, Some(64), Some(512), Some(4096)])
             .filter(FilterSpec::NpCapExcept {
@@ -464,10 +466,13 @@ mod tests {
             .iter()
             .filter(|s| s.np > 32)
             .all(|s| SweepGrid::HIGH_NP_WORKLOADS.contains(&s.workload.as_str())));
-        // Exactly one np = 128 scaling row: direct2d on MPICH-GM.
-        let big: Vec<_> = specs.iter().filter(|s| s.np == 128).collect();
-        assert_eq!(big.len(), 1);
-        assert_eq!(big[0].workload, "direct2d");
-        assert_eq!(big[0].model, ModelSpec::MpichGm);
+        // Exactly one scaling row each at np {128, 256, 512}:
+        // direct2d on MPICH-GM.
+        for np in [128usize, 256, 512] {
+            let big: Vec<_> = specs.iter().filter(|s| s.np == np).collect();
+            assert_eq!(big.len(), 1, "np={np} rows");
+            assert_eq!(big[0].workload, "direct2d");
+            assert_eq!(big[0].model, ModelSpec::MpichGm);
+        }
     }
 }

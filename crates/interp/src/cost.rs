@@ -59,6 +59,17 @@ pub struct Options {
     /// (the typed loops replicate `eval_binop`'s monomorphic arms
     /// bit-for-bit and block charges are precomputed — DESIGN.md §3).
     pub typed_chains: bool,
+    /// Execute ranks as resumable state machines on a bounded worker set
+    /// ([`crate::machine`]) instead of parking one OS thread per rank. On
+    /// by default; virtual times, stats, outputs, and traces are
+    /// byte-identical either way (pinned by the differential suites;
+    /// argument in DESIGN.md §3) — the switch exists so those suites can
+    /// prove it, mirroring `optimize`/`typed_chains`.
+    pub resumable: bool,
+    /// Worker threads driving the resumable engine; `None` means
+    /// `min(np, available cores)`. A host-side throughput knob only —
+    /// any value yields byte-identical results.
+    pub rank_workers: Option<usize>,
 }
 
 impl Default for Options {
@@ -69,6 +80,8 @@ impl Default for Options {
             trace: false,
             optimize: true,
             typed_chains: true,
+            resumable: true,
+            rank_workers: None,
         }
     }
 }

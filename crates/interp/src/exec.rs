@@ -51,7 +51,7 @@ pub(crate) struct LFrame {
     /// Seeded with the proc's typed zeros, so a read of a never-written
     /// slot returns exactly the tree-walker's deterministic default
     /// without an `Option` in the hot path.
-    scalars: Vec<Scalar>,
+    pub(crate) scalars: Vec<Scalar>,
     arrays: Vec<Option<BoundArray>>,
     /// Loop-invariant values cached at loop entry ([`crate::opt`]); every
     /// `LExpr::Hoisted` read is dominated by its loop's entry write.
@@ -95,10 +95,15 @@ impl LFrame {
     }
 }
 
-pub(crate) struct Interp<'p, 'c> {
-    program: &'p LProgram,
-    opts: &'p Options,
-    comm: &'c mut Comm,
+/// The interpreter's resumable state: everything a rank's execution owns
+/// *except* the [`Comm`] endpoint, which is threaded through as a method
+/// parameter. That split is what makes suspension possible — a parked rank
+/// is an `Interp` (plus a continuation stack, see [`crate::machine`])
+/// sitting in a table, while the `Comm` lives alongside it and both are
+/// picked up by whichever worker resumes the rank.
+pub(crate) struct Interp<'p> {
+    pub(crate) program: &'p LProgram,
+    pub(crate) opts: &'p Options,
     pub prints: Vec<String>,
     pending: Vec<(RecvId, PendingBuf)>,
     inflight: Vec<InflightRegion>,
@@ -108,12 +113,11 @@ pub(crate) struct Interp<'p, 'c> {
     idx_buf: Vec<i64>,
 }
 
-impl<'p, 'c> Interp<'p, 'c> {
-    pub fn new(program: &'p LProgram, opts: &'p Options, comm: &'c mut Comm) -> Self {
+impl<'p> Interp<'p> {
+    pub fn new(program: &'p LProgram, opts: &'p Options) -> Self {
         Interp {
             program,
             opts,
-            comm,
             prints: Vec::new(),
             pending: Vec::new(),
             inflight: Vec::new(),
@@ -123,41 +127,42 @@ impl<'p, 'c> Interp<'p, 'c> {
         }
     }
 
-    /// Execute the main program; returns its final frame (for array dumps)
-    /// along with the main proc for name resolution.
-    pub fn run_main(&mut self) -> (LFrame, &'p LProc) {
+    /// Execute the main program to completion (blocking engine); returns
+    /// its final frame (for array dumps) along with the main proc for name
+    /// resolution.
+    pub fn run_main(&mut self, comm: &mut Comm) -> (LFrame, &'p LProc) {
         let main = &self.program.procs[self.program.main];
-        let mut frame = self.fresh_frame(main);
-        self.allocate_locals(main, &mut frame, &[]);
-        let cell = FrameCell(RefCell::new(frame));
+        let mut frame = self.fresh_frame(main, comm);
+        self.allocate_locals(main, &mut frame, &[], comm);
+        let cell = FrameCell::new(frame);
         for s in &main.body {
-            self.exec_stmt(main, &cell, s);
+            self.exec_stmt(main, &cell, s, comm);
         }
         (cell.take(), main)
     }
 
-    fn fresh_frame(&self, proc: &LProc) -> LFrame {
-        LFrame::new(proc, self.comm.rank() as i64, self.comm.np() as i64)
+    pub(crate) fn fresh_frame(&self, proc: &LProc, comm: &Comm) -> LFrame {
+        LFrame::new(proc, comm.rank() as i64, comm.np() as i64)
     }
 
     // -- cost charging -------------------------------------------------------
 
-    fn charge_stmt(&mut self) {
+    pub(crate) fn charge_stmt(&mut self, comm: &mut Comm) {
         let c = &self.opts.cost;
         let ns = self.ops as f64 * c.ns_per_op + c.ns_per_stmt;
         self.ops = 0;
-        self.comm.advance(ns);
+        comm.advance(ns);
     }
 
-    fn charge_ops_only(&mut self) {
+    fn charge_ops_only(&mut self, comm: &mut Comm) {
         let ns = self.ops as f64 * self.opts.cost.ns_per_op;
         self.ops = 0;
-        self.comm.advance(ns);
+        comm.advance(ns);
     }
 
     // -- expression evaluation -----------------------------------------------
 
-    fn eval(&mut self, proc: &LProc, frame: &LFrame, e: &LExpr) -> Scalar {
+    pub(crate) fn eval(&mut self, proc: &LProc, frame: &LFrame, e: &LExpr) -> Scalar {
         self.ops += 1;
         match e {
             LExpr::Int(v) => Scalar::Int(*v),
@@ -227,14 +232,20 @@ impl<'p, 'c> Interp<'p, 'c> {
 
     // -- statements -----------------------------------------------------------
 
-    fn exec_stmt(&mut self, proc: &'p LProc, frame: &FrameCell, s: &'p LStmt) {
+    pub(crate) fn exec_stmt(
+        &mut self,
+        proc: &'p LProc,
+        frame: &FrameCell,
+        s: &'p LStmt,
+        comm: &mut Comm,
+    ) {
         match s {
             LStmt::AssignScalar { slot, ty, value } => {
                 let v = {
                     let f = frame.borrow();
                     self.eval(proc, &f, value)
                 };
-                self.charge_stmt();
+                self.charge_stmt(comm);
                 frame.borrow_mut().scalars[*slot as usize] = v.convert_to(*ty);
             }
             LStmt::AssignArray {
@@ -249,7 +260,7 @@ impl<'p, 'c> Interp<'p, 'c> {
                     let v = self.eval(proc, &f, value);
                     (idx, v)
                 };
-                self.charge_stmt();
+                self.charge_stmt(comm);
                 let Some(slot) = slot else {
                     rt_err!("`{name}` is not an array in this scope");
                 };
@@ -262,7 +273,7 @@ impl<'p, 'c> Interp<'p, 'c> {
                     }
                 };
                 if self.opts.detect_buffer_reuse {
-                    self.check_inflight_write(alloc, abs, name);
+                    self.check_inflight_write(alloc, abs, name, comm);
                 }
             }
             LStmt::Do {
@@ -275,55 +286,12 @@ impl<'p, 'c> Interp<'p, 'c> {
                 hoists,
                 iter_charge,
             } => {
-                let (lo, hi, st) = {
-                    let f = frame.borrow();
-                    let lo = self.eval(proc, &f, lower).expect_int("loop bound");
-                    let hi = self.eval(proc, &f, upper).expect_int("loop bound");
-                    let st = match step {
-                        None => 1,
-                        Some(e) => self.eval(proc, &f, e).expect_int("loop step"),
-                    };
-                    (lo, hi, st)
-                };
-                if st == 0 {
-                    rt_err!("zero loop step in `do {var_name}`");
-                }
-                self.charge_stmt();
-                self.eval_hoists(proc, frame, hoists);
+                let (lo, hi, st) =
+                    self.do_prologue(proc, frame, lower, upper, step.as_ref(), var_name, hoists, comm);
                 if let (Some(charge), [LStmt::Block { code, .. }]) =
                     (*iter_charge, body.as_slice())
                 {
-                    // Whole-body-block fast path: hold the frame borrow
-                    // and scratch buffers across iterations, and charge
-                    // `iterations × per-iteration` in ONE add at the end —
-                    // integer multiplication distributes over the addition
-                    // the tree-walker performed, and no statement in the
-                    // block can observe the clock, so virtual times are
-                    // unchanged to the bit.
-                    let mut stack = std::mem::take(&mut self.stack);
-                    let mut idx = std::mem::take(&mut self.idx_buf);
-                    let mut iters: u64 = 0;
-                    {
-                        let mut f = frame.borrow_mut();
-                        let mut i = lo;
-                        loop {
-                            if (st > 0 && i > hi) || (st < 0 && i < hi) {
-                                break;
-                            }
-                            f.scalars[*var as usize] = Scalar::Int(i);
-                            run_tape(proc, &mut f, code, &mut stack, &mut idx);
-                            iters += 1;
-                            i += st;
-                        }
-                    }
-                    self.stack = stack;
-                    self.idx_buf = idx;
-                    if iters > 0 {
-                        let total = charge
-                            .checked_mul(iters)
-                            .expect("SimTime overflow in summarized loop");
-                        self.comm.advance_exact(SimTime::from_ns(total));
-                    }
+                    self.run_summarized_do(proc, frame, *var, code, lo, hi, st, charge, comm);
                 } else {
                     let mut i = lo;
                     loop {
@@ -332,10 +300,10 @@ impl<'p, 'c> Interp<'p, 'c> {
                         }
                         frame.borrow_mut().scalars[*var as usize] = Scalar::Int(i);
                         for b in body {
-                            self.exec_stmt(proc, frame, b);
+                            self.exec_stmt(proc, frame, b, comm);
                         }
                         // loop increment + test bookkeeping
-                        self.comm.advance(self.opts.cost.ns_per_stmt);
+                        comm.advance(self.opts.cost.ns_per_stmt);
                         i += st;
                     }
                 }
@@ -349,10 +317,10 @@ impl<'p, 'c> Interp<'p, 'c> {
                     let f = frame.borrow();
                     self.eval(proc, &f, cond)
                 };
-                self.charge_stmt();
+                self.charge_stmt(comm);
                 let body = if c.is_true() { then_body } else { else_body };
                 for b in body {
-                    self.exec_stmt(proc, frame, b);
+                    self.exec_stmt(proc, frame, b, comm);
                 }
             }
             LStmt::Block { code, charge, .. } => {
@@ -368,18 +336,99 @@ impl<'p, 'c> Interp<'p, 'c> {
                 // The per-statement charges were precomputed (and rounded
                 // per statement, exactly like `charge_stmt`) at opt time;
                 // one summarizing add replaces them all.
-                self.comm.advance_exact(SimTime::from_ns(*charge));
+                comm.advance_exact(SimTime::from_ns(*charge));
             }
             LStmt::SetVar { .. } => {
                 unreachable!("SetVar only appears inside summarized blocks")
             }
-            LStmt::CallBuiltin { op, name, args } => self.exec_builtin(proc, frame, *op, name, args),
+            LStmt::CallBuiltin { op, name, args } => {
+                self.exec_builtin(proc, frame, *op, name, args, comm)
+            }
             LStmt::CallUser { proc: callee, args } => {
-                self.exec_user_call(proc, frame, *callee, args)
+                self.exec_user_call(proc, frame, *callee, args, comm)
             }
             LStmt::CallUnknown { name } => {
                 rt_err!("call to unknown subroutine `{name}` (validation gap)")
             }
+        }
+    }
+
+    /// A `do` statement's entry sequence, shared by both engines: evaluate
+    /// the bounds, reject a zero step, charge the statement, cache the
+    /// hoisted invariants. Returns `(lo, hi, st)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn do_prologue(
+        &mut self,
+        proc: &'p LProc,
+        frame: &FrameCell,
+        lower: &'p LExpr,
+        upper: &'p LExpr,
+        step: Option<&'p LExpr>,
+        var_name: &str,
+        hoists: &'p [Hoist],
+        comm: &mut Comm,
+    ) -> (i64, i64, i64) {
+        let (lo, hi, st) = {
+            let f = frame.borrow();
+            let lo = self.eval(proc, &f, lower).expect_int("loop bound");
+            let hi = self.eval(proc, &f, upper).expect_int("loop bound");
+            let st = match step {
+                None => 1,
+                Some(e) => self.eval(proc, &f, e).expect_int("loop step"),
+            };
+            (lo, hi, st)
+        };
+        if st == 0 {
+            rt_err!("zero loop step in `do {var_name}`");
+        }
+        self.charge_stmt(comm);
+        self.eval_hoists(proc, frame, hoists);
+        (lo, hi, st)
+    }
+
+    /// Whole-body-block fast path, shared by both engines: hold the frame
+    /// borrow and scratch buffers across iterations, and charge
+    /// `iterations × per-iteration` in ONE add at the end — integer
+    /// multiplication distributes over the addition the tree-walker
+    /// performed, and no statement in the block can observe the clock, so
+    /// virtual times are unchanged to the bit. Contains no blocking point,
+    /// so the resumable engine runs it inline without suspending.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_summarized_do(
+        &mut self,
+        proc: &'p LProc,
+        frame: &FrameCell,
+        var: u32,
+        code: &'p [Instr],
+        lo: i64,
+        hi: i64,
+        st: i64,
+        charge: u64,
+        comm: &mut Comm,
+    ) {
+        let mut stack = std::mem::take(&mut self.stack);
+        let mut idx = std::mem::take(&mut self.idx_buf);
+        let mut iters: u64 = 0;
+        {
+            let mut f = frame.borrow_mut();
+            let mut i = lo;
+            loop {
+                if (st > 0 && i > hi) || (st < 0 && i < hi) {
+                    break;
+                }
+                f.scalars[var as usize] = Scalar::Int(i);
+                run_tape(proc, &mut f, code, &mut stack, &mut idx);
+                iters += 1;
+                i += st;
+            }
+        }
+        self.stack = stack;
+        self.idx_buf = idx;
+        if iters > 0 {
+            let total = charge
+                .checked_mul(iters)
+                .expect("SimTime overflow in summarized loop");
+            comm.advance_exact(SimTime::from_ns(total));
         }
     }
 
@@ -404,8 +453,8 @@ impl<'p, 'c> Interp<'p, 'c> {
         self.ops = 0;
     }
 
-    fn check_inflight_write(&mut self, alloc: usize, abs: usize, name: &str) {
-        let now = self.comm.now();
+    fn check_inflight_write(&mut self, alloc: usize, abs: usize, name: &str, comm: &Comm) {
+        let now = comm.now();
         self.inflight.retain(|r| r.expires > now);
         if let Some(r) = self
             .inflight
@@ -415,7 +464,7 @@ impl<'p, 'c> Interp<'p, 'c> {
             rt_err!(
                 "buffer-reuse hazard: rank {} overwrote element {} of `{name}` while an \
                  mpi_isend of [{}, {}) is still in flight (drains at {})",
-                self.comm.rank(),
+                comm.rank(),
                 abs,
                 r.start,
                 r.end,
@@ -432,9 +481,30 @@ impl<'p, 'c> Interp<'p, 'c> {
         frame: &FrameCell,
         callee_idx: usize,
         args: &'p [LCallArg],
+        comm: &mut Comm,
     ) {
+        let callee_frame = self.prepare_user_call(caller, frame, callee_idx, args, comm);
         let callee = &self.program.procs[callee_idx];
-        let mut callee_frame = self.fresh_frame(callee);
+        let cell = FrameCell::new(callee_frame);
+        for s in &callee.body {
+            self.exec_stmt(callee, &cell, s, comm);
+        }
+        // Arrays were by reference; scalar params are by value (documented).
+    }
+
+    /// Everything a user call does before its body runs, shared by both
+    /// engines: argument evaluation/binding, the call charge, and local
+    /// allocation. Returns the ready-to-run callee frame.
+    pub(crate) fn prepare_user_call(
+        &mut self,
+        caller: &'p LProc,
+        frame: &FrameCell,
+        callee_idx: usize,
+        args: &'p [LCallArg],
+        comm: &mut Comm,
+    ) -> LFrame {
+        let callee = &self.program.procs[callee_idx];
+        let mut callee_frame = self.fresh_frame(callee, comm);
         let mut handles: Vec<Option<ArrayHandle>> = vec![None; callee.nparams];
 
         for (i, arg) in args.iter().enumerate() {
@@ -460,15 +530,11 @@ impl<'p, 'c> Interp<'p, 'c> {
                 }
             }
         }
-        self.charge_ops_only();
-        self.comm.advance(self.opts.cost.ns_per_call);
+        self.charge_ops_only(comm);
+        comm.advance(self.opts.cost.ns_per_call);
 
-        self.allocate_locals(callee, &mut callee_frame, &handles);
-        let cell = FrameCell(RefCell::new(callee_frame));
-        for s in &callee.body {
-            self.exec_stmt(callee, &cell, s);
-        }
-        // Arrays were by reference; scalar params are by value (documented).
+        self.allocate_locals(callee, &mut callee_frame, &handles, comm);
+        callee_frame
     }
 
     /// Allocate local arrays and bind array parameters, in declaration
@@ -476,11 +542,12 @@ impl<'p, 'c> Interp<'p, 'c> {
     /// scalars need no explicit seeding: the per-slot typed defaults in
     /// [`LProc::scalar_defaults`] encode exactly the zero the tree-walker
     /// used to insert.
-    fn allocate_locals(
+    pub(crate) fn allocate_locals(
         &mut self,
         proc: &'p LProc,
         frame: &mut LFrame,
         handles: &[Option<ArrayHandle>],
+        comm: &mut Comm,
     ) {
         for decl in &proc.array_decls {
             let bounds: Vec<(i64, i64)> = decl
@@ -514,38 +581,38 @@ impl<'p, 'c> Interp<'p, 'c> {
             };
             frame.arrays[decl.slot as usize] = Some(binding);
         }
-        self.charge_ops_only();
+        self.charge_ops_only(comm);
     }
 
     // -- builtin (MPI) subroutines -----------------------------------------------
 
-    fn exec_builtin(
+    pub(crate) fn exec_builtin(
         &mut self,
         proc: &'p LProc,
         frame: &FrameCell,
         op: Builtin,
         name: &str,
         args: &'p [LArg],
+        comm: &mut Comm,
     ) {
         match op {
-            Builtin::Isend => self.mpi_isend(proc, frame, args),
-            Builtin::Irecv => self.mpi_irecv(proc, frame, args),
+            Builtin::Isend => self.mpi_isend(proc, frame, args, comm),
+            Builtin::Irecv => self.mpi_irecv(proc, frame, args, comm),
             Builtin::WaitallRecv => {
-                self.charge_stmt();
-                let done = self.comm.wait_all_recvs();
+                self.charge_stmt(comm);
+                let done = comm.wait_all_recvs();
                 self.apply_received(done);
             }
             Builtin::Waitall => {
-                self.charge_stmt();
-                let done = self.comm.wait_all();
-                self.apply_received(done);
-                self.inflight.clear();
+                self.charge_stmt(comm);
+                let done = comm.wait_all();
+                self.finish_waitall(done);
             }
             Builtin::Barrier => {
-                self.charge_stmt();
-                self.comm.barrier();
+                self.charge_stmt(comm);
+                comm.barrier();
             }
-            Builtin::Alltoall => self.mpi_alltoall(proc, frame, args),
+            Builtin::Alltoall => self.mpi_alltoall(proc, frame, args, comm),
             Builtin::Print => {
                 let line = {
                     let f = frame.borrow();
@@ -559,11 +626,20 @@ impl<'p, 'c> Interp<'p, 'c> {
                         .collect::<Vec<_>>()
                         .join(" ")
                 };
-                self.charge_ops_only();
+                self.charge_ops_only(comm);
                 self.prints.push(line);
             }
             Builtin::Unknown => rt_err!("unknown builtin `{name}` (validation gap)"),
         }
+    }
+
+    /// A `mpi_waitall`'s local tail once all receives matched and sends
+    /// drained: decode payloads into their registered buffers and retire
+    /// the in-flight send regions. Pure bookkeeping — touches no clock, so
+    /// both engines may run it at their own point after the blocking part.
+    pub(crate) fn finish_waitall(&mut self, done: Vec<(RecvId, Bytes)>) {
+        self.apply_received(done);
+        self.inflight.clear();
     }
 
     fn scalar_arg(
@@ -684,14 +760,14 @@ impl<'p, 'c> Interp<'p, 'c> {
         binding.handle.window(offset, len)
     }
 
-    fn mpi_isend(&mut self, proc: &'p LProc, frame: &FrameCell, args: &'p [LArg]) {
+    fn mpi_isend(&mut self, proc: &'p LProc, frame: &FrameCell, args: &'p [LArg], comm: &mut Comm) {
         let buf = self.resolve_buffer(proc, frame, &args[0], "mpi_isend");
         let count = self.scalar_arg(proc, frame, args, 1, "mpi_isend count");
         let dest = self.scalar_arg(proc, frame, args, 2, "mpi_isend dest");
         let tag = self.scalar_arg(proc, frame, args, 3, "mpi_isend tag");
-        self.charge_stmt();
-        let me = self.comm.rank() as i64;
-        let np = self.comm.np() as i64;
+        self.charge_stmt(comm);
+        let me = comm.rank() as i64;
+        let np = comm.np() as i64;
         if count < 0 || (count as usize) > buf.len {
             rt_err!(
                 "mpi_isend: count {count} exceeds buffer window of {} elements",
@@ -708,7 +784,7 @@ impl<'p, 'c> Interp<'p, 'c> {
             let st = buf.storage.borrow();
             Bytes::from(st.encode(buf.offset, count as usize))
         };
-        let nic_done = self.comm.isend(dest as usize, tag, bytes);
+        let nic_done = comm.isend(dest as usize, tag, bytes);
         if self.opts.detect_buffer_reuse {
             self.inflight.push(InflightRegion {
                 alloc: buf.alloc_id(),
@@ -719,14 +795,14 @@ impl<'p, 'c> Interp<'p, 'c> {
         }
     }
 
-    fn mpi_irecv(&mut self, proc: &'p LProc, frame: &FrameCell, args: &'p [LArg]) {
+    fn mpi_irecv(&mut self, proc: &'p LProc, frame: &FrameCell, args: &'p [LArg], comm: &mut Comm) {
         let buf = self.resolve_buffer(proc, frame, &args[0], "mpi_irecv");
         let count = self.scalar_arg(proc, frame, args, 1, "mpi_irecv count");
         let src = self.scalar_arg(proc, frame, args, 2, "mpi_irecv src");
         let tag = self.scalar_arg(proc, frame, args, 3, "mpi_irecv tag");
-        self.charge_stmt();
-        let me = self.comm.rank() as i64;
-        let np = self.comm.np() as i64;
+        self.charge_stmt(comm);
+        let me = comm.rank() as i64;
+        let np = comm.np() as i64;
         if count < 0 || (count as usize) > buf.len {
             rt_err!(
                 "mpi_irecv: count {count} exceeds buffer window of {} elements",
@@ -739,7 +815,7 @@ impl<'p, 'c> Interp<'p, 'c> {
         if src == me {
             rt_err!("mpi_irecv: self-receive (rank {me})");
         }
-        let id = self.comm.irecv(src as usize, tag);
+        let id = comm.irecv(src as usize, tag);
         self.pending.push((
             id,
             PendingBuf {
@@ -750,7 +826,7 @@ impl<'p, 'c> Interp<'p, 'c> {
         ));
     }
 
-    fn apply_received(&mut self, done: Vec<(RecvId, Bytes)>) {
+    pub(crate) fn apply_received(&mut self, done: Vec<(RecvId, Bytes)>) {
         for (id, payload) in done {
             let pos = self
                 .pending
@@ -772,12 +848,28 @@ impl<'p, 'c> Interp<'p, 'c> {
         }
     }
 
-    fn mpi_alltoall(&mut self, proc: &'p LProc, frame: &FrameCell, args: &'p [LArg]) {
+    fn mpi_alltoall(&mut self, proc: &'p LProc, frame: &FrameCell, args: &'p [LArg], comm: &mut Comm) {
+        let (recv, count, payloads) = self.prepare_alltoall(proc, frame, args, comm);
+        let received = comm.alltoall(payloads);
+        Self::finish_alltoall(&recv, count, received);
+    }
+
+    /// An `mpi_alltoall`'s entry sequence, shared by both engines: resolve
+    /// and check both buffers, charge the statement, encode the per-
+    /// destination payloads. Returns `(recv window, count, payloads)` —
+    /// everything the completion side needs.
+    pub(crate) fn prepare_alltoall(
+        &mut self,
+        proc: &'p LProc,
+        frame: &FrameCell,
+        args: &'p [LArg],
+        comm: &mut Comm,
+    ) -> (ArrayHandle, usize, Vec<Bytes>) {
         let send = self.resolve_buffer(proc, frame, &args[0], "mpi_alltoall send buffer");
         let count = self.scalar_arg(proc, frame, args, 1, "mpi_alltoall count");
         let recv = self.resolve_buffer(proc, frame, &args[2], "mpi_alltoall recv buffer");
-        self.charge_stmt();
-        let np = self.comm.np();
+        self.charge_stmt(comm);
+        let np = comm.np();
         if count < 0 {
             rt_err!("mpi_alltoall: negative count {count}");
         }
@@ -802,7 +894,12 @@ impl<'p, 'c> Interp<'p, 'c> {
                 .map(|d| Bytes::from(st.encode(send.offset + d * count, count)))
                 .collect()
         };
-        let received = self.comm.alltoall(payloads);
+        (recv, count, payloads)
+    }
+
+    /// Decode a completed alltoall's received payloads into the recv
+    /// window. Pure bookkeeping — touches no clock.
+    pub(crate) fn finish_alltoall(recv: &ArrayHandle, count: usize, received: Vec<Bytes>) {
         let mut st = recv.storage.borrow_mut();
         for (srcr, payload) in received.into_iter().enumerate() {
             if payload.len() != count * 8 {
@@ -822,15 +919,19 @@ impl<'p, 'c> Interp<'p, 'c> {
 pub(crate) struct FrameCell(RefCell<LFrame>);
 
 impl FrameCell {
-    fn borrow(&self) -> std::cell::Ref<'_, LFrame> {
+    pub(crate) fn new(frame: LFrame) -> FrameCell {
+        FrameCell(RefCell::new(frame))
+    }
+
+    pub(crate) fn borrow(&self) -> std::cell::Ref<'_, LFrame> {
         self.0.borrow()
     }
 
-    fn borrow_mut(&self) -> std::cell::RefMut<'_, LFrame> {
+    pub(crate) fn borrow_mut(&self) -> std::cell::RefMut<'_, LFrame> {
         self.0.borrow_mut()
     }
 
-    fn take(&self) -> LFrame {
+    pub(crate) fn take(&self) -> LFrame {
         self.0.replace(LFrame {
             scalars: Vec::new(),
             arrays: Vec::new(),

@@ -22,6 +22,7 @@ pub mod cost;
 pub mod env;
 mod exec;
 mod lower;
+mod machine;
 mod opt;
 pub mod run;
 pub mod typeck;

@@ -2,7 +2,9 @@
 //! cluster, and collect per-rank outputs for equivalence checking.
 
 use crate::cost::Options;
-use crate::exec::Interp;
+use crate::exec::{Interp, LFrame};
+use crate::lower::LProc;
+use crate::machine::Machine;
 use crate::value::Data;
 use clustersim::{Cluster, NetworkModel, Report, SimError, Trace};
 use fir::ast::Program;
@@ -91,31 +93,41 @@ pub fn run_program_opts(
     if opts.trace {
         cluster = cluster.traced();
     }
-    let out = cluster.run(|comm| {
-        let mut interp = Interp::new(&lowered, opts, comm);
-        let (final_frame, main) = interp.run_main();
-        let mut arrays = BTreeMap::new();
-        for (name, binding) in final_frame.arrays(main) {
-            let st = binding.handle.storage.borrow();
-            arrays.insert(
-                name.clone(),
-                ArrayDump {
-                    bounds: binding.bounds().to_vec(),
-                    data: st.data.clone(),
-                },
-            );
-        }
-        RankOutput {
-            arrays,
-            prints: std::mem::take(&mut interp.prints),
-        }
-    })?;
+    let out = if opts.resumable {
+        // Resumable engine: ranks are state machines driven by a bounded
+        // worker set; any np runs on a fixed thread count.
+        cluster.run_resumable(opts.rank_workers, |_| Machine::new(&lowered, opts))?
+    } else {
+        // Thread-per-rank reference engine: byte-identical results
+        // (pinned by tests/resumable_differential.rs).
+        cluster.run(|comm| {
+            let mut interp = Interp::new(&lowered, opts);
+            let (final_frame, main) = interp.run_main(comm);
+            rank_output(&final_frame, main, std::mem::take(&mut interp.prints))
+        })?
+    };
 
     Ok(RunResult {
         outputs: out.results,
         report: out.report,
         trace: out.trace,
     })
+}
+
+/// Dump one rank's final state, shared by both engines.
+pub(crate) fn rank_output(frame: &LFrame, main: &LProc, prints: Vec<String>) -> RankOutput {
+    let mut arrays = BTreeMap::new();
+    for (name, binding) in frame.arrays(main) {
+        let st = binding.handle.storage.borrow();
+        arrays.insert(
+            name.clone(),
+            ArrayDump {
+                bounds: binding.bounds().to_vec(),
+                data: st.data.clone(),
+            },
+        );
+    }
+    RankOutput { arrays, prints }
 }
 
 /// Convenience for tests: parse, validate, run.

@@ -36,9 +36,19 @@ impl Direct2d {
     }
 
     pub fn standard(np: usize) -> Self {
+        // Strong scaling past np = 128: hold the *global* problem size
+        // fixed (nloc · np² message volume ∝ constant) so the giant-np
+        // rows cost roughly what the np = 128 row does instead of
+        // growing quadratically with the partner count. Rows at
+        // np ≤ 128 keep the historical nloc = 4096 byte-for-byte.
+        let nloc = if np <= 128 {
+            4096
+        } else {
+            (4096 * 128 * 128 / (np * np)).max(64)
+        };
         Direct2d {
             np,
-            nloc: 4096,
+            nloc,
             outer: 4,
             work: 3,
         }

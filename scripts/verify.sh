@@ -58,6 +58,24 @@ if [ -n "$hashmap_hits" ]; then
   echo "(use BTreeMap/Vec, or audit the file for lookup-only use and extend the allowlist)"
   exit 1
 fi
+# Rank execution must never spawn OS threads outside the audited worker
+# pool (clustersim/src/pool.rs): both engines — thread-per-rank and the
+# resumable state machines — draw every thread from there, which is what
+# keeps admission control and the byte-identity argument airtight. Test
+# modules (from the first `#[cfg(test)]` down) spawn freely.
+spawn_hits=$(find crates/clustersim/src crates/interp/src -name '*.rs' \
+    ! -path 'crates/clustersim/src/pool.rs' -print0 \
+  | xargs -0 awk '
+      FNR == 1 { in_tests = 0 }
+      /#\[cfg\(test\)\]/ { in_tests = 1 }
+      !in_tests && (/thread::spawn/ || /\.spawn\(/) { print FILENAME ":" FNR ": " $0 }
+    ')
+if [ -n "$spawn_hits" ]; then
+  echo "determinism lint FAILED: thread spawn outside the audited worker pool:"
+  echo "$spawn_hits"
+  echo "(route the work through clustersim::pool, or audit and extend the allowlist)"
+  exit 1
+fi
 
 echo "==> scenario-file smoke: quick grid from scenarios/quick.toml"
 # The declarative grid must drive the harness to the *byte-identical*
@@ -87,13 +105,33 @@ echo "==> wall-clock trajectory: diff consecutive perf/ artifacts"
 # two most recent so per-scenario host wall-clock movements are *seen* in
 # CI output (informational only — wall clock varies across machines, so
 # this step never fails on a slowdown, only on missing/corrupt artifacts).
-latest_two=$(ls perf/PR*_quick_wall.json | sort -t R -k 2 -n | tail -2)
+# "Most recent" = highest PR *number*: extract it and sort numerically,
+# because lexicographic filename order breaks at PR 10 (PR10 < PR5).
+latest_two_by_pr() {
+  sed 's|.*/PR\([0-9][0-9]*\)_quick_wall\.json$|\1 &|' | sort -k 1 -n \
+    | awk '{print $2}' | tail -2
+}
+# Self-check: the selection must survive the PR 10 rollover.
+sel=$(printf 'perf/PR2_quick_wall.json\nperf/PR10_quick_wall.json\nperf/PR9_quick_wall.json\n' \
+  | latest_two_by_pr | tr '\n' ' ')
+if [ "$sel" != "perf/PR9_quick_wall.json perf/PR10_quick_wall.json " ]; then
+  echo "perf-trajectory selection FAILED its self-check: picked [$sel]"
+  exit 1
+fi
+latest_two=$(ls perf/PR*_quick_wall.json | latest_two_by_pr)
 if [ "$(echo "$latest_two" | wc -l)" -eq 2 ]; then
   # shellcheck disable=SC2086
   cargo run --release -q -p overlap-bench --bin harness -- diff --wall $latest_two
 else
   echo "(fewer than two perf/PR*_quick_wall.json artifacts; skipping)"
 fi
+
+echo "==> resumable-engine smoke: one np=256 row (scenarios/smoke256.toml)"
+# Twice the largest historical rank count, driven by the fixed worker
+# pool — seconds at small size. Completing with 0 errors is the gate for
+# "np no longer bounded by how many OS threads the host tolerates".
+cargo run --release -q -p overlap-bench --bin harness -- sweep \
+  --grid scenarios/smoke256.toml --out target/BENCH_smoke256.json
 
 echo "==> perf smoke: simulator-core micro-bench (isend/recv + alltoall)"
 cargo bench -p clustersim --bench core_comm

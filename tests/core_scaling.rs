@@ -135,13 +135,15 @@ fn full_grid_includes_large_rank_counts() {
             && !SweepGrid::HIGH_NP_WORKLOADS.contains(&s.workload.as_str())),
         "only the all-peers families extend past np=32"
     );
-    let big: Vec<_> = specs.iter().filter(|s| s.np == 128).collect();
-    assert_eq!(big.len(), 1, "exactly one np=128 scaling row");
-    assert_eq!(big[0].workload, "direct2d");
+    for np in [128usize, 256, 512] {
+        let big: Vec<_> = specs.iter().filter(|s| s.np == np).collect();
+        assert_eq!(big.len(), 1, "exactly one np={np} scaling row");
+        assert_eq!(big[0].workload, "direct2d");
+    }
     // 8 workloads x np {4,8} x 3 models (rdma-ideal column included)
     // + 8 workloads x np {16,32} x the 2 paper stacks
     // + 3 all-peers workloads x np=64 x the 2 paper stacks
-    // + the direct2d/np=128/MPICH-GM scaling row
+    // + the direct2d/MPICH-GM scaling rows at np {128, 256, 512}
     // + the U-curve tile axis: 3 all-peers workloads x 3 explicit sizes.
-    assert_eq!(specs.len(), 8 * 2 * 3 + 8 * 2 * 2 + 3 * 2 + 1 + 3 * 3);
+    assert_eq!(specs.len(), 8 * 2 * 3 + 8 * 2 * 2 + 3 * 2 + 3 + 3 * 3);
 }

@@ -1,0 +1,109 @@
+//! Differential pinning of the resumable rank engine (PR 7): executing
+//! ranks as suspendable state machines on a bounded worker pool
+//! ([`interp` with `Options::resumable`]) must be *unobservable* next to
+//! the thread-per-rank engine it replaces. For every registry workload
+//! (original AND transformed program) under every preset network model,
+//! virtual times, full per-rank stats, array payloads, prints, and
+//! event traces must be byte-identical — and so must runs under any
+//! worker count, since the workers are a host-side throughput knob
+//! only (DESIGN.md §3).
+
+use clustersim::NetworkModel;
+use interp::{run_program_opts, Options, RunResult};
+use overlap_suite::sweep::{transform_workload, ModelSpec, SizeClass};
+
+fn run(program: &fir::Program, np: usize, model: &NetworkModel, opts: &Options) -> RunResult {
+    run_program_opts(program, np, model, opts).unwrap_or_else(|e| panic!("run failed: {e}"))
+}
+
+/// Everything the simulation produced, compared field-for-field.
+fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.outputs, b.outputs, "{what}: outputs differ");
+    assert_eq!(
+        a.report.per_rank, b.report.per_rank,
+        "{what}: per-rank stats differ"
+    );
+}
+
+/// Exhaustive: every registry workload, original and transformed, under
+/// every preset model at two rank counts — the resumable and
+/// thread-per-rank engines are indistinguishable.
+#[test]
+fn every_registry_workload_is_engine_invariant() {
+    let threaded = Options {
+        resumable: false,
+        ..Default::default()
+    };
+    let resumable = Options::default();
+    assert!(resumable.resumable, "the resumable engine is on by default");
+    for entry in workloads::registry() {
+        for np in [2usize, 4] {
+            let w = (entry.make)(SizeClass::Small, np);
+            let original = w.program();
+            for model_spec in ModelSpec::presets() {
+                let model = model_spec.to_model();
+                let transformed = transform_workload(w.as_ref(), &model, None).program;
+                for (kind, program) in [("original", &original), ("prepush", &transformed)] {
+                    let what = format!("{} np={np} {} {kind}", entry.name, model.name);
+                    let a = run(program, np, &model, &threaded);
+                    let b = run(program, np, &model, &resumable);
+                    assert_identical(&a, &b, &what);
+                }
+            }
+        }
+    }
+}
+
+/// Tracing observes every virtual-time event the simulator emits; the
+/// engines must agree event for event, which pins not just the final
+/// stats but the entire interleaving-insensitive history. Strict
+/// buffer-reuse detection rides along (it adds in-flight window checks
+/// on the delegated non-blocking paths).
+#[test]
+fn traces_are_engine_invariant_event_for_event() {
+    let model = NetworkModel::mpich_gm();
+    for entry in workloads::registry() {
+        let w = (entry.make)(SizeClass::Small, 4);
+        let program = w.program();
+        let mk = |resumable| Options {
+            resumable,
+            trace: true,
+            detect_buffer_reuse: true,
+            ..Default::default()
+        };
+        let a = run(&program, 4, &model, &mk(false));
+        let b = run(&program, 4, &model, &mk(true));
+        assert_identical(&a, &b, entry.name);
+        let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+        assert_eq!(ta.events, tb.events, "{}: traces differ", entry.name);
+    }
+}
+
+/// The worker count is pure host-side throughput: at np = 128 — ranks
+/// far outnumbering any worker set, so parked frames are constantly
+/// migrating between workers — worker counts {1, 2, 8} and the
+/// thread-per-rank engine all produce byte-identical results.
+#[test]
+fn worker_count_is_unobservable_at_np_128() {
+    let np = 128usize;
+    let model = NetworkModel::mpich_gm();
+    let w = workloads::find("direct2d").unwrap();
+    let program = ((w.make)(SizeClass::Small, np)).program();
+    let baseline = run(
+        &program,
+        np,
+        &model,
+        &Options {
+            resumable: false,
+            ..Default::default()
+        },
+    );
+    for workers in [1usize, 2, 8] {
+        let opts = Options {
+            rank_workers: Some(workers),
+            ..Default::default()
+        };
+        let got = run(&program, np, &model, &opts);
+        assert_identical(&baseline, &got, &format!("workers={workers}"));
+    }
+}

@@ -73,6 +73,26 @@ fn quick_grid_from_file_produces_byte_identical_artifact() {
     );
 }
 
+/// The np = 256 smoke file (the verify gate's resumable-engine probe)
+/// loads, stays canonical, and expands to exactly the one giant-rank
+/// row it exists for. It has no compiled-in preset to mirror, so it is
+/// pinned here instead of in `FILES`.
+#[test]
+fn smoke256_file_is_canonical_and_expands_to_one_giant_row() {
+    let text = include_str!("../scenarios/smoke256.toml");
+    let grid = grid_from_toml(text)
+        .unwrap_or_else(|e| panic!("scenarios/smoke256.toml failed to load: {e}"));
+    let specs = grid.expand();
+    assert_eq!(specs.len(), 1);
+    assert_eq!(specs[0].workload, "direct2d");
+    assert_eq!(specs[0].np, 256);
+    let canonical = grid_to_toml(&grid);
+    assert!(
+        text.ends_with(&canonical),
+        "scenarios/smoke256.toml body is not canonical writer form"
+    );
+}
+
 /// Hand-edited files that go wrong must fail with errors that name the
 /// problem and the alternatives — a scenario file typo is a user-facing
 /// event, not an internal one.
