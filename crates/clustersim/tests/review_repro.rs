@@ -1,0 +1,45 @@
+//! Review reproducer: rank 0 waits for a message rank 1 never sends;
+//! rank 1 just finishes. Does the resumable engine detect the deadlock?
+
+use clustersim::{Cluster, Comm, NetworkModel, RankMachine, Step};
+
+struct WaiterOrQuitter {
+    rank: usize,
+    posted: bool,
+}
+
+impl RankMachine for WaiterOrQuitter {
+    type Out = ();
+    fn step(&mut self, comm: &mut Comm) -> Step<()> {
+        if self.rank == 0 {
+            if !self.posted {
+                self.posted = true;
+                comm.irecv(1, 7);
+            }
+            match comm.poll_wait_all_recvs() {
+                Some(_) => Step::Done(()),
+                None => Step::Blocked,
+            }
+        } else {
+            // Rank 1 exits without sending.
+            Step::Done(())
+        }
+    }
+}
+
+#[test]
+fn rank_exit_while_peer_parked_is_reported() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let cluster = Cluster::new(2, NetworkModel::mpich_gm());
+        let out = cluster.run_resumable(Some(1), |comm| WaiterOrQuitter {
+            rank: comm.rank(),
+            posted: false,
+        });
+        tx.send(out.is_err()).unwrap();
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(5)) {
+        Ok(errored) => assert!(errored, "expected a deadlock error"),
+        Err(_) => panic!("HANG: run_resumable never returned"),
+    }
+}
