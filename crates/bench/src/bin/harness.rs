@@ -19,7 +19,7 @@
 //!
 //! sweep subcommands:
 //!   sweep [--grid FILE.toml] [--threads N] [--out PATH] [--wall-out PATH]
-//!         [--baseline OLD.json] [--tol F] [--md-out PATH]
+//!         [--baseline OLD.json] [--incremental] [--tol F] [--md-out PATH]
 //!                                      full evaluation grid (np up to 64,
 //!                                      rdma-ideal column, U-curve tile axis),
 //!                                      in parallel; writes the
@@ -33,7 +33,15 @@
 //!                                      and exits 1 on virtual-time
 //!                                      regressions (one-shot regression
 //!                                      gate), with --md-out writing that
-//!                                      diff as a markdown report
+//!                                      diff as a markdown report;
+//!                                      --incremental (needs --baseline)
+//!                                      re-simulates only the scenarios whose
+//!                                      `input_hash` moved since the baseline
+//!                                      and reuses every other row — the
+//!                                      artifact is byte-identical to a cold
+//!                                      full run, in seconds instead of
+//!                                      minutes (error rows and rows without
+//!                                      a hash are never reused)
 //!   quick [--grid FILE.toml] [--threads N] [--out PATH] [--wall-out PATH]
 //!         [--baseline OLD.json] [--tol F] [--md-out PATH]
 //!                                      tiny smoke grid (seconds); same
@@ -188,6 +196,9 @@ struct SweepFlags {
     /// `diff --wall`: compare host wall-clock timing sections instead of
     /// virtual times.
     wall: bool,
+    /// `sweep --incremental`: reuse baseline rows with matching
+    /// `input_hash`, re-simulating only moved cells.
+    incremental: bool,
 }
 
 /// Parse flags, accepting only the ones the subcommand supports (so
@@ -202,6 +213,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
         grid: None,
         md_out: None,
         wall: false,
+        incremental: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -214,6 +226,10 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
         }
         if a == "--wall" {
             flags.wall = true;
+            continue;
+        }
+        if a == "--incremental" {
+            flags.incremental = true;
             continue;
         }
         let mut grab = |what: &str| {
@@ -305,6 +321,7 @@ fn sweep_cmd(grid: SweepGrid, args: &[String]) {
             "--out",
             "--wall-out",
             "--baseline",
+            "--incremental",
             "--tol",
             "--grid",
             "--md-out",
@@ -314,11 +331,27 @@ fn sweep_cmd(grid: SweepGrid, args: &[String]) {
         eprintln!("--md-out needs --baseline (the markdown report is a diff report)");
         std::process::exit(2);
     }
+    if flags.incremental && flags.baseline.is_none() {
+        eprintln!("--incremental needs --baseline (the artifact whose rows to reuse)");
+        std::process::exit(2);
+    }
     let grid = match &flags.grid {
         Some(path) => load_grid(path),
         None => grid,
     };
-    let result = run_sweep(&grid, flags.threads);
+    let result = if flags.incremental {
+        let baseline_path = flags.baseline.as_deref().expect("checked above");
+        let baseline = load_artifact(baseline_path);
+        let inc = driver::run_sweep_incremental(&grid, flags.threads, &baseline);
+        let simulated = inc.reused.iter().filter(|r| !**r).count();
+        println!(
+            "incremental vs {baseline_path}: reused {} row(s), re-simulated {simulated}",
+            inc.reused.len() - simulated
+        );
+        inc.result
+    } else {
+        run_sweep(&grid, flags.threads)
+    };
     hr(&format!(
         "sweep — {} scenarios ({} ok, {} errors) in {:.0} ms wall",
         result.summary.scenarios,
@@ -374,6 +407,12 @@ fn sweep_cmd(grid: SweepGrid, args: &[String]) {
     if let Some((key, s)) = &result.summary.worst {
         println!("worst: {s:.2}x  {key}");
     }
+    if let Some(t) = &result.timing {
+        println!(
+            "compile cache: {} hit(s), {} miss(es); {} baseline row(s) reused",
+            t.cache_hits, t.cache_misses, t.reused_rows
+        );
+    }
     // Committed artifacts are normalized (host wall-clock zeroed, timing
     // dropped) so the bytes are identical across runs, machines, and
     // thread counts.
@@ -394,8 +433,13 @@ fn sweep_cmd(grid: SweepGrid, args: &[String]) {
         if let Some(t) = &result.timing {
             println!(
                 "wrote {wall_out} (timing: {:.0} ms total, pool capacity {}, \
-                 worker high-water {})",
-                t.wall_ms_total, t.pool_capacity, t.workers_high_water
+                 worker high-water {}, cache {}h/{}m, {} reused)",
+                t.wall_ms_total,
+                t.pool_capacity,
+                t.workers_high_water,
+                t.cache_hits,
+                t.cache_misses,
+                t.reused_rows
             );
         }
     }
@@ -674,6 +718,13 @@ fn wall_diff(baseline_path: &str, candidate_path: &str) {
         matched_old / matched_new.max(1e-9),
         a.wall_ms_total,
         b.wall_ms_total,
+    );
+    // Reuse counters ride along so the perf trajectory shows the cache
+    // *working* — an accidental 0%-hit regression is visible here, not
+    // silent. (Pre-v3 artifacts read back as all-zero counters.)
+    println!(
+        "compile cache: {} -> {} hit(s), {} -> {} miss(es); reused rows {} -> {}",
+        a.cache_hits, b.cache_hits, a.cache_misses, b.cache_misses, a.reused_rows, b.reused_rows,
     );
 }
 

@@ -244,7 +244,12 @@ impl Cluster {
                             .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Ok(done));
                         guard.take();
                         drop(guard);
-                        sched.done(rank);
+                        if sched.done(rank) {
+                            // This rank's exit quiesced the cluster with
+                            // peers still parked: they wait on messages
+                            // that will now never arrive.
+                            shared.mark_deadlocked();
+                        }
                     }
                     Err(payload) => {
                         // The worker thread itself isn't unwinding, so the
@@ -260,7 +265,10 @@ impl Cluster {
                             }));
                         guard.take();
                         drop(guard);
-                        sched.done(rank);
+                        // `poison()` above already woke every parked rank
+                        // to abort, so a quiescing exit needs no separate
+                        // deadlock wake here.
+                        let _ = sched.done(rank);
                     }
                 }
             }

@@ -169,7 +169,13 @@ impl RankSched {
     }
 
     /// The worker finished a step that returned `Done` (or the rank died).
-    pub fn done(&self, rank: usize) {
+    /// Returns true when this completion quiesced the cluster with live
+    /// ranks still parked — the same provable deadlock `park` detects,
+    /// reached via a rank *exiting* while a peer waits on a message it
+    /// will now never send (park alone can't see it: the parker may have
+    /// parked long before the exiting rank finished its step).
+    #[must_use]
+    pub fn done(&self, rank: usize) -> bool {
         let mut g = self.inner.lock();
         g.running -= 1;
         g.state[rank] = RState::Done;
@@ -177,7 +183,13 @@ impl RankSched {
         if g.done == g.state.len() {
             // Release every worker blocked in `next`.
             self.work.notify_all();
+            return false;
         }
+        if g.queue.is_empty() && g.running == 0 && !g.deadlocked {
+            g.deadlocked = true;
+            return true;
+        }
+        false
     }
 }
 
@@ -190,10 +202,10 @@ mod tests {
         let s = RankSched::new(3);
         assert_eq!(s.next(), Some(0));
         assert_eq!(s.next(), Some(1));
-        s.done(0);
-        s.done(1);
+        assert!(!s.done(0));
+        assert!(!s.done(1));
         assert_eq!(s.next(), Some(2));
-        s.done(2);
+        assert!(!s.done(2));
         assert_eq!(s.next(), None);
     }
 
@@ -204,10 +216,10 @@ mod tests {
         s.wake(0); // deposit raced the step
         assert_eq!(s.park(0), ParkOutcome::Requeued);
         assert_eq!(s.next(), Some(1));
-        s.done(1);
+        assert!(!s.done(1));
         // Rank 0 is queued again, not lost.
         assert_eq!(s.next(), Some(0));
-        s.done(0);
+        assert!(!s.done(0));
         assert_eq!(s.next(), None);
     }
 
@@ -218,9 +230,9 @@ mod tests {
         assert_eq!(s.next(), Some(1));
         assert_eq!(s.park(0), ParkOutcome::Parked);
         s.wake(0);
-        s.done(1);
+        assert!(!s.done(1));
         assert_eq!(s.next(), Some(0));
-        s.done(0);
+        assert!(!s.done(0));
         assert_eq!(s.next(), None);
     }
 
@@ -229,9 +241,20 @@ mod tests {
         let s = RankSched::new(2);
         assert_eq!(s.next(), Some(0));
         assert_eq!(s.next(), Some(1));
-        s.done(0);
+        assert!(!s.done(0));
         // Last live rank parks with nothing queued and nothing running.
         assert_eq!(s.park(1), ParkOutcome::Deadlock);
+    }
+
+    #[test]
+    fn exit_while_peer_parked_is_deadlock() {
+        let s = RankSched::new(2);
+        assert_eq!(s.next(), Some(0));
+        assert_eq!(s.next(), Some(1));
+        // Rank 0 blocks waiting on a message only rank 1 could send...
+        assert_eq!(s.park(0), ParkOutcome::Parked);
+        // ...and rank 1 exits instead: quiescence via `done`, not `park`.
+        assert!(s.done(1));
     }
 
     #[test]

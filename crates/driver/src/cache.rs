@@ -1,0 +1,494 @@
+//! Cross-scenario compilation reuse, in two layers.
+//!
+//! **Layer 1 — the in-process compilation cache.** A sweep's grid cells
+//! collapse to far fewer distinct *compilation shapes* than scenarios:
+//! the untransformed program depends only on (workload, size, np), and
+//! the transformed program additionally on the tile request and the four
+//! network-model constants the K-selection heuristic reads — not on the
+//! variant axis, not on thread counts, and not on which of two models
+//! happens to share those constants (`mpich-beta:1` *is* `mpich` to the
+//! transformer). [`CompileCache`] is a shard-locked concurrent map from
+//! those canonical inputs to immutable compiled artifacts: the
+//! [`interp::CompiledProgram`] for the original, and the full
+//! [`TransformOutput`] (report, K-selection status and all) plus the
+//! compiled pre-push program for transforms. Sweep workers
+//! ([`crate::exec::run_sweep`]) share one [global](global) cache; a hit
+//! skips parse → analyze → transform → lower → opt → typecheck entirely
+//! and goes straight to simulation. Reuse cannot change results:
+//! compilation is a pure function of the key, values are `Arc`-shared
+//! and never mutated, and execution depends only on (compiled program,
+//! np, model) — the same argument that lets all ranks of one scenario
+//! share one lowered program (DESIGN.md §5).
+//!
+//! **Layer 2 — content hashes for incremental sweeps.** Every scenario's
+//! *simulation inputs* — the canonical spec bytes, the generated workload
+//! source and analysis context, all network-model constants, the
+//! interpreter's cost/option fingerprint, the workload-registry code
+//! fingerprint, and an engine revision tag — fold into one stable FNV-1a
+//! digest ([`scenario_input_hash`]). The `overlap-sweep/v3` artifact
+//! records it per row, and `harness sweep --incremental --baseline`
+//! reuses baseline rows whose hash matches instead of re-simulating them
+//! (see [`crate::exec::run_sweep_incremental`]). Virtual times are a
+//! deterministic function of these inputs, so a matching hash means the
+//! baseline row is byte-for-byte what a fresh run would produce.
+
+use crate::measure::transform_workload;
+use crate::spec::ScenarioSpec;
+use clustersim::NetworkModel;
+use compuniformer::TransformOutput;
+use interp::{compile_program, CompiledProgram, Options};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::sync::Arc;
+use workloads::{fnv1a, fnv1a_extend, Workload};
+
+/// Bump when simulator, transformation, cost-model, or interpreter
+/// *semantics* change in a way that alters virtual times without any
+/// scenario input changing — it folds into every [`scenario_input_hash`],
+/// so old artifacts stop matching and incremental sweeps re-simulate
+/// everything. (The committed-baseline workflow is self-correcting even
+/// without a bump — the golden quick-grid test forces regenerating the
+/// baseline whenever times move — but privately kept artifacts are not,
+/// hence the tag.)
+pub const ENGINE_FINGERPRINT: &str = "overlap-engine/v1";
+
+/// The compilation inputs that determine a cached artifact, canonically.
+/// `transform: None` keys the untransformed program (model-independent);
+/// `Some(..)` keys a transform by the tile request plus the bit patterns
+/// of the four model constants the K-selection heuristic actually reads —
+/// so models that agree on those constants share one entry.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CompileKey {
+    workload: String,
+    size_id: &'static str,
+    np: usize,
+    transform: Option<TransformAxes>,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct TransformAxes {
+    tile: Option<i64>,
+    /// `to_bits()` of (overhead_ns, cpu_send_ns_per_byte,
+    /// gap_ns_per_byte, latency_ns) — everything `transform_workload`
+    /// feeds the K-selection predictor.
+    model_bits: [u64; 4],
+}
+
+fn kselect_bits(model: &NetworkModel) -> [u64; 4] {
+    [
+        (model.overhead.as_ns() as f64).to_bits(),
+        model.cpu_send_ns_per_byte.to_bits(),
+        model.gap_ns_per_byte.to_bits(),
+        (model.latency.as_ns() as f64).to_bits(),
+    ]
+}
+
+/// A cached compilation: either the original program, or a transform
+/// (the full report — strategy, tile choice, K-selection status — plus
+/// the compiled pre-push program).
+#[derive(Clone)]
+enum Compiled {
+    Original(CompiledProgram),
+    Transformed(Arc<TransformOutput>, CompiledProgram),
+}
+
+/// Cache hit/miss counters (process-lifetime for the [global] cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Counter movement between two snapshots (for per-sweep reporting).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// A concurrent, shard-locked compilation cache. Shards are selected by
+/// the key's FNV digest, so parallel sweep workers compiling different
+/// shapes almost never contend; a worker that loses the race for a shape
+/// blocks briefly on that shard and then *hits*, never compiling twice.
+pub struct CompileCache {
+    shards: Vec<Mutex<HashMap<CompileKey, Compiled>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+const SHARDS: usize = 32;
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompileCache {
+    pub fn new() -> CompileCache {
+        CompileCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct compilation shapes currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &CompileKey) -> &Mutex<HashMap<CompileKey, Compiled>> {
+        let mut h = fnv1a(key.workload.as_bytes());
+        h = fnv1a_extend(h, key.size_id.as_bytes());
+        h = fnv1a_extend(h, &(key.np as u64).to_le_bytes());
+        if let Some(t) = &key.transform {
+            h = fnv1a_extend(h, format!("{:?}", t.tile).as_bytes());
+            for bits in t.model_bits {
+                h = fnv1a_extend(h, &bits.to_le_bytes());
+            }
+        }
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// Fetch or compute under the key's shard lock. Holding the lock
+    /// through the compute keeps the cache single-compile-per-shape (the
+    /// second racer blocks, then hits); other shards stay available.
+    fn get_or_compile(&self, key: CompileKey, compile: impl FnOnce() -> Compiled) -> Compiled {
+        let shard = self.shard(&key);
+        let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compile();
+        map.insert(key, value.clone());
+        value
+    }
+
+    /// The compiled *original* program of `(workload, size, np)` — keyed
+    /// independently of model, tile, and variant, so e.g. the three model
+    /// columns of one grid row compile it once.
+    pub fn original(&self, spec: &ScenarioSpec, w: &dyn Workload) -> CompiledProgram {
+        let key = CompileKey {
+            workload: spec.workload.clone(),
+            size_id: spec.size.id(),
+            np: spec.np,
+            transform: None,
+        };
+        let got = self.get_or_compile(key, || {
+            Compiled::Original(compile_workload_program(w))
+        });
+        match got {
+            Compiled::Original(p) => p,
+            Compiled::Transformed(..) => unreachable!("original key holds original program"),
+        }
+    }
+
+    /// The transform of `(workload, size, np)` under `model`'s K-selection
+    /// constants and the requested tile: the full [`TransformOutput`]
+    /// (report and K-selection status included) plus the compiled
+    /// pre-push program.
+    pub fn transformed(
+        &self,
+        spec: &ScenarioSpec,
+        w: &dyn Workload,
+        model: &NetworkModel,
+    ) -> (Arc<TransformOutput>, CompiledProgram) {
+        let key = CompileKey {
+            workload: spec.workload.clone(),
+            size_id: spec.size.id(),
+            np: spec.np,
+            transform: Some(TransformAxes {
+                tile: spec.tile_size,
+                model_bits: kselect_bits(model),
+            }),
+        };
+        let got = self.get_or_compile(key, || {
+            let out = transform_workload(w, model, spec.tile_size);
+            let compiled = compile_program(&out.program, &Options::default())
+                .unwrap_or_else(|e| {
+                    panic!("workload `{}` transformed program must compile: {e}", w.name())
+                });
+            Compiled::Transformed(Arc::new(out), compiled)
+        });
+        match got {
+            Compiled::Transformed(out, p) => (out, p),
+            Compiled::Original(..) => unreachable!("transform key holds transform"),
+        }
+    }
+}
+
+/// Compile a workload's original program under the sweep's (default)
+/// interpreter options.
+fn compile_workload_program(w: &dyn Workload) -> CompiledProgram {
+    compile_program(&w.program(), &Options::default())
+        .unwrap_or_else(|e| panic!("workload `{}` must compile: {e}", w.name()))
+}
+
+/// The process-wide cache every sweep worker shares. Entries are small
+/// (lowered programs), shapes per grid number in the dozens, and the
+/// process is the natural reuse scope — repeated sweeps (tests, the
+/// harness gate re-running a grid) stay warm.
+pub fn global() -> &'static CompileCache {
+    static CACHE: OnceLock<CompileCache> = OnceLock::new();
+    CACHE.get_or_init(CompileCache::new)
+}
+
+// ------------------------------------------------------- input hashing
+
+/// Everything the interpreter's default [`Options`] bakes into virtual
+/// times: the cost constants and the semantics-preserving switch set.
+fn options_fingerprint(h: u64, opts: &Options) -> u64 {
+    let mut h = fnv1a_extend(h, b"opts");
+    for bits in [
+        opts.cost.ns_per_op.to_bits(),
+        opts.cost.ns_per_stmt.to_bits(),
+        opts.cost.ns_per_call.to_bits(),
+    ] {
+        h = fnv1a_extend(h, &bits.to_le_bytes());
+    }
+    // The switches are pinned byte-identical by the differential suites,
+    // but fold them anyway: the hash should describe inputs, not lean on
+    // theorems about them.
+    fnv1a_extend(
+        h,
+        &[
+            u8::from(opts.detect_buffer_reuse),
+            u8::from(opts.trace),
+            u8::from(opts.optimize),
+            u8::from(opts.typed_chains),
+        ],
+    )
+}
+
+/// All six network-model constants (the simulation reads them all, not
+/// just the four the transformer sees), plus the stable model id.
+fn model_fingerprint(h: u64, spec: &ScenarioSpec) -> u64 {
+    let model = spec.model.to_model();
+    let mut h = fnv1a_extend(h, spec.model.id().as_bytes());
+    for bits in [
+        model.latency.as_ns(),
+        model.overhead.as_ns(),
+        model.gap_ns_per_byte.to_bits(),
+        model.cpu_send_ns_per_byte.to_bits(),
+        model.cpu_recv_ns_per_byte.to_bits(),
+    ] {
+        h = fnv1a_extend(h, &bits.to_le_bytes());
+    }
+    h
+}
+
+/// Content-hash one scenario's simulation inputs with an explicit
+/// registry fingerprint (tests use this to prove a fingerprint change
+/// invalidates every row; production callers use [`scenario_input_hash`]).
+pub fn scenario_input_hash_with(
+    spec: &ScenarioSpec,
+    w: &dyn Workload,
+    registry_fp: u64,
+) -> u64 {
+    let mut h = fnv1a(ENGINE_FINGERPRINT.as_bytes());
+    h = fnv1a_extend(h, &registry_fp.to_le_bytes());
+    // The canonical spec bytes: the same stable key the artifact and the
+    // diff engine use (workload, size, np, model, tile request, variant).
+    h = fnv1a_extend(h, spec.key().as_bytes());
+    // The generated program and its analysis context — a generator tweak
+    // moves exactly the cells whose source changed.
+    h = fnv1a_extend(h, w.source().as_bytes());
+    for (k, v) in w.context_pairs() {
+        h = fnv1a_extend(h, k.as_bytes());
+        h = fnv1a_extend(h, &v.to_le_bytes());
+    }
+    for a in w.output_arrays() {
+        h = fnv1a_extend(h, a.as_bytes());
+    }
+    h = model_fingerprint(h, spec);
+    options_fingerprint(h, &Options::default())
+}
+
+/// Content-hash one scenario's simulation inputs: canonical spec bytes +
+/// generated workload source/context + all model constants + interpreter
+/// option fingerprint + registry code fingerprint + engine revision.
+/// `None` when the workload is unknown to the registry (such a scenario
+/// can only become an error row, which is never reusable anyway).
+pub fn scenario_input_hash(spec: &ScenarioSpec) -> Option<u64> {
+    let entry = workloads::find(&spec.workload)?;
+    let w = (entry.make)(spec.size, spec.np);
+    Some(scenario_input_hash_with(
+        spec,
+        &*w,
+        workloads::registry_fingerprint(),
+    ))
+}
+
+/// Render an input hash the way the artifact stores it (16 hex digits).
+pub fn hash_to_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Parse an artifact's `input_hash` field back.
+pub fn hash_from_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ModelSpec, SizeClass, Variant};
+
+    fn spec(model: ModelSpec, tile: Option<i64>) -> ScenarioSpec {
+        ScenarioSpec {
+            workload: "direct2d".into(),
+            size: SizeClass::Small,
+            np: 2,
+            model,
+            tile_size: tile,
+            variant: Variant::Compare,
+        }
+    }
+
+    fn workload_of(s: &ScenarioSpec) -> Box<dyn Workload> {
+        (workloads::find(&s.workload).unwrap().make)(s.size, s.np)
+    }
+
+    #[test]
+    fn original_is_shared_across_models_and_tiles() {
+        let cache = CompileCache::new();
+        let a = spec(ModelSpec::Mpich, None);
+        let b = spec(ModelSpec::MpichGm, Some(8));
+        cache.original(&a, &*workload_of(&a));
+        let before = cache.stats();
+        cache.original(&b, &*workload_of(&b));
+        let after = cache.stats();
+        assert_eq!(after.since(&before), CacheStats { hits: 1, misses: 0 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn transform_keyed_by_kselect_constants_not_model_name() {
+        let cache = CompileCache::new();
+        // mpich-beta:1 has exactly mpich's constants — one cache entry.
+        let a = spec(ModelSpec::Mpich, None);
+        let b = spec(ModelSpec::MpichBeta(1.0), None);
+        let (out_a, _) = cache.transformed(&a, &*workload_of(&a), &a.model.to_model());
+        let before = cache.stats();
+        let (out_b, _) = cache.transformed(&b, &*workload_of(&b), &b.model.to_model());
+        assert_eq!(cache.stats().since(&before), CacheStats { hits: 1, misses: 0 });
+        assert!(Arc::ptr_eq(&out_a, &out_b), "one Arc-shared transform");
+        // A genuinely different stack misses.
+        let c = spec(ModelSpec::MpichGm, None);
+        cache.transformed(&c, &*workload_of(&c), &c.model.to_model());
+        assert_eq!(cache.stats().misses, 2);
+        // Tile requests key separately.
+        let d = spec(ModelSpec::MpichGm, Some(64));
+        cache.transformed(&d, &*workload_of(&d), &d.model.to_model());
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn cached_compilations_rerun_identically() {
+        let cache = CompileCache::new();
+        let s = spec(ModelSpec::MpichGm, None);
+        let w = workload_of(&s);
+        let model = s.model.to_model();
+        let fresh_out = transform_workload(&*w, &model, None);
+        let fresh = interp::run_program(&fresh_out.program, s.np, &model).unwrap();
+        let (out, compiled) = cache.transformed(&s, &*w, &model);
+        let (out2, compiled2) = cache.transformed(&s, &*w, &model);
+        assert_eq!(fir::unparse(&out.program), fir::unparse(&fresh_out.program));
+        assert!(Arc::ptr_eq(&out, &out2));
+        for c in [compiled, compiled2] {
+            let r = c.run(s.np, &model).unwrap();
+            assert_eq!(r.outputs, fresh.outputs);
+            assert_eq!(r.report.makespan(), fresh.report.makespan());
+        }
+    }
+
+    #[test]
+    fn input_hash_is_stable_and_axis_sensitive() {
+        let base = spec(ModelSpec::MpichGm, None);
+        let h = scenario_input_hash(&base).unwrap();
+        assert_eq!(scenario_input_hash(&base).unwrap(), h, "deterministic");
+
+        let mut np4 = base.clone();
+        np4.np = 4;
+        let mut tiled = base.clone();
+        tiled.tile_size = Some(64);
+        let mut variant = base.clone();
+        variant.variant = Variant::Original;
+        let mut model = base.clone();
+        model.model = ModelSpec::Mpich;
+        let mut size = base.clone();
+        size.size = SizeClass::Medium;
+        for (what, other) in [
+            ("np", &np4),
+            ("tile", &tiled),
+            ("variant", &variant),
+            ("model", &model),
+            ("size", &size),
+        ] {
+            assert_ne!(
+                scenario_input_hash(other).unwrap(),
+                h,
+                "{what} axis must move the hash"
+            );
+        }
+        assert_eq!(scenario_input_hash(&spec_unknown()), None);
+    }
+
+    fn spec_unknown() -> ScenarioSpec {
+        ScenarioSpec {
+            workload: "no-such-kernel".into(),
+            size: SizeClass::Small,
+            np: 2,
+            model: ModelSpec::Mpich,
+            tile_size: None,
+            variant: Variant::Compare,
+        }
+    }
+
+    #[test]
+    fn registry_fingerprint_folds_into_every_hash() {
+        let s = spec(ModelSpec::MpichGm, None);
+        let w = workload_of(&s);
+        let a = scenario_input_hash_with(&s, &*w, 1);
+        let b = scenario_input_hash_with(&s, &*w, 2);
+        assert_ne!(a, b, "a registry-fingerprint change invalidates rows");
+        assert_eq!(
+            scenario_input_hash_with(&s, &*w, workloads::registry_fingerprint()),
+            scenario_input_hash(&s).unwrap()
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for h in [0u64, 1, 0xdead_beef_cafe_f00d, u64::MAX] {
+            assert_eq!(hash_from_hex(&hash_to_hex(h)), Some(h));
+        }
+        assert_eq!(hash_from_hex("xyz"), None);
+        assert_eq!(hash_from_hex("123"), None);
+        assert_eq!(hash_from_hex("00000000000000000"), None); // 17 digits
+    }
+}

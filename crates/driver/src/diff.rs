@@ -364,6 +364,7 @@ mod tests {
             orig_exposed_ns: None,
             prepush_exposed_ns: None,
             speedup: Some(2000.0 / prepush_ns as f64),
+            input_hash: None,
             wall_ms: 0.0,
         }
     }

@@ -14,11 +14,12 @@
 //! live threads stay bounded by the pool's capacity plus the largest
 //! admitted scenario instead of growing with the grid.
 
-use crate::measure::{measure, measure_original, transform_workload};
+use crate::cache::{self, CacheStats};
+use crate::measure::{measure_cached, measure_original_cached};
 use crate::spec::{ScenarioSpec, Variant};
 use crate::SweepGrid;
-use interp::run_program;
-use std::collections::VecDeque;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -47,6 +48,12 @@ pub struct SweepRecord {
     pub orig_exposed_ns: Option<u64>,
     pub prepush_exposed_ns: Option<u64>,
     pub speedup: Option<f64>,
+    /// Content hash of the scenario's simulation inputs
+    /// ([`cache::scenario_input_hash`]): the `--incremental` reuse key.
+    /// `None` when the hash couldn't be computed (unknown workload) or
+    /// the row came from a pre-v3 artifact. Deterministic, so it survives
+    /// normalization and lives in committed artifacts.
+    pub input_hash: Option<u64>,
     /// Host wall-clock spent simulating this scenario, in milliseconds.
     /// Informative only — normalized to 0 in committed artifacts so the
     /// JSON stays byte-deterministic across runs and machines.
@@ -76,6 +83,7 @@ impl SweepRecord {
             orig_exposed_ns: None,
             prepush_exposed_ns: None,
             speedup: None,
+            input_hash: None,
             wall_ms,
         }
     }
@@ -110,6 +118,14 @@ pub struct SweepTiming {
     pub pool_capacity: usize,
     /// High-water mark of live pool worker threads (process lifetime).
     pub workers_high_water: usize,
+    /// Compilation-cache hits during this sweep (delta of the process
+    /// cache's counters across the run).
+    pub cache_hits: u64,
+    /// Compilation-cache misses (= compilations performed) this sweep.
+    pub cache_misses: u64,
+    /// Baseline rows reused instead of re-simulated (`--incremental`
+    /// only; 0 for a plain sweep).
+    pub reused_rows: usize,
     /// `(scenario key, wall_ms)` per record, in record order.
     pub per_scenario: Vec<(String, f64)>,
 }
@@ -192,9 +208,22 @@ pub fn summarize(records: &[SweepRecord], wall_ms: f64) -> SweepSummary {
     }
 }
 
-/// Run one scenario, isolating panics into an error row.
+/// Run one scenario, isolating panics into an error row. Compilation is
+/// served from the process-wide [`cache::global`] compile cache.
 pub fn run_scenario(spec: &ScenarioSpec) -> SweepRecord {
+    run_scenario_in(spec, cache::global())
+}
+
+/// [`run_scenario`] against an explicit cache (tests use private caches
+/// to observe exact hit/miss counts).
+pub fn run_scenario_in(spec: &ScenarioSpec, compile_cache: &cache::CompileCache) -> SweepRecord {
     let t0 = Instant::now();
+    // The input hash is computed as soon as the workload exists, outside
+    // the Result flow, so even a row that *errors* mid-measurement still
+    // carries it (an `--incremental` re-run must see the error row's
+    // identity to know its inputs moved — though error rows are never
+    // reused regardless).
+    let hash_slot = Cell::new(None::<u64>);
     let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<SweepRecord, String> {
         let entry = workloads::find(&spec.workload).ok_or_else(|| {
             let known: Vec<&str> = workloads::registry().iter().map(|e| e.name).collect();
@@ -205,12 +234,17 @@ pub fn run_scenario(spec: &ScenarioSpec) -> SweepRecord {
             )
         })?;
         let w = (entry.make)(spec.size, spec.np);
+        hash_slot.set(Some(cache::scenario_input_hash_with(
+            spec,
+            &*w,
+            workloads::registry_fingerprint(),
+        )));
         let model = spec.model.to_model();
         let mut rec = SweepRecord::failed(spec, String::new(), 0.0);
         rec.status = RunStatus::Ok;
         match spec.variant {
             Variant::Compare => {
-                let m = measure(&*w, spec.np, &model, spec.tile_size);
+                let m = measure_cached(compile_cache, spec, &*w, &model);
                 rec.tile_size = m.tile_size;
                 rec.strategy = m.strategy.clone();
                 rec.orig_ns = Some(m.orig.as_ns());
@@ -220,19 +254,21 @@ pub fn run_scenario(spec: &ScenarioSpec) -> SweepRecord {
                 rec.speedup = Some(m.speedup());
             }
             Variant::Original => {
-                let (makespan, exposed) = measure_original(&*w, spec.np, &model);
+                let (makespan, exposed) =
+                    measure_original_cached(compile_cache, spec, &*w, &model);
                 rec.orig_ns = Some(makespan.as_ns());
                 rec.orig_exposed_ns = Some(exposed.as_ns());
             }
             Variant::Prepush => {
-                let out = transform_workload(&*w, &model, spec.tile_size);
+                let (out, compiled) = compile_cache.transformed(spec, &*w, &model);
                 rec.tile_size = out.report.opportunities.iter().find_map(|o| o.tile_size);
                 rec.strategy = out
                     .report
                     .opportunities
                     .iter()
                     .find_map(|o| o.strategy.map(|s| s.to_string()));
-                let r = run_program(&out.program, spec.np, &model)
+                let r = compiled
+                    .run(spec.np, &model)
                     .map_err(|e| format!("transformed run failed: {e}"))?;
                 rec.prepush_ns = Some(r.report.makespan().as_ns());
                 rec.prepush_exposed_ns = Some(r.report.max_exposed_comm().as_ns());
@@ -241,14 +277,16 @@ pub fn run_scenario(spec: &ScenarioSpec) -> SweepRecord {
         Ok(rec)
     }));
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    match outcome {
+    let mut rec = match outcome {
         Ok(Ok(mut rec)) => {
             rec.wall_ms = wall_ms;
             rec
         }
         Ok(Err(msg)) => SweepRecord::failed(spec, msg, wall_ms),
         Err(panic) => SweepRecord::failed(spec, panic_message(panic), wall_ms),
-    }
+    };
+    rec.input_hash = hash_slot.get();
+    rec
 }
 
 fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
@@ -266,14 +304,28 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
 pub fn run_sweep(grid: &SweepGrid, threads: usize) -> SweepResult {
     let specs = grid.expand();
     let t0 = Instant::now();
+    let cache_before = cache::global().stats();
     let records = run_specs(&specs, threads);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    finish_sweep(records, wall_ms, cache_before, 0)
+}
+
+fn finish_sweep(
+    records: Vec<SweepRecord>,
+    wall_ms: f64,
+    cache_before: CacheStats,
+    reused_rows: usize,
+) -> SweepResult {
     let summary = summarize(&records, wall_ms);
+    let cache_delta = cache::global().stats().since(&cache_before);
     let pool_stats = clustersim::pool::stats();
     let timing = SweepTiming {
         wall_ms_total: wall_ms,
         pool_capacity: clustersim::pool::capacity(),
         workers_high_water: pool_stats.workers_high_water,
+        cache_hits: cache_delta.hits,
+        cache_misses: cache_delta.misses,
+        reused_rows,
         per_scenario: records
             .iter()
             .map(|r| (r.spec.key(), r.wall_ms))
@@ -283,6 +335,86 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> SweepResult {
         records,
         summary,
         timing: Some(timing),
+    }
+}
+
+/// What [`run_sweep_incremental`] did: the merged result plus, per
+/// record, whether it was reused from the baseline (true) or freshly
+/// simulated (false).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalOutcome {
+    pub result: SweepResult,
+    /// Parallel to `result.records`.
+    pub reused: Vec<bool>,
+}
+
+/// Expand `grid` and re-simulate only the cells whose inputs moved since
+/// `baseline`; everything else is reused from the baseline row.
+///
+/// A baseline row is reusable for a cell iff all of:
+/// - its spec key equals the cell's key,
+/// - its status is ok — error rows are *never* reused, even with a
+///   matching hash (the error may have been environmental, and a reused
+///   error teaches nothing), and
+/// - it carries an `input_hash` equal to the cell's freshly computed one
+///   (a missing hash — pre-v3 baseline, unknown workload — is a miss).
+///
+/// Virtual times are a deterministic function of the hashed inputs, so
+/// the merged result normalizes byte-identically to a cold full run;
+/// reused rows get `wall_ms = 0` (no host time was spent on them).
+pub fn run_sweep_incremental(
+    grid: &SweepGrid,
+    threads: usize,
+    baseline: &SweepResult,
+) -> IncrementalOutcome {
+    let specs = grid.expand();
+    let t0 = Instant::now();
+    let cache_before = cache::global().stats();
+
+    let by_key: HashMap<String, &SweepRecord> = baseline
+        .records
+        .iter()
+        .map(|r| (r.spec.key(), r))
+        .collect();
+
+    let mut merged: Vec<Option<SweepRecord>> = vec![None; specs.len()];
+    let mut reused = vec![false; specs.len()];
+    let mut fresh_idx = Vec::new();
+    let mut fresh_specs = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let reusable = cache::scenario_input_hash(spec).and_then(|h| {
+            by_key
+                .get(&spec.key())
+                .filter(|b| b.is_ok() && b.input_hash == Some(h))
+        });
+        match reusable {
+            Some(row) => {
+                let mut row = (*row).clone();
+                row.wall_ms = 0.0;
+                merged[i] = Some(row);
+                reused[i] = true;
+            }
+            None => {
+                fresh_idx.push(i);
+                fresh_specs.push(spec.clone());
+            }
+        }
+    }
+
+    let fresh = run_specs(&fresh_specs, threads);
+    for (i, rec) in fresh_idx.into_iter().zip(fresh) {
+        merged[i] = Some(rec);
+    }
+    let records: Vec<SweepRecord> = merged
+        .into_iter()
+        .map(|r| r.expect("every cell is either reused or freshly run"))
+        .collect();
+
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let reused_rows = reused.iter().filter(|r| **r).count();
+    IncrementalOutcome {
+        result: finish_sweep(records, wall_ms, cache_before, reused_rows),
+        reused,
     }
 }
 
@@ -438,6 +570,77 @@ mod tests {
         assert!(s.per_model.is_empty());
         assert_eq!(s.geomean_speedup, None);
         assert!(s.best.is_none() && s.worst.is_none());
+    }
+
+    #[test]
+    fn records_carry_input_hashes() {
+        let ok = run_scenario(&tiny_spec("direct2d"));
+        assert_eq!(ok.input_hash, cache::scenario_input_hash(&ok.spec));
+        assert!(ok.input_hash.is_some());
+        // Unknown workload: no generator, no hash.
+        let unknown = run_scenario(&tiny_spec("no-such-kernel"));
+        assert_eq!(unknown.input_hash, None);
+    }
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid::new()
+            .workloads(["direct2d", "indirect"])
+            .size(SizeClass::Small)
+            .nps([2])
+            .models([ModelSpec::MpichGm])
+    }
+
+    #[test]
+    fn incremental_with_unchanged_inputs_reuses_every_row() {
+        let cold = run_sweep(&tiny_grid(), 1);
+        let inc = run_sweep_incremental(&tiny_grid(), 1, &cold);
+        assert!(inc.reused.iter().all(|r| *r), "nothing moved → all reused");
+        assert_eq!(inc.result.normalized(), cold.normalized());
+        let t = inc.result.timing.as_ref().unwrap();
+        assert_eq!(t.reused_rows, cold.records.len());
+        assert_eq!(
+            (t.cache_hits, t.cache_misses),
+            (0, 0),
+            "a fully reused sweep never touches the compile cache"
+        );
+        // Reused rows spent no host time.
+        assert!(inc.result.records.iter().all(|r| r.wall_ms == 0.0));
+    }
+
+    #[test]
+    fn incremental_never_reuses_error_rows_or_rows_without_hashes() {
+        let cold = run_sweep(&tiny_grid(), 1);
+
+        // Baseline row errored (hash intact): must re-simulate.
+        let mut poisoned = cold.clone();
+        poisoned.records[0].status = RunStatus::Error("flaky host".into());
+        let inc = run_sweep_incremental(&tiny_grid(), 1, &poisoned);
+        assert!(!inc.reused[0], "error row is a miss even with a matching hash");
+        assert!(inc.reused[1]);
+        assert!(inc.result.records[0].is_ok(), "re-simulation healed the row");
+        assert_eq!(inc.result.normalized(), cold.normalized());
+        assert_eq!(inc.result.timing.as_ref().unwrap().reused_rows, 1);
+
+        // Baseline row lacks input_hash (pre-v3 artifact): must re-simulate.
+        let mut unhashed = cold.clone();
+        unhashed.records[1].input_hash = None;
+        let inc = run_sweep_incremental(&tiny_grid(), 1, &unhashed);
+        assert!(inc.reused[0] && !inc.reused[1]);
+        assert_eq!(inc.result.normalized(), cold.normalized());
+
+        // Baseline row's hash is stale (inputs moved): must re-simulate.
+        let mut stale = cold.clone();
+        stale.records[0].input_hash = Some(0xdead_beef);
+        let inc = run_sweep_incremental(&tiny_grid(), 1, &stale);
+        assert!(!inc.reused[0] && inc.reused[1]);
+        assert_eq!(inc.result.normalized(), cold.normalized());
+
+        // Baseline row missing entirely (new cell): must simulate.
+        let mut shrunk = cold.clone();
+        shrunk.records.remove(0);
+        let inc = run_sweep_incremental(&tiny_grid(), 1, &shrunk);
+        assert!(!inc.reused[0] && inc.reused[1]);
+        assert_eq!(inc.result.normalized(), cold.normalized());
     }
 
     #[test]

@@ -2,24 +2,31 @@
 //! value type, a recursive-descent parser, a pretty writer with stable
 //! key order, and the mapping to/from [`SweepResult`].
 //!
-//! Schema (`overlap-sweep/v2`): one object with `schema`, `records` (one
+//! Schema (`overlap-sweep/v3`): one object with `schema`, `records` (one
 //! object per scenario, in grid order), `summary`, and an *optional*
 //! `timing` section (total/per-scenario host wall-clock plus rank-pool
-//! figures). All virtual times are integer nanoseconds; wall-clock fields
-//! are host time and are what `normalized()` zeroes/drops so committed
-//! artifacts stay byte-deterministic. The reader also accepts the v1
-//! schema (identical minus `timing`), so historical baselines keep
-//! diffing. The writer is canonical: `write(read(write(x)))` equals
-//! `write(x)` byte for byte.
+//! and compile-cache figures). All virtual times are integer nanoseconds;
+//! wall-clock fields are host time and are what `normalized()`
+//! zeroes/drops so committed artifacts stay byte-deterministic. Each
+//! record carries an `input_hash` — the deterministic content hash of its
+//! simulation inputs ([`crate::cache::scenario_input_hash`], 16 hex
+//! digits) that `harness sweep --incremental` keys row reuse on; it is
+//! *not* host-dependent and survives normalization. The reader also
+//! accepts the v2 schema (no `input_hash`, no cache timing fields — both
+//! default to absent/0) and v1 (additionally no `timing`), so historical
+//! baselines keep diffing. The writer is canonical:
+//! `write(read(write(x)))` equals `write(x)` byte for byte.
 
+use crate::cache::{hash_from_hex, hash_to_hex};
 use crate::exec::{summarize, RunStatus, SweepRecord, SweepResult, SweepTiming};
 use crate::spec::{ModelSpec, ScenarioSpec, SizeClass, Variant};
 use std::fmt::Write as _;
 
 /// The schema tag the writer emits.
-pub const SCHEMA: &str = "overlap-sweep/v2";
+pub const SCHEMA: &str = "overlap-sweep/v3";
 
-/// The previous schema, still accepted by the reader.
+/// Previous schemas, still accepted by the reader.
+pub const SCHEMA_V2: &str = "overlap-sweep/v2";
 pub const SCHEMA_V1: &str = "overlap-sweep/v1";
 
 /// A JSON value. Objects keep insertion order (the writer's key order is
@@ -401,6 +408,11 @@ fn record_to_json(r: &SweepRecord) -> Json {
             "speedup".into(),
             r.speedup.map_or(Json::Null, float_field),
         ),
+        (
+            "input_hash".into(),
+            r.input_hash
+                .map_or(Json::Null, |h| Json::Str(hash_to_hex(h))),
+        ),
         ("wall_ms".into(), float_field(r.wall_ms)),
     ])
 }
@@ -462,6 +474,9 @@ pub fn to_json_string(result: &SweepResult) -> String {
                     "workers_high_water".into(),
                     Json::Int(t.workers_high_water as i64),
                 ),
+                ("cache_hits".into(), Json::Int(t.cache_hits as i64)),
+                ("cache_misses".into(), Json::Int(t.cache_misses as i64)),
+                ("reused_rows".into(), Json::Int(t.reused_rows as i64)),
                 (
                     "per_scenario".into(),
                     Json::Arr(
@@ -543,6 +558,15 @@ fn record_from_json(v: &Json, idx: usize) -> Result<SweepRecord, String> {
                 .ok_or_else(|| format!("{what}: `speedup` must be a number"))?,
         ),
     };
+    // Absent in v1/v2 artifacts (not just null): default to None.
+    let input_hash = match v.get("input_hash") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(
+            hash_from_hex(s)
+                .ok_or_else(|| format!("{what}: `input_hash` must be 16 hex digits"))?,
+        ),
+        Some(_) => return Err(format!("{what}: bad `input_hash`")),
+    };
     let wall_ms = field(v, "wall_ms", &what)?
         .as_f64()
         .ok_or_else(|| format!("{what}: `wall_ms` must be a number"))?;
@@ -563,14 +587,16 @@ fn record_from_json(v: &Json, idx: usize) -> Result<SweepRecord, String> {
         orig_exposed_ns: opt_u64("orig_exposed_ns")?,
         prepush_exposed_ns: opt_u64("prepush_exposed_ns")?,
         speedup,
+        input_hash,
         wall_ms,
     })
 }
 
 /// Parse an artifact back into a [`SweepResult`]. The summary is
 /// recomputed from the records (it is derived data), except `wall_ms`,
-/// which is taken from the file. Accepts the current `overlap-sweep/v2`
-/// schema and the historical v1 (which simply lacks `timing`).
+/// which is taken from the file. Accepts the current `overlap-sweep/v3`
+/// schema and the historical v2 (no `input_hash`/cache timing) and v1
+/// (additionally no `timing`).
 pub fn from_json_string(text: &str) -> Result<SweepResult, String> {
     from_json_bytes(text.as_bytes())
 }
@@ -583,9 +609,10 @@ pub fn from_json_bytes(bytes: &[u8]) -> Result<SweepResult, String> {
     let schema = field(&doc, "schema", "document")?
         .as_str()
         .ok_or("document: `schema` must be a string")?;
-    if schema != SCHEMA && schema != SCHEMA_V1 {
+    if schema != SCHEMA && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
         return Err(format!(
-            "unsupported schema `{schema}` (this reader understands `{SCHEMA}` and `{SCHEMA_V1}`)"
+            "unsupported schema `{schema}` (this reader understands `{SCHEMA}`, `{SCHEMA_V2}`, \
+             and `{SCHEMA_V1}`)"
         ));
     }
     let records_json = match field(&doc, "records", "document")? {
@@ -624,6 +651,18 @@ fn timing_from_json(t: &Json) -> Result<SweepTiming, String> {
         .as_u64()
         .ok_or("timing: `workers_high_water` must be an integer")?
         as usize;
+    // Absent before v3: zero, not an error.
+    let opt_count = |key: &str| -> Result<u64, String> {
+        match t.get(key) {
+            None | Some(Json::Null) => Ok(0),
+            Some(j) => j
+                .as_u64()
+                .ok_or_else(|| format!("timing: `{key}` must be a non-negative integer")),
+        }
+    };
+    let cache_hits = opt_count("cache_hits")?;
+    let cache_misses = opt_count("cache_misses")?;
+    let reused_rows = opt_count("reused_rows")? as usize;
     let per_scenario = match field(t, "per_scenario", what)? {
         Json::Arr(items) => items
             .iter()
@@ -644,6 +683,9 @@ fn timing_from_json(t: &Json) -> Result<SweepTiming, String> {
         wall_ms_total,
         pool_capacity,
         workers_high_water,
+        cache_hits,
+        cache_misses,
+        reused_rows,
         per_scenario,
     })
 }
@@ -689,6 +731,7 @@ mod tests {
             orig_exposed_ns: Some(100),
             prepush_exposed_ns: Some(50),
             speedup,
+            input_hash: Some(0x0123_4567_89ab_cdef),
             wall_ms: 0.0,
         }
     }
@@ -735,6 +778,67 @@ mod tests {
         let text = to_json_string(&result);
         let back = from_json_string(&text).unwrap();
         assert_eq!(back.records[0].speedup, Some(2.0));
+        assert_eq!(to_json_string(&back), text);
+    }
+
+    #[test]
+    fn v2_artifacts_still_read_with_hashes_and_cache_stats_defaulted() {
+        // A v3 artifact rewritten to v2 shape: no `input_hash` on records,
+        // no cache fields in timing. The reader must accept it, defaulting
+        // input_hash to None (so `--incremental` treats every row as a
+        // miss) and the cache counters to 0.
+        let mut result = sample_result();
+        result.timing = Some(SweepTiming {
+            wall_ms_total: 1.5,
+            pool_capacity: 8,
+            workers_high_water: 4,
+            cache_hits: 3,
+            cache_misses: 2,
+            reused_rows: 1,
+            per_scenario: vec![("k".into(), 1.5)],
+        });
+        let v3 = to_json_string(&result);
+        let v2 = v3
+            .replace(SCHEMA, SCHEMA_V2)
+            .lines()
+            .filter(|l| {
+                !l.contains("\"input_hash\"")
+                    && !l.contains("\"cache_hits\"")
+                    && !l.contains("\"cache_misses\"")
+                    && !l.contains("\"reused_rows\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Dropping lines leaves a trailing comma before `"wall_ms"`; the
+        // writer always comma-terminates the dropped lines' predecessors,
+        // so the filtered text is still valid JSON.
+        let back = from_json_string(&v2).unwrap();
+        assert!(back.records.iter().all(|r| r.input_hash.is_none()));
+        let t = back.timing.unwrap();
+        assert_eq!((t.cache_hits, t.cache_misses, t.reused_rows), (0, 0, 0));
+
+        // And a malformed hash is an error, not a silent None.
+        let bad = v3.replace("0123456789abcdef", "not-hex-not-16");
+        assert!(from_json_string(&bad)
+            .unwrap_err()
+            .contains("input_hash"));
+    }
+
+    #[test]
+    fn timing_roundtrips_cache_stats() {
+        let mut result = sample_result();
+        result.timing = Some(SweepTiming {
+            wall_ms_total: 2.0,
+            pool_capacity: 16,
+            workers_high_water: 9,
+            cache_hits: 40,
+            cache_misses: 14,
+            reused_rows: 94,
+            per_scenario: vec![],
+        });
+        let text = to_json_string(&result);
+        let back = from_json_string(&text).unwrap();
+        assert_eq!(back.timing, result.timing);
         assert_eq!(to_json_string(&back), text);
     }
 

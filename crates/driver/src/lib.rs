@@ -41,6 +41,7 @@
 //! ```
 
 pub mod analyze;
+pub mod cache;
 pub mod diff;
 pub mod exec;
 pub mod grid;
@@ -51,10 +52,11 @@ mod text;
 pub mod toml;
 
 pub use analyze::{analyze_registry, AnalyzeRow};
+pub use cache::{scenario_input_hash, CacheStats, CompileCache};
 pub use diff::{diff, DiffReport, DiffRow};
 pub use exec::{
-    run_scenario, run_specs, run_sweep, summarize, RunStatus, SweepRecord, SweepResult,
-    SweepSummary, SweepTiming,
+    run_scenario, run_scenario_in, run_specs, run_sweep, run_sweep_incremental, summarize,
+    IncrementalOutcome, RunStatus, SweepRecord, SweepResult, SweepSummary, SweepTiming,
 };
 pub use grid::{FilterSpec, SweepGrid};
 pub use toml::{grid_from_toml, grid_to_toml};

@@ -5,9 +5,11 @@
 //! tables are built from. (Moved here from `overlap_bench` so the sweep
 //! executor and the bench layer share one implementation.)
 
+use crate::cache::CompileCache;
+use crate::spec::ScenarioSpec;
 use clustersim::{NetworkModel, SimTime};
 use compuniformer::{transform, Options, TransformOutput, UserOracle};
-use interp::run_program;
+use interp::{run_program, RunResult};
 use workloads::Workload;
 
 /// Measured figures for one (workload, np, model) point.
@@ -67,7 +69,42 @@ pub fn measure(
     let pre = run_program(&out.program, np, model)
         .unwrap_or_else(|e| panic!("`{}` transformed failed: {e}", w.name()));
 
-    // Equivalence gate (§4): benchmarks must compute identical answers.
+    check_equivalence(w, np, &out, &base, &pre);
+    build_measurement(w, np, model, &out, &base, &pre)
+}
+
+/// [`measure`], but with parse → transform → lower → opt → typecheck
+/// served from `cache`: only the two simulations run. Equivalence is
+/// still asserted on every call — reuse skips *compilation*, never the
+/// §4 gate.
+pub fn measure_cached(
+    cache: &CompileCache,
+    spec: &ScenarioSpec,
+    w: &dyn Workload,
+    model: &NetworkModel,
+) -> Measurement {
+    let np = spec.np;
+    let base = cache
+        .original(spec, w)
+        .run(np, model)
+        .unwrap_or_else(|e| panic!("`{}` original failed: {e}", w.name()));
+    let (out, compiled) = cache.transformed(spec, w, model);
+    let pre = compiled
+        .run(np, model)
+        .unwrap_or_else(|e| panic!("`{}` transformed failed: {e}", w.name()));
+
+    check_equivalence(w, np, &out, &base, &pre);
+    build_measurement(w, np, model, &out, &base, &pre)
+}
+
+/// Equivalence gate (§4): benchmarks must compute identical answers.
+fn check_equivalence(
+    w: &dyn Workload,
+    np: usize,
+    out: &TransformOutput,
+    base: &RunResult,
+    pre: &RunResult,
+) {
     let excluded = out.report.incomparable_arrays();
     for rank in 0..np {
         for name in w.output_arrays() {
@@ -82,7 +119,16 @@ pub fn measure(
             );
         }
     }
+}
 
+fn build_measurement(
+    w: &dyn Workload,
+    np: usize,
+    model: &NetworkModel,
+    out: &TransformOutput,
+    base: &RunResult,
+    pre: &RunResult,
+) -> Measurement {
     Measurement {
         workload: w.name(),
         model: model.name,
@@ -108,6 +154,20 @@ pub fn measure_original(w: &dyn Workload, np: usize, model: &NetworkModel) -> (S
     (r.report.makespan(), r.report.max_exposed_comm())
 }
 
+/// [`measure_original`] with the compiled program served from `cache`.
+pub fn measure_original_cached(
+    cache: &CompileCache,
+    spec: &ScenarioSpec,
+    w: &dyn Workload,
+    model: &NetworkModel,
+) -> (SimTime, SimTime) {
+    let r = cache
+        .original(spec, w)
+        .run(spec.np, model)
+        .unwrap_or_else(|e| panic!("`{}` original failed: {e}", w.name()));
+    (r.report.makespan(), r.report.max_exposed_comm())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +182,39 @@ mod tests {
         assert_eq!(m.tile_size, Some(8));
         assert!(m.strategy.is_some());
         assert!(m.speedup() > 0.0);
+    }
+
+    #[test]
+    fn cached_measure_matches_uncached_exactly() {
+        use crate::spec::{ModelSpec, SizeClass, Variant};
+        let spec = ScenarioSpec {
+            workload: "direct2d".into(),
+            size: SizeClass::Small,
+            np: 2,
+            model: ModelSpec::MpichGm,
+            tile_size: Some(8),
+            variant: Variant::Compare,
+        };
+        let w = workloads::direct2d::Direct2d::small(2);
+        let model = spec.model.to_model();
+        let cold = measure(&w, spec.np, &model, spec.tile_size);
+        let cache = CompileCache::new();
+        // First call fills the cache, second is all-hit: both must agree
+        // with the uncached path on every figure.
+        for _ in 0..2 {
+            let warm = measure_cached(&cache, &spec, &w, &model);
+            assert_eq!(warm.orig, cold.orig);
+            assert_eq!(warm.prepush, cold.prepush);
+            assert_eq!(warm.orig_exposed, cold.orig_exposed);
+            assert_eq!(warm.prepush_exposed, cold.prepush_exposed);
+            assert_eq!(warm.tile_size, cold.tile_size);
+            assert_eq!(warm.strategy, cold.strategy);
+        }
+        assert_eq!(cache.stats().hits, 2, "second call hits both entries");
+
+        let (mo, eo) = measure_original(&w, spec.np, &model);
+        let (mc, ec) = measure_original_cached(&cache, &spec, &w, &model);
+        assert_eq!((mo, eo), (mc, ec));
     }
 
     #[test]

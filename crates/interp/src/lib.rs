@@ -31,6 +31,7 @@ pub mod value;
 pub use cost::{CostModel, Options};
 pub use typeck::analyze_types;
 pub use run::{
-    run_program, run_program_opts, run_source, ArrayDump, RankOutput, RunError, RunResult,
+    compile_program, run_program, run_program_opts, run_source, ArrayDump, CompiledProgram,
+    RankOutput, RunError, RunResult,
 };
 pub use value::{ArrayStorage, Data, Scalar};

@@ -3,12 +3,13 @@
 
 use crate::cost::Options;
 use crate::exec::{Interp, LFrame};
-use crate::lower::LProc;
+use crate::lower::{LProc, LProgram};
 use crate::machine::Machine;
 use crate::value::Data;
 use clustersim::{Cluster, NetworkModel, Report, SimError, Trace};
 use fir::ast::Program;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Final contents of one array (for output comparison).
 #[derive(Debug, Clone, PartialEq)]
@@ -77,10 +78,48 @@ pub fn run_program_opts(
     model: &NetworkModel,
     opts: &Options,
 ) -> Result<RunResult, RunError> {
+    compile_program(program, opts)?.run(np, model)
+}
+
+/// An immutable compiled program: validated, lowered to frame slots, and
+/// (per the compile-time [`Options`]) optimized and type-specialized. The
+/// payload is `Arc`-shared, so cloning a handle is cheap and a single
+/// compilation can back every rank of every scenario that shares the
+/// same compilation inputs — the cross-scenario hop of the same sharing
+/// the ranks of one run already relied on. Handles are `Send + Sync`;
+/// executing one never mutates it.
+#[derive(Clone)]
+pub struct CompiledProgram {
+    lowered: Arc<LProgram>,
+    /// The options the program was compiled under. Cost constants and the
+    /// optimize/typed-chain switches are *baked in* at compile time (block
+    /// charges are precomputed), so runs reuse the same options rather
+    /// than accepting fresh ones that could disagree with the baked state.
+    opts: Options,
+}
+
+impl std::fmt::Debug for CompiledProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledProgram")
+            .field("procs", &self.lowered.procs.len())
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
+/// Validate `program` and compile it once: lower names to frame slots,
+/// then (if `opts.optimize`) fold/unroll/hoist and summarize block costs.
+/// The returned handle can be [run](CompiledProgram::run) any number of
+/// times, on any `np` and any network model, with results byte-identical
+/// to [`run_program_opts`] on the same inputs — compilation is a pure
+/// function of (program, options) and execution never mutates the
+/// compiled form.
+pub fn compile_program(program: &Program, opts: &Options) -> Result<CompiledProgram, RunError> {
     fir::validate::validate(program).map_err(RunError::Invalid)?;
 
-    // Resolve names to frame slots once; all ranks share the lowered
-    // program read-only.
+    // Resolve names to frame slots once; all ranks (and, via the sweep
+    // compilation cache, all scenarios of a grid sharing this shape)
+    // share the lowered program read-only.
     let mut lowered = crate::lower::lower(program);
     if opts.optimize {
         // Constant folding, loop-invariant hoisting, block-summarized
@@ -88,30 +127,48 @@ pub fn run_program_opts(
         // `opt`'s module docs and DESIGN.md §S3).
         crate::opt::optimize(&mut lowered, opts);
     }
-
-    let mut cluster = Cluster::new(np, model.clone());
-    if opts.trace {
-        cluster = cluster.traced();
-    }
-    let out = if opts.resumable {
-        // Resumable engine: ranks are state machines driven by a bounded
-        // worker set; any np runs on a fixed thread count.
-        cluster.run_resumable(opts.rank_workers, |_| Machine::new(&lowered, opts))?
-    } else {
-        // Thread-per-rank reference engine: byte-identical results
-        // (pinned by tests/resumable_differential.rs).
-        cluster.run(|comm| {
-            let mut interp = Interp::new(&lowered, opts);
-            let (final_frame, main) = interp.run_main(comm);
-            rank_output(&final_frame, main, std::mem::take(&mut interp.prints))
-        })?
-    };
-
-    Ok(RunResult {
-        outputs: out.results,
-        report: out.report,
-        trace: out.trace,
+    Ok(CompiledProgram {
+        lowered: Arc::new(lowered),
+        opts: opts.clone(),
     })
+}
+
+impl CompiledProgram {
+    /// The options this program was compiled under (and will run under).
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Run the compiled program on `np` simulated ranks. Repeated runs
+    /// are independent and deterministic: virtual times, stats, outputs,
+    /// and traces depend only on (compiled program, np, model).
+    pub fn run(&self, np: usize, model: &NetworkModel) -> Result<RunResult, RunError> {
+        let opts = &self.opts;
+        let lowered: &LProgram = &self.lowered;
+        let mut cluster = Cluster::new(np, model.clone());
+        if opts.trace {
+            cluster = cluster.traced();
+        }
+        let out = if opts.resumable {
+            // Resumable engine: ranks are state machines driven by a bounded
+            // worker set; any np runs on a fixed thread count.
+            cluster.run_resumable(opts.rank_workers, |_| Machine::new(lowered, opts))?
+        } else {
+            // Thread-per-rank reference engine: byte-identical results
+            // (pinned by tests/resumable_differential.rs).
+            cluster.run(|comm| {
+                let mut interp = Interp::new(lowered, opts);
+                let (final_frame, main) = interp.run_main(comm);
+                rank_output(&final_frame, main, std::mem::take(&mut interp.prints))
+            })?
+        };
+
+        Ok(RunResult {
+            outputs: out.results,
+            report: out.report,
+            trace: out.trace,
+        })
+    }
 }
 
 /// Dump one rank's final state, shared by both engines.
@@ -409,6 +466,57 @@ end program";
         let ta: Vec<_> = a.report.per_rank.iter().map(|r| r.finish).collect();
         let tb: Vec<_> = b.report.per_rank.iter().map(|r| r.finish).collect();
         assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn compiled_program_reruns_byte_identically() {
+        // One compilation handle, many runs, across np and models —
+        // everything must match the compile-each-time path exactly.
+        let src = "\
+program m
+  real :: s(16), r(16)
+  do i = 1, 16
+    s(i) = mynum * 16 + i
+  end do
+  call mpi_alltoall(s, 4, r)
+  do i = 1, 16
+    s(i) = r(i) * 2
+  end do
+end program";
+        let program = fir::parse(src).unwrap();
+        let opts = Options::default();
+        let compiled = compile_program(&program, &opts).unwrap();
+        let cloned = compiled.clone(); // cheap Arc clone, same payload
+        for np in [2usize, 4] {
+            for model in [NetworkModel::mpich(), NetworkModel::mpich_gm()] {
+                let fresh = run_program_opts(&program, np, &model, &opts).unwrap();
+                let a = compiled.run(np, &model).unwrap();
+                let b = cloned.run(np, &model).unwrap();
+                assert_eq!(a.outputs, fresh.outputs);
+                assert_eq!(b.outputs, fresh.outputs);
+                let t = |r: &RunResult| -> Vec<_> {
+                    r.report.per_rank.iter().map(|p| p.finish).collect()
+                };
+                assert_eq!(t(&a), t(&fresh));
+                assert_eq!(t(&b), t(&fresh));
+            }
+        }
+        assert!(compiled.options().optimize);
+    }
+
+    #[test]
+    fn compile_rejects_invalid_programs() {
+        let program = fir::parse("program m\n  np = 3\nend program").unwrap();
+        assert!(matches!(
+            compile_program(&program, &Options::default()),
+            Err(RunError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn compiled_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledProgram>();
     }
 
     #[test]

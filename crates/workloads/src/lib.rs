@@ -206,6 +206,61 @@ pub fn find(name: &str) -> Option<RegistryEntry> {
     registry().into_iter().find(|e| e.name == name)
 }
 
+// -------------------------------------------------------- fingerprinting
+
+/// FNV-1a 64-bit over a byte string: the dependency-free content hash the
+/// sweep engine keys caches and incremental-reuse decisions on. Stable
+/// across runs, platforms, and process restarts (unlike `std`'s seeded
+/// `DefaultHasher`), which is what lets hashes live in committed
+/// artifacts.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continue an FNV-1a hash from a previous digest (for hashing a sequence
+/// of fields without concatenating them into one buffer).
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A content fingerprint of the workload registry: every entry's stable
+/// name, description, overlap guarantee, and — the part that actually
+/// tracks generator code — the generated source text and analysis context
+/// of each workload at a canonical probe point (small size, np = 4).
+/// Any change to a generator's emitted program, an entry's metadata, or
+/// the registry's membership/order changes this value, which invalidates
+/// every cached/reused scenario row keyed on it. Computed once per
+/// process (the sources are cheap string formatting, but there is no
+/// reason to repeat it per scenario).
+pub fn registry_fingerprint() -> u64 {
+    use std::sync::OnceLock;
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(compute_registry_fingerprint)
+}
+
+fn compute_registry_fingerprint() -> u64 {
+    let mut h = fnv1a(b"workload-registry/v1");
+    for e in registry() {
+        h = fnv1a_extend(h, e.name.as_bytes());
+        h = fnv1a_extend(h, e.description.as_bytes());
+        h = fnv1a_extend(h, format!("{:?}", e.min_overlap_np).as_bytes());
+        let w = (e.make)(SizeClass::Small, 4);
+        h = fnv1a_extend(h, w.source().as_bytes());
+        for (k, v) in w.context_pairs() {
+            h = fnv1a_extend(h, k.as_bytes());
+            h = fnv1a_extend(h, &v.to_le_bytes());
+        }
+        for a in w.output_arrays() {
+            h = fnv1a_extend(h, a.as_bytes());
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +298,27 @@ mod tests {
         }
         assert!(find("direct2d").is_some());
         assert!(find("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn fnv1a_is_the_reference_function() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+        // Extension composes exactly like concatenation.
+        assert_eq!(fnv1a_extend(fnv1a(b"foo"), b"bar"), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn registry_fingerprint_is_stable_within_a_process() {
+        let a = registry_fingerprint();
+        let b = registry_fingerprint();
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
+        // And it genuinely covers the generated sources: recomputing from
+        // scratch agrees with the cached value.
+        assert_eq!(a, compute_registry_fingerprint());
     }
 
     #[test]

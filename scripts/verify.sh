@@ -32,6 +32,40 @@ cargo run --release -q -p overlap-bench --bin harness -- quick \
 # ROADMAP's tracked perf trajectory. Refresh the current PR's file with:
 #   cp target/BENCH_sweep_wall.json perf/PR<N>_quick_wall.json
 
+echo "==> compile-cache smoke: quick grid twice, warm run must hit and match bytes"
+# The second run exercises the in-process compilation cache (shared
+# original programs across models guarantee hits even within one run) and
+# must reproduce the cold artifact byte-for-byte — the "reuse without
+# divergence" invariant of DESIGN.md §5.
+warm_out=$(cargo run --release -q -p overlap-bench --bin harness -- quick \
+  --out target/BENCH_quick_warm.json)
+echo "$warm_out"
+hits=$(echo "$warm_out" | sed -n 's/^compile cache: \([0-9][0-9]*\) hit(s).*/\1/p')
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+  echo "compile-cache smoke FAILED: expected >0 compilation-cache hits, got [${hits:-none}]"
+  exit 1
+fi
+cmp BENCH_sweep.json target/BENCH_quick_warm.json || {
+  echo "compile-cache smoke FAILED: warm-cache artifact differs from the cold run"
+  exit 1
+}
+
+echo "==> incremental smoke: --incremental vs the committed artifact reuses rows"
+# With no input changes, every baseline row's input_hash matches, nothing
+# re-simulates, and the merged artifact is byte-identical to the cold one.
+incr_out=$(cargo run --release -q -p overlap-bench --bin harness -- quick \
+  --incremental --baseline BENCH_sweep.json --out target/BENCH_quick_incr.json)
+echo "$incr_out"
+reused=$(echo "$incr_out" | sed -n 's/^incremental vs .*: reused \([0-9][0-9]*\) row(s).*/\1/p')
+if [ -z "$reused" ] || [ "$reused" -eq 0 ]; then
+  echo "incremental smoke FAILED: expected >0 reused rows against the committed artifact, got [${reused:-none}]"
+  exit 1
+fi
+cmp BENCH_sweep.json target/BENCH_quick_incr.json || {
+  echo "incremental smoke FAILED: incremental artifact differs from the committed baseline"
+  exit 1
+}
+
 echo "==> harness analyze: registry x {orig,prepush} x models must verify clean"
 # Static communication-safety verification + type inference over every
 # program the pipeline ships or emits. Any diagnostic (unwaited isend,

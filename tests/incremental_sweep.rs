@@ -1,0 +1,133 @@
+//! Differential suite for the cross-scenario reuse system: the compile
+//! cache and `--incremental` row reuse must be pure wall-clock
+//! optimizations — every artifact they produce is byte-identical to what
+//! a cold, full, single-threaded run writes. These tests pin that
+//! equivalence (DESIGN.md §5), plus the invalidation rules: moved cells
+//! re-simulate, registry-fingerprint changes invalidate everything, and
+//! error rows are never reused.
+
+use overlap_suite::sweep::{
+    cache, json, run_sweep, run_sweep_incremental, ModelSpec, SizeClass, SweepGrid,
+};
+use overlap_suite::workloads;
+
+fn two_workload_grid(models: Vec<ModelSpec>) -> SweepGrid {
+    SweepGrid::new()
+        .workloads(["direct2d", "indirect"])
+        .size(SizeClass::Small)
+        .nps([2, 4])
+        .models(models)
+}
+
+/// (a) Warm-cache sweeps produce the cold artifact's bytes at every
+/// thread count. The first run in this process is the cold one; every
+/// later run — same or different thread count — hits the process-global
+/// compile cache and must not move a byte.
+#[test]
+fn warm_cache_artifact_bytes_match_cold_across_thread_counts() {
+    let grid = SweepGrid::quick();
+    let cold = json::to_json_string(&run_sweep(&grid, 1).normalized());
+    for threads in [1usize, 2, 8] {
+        for pass in 0..2 {
+            let warm = json::to_json_string(&run_sweep(&grid, threads).normalized());
+            assert_eq!(
+                warm, cold,
+                "threads={threads} pass={pass} diverged from the cold artifact"
+            );
+        }
+    }
+}
+
+/// (b) Extending one axis re-simulates exactly the new cells: an
+/// incremental run over the widened grid reuses every baseline cell and
+/// simulates only the added model column — and the merged artifact is
+/// byte-for-byte what a cold run of the widened grid writes.
+#[test]
+fn incremental_resimulates_exactly_the_moved_cells_and_matches_cold_bytes() {
+    let narrow = two_workload_grid(vec![ModelSpec::MpichGm]);
+    let wide = two_workload_grid(vec![ModelSpec::MpichGm, ModelSpec::Mpich]);
+
+    let cold_wide = run_sweep(&wide, 2);
+    let baseline = run_sweep(&narrow, 2);
+    let inc = run_sweep_incremental(&wide, 2, &baseline);
+
+    let specs = wide.expand();
+    assert_eq!(inc.reused.len(), specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        assert_eq!(
+            inc.reused[i],
+            spec.model == ModelSpec::MpichGm,
+            "only the pre-existing model column may be reused: {}",
+            spec.key()
+        );
+    }
+    assert_eq!(
+        json::to_json_string(&inc.result.normalized()),
+        json::to_json_string(&cold_wide.normalized()),
+        "incremental result must normalize to the cold widened-grid bytes"
+    );
+
+    // A "predictor tweak" shape: one baseline row's hash no longer
+    // matches. Exactly that cell re-simulates; bytes still match cold.
+    let mut touched = cold_wide.clone();
+    let victim = touched.records[1].spec.key();
+    touched.records[1].input_hash = touched.records[1].input_hash.map(|h| h ^ 1);
+    let inc = run_sweep_incremental(&wide, 2, &touched);
+    for (i, spec) in specs.iter().enumerate() {
+        assert_eq!(
+            inc.reused[i],
+            spec.key() != victim,
+            "only the touched cell may re-simulate: {}",
+            spec.key()
+        );
+    }
+    assert_eq!(
+        json::to_json_string(&inc.result.normalized()),
+        json::to_json_string(&cold_wide.normalized())
+    );
+}
+
+/// (c) A registry-fingerprint change invalidates all rows: hashes
+/// computed under a different workload-code fingerprint never match, so
+/// the incremental run re-simulates the entire grid (and still lands on
+/// the cold bytes, since the actual generators did not change).
+#[test]
+fn registry_fingerprint_change_invalidates_every_row() {
+    let grid = SweepGrid::quick();
+    let cold = run_sweep(&grid, 2);
+
+    let mut foreign = cold.clone();
+    for r in &mut foreign.records {
+        let entry = workloads::find(&r.spec.workload).expect("quick grid workloads exist");
+        let w = (entry.make)(r.spec.size, r.spec.np);
+        r.input_hash = Some(cache::scenario_input_hash_with(
+            &r.spec,
+            &*w,
+            workloads::registry_fingerprint() ^ 0x5eed,
+        ));
+    }
+    let inc = run_sweep_incremental(&grid, 2, &foreign);
+    assert!(
+        inc.reused.iter().all(|r| !*r),
+        "a fingerprint change must re-simulate everything"
+    );
+    assert_eq!(inc.result.timing.as_ref().unwrap().reused_rows, 0);
+    assert_eq!(
+        json::to_json_string(&inc.result.normalized()),
+        json::to_json_string(&cold.normalized())
+    );
+}
+
+/// The harness path: the baseline arrives *parsed from artifact text*,
+/// not from a live run. Reused rows therefore carry re-parsed floats —
+/// which must re-serialize to the identical bytes (shortest-roundtrip
+/// Display), or file-level incremental reuse would corrupt artifacts.
+#[test]
+fn incremental_against_a_parsed_artifact_reproduces_the_bytes() {
+    let grid = SweepGrid::quick();
+    let text = json::to_json_string(&run_sweep(&grid, 2).normalized());
+    let baseline = json::from_json_string(&text).expect("own artifact parses");
+    let inc = run_sweep_incremental(&grid, 2, &baseline);
+    assert!(inc.reused.iter().all(|r| *r), "nothing moved → all reused");
+    assert_eq!(json::to_json_string(&inc.result.normalized()), text);
+}

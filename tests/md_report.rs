@@ -32,6 +32,7 @@ fn rec(workload: &str, model: ModelSpec, prepush_ns: u64) -> SweepRecord {
         orig_exposed_ns: Some(400),
         prepush_exposed_ns: Some(100),
         speedup: Some(2000.0 / prepush_ns as f64),
+        input_hash: None,
         wall_ms: 0.0,
     }
 }

@@ -72,12 +72,21 @@ fn record_strategy() -> impl Strategy<Value = SweepRecord> {
             // artifact needs.
             prop::option::of((1u32..4_000_000).prop_map(|n| n as f64 / 1000.0)),
             (0u32..100_000).prop_map(|n| n as f64 / 8.0),
+            // Full-range hashes (incl. 0 and u64::MAX shapes) must survive
+            // the hex detour in the artifact.
+            prop::option::of(any::<u64>()),
         ),
         prop::option::of(1i64..4096),
         prop::option::of(strategy_text),
     )
         .prop_map(
-            |(spec, error, (orig, prepush, oexp, pexp, speedup, wall_ms), tile, strategy)| {
+            |(
+                spec,
+                error,
+                (orig, prepush, oexp, pexp, speedup, wall_ms, input_hash),
+                tile,
+                strategy,
+            )| {
                 SweepRecord {
                     spec,
                     status: match error {
@@ -91,6 +100,7 @@ fn record_strategy() -> impl Strategy<Value = SweepRecord> {
                     orig_exposed_ns: oexp,
                     prepush_exposed_ns: pexp,
                     speedup,
+                    input_hash,
                     wall_ms,
                 }
             },
