@@ -75,6 +75,23 @@
 //!                                      line per program (or a JSON array
 //!                                      with --json) and exits 1 if any
 //!                                      program has diagnostics
+//!
+//! network models (the `models` axis of --grid scenario files):
+//!   mpich                  TCP-like stack; per-byte send AND receive CPU
+//!   mpich-gm               Myrinet/GM RDMA stack; near-zero per-byte CPU
+//!   rdma-ideal             zero-overhead upper bound (ablation column)
+//!   mpich-beta:<factor>    mpich with per-byte CPU scaled by <factor>
+//!                          (finite, >= 0); the β involvement sweep
+//!   congested:<links>:<load>
+//!                          mpich-gm behind a shared switch spine of
+//!                          <links> physical links (>= 1) at <load>x
+//!                          background load (finite, > 0): every message
+//!                          also crosses a link stage serialized at
+//!                          gap x ceil(np/links) x load ns/byte
+//!   hetero:<profile>       mpich-gm on a heterogeneous cluster;
+//!                          profiles: half-slow (upper half of ranks 2x
+//!                          slower CPU and NIC), straggler (last rank 4x
+//!                          CPU, 2x NIC)
 //! ```
 //!
 //! Every experiment grid runs through [`driver::run_sweep`]: scenarios

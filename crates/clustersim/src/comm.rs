@@ -133,7 +133,7 @@ impl Comm {
         assert!(dst < self.np(), "isend to rank {dst} of {}", self.np());
         assert_ne!(dst, self.rank, "isend to self is not modeled; copy locally");
         let n = payload.len();
-        let cpu = self.shared.model.send_cpu(n);
+        let cpu = self.shared.model.send_cpu_at(self.rank, self.shared.np, n);
         self.clock += cpu;
         self.stats.comm_cpu += cpu;
 
@@ -165,8 +165,9 @@ impl Comm {
         assert!(src < self.np(), "irecv from rank {src} of {}", self.np());
         let id = RecvId(self.next_recv_id);
         self.next_recv_id += 1;
-        self.clock += self.shared.model.overhead;
-        self.stats.comm_cpu += self.shared.model.overhead;
+        let overhead = self.shared.model.overhead_at(self.rank, self.shared.np);
+        self.clock += overhead;
+        self.stats.comm_cpu += overhead;
         self.pending_recvs.push(PendingRecv {
             id,
             key: MsgKey {
@@ -218,7 +219,7 @@ impl Comm {
             self.stats.blocked += arrival - self.clock;
             self.clock = arrival;
         }
-        let cpu = self.shared.model.recv_cpu(n);
+        let cpu = self.shared.model.recv_cpu_at(self.rank, self.shared.np, n);
         self.clock += cpu;
         self.stats.comm_cpu += cpu;
         self.stats.bytes_recv += n as u64;
@@ -322,8 +323,8 @@ impl Comm {
     /// blocked.
     fn absorb_alltoall(&mut self, entry: SimTime, bytes_per: usize, completion: SimTime) {
         let np = self.np() as u64;
-        let per_pair =
-            self.shared.model.send_cpu(bytes_per) + self.shared.model.recv_cpu(bytes_per);
+        let per_pair = self.shared.model.send_cpu_at(self.rank, self.shared.np, bytes_per)
+            + self.shared.model.recv_cpu_at(self.rank, self.shared.np, bytes_per);
         let cpu_part = SimTime(per_pair.as_ns() * (np - 1));
         let total_jump = completion.saturating_sub(entry);
         let cpu_part = SimTime(cpu_part.as_ns().min(total_jump.as_ns()));

@@ -45,7 +45,7 @@ pub mod trace;
 pub use cluster::{Cluster, RankMachine, RunOutput, SimError, Step};
 pub use pool::PoolStats;
 pub use comm::{Comm, RecvId};
-pub use model::NetworkModel;
+pub use model::{HeteroProfile, NetModel, NetworkModel};
 pub use stats::{RankStats, Report};
 pub use time::SimTime;
 pub use trace::{Event, EventKind, Trace};

@@ -16,16 +16,118 @@
 //! that no restructuring can hide, which is why Figure 1's pre-push bar
 //! improves only modestly under plain MPICH.
 //!
+//! Beyond the five base constants, a model belongs to a **family**
+//! ([`NetModel`]) that layers extra structure on top:
+//!
+//! - [`NetModel::Uniform`] — the flat LogGP+β model above, byte-identical
+//!   to the pre-family behavior;
+//! - [`NetModel::Congested`] — a shared switch link of finite bandwidth
+//!   behind the NICs. Each rank owns a deterministic *share* of the link:
+//!   with `links` physical links and `np` ranks, `ceil(np/links)` ranks
+//!   share one link, so a rank's share serializes bytes at
+//!   `G · ceil(np/links) · load_factor` ns/B (fluid fair-share; the
+//!   `load_factor` models additional background traffic). Messages pass
+//!   through NIC *then* link share on send, and link share *then* NIC on
+//!   receive — two serialization stages, per-rank timelines, so virtual
+//!   times stay a pure function of program order (DESIGN.md §2);
+//! - [`NetModel::Hetero`] — per-rank CPU/NIC speed factors from a named
+//!   [`HeteroProfile`], applied at every charge site.
+//!
 //! The preset constants are order-of-magnitude values for 2005-era hardware
 //! (Fast/Gigabit Ethernet vs Myrinet 2000); DESIGN.md §2 records why only
 //! the *shape* of results depends on them.
 
 use crate::time::SimTime;
+use std::borrow::Cow;
+
+/// Named per-rank speed profile for [`NetModel::Hetero`]: maps
+/// `(rank, np)` to `(cpu_factor, nic_factor)` multipliers (> 1 = slower).
+/// Profiles are closed and named so a profile id fully determines the
+/// factors — the model fingerprint hashes the id, nothing more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeteroProfile {
+    /// The upper half of the ranks (`rank ≥ ceil(np/2)`) runs 2× slower
+    /// on both CPU and NIC — an old-and-new-hardware cluster.
+    HalfSlow,
+    /// The last rank (`np - 1`) is a straggler: 4× slower CPU, 2× slower
+    /// NIC; everyone else is nominal.
+    Straggler,
+}
+
+impl HeteroProfile {
+    /// Every known profile, in id order (parse/help/proptest source).
+    pub const ALL: [HeteroProfile; 2] = [HeteroProfile::HalfSlow, HeteroProfile::Straggler];
+
+    /// Stable id used in `ModelSpec` strings (`hetero:<id>`).
+    pub fn id(&self) -> &'static str {
+        match self {
+            HeteroProfile::HalfSlow => "half-slow",
+            HeteroProfile::Straggler => "straggler",
+        }
+    }
+
+    /// Inverse of [`HeteroProfile::id`].
+    pub fn from_id(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.id() == s)
+    }
+
+    /// `(cpu_factor, nic_factor)` for one rank (both ≥ 1.0; 1.0 = nominal).
+    pub fn factors(&self, rank: usize, np: usize) -> (f64, f64) {
+        match self {
+            HeteroProfile::HalfSlow => {
+                if 2 * rank >= np {
+                    (2.0, 2.0)
+                } else {
+                    (1.0, 1.0)
+                }
+            }
+            HeteroProfile::Straggler => {
+                if np > 1 && rank == np - 1 {
+                    (4.0, 2.0)
+                } else {
+                    (1.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// Worst-case `(cpu_factor, nic_factor)` over all ranks — what a
+    /// conservative predictor should assume.
+    pub fn max_factors(&self, np: usize) -> (f64, f64) {
+        let mut cpu = 1.0f64;
+        let mut nic = 1.0f64;
+        for rank in 0..np {
+            let (c, n) = self.factors(rank, np);
+            cpu = cpu.max(c);
+            nic = nic.max(n);
+        }
+        (cpu, nic)
+    }
+}
+
+/// Model family: the structure a [`NetworkModel`] layers on top of its five
+/// base constants. Enum dispatch — no `dyn` anywhere near the hot paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetModel {
+    /// Flat LogGP+β: every rank and link identical, links unloaded.
+    Uniform,
+    /// A shared switch link of finite bandwidth behind the NICs; see the
+    /// module docs for the deterministic per-rank-share formulation.
+    Congested {
+        /// Number of physical links ranks are spread across (≥ 1).
+        links: u32,
+        /// Background-load multiplier on the link's per-byte time (> 0;
+        /// 1.0 = only this job's fair-share contention).
+        load_factor: f64,
+    },
+    /// Per-rank CPU/NIC speed factors from a named profile.
+    Hetero(HeteroProfile),
+}
 
 /// A network + MPI-stack performance model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkModel {
-    pub name: &'static str,
+    pub name: Cow<'static, str>,
     /// Wire latency `L` added after the NIC finishes pushing the message.
     pub latency: SimTime,
     /// NIC gap per byte, `G = 1/bandwidth`, in ns/byte.
@@ -36,6 +138,8 @@ pub struct NetworkModel {
     pub cpu_send_ns_per_byte: f64,
     /// Receiver CPU cost per byte, paid at wait time, in ns/byte.
     pub cpu_recv_ns_per_byte: f64,
+    /// Model family layered on the constants above.
+    pub family: NetModel,
 }
 
 impl NetworkModel {
@@ -44,12 +148,13 @@ impl NetworkModel {
     /// memcpy + stack traversal at ~125 MB/s aggregate).
     pub fn mpich() -> Self {
         NetworkModel {
-            name: "MPICH",
+            name: Cow::Borrowed("MPICH"),
             latency: SimTime::from_us(55),
             gap_ns_per_byte: 10.0, // ~100 MB/s
             overhead: SimTime::from_us(10),
             cpu_send_ns_per_byte: 8.0,
             cpu_recv_ns_per_byte: 8.0,
+            family: NetModel::Uniform,
         }
     }
 
@@ -57,12 +162,13 @@ impl NetworkModel {
     /// NIC progresses transfers with almost no host involvement.
     pub fn mpich_gm() -> Self {
         NetworkModel {
-            name: "MPICH-GM",
+            name: Cow::Borrowed("MPICH-GM"),
             latency: SimTime::from_us(7),
             gap_ns_per_byte: 4.0, // ~250 MB/s
             overhead: SimTime::from_us(1),
             cpu_send_ns_per_byte: 0.05,
             cpu_recv_ns_per_byte: 0.05,
+            family: NetModel::Uniform,
         }
     }
 
@@ -70,12 +176,13 @@ impl NetworkModel {
     /// on what pre-pushing can deliver.
     pub fn rdma_ideal() -> Self {
         NetworkModel {
-            name: "RDMA-ideal",
+            name: Cow::Borrowed("RDMA-ideal"),
             latency: SimTime::from_us(2),
             gap_ns_per_byte: 1.0, // ~1 GB/s
             overhead: SimTime::from_ns(300),
             cpu_send_ns_per_byte: 0.0,
             cpu_recv_ns_per_byte: 0.0,
+            family: NetModel::Uniform,
         }
     }
 
@@ -84,9 +191,28 @@ impl NetworkModel {
     /// stacks with everything else held fixed.
     pub fn mpich_with_beta_scaled(factor: f64) -> Self {
         let mut m = Self::mpich();
-        m.name = "MPICH-beta-sweep";
+        m.name = Cow::Owned(format!("MPICH-beta-sweep(x{factor})"));
         m.cpu_send_ns_per_byte *= factor;
         m.cpu_recv_ns_per_byte *= factor;
+        m
+    }
+
+    /// `mpich_gm()` behind a congested shared link: `links` physical links
+    /// serve all ranks, and `load_factor` scales the link's per-byte time
+    /// for background traffic. The ROADMAP's "does prepush still win when
+    /// the network is busy?" column.
+    pub fn mpich_gm_congested(links: u32, load_factor: f64) -> Self {
+        let mut m = Self::mpich_gm();
+        m.name = Cow::Owned(format!("MPICH-GM-congested(links={links},load=x{load_factor})"));
+        m.family = NetModel::Congested { links, load_factor };
+        m
+    }
+
+    /// `mpich_gm()` on a heterogeneous cluster described by `profile`.
+    pub fn mpich_gm_hetero(profile: HeteroProfile) -> Self {
+        let mut m = Self::mpich_gm();
+        m.name = Cow::Owned(format!("MPICH-GM-hetero({})", profile.id()));
+        m.family = NetModel::Hetero(profile);
         m
     }
 
@@ -109,6 +235,102 @@ impl NetworkModel {
     pub fn unloaded_transfer(&self, nbytes: usize) -> SimTime {
         self.wire(nbytes) + self.latency
     }
+
+    /// `(cpu_factor, nic_factor)` for one rank — `(1.0, 1.0)` for every
+    /// family except [`NetModel::Hetero`].
+    pub fn rank_factors(&self, rank: usize, np: usize) -> (f64, f64) {
+        match &self.family {
+            NetModel::Hetero(p) => p.factors(rank, np),
+            _ => (1.0, 1.0),
+        }
+    }
+
+    /// Rank-aware [`NetworkModel::send_cpu`]. The non-hetero arm calls the
+    /// uniform helper so existing families keep byte-identical arithmetic.
+    pub fn send_cpu_at(&self, rank: usize, np: usize, nbytes: usize) -> SimTime {
+        match &self.family {
+            NetModel::Hetero(p) => {
+                let (cpu, _) = p.factors(rank, np);
+                scale(self.overhead, cpu)
+                    + SimTime::from_ns_f64(self.cpu_send_ns_per_byte * cpu * nbytes as f64)
+            }
+            _ => self.send_cpu(nbytes),
+        }
+    }
+
+    /// Rank-aware [`NetworkModel::recv_cpu`].
+    pub fn recv_cpu_at(&self, rank: usize, np: usize, nbytes: usize) -> SimTime {
+        match &self.family {
+            NetModel::Hetero(p) => {
+                let (cpu, _) = p.factors(rank, np);
+                scale(self.overhead, cpu)
+                    + SimTime::from_ns_f64(self.cpu_recv_ns_per_byte * cpu * nbytes as f64)
+            }
+            _ => self.recv_cpu(nbytes),
+        }
+    }
+
+    /// Rank-aware fixed posting overhead.
+    pub fn overhead_at(&self, rank: usize, np: usize) -> SimTime {
+        match &self.family {
+            NetModel::Hetero(p) => scale(self.overhead, p.factors(rank, np).0),
+            _ => self.overhead,
+        }
+    }
+
+    /// Rank-aware [`NetworkModel::wire`] (NIC occupancy).
+    pub fn wire_at(&self, rank: usize, np: usize, nbytes: usize) -> SimTime {
+        match &self.family {
+            NetModel::Hetero(p) => {
+                let (_, nic) = p.factors(rank, np);
+                SimTime::from_ns_f64(self.gap_ns_per_byte * nic * nbytes as f64)
+            }
+            _ => self.wire(nbytes),
+        }
+    }
+
+    /// Per-byte time of one rank's *share* of the contended link, or `None`
+    /// for families without a shared-link stage.
+    pub fn link_share_ns_per_byte(&self, np: usize) -> Option<f64> {
+        match self.family {
+            NetModel::Congested { links, load_factor } => {
+                let sharing = np.div_ceil((links as usize).max(1)).max(1) as f64;
+                Some(self.gap_ns_per_byte * sharing * load_factor)
+            }
+            _ => None,
+        }
+    }
+
+    /// Link-share occupancy for an `nbytes` message (`None` when the family
+    /// has no shared-link stage — the NIC booking then skips the stage
+    /// entirely, keeping existing families' arithmetic untouched).
+    pub fn link_wire(&self, np: usize, nbytes: usize) -> Option<SimTime> {
+        self.link_share_ns_per_byte(np)
+            .map(|rate| SimTime::from_ns_f64(rate * nbytes as f64))
+    }
+
+    /// Effective per-byte serialization rate one message sees end-to-end:
+    /// the NIC gap, or the congested link share when that is the slower
+    /// (bottleneck) stage. Equals `gap_ns_per_byte` for uniform models.
+    pub fn effective_gap_ns_per_byte(&self, np: usize) -> f64 {
+        match self.link_share_ns_per_byte(np) {
+            Some(link) => self.gap_ns_per_byte.max(link),
+            None => self.gap_ns_per_byte,
+        }
+    }
+
+    /// Bottleneck-stage serialization time for `nbytes` — what collectives
+    /// charge per pairwise transfer. The uniform arm is exactly
+    /// [`NetworkModel::wire`].
+    pub fn effective_wire(&self, np: usize, nbytes: usize) -> SimTime {
+        SimTime::from_ns_f64(self.effective_gap_ns_per_byte(np) * nbytes as f64)
+    }
+}
+
+/// Scale a `SimTime` by a speed factor (deterministic f64 round-trip, the
+/// same arithmetic `from_ns_f64` applies to every per-byte cost).
+fn scale(t: SimTime, factor: f64) -> SimTime {
+    SimTime::from_ns_f64(t.as_ns() as f64 * factor)
 }
 
 #[cfg(test)]
@@ -156,5 +378,80 @@ mod tests {
         assert_eq!(m0.gap_ns_per_byte, NetworkModel::mpich().gap_ns_per_byte);
         let m2 = NetworkModel::mpich_with_beta_scaled(2.0);
         assert_eq!(m2.cpu_recv_ns_per_byte, 16.0);
+    }
+
+    #[test]
+    fn beta_sweep_names_carry_the_factor() {
+        // Regression: every factor used to be labeled "MPICH-beta-sweep",
+        // making multi-beta grids indistinguishable in reports.
+        let a = NetworkModel::mpich_with_beta_scaled(0.5);
+        let b = NetworkModel::mpich_with_beta_scaled(2.0);
+        assert_ne!(a.name, b.name);
+        assert!(a.name.contains("0.5"), "{}", a.name);
+        assert!(b.name.contains('2'), "{}", b.name);
+    }
+
+    #[test]
+    fn uniform_rank_aware_helpers_match_uniform_helpers_exactly() {
+        // The byte-identity invariant for existing models hinges on the
+        // `_at` arms delegating to the uniform helpers for every rank.
+        for m in [
+            NetworkModel::mpich(),
+            NetworkModel::mpich_gm(),
+            NetworkModel::rdma_ideal(),
+            NetworkModel::mpich_with_beta_scaled(0.25),
+        ] {
+            for rank in 0..8 {
+                for nbytes in [0usize, 17, 4096, 1_000_000] {
+                    assert_eq!(m.send_cpu_at(rank, 8, nbytes), m.send_cpu(nbytes));
+                    assert_eq!(m.recv_cpu_at(rank, 8, nbytes), m.recv_cpu(nbytes));
+                    assert_eq!(m.wire_at(rank, 8, nbytes), m.wire(nbytes));
+                    assert_eq!(m.overhead_at(rank, 8), m.overhead);
+                    assert_eq!(m.effective_wire(8, nbytes), m.wire(nbytes));
+                }
+            }
+            assert_eq!(m.link_wire(8, 4096), None);
+        }
+    }
+
+    #[test]
+    fn congested_link_share_is_fair_share_times_load() {
+        let m = NetworkModel::mpich_gm_congested(2, 1.5);
+        // 8 ranks over 2 links: 4 ranks/link, share rate = 4*4*1.5 = 24 ns/B.
+        assert_eq!(m.link_share_ns_per_byte(8), Some(24.0));
+        // 3 ranks over 2 links: ceil(3/2)=2 sharing, 4*2*1.5 = 12 ns/B.
+        assert_eq!(m.link_share_ns_per_byte(3), Some(12.0));
+        // The link is the bottleneck stage (24 > the 4 ns/B NIC gap).
+        assert_eq!(m.effective_gap_ns_per_byte(8), 24.0);
+        // Base NIC constants are untouched.
+        assert_eq!(m.gap_ns_per_byte, NetworkModel::mpich_gm().gap_ns_per_byte);
+        assert!(m.name.contains("links=2"), "{}", m.name);
+    }
+
+    #[test]
+    fn hetero_profiles_slow_the_right_ranks() {
+        let m = NetworkModel::mpich_gm_hetero(HeteroProfile::HalfSlow);
+        assert_eq!(m.rank_factors(0, 4), (1.0, 1.0));
+        assert_eq!(m.rank_factors(2, 4), (2.0, 2.0));
+        assert_eq!(m.send_cpu_at(2, 4, 1000), scale(m.send_cpu(1000), 2.0));
+        assert_eq!(m.wire_at(3, 4, 1000), scale(m.wire(1000), 2.0));
+        // Odd np: "upper half" starts at ceil(np/2), so np=3 slows rank 2 only.
+        assert_eq!(HeteroProfile::HalfSlow.factors(1, 3), (1.0, 1.0));
+        assert_eq!(HeteroProfile::HalfSlow.factors(2, 3), (2.0, 2.0));
+
+        let s = NetworkModel::mpich_gm_hetero(HeteroProfile::Straggler);
+        assert_eq!(s.rank_factors(3, 4), (4.0, 2.0));
+        assert_eq!(s.rank_factors(0, 4), (1.0, 1.0));
+        // np = 1 has no straggler (there is no "last other rank").
+        assert_eq!(HeteroProfile::Straggler.factors(0, 1), (1.0, 1.0));
+        assert_eq!(HeteroProfile::Straggler.max_factors(8), (4.0, 2.0));
+    }
+
+    #[test]
+    fn hetero_profile_ids_roundtrip() {
+        for p in HeteroProfile::ALL {
+            assert_eq!(HeteroProfile::from_id(p.id()), Some(p));
+        }
+        assert_eq!(HeteroProfile::from_id("slowpokes"), None);
     }
 }

@@ -114,11 +114,19 @@ impl Channel {
     }
 }
 
-/// One rank's NIC timelines.
+/// One rank's NIC timelines — plus, for congested-family models, the
+/// timelines of this rank's deterministic *share* of the contended link
+/// (see `model.rs`: per-rank shares, not a cross-rank resource, so virtual
+/// times stay a pure function of program order). The link fields are never
+/// read or written for families without a link stage
+/// (`NetworkModel::link_wire` returns `None`), which keeps the existing
+/// families' arithmetic byte-identical.
 #[derive(Default, Clone, Copy)]
 struct Nic {
     send_free: SimTime,
     recv_free: SimTime,
+    link_send_free: SimTime,
+    link_recv_free: SimTime,
 }
 
 /// Per-rank wakeup cell: epoch counter + condvar (see module docs).
@@ -305,13 +313,27 @@ impl Shared {
         self.wake(WakeEvent::One(key.dst));
     }
 
-    /// Sender-side NIC booking: returns (depart, nic_done) and advances the
+    /// Sender-side NIC booking: returns (depart, done) and advances the
     /// sender NIC timeline. `cpu_done` is the sender clock after CPU costs.
+    /// Under a congested-family model the message then also occupies the
+    /// sender's link share (NIC → link pipeline), so `done` — the moment
+    /// the bytes have left the sender and its buffer is reusable — includes
+    /// the link stage. This is the *shared* booking function: both engines
+    /// (blocking calls and the `poll_*` halves) and both lock backends
+    /// funnel through it, so the congestion arithmetic is identical by
+    /// construction.
     pub fn book_send_nic(&self, rank: usize, cpu_done: SimTime, nbytes: usize) -> (SimTime, SimTime) {
+        let wire = self.model.wire_at(rank, self.np, nbytes);
+        let link = self.model.link_wire(self.np, nbytes);
         let book = |nic: &mut Nic| {
             let depart = nic.send_free.max(cpu_done);
-            let done = depart + self.model.wire(nbytes);
+            let mut done = depart + wire;
             nic.send_free = done;
+            if let Some(lw) = link {
+                let link_depart = nic.link_send_free.max(done);
+                done = link_depart + lw;
+                nic.link_send_free = done;
+            }
             (depart, done)
         };
         match &self.topo {
@@ -324,9 +346,18 @@ impl Shared {
     /// than `ready_at`, and no earlier than one wire-time after the
     /// previous arrival finished (back-to-back messages from one sender hit
     /// exactly this bound, so single streams pay the wire only once).
-    fn serialize_at_receiver(&self, nic: &mut Nic, msg: &InFlight) -> SimTime {
-        let drain = nic.recv_free + self.model.wire(msg.nbytes());
-        let arrival = msg.ready_at.max(drain);
+    /// Congested-family models add a link-share drain stage *before* the
+    /// NIC (link → NIC pipeline, mirroring the send side); like the send
+    /// side, this function is shared by both engines and both backends.
+    fn serialize_at_receiver(&self, nic: &mut Nic, dst: usize, msg: &InFlight) -> SimTime {
+        let n = msg.nbytes();
+        let mut floor = msg.ready_at;
+        if let Some(lw) = self.model.link_wire(self.np, n) {
+            floor = floor.max(nic.link_recv_free + lw);
+            nic.link_recv_free = floor;
+        }
+        let drain = nic.recv_free + self.model.wire_at(dst, self.np, n);
+        let arrival = floor.max(drain);
         nic.recv_free = arrival;
         arrival
     }
@@ -343,7 +374,7 @@ impl Shared {
                     let seen = *w.epoch.lock();
                     if let Some(msg) = s.channels[idx].lock().pop(key.tag) {
                         let arrival =
-                            self.serialize_at_receiver(&mut s.nics[key.dst].lock(), &msg);
+                            self.serialize_at_receiver(&mut s.nics[key.dst].lock(), key.dst, &msg);
                         return (arrival, msg.payload);
                     }
                     let mut epoch = w.epoch.lock();
@@ -365,7 +396,7 @@ impl Shared {
                         inner.channels[key.src * self.np + key.dst].pop(key.tag)
                     {
                         let arrival =
-                            self.serialize_at_receiver(&mut inner.nics[key.dst], &msg);
+                            self.serialize_at_receiver(&mut inner.nics[key.dst], key.dst, &msg);
                         return (arrival, msg.payload);
                     }
                     if s.cond.wait_for(&mut inner, DEADLOCK_TIMEOUT).timed_out() {
@@ -487,7 +518,7 @@ impl Shared {
         order.sort_by_key(|&j| (popped[j].ready_at, keys[j].src, keys[j].tag));
         let mut arrivals = vec![SimTime::ZERO; popped.len()];
         for &j in &order {
-            arrivals[j] = self.serialize_at_receiver(nic, &popped[j]);
+            arrivals[j] = self.serialize_at_receiver(nic, keys[j].dst, &popped[j]);
         }
         popped
             .into_iter()
@@ -598,6 +629,8 @@ impl Shared {
                             let mut nic = nic.lock();
                             nic.send_free = nic.send_free.max(completion);
                             nic.recv_free = nic.recv_free.max(completion);
+                            nic.link_send_free = nic.link_send_free.max(completion);
+                            nic.link_recv_free = nic.link_recv_free.max(completion);
                         }
                     }
                     s.coll_cond.notify_all();
@@ -625,6 +658,8 @@ impl Shared {
                         for nic in &mut inner.nics {
                             nic.send_free = nic.send_free.max(completion);
                             nic.recv_free = nic.recv_free.max(completion);
+                            nic.link_send_free = nic.link_send_free.max(completion);
+                            nic.link_recv_free = nic.link_recv_free.max(completion);
                         }
                     }
                     s.cond.notify_all();
@@ -774,8 +809,16 @@ impl Shared {
 /// pre-push transformation beats), plus one wire latency:
 ///
 /// ```text
-/// completion = start + (NP-1)·(send_cpu(S) + recv_cpu(S) + wire(S)) + L
+/// completion = start + (NP-1)·max over ranks r of
+///                  (send_cpu_at(r,S) + recv_cpu_at(r,S) + bottleneck_wire(r,S)) + L
 /// ```
+///
+/// where `bottleneck_wire` is the slower of the rank's NIC and (for
+/// congested families) its link share. For uniform models every rank's
+/// term is identical and the formula reduces exactly to the historical
+/// `(NP-1)·(send_cpu(S) + recv_cpu(S) + wire(S))`. The slowest rank bounds
+/// a synchronizing exchange, hence the max — the heterogeneous column's
+/// whole point.
 fn compute_collective(
     model: &NetworkModel,
     np: usize,
@@ -789,7 +832,12 @@ fn compute_collective(
         .fold(SimTime::ZERO, SimTime::max);
 
     let completion = match kind {
-        CollectiveKind::Barrier => start + model.overhead,
+        CollectiveKind::Barrier => {
+            let overhead = (0..np)
+                .map(|r| model.overhead_at(r, np))
+                .fold(SimTime::ZERO, SimTime::max);
+            start + overhead
+        }
         CollectiveKind::Alltoall => {
             // Per-partner payload size (uniform by MPI_ALLTOALL semantics;
             // use the max for robustness).
@@ -801,7 +849,12 @@ fn compute_collective(
                 .max()
                 .unwrap_or(0);
             let pairs = (np - 1) as u64;
-            let per_pair = model.send_cpu(s) + model.recv_cpu(s) + model.wire(s);
+            let per_pair = (0..np)
+                .map(|r| {
+                    let wire = model.effective_wire(np, s).max(model.wire_at(r, np, s));
+                    model.send_cpu_at(r, np, s) + model.recv_cpu_at(r, np, s) + wire
+                })
+                .fold(SimTime::ZERO, SimTime::max);
             start + SimTime(per_pair.as_ns() * pairs) + model.latency
         }
     };

@@ -16,6 +16,62 @@
 //! size. The ablation harness (`harness -- ablation-k`) sweeps K around
 //! this choice to show the U-shaped curve.
 
+/// A network model's **capability view**: what the K-selection heuristic
+/// and profitability predictors are allowed to assume about the model they
+/// optimize for. The driver derives one from each `NetworkModel` family —
+/// effective per-byte CPU, effective bandwidth *under assumed contention*
+/// (for congested models the bottleneck stage's rate, for heterogeneous
+/// clusters the worst rank's) — instead of the predictor reading four raw
+/// constants and silently mispredicting families it was never calibrated
+/// on.
+///
+/// `conservative` is the fallback for families the predictor cannot reason
+/// about: feasible sites are *declined* (reported unprofitable) rather
+/// than risking a known regression, unless the caller forces application
+/// with an explicit tile size or `apply_even_if_unprofitable`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelCaps {
+    /// Per-message fixed CPU overhead `o` (ns). `None` = Myrinet-like.
+    pub overhead_ns: Option<f64>,
+    /// Effective per-byte CPU cost β (ns/B, send side).
+    pub cpu_ns_per_byte: Option<f64>,
+    /// Effective per-byte serialization (1/bandwidth, ns/B) of the
+    /// *bottleneck* stage under the model's assumed contention.
+    pub wire_ns_per_byte: Option<f64>,
+    /// Wire latency `L` (ns).
+    pub latency_ns: Option<f64>,
+    /// Decline feasible sites instead of predicting for them.
+    pub conservative: bool,
+}
+
+impl ModelCaps {
+    /// The historical predictor defaults (Myrinet-like constants), used
+    /// when a caller supplies no model at all.
+    pub fn overhead(&self) -> f64 {
+        self.overhead_ns.unwrap_or(1_000.0)
+    }
+
+    pub fn cpu_per_byte(&self) -> f64 {
+        self.cpu_ns_per_byte.unwrap_or(0.05)
+    }
+
+    pub fn wire_per_byte(&self) -> f64 {
+        self.wire_ns_per_byte.unwrap_or(4.0)
+    }
+
+    pub fn latency(&self) -> f64 {
+        self.latency_ns.unwrap_or(7_000.0)
+    }
+
+    /// The note a conservative decline carries into the transform report.
+    pub fn conservative_note(&self) -> String {
+        "model family outside the predictor's calibration — declining \
+         conservatively (force with an explicit tile size or \
+         apply_even_if_unprofitable)"
+            .to_string()
+    }
+}
+
 /// Inputs the heuristic needs. All costs in nanoseconds.
 #[derive(Debug, Clone)]
 pub struct KselectInput {

@@ -37,13 +37,11 @@ pub struct Options {
     /// Procedures to treat as source-unavailable (exercises the paper's
     /// semi-automatic path).
     pub opaque_procedures: Vec<String>,
-    /// Network-model figures for the K heuristic (overhead ns, CPU
-    /// ns/byte, wire ns/byte, latency ns). Defaults to Myrinet-like
-    /// values.
-    pub kselect_overhead_ns: Option<f64>,
-    pub kselect_cpu_ns_per_byte: Option<f64>,
-    pub kselect_wire_ns_per_byte: Option<f64>,
-    pub kselect_latency_ns: Option<f64>,
+    /// The network model's capability view for the K heuristic and the
+    /// profitability predictors ([`kselect::ModelCaps`]). The default is
+    /// Myrinet-like constants; a `conservative` caps declines feasible
+    /// sites the predictor cannot reason about.
+    pub kselect_model: kselect::ModelCaps,
     /// Apply a feasible transformation even when the model-informed
     /// predictor says pre-pushing will be slower. The default (`false`)
     /// declines such sites and emits the original program with a
@@ -790,14 +788,18 @@ fn plan_direct_rank2_node_outer(
     // other strategy; an explicit requested tile size still bypasses it
     // (ablations force the fallback on purpose).
     if opts.tile_size.is_none() {
-        outcome.unprofitable = kselect::predict_column_slowdown(&kselect::ColumnInput {
-            partner_bytes: eval_expr(&opp.count, ctx).map_or(64.0, |c| (c * 8) as f64),
-            np: ctx.get("np").unwrap_or(8) as f64,
-            ns_per_iteration: kselect::estimate_iteration_ns(body, 1.0, 2.0),
-            overhead_ns: opts.kselect_overhead_ns.unwrap_or(1_000.0),
-            cpu_ns_per_byte: opts.kselect_cpu_ns_per_byte.unwrap_or(0.05),
-            wire_ns_per_byte: opts.kselect_wire_ns_per_byte.unwrap_or(4.0),
-        });
+        outcome.unprofitable = if opts.kselect_model.conservative {
+            Some(opts.kselect_model.conservative_note())
+        } else {
+            kselect::predict_column_slowdown(&kselect::ColumnInput {
+                partner_bytes: eval_expr(&opp.count, ctx).map_or(64.0, |c| (c * 8) as f64),
+                np: ctx.get("np").unwrap_or(8) as f64,
+                ns_per_iteration: kselect::estimate_iteration_ns(body, 1.0, 2.0),
+                overhead_ns: opts.kselect_model.overhead(),
+                cpu_ns_per_byte: opts.kselect_model.cpu_per_byte(),
+                wire_ns_per_byte: opts.kselect_model.wire_per_byte(),
+            })
+        };
     }
 
     let names = OwnerNames::fresh(gen);
@@ -1342,13 +1344,13 @@ fn choose_tile_size(
     let bytes_per_iter = eval_expr(count, &opts.context)
         .map(|c| (c * 8) as f64 * (np - 1) as f64 / trip as f64)
         .unwrap_or(64.0);
-    let overhead_ns = opts.kselect_overhead_ns.unwrap_or(1_000.0);
-    let wire_ns_per_byte = opts.kselect_wire_ns_per_byte.unwrap_or(4.0);
+    let overhead_ns = opts.kselect_model.overhead();
+    let wire_ns_per_byte = opts.kselect_model.wire_per_byte();
     let k = kselect::choose_k(&KselectInput {
         ns_per_iteration: per_iter,
         bytes_per_iteration: bytes_per_iter,
         overhead_ns,
-        cpu_ns_per_byte: opts.kselect_cpu_ns_per_byte.unwrap_or(0.05),
+        cpu_ns_per_byte: opts.kselect_model.cpu_per_byte(),
         wire_ns_per_byte,
         messages_per_tile: (np - 1) as f64,
         trip_count: trip,
@@ -1360,19 +1362,26 @@ fn choose_tile_size(
     // Profitability: would the tiled exchange's added fixed overheads
     // exceed the wire time it can hide? (`align_to` marks the owner-sends
     // strategy, which posts one message per tile; all-peers posts NP-1.)
-    outcome.unprofitable = kselect::predict_slowdown(&kselect::ProfitInput {
-        partner_bytes: eval_expr(count, &opts.context).map_or(64.0, |c| (c * 8) as f64),
-        np: np as f64,
-        trip_count: trip,
-        tile_size: k,
-        messages_per_tile: if align_to.is_some() { 1.0 } else { (np - 1) as f64 },
-        owner_strategy: align_to.is_some(),
-        ns_per_iteration: per_iter,
-        overhead_ns,
-        cpu_ns_per_byte: opts.kselect_cpu_ns_per_byte.unwrap_or(0.05),
-        wire_ns_per_byte,
-        latency_ns: opts.kselect_latency_ns.unwrap_or(7_000.0),
-    });
+    // A conservative caps short-circuits: the predictor has no calibration
+    // for the model family, so feasible sites decline instead of shipping
+    // a potential known regression.
+    outcome.unprofitable = if opts.kselect_model.conservative {
+        Some(opts.kselect_model.conservative_note())
+    } else {
+        kselect::predict_slowdown(&kselect::ProfitInput {
+            partner_bytes: eval_expr(count, &opts.context).map_or(64.0, |c| (c * 8) as f64),
+            np: np as f64,
+            trip_count: trip,
+            tile_size: k,
+            messages_per_tile: if align_to.is_some() { 1.0 } else { (np - 1) as f64 },
+            owner_strategy: align_to.is_some(),
+            ns_per_iteration: per_iter,
+            overhead_ns,
+            cpu_ns_per_byte: opts.kselect_model.cpu_per_byte(),
+            wire_ns_per_byte,
+            latency_ns: opts.kselect_model.latency(),
+        })
+    };
     k
 }
 

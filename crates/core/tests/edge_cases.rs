@@ -308,3 +308,66 @@ end program";
     // Still validates (no duplicate decls).
     fir::parse_validated(&text).unwrap();
 }
+
+#[test]
+fn conservative_model_caps_decline_feasible_sites() {
+    // A model family the predictor has no calibration for hands the
+    // transform a `conservative` capability view: the feasible site must
+    // be *declined with a note* (original program emitted unchanged), not
+    // predicted for — unless the caller forces application.
+    let src = "\
+program main
+  real :: as(16, 2), ar(16, 2)
+  do ix = 1, 16
+    do iz = 1, 2
+      as(ix, iz) = ix + iz
+    end do
+  end do
+  call mpi_alltoall(as, 16, ar)
+end program";
+    let conservative = compuniformer::kselect::ModelCaps {
+        conservative: true,
+        ..Default::default()
+    };
+    let declined = transform_src(
+        src,
+        &Options {
+            kselect_model: conservative.clone(),
+            ..opts(2)
+        },
+    )
+    .unwrap();
+    assert_eq!(declined.report.applied_count(), 0);
+    let unprofitable = declined
+        .report
+        .opportunities
+        .iter()
+        .find_map(|o| match &o.status {
+            Status::Unprofitable(note) => Some(note.clone()),
+            _ => None,
+        })
+        .expect("the feasible site is reported unprofitable");
+    assert!(
+        unprofitable.contains("calibration") && unprofitable.contains("conservatively"),
+        "{unprofitable}"
+    );
+    assert!(fir::unparse(&declined.program).contains("mpi_alltoall"));
+
+    // Both documented overrides force application through the decline.
+    for forced in [
+        Options {
+            kselect_model: conservative.clone(),
+            apply_even_if_unprofitable: true,
+            ..opts(2)
+        },
+        Options {
+            kselect_model: conservative.clone(),
+            tile_size: Some(4),
+            ..opts(2)
+        },
+    ] {
+        let out = transform_src(src, &forced).unwrap();
+        assert_eq!(out.report.applied_count(), 1, "override must apply");
+        assert!(!fir::unparse(&out.program).contains("mpi_alltoall"));
+    }
+}

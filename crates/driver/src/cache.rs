@@ -3,11 +3,13 @@
 //! **Layer 1 — the in-process compilation cache.** A sweep's grid cells
 //! collapse to far fewer distinct *compilation shapes* than scenarios:
 //! the untransformed program depends only on (workload, size, np), and
-//! the transformed program additionally on the tile request and the four
-//! network-model constants the K-selection heuristic reads — not on the
-//! variant axis, not on thread counts, and not on which of two models
-//! happens to share those constants (`mpich-beta:1` *is* `mpich` to the
-//! transformer). [`CompileCache`] is a shard-locked concurrent map from
+//! the transformed program additionally on the tile request and the
+//! model-capability fingerprint — a canonical digest of everything the
+//! K-selection predictor reads from the model's capability view
+//! ([`crate::measure::model_caps`]), whatever the model family — not on
+//! the variant axis, not on thread counts, and not on which of two models
+//! happens to share those capabilities (`mpich-beta:1` *is* `mpich` to
+//! the transformer). [`CompileCache`] is a shard-locked concurrent map from
 //! those canonical inputs to immutable compiled artifacts: the
 //! [`interp::CompiledProgram`] for the original, and the full
 //! [`TransformOutput`] (report, K-selection status and all) plus the
@@ -55,9 +57,10 @@ pub const ENGINE_FINGERPRINT: &str = "overlap-engine/v1";
 
 /// The compilation inputs that determine a cached artifact, canonically.
 /// `transform: None` keys the untransformed program (model-independent);
-/// `Some(..)` keys a transform by the tile request plus the bit patterns
-/// of the four model constants the K-selection heuristic actually reads —
-/// so models that agree on those constants share one entry.
+/// `Some(..)` keys a transform by the tile request plus the canonical
+/// model-capability fingerprint ([`transform_model_fingerprint`]) — so
+/// models that agree on their effective capabilities share one entry, and
+/// models of *any* family that differ in any capability never collide.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct CompileKey {
     workload: String,
@@ -69,19 +72,29 @@ struct CompileKey {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct TransformAxes {
     tile: Option<i64>,
-    /// `to_bits()` of (overhead_ns, cpu_send_ns_per_byte,
-    /// gap_ns_per_byte, latency_ns) — everything `transform_workload`
-    /// feeds the K-selection predictor.
-    model_bits: [u64; 4],
+    /// [`transform_model_fingerprint`] of the model at this key's `np`.
+    model_fp: u64,
 }
 
-fn kselect_bits(model: &NetworkModel) -> [u64; 4] {
-    [
-        (model.overhead.as_ns() as f64).to_bits(),
-        model.cpu_send_ns_per_byte.to_bits(),
-        model.gap_ns_per_byte.to_bits(),
-        (model.latency.as_ns() as f64).to_bits(),
-    ]
+/// Canonical digest of everything the transformation reads from a network
+/// model: the capability view `model_caps(model, np)` — effective
+/// overhead, per-byte CPU, bottleneck per-byte wire rate, latency, and the
+/// conservative flag. This is a pure function of (model constants, family,
+/// np), so two models — of any family — produce the same transform iff
+/// their fingerprints at that `np` agree. Display names never fold in:
+/// `mpich-beta:1` still shares `mpich`'s entry.
+pub fn transform_model_fingerprint(model: &NetworkModel, np: usize) -> u64 {
+    let caps = crate::measure::model_caps(model, np);
+    let mut h = fnv1a(b"model-caps/v1");
+    for bits in [
+        caps.overhead().to_bits(),
+        caps.cpu_per_byte().to_bits(),
+        caps.wire_per_byte().to_bits(),
+        caps.latency().to_bits(),
+    ] {
+        h = fnv1a_extend(h, &bits.to_le_bytes());
+    }
+    fnv1a_extend(h, &[u8::from(caps.conservative)])
 }
 
 /// A cached compilation: either the original program, or a transform
@@ -162,9 +175,7 @@ impl CompileCache {
         h = fnv1a_extend(h, &(key.np as u64).to_le_bytes());
         if let Some(t) = &key.transform {
             h = fnv1a_extend(h, format!("{:?}", t.tile).as_bytes());
-            for bits in t.model_bits {
-                h = fnv1a_extend(h, &bits.to_le_bytes());
-            }
+            h = fnv1a_extend(h, &t.model_fp.to_le_bytes());
         }
         &self.shards[(h as usize) % SHARDS]
     }
@@ -220,7 +231,7 @@ impl CompileCache {
             np: spec.np,
             transform: Some(TransformAxes {
                 tile: spec.tile_size,
-                model_bits: kselect_bits(model),
+                model_fp: transform_model_fingerprint(model, spec.np),
             }),
         };
         let got = self.get_or_compile(key, || {
@@ -281,8 +292,13 @@ fn options_fingerprint(h: u64, opts: &Options) -> u64 {
     )
 }
 
-/// All six network-model constants (the simulation reads them all, not
-/// just the four the transformer sees), plus the stable model id.
+/// The canonical model section of the input hash: *all* constants of any
+/// model family (the simulation reads them all, not just what the
+/// transformer sees), plus the stable model id. The five base constants
+/// fold exactly as they did before model families existed — so committed
+/// `input_hash` values for uniform models (mpich, mpich-gm, rdma-ideal,
+/// mpich-beta) are unchanged and v3 artifacts stay readable — and each
+/// non-uniform family appends its own extra constants after them.
 fn model_fingerprint(h: u64, spec: &ScenarioSpec) -> u64 {
     let model = spec.model.to_model();
     let mut h = fnv1a_extend(h, spec.model.id().as_bytes());
@@ -294,6 +310,18 @@ fn model_fingerprint(h: u64, spec: &ScenarioSpec) -> u64 {
         model.cpu_recv_ns_per_byte.to_bits(),
     ] {
         h = fnv1a_extend(h, &bits.to_le_bytes());
+    }
+    match &model.family {
+        clustersim::NetModel::Uniform => {}
+        clustersim::NetModel::Congested { links, load_factor } => {
+            h = fnv1a_extend(h, b"congested");
+            h = fnv1a_extend(h, &u64::from(*links).to_le_bytes());
+            h = fnv1a_extend(h, &load_factor.to_bits().to_le_bytes());
+        }
+        clustersim::NetModel::Hetero(p) => {
+            h = fnv1a_extend(h, b"hetero");
+            h = fnv1a_extend(h, p.id().as_bytes());
+        }
     }
     h
 }
@@ -405,6 +433,74 @@ mod tests {
         let d = spec(ModelSpec::MpichGm, Some(64));
         cache.transformed(&d, &*workload_of(&d), &d.model.to_model());
         assert_eq!(cache.stats().misses, 3);
+    }
+
+    /// Generalizes the Arc::ptr_eq pin above to every model family: two
+    /// *distinct* ModelSpecs share one transform entry exactly when their
+    /// canonical capability fingerprints match — never otherwise.
+    #[test]
+    fn distinct_models_share_transform_entries_iff_fingerprints_match() {
+        use clustersim::HeteroProfile;
+        let cache = CompileCache::new();
+        let models = [
+            ModelSpec::Mpich,
+            ModelSpec::MpichGm,
+            ModelSpec::RdmaIdeal,
+            ModelSpec::MpichBeta(1.0), // mpich's constants — must share with it
+            ModelSpec::MpichBeta(0.5),
+            ModelSpec::Congested { links: 1, load: 2.0 },
+            ModelSpec::Congested { links: 2, load: 2.0 },
+            ModelSpec::Hetero(HeteroProfile::HalfSlow),
+            ModelSpec::Hetero(HeteroProfile::Straggler),
+        ];
+        let outs: Vec<(String, u64, Arc<TransformOutput>)> = models
+            .iter()
+            .map(|m| {
+                let s = spec(m.clone(), None);
+                let model = m.to_model();
+                let (out, _) = cache.transformed(&s, &*workload_of(&s), &model);
+                (m.id(), transform_model_fingerprint(&model, s.np), out)
+            })
+            .collect();
+        let mut shared_pairs = 0;
+        for (i, (ida, fa, oa)) in outs.iter().enumerate() {
+            for (idb, fb, ob) in &outs[i + 1..] {
+                assert_eq!(
+                    fa == fb,
+                    Arc::ptr_eq(oa, ob),
+                    "{ida} vs {idb}: entries must be shared iff fingerprints match"
+                );
+                if fa == fb {
+                    shared_pairs += 1;
+                }
+            }
+        }
+        assert!(shared_pairs >= 1, "mpich / mpich-beta:1 must share");
+        assert!(
+            outs.iter().map(|(_, f, _)| f).collect::<std::collections::HashSet<_>>().len() >= 7,
+            "the families must produce mostly-distinct fingerprints"
+        );
+    }
+
+    /// The input-hash model section must cover family-specific constants:
+    /// two congested levels (same base constants) and each hetero profile
+    /// get distinct row hashes.
+    #[test]
+    fn input_hash_distinguishes_family_constants() {
+        use clustersim::HeteroProfile;
+        let hashes: Vec<u64> = [
+            ModelSpec::MpichGm,
+            ModelSpec::Congested { links: 1, load: 1.5 },
+            ModelSpec::Congested { links: 1, load: 3.0 },
+            ModelSpec::Congested { links: 2, load: 1.5 },
+            ModelSpec::Hetero(HeteroProfile::HalfSlow),
+            ModelSpec::Hetero(HeteroProfile::Straggler),
+        ]
+        .into_iter()
+        .map(|m| scenario_input_hash(&spec(m, None)).unwrap())
+        .collect();
+        let distinct: std::collections::HashSet<_> = hashes.iter().collect();
+        assert_eq!(distinct.len(), hashes.len(), "all rows must hash distinctly");
     }
 
     #[test]

@@ -231,14 +231,29 @@ impl SweepGrid {
     /// sizes); and an explicit tile-size axis {64, 512, 4096} around
     /// the heuristic's choice (the U-curve) for the all-peers families
     /// at np = 8 on MPICH-GM.
+    ///
+    /// Since the pluggable model layer landed, the grid also carries the
+    /// non-uniform columns at the paper's np {4, 8}: congested MPICH-GM at
+    /// two contention levels (`congested:2:1.5`, `congested:2:3` — a
+    /// 2-link switch at 1.5× and 3× background load) and the `half-slow`
+    /// heterogeneous profile. Like `rdma-ideal`, each is scoped by a
+    /// `ModelNpCap` filter so the contention/heterogeneity question is
+    /// answered at Figure-1 scale without multiplying the large-np rows.
     pub fn full() -> Self {
         let high_np: Vec<String> =
             Self::HIGH_NP_WORKLOADS.iter().map(|w| w.to_string()).collect();
-        SweepGrid::new()
+        let mut grid = SweepGrid::new()
             .workloads(workloads::registry().iter().map(|e| e.name))
             .size(SizeClass::Standard)
             .nps([4, 8, 16, 32, 64, 128, 256, 512])
-            .models([ModelSpec::Mpich, ModelSpec::MpichGm, ModelSpec::RdmaIdeal])
+            .models([
+                ModelSpec::Mpich,
+                ModelSpec::MpichGm,
+                ModelSpec::RdmaIdeal,
+                ModelSpec::Congested { links: 2, load: 1.5 },
+                ModelSpec::Congested { links: 2, load: 3.0 },
+                ModelSpec::Hetero(clustersim::HeteroProfile::HalfSlow),
+            ])
             .tile_sizes([None, Some(64), Some(512), Some(4096)])
             .filter(FilterSpec::NpCapExcept {
                 max_np: 32,
@@ -255,12 +270,18 @@ impl SweepGrid {
             .filter(FilterSpec::ModelNpCap {
                 model: "mpich".into(),
                 max_np: 64,
-            })
-            .filter(FilterSpec::TileAxisScope {
-                workloads: high_np,
-                nps: vec![8],
-                models: vec!["mpich-gm".into()],
-            })
+            });
+        for scoped in ["congested:2:1.5", "congested:2:3", "hetero:half-slow"] {
+            grid = grid.filter(FilterSpec::ModelNpCap {
+                model: scoped.into(),
+                max_np: 8,
+            });
+        }
+        grid.filter(FilterSpec::TileAxisScope {
+            workloads: high_np,
+            nps: vec![8],
+            models: vec!["mpich-gm".into()],
+        })
     }
 
     /// A tiny smoke grid (seconds, even in debug builds): two workload
@@ -473,6 +494,28 @@ mod tests {
             assert_eq!(big.len(), 1, "np={np} rows");
             assert_eq!(big[0].workload, "direct2d");
             assert_eq!(big[0].model, ModelSpec::MpichGm);
+        }
+    }
+
+    #[test]
+    fn full_grid_carries_the_congested_and_hetero_columns() {
+        let specs = SweepGrid::full().expand();
+        // Two contention levels plus one heterogeneity profile, each over
+        // the whole registry at the paper's np {4, 8} — scoped exactly
+        // like the rdma-ideal column, and never on the explicit tile axis.
+        for m in [
+            ModelSpec::Congested { links: 2, load: 1.5 },
+            ModelSpec::Congested { links: 2, load: 3.0 },
+            ModelSpec::Hetero(clustersim::HeteroProfile::HalfSlow),
+        ] {
+            let col: Vec<_> = specs.iter().filter(|s| s.model == m).collect();
+            assert_eq!(
+                col.len(),
+                workloads::registry().len() * 2,
+                "{} rows",
+                m.id()
+            );
+            assert!(col.iter().all(|s| s.np <= 8 && s.tile_size.is_none()));
         }
     }
 }

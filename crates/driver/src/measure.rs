@@ -7,7 +7,8 @@
 
 use crate::cache::CompileCache;
 use crate::spec::ScenarioSpec;
-use clustersim::{NetworkModel, SimTime};
+use clustersim::{NetModel, NetworkModel, SimTime};
+use compuniformer::kselect::ModelCaps;
 use compuniformer::{transform, Options, TransformOutput, UserOracle};
 use interp::{run_program, RunResult};
 use workloads::Workload;
@@ -16,7 +17,9 @@ use workloads::Workload;
 #[derive(Debug, Clone)]
 pub struct Measurement {
     pub workload: &'static str,
-    pub model: &'static str,
+    /// Display name of the network model (owned: beta-sweep and
+    /// congested/hetero names embed their parameters).
+    pub model: String,
     pub np: usize,
     /// The tile size actually used (heuristic or requested).
     pub tile_size: Option<i64>,
@@ -34,20 +37,59 @@ impl Measurement {
     }
 }
 
+/// Capability view of `model` for the K-selection predictor ([`ModelCaps`]):
+/// effective constants under the family's assumed contention at `np` ranks.
+///
+/// - Uniform families expose their raw constants (exactly the four values
+///   the predictor historically read);
+/// - congested families expose the *bottleneck* stage's per-byte rate —
+///   the link share when it is slower than the NIC — so K is chosen for
+///   the bandwidth a transfer actually gets;
+/// - heterogeneous families expose the worst rank's effective constants
+///   (the slowest rank bounds every synchronizing exchange).
+///
+/// Any future family this mapping does not understand must set
+/// `conservative: true` so feasible sites decline instead of shipping an
+/// uncalibrated prediction.
+pub fn model_caps(model: &NetworkModel, np: usize) -> ModelCaps {
+    let base = ModelCaps {
+        overhead_ns: Some(model.overhead.as_ns() as f64),
+        cpu_ns_per_byte: Some(model.cpu_send_ns_per_byte),
+        wire_ns_per_byte: Some(model.gap_ns_per_byte),
+        latency_ns: Some(model.latency.as_ns() as f64),
+        conservative: false,
+    };
+    match &model.family {
+        NetModel::Uniform => base,
+        NetModel::Congested { .. } => ModelCaps {
+            wire_ns_per_byte: Some(model.effective_gap_ns_per_byte(np)),
+            ..base
+        },
+        NetModel::Hetero(p) => {
+            let (cpu, nic) = p.max_factors(np);
+            ModelCaps {
+                overhead_ns: base.overhead_ns.map(|o| o * cpu),
+                cpu_ns_per_byte: base.cpu_ns_per_byte.map(|c| c * cpu),
+                wire_ns_per_byte: base.wire_ns_per_byte.map(|w| w * nic),
+                ..base
+            }
+        }
+    }
+}
+
 /// Transform a workload with the model-informed K heuristic.
 pub fn transform_workload(
     w: &dyn Workload,
     model: &NetworkModel,
     tile_size: Option<i64>,
 ) -> TransformOutput {
+    let context = w.context();
+    let np = context.get("np").unwrap_or(8).max(1) as usize;
     let opts = Options {
         tile_size,
-        context: w.context(),
+        context,
         oracle: UserOracle::AssumeSafe,
-        kselect_overhead_ns: Some(model.overhead.as_ns() as f64),
-        kselect_cpu_ns_per_byte: Some(model.cpu_send_ns_per_byte),
-        kselect_wire_ns_per_byte: Some(model.gap_ns_per_byte),
-        kselect_latency_ns: Some(model.latency.as_ns() as f64),
+        kselect_model: model_caps(model, np),
         ..Default::default()
     };
     transform(&w.program(), &opts)
@@ -131,7 +173,7 @@ fn build_measurement(
 ) -> Measurement {
     Measurement {
         workload: w.name(),
-        model: model.name,
+        model: model.name.to_string(),
         np,
         tile_size: out.report.opportunities.iter().find_map(|o| o.tile_size),
         strategy: out

@@ -4,7 +4,7 @@
 //! artifacts, and diff keys can describe scenarios without holding live
 //! programs or models.
 
-use clustersim::NetworkModel;
+use clustersim::{HeteroProfile, NetworkModel};
 pub use workloads::SizeClass;
 
 /// Which program variants a scenario runs.
@@ -49,7 +49,21 @@ pub enum ModelSpec {
     /// `NetworkModel::mpich_with_beta_scaled(factor)`: the per-byte CPU
     /// involvement sweep between TCP-like and RDMA-like stacks.
     MpichBeta(f64),
+    /// `NetworkModel::mpich_gm_congested(links, load)`: MPICH-GM behind a
+    /// shared switch link — `links` physical links serve all ranks and
+    /// `load` scales the link's per-byte time for background traffic.
+    Congested { links: u32, load: f64 },
+    /// `NetworkModel::mpich_gm_hetero(profile)`: MPICH-GM on a
+    /// heterogeneous cluster with a named per-rank speed profile.
+    Hetero(HeteroProfile),
 }
+
+/// One-line summary of every valid model id and family, for parse errors
+/// and `--model` help.
+pub const MODEL_FORMS: &str = "valid ids: mpich, mpich-gm, rdma-ideal; \
+     families: mpich-beta:<factor> (factor finite, >= 0 — e.g. mpich-beta:0.5), \
+     congested:<links>:<load> (links >= 1, load finite, > 0 — e.g. congested:2:1.5), \
+     hetero:<profile> (profiles: half-slow, straggler — e.g. hetero:half-slow)";
 
 impl ModelSpec {
     pub fn to_model(&self) -> NetworkModel {
@@ -58,6 +72,10 @@ impl ModelSpec {
             ModelSpec::MpichGm => NetworkModel::mpich_gm(),
             ModelSpec::RdmaIdeal => NetworkModel::rdma_ideal(),
             ModelSpec::MpichBeta(f) => NetworkModel::mpich_with_beta_scaled(*f),
+            ModelSpec::Congested { links, load } => {
+                NetworkModel::mpich_gm_congested(*links, *load)
+            }
+            ModelSpec::Hetero(p) => NetworkModel::mpich_gm_hetero(*p),
         }
     }
 
@@ -67,6 +85,8 @@ impl ModelSpec {
             ModelSpec::MpichGm => "mpich-gm".into(),
             ModelSpec::RdmaIdeal => "rdma-ideal".into(),
             ModelSpec::MpichBeta(f) => format!("mpich-beta:{f}"),
+            ModelSpec::Congested { links, load } => format!("congested:{links}:{load}"),
+            ModelSpec::Hetero(p) => format!("hetero:{}", p.id()),
         }
     }
 
@@ -77,20 +97,53 @@ impl ModelSpec {
             "rdma-ideal" => Ok(ModelSpec::RdmaIdeal),
             _ => {
                 if let Some(rest) = s.strip_prefix("mpich-beta:") {
-                    rest.parse::<f64>()
-                        .map(ModelSpec::MpichBeta)
-                        .map_err(|e| format!("bad beta factor in `{s}`: {e}"))
+                    let f = rest
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad beta factor in `{s}`: {e} ({MODEL_FORMS})"))?;
+                    if !f.is_finite() || f < 0.0 {
+                        return Err(format!(
+                            "bad beta factor in `{s}`: must be finite and >= 0, got {f}"
+                        ));
+                    }
+                    Ok(ModelSpec::MpichBeta(f))
+                } else if let Some(rest) = s.strip_prefix("congested:") {
+                    let (links_s, load_s) = rest.split_once(':').ok_or_else(|| {
+                        format!("`{s}` needs congested:<links>:<load> ({MODEL_FORMS})")
+                    })?;
+                    let links = links_s
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad link count in `{s}`: {e} ({MODEL_FORMS})"))?;
+                    if links == 0 {
+                        return Err(format!("bad link count in `{s}`: must be >= 1"));
+                    }
+                    let load = load_s
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad load factor in `{s}`: {e} ({MODEL_FORMS})"))?;
+                    if !load.is_finite() || load <= 0.0 {
+                        return Err(format!(
+                            "bad load factor in `{s}`: must be finite and > 0, got {load}"
+                        ));
+                    }
+                    Ok(ModelSpec::Congested { links, load })
+                } else if let Some(rest) = s.strip_prefix("hetero:") {
+                    HeteroProfile::from_id(rest).map(ModelSpec::Hetero).ok_or_else(|| {
+                        let known: Vec<&str> =
+                            HeteroProfile::ALL.iter().map(|p| p.id()).collect();
+                        format!(
+                            "unknown hetero profile `{rest}` in `{s}` (profiles: {})",
+                            known.join(", ")
+                        )
+                    })
                 } else {
-                    Err(format!(
-                        "unknown model `{s}` (expected mpich, mpich-gm, rdma-ideal, \
-                         or mpich-beta:<factor>)"
-                    ))
+                    Err(format!("unknown model `{s}` ({MODEL_FORMS})"))
                 }
             }
         }
     }
 
-    /// The three preset stacks (no beta sweep points).
+    /// The three preset stacks (no beta sweep points or new-family
+    /// columns — `harness analyze` and the differential suites iterate
+    /// exactly these).
     pub fn presets() -> Vec<ModelSpec> {
         vec![ModelSpec::Mpich, ModelSpec::MpichGm, ModelSpec::RdmaIdeal]
     }
@@ -141,11 +194,55 @@ mod tests {
             ModelSpec::RdmaIdeal,
             ModelSpec::MpichBeta(0.125),
             ModelSpec::MpichBeta(2.0),
+            ModelSpec::Congested { links: 1, load: 2.0 },
+            ModelSpec::Congested { links: 4, load: 1.25 },
+            ModelSpec::Hetero(HeteroProfile::HalfSlow),
+            ModelSpec::Hetero(HeteroProfile::Straggler),
         ] {
             assert_eq!(ModelSpec::parse(&m.id()).unwrap(), m);
         }
         assert!(ModelSpec::parse("ethernet").is_err());
         assert!(ModelSpec::parse("mpich-beta:abc").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_degenerate_factors_with_actionable_errors() {
+        // NaN / negative beta factors parse as f64 but are invalid models.
+        let e = ModelSpec::parse("mpich-beta:NaN").unwrap_err();
+        assert!(e.contains("finite and >= 0"), "{e}");
+        let e = ModelSpec::parse("mpich-beta:-1").unwrap_err();
+        assert!(e.contains("finite and >= 0"), "{e}");
+        // Zero beta is legal (the model-sweep ablation uses it).
+        assert_eq!(ModelSpec::parse("mpich-beta:0").unwrap(), ModelSpec::MpichBeta(0.0));
+
+        // Congested: zero links, non-positive or non-finite load.
+        let e = ModelSpec::parse("congested:0:1.5").unwrap_err();
+        assert!(e.contains(">= 1"), "{e}");
+        let e = ModelSpec::parse("congested:2:0").unwrap_err();
+        assert!(e.contains("finite and > 0"), "{e}");
+        let e = ModelSpec::parse("congested:2:inf").unwrap_err();
+        assert!(e.contains("finite and > 0"), "{e}");
+        let e = ModelSpec::parse("congested:2").unwrap_err();
+        assert!(e.contains("congested:<links>:<load>"), "{e}");
+
+        // Unknown hetero profiles list the known ones.
+        let e = ModelSpec::parse("hetero:turbo").unwrap_err();
+        assert!(e.contains("half-slow") && e.contains("straggler"), "{e}");
+
+        // Unknown ids list every valid id and family.
+        let e = ModelSpec::parse("ethernet").unwrap_err();
+        assert!(e.contains("unknown model `ethernet`"), "{e}");
+        for needle in ["mpich-gm", "rdma-ideal", "mpich-beta:", "congested:", "hetero:"] {
+            assert!(e.contains(needle), "error should mention {needle}: {e}");
+        }
+    }
+
+    #[test]
+    fn new_family_specs_materialize_their_models() {
+        let m = ModelSpec::Congested { links: 2, load: 1.5 }.to_model();
+        assert_eq!(m.link_share_ns_per_byte(8), Some(24.0));
+        let h = ModelSpec::Hetero(HeteroProfile::HalfSlow).to_model();
+        assert_eq!(h.rank_factors(3, 4), (2.0, 2.0));
     }
 
     #[test]

@@ -167,6 +167,20 @@ echo "==> resumable-engine smoke: one np=256 row (scenarios/smoke256.toml)"
 cargo run --release -q -p overlap-bench --bin harness -- sweep \
   --grid scenarios/smoke256.toml --out target/BENCH_smoke256.json
 
+echo "==> model-family smoke: congested + hetero columns (scenarios/smoke-models.toml)"
+# One congested and one heterogeneous column at small size, run *twice*:
+# the new model families must complete with 0 error rows and — like every
+# other column — produce byte-identical artifacts across runs (their link
+# and per-rank accounting is per-rank-deterministic, DESIGN.md §2).
+cargo run --release -q -p overlap-bench --bin harness -- sweep \
+  --grid scenarios/smoke-models.toml --out target/BENCH_smoke_models_a.json
+cargo run --release -q -p overlap-bench --bin harness -- sweep \
+  --grid scenarios/smoke-models.toml --out target/BENCH_smoke_models_b.json
+cmp target/BENCH_smoke_models_a.json target/BENCH_smoke_models_b.json || {
+  echo "model-family smoke FAILED: congested/hetero artifact not byte-identical across runs"
+  exit 1
+}
+
 echo "==> perf smoke: simulator-core micro-bench (isend/recv + alltoall)"
 cargo bench -p clustersim --bench core_comm
 

@@ -140,10 +140,11 @@ fn full_grid_includes_large_rank_counts() {
         assert_eq!(big.len(), 1, "exactly one np={np} scaling row");
         assert_eq!(big[0].workload, "direct2d");
     }
-    // 8 workloads x np {4,8} x 3 models (rdma-ideal column included)
+    // 8 workloads x np {4,8} x 6 models (rdma-ideal plus the two
+    //   congestion levels and the hetero profile, all capped at np=8)
     // + 8 workloads x np {16,32} x the 2 paper stacks
     // + 3 all-peers workloads x np=64 x the 2 paper stacks
     // + the direct2d/MPICH-GM scaling rows at np {128, 256, 512}
     // + the U-curve tile axis: 3 all-peers workloads x 3 explicit sizes.
-    assert_eq!(specs.len(), 8 * 2 * 3 + 8 * 2 * 2 + 3 * 2 + 3 + 3 * 3);
+    assert_eq!(specs.len(), 8 * 2 * 6 + 8 * 2 * 2 + 3 * 2 + 3 + 3 * 3);
 }

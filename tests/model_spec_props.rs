@@ -1,0 +1,64 @@
+//! Property tests for the [`ModelSpec`] string forms: the `id()` of any
+//! valid spec — every family, parameters included — must parse back to
+//! exactly the same spec. This is what keeps scenario files, JSON
+//! artifacts, and diff keys lossless across all model families: `f64`
+//! `Display` is shortest-representation, so even sweep-generated factors
+//! like `0.125` or `1e-9` survive the round trip bit for bit.
+
+use clustersim::HeteroProfile;
+use overlap_suite::sweep::ModelSpec;
+use proptest::prelude::*;
+
+/// Every family, with generated parameters. Beta and load factors mix a
+/// dyadic grid (the values sweeps actually use) with awkward decimals
+/// and extreme-but-finite magnitudes.
+fn any_model_spec() -> BoxedStrategy<ModelSpec> {
+    let factor = prop_oneof![
+        (0u32..=64).prop_map(|n| n as f64 / 8.0),
+        prop::sample::select(vec![0.1, 0.3333333333333333, 1e-9, 12345.6789, 1e12]),
+    ];
+    let load = factor.clone().prop_map(|f| if f > 0.0 { f } else { 0.5 });
+    prop_oneof![
+        Just(ModelSpec::Mpich),
+        Just(ModelSpec::MpichGm),
+        Just(ModelSpec::RdmaIdeal),
+        factor.prop_map(ModelSpec::MpichBeta),
+        (1u32..=16, load).prop_map(|(links, load)| ModelSpec::Congested { links, load }),
+        prop::sample::select(HeteroProfile::ALL.to_vec()).prop_map(ModelSpec::Hetero),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    /// parse(id(spec)) == spec for every family.
+    #[test]
+    fn model_spec_ids_roundtrip(spec in any_model_spec()) {
+        let id = spec.id();
+        let back = ModelSpec::parse(&id)
+            .unwrap_or_else(|e| panic!("id `{id}` failed to parse: {e}"));
+        prop_assert_eq!(back, spec, "id `{}` did not round-trip", id);
+    }
+
+    /// The materialized model's display name embeds the family parameters
+    /// wherever the family has any, so distinct specs never alias in
+    /// reports (the beta-sweep name bug, generalized to every family).
+    #[test]
+    fn parameterized_specs_have_distinct_display_names(
+        a in any_model_spec(),
+        b in any_model_spec(),
+    ) {
+        if a != b {
+            prop_assert_ne!(
+                a.to_model().name,
+                b.to_model().name,
+                "specs {} and {} alias one display name", a.id(), b.id()
+            );
+        }
+    }
+}

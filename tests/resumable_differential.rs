@@ -79,6 +79,49 @@ fn traces_are_engine_invariant_event_for_event() {
     }
 }
 
+/// The pluggable non-uniform model families ride the exact same shared
+/// accounting functions as the uniform stacks (`book_send_nic`,
+/// `serialize_at_receiver`, `compute_collective` — one implementation
+/// under both engines), so congestion and heterogeneity must be just as
+/// engine- and worker-count-invariant: for every registry workload,
+/// original and transformed, under two contention levels and both
+/// hetero profiles, the thread-per-rank baseline and the resumable
+/// engine at worker counts {1, 3} agree on every output and stat.
+#[test]
+fn congested_and_hetero_models_are_engine_and_worker_invariant() {
+    let threaded = Options {
+        resumable: false,
+        ..Default::default()
+    };
+    let models = [
+        ModelSpec::Congested { links: 1, load: 2.0 },
+        ModelSpec::Congested { links: 2, load: 3.0 },
+        ModelSpec::Hetero(clustersim::HeteroProfile::HalfSlow),
+        ModelSpec::Hetero(clustersim::HeteroProfile::Straggler),
+    ];
+    let np = 4usize;
+    for entry in workloads::registry() {
+        let w = (entry.make)(SizeClass::Small, np);
+        let original = w.program();
+        for spec in &models {
+            let model = spec.to_model();
+            let transformed = transform_workload(w.as_ref(), &model, None).program;
+            for (kind, program) in [("original", &original), ("prepush", &transformed)] {
+                let what = format!("{} np={np} {} {kind}", entry.name, model.name);
+                let baseline = run(program, np, &model, &threaded);
+                for workers in [1usize, 3] {
+                    let opts = Options {
+                        rank_workers: Some(workers),
+                        ..Default::default()
+                    };
+                    let got = run(program, np, &model, &opts);
+                    assert_identical(&baseline, &got, &format!("{what} workers={workers}"));
+                }
+            }
+        }
+    }
+}
+
 /// The worker count is pure host-side throughput: at np = 128 — ranks
 /// far outnumbering any worker set, so parked frames are constantly
 /// migrating between workers — worker counts {1, 2, 8} and the

@@ -93,6 +93,29 @@ fn smoke256_file_is_canonical_and_expands_to_one_giant_row() {
     );
 }
 
+/// The non-uniform-model smoke file (the verify gate's congested/hetero
+/// probe) loads, stays canonical, and expands to exactly the four rows
+/// it exists for: the two Figure-1 workloads under one congested and
+/// one heterogeneous column. Like smoke256 it has no compiled-in preset
+/// to mirror, so it is pinned here instead of in `FILES`.
+#[test]
+fn smoke_models_file_is_canonical_and_carries_both_new_families() {
+    let text = include_str!("../scenarios/smoke-models.toml");
+    let grid = grid_from_toml(text)
+        .unwrap_or_else(|e| panic!("scenarios/smoke-models.toml failed to load: {e}"));
+    let specs = grid.expand();
+    assert_eq!(specs.len(), 4);
+    assert!(specs.iter().all(|s| s.np == 4 && s.tile_size.is_none()));
+    let models: Vec<String> = specs.iter().map(|s| s.model.id()).collect();
+    assert!(models.contains(&"congested:2:3".to_string()), "{models:?}");
+    assert!(models.contains(&"hetero:half-slow".to_string()), "{models:?}");
+    let canonical = grid_to_toml(&grid);
+    assert!(
+        text.ends_with(&canonical),
+        "scenarios/smoke-models.toml body is not canonical writer form"
+    );
+}
+
 /// Hand-edited files that go wrong must fail with errors that name the
 /// problem and the alternatives — a scenario file typo is a user-facing
 /// event, not an internal one.

@@ -22,10 +22,13 @@ fn time_workload(w: &dyn Workload, np: usize, model: &clustersim::NetworkModel) 
     let opts = Options {
         context: w.context(),
         oracle: UserOracle::AssumeSafe,
-        kselect_overhead_ns: Some(model.overhead.as_ns() as f64),
-        kselect_cpu_ns_per_byte: Some(model.cpu_send_ns_per_byte),
-        kselect_wire_ns_per_byte: Some(model.gap_ns_per_byte),
-        kselect_latency_ns: Some(model.latency.as_ns() as f64),
+        kselect_model: compuniformer::kselect::ModelCaps {
+            overhead_ns: Some(model.overhead.as_ns() as f64),
+            cpu_ns_per_byte: Some(model.cpu_send_ns_per_byte),
+            wire_ns_per_byte: Some(model.gap_ns_per_byte),
+            latency_ns: Some(model.latency.as_ns() as f64),
+            conservative: false,
+        },
         // These tests pin the timing shape of *transformed* programs —
         // including the congestion case the K-selection predictor would
         // (rightly) decline in production.
