@@ -101,9 +101,8 @@
 
 use compuniformer::{transform, Options};
 use depan::Context;
-use driver::{
-    json, run_sweep, ModelSpec, SizeClass, SweepGrid, SweepRecord, SweepResult,
-};
+use driver::client::{self, DiffOptions, SweepOptions};
+use driver::{run_sweep, ModelSpec, SizeClass, SweepGrid, SweepRecord, SweepResult};
 use clustersim::SimTime;
 use overlap_bench::{render_fig1, transform_workload, Fig1Rows};
 use workloads::Workload;
@@ -279,57 +278,9 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> SweepFlags {
     flags
 }
 
-/// Load a declarative scenario file (`scenarios/*.toml`) into a grid.
-fn load_grid(path: &str) -> SweepGrid {
-    let bytes = std::fs::read(path).unwrap_or_else(|e| {
-        eprintln!("cannot read grid file {path}: {e}");
-        std::process::exit(2);
-    });
-    let text = String::from_utf8(bytes).unwrap_or_else(|e| {
-        eprintln!("{path}: grid file is not valid UTF-8: {e}");
-        std::process::exit(2);
-    });
-    driver::grid_from_toml(&text).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(2);
-    })
-}
-
-/// Read a sweep artifact, treating any corruption (including non-UTF-8
-/// bytes) as a readable error, never a panic.
-fn load_artifact(path: &str) -> SweepResult {
-    let bytes = std::fs::read(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    json::from_json_bytes(&bytes).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(2);
-    })
-}
-
-/// Write the markdown diff report when `--md-out` was given.
-fn write_md_report(
-    md_out: &Option<String>,
-    report: &driver::DiffReport,
-    baseline: &str,
-    candidate: &str,
-    tolerance: f64,
-) {
-    let Some(path) = md_out else { return };
-    let md = report.render_markdown(baseline, candidate, tolerance);
-    if let Err(e) = std::fs::write(path, &md) {
-        eprintln!("cannot write {path}: {e}");
-        std::process::exit(1);
-    }
-    println!("wrote {path} (markdown diff report)");
-}
-
 /// Run a grid, print the record table + aggregates, write the artifact.
-/// With `--grid FILE.toml`, the compiled-in grid is replaced by the
-/// declarative scenario file. With `--baseline`, also diff against the
-/// given artifact and exit 1 on regressions (the one-shot regression
-/// gate); `--md-out` writes that diff as markdown.
+/// All orchestration lives in [`driver::client::sweep_command`] (a thin
+/// client of the job core); this shim only parses flags.
 fn sweep_cmd(grid: SweepGrid, args: &[String]) {
     let flags = parse_flags(
         args,
@@ -344,177 +295,25 @@ fn sweep_cmd(grid: SweepGrid, args: &[String]) {
             "--md-out",
         ],
     );
-    if flags.md_out.is_some() && flags.baseline.is_none() {
-        eprintln!("--md-out needs --baseline (the markdown report is a diff report)");
-        std::process::exit(2);
-    }
-    if flags.incremental && flags.baseline.is_none() {
-        eprintln!("--incremental needs --baseline (the artifact whose rows to reuse)");
-        std::process::exit(2);
-    }
-    let grid = match &flags.grid {
-        Some(path) => load_grid(path),
-        None => grid,
+    let opts = SweepOptions {
+        threads: flags.threads,
+        out: flags.out,
+        wall_out: flags.wall_out,
+        baseline: flags.baseline,
+        tolerance: flags.tolerance,
+        grid: flags.grid,
+        md_out: flags.md_out,
+        incremental: flags.incremental,
     };
-    let result = if flags.incremental {
-        let baseline_path = flags.baseline.as_deref().expect("checked above");
-        let baseline = load_artifact(baseline_path);
-        let inc = driver::run_sweep_incremental(&grid, flags.threads, &baseline);
-        let simulated = inc.reused.iter().filter(|r| !**r).count();
-        println!(
-            "incremental vs {baseline_path}: reused {} row(s), re-simulated {simulated}",
-            inc.reused.len() - simulated
-        );
-        inc.result
-    } else {
-        run_sweep(&grid, flags.threads)
-    };
-    hr(&format!(
-        "sweep — {} scenarios ({} ok, {} errors) in {:.0} ms wall",
-        result.summary.scenarios,
-        result.summary.ok,
-        result.summary.errors,
-        result.summary.wall_ms
-    ));
-    println!(
-        "{:<22} {:>8} {:>3} {:>14} {:>6} {:>12} {:>12} {:>7}  strategy/status",
-        "workload", "size", "np", "model", "K", "orig", "prepush", "gain"
-    );
-    for r in &result.records {
-        let k = r
-            .tile_size
-            .map(|k| k.to_string())
-            .unwrap_or_else(|| "-".into());
-        match r.error() {
-            Some(e) => println!(
-                "{:<22} {:>8} {:>3} {:>14} {:>6} {:>12} {:>12} {:>7}  ERROR: {}",
-                r.spec.workload,
-                r.spec.size.id(),
-                r.spec.np,
-                r.spec.model.id(),
-                k,
-                "-",
-                "-",
-                "-",
-                e.lines().next().unwrap_or("")
-            ),
-            None => println!(
-                "{:<22} {:>8} {:>3} {:>14} {:>6} {:>12} {:>12} {:>6.2}x  {}",
-                r.spec.workload,
-                r.spec.size.id(),
-                r.spec.np,
-                r.spec.model.id(),
-                k,
-                r.orig_ns.map(SimTime::from_ns).map_or("-".into(), |t| t.to_string()),
-                r.prepush_ns.map(SimTime::from_ns).map_or("-".into(), |t| t.to_string()),
-                r.speedup.unwrap_or(0.0),
-                r.strategy.as_deref().unwrap_or("-")
-            ),
-        }
-    }
-    if let Some(g) = result.summary.geomean_speedup {
-        println!("\ngeomean speedup: {g:.3}x");
-    }
-    for (model, g) in &result.summary.per_model {
-        println!("  {model:<14} geomean {g:.3}x");
-    }
-    if let Some((key, s)) = &result.summary.best {
-        println!("best : {s:.2}x  {key}");
-    }
-    if let Some((key, s)) = &result.summary.worst {
-        println!("worst: {s:.2}x  {key}");
-    }
-    if let Some(t) = &result.timing {
-        println!(
-            "compile cache: {} hit(s), {} miss(es); {} baseline row(s) reused",
-            t.cache_hits, t.cache_misses, t.reused_rows
-        );
-    }
-    // Committed artifacts are normalized (host wall-clock zeroed, timing
-    // dropped) so the bytes are identical across runs, machines, and
-    // thread counts.
-    let text = json::to_json_string(&result.normalized());
-    if let Err(e) = std::fs::write(&flags.out, &text) {
-        eprintln!("cannot write {}: {e}", flags.out);
-        std::process::exit(1);
-    }
-    println!("\nwrote {} ({} records)", flags.out, result.records.len());
-    if let Some(wall_out) = &flags.wall_out {
-        // The non-normalized artifact keeps per-scenario wall_ms and the
-        // `timing` section — the tracked perf-trajectory data.
-        let text = json::to_json_string(&result);
-        if let Err(e) = std::fs::write(wall_out, &text) {
-            eprintln!("cannot write {wall_out}: {e}");
-            std::process::exit(1);
-        }
-        if let Some(t) = &result.timing {
-            println!(
-                "wrote {wall_out} (timing: {:.0} ms total, pool capacity {}, \
-                 worker high-water {}, cache {}h/{}m, {} reused)",
-                t.wall_ms_total,
-                t.pool_capacity,
-                t.workers_high_water,
-                t.cache_hits,
-                t.cache_misses,
-                t.reused_rows
-            );
-        }
-    }
-    // The committed BENCH_sweep.json is the quick-grid baseline that
-    // scripts/verify.sh regenerates; warn whenever any *other* grid —
-    // whichever subcommand or --grid file produced it — lands there.
-    if grid != SweepGrid::quick() && flags.out == "BENCH_sweep.json" {
-        eprintln!(
-            "note: overwrote the quick-grid baseline at BENCH_sweep.json — \
-             `git restore BENCH_sweep.json` (or rerun `harness quick`), \
-             or pass --out next time"
-        );
-    }
-    if result.summary.errors > 0 {
-        std::process::exit(1);
-    }
-    if let Some(baseline_path) = &flags.baseline {
-        let baseline = load_artifact(baseline_path);
-        hr(&format!(
-            "regression gate — {} (baseline) vs this run, tolerance {}",
-            baseline_path, flags.tolerance
-        ));
-        let report = driver::diff(&baseline, &result, flags.tolerance);
-        print!("{}", report.render());
-        write_md_report(
-            &flags.md_out,
-            &report,
-            baseline_path,
-            "this run",
-            flags.tolerance,
-        );
-        if report.has_regressions() {
-            eprintln!("regression gate FAILED");
-            std::process::exit(1);
-        }
-        println!("regression gate passed");
+    let code = client::sweep_command(grid, &opts);
+    if code != 0 {
+        std::process::exit(code);
     }
 }
 
-/// Keep only the records a grid file's expansion names (by scenario
-/// key), recomputing the summary over the survivors.
-fn restrict_to_grid(result: SweepResult, keys: &std::collections::HashSet<String>) -> SweepResult {
-    let records: Vec<SweepRecord> = result
-        .records
-        .into_iter()
-        .filter(|r| keys.contains(&r.spec.key()))
-        .collect();
-    let summary = driver::summarize(&records, result.summary.wall_ms);
-    SweepResult {
-        records,
-        summary,
-        timing: None,
-    }
-}
-
-/// Compare two sweep artifacts; exit 1 on regressions. `--grid` scopes
-/// the comparison to a scenario file's expansion; `--md-out` writes the
-/// report as markdown.
+/// Compare two sweep artifacts; exit 1 on regressions. Orchestration
+/// lives in [`driver::client::diff_command`]; this shim only separates
+/// paths from flags.
 fn diff_cmd(args: &[String]) {
     // Flags (with their values) go to parse_flags; bare args are paths.
     let mut paths: Vec<String> = Vec::new();
@@ -534,42 +333,15 @@ fn diff_cmd(args: &[String]) {
         }
     }
     let flags = parse_flags(&flag_args, &["--tol", "--grid", "--md-out", "--wall"]);
-    if paths.len() != 2 {
-        eprintln!(
-            "usage: harness diff [--wall] <a.json> <b.json> [--tol F] [--grid FILE.toml] [--md-out PATH]"
-        );
-        std::process::exit(2);
-    }
-    if flags.wall {
-        wall_diff(&paths[0], &paths[1]);
-        return;
-    }
-    let mut a = load_artifact(&paths[0]);
-    let mut b = load_artifact(&paths[1]);
-    if let Some(grid_path) = &flags.grid {
-        let keys: std::collections::HashSet<String> = load_grid(grid_path)
-            .expand()
-            .iter()
-            .map(driver::ScenarioSpec::key)
-            .collect();
-        a = restrict_to_grid(a, &keys);
-        b = restrict_to_grid(b, &keys);
-        println!(
-            "(scoped to {}: {} baseline / {} candidate records match)",
-            grid_path,
-            a.records.len(),
-            b.records.len()
-        );
-    }
-    hr(&format!(
-        "diff — {} (baseline) vs {} (candidate), tolerance {}",
-        paths[0], paths[1], flags.tolerance
-    ));
-    let report = driver::diff(&a, &b, flags.tolerance);
-    print!("{}", report.render());
-    write_md_report(&flags.md_out, &report, &paths[0], &paths[1], flags.tolerance);
-    if report.has_regressions() {
-        std::process::exit(1);
+    let opts = DiffOptions {
+        tolerance: flags.tolerance,
+        grid: flags.grid,
+        md_out: flags.md_out,
+        wall: flags.wall,
+    };
+    let code = client::diff_command(&paths, &opts);
+    if code != 0 {
+        std::process::exit(code);
     }
 }
 
@@ -668,81 +440,6 @@ fn analyze_cmd(args: &[String]) {
     if dirty > 0 {
         std::process::exit(1);
     }
-}
-
-/// `diff --wall`: compare the host wall-clock `timing` sections of two
-/// `--wall-out` artifacts — the per-PR perf trajectory the ROADMAP tracks
-/// under `perf/`. Prints per-scenario movements (sorted by absolute delta)
-/// and totals. Purely informational: wall clock varies across machines and
-/// runs, so this never exits nonzero on a slowdown — it exists so a perf
-/// regression is *seen* in CI output, not to fail the gate.
-fn wall_diff(baseline_path: &str, candidate_path: &str) {
-    let load_timing = |path: &str| {
-        let result = load_artifact(path);
-        result.timing.unwrap_or_else(|| {
-            eprintln!(
-                "{path}: no `timing` section — wall diffs need the non-normalized \
-                 --wall-out artifact (e.g. perf/PR*_quick_wall.json)"
-            );
-            std::process::exit(2);
-        })
-    };
-    let a = load_timing(baseline_path);
-    let b = load_timing(candidate_path);
-    hr(&format!(
-        "wall-clock diff — {baseline_path} (baseline) vs {candidate_path} (candidate)"
-    ));
-    let base: std::collections::HashMap<&str, f64> = a
-        .per_scenario
-        .iter()
-        .map(|(k, ms)| (k.as_str(), *ms))
-        .collect();
-    let mut rows: Vec<(&str, Option<f64>, f64)> = b
-        .per_scenario
-        .iter()
-        .map(|(k, ms)| (k.as_str(), base.get(k.as_str()).copied(), *ms))
-        .collect();
-    rows.sort_by(|x, y| {
-        let d = |r: &(&str, Option<f64>, f64)| r.1.map_or(f64::MAX, |old| (r.2 - old).abs());
-        d(y).partial_cmp(&d(x)).expect("finite wall times")
-    });
-    println!(
-        "{:<58} {:>10} {:>10} {:>8}",
-        "scenario", "old ms", "new ms", "ratio"
-    );
-    for (key, old, new) in &rows {
-        match old {
-            Some(old) => println!(
-                "{key:<58} {old:>10.1} {new:>10.1} {:>7.2}x",
-                old / new.max(1e-9)
-            ),
-            None => println!("{key:<58} {:>10} {new:>10.1}  (new scenario)", "-"),
-        }
-    }
-    for (key, ms) in &a.per_scenario {
-        if !b.per_scenario.iter().any(|(k, _)| k == key) {
-            println!("{key:<58} {ms:>10.1} {:>10}  (dropped)", "-");
-        }
-    }
-    let matched_old: f64 = rows.iter().filter_map(|r| r.1).sum();
-    let matched_new: f64 = rows.iter().filter(|r| r.1.is_some()).map(|r| r.2).sum();
-    println!(
-        "\ntotals: {:.0} ms -> {:.0} ms over {} matched scenario(s) ({:.2}x); \
-         whole runs {:.0} ms -> {:.0} ms",
-        matched_old,
-        matched_new,
-        rows.iter().filter(|r| r.1.is_some()).count(),
-        matched_old / matched_new.max(1e-9),
-        a.wall_ms_total,
-        b.wall_ms_total,
-    );
-    // Reuse counters ride along so the perf trajectory shows the cache
-    // *working* — an accidental 0%-hit regression is visible here, not
-    // silent. (Pre-v3 artifacts read back as all-zero counters.)
-    println!(
-        "compile cache: {} -> {} hit(s), {} -> {} miss(es); reused rows {} -> {}",
-        a.cache_hits, b.cache_hits, a.cache_misses, b.cache_misses, a.reused_rows, b.reused_rows,
-    );
 }
 
 // ------------------------------------------------------- paper figures

@@ -196,6 +196,40 @@ impl CompileCache {
         value
     }
 
+    fn contains(&self, key: &CompileKey) -> bool {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(key)
+    }
+
+    /// Would this scenario's compilations all be served from cache right
+    /// now? A pure probe — hit/miss counters don't move — used for the
+    /// `cache_warm` flag on [`crate::event::ProgressEvent::ScenarioFinished`].
+    /// Conservative under concurrency: a shape another worker is filling
+    /// at this instant reads as cold.
+    pub fn warm_for(&self, spec: &ScenarioSpec) -> bool {
+        use crate::spec::Variant;
+        let original = CompileKey {
+            workload: spec.workload.clone(),
+            size_id: spec.size.id(),
+            np: spec.np,
+            transform: None,
+        };
+        let transformed = CompileKey {
+            transform: Some(TransformAxes {
+                tile: spec.tile_size,
+                model_fp: transform_model_fingerprint(&spec.model.to_model(), spec.np),
+            }),
+            ..original.clone()
+        };
+        match spec.variant {
+            Variant::Compare => self.contains(&original) && self.contains(&transformed),
+            Variant::Original => self.contains(&original),
+            Variant::Prepush => self.contains(&transformed),
+        }
+    }
+
     /// The compiled *original* program of `(workload, size, np)` — keyed
     /// independently of model, tile, and variant, so e.g. the three model
     /// columns of one grid row compile it once.
@@ -575,6 +609,29 @@ mod tests {
         assert_eq!(
             scenario_input_hash_with(&s, &*w, workloads::registry_fingerprint()),
             scenario_input_hash(&s).unwrap()
+        );
+    }
+
+    #[test]
+    fn warm_probe_tracks_fill_without_moving_counters() {
+        let cache = CompileCache::new();
+        let s = spec(ModelSpec::MpichGm, None);
+        assert!(!cache.warm_for(&s));
+        cache.original(&s, &*workload_of(&s));
+        assert!(!cache.warm_for(&s), "compare also needs the transform");
+        let mut orig_only = s.clone();
+        orig_only.variant = Variant::Original;
+        assert!(cache.warm_for(&orig_only), "original-only is warm already");
+        cache.transformed(&s, &*workload_of(&s), &s.model.to_model());
+        let before = cache.stats();
+        assert!(cache.warm_for(&s));
+        let mut prepush = s.clone();
+        prepush.variant = Variant::Prepush;
+        assert!(cache.warm_for(&prepush));
+        assert_eq!(
+            cache.stats().since(&before),
+            CacheStats { hits: 0, misses: 0 },
+            "probes never move the hit/miss counters"
         );
     }
 

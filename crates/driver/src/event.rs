@@ -1,0 +1,226 @@
+//! Structured progress events for the execution stack.
+//!
+//! Library code in this crate never writes to stdout/stderr (pinned by
+//! `tests/embed_capture.rs`): anything a front end might want to show —
+//! sweep started, scenario started/finished, row counts, wall totals —
+//! is emitted as a [`ProgressEvent`] into an [`EventSink`] the caller
+//! supplies. The one-shot CLI renders its tables from the returned
+//! [`crate::SweepResult`] (exactly the bytes it always printed); the
+//! sweep service appends events to per-job logs and streams them to HTTP
+//! clients; tests capture them in a [`MemorySink`]. Embedding the driver
+//! with a [`NullSink`] produces no output at all.
+//!
+//! Events are *informational*: nothing about simulation semantics — and
+//! therefore nothing about artifact bytes — depends on whether anyone is
+//! listening. Wall-clock fields carry host time and are as
+//! non-deterministic as the `timing` section they mirror.
+
+use crate::json::Json;
+use std::sync::Mutex;
+
+/// One structured progress event from the sweep machinery (or the job
+/// core wrapping it). Scenario identity is the canonical scenario key
+/// ([`crate::ScenarioSpec::key`]); there is deliberately no grid index,
+/// because incremental sweeps interleave reused and fresh rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// A job entered the queue (emitted by the job core, not by `exec`).
+    JobAccepted {
+        job: u64,
+        /// Scenarios the job's grid expands to.
+        scenarios: usize,
+        /// Jobs ahead of this one in the FIFO queue.
+        queued_ahead: usize,
+    },
+    /// A sweep began executing.
+    SweepStarted {
+        scenarios: usize,
+        /// True when baseline rows may be reused (`--incremental`).
+        incremental: bool,
+    },
+    /// One scenario began simulating.
+    ScenarioStarted { key: String },
+    /// One scenario finished (or was reused from an incremental
+    /// baseline, in which case nothing simulated and `wall_ms` is 0).
+    ScenarioFinished {
+        key: String,
+        ok: bool,
+        /// Every compilation this scenario needs was already in the
+        /// process-wide compile cache when it started (a conservative
+        /// probe: concurrent fills read as cold).
+        cache_warm: bool,
+        /// Reused from the incremental baseline instead of simulated.
+        reused: bool,
+        wall_ms: f64,
+    },
+    /// The sweep completed; row counts, wall total, and the compile
+    /// cache's hit/miss delta for the whole run.
+    SweepFinished {
+        scenarios: usize,
+        ok: usize,
+        errors: usize,
+        wall_ms: f64,
+        cache_hits: u64,
+        cache_misses: u64,
+        reused_rows: usize,
+    },
+}
+
+impl ProgressEvent {
+    /// Stable kind tag (the `event` field of the JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProgressEvent::JobAccepted { .. } => "job-accepted",
+            ProgressEvent::SweepStarted { .. } => "sweep-started",
+            ProgressEvent::ScenarioStarted { .. } => "scenario-started",
+            ProgressEvent::ScenarioFinished { .. } => "scenario-finished",
+            ProgressEvent::SweepFinished { .. } => "sweep-finished",
+        }
+    }
+
+    /// The event as a JSON object (what `GET /jobs/:id/events` streams,
+    /// one compact object per line).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("event".to_string(), Json::Str(self.kind().into()))];
+        match self {
+            ProgressEvent::JobAccepted {
+                job,
+                scenarios,
+                queued_ahead,
+            } => {
+                fields.push(("job".into(), Json::Int(*job as i64)));
+                fields.push(("scenarios".into(), Json::Int(*scenarios as i64)));
+                fields.push(("queued_ahead".into(), Json::Int(*queued_ahead as i64)));
+            }
+            ProgressEvent::SweepStarted {
+                scenarios,
+                incremental,
+            } => {
+                fields.push(("scenarios".into(), Json::Int(*scenarios as i64)));
+                fields.push(("incremental".into(), Json::Bool(*incremental)));
+            }
+            ProgressEvent::ScenarioStarted { key } => {
+                fields.push(("scenario".into(), Json::Str(key.clone())));
+            }
+            ProgressEvent::ScenarioFinished {
+                key,
+                ok,
+                cache_warm,
+                reused,
+                wall_ms,
+            } => {
+                fields.push(("scenario".into(), Json::Str(key.clone())));
+                fields.push(("ok".into(), Json::Bool(*ok)));
+                fields.push(("cache_warm".into(), Json::Bool(*cache_warm)));
+                fields.push(("reused".into(), Json::Bool(*reused)));
+                fields.push(("wall_ms".into(), Json::Float(*wall_ms)));
+            }
+            ProgressEvent::SweepFinished {
+                scenarios,
+                ok,
+                errors,
+                wall_ms,
+                cache_hits,
+                cache_misses,
+                reused_rows,
+            } => {
+                fields.push(("scenarios".into(), Json::Int(*scenarios as i64)));
+                fields.push(("ok".into(), Json::Int(*ok as i64)));
+                fields.push(("errors".into(), Json::Int(*errors as i64)));
+                fields.push(("wall_ms".into(), Json::Float(*wall_ms)));
+                fields.push(("cache_hits".into(), Json::Int(*cache_hits as i64)));
+                fields.push(("cache_misses".into(), Json::Int(*cache_misses as i64)));
+                fields.push(("reused_rows".into(), Json::Int(*reused_rows as i64)));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Where progress events go. Implementations must tolerate concurrent
+/// emission: sweep workers run in parallel, so `ScenarioStarted` /
+/// `ScenarioFinished` events for different scenarios interleave in
+/// completion order (sweep-level events are totally ordered around them).
+pub trait EventSink: Sync {
+    fn emit(&self, event: ProgressEvent);
+}
+
+/// Discards everything — embedding the driver produces no output.
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: ProgressEvent) {}
+}
+
+/// Collects events in memory (tests, and anything that wants to render
+/// after the fact).
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<ProgressEvent>>,
+}
+
+impl MemorySink {
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Snapshot of everything emitted so far.
+    pub fn events(&self) -> Vec<ProgressEvent> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Drain the collected events.
+    pub fn take(&self) -> Vec<ProgressEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: ProgressEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::write_json_compact;
+
+    #[test]
+    fn events_serialize_compactly_with_kind_tags() {
+        let ev = ProgressEvent::ScenarioFinished {
+            key: "direct2d/small/np2/mpich-gm".into(),
+            ok: true,
+            cache_warm: false,
+            reused: false,
+            wall_ms: 0.0,
+        };
+        let line = write_json_compact(&ev.to_json());
+        assert!(line.starts_with("{\"event\": \"scenario-finished\""), "{line}");
+        assert!(!line.contains('\n'), "compact form is single-line: {line}");
+        assert!(line.contains("\"cache_warm\": false"));
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        sink.emit(ProgressEvent::SweepStarted {
+            scenarios: 2,
+            incremental: false,
+        });
+        sink.emit(ProgressEvent::ScenarioStarted { key: "a".into() });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind(), "sweep-started");
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        NullSink.emit(ProgressEvent::ScenarioStarted { key: "x".into() });
+    }
+}

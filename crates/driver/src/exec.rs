@@ -15,6 +15,7 @@
 //! admitted scenario instead of growing with the grid.
 
 use crate::cache::{self, CacheStats};
+use crate::event::{EventSink, NullSink, ProgressEvent};
 use crate::measure::{measure_cached, measure_original_cached};
 use crate::spec::{ScenarioSpec, Variant};
 use crate::SweepGrid;
@@ -302,12 +303,38 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
 /// Expand `grid` and run every scenario on `threads` workers (0 = one per
 /// available core, capped by the scenario count).
 pub fn run_sweep(grid: &SweepGrid, threads: usize) -> SweepResult {
+    run_sweep_with(grid, threads, &NullSink)
+}
+
+/// [`run_sweep`] with structured progress reported into `sink` (sweep
+/// started/finished plus per-scenario events; see [`crate::event`]).
+/// The sink observes, never steers: results are identical whatever it is.
+pub fn run_sweep_with(grid: &SweepGrid, threads: usize, sink: &dyn EventSink) -> SweepResult {
     let specs = grid.expand();
+    sink.emit(ProgressEvent::SweepStarted {
+        scenarios: specs.len(),
+        incremental: false,
+    });
     let t0 = Instant::now();
     let cache_before = cache::global().stats();
-    let records = run_specs(&specs, threads);
+    let records = run_specs_with(&specs, threads, sink);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    finish_sweep(records, wall_ms, cache_before, 0)
+    let result = finish_sweep(records, wall_ms, cache_before, 0);
+    emit_finished(sink, &result);
+    result
+}
+
+fn emit_finished(sink: &dyn EventSink, result: &SweepResult) {
+    let t = result.timing.as_ref();
+    sink.emit(ProgressEvent::SweepFinished {
+        scenarios: result.summary.scenarios,
+        ok: result.summary.ok,
+        errors: result.summary.errors,
+        wall_ms: result.summary.wall_ms,
+        cache_hits: t.map_or(0, |t| t.cache_hits),
+        cache_misses: t.map_or(0, |t| t.cache_misses),
+        reused_rows: t.map_or(0, |t| t.reused_rows),
+    });
 }
 
 fn finish_sweep(
@@ -367,7 +394,23 @@ pub fn run_sweep_incremental(
     threads: usize,
     baseline: &SweepResult,
 ) -> IncrementalOutcome {
+    run_sweep_incremental_with(grid, threads, baseline, &NullSink)
+}
+
+/// [`run_sweep_incremental`] with progress events: reused rows emit a
+/// `ScenarioFinished { reused: true }` (nothing simulated, no matching
+/// `ScenarioStarted`), fresh cells emit the usual started/finished pair.
+pub fn run_sweep_incremental_with(
+    grid: &SweepGrid,
+    threads: usize,
+    baseline: &SweepResult,
+    sink: &dyn EventSink,
+) -> IncrementalOutcome {
     let specs = grid.expand();
+    sink.emit(ProgressEvent::SweepStarted {
+        scenarios: specs.len(),
+        incremental: true,
+    });
     let t0 = Instant::now();
     let cache_before = cache::global().stats();
 
@@ -391,6 +434,13 @@ pub fn run_sweep_incremental(
             Some(row) => {
                 let mut row = (*row).clone();
                 row.wall_ms = 0.0;
+                sink.emit(ProgressEvent::ScenarioFinished {
+                    key: row.spec.key(),
+                    ok: row.is_ok(),
+                    cache_warm: false,
+                    reused: true,
+                    wall_ms: 0.0,
+                });
                 merged[i] = Some(row);
                 reused[i] = true;
             }
@@ -401,7 +451,7 @@ pub fn run_sweep_incremental(
         }
     }
 
-    let fresh = run_specs(&fresh_specs, threads);
+    let fresh = run_specs_with(&fresh_specs, threads, sink);
     for (i, rec) in fresh_idx.into_iter().zip(fresh) {
         merged[i] = Some(rec);
     }
@@ -412,15 +462,43 @@ pub fn run_sweep_incremental(
 
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let reused_rows = reused.iter().filter(|r| **r).count();
-    IncrementalOutcome {
+    let outcome = IncrementalOutcome {
         result: finish_sweep(records, wall_ms, cache_before, reused_rows),
         reused,
-    }
+    };
+    emit_finished(sink, &outcome.result);
+    outcome
 }
 
 /// Run an explicit scenario list in parallel; records come back in spec
 /// order regardless of which worker finished which scenario when.
 pub fn run_specs(specs: &[ScenarioSpec], threads: usize) -> Vec<SweepRecord> {
+    run_specs_with(specs, threads, &NullSink)
+}
+
+/// Run one scenario, emitting the started/finished event pair around it.
+fn run_scenario_reported(spec: &ScenarioSpec, sink: &dyn EventSink) -> SweepRecord {
+    sink.emit(ProgressEvent::ScenarioStarted { key: spec.key() });
+    let cache_warm = cache::global().warm_for(spec);
+    let rec = run_scenario(spec);
+    sink.emit(ProgressEvent::ScenarioFinished {
+        key: rec.spec.key(),
+        ok: rec.is_ok(),
+        cache_warm,
+        reused: false,
+        wall_ms: rec.wall_ms,
+    });
+    rec
+}
+
+/// [`run_specs`] with per-scenario progress events. Events for different
+/// scenarios interleave in completion order; the *records* still come
+/// back in spec order.
+pub fn run_specs_with(
+    specs: &[ScenarioSpec],
+    threads: usize,
+    sink: &dyn EventSink,
+) -> Vec<SweepRecord> {
     if specs.is_empty() {
         return Vec::new();
     }
@@ -433,7 +511,10 @@ pub fn run_specs(specs: &[ScenarioSpec], threads: usize) -> Vec<SweepRecord> {
     .max(1);
 
     if nthreads == 1 {
-        return specs.iter().map(run_scenario).collect();
+        return specs
+            .iter()
+            .map(|spec| run_scenario_reported(spec, sink))
+            .collect();
     }
 
     // Round-robin deal into per-worker deques.
@@ -462,7 +543,7 @@ pub fn run_specs(specs: &[ScenarioSpec], threads: usize) -> Vec<SweepRecord> {
                     }
                 }
                 let Some(idx) = next else { break };
-                let rec = run_scenario(&specs[idx]);
+                let rec = run_scenario_reported(&specs[idx], sink);
                 *slots[idx].lock().unwrap() = Some(rec);
             }) as _
         })
@@ -641,6 +722,51 @@ mod tests {
         let inc = run_sweep_incremental(&tiny_grid(), 1, &shrunk);
         assert!(!inc.reused[0] && inc.reused[1]);
         assert_eq!(inc.result.normalized(), cold.normalized());
+    }
+
+    #[test]
+    fn sweeps_emit_structured_progress_events() {
+        use crate::event::MemorySink;
+        let sink = MemorySink::new();
+        let cold = run_sweep_with(&tiny_grid(), 2, &sink);
+        let events = sink.take();
+        assert_eq!(events[0].kind(), "sweep-started");
+        assert_eq!(events.last().unwrap().kind(), "sweep-finished");
+        let started: Vec<&ProgressEvent> =
+            events.iter().filter(|e| e.kind() == "scenario-started").collect();
+        let finished: Vec<&ProgressEvent> =
+            events.iter().filter(|e| e.kind() == "scenario-finished").collect();
+        assert_eq!(started.len(), cold.records.len());
+        assert_eq!(finished.len(), cold.records.len());
+        assert!(finished.iter().all(|e| matches!(
+            e,
+            ProgressEvent::ScenarioFinished { ok: true, reused: false, .. }
+        )));
+        if let ProgressEvent::SweepFinished { scenarios, ok, errors, .. } =
+            events.last().unwrap()
+        {
+            assert_eq!((*scenarios, *ok, *errors), (cold.records.len(), cold.summary.ok, 0));
+        }
+
+        // Incremental with nothing moved: only reused finishes, no starts.
+        let sink = MemorySink::new();
+        let inc = run_sweep_incremental_with(&tiny_grid(), 1, &cold, &sink);
+        assert_eq!(inc.result.normalized(), cold.normalized());
+        let events = sink.take();
+        assert!(events.iter().all(|e| e.kind() != "scenario-started"));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(
+                    e,
+                    ProgressEvent::ScenarioFinished { reused: true, .. }
+                ))
+                .count(),
+            cold.records.len()
+        );
+        // The sink observed; it never steered: same bytes as the plain run.
+        let silent = run_sweep(&tiny_grid(), 2);
+        assert_eq!(silent.normalized(), cold.normalized());
     }
 
     #[test]

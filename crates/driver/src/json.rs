@@ -133,6 +133,44 @@ pub fn write_json(v: &Json) -> String {
     out
 }
 
+fn write_value_compact(out: &mut String, v: &Json) {
+    match v {
+        Json::Null | Json::Bool(_) | Json::Int(_) | Json::Float(_) | Json::Str(_) => {
+            write_value(out, v, 0)
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value_compact(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_value_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Single-line form (no trailing newline): what the service streams as
+/// one event per line. Parses back identically to the pretty form.
+pub fn write_json_compact(v: &Json) -> String {
+    let mut out = String::new();
+    write_value_compact(&mut out, v);
+    out
+}
+
 // ---------------------------------------------------------------- parser
 
 struct Parser<'a> {

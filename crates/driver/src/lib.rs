@@ -42,9 +42,12 @@
 
 pub mod analyze;
 pub mod cache;
+pub mod client;
 pub mod diff;
+pub mod event;
 pub mod exec;
 pub mod grid;
+pub mod job;
 pub mod json;
 pub mod measure;
 pub mod spec;
@@ -54,11 +57,14 @@ pub mod toml;
 pub use analyze::{analyze_registry, AnalyzeRow};
 pub use cache::{scenario_input_hash, CacheStats, CompileCache};
 pub use diff::{diff, DiffReport, DiffRow};
+pub use event::{EventSink, MemorySink, NullSink, ProgressEvent};
 pub use exec::{
-    run_scenario, run_scenario_in, run_specs, run_sweep, run_sweep_incremental, summarize,
+    run_scenario, run_scenario_in, run_specs, run_specs_with, run_sweep,
+    run_sweep_incremental, run_sweep_incremental_with, run_sweep_with, summarize,
     IncrementalOutcome, RunStatus, SweepRecord, SweepResult, SweepSummary, SweepTiming,
 };
 pub use grid::{FilterSpec, SweepGrid};
+pub use job::{GridSource, JobCore, JobId, JobSpec, JobState, JobStatus, SubmitError};
 pub use toml::{grid_from_toml, grid_to_toml};
 pub use measure::{measure, measure_original, transform_workload, Measurement};
 pub use spec::{ModelSpec, ScenarioSpec, SizeClass, Variant};

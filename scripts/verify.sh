@@ -181,6 +181,67 @@ cmp target/BENCH_smoke_models_a.json target/BENCH_smoke_models_b.json || {
   exit 1
 }
 
+echo "==> sweep-service smoke: sweepd end-to-end + SIGTERM drain"
+# Start the daemon on an ephemeral port, drive it with curl: submit the
+# quick grid, poll to done, fetch the artifact, and cmp against the
+# committed BENCH_sweep.json — the service invariant is that serving may
+# change wall-clock, never a simulated byte. Then pin the worker with a
+# multi-second job, SIGTERM mid-queue, and assert the drain: new
+# submissions get 503 while the running job finishes, and the process
+# exits 0.
+./target/release/sweepd --addr 127.0.0.1:0 --queue 4 > target/sweepd.log 2>&1 &
+sweepd_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's|^listening on http://||p' target/sweepd.log)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "sweep-service smoke FAILED: sweepd never reported its address"
+  kill "$sweepd_pid" 2>/dev/null || true
+  exit 1
+fi
+curl -sf -X POST "http://$addr/jobs" \
+  -d '{"grid_file": "scenarios/quick.toml"}' > /dev/null
+state=""
+for _ in $(seq 1 600); do
+  state=$(curl -sf "http://$addr/jobs/1" \
+    | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+  [ "$state" = "done" ] && break
+  sleep 0.1
+done
+if [ "$state" != "done" ]; then
+  echo "sweep-service smoke FAILED: job 1 ended in state [${state:-unknown}]"
+  kill "$sweepd_pid" 2>/dev/null || true
+  exit 1
+fi
+curl -sf "http://$addr/jobs/1/artifact" > target/BENCH_served.json
+cmp BENCH_sweep.json target/BENCH_served.json || {
+  echo "sweep-service smoke FAILED: served artifact differs from the committed BENCH_sweep.json"
+  kill "$sweepd_pid" 2>/dev/null || true
+  exit 1
+}
+curl -sf -X POST "http://$addr/jobs" \
+  -d '{"grid_file": "scenarios/smoke256.toml"}' > /dev/null
+kill -TERM "$sweepd_pid"
+sleep 0.3
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/jobs" \
+  -d '{"grid_file": "scenarios/quick.toml"}')
+if [ "$code" != "503" ]; then
+  echo "sweep-service smoke FAILED: expected 503 during drain, got [$code]"
+  kill "$sweepd_pid" 2>/dev/null || true
+  exit 1
+fi
+wait "$sweepd_pid" || {
+  echo "sweep-service smoke FAILED: sweepd exited nonzero after SIGTERM"
+  exit 1
+}
+grep -q "drained; exiting" target/sweepd.log || {
+  echo "sweep-service smoke FAILED: sweepd never printed the drain epitaph"
+  exit 1
+}
+
 echo "==> perf smoke: simulator-core micro-bench (isend/recv + alltoall)"
 cargo bench -p clustersim --bench core_comm
 

@@ -27,7 +27,11 @@
 //!   touched, collectives rank-consistent).
 //! - [`sweep`] — the declarative scenario-sweep engine: cartesian grids
 //!   over (workload, np, model, K, variant), a work-stealing parallel
-//!   executor, and the `BENCH_sweep.json` artifact reader/writer.
+//!   executor, a job core (bounded queue, lifecycle states, progress
+//!   events), and the `BENCH_sweep.json` artifact reader/writer.
+//! - [`service`] — the sweep service: a dependency-free HTTP/1.1 front
+//!   end (`sweepd`) over the job core, streaming progress events and
+//!   serving byte-identical artifacts.
 //!
 //! ## Quickstart
 //!
@@ -61,9 +65,12 @@ pub use depan;
 pub use driver as sweep;
 pub use fir;
 pub use interp;
+pub use service;
 pub use workloads;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use crate::{analyze, clustersim, compuniformer, depan, fir, interp, sweep, workloads};
+    pub use crate::{
+        analyze, clustersim, compuniformer, depan, fir, interp, service, sweep, workloads,
+    };
 }

@@ -1,0 +1,37 @@
+//! Golden pin for the CLI sweep renderer.
+//!
+//! PR 10 moved the `harness sweep`/`quick` table out of the binary into
+//! `driver::client::render_sweep_stdout` so the CLI and any future
+//! front end share one renderer. This test freezes its output over the
+//! committed `BENCH_sweep.json`: the refactor promised byte-for-byte
+//! identical stdout, and this keeps it that way.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```sh
+//! BLESS=1 cargo test -q --test cli_render_golden
+//! ```
+
+use overlap_suite::sweep::client::render_sweep_stdout;
+use overlap_suite::sweep::json;
+
+const GOLDEN_PATH: &str = "tests/golden/sweep_stdout.txt";
+
+#[test]
+fn sweep_stdout_rendering_is_pinned() {
+    let artifact = std::fs::read_to_string("BENCH_sweep.json").expect("committed artifact");
+    let result = json::from_json_string(&artifact).expect("artifact parses");
+    let rendered = render_sweep_stdout(&result);
+
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file (run with BLESS=1)");
+    assert_eq!(
+        rendered, golden,
+        "CLI sweep rendering drifted from {GOLDEN_PATH}; \
+         if intentional, regenerate with BLESS=1"
+    );
+}

@@ -1,0 +1,90 @@
+//! Pin for the library-silence invariant: `driver` (the sweep engine,
+//! job core, and measurement code) is embeddable — it must never write
+//! to stdout or stderr. All progress goes through the event sink; only
+//! the CLI front end in `driver::client` and the binaries print.
+//!
+//! The test re-executes itself as a child process with output captured.
+//! The child branch drives the engine through every entry point a host
+//! might embed (plain sweep, incremental sweep, job core with events);
+//! the parent asserts the child produced no bytes beyond the libtest
+//! harness's own frame.
+
+use std::process::Command;
+
+const CHILD_ENV: &str = "OVERLAP_EMBED_CAPTURE_CHILD";
+
+fn child_runs_the_engine_silently() {
+    use overlap_suite::sweep::{
+        run_sweep, run_sweep_incremental, JobCore, JobSpec, JobState, ModelSpec, SizeClass,
+        SweepGrid,
+    };
+    use std::time::Duration;
+
+    let grid = SweepGrid::new()
+        .workloads(["direct2d"])
+        .size(SizeClass::Small)
+        .nps([2])
+        .models([ModelSpec::MpichGm]);
+
+    // Plain sweep and incremental rerun.
+    let result = run_sweep(&grid, 1);
+    assert_eq!(result.summary.errors, 0);
+    let rerun = run_sweep_incremental(&grid, 1, &result);
+    assert_eq!(rerun.result.normalized(), result.normalized());
+
+    // The job core: queue, worker thread, event stream, artifact.
+    let core = JobCore::new(2);
+    let id = core
+        .submit(JobSpec::grid(grid).threads(1))
+        .expect("submit fits an empty queue");
+    let state = core
+        .wait_terminal(id, Duration::from_secs(600))
+        .expect("job reaches a terminal state");
+    assert_eq!(state, JobState::Done);
+    assert!(core.artifact(id).is_some());
+    core.shutdown();
+    core.join();
+}
+
+#[test]
+fn sweep_engine_writes_nothing_to_stdout_or_stderr() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        child_runs_the_engine_silently();
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("own test binary path");
+    let out = Command::new(exe)
+        .args([
+            "sweep_engine_writes_nothing_to_stdout_or_stderr",
+            "--exact",
+            "-q",
+        ])
+        .env(CHILD_ENV, "1")
+        .output()
+        .expect("re-exec test binary");
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "child failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.is_empty(),
+        "library code wrote to stderr:\n{stderr}"
+    );
+    // stdout may only contain the libtest frame itself — any sweep
+    // progress leaking from the engine shows up as an extra line here.
+    for line in stdout.lines() {
+        let line = line.trim();
+        let harness_frame = line.is_empty()
+            || line == "running 1 test"
+            || line == "."
+            || line.starts_with("test result:");
+        assert!(
+            harness_frame,
+            "library code wrote to stdout: {line:?}\nfull stdout:\n{stdout}"
+        );
+    }
+}
